@@ -1,0 +1,191 @@
+// Command inquery-search runs queries against an index image produced
+// by inquery-index, on either storage backend, in batch or interactive
+// mode.
+//
+// Usage:
+//
+//	inquery-search -index index.img -name mycol "information retrieval"
+//	inquery-search -index index.img -name mycol -backend btree -k 5 '#and(a b)'
+//	inquery-search -index index.img -name mycol -i          # REPL
+//
+// The query language supports bare terms plus #sum, #wsum, #and, #or,
+// #not, #max, #syn, #phrase, #odN, #uwN, #filreq, and #filrej.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+func main() {
+	imgPath := flag.String("index", "index.img", "index image path")
+	name := flag.String("name", "collection", "collection name inside the image")
+	backend := flag.String("backend", "mneme", "storage backend: mneme or btree")
+	cache := flag.Bool("cache", true, "enable Mneme record caching (paper buffer plan)")
+	topK := flag.Int("k", 10, "results per query (0 = all)")
+	daat := flag.Bool("daat", false, "use document-at-a-time evaluation")
+	interactive := flag.Bool("i", false, "interactive mode")
+	queryFile := flag.String("queries", "", "file of queries, one per line (batch mode)")
+	stats := flag.Bool("stats", false, "print I/O and buffer statistics after the run")
+	stem := flag.Bool("stem", true, "apply Porter stemming to query terms")
+	chunk := flag.Int("chunk", 0, "chunk size the index was built with (must match inquery-index -chunk)")
+	explain := flag.Bool("explain", false, "print the belief breakdown for each query's top document")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "inquery-search:", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Open(*imgPath)
+	if err != nil {
+		fail(err)
+	}
+	fs, err := vfs.LoadImage(f, vfs.Options{OSCacheBytes: 8 << 20})
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	var kind core.BackendKind
+	switch *backend {
+	case "mneme":
+		kind = core.BackendMneme
+	case "btree":
+		kind = core.BackendBTree
+	default:
+		fail(fmt.Errorf("unknown backend %q", *backend))
+	}
+
+	// Synthetic collections are indexed without stemming; honour -stem.
+	an := textproc.NewAnalyzer(textproc.WithStemming(*stem))
+	if !*stem {
+		an = textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+	}
+
+	opts := core.EngineOptions{Analyzer: an, ChunkLargeLists: *chunk}
+	if kind == core.BackendMneme && *cache {
+		opts.Plan = planFromDictionary(fs, *name)
+	}
+	eng, err := core.Open(fs, *name, kind, opts)
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+
+	run := func(q string) {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			return
+		}
+		var res []core.Result
+		var err error
+		if *daat {
+			res, err = eng.SearchDAAT(q, *topK)
+		} else {
+			res, err = eng.Search(q, *topK)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "  error:", err)
+			return
+		}
+		if len(res) == 0 {
+			fmt.Println("  (no matching documents)")
+			return
+		}
+		for i, r := range res {
+			fmt.Printf("  %2d. doc %-8d belief %.4f\n", i+1, r.Doc, r.Score)
+		}
+		if *explain {
+			ex, err := eng.Explain(q, res[0].Doc)
+			if err == nil {
+				fmt.Printf("  explanation for doc %d:\n", res[0].Doc)
+				for _, line := range strings.Split(strings.TrimRight(ex.String(), "\n"), "\n") {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+		}
+	}
+
+	if *queryFile != "" {
+		qf, err := os.Open(*queryFile)
+		if err != nil {
+			fail(err)
+		}
+		sc := bufio.NewScanner(qf)
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) == "" {
+				continue
+			}
+			fmt.Printf("query: %s\n", sc.Text())
+			run(sc.Text())
+		}
+		qf.Close()
+		if err := sc.Err(); err != nil {
+			fail(err)
+		}
+	} else if *interactive {
+		fmt.Printf("%s/%s ready (%d docs). Enter queries; blank line quits.\n",
+			*name, kind, eng.NumDocs())
+		sc := bufio.NewScanner(os.Stdin)
+		for {
+			fmt.Print("inquery> ")
+			if !sc.Scan() || strings.TrimSpace(sc.Text()) == "" {
+				break
+			}
+			run(sc.Text())
+		}
+	} else {
+		if flag.NArg() == 0 {
+			fail(fmt.Errorf("no queries given (use -i for interactive mode or -queries for a batch file)"))
+		}
+		for _, q := range flag.Args() {
+			fmt.Printf("query: %s\n", q)
+			run(q)
+		}
+	}
+
+	if *stats {
+		c := eng.Counters()
+		io := fs.Stats()
+		fmt.Printf("\n%d queries, %d record lookups, %d postings processed\n",
+			c.Queries, c.Lookups, c.Postings)
+		fmt.Printf("I/O: %d file accesses, %d disk blocks, %d KB read\n",
+			io.FileAccesses, io.DiskReads, io.BytesRead/1024)
+		for pool, bs := range eng.Backend().BufferStats() {
+			fmt.Printf("buffer %-7s refs %-6d hits %-6d rate %.2f\n",
+				pool, bs.Refs, bs.Hits, bs.HitRate())
+		}
+	}
+}
+
+// planFromDictionary applies the paper's Table 2 heuristics to the
+// stored dictionary: large = 3x the largest list, medium = 9% of large
+// (at least 3 segments), small = 3 segments.
+func planFromDictionary(fs *vfs.FS, name string) core.BufferPlan {
+	eng, err := core.Open(fs, name, core.BackendMneme, core.EngineOptions{})
+	if err != nil {
+		return core.BufferPlan{SmallBytes: 3 * 4096, MediumBytes: 3 * 8192, LargeBytes: 1 << 20}
+	}
+	var max int64
+	eng.Dictionary().Range(func(e *lexicon.Entry) bool {
+		if int64(e.ListBytes) > max {
+			max = int64(e.ListBytes)
+		}
+		return true
+	})
+	eng.Close()
+	medium := 3 * max * 9 / 100
+	if medium < 3*8192 {
+		medium = 3 * 8192
+	}
+	return core.BufferPlan{SmallBytes: 3 * 4096, MediumBytes: medium, LargeBytes: 3 * max}
+}

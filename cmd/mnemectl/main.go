@@ -1,0 +1,144 @@
+// Command mnemectl inspects a Mneme persistent object store inside an
+// index image: pool statistics, object size distribution, and a full
+// readability check.
+//
+// Usage:
+//
+//	mnemectl -index index.img -store mycol.mn stats
+//	mnemectl -index index.img -store mycol.mn histogram
+//	mnemectl -index index.img -store mycol.mn verify
+//	mnemectl -index index.img -store mycol.mn -out compact.img copy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mneme"
+	"repro/internal/vfs"
+)
+
+func main() {
+	imgPath := flag.String("index", "index.img", "index image path")
+	storeName := flag.String("store", "", "store file name inside the image (e.g. mycol.mn)")
+	outPath := flag.String("out", "compact.img", "output image for the copy command")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mnemectl:", err)
+		os.Exit(1)
+	}
+	cmd := "stats"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	f, err := os.Open(*imgPath)
+	if err != nil {
+		fail(err)
+	}
+	fs, err := vfs.LoadImage(f, vfs.Options{OSCacheBytes: 8 << 20})
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if *storeName == "" {
+		// Default to the single .mn file in the image, if unambiguous.
+		for _, n := range fs.Names() {
+			if len(n) > 3 && n[len(n)-3:] == ".mn" {
+				if *storeName != "" {
+					fail(fmt.Errorf("multiple stores in image; pick one with -store"))
+				}
+				*storeName = n
+			}
+		}
+		if *storeName == "" {
+			fail(fmt.Errorf("no .mn store in image"))
+		}
+	}
+	st, err := mneme.Open(fs, *storeName)
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+
+	switch cmd {
+	case "stats":
+		fmt.Printf("store %s: %d KB allocated\n", *storeName, st.SizeBytes()/1024)
+		fmt.Printf("%-8s %-7s %8s %8s %8s %10s %10s\n",
+			"pool", "kind", "objects", "logsegs", "physegs", "live KB", "alloc KB")
+		for _, ps := range st.PoolStats() {
+			fmt.Printf("%-8s %-7s %8d %8d %8d %10d %10d\n",
+				ps.Name, ps.Kind, ps.Objects, ps.LogicalSegs, ps.PhysicalSegs,
+				ps.LiveBytes/1024, ps.SegmentBytes/1024)
+		}
+	case "histogram":
+		// Object size histogram in powers of two.
+		buckets := map[int]int{}
+		maxBucket := 0
+		st.ForEach(func(id mneme.ObjectID, size int) bool {
+			b := 0
+			for s := size; s > 1; s >>= 1 {
+				b++
+			}
+			buckets[b]++
+			if b > maxBucket {
+				maxBucket = b
+			}
+			return true
+		})
+		fmt.Printf("object size histogram (bucket = power of two):\n")
+		for b := 0; b <= maxBucket; b++ {
+			if buckets[b] == 0 {
+				continue
+			}
+			fmt.Printf("  <= %8d bytes: %7d objects\n", 1<<uint(b), buckets[b])
+		}
+	case "verify":
+		n, bytes := 0, int64(0)
+		bad := 0
+		st.ForEach(func(id mneme.ObjectID, size int) bool {
+			data, err := st.Get(id)
+			if err != nil || len(data) != size {
+				bad++
+				fmt.Fprintf(os.Stderr, "  object %#x: %v (size %d vs %d)\n", uint32(id), err, len(data), size)
+				return true
+			}
+			n++
+			bytes += int64(size)
+			return true
+		})
+		fmt.Printf("verified %d objects, %d KB", n, bytes/1024)
+		if bad > 0 {
+			fmt.Printf(", %d BAD", bad)
+		}
+		fmt.Println()
+		if bad > 0 {
+			os.Exit(1)
+		}
+	case "copy":
+		// Reorganize: copy live objects to a fresh store (reclaiming all
+		// abandoned file space) and write a new image containing it.
+		before := st.SizeBytes()
+		dst, err := st.CopyTo(*storeName + ".compact")
+		if err != nil {
+			fail(err)
+		}
+		if err := dst.Close(); err != nil {
+			fail(err)
+		}
+		out, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+		if err := fs.DumpImage(out); err != nil {
+			fail(err)
+		}
+		f2, _ := fs.Open(*storeName + ".compact")
+		fmt.Printf("copied %s: %d KB -> %d KB (image %s, store %s.compact)\n",
+			*storeName, before/1024, f2.Size()/1024, *outPath, *storeName)
+	default:
+		fail(fmt.Errorf("unknown command %q (stats, histogram, verify, copy)", cmd))
+	}
+}

@@ -1,0 +1,143 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section, plus the ablation studies, from the synthetic
+// collections. With no flags it reproduces everything at full scale.
+//
+// Usage:
+//
+//	repro [-scale F] [-table N] [-figure N] [-ablations] [-csv]
+//
+// Examples:
+//
+//	repro                 # all tables, all figures, all ablations
+//	repro -table 5        # just Table 5
+//	repro -figure 3       # just Figure 3 (ASCII plot + data)
+//	repro -scale 0.2      # quick pass at 1/5 collection scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "collection scale factor (1.0 = default reproduction scale)")
+	table := flag.Int("table", 0, "regenerate only table N (1-6)")
+	figure := flag.Int("figure", 0, "regenerate only figure N (1-3)")
+	ablations := flag.Bool("ablations", false, "run only the ablation studies")
+	analyze := flag.Bool("analyze", false, "run only the paper-§2 workload analysis")
+	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII plots")
+	flag.Parse()
+
+	lab := experiments.NewLab(*scale)
+	start := time.Now()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+
+	printFigure := func(f *experiments.Figure) {
+		if *csv {
+			fmt.Println(f.Title)
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Println(f.ASCII(72, 16))
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *table != 0:
+		fns := []func() (*experiments.Table, error){
+			lab.Table1, lab.Table2, lab.Table3, lab.Table4, lab.Table5, lab.Table6,
+		}
+		if *table < 1 || *table > len(fns) {
+			fail(fmt.Errorf("no table %d (1-6)", *table))
+		}
+		t, err := fns[*table-1]()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	case *figure != 0:
+		fns := []func() (*experiments.Figure, error){lab.Figure1, lab.Figure2, lab.Figure3}
+		if *figure < 1 || *figure > len(fns) {
+			fail(fmt.Errorf("no figure %d (1-3)", *figure))
+		}
+		f, err := fns[*figure-1]()
+		if err != nil {
+			fail(err)
+		}
+		printFigure(f)
+	case *ablations:
+		runAblations(lab, fail)
+	case *analyze:
+		runAnalysis(lab, fail)
+	default:
+		fmt.Printf("Reproducing Brown, Callan, Moss, Croft — \"Supporting Full-Text Information\n")
+		fmt.Printf("Retrieval with a Persistent Object Store\" (UMass TR 93-67 / EDBT 1994)\n")
+		fmt.Printf("Scale %.2f, simulated 1993 DECstation 5000/240 time model.\n\n", *scale)
+		tables, err := lab.AllTables()
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		figures, err := lab.AllFigures()
+		if err != nil {
+			fail(err)
+		}
+		for _, f := range figures {
+			printFigure(f)
+		}
+		runAnalysis(lab, fail)
+		runAblations(lab, fail)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runAnalysis(lab *experiments.Lab, fail func(error)) {
+	t, err := lab.AnalyzeCollections()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+	t, err = lab.AnalyzeQueryRepetition()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+}
+
+func runAblations(lab *experiments.Lab, fail func(error)) {
+	t, err := lab.AblationReserve("Legal", 1)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+	t, err = lab.AblationSinglePool("Legal", 0)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+	t, err = lab.AblationSegmentSize("Legal", 0, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+	t, err = lab.AblationBufferPolicy("Legal", 0)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+	t, err = lab.AblationChunkedLists("Legal", 0, 0)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+}

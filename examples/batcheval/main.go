@@ -1,0 +1,131 @@
+// Batcheval: a TIPSTER-style batch evaluation with relevance judgments,
+// demonstrating what the paper holds fixed: recall and precision are
+// identical across storage backends, while the I/O profile differs.
+//
+//	go run ./examples/batcheval
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// topic is a synthetic information need: a small set of "topical" terms
+// planted into the relevant documents.
+type topic struct {
+	id       string
+	terms    []string
+	relevant map[uint32]bool
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+
+	// Build a corpus where each of 12 topics plants its vocabulary into
+	// ~25 relevant documents over background noise, so ground-truth
+	// relevance judgments exist by construction (the role of the
+	// paper's "relevance file").
+	const (
+		numTopics  = 12
+		numDocs    = 1500
+		docLen     = 120
+		background = 3000
+	)
+	topics := make([]*topic, numTopics)
+	for t := range topics {
+		terms := make([]string, 6)
+		for j := range terms {
+			terms[j] = fmt.Sprintf("topic%02dterm%d", t, j)
+		}
+		topics[t] = &topic{
+			id:       fmt.Sprintf("T%02d", t),
+			terms:    terms,
+			relevant: make(map[uint32]bool),
+		}
+	}
+
+	docs := make([]index.Doc, numDocs)
+	for d := range docs {
+		var sb strings.Builder
+		// Background noise.
+		for w := 0; w < docLen; w++ {
+			fmt.Fprintf(&sb, "bg%d ", rng.Intn(background))
+		}
+		// With probability ~20%, the document is about one topic; with
+		// another ~15% it mentions a topic in passing without being
+		// relevant — the noise that keeps precision below 1.
+		switch f := rng.Float64(); {
+		case f < 0.2:
+			t := topics[rng.Intn(numTopics)]
+			t.relevant[uint32(d)] = true
+			// Some relevant documents mention the topic only briefly —
+			// those are the hard ones that pull recall curves down.
+			for w := 0; w < rng.Intn(10)+2; w++ {
+				sb.WriteString(t.terms[rng.Intn(len(t.terms))])
+				sb.WriteByte(' ')
+			}
+		case f < 0.35:
+			t := topics[rng.Intn(numTopics)]
+			for w := 0; w < rng.Intn(5)+1; w++ {
+				sb.WriteString(t.terms[rng.Intn(len(t.terms))])
+				sb.WriteByte(' ')
+			}
+		}
+		docs[d] = index.Doc{ID: uint32(d), Text: sb.String()}
+	}
+
+	fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize, OSCacheBytes: 512 << 10})
+	if _, err := core.Build(fs, "tipster", &core.SliceDocs{Docs: docs}, core.BuildOptions{Analyzer: an}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the batch on both backends and evaluate.
+	for _, kind := range []core.BackendKind{core.BackendBTree, core.BackendMneme} {
+		opts := core.EngineOptions{Analyzer: an}
+		if kind == core.BackendMneme {
+			opts.Plan = core.BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10}
+		}
+		eng, err := core.Open(fs, "tipster", kind, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs.Chill()
+		fs.ResetStats()
+
+		var metrics []eval.Metrics
+		for _, t := range topics {
+			query := strings.Join(t.terms, " ")
+			res, err := eng.Search(query, 100)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ranked := make([]uint32, len(res))
+			for i, r := range res {
+				ranked[i] = r.Doc
+			}
+			metrics = append(metrics, eval.Evaluate(ranked, t.relevant))
+		}
+		sum := eval.Summarize(metrics)
+		io := fs.Stats()
+		fmt.Printf("%s backend:\n", kind)
+		fmt.Printf("  mean average precision %.4f   mean recall %.4f   P@10 %.4f\n",
+			sum.MeanAvgPrecision, sum.MeanRecall, sum.MeanPrecisionAt[10])
+		fmt.Printf("  11-pt interpolated: %.2f %.2f %.2f ... %.2f\n",
+			sum.MeanInterpolated11[0], sum.MeanInterpolated11[1],
+			sum.MeanInterpolated11[2], sum.MeanInterpolated11[10])
+		fmt.Printf("  I/O: %d file accesses, %d disk blocks, %d KB read\n\n",
+			io.FileAccesses, io.DiskReads, io.BytesRead/1024)
+		eng.Close()
+	}
+	fmt.Println("retrieval quality is identical across backends — the paper's")
+	fmt.Println("controlled variable is the storage manager, never the ranking.")
+}

@@ -1,0 +1,93 @@
+// Transactions: the remaining "standard data management services" the
+// paper names as future work — concurrency control, transactional
+// commit/rollback, and crash recovery — implemented on the store and
+// exercised against a live index.
+//
+//	go run ./examples/transactions
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/mneme"
+	"repro/internal/vfs"
+)
+
+func main() {
+	fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize, OSCacheBytes: 1 << 20})
+	docs := []index.Doc{
+		{ID: 0, Text: "transaction processing concepts and techniques"},
+		{ID: 1, Text: "recovery by shadow paging with a commit point"},
+		{ID: 2, Text: "concurrency control for read mostly workloads"},
+	}
+	if _, err := core.Build(fs, "col", &core.SliceDocs{Docs: docs}, core.BuildOptions{
+		Backends: []core.BackendKind{core.BackendMneme},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Work directly with the object store underneath the index.
+	st, err := mneme.Open(fs, "col.mn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	// --- Commit / rollback. ---
+	fmt.Println("== commit and rollback ==")
+	id, _ := st.Allocate("medium", []byte("committed payload"))
+	if err := st.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed object %#x\n", uint32(id))
+
+	if err := st.Modify(id, []byte("uncommitted scribble")); err != nil {
+		log.Fatal(err)
+	}
+	orphan, _ := st.Allocate("medium", []byte("uncommitted object"))
+	if err := st.Rollback(); err != nil {
+		log.Fatal(err)
+	}
+	data, _ := st.Get(id)
+	fmt.Printf("after rollback the object reads %q\n", data)
+	if _, err := st.Get(orphan); err != nil {
+		fmt.Println("the uncommitted allocation is gone, as it should be")
+	}
+
+	// --- Crash recovery: the header write is the commit point. ---
+	fmt.Println("\n== crash recovery ==")
+	st.Modify(id, []byte("work lost in the crash"))
+	// "Crash": drop the handle without flushing and reopen from disk.
+	st2, err := mneme.Open(fs, "col.mn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, _ = st2.Get(id)
+	fmt.Printf("reopened store reads %q — the last committed image\n", data)
+	st2.Close()
+
+	// --- Concurrency control: the store serializes concurrent use. ---
+	fmt.Println("\n== concurrent readers ==")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, err := st.Get(id); err != nil {
+					log.Printf("reader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	fmt.Println("4 goroutines x 1000 reads completed under the store lock")
+	fmt.Println("\nthe paper predicted these services \"would not introduce excessive")
+	fmt.Println("overhead\" for IR's read-mostly access — the read path adds only an")
+	fmt.Println("uncontended mutex acquisition (see BenchmarkLockOverheadGet).")
+}

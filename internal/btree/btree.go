@@ -1,0 +1,408 @@
+// Package btree implements the custom keyed-file package that the
+// original INQUERY system used to manage its inverted file index: "The
+// inverted file index is organized as a keyed file, using term ids as
+// keys and a B-tree index" (paper §3.1). It is the *baseline* the paper
+// measures Mneme against, and it deliberately reproduces the baseline's
+// weaknesses:
+//
+//   - "The B-tree version does limited and unsophisticated caching of
+//     index nodes, such that every record lookup requires more than one
+//     disk access. This problem gets worse as the file grows and the
+//     height of the index tree increases." Only the root is pinned;
+//     other internal nodes go through a tiny FIFO page cache; leaf pages
+//     and record extents are always read from the file.
+//   - No user-space caching of inverted-list records across lookups.
+//
+// The tree is a disk-resident B+tree over 4 Kbyte pages. Tiny records
+// are stored inline in leaf cells; larger records occupy byte-aligned
+// extents in a record heap within the same file. Space from replaced or
+// deleted extents is not reclaimed — collections are archival, and the
+// paper notes modification "requires the entire document collection to
+// be re-indexed".
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+const (
+	// PageSize is the tree's page size. The paper tunes Mneme's physical
+	// segments to the 8 Kbyte disk transfer block; the legacy B-tree
+	// package predates that insight and uses 4 Kbyte pages.
+	PageSize = 4096
+
+	// InlineMax is the largest record stored inside a leaf cell; larger
+	// records live in byte-aligned heap extents and cost an extra file
+	// access to fetch.
+	InlineMax = 32
+
+	// defaultNodeCachePages bounds the unsophisticated internal-node
+	// cache (FIFO, excluding the pinned root).
+	defaultNodeCachePages = 2
+
+	magic       = uint32(0xB7EE1994)
+	headerBytes = 40
+
+	typeInternal = 1
+	typeLeaf     = 2
+
+	flagInline = 0
+	flagExtent = 1
+)
+
+// Errors returned by tree operations.
+var (
+	ErrCorrupt  = errors.New("btree: corrupt file")
+	ErrNotFound = errors.New("btree: key not found")
+)
+
+// Options configures tree creation.
+type Options struct {
+	// NodeCachePages bounds the internal-node FIFO cache. Zero selects
+	// the default; negative disables caching entirely (the root is
+	// still pinned).
+	NodeCachePages int
+}
+
+// Stats describes the tree's shape.
+type Stats struct {
+	Height  int   // levels including the leaf level (1 = root is a leaf)
+	Pages   int64 // 4 Kbyte pages spanned, including header and extents
+	Records int64 // live keys
+}
+
+// Tree is a disk B+tree keyed by term id.
+type Tree struct {
+	file   *vfs.File
+	root   *node // pinned in memory
+	height int
+	tail   int64 // next free byte offset (page 0 is the header)
+	count  int64 // live records
+	cache  *fifoCache
+}
+
+// Create makes a new empty tree in a new file.
+func Create(fs *vfs.FS, name string, opts Options) (*Tree, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{file: f, height: 1, tail: 2 * PageSize, cache: newFIFOCache(opts.NodeCachePages)}
+	t.root = &node{page: 1, leaf: true}
+	if err := t.writeNode(t.root); err != nil {
+		return nil, err
+	}
+	if err := t.writeHeader(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing tree; the root page is read and pinned.
+func Open(fs *vfs.FS, name string, opts Options) (*Tree, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{file: f, cache: newFIFOCache(opts.NodeCachePages)}
+	var hdr [headerBytes]byte
+	if err := vfs.ReadFull(f, hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	rootPage := binary.LittleEndian.Uint32(hdr[4:])
+	t.height = int(binary.LittleEndian.Uint32(hdr[8:]))
+	t.tail = int64(binary.LittleEndian.Uint64(hdr[16:]))
+	t.count = int64(binary.LittleEndian.Uint64(hdr[24:]))
+	root, err := t.readNode(uint32(rootPage))
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// Close flushes the header. The pinned root was written on every
+// structural change, so no other state is dirty.
+func (t *Tree) Close() error {
+	if err := t.writeHeader(); err != nil {
+		return err
+	}
+	return t.file.Close()
+}
+
+// Sync persists the header.
+func (t *Tree) Sync() error { return t.writeHeader() }
+
+// Stats reports the tree's current shape.
+func (t *Tree) Stats() Stats {
+	return Stats{Height: t.height, Pages: (t.tail + PageSize - 1) / PageSize, Records: t.count}
+}
+
+// SizeBytes reports the size of the backing file.
+func (t *Tree) SizeBytes() int64 { return t.file.Size() }
+
+func (t *Tree) writeHeader() error {
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], t.root.page)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.height))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.tail))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(t.count))
+	_, err := t.file.WriteAt(hdr[:], 0)
+	return err
+}
+
+// allocPage reserves one page-aligned page and returns its number.
+func (t *Tree) allocPage() uint32 {
+	if rem := t.tail % PageSize; rem != 0 {
+		t.tail += PageSize - rem
+	}
+	p := uint32(t.tail / PageSize)
+	t.tail += PageSize
+	return p
+}
+
+// allocExtent reserves size bytes in the record heap, 16-byte aligned.
+// Record extents are packed at byte granularity; only node pages are
+// page-aligned.
+func (t *Tree) allocExtent(size int) int64 {
+	if rem := t.tail % 16; rem != 0 {
+		t.tail += 16 - rem
+	}
+	off := t.tail
+	t.tail += int64(size)
+	return off
+}
+
+// Lookup returns the record stored under key. The returned slice is
+// freshly allocated. The boolean reports presence.
+func (t *Tree) Lookup(key uint32) ([]byte, bool, error) {
+	n := t.root
+	for !n.leaf {
+		child := n.childFor(key)
+		next, err := t.readNodeCached(child)
+		if err != nil {
+			return nil, false, err
+		}
+		n = next
+	}
+	i, ok := n.findLeaf(key)
+	if !ok {
+		return nil, false, nil
+	}
+	v := n.vals[i]
+	if v.extLen == 0 {
+		out := make([]byte, len(v.inline))
+		copy(out, v.inline)
+		return out, true, nil
+	}
+	rec := make([]byte, v.extLen)
+	if err := vfs.ReadFull(t.file, rec, v.extOff); err != nil {
+		return nil, false, err
+	}
+	return rec, true, nil
+}
+
+// Insert stores rec under key, replacing any existing record. Replaced
+// extents are abandoned, not reclaimed.
+func (t *Tree) Insert(key uint32, rec []byte) error {
+	v, err := t.storeValue(rec)
+	if err != nil {
+		return err
+	}
+	sep, right, replaced, err := t.insertInto(t.root, key, v)
+	if err != nil {
+		return err
+	}
+	if right != 0 {
+		// Root split: grow the tree by one level.
+		newRoot := &node{
+			page:     t.allocPage(),
+			keys:     []uint32{sep},
+			children: []uint32{t.root.page, right},
+		}
+		if err := t.writeNode(newRoot); err != nil {
+			return err
+		}
+		t.root = newRoot
+		t.height++
+	}
+	if !replaced {
+		t.count++
+	}
+	return t.writeHeader()
+}
+
+// storeValue decides inline-vs-extent placement and writes extents.
+func (t *Tree) storeValue(rec []byte) (leafVal, error) {
+	if len(rec) <= InlineMax {
+		in := make([]byte, len(rec))
+		copy(in, rec)
+		return leafVal{inline: in}, nil
+	}
+	off := t.allocExtent(len(rec))
+	if _, err := t.file.WriteAt(rec, off); err != nil {
+		return leafVal{}, err
+	}
+	return leafVal{extOff: off, extLen: uint32(len(rec))}, nil
+}
+
+// insertInto descends from n, inserts, splits on overflow, and returns
+// the separator key and new right-sibling page when a split propagates.
+func (t *Tree) insertInto(n *node, key uint32, v leafVal) (sep uint32, right uint32, replaced bool, err error) {
+	if n.leaf {
+		i, ok := n.findLeaf(key)
+		if ok {
+			n.vals[i] = v
+			replaced = true
+		} else {
+			n.keys = append(n.keys, 0)
+			n.vals = append(n.vals, leafVal{})
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = key
+			n.vals[i] = v
+		}
+		if n.serializedSize() <= PageSize {
+			return 0, 0, replaced, t.writeNode(n)
+		}
+		sep, right, err = t.splitLeaf(n)
+		return sep, right, replaced, err
+	}
+
+	ci := n.childIndex(key)
+	child, err := t.readNodeCached(n.children[ci])
+	if err != nil {
+		return 0, 0, false, err
+	}
+	csep, cright, replaced, err := t.insertInto(child, key, v)
+	if err != nil || cright == 0 {
+		return 0, 0, replaced, err
+	}
+	// Child split: insert separator into this node.
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = csep
+	n.children = append(n.children, 0)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = cright
+	if n.serializedSize() <= PageSize {
+		return 0, 0, replaced, t.writeNode(n)
+	}
+	sep, right, err = t.splitInternal(n)
+	return sep, right, replaced, err
+}
+
+// splitLeaf moves the upper half (by serialized size) of n into a new
+// right sibling and returns the separator (first key of the right node).
+func (t *Tree) splitLeaf(n *node) (uint32, uint32, error) {
+	half := n.splitPointLeaf()
+	right := &node{
+		page: t.allocPage(),
+		leaf: true,
+		keys: append([]uint32(nil), n.keys[half:]...),
+		vals: append([]leafVal(nil), n.vals[half:]...),
+	}
+	n.keys = n.keys[:half]
+	n.vals = n.vals[:half]
+	if err := t.writeNode(n); err != nil {
+		return 0, 0, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return 0, 0, err
+	}
+	return right.keys[0], right.page, nil
+}
+
+// splitInternal splits n around its middle key, which moves up.
+func (t *Tree) splitInternal(n *node) (uint32, uint32, error) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		page:     t.allocPage(),
+		keys:     append([]uint32(nil), n.keys[mid+1:]...),
+		children: append([]uint32(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.writeNode(n); err != nil {
+		return 0, 0, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return 0, 0, err
+	}
+	return sep, right.page, nil
+}
+
+// Delete removes key. It reports whether the key was present. Leaf
+// underflow is tolerated (lazy deletion): pages are never merged,
+// matching the archival usage the paper describes.
+func (t *Tree) Delete(key uint32) (bool, error) {
+	n := t.root
+	for !n.leaf {
+		next, err := t.readNodeCached(n.childFor(key))
+		if err != nil {
+			return false, err
+		}
+		n = next
+	}
+	i, ok := n.findLeaf(key)
+	if !ok {
+		return false, nil
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	if err := t.writeNode(n); err != nil {
+		return false, err
+	}
+	t.count--
+	return true, t.writeHeader()
+}
+
+// Range iterates all records in ascending key order, calling fn for
+// each; fn returning false stops the scan. It walks the tree top-down
+// (there are no sibling links), which is adequate for the bulk
+// operations that use it.
+func (t *Tree) Range(fn func(key uint32, rec []byte) bool) error {
+	_, err := t.rangeNode(t.root, fn)
+	return err
+}
+
+func (t *Tree) rangeNode(n *node, fn func(uint32, []byte) bool) (stopped bool, err error) {
+	if n.leaf {
+		for i, k := range n.keys {
+			v := n.vals[i]
+			var rec []byte
+			if v.extLen == 0 {
+				rec = append([]byte(nil), v.inline...)
+			} else {
+				rec = make([]byte, v.extLen)
+				if err := vfs.ReadFull(t.file, rec, v.extOff); err != nil {
+					return false, err
+				}
+			}
+			if !fn(k, rec) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for _, c := range n.children {
+		child, err := t.readNodeCached(c)
+		if err != nil {
+			return false, err
+		}
+		stopped, err := t.rangeNode(child, fn)
+		if stopped || err != nil {
+			return stopped, err
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,481 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vfs"
+)
+
+func newFS() *vfs.FS {
+	return vfs.New(vfs.Options{BlockSize: 8192, OSCacheBytes: 1 << 22})
+}
+
+func recFor(key uint32, size int) []byte {
+	rec := make([]byte, size)
+	rng := rand.New(rand.NewSource(int64(key)))
+	rng.Read(rec)
+	return rec
+}
+
+func TestCreateOpenEmpty(t *testing.T) {
+	fs := newFS()
+	tr, err := Create(fs, "idx", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tr.Lookup(1); err != nil || ok {
+		t.Fatalf("Lookup on empty = %v, %v", ok, err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(fs, "idx", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tr2.Stats(); st.Records != 0 || st.Height != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create("junk")
+	f.WriteAt(bytes.Repeat([]byte{0xFF}, PageSize*2), 0)
+	if _, err := Open(fs, "junk", Options{}); err == nil {
+		t.Fatal("Open succeeded on garbage")
+	}
+	if _, err := Open(fs, "missing", Options{}); err == nil {
+		t.Fatal("Open succeeded on missing file")
+	}
+}
+
+func TestInsertLookupInline(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	for i := uint32(0); i < 100; i++ {
+		if err := tr.Insert(i*3, recFor(i, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 100; i++ {
+		rec, ok, err := tr.Lookup(i * 3)
+		if err != nil || !ok {
+			t.Fatalf("Lookup(%d) = %v, %v", i*3, ok, err)
+		}
+		if !bytes.Equal(rec, recFor(i, 20)) {
+			t.Fatalf("Lookup(%d) wrong data", i*3)
+		}
+	}
+	if _, ok, _ := tr.Lookup(1); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestInsertLookupExtent(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	sizes := []int{InlineMax + 1, PageSize, PageSize*3 + 17, 100_000}
+	for i, size := range sizes {
+		if err := tr.Insert(uint32(i), recFor(uint32(i), size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, size := range sizes {
+		rec, ok, err := tr.Lookup(uint32(i))
+		if err != nil || !ok || len(rec) != size {
+			t.Fatalf("Lookup(%d): ok=%v err=%v len=%d want %d", i, ok, err, len(rec), size)
+		}
+		if !bytes.Equal(rec, recFor(uint32(i), size)) {
+			t.Fatalf("Lookup(%d) wrong data", i)
+		}
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	tr.Insert(7, []byte("old"))
+	tr.Insert(7, []byte("new-longer-record"))
+	rec, ok, _ := tr.Lookup(7)
+	if !ok || string(rec) != "new-longer-record" {
+		t.Fatalf("after replace: %q, %v", rec, ok)
+	}
+	if tr.Stats().Records != 1 {
+		t.Fatalf("Records = %d", tr.Stats().Records)
+	}
+	// Replace inline with extent and back.
+	tr.Insert(7, recFor(7, 5000))
+	rec, ok, _ = tr.Lookup(7)
+	if !ok || !bytes.Equal(rec, recFor(7, 5000)) {
+		t.Fatal("inline->extent replace failed")
+	}
+	tr.Insert(7, []byte("tiny"))
+	rec, ok, _ = tr.Lookup(7)
+	if !ok || string(rec) != "tiny" {
+		t.Fatal("extent->inline replace failed")
+	}
+}
+
+func TestSplitsAndHeightGrowth(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	const n = 20000
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	for _, k := range perm {
+		if err := tr.Insert(uint32(k), recFor(uint32(k), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.Records != n {
+		t.Fatalf("Records = %d", st.Records)
+	}
+	if st.Height < 2 {
+		t.Fatalf("Height = %d, expected splits to raise it", st.Height)
+	}
+	for i := 0; i < n; i += 97 {
+		rec, ok, err := tr.Lookup(uint32(i))
+		if err != nil || !ok || !bytes.Equal(rec, recFor(uint32(i), 40)) {
+			t.Fatalf("Lookup(%d) after splits: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	for i := uint32(0); i < 3000; i++ {
+		tr.Insert(i, recFor(i, int(i%600)+1))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(fs, "idx", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Stats().Records != 3000 {
+		t.Fatalf("Records after reopen = %d", tr2.Stats().Records)
+	}
+	for i := uint32(0); i < 3000; i += 113 {
+		rec, ok, err := tr2.Lookup(i)
+		if err != nil || !ok || !bytes.Equal(rec, recFor(i, int(i%600)+1)) {
+			t.Fatalf("Lookup(%d) after reopen failed", i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	for i := uint32(0); i < 500; i++ {
+		tr.Insert(i, recFor(i, 30))
+	}
+	ok, err := tr.Delete(250)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, found, _ := tr.Lookup(250); found {
+		t.Fatal("deleted key still present")
+	}
+	if ok, _ := tr.Delete(250); ok {
+		t.Fatal("double delete reported true")
+	}
+	if tr.Stats().Records != 499 {
+		t.Fatalf("Records = %d", tr.Stats().Records)
+	}
+	// Neighbours survive.
+	if _, found, _ := tr.Lookup(249); !found {
+		t.Fatal("neighbour lost")
+	}
+}
+
+func TestRange(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	keys := []uint32{5, 1, 9, 3, 7}
+	for _, k := range keys {
+		tr.Insert(k, []byte{byte(k)})
+	}
+	var got []uint32
+	if err := tr.Range(func(k uint32, rec []byte) bool {
+		got = append(got, k)
+		if rec[0] != byte(k) {
+			t.Fatalf("record mismatch at key %d", k)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order = %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(func(uint32, []byte) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	const n = 50000
+	i := uint32(0)
+	err := tr.BulkLoad(func() (uint32, []byte, bool) {
+		if i >= n {
+			return 0, nil, false
+		}
+		k := i
+		i++
+		size := 8 + int(k%64)
+		return k * 2, recFor(k, size), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Records != n {
+		t.Fatalf("Records = %d", st.Records)
+	}
+	if st.Height < 2 {
+		t.Fatalf("Height = %d", st.Height)
+	}
+	for k := uint32(0); k < n; k += 773 {
+		rec, ok, err := tr.Lookup(k * 2)
+		if err != nil || !ok {
+			t.Fatalf("Lookup(%d) = %v, %v", k*2, ok, err)
+		}
+		if !bytes.Equal(rec, recFor(k, 8+int(k%64))) {
+			t.Fatalf("Lookup(%d) wrong data", k*2)
+		}
+		if _, ok, _ := tr.Lookup(k*2 + 1); ok {
+			t.Fatalf("odd key %d unexpectedly present", k*2+1)
+		}
+	}
+	// Bulk-loaded tree accepts subsequent inserts.
+	if err := tr.Insert(n*2+5, []byte("post-load")); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, _ := tr.Lookup(n*2 + 5)
+	if !ok || string(rec) != "post-load" {
+		t.Fatal("insert after bulk load failed")
+	}
+}
+
+func TestBulkLoadEmptyAndErrors(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	if err := tr.BulkLoad(func() (uint32, []byte, bool) { return 0, nil, false }); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Records != 0 {
+		t.Fatal("empty bulk load produced records")
+	}
+	// Non-empty tree refuses bulk load.
+	tr.Insert(1, []byte("x"))
+	if err := tr.BulkLoad(func() (uint32, []byte, bool) { return 0, nil, false }); err != ErrNotEmpty {
+		t.Fatalf("err = %v, want ErrNotEmpty", err)
+	}
+	// Out-of-order keys rejected.
+	tr2, _ := Create(fs, "idx2", Options{})
+	calls := 0
+	err := tr2.BulkLoad(func() (uint32, []byte, bool) {
+		calls++
+		switch calls {
+		case 1:
+			return 5, []byte("a"), true
+		case 2:
+			return 5, []byte("b"), true
+		}
+		return 0, nil, false
+	})
+	if err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+// TestLookupAccessCounts verifies the baseline's defining property: with
+// only root pinning and a tiny node cache, a cold record lookup costs
+// more than one file access, and the cost grows with tree height.
+func TestLookupAccessCounts(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192}) // no OS cache: count raw accesses
+	tr, _ := Create(fs, "idx", Options{})
+	const n = 200000
+	i := uint32(0)
+	tr.BulkLoad(func() (uint32, []byte, bool) {
+		if i >= n {
+			return 0, nil, false
+		}
+		k := i
+		i++
+		return k, recFor(k, 300), true // extent records: leaf + extent reads
+	})
+	if tr.Stats().Height < 3 {
+		t.Fatalf("Height = %d, want >= 3 for this test", tr.Stats().Height)
+	}
+	fs.ResetStats()
+	const lookups = 500
+	rng := rand.New(rand.NewSource(3))
+	for j := 0; j < lookups; j++ {
+		if _, ok, err := tr.Lookup(uint32(rng.Intn(n))); !ok || err != nil {
+			t.Fatal("lookup failed")
+		}
+	}
+	a := float64(fs.Stats().FileAccesses) / lookups
+	if a <= 1.5 {
+		t.Fatalf("A = %.2f accesses/lookup, expected the baseline to exceed 1.5", a)
+	}
+}
+
+// TestPropertyAgainstMap cross-checks a random operation sequence
+// against a reference map.
+func TestPropertyAgainstMap(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	ref := make(map[uint32][]byte)
+	rng := rand.New(rand.NewSource(21))
+	for step := 0; step < 4000; step++ {
+		key := uint32(rng.Intn(800))
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			size := rng.Intn(900) + 1
+			rec := make([]byte, size)
+			rng.Read(rec)
+			if err := tr.Insert(key, rec); err != nil {
+				t.Fatalf("step %d: Insert: %v", step, err)
+			}
+			ref[key] = rec
+		case 2: // delete
+			ok, err := tr.Delete(key)
+			if err != nil {
+				t.Fatalf("step %d: Delete: %v", step, err)
+			}
+			if _, want := ref[key]; ok != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, key, ok, want)
+			}
+			delete(ref, key)
+		case 3: // lookup
+			rec, ok, err := tr.Lookup(key)
+			if err != nil {
+				t.Fatalf("step %d: Lookup: %v", step, err)
+			}
+			want, present := ref[key]
+			if ok != present {
+				t.Fatalf("step %d: Lookup(%d) present = %v, want %v", step, key, ok, present)
+			}
+			if ok && !bytes.Equal(rec, want) {
+				t.Fatalf("step %d: Lookup(%d) data mismatch", step, key)
+			}
+		}
+		if tr.Stats().Records != int64(len(ref)) {
+			t.Fatalf("step %d: Records = %d, ref = %d", step, tr.Stats().Records, len(ref))
+		}
+	}
+	// Final full verification, including after reopen.
+	tr.Close()
+	tr2, err := Open(fs, "idx", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range ref {
+		rec, ok, err := tr2.Lookup(key)
+		if err != nil || !ok || !bytes.Equal(rec, want) {
+			t.Fatalf("final Lookup(%d): ok=%v err=%v", key, ok, err)
+		}
+	}
+}
+
+// TestPropertyBulkLoadLookup via testing/quick: any strictly sorted key
+// set bulk-loads into a tree where every key is retrievable.
+func TestPropertyBulkLoadLookup(t *testing.T) {
+	check := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]uint32, n)
+		cur := uint32(0)
+		for i := range keys {
+			cur += uint32(rng.Intn(50) + 1)
+			keys[i] = cur
+		}
+		fs := newFS()
+		tr, _ := Create(fs, "idx", Options{})
+		i := 0
+		if err := tr.BulkLoad(func() (uint32, []byte, bool) {
+			if i >= n {
+				return 0, nil, false
+			}
+			k := keys[i]
+			i++
+			return k, recFor(k, int(k%500)+1), true
+		}); err != nil {
+			return false
+		}
+		for _, probe := range []int{0, n / 2, n - 1} {
+			k := keys[probe]
+			rec, ok, err := tr.Lookup(k)
+			if err != nil || !ok || !bytes.Equal(rec, recFor(k, int(k%500)+1)) {
+				return false
+			}
+		}
+		return tr.Stats().Records == int64(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCacheDisabled(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192})
+	tr, _ := Create(fs, "idx", Options{NodeCachePages: -1})
+	for i := uint32(0); i < 5000; i++ {
+		tr.Insert(i, recFor(i, 50))
+	}
+	fs.ResetStats()
+	tr.Lookup(100)
+	tr.Lookup(100)
+	s := fs.Stats()
+	// Two identical lookups cost identical access counts when nothing
+	// but the root is cached.
+	if s.FileAccesses%2 != 0 {
+		t.Fatalf("FileAccesses = %d, want even", s.FileAccesses)
+	}
+}
+
+func BenchmarkLookupCold(b *testing.B) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192, OSCacheBytes: 1 << 20})
+	tr, _ := Create(fs, "idx", Options{})
+	const n = 100000
+	i := uint32(0)
+	tr.BulkLoad(func() (uint32, []byte, bool) {
+		if i >= n {
+			return 0, nil, false
+		}
+		k := i
+		i++
+		return k, recFor(k, 100), true
+	})
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for j := 0; j < b.N; j++ {
+		tr.Lookup(uint32(rng.Intn(n)))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	fs := newFS()
+	tr, _ := Create(fs, fmt.Sprintf("idx%d", b.N), Options{})
+	b.ResetTimer()
+	for j := 0; j < b.N; j++ {
+		tr.Insert(uint32(j), recFor(uint32(j), 64))
+	}
+}

@@ -1,0 +1,117 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotEmpty is returned by BulkLoad on a tree that already has records.
+var ErrNotEmpty = errors.New("btree: bulk load requires an empty tree")
+
+// leafFill is the target fraction of a page filled during bulk load.
+// The slack mirrors the legacy package's loose leaves (the paper's
+// B-tree file is larger per record than Mneme's for CACM) and leaves
+// room for later single-document insertions.
+const leafFill = PageSize * 55 / 100
+
+// maxFanout bounds internal-node width during bulk load. The narrow
+// fanout (a sixteenth of what a page could hold) reflects the legacy
+// package's sparse index nodes and gives the tree the paper's height
+// growth: taller trees on bigger collections mean more file accesses
+// per lookup (Table 5's rising "A" column).
+const maxFanout = 32
+
+// BulkLoad builds the tree bottom-up from a stream of records in
+// strictly ascending key order — the batch "creation" operation the
+// paper describes, where "the inverted list entries for every term
+// appearance in the collection are sorted by term identifier". next
+// returns ok=false at end of stream.
+func (t *Tree) BulkLoad(next func() (key uint32, rec []byte, ok bool)) error {
+	if t.count != 0 || t.height != 1 || len(t.root.keys) != 0 {
+		return ErrNotEmpty
+	}
+
+	type childRef struct {
+		firstKey uint32
+		page     uint32
+	}
+	var level []childRef
+
+	cur := &node{page: t.allocPage(), leaf: true}
+	prevKey := int64(-1)
+	flush := func() error {
+		if len(cur.keys) == 0 {
+			return nil
+		}
+		if err := t.writeNode(cur); err != nil {
+			return err
+		}
+		level = append(level, childRef{firstKey: cur.keys[0], page: cur.page})
+		cur = &node{page: t.allocPage(), leaf: true}
+		return nil
+	}
+
+	for {
+		key, rec, ok := next()
+		if !ok {
+			break
+		}
+		if int64(key) <= prevKey {
+			return fmt.Errorf("btree: bulk load keys out of order: %d after %d", key, prevKey)
+		}
+		prevKey = int64(key)
+		v, err := t.storeValue(rec)
+		if err != nil {
+			return err
+		}
+		if cur.serializedSize()+leafCellSize(&v) > leafFill && len(cur.keys) > 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		cur.keys = append(cur.keys, key)
+		cur.vals = append(cur.vals, v)
+		t.count++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	if len(level) == 0 {
+		// Empty input: keep the original empty root leaf.
+		return t.writeHeader()
+	}
+
+	// Build internal levels until a single root remains.
+	height := 1
+	for len(level) > 1 {
+		var parents []childRef
+		for i := 0; i < len(level); {
+			end := i + maxFanout
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &node{page: t.allocPage()}
+			n.children = append(n.children, level[i].page)
+			for j := i + 1; j < end; j++ {
+				n.keys = append(n.keys, level[j].firstKey)
+				n.children = append(n.children, level[j].page)
+			}
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+			parents = append(parents, childRef{firstKey: level[i].firstKey, page: n.page})
+			i = end
+		}
+		level = parents
+		height++
+	}
+
+	root, err := t.readNode(level[0].page)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.height = height
+	return t.writeHeader()
+}

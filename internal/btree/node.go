@@ -1,0 +1,274 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/vfs"
+)
+
+// leafVal is a leaf cell payload: either an inline record or a pointer
+// to a contiguous page extent. extLen == 0 means inline.
+type leafVal struct {
+	inline []byte
+	extOff int64
+	extLen uint32
+}
+
+// node is the in-memory image of one tree page.
+type node struct {
+	page     uint32
+	leaf     bool
+	keys     []uint32
+	children []uint32  // internal only; len(children) == len(keys)+1
+	vals     []leafVal // leaf only; parallel to keys
+}
+
+// childIndex returns the index of the child subtree covering key:
+// children[i] holds keys < keys[i]; children[len(keys)] holds the rest.
+func (n *node) childIndex(key uint32) int {
+	return sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+}
+
+// childFor returns the page of the child subtree covering key.
+func (n *node) childFor(key uint32) uint32 {
+	return n.children[n.childIndex(key)]
+}
+
+// findLeaf locates key within a leaf, returning its index and presence;
+// when absent, the index is the insertion point.
+func (n *node) findLeaf(key uint32) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	return i, i < len(n.keys) && n.keys[i] == key
+}
+
+// serializedSize returns the page bytes the node would occupy.
+func (n *node) serializedSize() int {
+	if !n.leaf {
+		return 3 + 4 + 8*len(n.keys)
+	}
+	size := 3
+	for i := range n.keys {
+		size += leafCellSize(&n.vals[i])
+	}
+	return size
+}
+
+func leafCellSize(v *leafVal) int {
+	if v.extLen == 0 {
+		return 4 + 1 + 2 + len(v.inline)
+	}
+	return 4 + 1 + 12
+}
+
+// splitPointLeaf picks the index at which to split so each half fits a
+// page, balancing by serialized size.
+func (n *node) splitPointLeaf() int {
+	total := n.serializedSize() - 3
+	acc := 0
+	for i := range n.keys {
+		acc += leafCellSize(&n.vals[i])
+		if acc >= total/2 {
+			// Never produce an empty right half.
+			if i+1 >= len(n.keys) {
+				return len(n.keys) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(n.keys) / 2
+}
+
+// serialize renders the node into a page-sized buffer.
+func (n *node) serialize() []byte {
+	buf := make([]byte, PageSize)
+	if n.leaf {
+		buf[0] = typeLeaf
+	} else {
+		buf[0] = typeInternal
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	off := 3
+	if !n.leaf {
+		binary.LittleEndian.PutUint32(buf[off:], n.children[0])
+		off += 4
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint32(buf[off:], k)
+			binary.LittleEndian.PutUint32(buf[off+4:], n.children[i+1])
+			off += 8
+		}
+		return buf
+	}
+	for i, k := range n.keys {
+		binary.LittleEndian.PutUint32(buf[off:], k)
+		off += 4
+		v := &n.vals[i]
+		if v.extLen == 0 {
+			buf[off] = flagInline
+			binary.LittleEndian.PutUint16(buf[off+1:], uint16(len(v.inline)))
+			off += 3
+			copy(buf[off:], v.inline)
+			off += len(v.inline)
+		} else {
+			buf[off] = flagExtent
+			binary.LittleEndian.PutUint64(buf[off+1:], uint64(v.extOff))
+			binary.LittleEndian.PutUint32(buf[off+9:], v.extLen)
+			off += 13
+		}
+	}
+	return buf
+}
+
+// parseNode decodes a page image.
+func parseNode(page uint32, buf []byte) (*node, error) {
+	if len(buf) < 3 {
+		return nil, fmt.Errorf("%w: short page %d", ErrCorrupt, page)
+	}
+	n := &node{page: page}
+	count := int(binary.LittleEndian.Uint16(buf[1:]))
+	off := 3
+	switch buf[0] {
+	case typeInternal:
+		if off+4+8*count > len(buf) {
+			return nil, fmt.Errorf("%w: internal page %d overflow", ErrCorrupt, page)
+		}
+		n.children = make([]uint32, 0, count+1)
+		n.children = append(n.children, binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		n.keys = make([]uint32, 0, count)
+		for i := 0; i < count; i++ {
+			n.keys = append(n.keys, binary.LittleEndian.Uint32(buf[off:]))
+			n.children = append(n.children, binary.LittleEndian.Uint32(buf[off+4:]))
+			off += 8
+		}
+	case typeLeaf:
+		n.leaf = true
+		n.keys = make([]uint32, 0, count)
+		n.vals = make([]leafVal, 0, count)
+		for i := 0; i < count; i++ {
+			if off+5 > len(buf) {
+				return nil, fmt.Errorf("%w: leaf page %d overflow", ErrCorrupt, page)
+			}
+			n.keys = append(n.keys, binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			flag := buf[off]
+			off++
+			switch flag {
+			case flagInline:
+				if off+2 > len(buf) {
+					return nil, fmt.Errorf("%w: leaf page %d overflow", ErrCorrupt, page)
+				}
+				l := int(binary.LittleEndian.Uint16(buf[off:]))
+				off += 2
+				if off+l > len(buf) {
+					return nil, fmt.Errorf("%w: leaf page %d overflow", ErrCorrupt, page)
+				}
+				n.vals = append(n.vals, leafVal{inline: append([]byte(nil), buf[off:off+l]...)})
+				off += l
+			case flagExtent:
+				if off+12 > len(buf) {
+					return nil, fmt.Errorf("%w: leaf page %d overflow", ErrCorrupt, page)
+				}
+				n.vals = append(n.vals, leafVal{
+					extOff: int64(binary.LittleEndian.Uint64(buf[off:])),
+					extLen: binary.LittleEndian.Uint32(buf[off+8:]),
+				})
+				off += 12
+			default:
+				return nil, fmt.Errorf("%w: leaf page %d bad flag %d", ErrCorrupt, page, flag)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: page %d bad type %d", ErrCorrupt, page, buf[0])
+	}
+	return n, nil
+}
+
+// readNode reads and parses a page from the file, bypassing the cache.
+func (t *Tree) readNode(page uint32) (*node, error) {
+	buf := make([]byte, PageSize)
+	if err := vfs.ReadFull(t.file, buf, int64(page)*PageSize); err != nil {
+		return nil, fmt.Errorf("btree: read page %d: %w", page, err)
+	}
+	return parseNode(page, buf)
+}
+
+// readNodeCached reads a page, serving internal pages from the pinned
+// root or the small FIFO cache when possible. Leaf pages are never
+// cached — this is the baseline's documented unsophistication.
+func (t *Tree) readNodeCached(page uint32) (*node, error) {
+	if t.root != nil && page == t.root.page {
+		return t.root, nil
+	}
+	if n, ok := t.cache.get(page); ok {
+		return n, nil
+	}
+	n, err := t.readNode(page)
+	if err != nil {
+		return nil, err
+	}
+	if !n.leaf {
+		t.cache.put(page, n)
+	}
+	return n, nil
+}
+
+// writeNode persists a node page and refreshes any cached copy.
+func (t *Tree) writeNode(n *node) error {
+	if n.serializedSize() > PageSize {
+		return fmt.Errorf("btree: node %d overflows page (%d bytes)", n.page, n.serializedSize())
+	}
+	if _, err := t.file.WriteAt(n.serialize(), int64(n.page)*PageSize); err != nil {
+		return err
+	}
+	t.cache.update(n.page, n)
+	return nil
+}
+
+// fifoCache is the limited, unsophisticated internal-node cache: a
+// bounded FIFO with no recency tracking.
+type fifoCache struct {
+	capacity int
+	order    []uint32
+	pages    map[uint32]*node
+}
+
+func newFIFOCache(capPages int) *fifoCache {
+	switch {
+	case capPages == 0:
+		capPages = defaultNodeCachePages
+	case capPages < 0:
+		capPages = 0
+	}
+	return &fifoCache{capacity: capPages, pages: make(map[uint32]*node)}
+}
+
+func (c *fifoCache) get(page uint32) (*node, bool) {
+	n, ok := c.pages[page]
+	return n, ok
+}
+
+func (c *fifoCache) put(page uint32, n *node) {
+	if c.capacity == 0 {
+		return
+	}
+	if _, ok := c.pages[page]; ok {
+		c.pages[page] = n
+		return
+	}
+	for len(c.order) >= c.capacity {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.pages, old)
+	}
+	c.order = append(c.order, page)
+	c.pages[page] = n
+}
+
+// update refreshes a cached page in place without changing FIFO order.
+func (c *fifoCache) update(page uint32, n *node) {
+	if _, ok := c.pages[page]; ok {
+		c.pages[page] = n
+	}
+}

@@ -1,0 +1,189 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomNode builds a random but valid node for round-trip testing.
+func randomNode(rng *rand.Rand, leaf bool) *node {
+	n := &node{page: rng.Uint32() % 1000, leaf: leaf}
+	count := rng.Intn(40) + 1
+	key := uint32(0)
+	if leaf {
+		for i := 0; i < count; i++ {
+			key += uint32(rng.Intn(100) + 1)
+			n.keys = append(n.keys, key)
+			if rng.Intn(2) == 0 {
+				inline := make([]byte, rng.Intn(InlineMax+1))
+				rng.Read(inline)
+				n.vals = append(n.vals, leafVal{inline: inline})
+			} else {
+				n.vals = append(n.vals, leafVal{
+					extOff: rng.Int63n(1 << 40),
+					extLen: uint32(rng.Intn(1<<20) + 1),
+				})
+			}
+		}
+		return n
+	}
+	n.children = append(n.children, rng.Uint32()%10000)
+	for i := 0; i < count; i++ {
+		key += uint32(rng.Intn(100) + 1)
+		n.keys = append(n.keys, key)
+		n.children = append(n.children, rng.Uint32()%10000)
+	}
+	return n
+}
+
+func nodesEqual(a, b *node) bool {
+	if a.leaf != b.leaf || len(a.keys) != len(b.keys) {
+		return false
+	}
+	for i := range a.keys {
+		if a.keys[i] != b.keys[i] {
+			return false
+		}
+	}
+	if a.leaf {
+		for i := range a.vals {
+			av, bv := a.vals[i], b.vals[i]
+			if av.extLen != bv.extLen || av.extOff != bv.extOff {
+				return false
+			}
+			if !bytes.Equal(av.inline, bv.inline) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range a.children {
+		if a.children[i] != b.children[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyNodeSerializeRoundTrip: serialize∘parse is the identity
+// for both node kinds.
+func TestPropertyNodeSerializeRoundTrip(t *testing.T) {
+	check := func(seed int64, leaf bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNode(rng, leaf)
+		if n.serializedSize() > PageSize {
+			return true // skip over-full random nodes
+		}
+		got, err := parseNode(n.page, n.serialize())
+		if err != nil {
+			return false
+		}
+		return nodesEqual(n, got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNodeRejectsCorruption(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{9, 0, 0},                       // bad type
+		{typeInternal, 0xFF, 0xFF},      // count overflows page
+		{typeLeaf, 1, 0},                // truncated leaf entry
+		{typeLeaf, 1, 0, 1, 2, 3, 4, 9}, // bad flag 9
+	}
+	for i, buf := range cases {
+		padded := make([]byte, len(buf))
+		copy(padded, buf)
+		if _, err := parseNode(7, padded); err == nil {
+			t.Errorf("case %d: corrupt page parsed", i)
+		}
+	}
+	// Truncated inline length.
+	buf := make([]byte, 10)
+	buf[0] = typeLeaf
+	buf[1] = 1 // count 1
+	// key (4 bytes) + flagInline + inline length 200 > remaining
+	buf[7] = flagInline
+	buf[8] = 200
+	if _, err := parseNode(7, buf); err == nil {
+		t.Error("truncated inline parsed")
+	}
+}
+
+func TestFIFOCacheBehaviour(t *testing.T) {
+	c := newFIFOCache(2)
+	n1, n2, n3 := &node{page: 1}, &node{page: 2}, &node{page: 3}
+	c.put(1, n1)
+	c.put(2, n2)
+	// Re-putting does not duplicate or reorder.
+	c.put(1, n1)
+	c.put(3, n3) // evicts 1 (FIFO: first in)
+	if _, ok := c.get(1); ok {
+		t.Fatal("FIFO kept the first-in page")
+	}
+	if _, ok := c.get(2); !ok {
+		t.Fatal("page 2 evicted early")
+	}
+	if _, ok := c.get(3); !ok {
+		t.Fatal("page 3 missing")
+	}
+	// update on a cached page swaps the node in place.
+	n2b := &node{page: 2, leaf: true}
+	c.update(2, n2b)
+	if got, _ := c.get(2); got != n2b {
+		t.Fatal("update did not replace cached node")
+	}
+	// update on an absent page is a no-op.
+	c.update(99, n1)
+	if _, ok := c.get(99); ok {
+		t.Fatal("update inserted absent page")
+	}
+	// Zero-capacity cache never stores.
+	z := newFIFOCache(-1)
+	z.put(1, n1)
+	if _, ok := z.get(1); ok {
+		t.Fatal("disabled cache stored a page")
+	}
+}
+
+func TestSplitPointNeverEmpty(t *testing.T) {
+	// A leaf whose last cell dominates the serialized size must still
+	// split with a non-empty right half.
+	n := &node{leaf: true}
+	n.keys = []uint32{1, 2}
+	n.vals = []leafVal{
+		{inline: make([]byte, 10)},
+		{inline: make([]byte, InlineMax)},
+	}
+	sp := n.splitPointLeaf()
+	if sp <= 0 || sp >= len(n.keys) {
+		t.Fatalf("split point %d of %d keys", sp, len(n.keys))
+	}
+}
+
+func TestRangeAndDeleteInterleaved(t *testing.T) {
+	fs := newFS()
+	tr, _ := Create(fs, "idx", Options{})
+	for i := uint32(0); i < 1000; i++ {
+		tr.Insert(i, recFor(i, 20))
+	}
+	for i := uint32(0); i < 1000; i += 2 {
+		tr.Delete(i)
+	}
+	count := 0
+	tr.Range(func(k uint32, _ []byte) bool {
+		if k%2 == 0 {
+			t.Fatalf("deleted key %d visited", k)
+		}
+		count++
+		return true
+	})
+	if count != 500 {
+		t.Fatalf("Range visited %d, want 500", count)
+	}
+}

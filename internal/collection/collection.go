@@ -1,0 +1,308 @@
+// Package collection generates the synthetic document collections and
+// query sets that stand in for the paper's corpora (CACM, Legal,
+// TIPSTER 1, TIPSTER), which are licensed or private and in any case
+// gigabytes of 1990s text.
+//
+// The substitution is behaviour-preserving for everything the paper
+// measures, because the storage-layer effects are driven entirely by
+// two distributional properties, both of which the generators model
+// directly:
+//
+//  1. The inverted-list size distribution. Zipf's law (paper §2, citing
+//     Zipf [22]) makes "nearly half of the terms have only one or two
+//     occurrences, while some terms occur very many times". Documents
+//     draw tokens from a Zipf-shaped core vocabulary (with the head
+//     flattened by StopRanks, standing in for stop-word removal) mixed
+//     with a large uniform "tail" vocabulary of hapax-style rare terms,
+//     reproducing Figure 1's shape: ~half of all records at or under a
+//     few bytes yet a tiny share of total file size.
+//  2. Query-term access skew and repetition. Query terms are sampled
+//     from the same Zipf core — so big lists are referenced most and
+//     small lists rarely (Figure 2) — and each query set reuses
+//     previously drawn terms with a configurable probability, modelling
+//     the paper's observation of "significant repetition of the terms
+//     used from query to query", the property its caching results
+//     depend on.
+//
+// All generation is deterministic per seed: restarting a stream
+// reproduces byte-identical documents.
+package collection
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/index"
+)
+
+// Spec parameterizes one synthetic collection.
+type Spec struct {
+	// Name labels the collection (file and report names derive from it).
+	Name string
+	// Docs is the number of documents.
+	Docs int
+	// AvgLen is the mean document length in tokens; individual lengths
+	// vary uniformly within ±50%.
+	AvgLen int
+	// Vocab is the size of the Zipf-distributed core vocabulary.
+	Vocab int
+	// TailVocab is the size of the rare-term vocabulary; each tail term
+	// occurs ~1.3 times in expectation. Zero defaults to Vocab.
+	TailVocab int
+	// ZipfS is the Zipf exponent (> 1); zero defaults to 1.15.
+	ZipfS float64
+	// StopRanks flattens the head of the Zipf distribution by starting
+	// it that many ranks in, standing in for stop-word removal; zero
+	// defaults to 25.
+	StopRanks int
+	// Seed drives all generation for the collection.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.TailVocab == 0 {
+		s.TailVocab = s.Vocab
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.15
+	}
+	if s.StopRanks == 0 {
+		s.StopRanks = 25
+	}
+	return s
+}
+
+// tailFraction returns the probability that a token is drawn from the
+// tail vocabulary, targeting ~1.3 occurrences per tail term.
+func (s Spec) tailFraction() float64 {
+	total := float64(s.Docs) * float64(s.AvgLen)
+	if total <= 0 {
+		return 0
+	}
+	f := 1.3 * float64(s.TailVocab) / total
+	if f > 0.25 {
+		f = 0.25
+	}
+	return f
+}
+
+// coreTerm renders a core-vocabulary term.
+func coreTerm(rank uint64) string { return "t" + itoa(rank) }
+
+// tailTerm renders a tail-vocabulary term.
+func tailTerm(i uint64) string { return "x" + itoa(i) }
+
+// itoa avoids fmt in the token hot path.
+func itoa(v uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}
+
+// Stream returns a deterministic document stream for the spec. It
+// implements core.DocSource.
+type Stream struct {
+	spec      Spec
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	tailFrac  float64
+	next      uint32
+	textBytes int64
+}
+
+// Stream starts a fresh document stream; identical specs yield
+// identical streams.
+func (s Spec) Stream() *Stream {
+	sp := s.withDefaults()
+	rng := rand.New(rand.NewSource(sp.Seed))
+	return &Stream{
+		spec:     sp,
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, sp.ZipfS, float64(1+sp.StopRanks), uint64(sp.Vocab-1)),
+		tailFrac: sp.tailFraction(),
+	}
+}
+
+// Next implements the document-source contract used by core.Build.
+func (st *Stream) Next() (index.Doc, bool, error) {
+	if int(st.next) >= st.spec.Docs {
+		return index.Doc{}, false, nil
+	}
+	id := st.next
+	st.next++
+	length := st.spec.AvgLen/2 + st.rng.Intn(st.spec.AvgLen+1)
+	if length < 1 {
+		length = 1
+	}
+	var sb strings.Builder
+	sb.Grow(length * 8)
+	for i := 0; i < length; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if st.rng.Float64() < st.tailFrac {
+			sb.WriteString(tailTerm(uint64(st.rng.Intn(st.spec.TailVocab))))
+		} else {
+			sb.WriteString(coreTerm(st.zipf.Uint64()))
+		}
+	}
+	text := sb.String()
+	st.textBytes += int64(len(text))
+	return index.Doc{ID: id, Text: text}, true, nil
+}
+
+// TextBytes reports the total bytes of document text generated so far
+// (the "Collection Size" column of Table 1, once fully streamed).
+func (st *Stream) TextBytes() int64 { return st.textBytes }
+
+// QueryStyle selects the flavor of generated queries, mirroring the
+// paper's query-set provenance.
+type QueryStyle uint8
+
+const (
+	// StyleWords is a flat bag of terms (Legal set 1, TIPSTER sets).
+	StyleWords QueryStyle = iota + 1
+	// StyleBoolean nests #and/#or groups (the CACM boolean sets).
+	StyleBoolean
+	// StylePhrases mixes words with #phrase/#uw pairs (CACM set 3,
+	// "manually-selected words and manually-selected phrases").
+	StylePhrases
+	// StyleWeighted wraps terms in #wsum with weights (Legal set 2,
+	// "supplemented ... with dictionary terms, phrases, and weights").
+	StyleWeighted
+)
+
+// QuerySpec parameterizes one query set.
+type QuerySpec struct {
+	// Name labels the set ("1", "2", ...).
+	Name string
+	// Queries is the number of queries in the set.
+	Queries int
+	// MeanTerms is the mean number of term leaves per query.
+	MeanTerms int
+	// Style selects the query language flavor.
+	Style QueryStyle
+	// Repeat is the probability that a term is re-drawn from terms
+	// already used by this set — the paper's query-to-query repetition.
+	Repeat float64
+	// Seed drives query generation.
+	Seed int64
+}
+
+// Query is one generated query.
+type Query struct {
+	ID   string
+	Text string
+}
+
+// GenQueries generates a query set against the collection's vocabulary.
+func (s Spec) GenQueries(qs QuerySpec) []Query {
+	sp := s.withDefaults()
+	rng := rand.New(rand.NewSource(qs.Seed ^ sp.Seed ^ 0x5EED))
+	zipf := rand.NewZipf(rng, sp.ZipfS, float64(1+sp.StopRanks), uint64(sp.Vocab-1))
+	var used []string
+	draw := func() string {
+		if len(used) > 0 && rng.Float64() < qs.Repeat {
+			// Re-draws favor recently used terms: users refine the
+			// query they just ran, and consecutive topics share
+			// vocabulary, so repetition is bursty rather than uniform —
+			// the locality LRU buffers exploit.
+			back := int(rng.ExpFloat64() * 8)
+			if back >= len(used) {
+				back = rng.Intn(len(used))
+			}
+			return used[len(used)-1-back]
+		}
+		t := coreTerm(zipf.Uint64())
+		used = append(used, t)
+		return t
+	}
+	out := make([]Query, qs.Queries)
+	for i := range out {
+		nterms := qs.MeanTerms/2 + rng.Intn(qs.MeanTerms+1)
+		if nterms < 2 {
+			nterms = 2
+		}
+		terms := make([]string, nterms)
+		for j := range terms {
+			terms[j] = draw()
+		}
+		out[i] = Query{
+			ID:   fmt.Sprintf("%s-%s-q%03d", sp.Name, qs.Name, i+1),
+			Text: renderQuery(rng, qs.Style, terms),
+		}
+	}
+	return out
+}
+
+// renderQuery turns a term list into query-language text in the given
+// style.
+func renderQuery(rng *rand.Rand, style QueryStyle, terms []string) string {
+	switch style {
+	case StyleBoolean:
+		// Group terms into #or clauses of 2-3 under a top-level #and.
+		var sb strings.Builder
+		sb.WriteString("#and(")
+		i := 0
+		first := true
+		for i < len(terms) {
+			n := 2 + rng.Intn(2)
+			if i+n > len(terms) {
+				n = len(terms) - i
+			}
+			if !first {
+				sb.WriteByte(' ')
+			}
+			first = false
+			if n == 1 {
+				sb.WriteString(terms[i])
+			} else {
+				sb.WriteString("#or(")
+				sb.WriteString(strings.Join(terms[i:i+n], " "))
+				sb.WriteByte(')')
+			}
+			i += n
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	case StylePhrases:
+		var parts []string
+		i := 0
+		for i < len(terms) {
+			if i+1 < len(terms) && rng.Float64() < 0.4 {
+				op := "#phrase"
+				if rng.Float64() < 0.3 {
+					op = "#uw8"
+				}
+				parts = append(parts, fmt.Sprintf("%s(%s %s)", op, terms[i], terms[i+1]))
+				i += 2
+			} else {
+				parts = append(parts, terms[i])
+				i++
+			}
+		}
+		return strings.Join(parts, " ")
+	case StyleWeighted:
+		var sb strings.Builder
+		sb.WriteString("#wsum(")
+		for i, t := range terms {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d %s", 1+rng.Intn(5), t)
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	default: // StyleWords
+		return strings.Join(terms, " ")
+	}
+}

@@ -1,0 +1,290 @@
+package collection
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/lexicon"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+func tinySpec() Spec {
+	return Spec{Name: "tiny", Docs: 400, AvgLen: 60, Vocab: 800, TailVocab: 1200, Seed: 7}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	s := tinySpec()
+	a, b := s.Stream(), s.Stream()
+	for {
+		da, oka, _ := a.Next()
+		db, okb, _ := b.Next()
+		if oka != okb {
+			t.Fatal("streams differ in length")
+		}
+		if !oka {
+			break
+		}
+		if da.ID != db.ID || da.Text != db.Text {
+			t.Fatalf("doc %d differs between replays", da.ID)
+		}
+	}
+	if a.TextBytes() != b.TextBytes() || a.TextBytes() == 0 {
+		t.Fatalf("TextBytes: %d vs %d", a.TextBytes(), b.TextBytes())
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	s := tinySpec()
+	st := s.Stream()
+	n := 0
+	var totalToks int
+	for {
+		d, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if int(d.ID) != n {
+			t.Fatalf("ids not dense: %d at position %d", d.ID, n)
+		}
+		n++
+		toks := strings.Fields(d.Text)
+		totalToks += len(toks)
+		if len(toks) < s.AvgLen/2 || len(toks) > s.AvgLen*3/2+1 {
+			t.Fatalf("doc %d length %d outside ±50%% of %d", d.ID, len(toks), s.AvgLen)
+		}
+		for _, tok := range toks {
+			if tok[0] != 't' && tok[0] != 'x' {
+				t.Fatalf("unexpected token %q", tok)
+			}
+		}
+	}
+	if n != s.Docs {
+		t.Fatalf("docs = %d, want %d", n, s.Docs)
+	}
+	avg := float64(totalToks) / float64(n)
+	if avg < float64(s.AvgLen)*0.85 || avg > float64(s.AvgLen)*1.15 {
+		t.Fatalf("mean length %.1f far from %d", avg, s.AvgLen)
+	}
+}
+
+// TestZipfShape builds the tiny collection and checks the two
+// distributional properties the reproduction depends on: roughly half
+// of the records are tiny, yet they account for a small share of the
+// index bytes.
+func TestZipfShape(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192, OSCacheBytes: 1 << 22})
+	spec := Spec{Name: "shape", Docs: 1500, AvgLen: 120, Vocab: 2500, TailVocab: 5000, Seed: 9}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+	if _, err := core.Build(fs, "shape", spec.Stream(), core.BuildOptions{
+		Analyzer: an, Backends: []core.BackendKind{core.BackendMneme},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.Open(fs, "shape", core.BackendMneme, core.EngineOptions{Analyzer: an})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var records, small int
+	var bytesTotal, bytesSmall int64
+	e.Dictionary().Range(func(entry *lexicon.Entry) bool {
+		records++
+		bytesTotal += int64(entry.ListBytes)
+		if entry.ListBytes <= core.SmallListMax {
+			small++
+			bytesSmall += int64(entry.ListBytes)
+		}
+		return true
+	})
+	smallFrac := float64(small) / float64(records)
+	if smallFrac < 0.30 || smallFrac > 0.75 {
+		t.Fatalf("small-record fraction = %.2f, want Zipf-ish ~0.5", smallFrac)
+	}
+	byteFrac := float64(bytesSmall) / float64(bytesTotal)
+	if byteFrac > 0.10 {
+		t.Fatalf("small records are %.1f%% of bytes; paper says only a few %%", byteFrac*100)
+	}
+}
+
+func TestGenQueriesParseAndRepeat(t *testing.T) {
+	s := tinySpec()
+	for _, style := range []QueryStyle{StyleWords, StyleBoolean, StylePhrases, StyleWeighted} {
+		qs := QuerySpec{Name: "q", Queries: 30, MeanTerms: 8, Style: style, Repeat: 0.4, Seed: 5}
+		queries := s.GenQueries(qs)
+		if len(queries) != 30 {
+			t.Fatalf("style %d: %d queries", style, len(queries))
+		}
+		seen := make(map[string]int)
+		for _, q := range queries {
+			n, err := inference.Parse(q.Text)
+			if err != nil {
+				t.Fatalf("style %d: query %q does not parse: %v", style, q.Text, err)
+			}
+			for _, term := range n.Terms() {
+				seen[term]++
+			}
+		}
+		// Repetition: some terms must recur across queries.
+		repeated := 0
+		for _, c := range seen {
+			if c > 1 {
+				repeated++
+			}
+		}
+		if repeated == 0 {
+			t.Fatalf("style %d: no term repetition across queries", style)
+		}
+	}
+}
+
+func TestGenQueriesDeterministic(t *testing.T) {
+	s := tinySpec()
+	qs := QuerySpec{Name: "q", Queries: 10, MeanTerms: 6, Style: StyleWords, Repeat: 0.3, Seed: 1}
+	a := s.GenQueries(qs)
+	b := s.GenQueries(qs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs between replays", i)
+		}
+	}
+}
+
+func TestPaperCollections(t *testing.T) {
+	cols := PaperCollections(1.0)
+	if len(cols) != 4 {
+		t.Fatalf("collections = %d", len(cols))
+	}
+	wantSets := map[string]int{"CACM": 3, "Legal": 2, "TIPSTER1": 1, "TIPSTER": 1}
+	for _, c := range cols {
+		if got := len(c.QuerySets); got != wantSets[c.Name] {
+			t.Fatalf("%s: %d query sets, want %d", c.Name, got, wantSets[c.Name])
+		}
+		if c.PaperDocs == 0 || c.PaperRecords == 0 {
+			t.Fatalf("%s: missing paper statistics", c.Name)
+		}
+		if c.Docs <= 0 || c.Vocab <= 0 {
+			t.Fatalf("%s: bad spec %+v", c.Name, c.Spec)
+		}
+	}
+	// Document counts preserve the paper's ordering.
+	if !(cols[0].Docs < cols[1].Docs || cols[0].Docs < cols[2].Docs) {
+		t.Fatal("CACM should be smallest")
+	}
+	if cols[2].Docs >= cols[3].Docs {
+		t.Fatal("TIPSTER1 must be smaller than TIPSTER")
+	}
+	// Scaling shrinks.
+	small := PaperCollections(0.1)
+	if small[3].Docs >= cols[3].Docs {
+		t.Fatal("scale did not shrink")
+	}
+	if _, ok := ByName("Legal", 1.0); !ok {
+		t.Fatal("ByName(Legal) missed")
+	}
+	if _, ok := ByName("nope", 1.0); ok {
+		t.Fatal("ByName(nope) hit")
+	}
+}
+
+func TestTailFraction(t *testing.T) {
+	s := Spec{Docs: 1000, AvgLen: 100, Vocab: 500, TailVocab: 1000}
+	f := s.withDefaults().tailFraction()
+	// 1.3 * 1000 / 100000 = 0.013
+	if f < 0.012 || f > 0.014 {
+		t.Fatalf("tailFraction = %v", f)
+	}
+	// Capped at 0.25 for absurd tail vocabularies.
+	s.TailVocab = 10_000_000
+	if f := s.withDefaults().tailFraction(); f != 0.25 {
+		t.Fatalf("cap = %v", f)
+	}
+	// Degenerate collection yields zero.
+	if f := (Spec{TailVocab: 10}).withDefaults().tailFraction(); f != 0 {
+		t.Fatalf("degenerate = %v", f)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, v := range []uint64{0, 1, 9, 10, 12345, 18446744073709551615} {
+		if got, want := itoa(v), strconv.FormatUint(v, 10); got != want {
+			t.Fatalf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	s := (Spec{Vocab: 100}).withDefaults()
+	if s.TailVocab != 100 || s.ZipfS != 1.15 || s.StopRanks != 25 {
+		t.Fatalf("defaults = %+v", s)
+	}
+	// Explicit values survive.
+	s = (Spec{Vocab: 100, TailVocab: 7, ZipfS: 2, StopRanks: 3}).withDefaults()
+	if s.TailVocab != 7 || s.ZipfS != 2 || s.StopRanks != 3 {
+		t.Fatalf("overrides lost: %+v", s)
+	}
+}
+
+func TestRenderQueryStyles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	terms := []string{"t1", "t2", "t3", "t4", "t5"}
+	if q := renderQuery(rng, StyleWords, terms); q != "t1 t2 t3 t4 t5" {
+		t.Fatalf("words = %q", q)
+	}
+	q := renderQuery(rng, StyleBoolean, terms)
+	if !strings.HasPrefix(q, "#and(") {
+		t.Fatalf("boolean = %q", q)
+	}
+	q = renderQuery(rng, StyleWeighted, terms)
+	if !strings.HasPrefix(q, "#wsum(") {
+		t.Fatalf("weighted = %q", q)
+	}
+	// Every style parses and covers all terms.
+	for _, style := range []QueryStyle{StyleWords, StyleBoolean, StylePhrases, StyleWeighted} {
+		q := renderQuery(rng, style, terms)
+		n, err := inference.Parse(q)
+		if err != nil {
+			t.Fatalf("style %d: %q: %v", style, q, err)
+		}
+		if got := n.Terms(); len(got) != len(terms) {
+			t.Fatalf("style %d lost terms: %v", style, got)
+		}
+	}
+}
+
+// TestHeapsLawGrowth: vocabulary grows sublinearly in collection size,
+// as the Heaps-style mixture of Zipf core and rare tail implies.
+func TestHeapsLawGrowth(t *testing.T) {
+	distinct := func(docs int) int {
+		s := Spec{Name: "h", Docs: docs, AvgLen: 80, Vocab: 5000, TailVocab: 8000, Seed: 3}
+		st := s.Stream()
+		seen := make(map[string]bool)
+		for {
+			d, ok, _ := st.Next()
+			if !ok {
+				break
+			}
+			for _, w := range strings.Fields(d.Text) {
+				seen[w] = true
+			}
+		}
+		return len(seen)
+	}
+	v1 := distinct(400)
+	v4 := distinct(1600)
+	if v4 <= v1 {
+		t.Fatalf("vocabulary did not grow: %d -> %d", v1, v4)
+	}
+	// 4x the documents must yield far less than 4x the vocabulary.
+	if float64(v4) >= 3.0*float64(v1) {
+		t.Fatalf("vocabulary growth not sublinear: %d -> %d", v1, v4)
+	}
+}

@@ -1,0 +1,108 @@
+package collection
+
+// PaperCollection bundles a collection spec with its query sets,
+// mirroring one row block of the paper's evaluation matrix.
+type PaperCollection struct {
+	Spec
+	QuerySets []QuerySpec
+	// PaperDocs / PaperSizeKB / PaperRecords record the original
+	// collection's statistics from Table 1, for side-by-side reporting.
+	PaperDocs    int
+	PaperSizeKB  int64
+	PaperRecords int64
+}
+
+// Paper query counts: every set in the paper has 50 queries.
+const paperQueries = 50
+
+// PaperCollections returns reproduction-scale models of the four
+// collections. scale multiplies document counts (1.0 is the default
+// reproduction scale, itself reduced from the paper's corpora — CACM is
+// full size, the others are scaled to laptop memory; the distributional
+// properties, not the absolute sizes, carry the results). Values below
+// 1 shrink everything proportionally for quick runs.
+func PaperCollections(scale float64) []PaperCollection {
+	if scale <= 0 {
+		scale = 1
+	}
+	sc := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	return []PaperCollection{
+		{
+			// CACM: 3204 abstracts and titles of CACM articles — small
+			// documents, small vocabulary. Full document count.
+			Spec: Spec{
+				Name: "CACM", Docs: sc(3204), AvgLen: 64,
+				Vocab: 4000, TailVocab: 3000, StopRanks: 6, Seed: 101,
+			},
+			QuerySets: []QuerySpec{
+				// "The first two query sets ... are different boolean
+				// representations of the same 50 queries."
+				{Name: "1", Queries: paperQueries, MeanTerms: 8, Style: StyleBoolean, Repeat: 0.30, Seed: 11},
+				{Name: "2", Queries: paperQueries, MeanTerms: 10, Style: StyleBoolean, Repeat: 0.35, Seed: 11},
+				// "The third query set contains the same queries ...
+				// but with manually-selected words and phrases."
+				{Name: "3", Queries: paperQueries, MeanTerms: 12, Style: StylePhrases, Repeat: 0.45, Seed: 11},
+			},
+			PaperDocs: 3204, PaperSizeKB: 2136, PaperRecords: 5944,
+		},
+		{
+			// Legal: 11953 long case descriptions (~24 KB each in the
+			// paper). Scaled 1:4 in documents, 1:5 in length.
+			Spec: Spec{
+				Name: "Legal", Docs: sc(3000), AvgLen: 600,
+				Vocab: 12000, TailVocab: 30000, Seed: 202,
+			},
+			QuerySets: []QuerySpec{
+				// "The first query set ... was supplied with the
+				// collection."
+				{Name: "1", Queries: paperQueries, MeanTerms: 10, Style: StyleWords, Repeat: 0.30, Seed: 22},
+				// "The second query set was generated locally by
+				// supplementing the first ... with dictionary terms,
+				// phrases, and weights."
+				{Name: "2", Queries: paperQueries, MeanTerms: 16, Style: StyleWeighted, Repeat: 0.45, Seed: 22},
+			},
+			PaperDocs: 11953, PaperSizeKB: 290529, PaperRecords: 142721,
+		},
+		{
+			// TIPSTER 1: part 1 of the TIPSTER distribution. Scaled
+			// ~1:40 in documents.
+			Spec: Spec{
+				Name: "TIPSTER1", Docs: sc(12000), AvgLen: 300,
+				Vocab: 30000, TailVocab: 80000, Seed: 303,
+			},
+			QuerySets: []QuerySpec{
+				// "generated locally from TIPSTER topics 51-100 using
+				// automatic and semi-automatic methods" — long queries.
+				{Name: "1", Queries: paperQueries, MeanTerms: 35, Style: StyleWords, Repeat: 0.62, Seed: 33},
+			},
+			PaperDocs: 510887, PaperSizeKB: 1225712, PaperRecords: 627078,
+		},
+		{
+			// TIPSTER: parts 1 and 2. Same query set as TIPSTER 1.
+			Spec: Spec{
+				Name: "TIPSTER", Docs: sc(18000), AvgLen: 300,
+				Vocab: 35000, TailVocab: 110000, Seed: 404,
+			},
+			QuerySets: []QuerySpec{
+				{Name: "1", Queries: paperQueries, MeanTerms: 35, Style: StyleWords, Repeat: 0.62, Seed: 33},
+			},
+			PaperDocs: 742358, PaperSizeKB: 2103574, PaperRecords: 846331,
+		},
+	}
+}
+
+// ByName returns the named paper collection at the given scale.
+func ByName(name string, scale float64) (PaperCollection, bool) {
+	for _, c := range PaperCollections(scale) {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return PaperCollection{}, false
+}

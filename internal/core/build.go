@@ -1,0 +1,329 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/mneme"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// Index file name suffixes. One collection produces a shared dictionary
+// and document table plus one index file per backend.
+const (
+	suffixLexicon = ".lex"
+	suffixDocMeta = ".doc"
+	suffixBTree   = ".bt"
+	suffixMneme   = ".mn"
+)
+
+// DocSource streams documents into the index builder.
+type DocSource interface {
+	// Next returns the next document; ok=false ends the stream.
+	Next() (doc index.Doc, ok bool, err error)
+}
+
+// SliceDocs adapts a document slice to DocSource.
+type SliceDocs struct {
+	Docs []index.Doc
+	i    int
+}
+
+// Next implements DocSource.
+func (s *SliceDocs) Next() (index.Doc, bool, error) {
+	if s.i >= len(s.Docs) {
+		return index.Doc{}, false, nil
+	}
+	d := s.Docs[s.i]
+	s.i++
+	return d, true, nil
+}
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// Analyzer tokenizes documents (and later, queries — engines must
+	// open with the same configuration). Nil selects the default.
+	Analyzer *textproc.Analyzer
+	// Backends lists the index files to produce; empty means both.
+	Backends []BackendKind
+	// RunLimit caps buffered tuples during the external sort.
+	RunLimit int
+	// MnemeConfig overrides the store layout (pool partition and
+	// segment sizes) for ablation experiments; nil selects the paper's
+	// three-pool configuration.
+	MnemeConfig *mneme.Config
+	// ChunkLargeLists, when positive, stores inverted lists larger than
+	// MediumListMax as linked chunk lists with this payload size per
+	// chunk (paper §6). Engines must open with the same value.
+	ChunkLargeLists int
+}
+
+// BuildStats reports what was built — the raw material of the paper's
+// Table 1.
+type BuildStats struct {
+	Docs       int
+	TotalToks  int64
+	Terms      int
+	Records    int64
+	ListBytes  int64 // total encoded inverted-list bytes
+	BTreeBytes int64 // size of the B-tree index file (0 if not built)
+	MnemeBytes int64 // size of the Mneme index file (0 if not built)
+}
+
+// Build indexes a document stream into the named collection, producing
+// the shared dictionary and document table plus the requested backend
+// index files. Both backends store identical record bytes; they differ
+// only in how the records are managed — the paper's controlled variable.
+func Build(fs *vfs.FS, name string, src DocSource, opt BuildOptions) (*BuildStats, error) {
+	backends := opt.Backends
+	if len(backends) == 0 {
+		backends = []BackendKind{BackendBTree, BackendMneme}
+	}
+	b := index.NewBuilder(fs, index.Options{
+		Analyzer: opt.Analyzer,
+		RunLimit: opt.RunLimit,
+		Scratch:  name + ".run",
+	})
+	for {
+		doc, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := b.Add(doc); err != nil {
+			return nil, err
+		}
+	}
+	return finishBuild(fs, name, b, backends, opt.MnemeConfig, opt.ChunkLargeLists)
+}
+
+// finishBuild drains the merged record stream into the backend sinks
+// and persists the dictionary and document table.
+func finishBuild(fs *vfs.FS, name string, b *index.Builder, backends []BackendKind, override *mneme.Config, chunkBytes int) (*BuildStats, error) {
+	merged, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	var wantBTree, wantMneme bool
+	for _, k := range backends {
+		switch k {
+		case BackendBTree:
+			wantBTree = true
+		case BackendMneme:
+			wantMneme = true
+		default:
+			return nil, fmt.Errorf("core: unknown backend %d", k)
+		}
+	}
+
+	var mn *mnemeBackend
+	if wantMneme {
+		// Build with generous medium/large buffers so allocation does
+		// not thrash; query-time runs re-open with the measured plan.
+		cfg := MnemeConfig(BufferPlan{
+			SmallBytes:  1 << 16,
+			MediumBytes: 1 << 20,
+			LargeBytes:  1 << 22,
+		})
+		if override != nil {
+			cfg = *override
+		}
+		mn, err = CreateMnemeBackend(fs, name+suffixMneme, cfg)
+		if err != nil {
+			return nil, err
+		}
+		mn.SetChunking(chunkBytes)
+	}
+	dict := b.Dictionary()
+
+	// storeMneme allocates a record in the object store and records the
+	// object identifier in the term's dictionary entry — "The Mneme
+	// identifier assigned to the object was stored in the INQUERY hash
+	// dictionary entry for the associated term" (§3.3).
+	storeMneme := func(termID uint32, rec []byte) error {
+		id, err := mn.Store(rec)
+		if err != nil {
+			return err
+		}
+		dict.ByID(termID).Ref = id
+		return nil
+	}
+
+	if wantBTree {
+		bt, tree, err := CreateBTreeBackend(fs, name+suffixBTree)
+		if err != nil {
+			return nil, err
+		}
+		var inner error
+		err = tree.BulkLoad(func() (uint32, []byte, bool) {
+			term, rec, ok, err := merged.Next()
+			if err != nil {
+				inner = err
+				return 0, nil, false
+			}
+			if !ok {
+				return 0, nil, false
+			}
+			if wantMneme {
+				if err := storeMneme(term, rec); err != nil {
+					inner = err
+					return 0, nil, false
+				}
+			}
+			return term, rec, true
+		})
+		if err == nil {
+			err = inner
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := bt.Close(); err != nil {
+			return nil, err
+		}
+	} else if wantMneme {
+		for {
+			term, rec, ok, err := merged.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if err := storeMneme(term, rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := merged.Close(); err != nil {
+		return nil, err
+	}
+	if mn != nil {
+		if err := mn.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := saveLexicon(fs, name, dict); err != nil {
+		return nil, err
+	}
+	if err := saveDocMeta(fs, name, b.DocLens(), b.TotalLen()); err != nil {
+		return nil, err
+	}
+
+	st := &BuildStats{
+		Docs:      b.NumDocs(),
+		TotalToks: b.TotalLen(),
+		Terms:     dict.Len(),
+		Records:   merged.Records,
+		ListBytes: merged.ListBytes,
+	}
+	if wantBTree {
+		f, err := fs.Open(name + suffixBTree)
+		if err != nil {
+			return nil, err
+		}
+		st.BTreeBytes = f.Size()
+	}
+	if wantMneme {
+		f, err := fs.Open(name + suffixMneme)
+		if err != nil {
+			return nil, err
+		}
+		st.MnemeBytes = f.Size()
+	}
+	return st, nil
+}
+
+// saveLexicon writes the dictionary image, replacing any previous one.
+func saveLexicon(fs *vfs.FS, name string, dict *lexicon.Dictionary) error {
+	fname := name + suffixLexicon
+	if fs.Exists(fname) {
+		if err := fs.Remove(fname); err != nil {
+			return err
+		}
+	}
+	f, err := fs.Create(fname)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(dict.Encode(), 0)
+	return err
+}
+
+func loadLexicon(fs *vfs.FS, name string) (*lexicon.Dictionary, error) {
+	f, err := fs.Open(name + suffixLexicon)
+	if err != nil {
+		return nil, err
+	}
+	img := make([]byte, f.Size())
+	if err := vfs.ReadFull(f, img, 0); err != nil {
+		return nil, err
+	}
+	return lexicon.Decode(img)
+}
+
+// saveDocMeta writes the document table: count, total length, and
+// per-document token counts.
+func saveDocMeta(fs *vfs.FS, name string, lens []uint32, total int64) error {
+	buf := make([]byte, 0, 8+len(lens)*3)
+	buf = binary.AppendUvarint(buf, uint64(len(lens)))
+	buf = binary.AppendUvarint(buf, uint64(total))
+	for _, l := range lens {
+		buf = binary.AppendUvarint(buf, uint64(l))
+	}
+	fname := name + suffixDocMeta
+	if fs.Exists(fname) {
+		if err := fs.Remove(fname); err != nil {
+			return err
+		}
+	}
+	f, err := fs.Create(fname)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(buf, 0)
+	return err
+}
+
+func loadDocMeta(fs *vfs.FS, name string) (lens []uint32, total int64, err error) {
+	f, err := fs.Open(name + suffixDocMeta)
+	if err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, f.Size())
+	if err := vfs.ReadFull(f, buf, 0); err != nil {
+		return nil, 0, err
+	}
+	off := 0
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("core: corrupt document table for %q", name)
+		}
+		off += n
+		return v, nil
+	}
+	n, err := get()
+	if err != nil {
+		return nil, 0, err
+	}
+	tot, err := get()
+	if err != nil {
+		return nil, 0, err
+	}
+	lens = make([]uint32, n)
+	for i := range lens {
+		v, err := get()
+		if err != nil {
+			return nil, 0, err
+		}
+		lens[i] = uint32(v)
+	}
+	return lens, int64(tot), nil
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/inference"
+	"repro/internal/lexicon"
+	"repro/internal/postings"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// Counters accumulates the retrieval engine's work, feeding the paper's
+// metrics: Lookups is the denominator of Table 5's "A"; Postings drives
+// the user-CPU estimate; Queries counts query evaluations.
+type Counters struct {
+	Lookups      int64 // inverted-list record lookups
+	Postings     int64 // posting entries processed
+	Queries      int64 // queries evaluated
+	BytesFetched int64 // record bytes fetched from the backend
+}
+
+// EngineOptions configures an opened engine.
+type EngineOptions struct {
+	// Analyzer must match the one used at build time; nil selects the
+	// default.
+	Analyzer *textproc.Analyzer
+	// Plan sets Mneme buffer capacities (ignored for the B-tree). The
+	// zero plan is "Mneme, No Cache".
+	Plan BufferPlan
+	// DisableReserve turns off the resident-object reservation scan
+	// (for the ablation measurement).
+	DisableReserve bool
+	// LogAccesses records the byte size of every inverted list fetched,
+	// the raw series behind Figure 2.
+	LogAccesses bool
+	// TrackTermUse records per-term lookup counts (term repetition
+	// analysis). Costs a map insert per lookup.
+	TrackTermUse bool
+	// ChunkLargeLists must match the value the collection was built
+	// with (0 = records stored whole).
+	ChunkLargeLists int
+}
+
+// Engine is one opened collection + backend pair: INQUERY's query
+// processor over an inverted file managed by either storage subsystem.
+type Engine struct {
+	fs      *vfs.FS
+	name    string
+	kind    BackendKind
+	backend Backend
+	dict    *lexicon.Dictionary
+	an      *textproc.Analyzer
+	docLens []uint32
+	total   int64
+
+	opts      EngineOptions
+	counters  Counters
+	accessLog []uint32
+	termUse   map[string]int64
+}
+
+// Open loads a collection with the chosen backend.
+func Open(fs *vfs.FS, name string, kind BackendKind, opt EngineOptions) (*Engine, error) {
+	dict, err := loadLexicon(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	lens, total, err := loadDocMeta(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	var backend Backend
+	switch kind {
+	case BackendBTree:
+		backend, err = OpenBTreeBackend(fs, name+suffixBTree)
+	case BackendMneme:
+		backend, err = OpenMnemeBackend(fs, name+suffixMneme, opt.Plan, opt.ChunkLargeLists)
+	default:
+		err = fmt.Errorf("core: unknown backend %d", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	an := opt.Analyzer
+	if an == nil {
+		an = textproc.NewAnalyzer()
+	}
+	e := &Engine{
+		fs:      fs,
+		name:    name,
+		kind:    kind,
+		backend: backend,
+		dict:    dict,
+		an:      an,
+		docLens: lens,
+		total:   total,
+		opts:    opt,
+	}
+	if opt.TrackTermUse {
+		e.termUse = make(map[string]int64)
+	}
+	return e, nil
+}
+
+// Close closes the backend. Dictionary and document-table changes made
+// by updates must be saved with SaveMeta first.
+func (e *Engine) Close() error { return e.backend.Close() }
+
+// Backend exposes the storage backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Kind reports which backend the engine runs on.
+func (e *Engine) Kind() BackendKind { return e.kind }
+
+// Dictionary exposes the term dictionary.
+func (e *Engine) Dictionary() *lexicon.Dictionary { return e.dict }
+
+// Analyzer exposes the text analyzer.
+func (e *Engine) Analyzer() *textproc.Analyzer { return e.an }
+
+// Counters returns a snapshot of the engine's work counters.
+func (e *Engine) Counters() Counters { return e.counters }
+
+// ResetCounters zeroes work counters and the access log.
+func (e *Engine) ResetCounters() {
+	e.counters = Counters{}
+	e.accessLog = nil
+	if e.termUse != nil {
+		e.termUse = make(map[string]int64)
+	}
+}
+
+// AccessLog returns the sizes (bytes) of the inverted lists fetched
+// since the last reset, in access order. Empty unless LogAccesses.
+func (e *Engine) AccessLog() []uint32 { return e.accessLog }
+
+// TermUse returns per-term lookup counts since the last reset. Empty
+// unless TrackTermUse.
+func (e *Engine) TermUse() map[string]int64 { return e.termUse }
+
+// refOf maps a dictionary entry to the backend's record handle: the
+// term id keys the B-tree; the stored Mneme object identifier locates
+// the object.
+func (e *Engine) refOf(entry *lexicon.Entry) (uint64, bool) {
+	switch e.kind {
+	case BackendBTree:
+		return uint64(entry.ID), entry.DF > 0
+	default:
+		return entry.Ref, entry.Ref != 0
+	}
+}
+
+// normalizeQuery parses and normalizes a query string against the
+// engine's analyzer. A nil node means the query was entirely stop words.
+func (e *Engine) normalizeQuery(query string) (*inference.Node, error) {
+	n, err := inference.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return n.NormalizeTerms(func(t string) string {
+		if e.an.IsStopWord(t) {
+			return ""
+		}
+		return e.an.Normalize(t)
+	}), nil
+}
+
+// reserve scans the query tree and pins the inverted lists that are
+// already resident — INQUERY's pre-evaluation reservation pass.
+func (e *Engine) reserve(n *inference.Node) {
+	if e.opts.DisableReserve {
+		return
+	}
+	terms := n.Terms()
+	refs := make([]uint64, 0, len(terms))
+	for _, t := range terms {
+		if entry, ok := e.dict.Lookup(t); ok {
+			if ref, ok := e.refOf(entry); ok {
+				refs = append(refs, ref)
+			}
+		}
+	}
+	e.backend.Reserve(refs)
+}
+
+// Result re-exports the ranked-document type.
+type Result = inference.Result
+
+// Search evaluates a query with term-at-a-time processing and returns
+// the topK documents (topK <= 0 means all).
+func (e *Engine) Search(query string, topK int) ([]Result, error) {
+	n, err := e.normalizeQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	e.counters.Queries++
+	if n == nil {
+		return nil, nil
+	}
+	e.reserve(n)
+	defer e.backend.Release()
+	return inference.EvaluateTAAT(n, e, topK)
+}
+
+// SearchDAAT evaluates a query document-at-a-time.
+func (e *Engine) SearchDAAT(query string, topK int) ([]Result, error) {
+	n, err := e.normalizeQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	e.counters.Queries++
+	if n == nil {
+		return nil, nil
+	}
+	e.reserve(n)
+	defer e.backend.Release()
+	return inference.EvaluateDAAT(n, e, topK)
+}
+
+// countLookup maintains the counters the experiments report for one
+// inverted-list record lookup of the given encoded size.
+func (e *Engine) countLookup(term string, size uint32) {
+	e.counters.Lookups++
+	e.counters.BytesFetched += int64(size)
+	if e.opts.LogAccesses {
+		e.accessLog = append(e.accessLog, size)
+	}
+	if e.termUse != nil {
+		e.termUse[term]++
+	}
+}
+
+// fetchRecord performs one inverted-list record lookup through the
+// backend.
+func (e *Engine) fetchRecord(term string) ([]byte, bool, error) {
+	entry, ok := e.dict.Lookup(term)
+	if !ok {
+		return nil, false, nil
+	}
+	ref, ok := e.refOf(entry)
+	if !ok {
+		return nil, false, nil
+	}
+	rec, err := e.backend.Fetch(ref)
+	if err != nil {
+		return nil, false, err
+	}
+	e.countLookup(term, uint32(len(rec)))
+	return rec, true, nil
+}
+
+// Postings implements inference.Source.
+func (e *Engine) Postings(term string) ([]postings.Posting, bool, error) {
+	rec, ok, err := e.fetchRecord(term)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ps, err := postings.DecodeAll(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	e.counters.Postings += int64(len(ps))
+	return ps, true, nil
+}
+
+// Iterator implements inference.StreamSource. Chunked records (see
+// EngineOptions.ChunkLargeLists) are decoded as they stream off their
+// chunk list instead of being materialized first.
+func (e *Engine) Iterator(term string) (inference.PostingIterator, bool, error) {
+	entry, ok := e.dict.Lookup(term)
+	if !ok {
+		return nil, false, nil
+	}
+	ref, ok := e.refOf(entry)
+	if !ok {
+		return nil, false, nil
+	}
+	if rs, streams := e.backend.(RecordStreamer); streams {
+		if r, ok := rs.StreamRecord(ref); ok {
+			e.countLookup(term, entry.ListBytes)
+			return &countingIterator{it: postings.NewStreamReader(r), c: &e.counters}, true, nil
+		}
+	}
+	rec, err := e.backend.Fetch(ref)
+	if err != nil {
+		return nil, false, err
+	}
+	e.countLookup(term, uint32(len(rec)))
+	return &countingIterator{it: postings.NewReader(rec), c: &e.counters}, true, nil
+}
+
+// recordIterator is the shape shared by the in-memory and streaming
+// posting decoders.
+type recordIterator interface {
+	Next() (postings.Posting, bool)
+	DF() uint64
+	Err() error
+}
+
+// countingIterator counts postings as they stream past.
+type countingIterator struct {
+	it recordIterator
+	c  *Counters
+}
+
+func (ci *countingIterator) Next() (postings.Posting, bool) {
+	p, ok := ci.it.Next()
+	if ok {
+		ci.c.Postings++
+	}
+	return p, ok
+}
+
+func (ci *countingIterator) DF() uint64 { return ci.it.DF() }
+func (ci *countingIterator) Err() error { return ci.it.Err() }
+
+// NumDocs implements inference.Source.
+func (e *Engine) NumDocs() int { return len(e.docLens) }
+
+// DocLen implements inference.Source.
+func (e *Engine) DocLen(doc uint32) int {
+	if int(doc) >= len(e.docLens) {
+		return 0
+	}
+	return int(e.docLens[doc])
+}
+
+// AvgDocLen implements inference.Source.
+func (e *Engine) AvgDocLen() float64 {
+	if len(e.docLens) == 0 {
+		return 0
+	}
+	return float64(e.total) / float64(len(e.docLens))
+}
+
+// ListSize returns the encoded size of a term's inverted list without
+// fetching it (from the dictionary), for distribution analyses.
+func (e *Engine) ListSize(term string) (int, bool) {
+	entry, ok := e.dict.Lookup(e.an.Normalize(term))
+	if !ok {
+		return 0, false
+	}
+	return int(entry.ListBytes), true
+}
+
+// SaveMeta persists the dictionary and document table (after updates)
+// and flushes the backend.
+func (e *Engine) SaveMeta() error {
+	if err := saveLexicon(e.fs, e.name, e.dict); err != nil {
+		return err
+	}
+	if err := saveDocMeta(e.fs, e.name, e.docLens, e.total); err != nil {
+		return err
+	}
+	return e.backend.Flush()
+}
+
+// Explain returns the belief breakdown a query assigns to one document:
+// the inference network's per-node evidence combination, with leaf-level
+// tf/df detail. The root belief equals the document's Search score.
+func (e *Engine) Explain(query string, doc uint32) (*inference.Explanation, error) {
+	n, err := e.normalizeQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return &inference.Explanation{Op: "(all terms stopped)", Belief: 0}, nil
+	}
+	return inference.Explain(n, e, doc)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/postings"
+)
+
+// Incremental modification. The paper (§2) identifies inverted-list
+// update as the hard case for the custom keyed file — inserting entries
+// into the middle of very large sorted objects — and notes that INQUERY
+// therefore re-indexes the whole collection. Mneme's object model makes
+// single-document addition and deletion practical: records are objects
+// whose identifiers survive relocation and whose pool can change as the
+// list crosses a size-class boundary. These operations are available
+// only on the Mneme backend; the B-tree backend returns ErrNoUpdate,
+// mirroring the original system.
+
+// AddDocument indexes one new document into the open collection,
+// updating every touched inverted list in place. It returns the new
+// document's identifier. Call SaveMeta to persist dictionary and
+// document-table changes.
+func (e *Engine) AddDocument(text string) (uint32, error) {
+	if e.kind != BackendMneme {
+		return 0, ErrNoUpdate
+	}
+	docID := uint32(len(e.docLens))
+	toks := e.an.Tokens(text)
+
+	// Group positions per term.
+	perTerm := make(map[string][]uint32)
+	for _, t := range toks {
+		perTerm[t.Term] = append(perTerm[t.Term], t.Pos)
+	}
+	// Deterministic application order.
+	terms := make([]string, 0, len(perTerm))
+	for t := range perTerm {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	for _, term := range terms {
+		positions := perTerm[term]
+		add := postings.Posting{Doc: docID, Positions: positions}
+		entry := e.dict.Intern(term)
+		var rec []byte
+		if ref, ok := e.refOf(entry); ok {
+			old, err := e.backend.Fetch(ref)
+			if err != nil {
+				return 0, fmt.Errorf("core: add document: fetch %q: %w", term, err)
+			}
+			rec, err = postings.Merge(old, []postings.Posting{add})
+			if err != nil {
+				return 0, err
+			}
+			nref, err := e.backend.Update(ref, rec)
+			if err != nil {
+				return 0, err
+			}
+			entry.Ref = nref
+		} else {
+			rec = postings.Encode([]postings.Posting{add})
+			nref, err := e.backend.Store(rec)
+			if err != nil {
+				return 0, err
+			}
+			entry.Ref = nref
+		}
+		entry.CTF += uint64(len(positions))
+		entry.DF++
+		entry.ListBytes = uint32(len(rec))
+	}
+	e.docLens = append(e.docLens, uint32(len(toks)))
+	e.total += int64(len(toks))
+	return docID, nil
+}
+
+// DeleteDocument removes a document's entries from every inverted list
+// it appears in. Because the system keeps no forward index (neither did
+// INQUERY), the caller must supply the document's original text. Lists
+// emptied by the deletion are kept as header-only records.
+func (e *Engine) DeleteDocument(docID uint32, text string) error {
+	if e.kind != BackendMneme {
+		return ErrNoUpdate
+	}
+	if int(docID) >= len(e.docLens) {
+		return fmt.Errorf("core: delete document %d: no such document", docID)
+	}
+	toks := e.an.Tokens(text)
+	perTerm := make(map[string]int)
+	for _, t := range toks {
+		perTerm[t.Term]++
+	}
+	terms := make([]string, 0, len(perTerm))
+	for t := range perTerm {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	for _, term := range terms {
+		entry, ok := e.dict.Lookup(term)
+		if !ok {
+			continue
+		}
+		ref, ok := e.refOf(entry)
+		if !ok {
+			continue
+		}
+		old, err := e.backend.Fetch(ref)
+		if err != nil {
+			return fmt.Errorf("core: delete document: fetch %q: %w", term, err)
+		}
+		// Confirm the document is actually in the list before adjusting
+		// statistics (the supplied text may not match what was indexed).
+		present := false
+		var tf uint64
+		r := postings.NewReader(old)
+		for {
+			p, ok := r.Next()
+			if !ok {
+				break
+			}
+			if p.Doc == docID {
+				present = true
+				tf = uint64(p.TF())
+				break
+			}
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if !present {
+			continue
+		}
+		rec, err := postings.Delete(old, []uint32{docID})
+		if err != nil {
+			return err
+		}
+		nref, err := e.backend.Update(ref, rec)
+		if err != nil {
+			return err
+		}
+		entry.Ref = nref
+		entry.CTF -= tf
+		entry.DF--
+		entry.ListBytes = uint32(len(rec))
+	}
+	e.total -= int64(e.docLens[docID])
+	e.docLens[docID] = 0
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package eval computes the standard IR effectiveness metrics — recall
+// and precision — that the paper holds fixed across systems ("The
+// portion of the system that determines those factors is fixed across
+// the two systems we are comparing", §4). It exists so the reproduction
+// can demonstrate, as the paper's batch runs did with relevance files,
+// that swapping the storage subsystem leaves retrieval quality
+// untouched.
+package eval
+
+import "sort"
+
+// Metrics summarizes one query's effectiveness.
+type Metrics struct {
+	Relevant          int     // |relevant set|
+	Retrieved         int     // |ranked list|
+	RelevantRetrieved int     // hits anywhere in the ranking
+	Recall            float64 // RelevantRetrieved / Relevant
+	Precision         float64 // RelevantRetrieved / Retrieved
+	AveragePrecision  float64 // mean precision at each relevant hit
+	RPrecision        float64 // precision at rank |relevant|
+	PrecisionAt       map[int]float64
+	// Interpolated11 holds interpolated precision at recall points
+	// 0.0, 0.1, ..., 1.0 — the classic recall-precision curve.
+	Interpolated11 [11]float64
+}
+
+// standard cutoffs for precision-at-k.
+var cutoffs = []int{5, 10, 20, 100}
+
+// Evaluate scores a ranked document list against a relevance set.
+func Evaluate(ranked []uint32, relevant map[uint32]bool) Metrics {
+	m := Metrics{
+		Relevant:    len(relevant),
+		Retrieved:   len(ranked),
+		PrecisionAt: make(map[int]float64, len(cutoffs)),
+	}
+	if len(relevant) == 0 {
+		return m
+	}
+	hits := 0
+	var sumPrec float64
+	precAtRank := make([]float64, len(ranked))
+	for i, doc := range ranked {
+		if relevant[doc] {
+			hits++
+			sumPrec += float64(hits) / float64(i+1)
+		}
+		precAtRank[i] = float64(hits) / float64(i+1)
+		if i+1 == len(relevant) {
+			m.RPrecision = float64(hits) / float64(i+1)
+		}
+	}
+	m.RelevantRetrieved = hits
+	m.Recall = float64(hits) / float64(len(relevant))
+	if len(ranked) > 0 {
+		m.Precision = float64(hits) / float64(len(ranked))
+	}
+	m.AveragePrecision = sumPrec / float64(len(relevant))
+	for _, k := range cutoffs {
+		n := k
+		if n > len(ranked) {
+			n = len(ranked)
+		}
+		h := 0
+		for _, doc := range ranked[:n] {
+			if relevant[doc] {
+				h++
+			}
+		}
+		if k > 0 {
+			m.PrecisionAt[k] = float64(h) / float64(k)
+		}
+	}
+	m.Interpolated11 = interpolated(ranked, relevant)
+	return m
+}
+
+// interpolated computes the 11-point interpolated precision curve:
+// at each recall level r, the maximum precision at any rank achieving
+// recall >= r.
+func interpolated(ranked []uint32, relevant map[uint32]bool) [11]float64 {
+	var out [11]float64
+	if len(relevant) == 0 {
+		return out
+	}
+	type point struct{ recall, precision float64 }
+	var pts []point
+	hits := 0
+	for i, doc := range ranked {
+		if relevant[doc] {
+			hits++
+			pts = append(pts, point{
+				recall:    float64(hits) / float64(len(relevant)),
+				precision: float64(hits) / float64(i+1),
+			})
+		}
+	}
+	for level := 0; level <= 10; level++ {
+		r := float64(level) / 10
+		best := 0.0
+		for _, p := range pts {
+			if p.recall >= r-1e-12 && p.precision > best {
+				best = p.precision
+			}
+		}
+		out[level] = best
+	}
+	return out
+}
+
+// Summary aggregates metrics over a query set.
+type Summary struct {
+	Queries            int
+	MeanAvgPrecision   float64
+	MeanRecall         float64
+	MeanRPrecision     float64
+	MeanPrecisionAt    map[int]float64
+	MeanInterpolated11 [11]float64
+}
+
+// Summarize averages per-query metrics, skipping queries that had no
+// relevance judgments.
+func Summarize(ms []Metrics) Summary {
+	s := Summary{MeanPrecisionAt: make(map[int]float64)}
+	for _, m := range ms {
+		if m.Relevant == 0 {
+			continue
+		}
+		s.Queries++
+		s.MeanAvgPrecision += m.AveragePrecision
+		s.MeanRecall += m.Recall
+		s.MeanRPrecision += m.RPrecision
+		for k, v := range m.PrecisionAt {
+			s.MeanPrecisionAt[k] += v
+		}
+		for i, v := range m.Interpolated11 {
+			s.MeanInterpolated11[i] += v
+		}
+	}
+	if s.Queries == 0 {
+		return s
+	}
+	n := float64(s.Queries)
+	s.MeanAvgPrecision /= n
+	s.MeanRecall /= n
+	s.MeanRPrecision /= n
+	keys := make([]int, 0, len(s.MeanPrecisionAt))
+	for k := range s.MeanPrecisionAt {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		s.MeanPrecisionAt[k] /= n
+	}
+	for i := range s.MeanInterpolated11 {
+		s.MeanInterpolated11[i] /= n
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rel(docs ...uint32) map[uint32]bool {
+	m := make(map[uint32]bool)
+	for _, d := range docs {
+		m[d] = true
+	}
+	return m
+}
+
+func TestPerfectRanking(t *testing.T) {
+	m := Evaluate([]uint32{1, 2, 3}, rel(1, 2, 3))
+	if m.Recall != 1 || m.Precision != 1 || m.AveragePrecision != 1 || m.RPrecision != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	for _, v := range m.Interpolated11 {
+		if v != 1 {
+			t.Fatalf("interpolated = %v", m.Interpolated11)
+		}
+	}
+}
+
+func TestKnownAveragePrecision(t *testing.T) {
+	// Relevant docs at ranks 1 and 3 of {1, 9, 2}; relevant = {1, 2}.
+	// AP = (1/1 + 2/3) / 2 = 5/6.
+	m := Evaluate([]uint32{1, 9, 2}, rel(1, 2))
+	if math.Abs(m.AveragePrecision-5.0/6) > 1e-12 {
+		t.Fatalf("AP = %v, want 5/6", m.AveragePrecision)
+	}
+	if m.RelevantRetrieved != 2 || m.Recall != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// R-precision at rank 2: one hit of two = 0.5.
+	if m.RPrecision != 0.5 {
+		t.Fatalf("RPrec = %v", m.RPrecision)
+	}
+}
+
+func TestMissedRelevant(t *testing.T) {
+	m := Evaluate([]uint32{5, 6}, rel(1, 2, 5))
+	if m.RelevantRetrieved != 1 {
+		t.Fatalf("hits = %d", m.RelevantRetrieved)
+	}
+	if math.Abs(m.Recall-1.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", m.Recall)
+	}
+	if m.PrecisionAt[5] != 0.2 { // 1 hit in (2 retrieved, padded to k=5)
+		t.Fatalf("P@5 = %v", m.PrecisionAt[5])
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	m := Evaluate(nil, rel(1))
+	if m.Recall != 0 || m.AveragePrecision != 0 {
+		t.Fatalf("empty ranking metrics = %+v", m)
+	}
+	m = Evaluate([]uint32{1, 2}, nil)
+	if m.Relevant != 0 || m.Recall != 0 {
+		t.Fatalf("no judgments metrics = %+v", m)
+	}
+}
+
+func TestInterpolatedMonotone(t *testing.T) {
+	m := Evaluate([]uint32{9, 1, 8, 2, 7, 3}, rel(1, 2, 3))
+	for i := 1; i < 11; i++ {
+		if m.Interpolated11[i] > m.Interpolated11[i-1]+1e-12 {
+			t.Fatalf("interpolated curve not non-increasing: %v", m.Interpolated11)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := []Metrics{
+		Evaluate([]uint32{1, 2}, rel(1, 2)),
+		Evaluate([]uint32{9, 1}, rel(1, 3)),
+		Evaluate([]uint32{5}, nil), // skipped: no judgments
+	}
+	s := Summarize(ms)
+	if s.Queries != 2 {
+		t.Fatalf("Queries = %d", s.Queries)
+	}
+	if s.MeanRecall <= 0 || s.MeanRecall > 1 {
+		t.Fatalf("MeanRecall = %v", s.MeanRecall)
+	}
+	if s.MeanAvgPrecision <= 0 {
+		t.Fatalf("MAP = %v", s.MeanAvgPrecision)
+	}
+	empty := Summarize(nil)
+	if empty.Queries != 0 {
+		t.Fatal("empty summary nonzero")
+	}
+}
+
+// TestPropertyBounds: all metrics stay in [0,1]; recall equals hits over
+// relevant; better rankings never lower AP.
+func TestPropertyBounds(t *testing.T) {
+	check := func(rankedRaw []uint16, relRaw []uint16) bool {
+		seen := make(map[uint32]bool)
+		var ranked []uint32
+		for _, r := range rankedRaw {
+			d := uint32(r % 100)
+			if !seen[d] {
+				seen[d] = true
+				ranked = append(ranked, d)
+			}
+		}
+		relevant := make(map[uint32]bool)
+		for _, r := range relRaw {
+			relevant[uint32(r%100)] = true
+		}
+		m := Evaluate(ranked, relevant)
+		in01 := func(v float64) bool { return v >= 0 && v <= 1+1e-12 }
+		if !in01(m.Recall) || !in01(m.Precision) || !in01(m.AveragePrecision) || !in01(m.RPrecision) {
+			return false
+		}
+		if len(relevant) > 0 && m.Recall != float64(m.RelevantRetrieved)/float64(len(relevant)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

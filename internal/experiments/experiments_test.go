@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Tests run at a reduced scale to keep the suite fast; they assert the
+// robust qualitative shapes (orderings, A values, caching relations)
+// that hold across scales. The full-scale reproduction is exercised by
+// cmd/repro and the root benchmarks.
+const testScale = 0.2
+
+var (
+	sharedLabOnce sync.Once
+	sharedLabVal  *Lab
+)
+
+func sharedLab() *Lab {
+	sharedLabOnce.Do(func() {
+		sharedLabVal = NewLab(testScale)
+	})
+	return sharedLabVal
+}
+
+func TestCollectionBuildAndMemoization(t *testing.T) {
+	l := sharedLab()
+	a, err := l.Collection("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Collection("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("collection not memoized")
+	}
+	if a.Stats.Records == 0 || a.Stats.BTreeBytes == 0 || a.Stats.MnemeBytes == 0 {
+		t.Fatalf("build stats = %+v", a.Stats)
+	}
+	if a.MaxList <= 0 {
+		t.Fatalf("MaxList = %d", a.MaxList)
+	}
+	if _, err := l.Collection("nope"); err == nil {
+		t.Fatal("unknown collection accepted")
+	}
+}
+
+func TestPlanForHeuristics(t *testing.T) {
+	b := &Built{MaxList: 100_000}
+	p := PlanFor(b)
+	if p.LargeBytes != 300_000 {
+		t.Fatalf("large = %d, want 3x max list", p.LargeBytes)
+	}
+	if p.MediumBytes != 27_000 {
+		t.Fatalf("medium = %d, want 9%% of large", p.MediumBytes)
+	}
+	if p.SmallBytes != 3*4096 {
+		t.Fatalf("small = %d, want 3 segments", p.SmallBytes)
+	}
+	// The CACM rule: medium never below 3 medium segments.
+	b = &Built{MaxList: 1000}
+	p = PlanFor(b)
+	if p.MediumBytes != 3*8192 {
+		t.Fatalf("medium floor = %d", p.MediumBytes)
+	}
+}
+
+func TestRunMemoizedAndDeterministic(t *testing.T) {
+	l := sharedLab()
+	r1, err := l.Run("CACM", 0, SysBTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Run("CACM", 0, SysBTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("run not memoized")
+	}
+	// A fresh run reproduces the counters exactly (determinism).
+	r3, err := l.RunFresh("CACM", 0, SysBTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.IO != r1.IO || r3.Lookups != r1.Lookups || r3.Postings != r1.Postings {
+		t.Fatalf("fresh run differs: %+v vs %+v", r3.IO, r1.IO)
+	}
+	if _, err := l.Run("CACM", 9, SysBTree); err == nil {
+		t.Fatal("bad query set accepted")
+	}
+	if _, err := l.Run("CACM", 0, System(9)); err == nil {
+		t.Fatal("bad system accepted")
+	}
+}
+
+// TestPaperShapeOrdering asserts the headline result: the B-tree version
+// is slowest and Mneme-with-cache fastest, with the system+I/O gap
+// larger than the wall-clock gap.
+func TestPaperShapeOrdering(t *testing.T) {
+	l := sharedLab()
+	for _, p := range matrix() {
+		bt, err := l.Run(p.col, p.qs, SysBTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := l.Run(p.col, p.qs, SysMnemeNoCache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := l.Run(p.col, p.qs, SysMnemeCache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(c.SysIO < bt.SysIO) {
+			t.Errorf("%s/%s: Mneme-cache sys+io %v !< B-tree %v", p.col, bt.QuerySet, c.SysIO, bt.SysIO)
+		}
+		if !(c.SysIO <= nc.SysIO) {
+			t.Errorf("%s/%s: caching made sys+io worse: %v vs %v", p.col, bt.QuerySet, c.SysIO, nc.SysIO)
+		}
+		if !(c.Wall < bt.Wall) {
+			t.Errorf("%s/%s: Mneme-cache wall %v !< B-tree %v", p.col, bt.QuerySet, c.Wall, bt.Wall)
+		}
+		// User CPU is identical across versions (same engine work).
+		if bt.UserCPU != nc.UserCPU || nc.UserCPU != c.UserCPU {
+			t.Errorf("%s/%s: user CPU differs across versions", p.col, bt.QuerySet)
+		}
+		// Relative improvement is larger for sys+io than wall clock.
+		wImp := float64(bt.Wall-c.Wall) / float64(bt.Wall)
+		sImp := float64(bt.SysIO-c.SysIO) / float64(bt.SysIO)
+		if sImp <= wImp {
+			t.Errorf("%s/%s: sys+io improvement %.2f not larger than wall %.2f", p.col, bt.QuerySet, sImp, wImp)
+		}
+	}
+}
+
+// TestTable5Shapes asserts the paper's I/O statistics relations.
+func TestTable5Shapes(t *testing.T) {
+	l := sharedLab()
+	for _, p := range matrix() {
+		bt, _ := l.Run(p.col, p.qs, SysBTree)
+		nc, _ := l.Run(p.col, p.qs, SysMnemeNoCache)
+		c, _ := l.Run(p.col, p.qs, SysMnemeCache)
+		// "Mneme ... requires close to 1 file access per record lookup."
+		if nc.A() != 1.0 {
+			t.Errorf("%s/%s: Mneme no-cache A = %.3f, want exactly 1", p.col, nc.QuerySet, nc.A())
+		}
+		// "every record lookup requires more than one disk access" for
+		// the B-tree; the baseline exceeds 1.5 accesses per lookup.
+		if bt.A() <= 1.5 {
+			t.Errorf("%s/%s: B-tree A = %.3f, want > 1.5", p.col, bt.QuerySet, bt.A())
+		}
+		// Record caching drops A below 1.
+		if c.A() >= 1.0 {
+			t.Errorf("%s/%s: Mneme cache A = %.3f, want < 1", p.col, c.QuerySet, c.A())
+		}
+		// The B-tree reads the most disk blocks.
+		if bt.IO.DiskReads < nc.IO.DiskReads {
+			t.Errorf("%s/%s: B-tree I %d < Mneme I %d", p.col, bt.QuerySet, bt.IO.DiskReads, nc.IO.DiskReads)
+		}
+		// Caching never increases bytes read.
+		if c.IO.BytesRead > nc.IO.BytesRead {
+			t.Errorf("%s/%s: caching increased B: %d > %d", p.col, c.QuerySet, c.IO.BytesRead, nc.IO.BytesRead)
+		}
+	}
+	// CACM: "the Mneme version reads substantially more bytes from the
+	// file ... because the CACM queries generate more activity in the
+	// small and medium object pools, which have multiple objects
+	// clustered in physical segments."
+	bt, _ := l.Run("CACM", 0, SysBTree)
+	nc, _ := l.Run("CACM", 0, SysMnemeNoCache)
+	if nc.IO.BytesRead <= bt.IO.BytesRead {
+		t.Errorf("CACM: Mneme bytes %d not greater than B-tree %d", nc.IO.BytesRead, bt.IO.BytesRead)
+	}
+}
+
+// TestABTreeGrowsWithCollection asserts the height effect: "This problem
+// gets worse as the file grows and the height of the index tree
+// increases."
+func TestABTreeGrowsWithCollection(t *testing.T) {
+	l := sharedLab()
+	cacm, _ := l.Run("CACM", 0, SysBTree)
+	tip, _ := l.Run("TIPSTER", 0, SysBTree)
+	if tip.A() <= cacm.A() {
+		t.Errorf("B-tree A did not grow: CACM %.2f vs TIPSTER %.2f", cacm.A(), tip.A())
+	}
+}
+
+func TestTable6HitRates(t *testing.T) {
+	l := sharedLab()
+	r, err := l.Run("TIPSTER", 0, SysMnemeCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := r.Buffers["large"]
+	md := r.Buffers["medium"]
+	if lg.Refs == 0 || md.Refs == 0 {
+		t.Fatalf("no pool traffic: %+v", r.Buffers)
+	}
+	if lg.HitRate() <= 0 || lg.HitRate() >= 1 {
+		t.Fatalf("large hit rate = %.3f", lg.HitRate())
+	}
+	// Small object access is minor relative to medium and large pools.
+	if sm := r.Buffers["small"]; sm.Refs > md.Refs/2 || sm.Refs > lg.Refs/2 {
+		t.Fatalf("small pool refs %d unexpectedly high (md %d, lg %d)", sm.Refs, md.Refs, lg.Refs)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	l := sharedLab()
+	tables, err := l.AllTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 6 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for i, tb := range tables {
+		s := tb.String()
+		if !strings.Contains(s, "Table") || len(tb.Rows) == 0 {
+			t.Fatalf("table %d malformed:\n%s", i+1, s)
+		}
+		// Every row has as many cells as the header.
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("table %d: row width %d != header %d", i+1, len(row), len(tb.Header))
+			}
+		}
+	}
+	// Tables 3-5 carry the full seven-row matrix.
+	for _, idx := range []int{2, 3, 4} {
+		if len(tables[idx].Rows) != 7 {
+			t.Fatalf("table %d has %d rows, want 7", idx+1, len(tables[idx].Rows))
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	l := sharedLab()
+	f, err := l.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	rec, bytes := f.Series[0].Points, f.Series[1].Points
+	// Both cumulative curves are non-decreasing and end at 100%.
+	for _, pts := range [][]Point{rec, bytes} {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Y < pts[i-1].Y-1e-9 {
+				t.Fatal("cumulative curve decreases")
+			}
+		}
+		if last := pts[len(pts)-1].Y; last < 99.999 {
+			t.Fatalf("curve ends at %.2f%%", last)
+		}
+	}
+	// The paper's key observation: where half the records are counted,
+	// they hold only a small fraction of the file bytes.
+	for i, p := range rec {
+		if p.Y >= 50 {
+			if bytes[i].Y > 20 {
+				t.Fatalf("at 50%% of records, %.1f%% of bytes (want small)", bytes[i].Y)
+			}
+			break
+		}
+	}
+	if !strings.Contains(f.CSV(), "series,x,y") {
+		t.Fatal("CSV header missing")
+	}
+	if out := f.ASCII(60, 12); !strings.Contains(out, "Figure 1") {
+		t.Fatal("ASCII render missing title")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	l := sharedLab()
+	f, err := l.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := f.Series[0].Points
+	if len(pts) < 3 {
+		t.Fatalf("too few buckets: %d", len(pts))
+	}
+	// Uses concentrate on large lists: the biggest-size half of the
+	// buckets must hold most accesses.
+	var small, large float64
+	for i, p := range pts {
+		if i < len(pts)/2 {
+			small += p.Y
+		} else {
+			large += p.Y
+		}
+	}
+	if large <= small {
+		t.Fatalf("accesses not concentrated on large lists: %f vs %f", small, large)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	l := sharedLab()
+	f, err := l.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := f.Series[0].Points
+	if len(pts) < 6 {
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+	first, last := pts[0].Y, pts[len(pts)-1].Y
+	if last <= first {
+		t.Fatalf("hit rate did not grow with buffer size: %.3f -> %.3f", first, last)
+	}
+	// Diminishing returns: the second half of the sweep gains less than
+	// the first half.
+	mid := pts[len(pts)/2].Y
+	if (mid - first) <= (last - mid) {
+		t.Fatalf("no knee: first-half gain %.3f, second-half gain %.3f", mid-first, last-mid)
+	}
+	// Buffer sizes ascend.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatal("sweep sizes not ascending")
+		}
+	}
+}
+
+func TestAblationReserve(t *testing.T) {
+	l := sharedLab()
+	tb, err := l.AblationReserve("Legal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "reserve") {
+		t.Fatal("table missing variant label")
+	}
+}
+
+func TestAblationSinglePool(t *testing.T) {
+	l := sharedLab()
+	tb, err := l.AblationSinglePool("CACM", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestAblationSegmentSize(t *testing.T) {
+	l := sharedLab()
+	tb, err := l.AblationSegmentSize("CACM", 0, []int{4096, 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestAblationBufferPolicy(t *testing.T) {
+	l := sharedLab()
+	tb, err := l.AblationBufferPolicy("CACM", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "clock") {
+		t.Fatal("policy rows missing")
+	}
+}
+
+func TestAblationChunkedLists(t *testing.T) {
+	l := sharedLab()
+	tb, err := l.AblationChunkedLists("CACM", 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestAnalyzeCollections(t *testing.T) {
+	l := sharedLab()
+	tb, err := l.AnalyzeCollections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Compression must be substantial (paper: ~60%) for every
+	// collection: encoded is much smaller than the raw integer vector.
+	for _, row := range tb.Rows {
+		comp := row[len(row)-1]
+		if comp == "0%" {
+			t.Fatalf("%s: no compression measured", row[0])
+		}
+	}
+}
+
+func TestAnalyzeQueryRepetition(t *testing.T) {
+	l := sharedLab()
+	tb, err := l.AnalyzeQueryRepetition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Every set shows repetition: lookups exceed distinct terms.
+	for _, row := range tb.Rows {
+		if row[5] <= "1.00" && len(row[5]) == 4 {
+			t.Fatalf("%s/%s: no repetition (ratio %s)", row[0], row[1], row[5])
+		}
+	}
+}

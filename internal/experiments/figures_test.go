@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIPlotRendering(t *testing.T) {
+	f := &Figure{
+		Title:  "test figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "one", Points: []Point{{1, 1}, {2, 4}, {3, 9}}},
+			{Name: "two", Points: []Point{{1, 2}, {2, 3}}},
+		},
+	}
+	out := f.ASCII(40, 10)
+	if !strings.Contains(out, "test figure") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* = one") || !strings.Contains(out, "o = two") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	// Log-x variant labels the axis accordingly.
+	f.LogX = true
+	out = f.ASCII(40, 10)
+	if !strings.Contains(out, "log scale") {
+		t.Fatal("log-scale label missing")
+	}
+	// Tiny dimensions are clamped, not crashed.
+	if out := f.ASCII(1, 1); !strings.Contains(out, "test figure") {
+		t.Fatal("clamped render failed")
+	}
+}
+
+func TestASCIIPlotEmptyAndDegenerate(t *testing.T) {
+	empty := &Figure{Title: "empty"}
+	if out := empty.ASCII(40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty figure rendered: %q", out)
+	}
+	single := &Figure{
+		Title:  "single",
+		Series: []Series{{Name: "s", Points: []Point{{5, 5}}}},
+	}
+	if out := single.ASCII(40, 10); !strings.Contains(out, "no data") {
+		// A single x value has zero range; the renderer reports no data
+		// rather than dividing by zero.
+		t.Fatalf("degenerate figure rendered: %q", out)
+	}
+	flat := &Figure{
+		Title:  "flat",
+		Series: []Series{{Name: "s", Points: []Point{{1, 3}, {2, 3}}}},
+	}
+	if out := flat.ASCII(40, 10); !strings.Contains(out, "flat") {
+		t.Fatal("flat series failed to render")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 2}}},
+			{Name: "b", Points: []Point{{3, 4.5}}},
+		},
+	}
+	csv := f.CSV()
+	want := "series,x,y\na,1,2\nb,3,4.5\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	pts := logSpace(1, 1000, 4)
+	if len(pts) != 4 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0] != 1 || pts[3] < 999 || pts[3] > 1001 {
+		t.Fatalf("endpoints = %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatal("not increasing")
+		}
+	}
+	// Degenerate range collapses to one point.
+	if got := logSpace(5, 5, 10); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate = %v", got)
+	}
+}
+
+func TestTableStringAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"wide-cell-content", "x"}},
+		Note:   "note line",
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, row, note
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Header and row columns align: the second column starts at the
+	// same offset in both.
+	hdr, row := lines[1], lines[3]
+	if strings.Index(hdr, "long-header") != strings.Index(row, "x") {
+		t.Fatalf("misaligned:\n%s\n%s", hdr, row)
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		sb.WriteString(t.Note)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func kb(n int64) string { return fmt.Sprintf("%d", (n+1023)/1024) }
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// Table1 reproduces the collection statistics table: document counts,
+// collection sizes, record counts, and index file sizes for both
+// managers, with the paper's original numbers alongside.
+func (l *Lab) Table1() (*Table, error) {
+	t := &Table{
+		Title: "Table 1: Document collection statistics. All sizes are in Kbytes.",
+		Header: []string{"Collection", "Docs", "Size", "Records", "B-Tree", "Mneme",
+			"(paper: Docs", "Records)"},
+		Note: "Paper columns show the original corpora; measured columns are the scaled synthetic models.",
+	}
+	for _, c := range collectionNames() {
+		b, err := l.Collection(c)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			c,
+			fmt.Sprintf("%d", b.Stats.Docs),
+			kb(b.TextBytes),
+			fmt.Sprintf("%d", b.Stats.Records),
+			kb(b.Stats.BTreeBytes),
+			kb(b.Stats.MnemeBytes),
+			fmt.Sprintf("%d", b.Col.PaperDocs),
+			fmt.Sprintf("%d", b.Col.PaperRecords),
+		})
+	}
+	return t, nil
+}
+
+func collectionNames() []string {
+	return []string{"CACM", "Legal", "TIPSTER1", "TIPSTER"}
+}
+
+// Table2 reproduces the Mneme buffer-size table computed by the paper's
+// heuristics.
+func (l *Lab) Table2() (*Table, error) {
+	t := &Table{
+		Title:  "Table 2: Mneme buffer sizes for the different collections. All sizes are in Kbytes.",
+		Header: []string{"Collection", "Small", "Medium", "Large"},
+		Note:   "large = 3 x largest inverted list; medium = 9% of large (min 3 segments); small = 3 segments.",
+	}
+	for _, c := range collectionNames() {
+		b, err := l.Collection(c)
+		if err != nil {
+			return nil, err
+		}
+		p := PlanFor(b)
+		t.Rows = append(t.Rows, []string{
+			c,
+			fmt.Sprintf("%.1f", float64(p.SmallBytes)/1024),
+			fmt.Sprintf("%.1f", float64(p.MediumBytes)/1024),
+			fmt.Sprintf("%.1f", float64(p.LargeBytes)/1024),
+		})
+	}
+	return t, nil
+}
+
+// timeTable renders Tables 3 and 4 (same matrix, different metric).
+func (l *Lab) timeTable(title string, metric func(*RunResult) time.Duration) (*Table, error) {
+	t := &Table{
+		Title:  title,
+		Header: []string{"Collection", "Query Set", "B-Tree", "Mneme, No Cache", "Mneme, Cache", "Improvement"},
+	}
+	for _, p := range matrix() {
+		var vals [3]time.Duration
+		var row []string
+		for i, sys := range Systems {
+			r, err := l.Run(p.col, p.qs, sys)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = metric(r)
+			if i == 0 {
+				row = append(row, p.col, r.QuerySet)
+			}
+			row = append(row, secs(vals[i]))
+		}
+		imp := 0.0
+		if vals[0] > 0 {
+			imp = float64(vals[0]-vals[2]) / float64(vals[0])
+		}
+		row = append(row, fmt.Sprintf("%.0f%%", imp*100))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table3 reproduces the wall-clock time comparison.
+func (l *Lab) Table3() (*Table, error) {
+	return l.timeTable(
+		"Table 3: Wall-clock times. All times are in seconds (1993 DECstation model).",
+		func(r *RunResult) time.Duration { return r.Wall })
+}
+
+// Table4 reproduces the system CPU plus I/O time comparison — "a more
+// precise measure of the portion of the system that varies across the
+// different versions".
+func (l *Lab) Table4() (*Table, error) {
+	return l.timeTable(
+		"Table 4: System CPU plus I/O times. All times are in seconds (1993 DECstation model).",
+		func(r *RunResult) time.Duration { return r.SysIO })
+}
+
+// Table5 reproduces the I/O statistics: I = 8 Kbyte blocks read from
+// disk, A = average file accesses per record lookup, B = Kbytes read
+// from the inverted file.
+func (l *Lab) Table5() (*Table, error) {
+	t := &Table{
+		Title: "Table 5: I/O statistics. I = I/O inputs, A = ave. file accesses / record lookup, B = total Kbytes read.",
+		Header: []string{"Collection", "QS",
+			"I(bt)", "A(bt)", "B(bt)",
+			"I(mn-nc)", "A(mn-nc)", "B(mn-nc)",
+			"I(mn-c)", "A(mn-c)", "B(mn-c)"},
+	}
+	for _, p := range matrix() {
+		var row []string
+		for i, sys := range Systems {
+			r, err := l.Run(p.col, p.qs, sys)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				row = append(row, p.col, r.QuerySet)
+			}
+			row = append(row,
+				fmt.Sprintf("%d", r.IO.DiskReads),
+				fmt.Sprintf("%.2f", r.A()),
+				kb(r.IO.BytesRead))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table6 reproduces the buffer hit rates for the Mneme-with-cache runs.
+func (l *Lab) Table6() (*Table, error) {
+	t := &Table{
+		Title: "Table 6: Buffer hit rates for the query sets (Mneme, Cache).",
+		Header: []string{"Collection", "QS",
+			"SmRefs", "SmHits", "SmRate",
+			"MdRefs", "MdHits", "MdRate",
+			"LgRefs", "LgHits", "LgRate"},
+	}
+	for _, p := range matrix() {
+		r, err := l.Run(p.col, p.qs, SysMnemeCache)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{p.col, r.QuerySet}
+		for _, pool := range []string{"small", "medium", "large"} {
+			bs := r.Buffers[pool]
+			row = append(row,
+				fmt.Sprintf("%d", bs.Refs),
+				fmt.Sprintf("%d", bs.Hits),
+				fmt.Sprintf("%.2f", bs.HitRate()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AllTables regenerates Tables 1-6 in order.
+func (l *Lab) AllTables() ([]*Table, error) {
+	var out []*Table
+	for _, fn := range []func() (*Table, error){
+		l.Table1, l.Table2, l.Table3, l.Table4, l.Table5, l.Table6,
+	} {
+		t, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

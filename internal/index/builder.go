@@ -1,0 +1,414 @@
+// Package index builds inverted file indices by external sort. The
+// paper: "Indexing a large collection can be very expensive because it
+// is dominated by a sorting problem, where the inverted list entries for
+// every term appearance in the collection are sorted by term identifier
+// and document identifier" (§2). The Builder buffers (term, doc,
+// position) tuples in memory, spills sorted runs to scratch files when
+// the buffer fills, and k-way merges the runs into a stream of encoded
+// inverted-list records in ascending term-id order — the order both the
+// B-tree bulk load and Mneme allocation consume.
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/lexicon"
+	"repro/internal/postings"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// Doc is one input document. Identifiers must be dense, starting at 0,
+// and added in ascending order.
+type Doc struct {
+	ID   uint32
+	Text string
+}
+
+// tuple is one term appearance.
+type tuple struct {
+	term uint32
+	doc  uint32
+	pos  uint32
+}
+
+// DefaultRunLimit is the default number of buffered tuples before a
+// sorted run is spilled (~12 bytes each).
+const DefaultRunLimit = 1 << 20
+
+// Builder accumulates documents and produces the merged record stream.
+type Builder struct {
+	fs       *vfs.FS
+	an       *textproc.Analyzer
+	dict     *lexicon.Dictionary
+	runLimit int
+	scratch  string // scratch file name prefix
+
+	buf     []tuple
+	runs    []string
+	docLens []uint32
+	total   int64
+	nextDoc uint32
+	done    bool
+}
+
+// Options configures a Builder.
+type Options struct {
+	// Analyzer tokenizes document text; nil selects the default.
+	Analyzer *textproc.Analyzer
+	// RunLimit caps buffered tuples before spilling; 0 selects the
+	// default. Small values force external sorting in tests.
+	RunLimit int
+	// Scratch prefixes the names of temporary run files.
+	Scratch string
+}
+
+// NewBuilder returns an empty Builder writing scratch runs into fs.
+func NewBuilder(fs *vfs.FS, opt Options) *Builder {
+	an := opt.Analyzer
+	if an == nil {
+		an = textproc.NewAnalyzer()
+	}
+	rl := opt.RunLimit
+	if rl <= 0 {
+		rl = DefaultRunLimit
+	}
+	scratch := opt.Scratch
+	if scratch == "" {
+		scratch = "indexrun"
+	}
+	return &Builder{fs: fs, an: an, dict: lexicon.New(), runLimit: rl, scratch: scratch}
+}
+
+// Dictionary exposes the term dictionary being built.
+func (b *Builder) Dictionary() *lexicon.Dictionary { return b.dict }
+
+// DocLens returns per-document token counts (indexed tokens only).
+func (b *Builder) DocLens() []uint32 { return b.docLens }
+
+// TotalLen returns the total number of indexed tokens.
+func (b *Builder) TotalLen() int64 { return b.total }
+
+// NumDocs returns the number of documents added.
+func (b *Builder) NumDocs() int { return len(b.docLens) }
+
+// Add tokenizes and buffers one document.
+func (b *Builder) Add(doc Doc) error {
+	if b.done {
+		return errors.New("index: builder already finished")
+	}
+	if doc.ID != b.nextDoc {
+		return fmt.Errorf("index: document ids must be dense and ascending: got %d, want %d", doc.ID, b.nextDoc)
+	}
+	toks := b.an.Tokens(doc.Text)
+	return b.addTokens(doc.ID, toks)
+}
+
+// AddTokens buffers a pre-tokenized document, bypassing text analysis —
+// used by the synthetic collection generators, which produce term
+// streams directly.
+func (b *Builder) AddTokens(id uint32, toks []textproc.Token) error {
+	if b.done {
+		return errors.New("index: builder already finished")
+	}
+	if id != b.nextDoc {
+		return fmt.Errorf("index: document ids must be dense and ascending: got %d, want %d", id, b.nextDoc)
+	}
+	return b.addTokens(id, toks)
+}
+
+func (b *Builder) addTokens(id uint32, toks []textproc.Token) error {
+	for _, tok := range toks {
+		e := b.dict.Intern(tok.Term)
+		e.CTF++
+		b.buf = append(b.buf, tuple{term: e.ID, doc: id, pos: tok.Pos})
+	}
+	b.docLens = append(b.docLens, uint32(len(toks)))
+	b.total += int64(len(toks))
+	b.nextDoc++
+	// Runs split only on document boundaries so that one document's
+	// positions for a term never straddle runs.
+	if len(b.buf) >= b.runLimit {
+		return b.spill()
+	}
+	return nil
+}
+
+// spill sorts the buffer and writes it as one run file.
+func (b *Builder) spill() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	sortTuples(b.buf)
+	name := fmt.Sprintf("%s.%d", b.scratch, len(b.runs))
+	f, err := b.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := newRunWriter(f)
+	for _, t := range b.buf {
+		w.write(t)
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	b.runs = append(b.runs, name)
+	b.buf = b.buf[:0]
+	return nil
+}
+
+func sortTuples(ts []tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.term != b.term {
+			return a.term < b.term
+		}
+		if a.doc != b.doc {
+			return a.doc < b.doc
+		}
+		return a.pos < b.pos
+	})
+}
+
+// Merged streams encoded inverted-list records in ascending term order.
+type Merged struct {
+	b       *Builder
+	sources []tupleSource
+	heads   []tuple
+	alive   []bool
+	err     error
+
+	// Records counts records emitted; ListBytes their total size.
+	Records   int64
+	ListBytes int64
+}
+
+// tupleSource yields sorted tuples: either the in-memory buffer tail or
+// a run file.
+type tupleSource interface {
+	next() (tuple, bool, error)
+}
+
+type memSource struct {
+	ts []tuple
+	i  int
+}
+
+func (m *memSource) next() (tuple, bool, error) {
+	if m.i >= len(m.ts) {
+		return tuple{}, false, nil
+	}
+	t := m.ts[m.i]
+	m.i++
+	return t, true, nil
+}
+
+// Finish seals the builder and returns the merged record stream. The
+// caller must drain the stream with Next and then call Close to remove
+// scratch files.
+func (b *Builder) Finish() (*Merged, error) {
+	if b.done {
+		return nil, errors.New("index: builder already finished")
+	}
+	b.done = true
+	sortTuples(b.buf)
+	m := &Merged{b: b}
+	m.sources = append(m.sources, &memSource{ts: b.buf})
+	for _, name := range b.runs {
+		f, err := b.fs.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		m.sources = append(m.sources, newRunReader(f))
+	}
+	m.heads = make([]tuple, len(m.sources))
+	m.alive = make([]bool, len(m.sources))
+	for i, s := range m.sources {
+		t, ok, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		m.heads[i], m.alive[i] = t, ok
+	}
+	return m, nil
+}
+
+// minSource returns the index of the source with the smallest head, or
+// -1 when all are exhausted. Linear scan: run counts are small.
+func (m *Merged) minSource() int {
+	best := -1
+	for i, ok := range m.alive {
+		if !ok {
+			continue
+		}
+		if best < 0 || tupleLess(m.heads[i], m.heads[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func tupleLess(a, b tuple) bool {
+	if a.term != b.term {
+		return a.term < b.term
+	}
+	if a.doc != b.doc {
+		return a.doc < b.doc
+	}
+	return a.pos < b.pos
+}
+
+func (m *Merged) advance(i int) error {
+	t, ok, err := m.sources[i].next()
+	if err != nil {
+		return err
+	}
+	m.heads[i], m.alive[i] = t, ok
+	return nil
+}
+
+// Next returns the next term's encoded record. The builder's dictionary
+// entry for the term has its DF and ListBytes fields updated as a side
+// effect (CTF was maintained during Add). ok=false ends the stream.
+func (m *Merged) Next() (termID uint32, rec []byte, ok bool, err error) {
+	if m.err != nil {
+		return 0, nil, false, m.err
+	}
+	src := m.minSource()
+	if src < 0 {
+		return 0, nil, false, nil
+	}
+	term := m.heads[src].term
+	var ps []postings.Posting
+	var cur *postings.Posting
+	for {
+		src = m.minSource()
+		if src < 0 || m.heads[src].term != term {
+			break
+		}
+		t := m.heads[src]
+		if cur == nil || cur.Doc != t.doc {
+			ps = append(ps, postings.Posting{Doc: t.doc})
+			cur = &ps[len(ps)-1]
+		}
+		cur.Positions = append(cur.Positions, t.pos)
+		if err := m.advance(src); err != nil {
+			m.err = err
+			return 0, nil, false, err
+		}
+	}
+	rec = postings.Encode(ps)
+	e := m.b.dict.ByID(term)
+	e.DF = uint64(len(ps))
+	e.ListBytes = uint32(len(rec))
+	m.Records++
+	m.ListBytes += int64(len(rec))
+	return term, rec, true, nil
+}
+
+// Close removes scratch run files.
+func (m *Merged) Close() error {
+	for _, name := range m.b.runs {
+		if err := m.b.fs.Remove(name); err != nil {
+			return err
+		}
+	}
+	m.b.runs = nil
+	return nil
+}
+
+// --- run file I/O ---
+
+// runWriter buffers varint-encoded tuples into block-sized writes.
+type runWriter struct {
+	f   *vfs.File
+	buf []byte
+	off int64
+	err error
+}
+
+func newRunWriter(f *vfs.File) *runWriter {
+	return &runWriter{f: f, buf: make([]byte, 0, 1<<16)}
+}
+
+func (w *runWriter) write(t tuple) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(t.term))
+	w.buf = binary.AppendUvarint(w.buf, uint64(t.doc))
+	w.buf = binary.AppendUvarint(w.buf, uint64(t.pos))
+	if len(w.buf) >= 1<<16-16 {
+		w.flushBuf()
+	}
+}
+
+func (w *runWriter) flushBuf() {
+	if w.err != nil || len(w.buf) == 0 {
+		return
+	}
+	_, w.err = w.f.WriteAt(w.buf, w.off)
+	w.off += int64(len(w.buf))
+	w.buf = w.buf[:0]
+}
+
+func (w *runWriter) flush() error {
+	w.flushBuf()
+	return w.err
+}
+
+// runReader streams tuples back from a run file.
+type runReader struct {
+	f    *vfs.File
+	size int64
+	off  int64
+	buf  []byte
+	pos  int
+}
+
+func newRunReader(f *vfs.File) *runReader {
+	return &runReader{f: f, size: f.Size()}
+}
+
+// fill ensures at least 16 decodable bytes remain (or end of file).
+func (r *runReader) fill() error {
+	if r.pos+16 <= len(r.buf) {
+		return nil
+	}
+	rest := len(r.buf) - r.pos
+	nbuf := make([]byte, 0, 1<<16)
+	nbuf = append(nbuf, r.buf[r.pos:]...)
+	want := int64(cap(nbuf) - rest)
+	if r.off+want > r.size {
+		want = r.size - r.off
+	}
+	if want > 0 {
+		chunk := make([]byte, want)
+		if err := vfs.ReadFull(r.f, chunk, r.off); err != nil {
+			return err
+		}
+		r.off += want
+		nbuf = append(nbuf, chunk...)
+	}
+	r.buf, r.pos = nbuf, 0
+	return nil
+}
+
+func (r *runReader) next() (tuple, bool, error) {
+	if err := r.fill(); err != nil {
+		return tuple{}, false, err
+	}
+	if r.pos >= len(r.buf) {
+		return tuple{}, false, nil
+	}
+	var t tuple
+	for i, dst := range []*uint32{&t.term, &t.doc, &t.pos} {
+		v, n := binary.Uvarint(r.buf[r.pos:])
+		if n <= 0 {
+			return tuple{}, false, fmt.Errorf("index: corrupt run file (field %d)", i)
+		}
+		*dst = uint32(v)
+		r.pos += n
+	}
+	return t, true, nil
+}

@@ -1,0 +1,295 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/postings"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+func newFS() *vfs.FS {
+	return vfs.New(vfs.Options{BlockSize: 8192, OSCacheBytes: 1 << 22})
+}
+
+// drain consumes the merged stream into a map term -> decoded postings.
+func drain(t *testing.T, m *Merged) map[uint32][]postings.Posting {
+	t.Helper()
+	out := make(map[uint32][]postings.Posting)
+	for {
+		term, rec, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		ps, err := postings.DecodeAll(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := out[term]; dup {
+			t.Fatalf("term %d emitted twice", term)
+		}
+		out[term] = ps
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBuildSmallInMemory(t *testing.T) {
+	fs := newFS()
+	b := NewBuilder(fs, Options{Analyzer: textproc.NewAnalyzer(textproc.WithStemming(false))})
+	docs := []string{
+		"apple banana apple",
+		"banana cherry",
+		"apple cherry cherry date",
+	}
+	for i, text := range docs {
+		if err := b.Add(Doc{ID: uint32(i), Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.NumDocs() != 3 || b.TotalLen() != 9 {
+		t.Fatalf("NumDocs=%d TotalLen=%d", b.NumDocs(), b.TotalLen())
+	}
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := drain(t, m)
+	dict := b.Dictionary()
+	apple, _ := dict.Lookup("apple")
+	if apple.CTF != 3 || apple.DF != 2 {
+		t.Fatalf("apple stats = %+v", apple)
+	}
+	ps := lists[apple.ID]
+	want := []postings.Posting{
+		{Doc: 0, Positions: []uint32{0, 2}},
+		{Doc: 2, Positions: []uint32{0}},
+	}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("apple postings = %v, want %v", ps, want)
+	}
+	if m.Records != 4 {
+		t.Fatalf("Records = %d", m.Records)
+	}
+}
+
+func TestBuildRejectsBadIDs(t *testing.T) {
+	fs := newFS()
+	b := NewBuilder(fs, Options{})
+	if err := b.Add(Doc{ID: 5, Text: "x"}); err == nil {
+		t.Fatal("non-dense id accepted")
+	}
+	b.Add(Doc{ID: 0, Text: "x"})
+	if err := b.Add(Doc{ID: 0, Text: "y"}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	m, _ := b.Finish()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+	if err := b.Add(Doc{ID: 1, Text: "z"}); err == nil {
+		t.Fatal("Add after Finish accepted")
+	}
+	drain(t, m)
+}
+
+// TestExternalSortMatchesInMemory: tiny run limit forces spills; the
+// result must equal the single-run result exactly.
+func TestExternalSortMatchesInMemory(t *testing.T) {
+	gen := func(runLimit int) (map[uint32][]postings.Posting, *Builder) {
+		fs := newFS()
+		b := NewBuilder(fs, Options{
+			Analyzer: textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil)),
+			RunLimit: runLimit,
+			Scratch:  "scr",
+		})
+		rng := rand.New(rand.NewSource(42))
+		for d := 0; d < 200; d++ {
+			text := ""
+			for w := 0; w < 30; w++ {
+				text += fmt.Sprintf("w%d ", rng.Intn(80))
+			}
+			if err := b.Add(Doc{ID: uint32(d), Text: text}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, m), b
+	}
+	inMem, b1 := gen(1 << 20) // never spills
+	ext, b2 := gen(997)       // spills constantly
+
+	if len(inMem) != len(ext) {
+		t.Fatalf("list counts differ: %d vs %d", len(inMem), len(ext))
+	}
+	// Same analyzer order => same term ids.
+	if b1.Dictionary().Len() != b2.Dictionary().Len() {
+		t.Fatal("dictionaries differ")
+	}
+	for term, want := range inMem {
+		if !reflect.DeepEqual(ext[term], want) {
+			t.Fatalf("term %d postings differ", term)
+		}
+	}
+}
+
+func TestScratchFilesRemoved(t *testing.T) {
+	fs := newFS()
+	b := NewBuilder(fs, Options{RunLimit: 50, Scratch: "tmprun"})
+	for d := 0; d < 50; d++ {
+		b.Add(Doc{ID: uint32(d), Text: "alpha beta gamma delta epsilon zeta"})
+	}
+	m, _ := b.Finish()
+	if len(b.runs) == 0 {
+		t.Fatal("expected spilled runs")
+	}
+	drain(t, m)
+	for _, name := range fs.Names() {
+		if len(name) >= 6 && name[:6] == "tmprun" {
+			t.Fatalf("scratch file %q not removed", name)
+		}
+	}
+}
+
+func TestAddTokens(t *testing.T) {
+	fs := newFS()
+	b := NewBuilder(fs, Options{})
+	toks := []textproc.Token{{Term: "alpha", Pos: 0}, {Term: "beta", Pos: 1}, {Term: "alpha", Pos: 2}}
+	if err := b.AddTokens(0, toks); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := b.Finish()
+	lists := drain(t, m)
+	alpha, _ := b.Dictionary().Lookup("alpha")
+	if len(lists[alpha.ID]) != 1 || lists[alpha.ID][0].TF() != 2 {
+		t.Fatalf("alpha postings = %v", lists[alpha.ID])
+	}
+	if b.DocLens()[0] != 3 {
+		t.Fatalf("DocLens = %v", b.DocLens())
+	}
+}
+
+func TestMergedStreamAscendingTerms(t *testing.T) {
+	fs := newFS()
+	b := NewBuilder(fs, Options{RunLimit: 100})
+	rng := rand.New(rand.NewSource(3))
+	for d := 0; d < 100; d++ {
+		text := ""
+		for w := 0; w < 20; w++ {
+			text += fmt.Sprintf("t%02d ", rng.Intn(50))
+		}
+		b.Add(Doc{ID: uint32(d), Text: text})
+	}
+	m, _ := b.Finish()
+	last := int64(-1)
+	for {
+		term, rec, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if int64(term) <= last {
+			t.Fatalf("terms not ascending: %d after %d", term, last)
+		}
+		last = int64(term)
+		// Dictionary stats are synchronized with the emitted record.
+		e := b.Dictionary().ByID(term)
+		if e.ListBytes != uint32(len(rec)) {
+			t.Fatalf("ListBytes = %d, record = %d", e.ListBytes, len(rec))
+		}
+		ps, _ := postings.DecodeAll(rec)
+		if uint64(len(ps)) != e.DF {
+			t.Fatalf("DF mismatch for term %d", term)
+		}
+	}
+	m.Close()
+}
+
+// TestPropertyStatsConsistent: for random corpora, the sum of CTF over
+// the dictionary equals the total token count, and every DF <= NumDocs.
+func TestPropertyStatsConsistent(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		fs := newFS()
+		b := NewBuilder(fs, Options{
+			Analyzer: textproc.NewAnalyzer(textproc.WithStopWords(nil)),
+			RunLimit: 1000,
+		})
+		rng := rand.New(rand.NewSource(seed))
+		nd := rng.Intn(100) + 10
+		for d := 0; d < nd; d++ {
+			text := ""
+			for w := 0; w < rng.Intn(40)+1; w++ {
+				text += fmt.Sprintf("word%d ", rng.Intn(200))
+			}
+			b.Add(Doc{ID: uint32(d), Text: text})
+		}
+		m, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, m)
+		var ctf int64
+		var dfBad bool
+		b.Dictionary().Range(func(e *lexicon.Entry) bool {
+			ctf += int64(e.CTF)
+			if e.DF > uint64(nd) || e.DF == 0 {
+				dfBad = true
+			}
+			return true
+		})
+		if ctf != b.TotalLen() {
+			t.Fatalf("seed %d: sum CTF %d != total %d", seed, ctf, b.TotalLen())
+		}
+		if dfBad {
+			t.Fatalf("seed %d: df out of range", seed)
+		}
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	texts := make([]string, 500)
+	for d := range texts {
+		t := ""
+		for w := 0; w < 80; w++ {
+			t += fmt.Sprintf("w%d ", rng.Intn(2000))
+		}
+		texts[d] = t
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := newFS()
+		bl := NewBuilder(fs, Options{RunLimit: 10000})
+		for d, t := range texts {
+			bl.Add(Doc{ID: uint32(d), Text: t})
+		}
+		m, err := bl.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, _, ok, err := m.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		m.Close()
+	}
+}

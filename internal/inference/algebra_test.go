@@ -1,0 +1,170 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/postings"
+)
+
+// randomSource builds a fake source with nTerms random lists.
+func randomSource(rng *rand.Rand, nTerms int) (*fakeSource, []string) {
+	src := newFake()
+	terms := make([]string, nTerms)
+	for i := range terms {
+		terms[i] = string(rune('a' + i))
+		var ps []postings.Posting
+		doc := uint32(0)
+		for doc < 40 {
+			doc += uint32(rng.Intn(6) + 1)
+			tf := rng.Intn(3) + 1
+			pos := make([]uint32, tf)
+			for j := range pos {
+				pos[j] = uint32(j * 2)
+			}
+			ps = append(ps, postings.Posting{Doc: doc, Positions: pos})
+		}
+		src.add(terms[i], ps...)
+	}
+	return src, terms
+}
+
+// scoresOf evaluates a query and returns doc->score.
+func scoresOf(t *testing.T, src Source, query string) map[uint32]float64 {
+	t.Helper()
+	n, err := Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateTAAT(n, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint32]float64, len(res))
+	for _, r := range res {
+		out[r.Doc] = r.Score
+	}
+	return out
+}
+
+// TestAlgebraBounds checks the belief algebra's order relations on
+// random evidence: #and ≤ min child, #or ≥ max child, #max = max child,
+// #sum between min and max.
+func TestAlgebraBounds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src, _ := randomSource(rng, 2)
+		a := scoresOf(t, src, "a")
+		b := scoresOf(t, src, "b")
+		val := func(m map[uint32]float64, d uint32) float64 {
+			if v, ok := m[d]; ok {
+				return v
+			}
+			return DefaultBelief
+		}
+		docs := map[uint32]bool{}
+		for d := range a {
+			docs[d] = true
+		}
+		for d := range b {
+			docs[d] = true
+		}
+		and := scoresOf(t, src, "#and(a b)")
+		or := scoresOf(t, src, "#or(a b)")
+		max := scoresOf(t, src, "#max(a b)")
+		sum := scoresOf(t, src, "#sum(a b)")
+		for d := range docs {
+			va, vb := val(a, d), val(b, d)
+			lo, hi := va, vb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if and[d] > lo+1e-12 {
+				t.Fatalf("seed %d doc %d: #and %.4f > min %.4f", seed, d, and[d], lo)
+			}
+			if or[d] < hi-1e-12 {
+				t.Fatalf("seed %d doc %d: #or %.4f < max %.4f", seed, d, or[d], hi)
+			}
+			if diff := max[d] - hi; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("seed %d doc %d: #max %.4f != max %.4f", seed, d, max[d], hi)
+			}
+			if sum[d] < lo-1e-12 || sum[d] > hi+1e-12 {
+				t.Fatalf("seed %d doc %d: #sum %.4f outside [%.4f,%.4f]", seed, d, sum[d], lo, hi)
+			}
+		}
+	}
+}
+
+// TestAlgebraCommutative: #and/#or/#sum/#max are order-insensitive.
+func TestAlgebraCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src, _ := randomSource(rng, 3)
+	for _, op := range []string{"and", "or", "sum", "max"} {
+		x := scoresOf(t, src, "#"+op+"(a b c)")
+		y := scoresOf(t, src, "#"+op+"(c a b)")
+		if len(x) != len(y) {
+			t.Fatalf("#%s: %d vs %d docs", op, len(x), len(y))
+		}
+		for d, v := range x {
+			if dv := y[d] - v; dv > 1e-12 || dv < -1e-12 {
+				t.Fatalf("#%s not commutative at doc %d: %.6f vs %.6f", op, d, v, y[d])
+			}
+		}
+	}
+}
+
+// TestDoubleNegation: #not(#not(x)) restores x's belief per document.
+func TestDoubleNegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src, _ := randomSource(rng, 1)
+	x := scoresOf(t, src, "a")
+	nn := scoresOf(t, src, "#not(#not(a))")
+	for d, v := range x {
+		if dv := nn[d] - v; dv > 1e-12 || dv < -1e-12 {
+			t.Fatalf("doc %d: #not#not %.6f vs %.6f", d, nn[d], v)
+		}
+	}
+}
+
+// TestWSumEqualWeightsIsSum: #wsum with equal weights matches #sum.
+func TestWSumEqualWeightsIsSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src, _ := randomSource(rng, 2)
+	s := scoresOf(t, src, "#sum(a b)")
+	w := scoresOf(t, src, "#wsum(5 a 5 b)")
+	for d, v := range s {
+		if dv := w[d] - v; dv > 1e-12 || dv < -1e-12 {
+			t.Fatalf("doc %d: wsum %.6f vs sum %.6f", d, w[d], v)
+		}
+	}
+}
+
+// TestSynSubsumesSingleTerm: #syn of one term scores like the bare term.
+func TestSynSubsumesSingleTerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src, _ := randomSource(rng, 1)
+	a := scoresOf(t, src, "a")
+	syn := scoresOf(t, src, "#syn(a)")
+	for d, v := range a {
+		if dv := syn[d] - v; dv > 1e-12 || dv < -1e-12 {
+			t.Fatalf("doc %d: #syn(a) %.6f vs a %.6f", d, syn[d], v)
+		}
+	}
+}
+
+// TestFilReqIdempotent: filtering by the expression itself keeps
+// exactly the documents that match it.
+func TestFilReqIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src, _ := randomSource(rng, 1)
+	a := scoresOf(t, src, "a")
+	f := scoresOf(t, src, "#filreq(a a)")
+	if len(f) != len(a) {
+		t.Fatalf("doc sets differ: %d vs %d", len(f), len(a))
+	}
+	for d, v := range a {
+		if dv := f[d] - v; dv > 1e-12 || dv < -1e-12 {
+			t.Fatalf("doc %d: %.6f vs %.6f", d, f[d], v)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package inference
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explanation is one node of a per-document score breakdown: the belief
+// the node contributed for the document, plus its children's.
+type Explanation struct {
+	// Op describes the node (operator name, or the term itself).
+	Op string
+	// Belief is the node's belief for the document.
+	Belief float64
+	// Detail carries leaf-level evidence ("tf=3 df=17") when available.
+	Detail string
+	// Children are the sub-explanations, in query order.
+	Children []*Explanation
+}
+
+// String renders the explanation as an indented tree.
+func (e *Explanation) String() string {
+	var sb strings.Builder
+	e.write(&sb, 0)
+	return sb.String()
+}
+
+func (e *Explanation) write(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(sb, "%.4f  %s", e.Belief, e.Op)
+	if e.Detail != "" {
+		fmt.Fprintf(sb, "  (%s)", e.Detail)
+	}
+	sb.WriteByte('\n')
+	for _, c := range e.Children {
+		c.write(sb, depth+1)
+	}
+}
+
+// Explain computes the belief a query assigns to one document, broken
+// down node by node — the inference network's evidence combination made
+// visible. It evaluates with the same term-at-a-time algebra as
+// EvaluateTAAT, so the root belief equals the document's ranked score.
+func Explain(n *Node, src Source, doc uint32) (*Explanation, error) {
+	switch n.Op {
+	case OpTerm:
+		ps, ok, err := src.Postings(n.Term)
+		if err != nil {
+			return nil, err
+		}
+		ex := &Explanation{Op: n.Term, Belief: DefaultBelief}
+		if !ok || len(ps) == 0 {
+			ex.Detail = "term not in collection"
+			return ex, nil
+		}
+		df := uint64(len(ps))
+		for _, p := range ps {
+			if p.Doc == doc {
+				ex.Belief = Belief(p.TF(), src.DocLen(doc), src.AvgDocLen(), df, src.NumDocs())
+				ex.Detail = fmt.Sprintf("tf=%d df=%d doclen=%d", p.TF(), df, src.DocLen(doc))
+				return ex, nil
+			}
+		}
+		ex.Detail = fmt.Sprintf("absent from doc; df=%d", df)
+		return ex, nil
+	case OpSyn, OpOrderedWindow, OpUnorderedWindow, OpFilReq, OpFilRej:
+		// Compound leaves and filters: evaluate the subtree as a whole
+		// and report the document's belief without further breakdown
+		// (their evidence is not a simple function of child beliefs).
+		ev, err := evalNode(n, src)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := ev.scores[doc]
+		if !ok {
+			b = ev.def
+		}
+		label := n.Op.String()
+		if n.Op == OpOrderedWindow || n.Op == OpUnorderedWindow {
+			label = fmt.Sprintf("%s%d(%s)", n.Op, n.Window, strings.Join(n.Terms(), " "))
+		}
+		return &Explanation{Op: label, Belief: b}, nil
+	}
+
+	ex := &Explanation{Op: n.Op.String()}
+	vals := make([]float64, len(n.Children))
+	for i, c := range n.Children {
+		ce, err := Explain(c, src, doc)
+		if err != nil {
+			return nil, err
+		}
+		ex.Children = append(ex.Children, ce)
+		vals[i] = ce.Belief
+	}
+	switch n.Op {
+	case OpSum:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		ex.Belief = s / float64(len(vals))
+	case OpWSum:
+		var s, w float64
+		for i, v := range vals {
+			s += n.Weights[i] * v
+			w += n.Weights[i]
+		}
+		ex.Belief = s / w
+	case OpAnd:
+		s := 1.0
+		for _, v := range vals {
+			s *= v
+		}
+		ex.Belief = s
+	case OpOr:
+		s := 1.0
+		for _, v := range vals {
+			s *= 1 - v
+		}
+		ex.Belief = 1 - s
+	case OpNot:
+		ex.Belief = 1 - vals[0]
+	case OpMax:
+		ex.Belief = vals[0]
+		for _, v := range vals[1:] {
+			if v > ex.Belief {
+				ex.Belief = v
+			}
+		}
+	default:
+		return nil, fmt.Errorf("inference: cannot explain %v", n.Op)
+	}
+	return ex, nil
+}

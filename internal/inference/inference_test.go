@@ -1,0 +1,739 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/postings"
+)
+
+// fakeSource serves evidence from an in-memory map; it implements both
+// Source and StreamSource.
+type fakeSource struct {
+	lists  map[string][]postings.Posting
+	lens   map[uint32]int
+	n      int
+	avgLen float64
+}
+
+func newFake() *fakeSource {
+	return &fakeSource{
+		lists:  make(map[string][]postings.Posting),
+		lens:   make(map[uint32]int),
+		n:      100,
+		avgLen: 10,
+	}
+}
+
+func (f *fakeSource) add(term string, ps ...postings.Posting) {
+	f.lists[term] = ps
+	for _, p := range ps {
+		if f.lens[p.Doc] == 0 {
+			f.lens[p.Doc] = 10
+		}
+	}
+}
+
+func (f *fakeSource) Postings(term string) ([]postings.Posting, bool, error) {
+	ps, ok := f.lists[term]
+	return ps, ok, nil
+}
+
+func (f *fakeSource) Iterator(term string) (PostingIterator, bool, error) {
+	ps, ok := f.lists[term]
+	if !ok {
+		return nil, false, nil
+	}
+	return NewSliceIterator(ps), true, nil
+}
+
+func (f *fakeSource) NumDocs() int        { return f.n }
+func (f *fakeSource) DocLen(d uint32) int { return f.lens[d] }
+func (f *fakeSource) AvgDocLen() float64  { return f.avgLen }
+
+func pk(doc uint32, positions ...uint32) postings.Posting {
+	return postings.Posting{Doc: doc, Positions: positions}
+}
+
+// --- Parser tests ---
+
+func TestParseBareTerms(t *testing.T) {
+	n, err := Parse("information retrieval systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpSum || len(n.Children) != 3 {
+		t.Fatalf("tree = %s", n)
+	}
+	terms := n.Terms()
+	if len(terms) != 3 || terms[0] != "information" || terms[2] != "systems" {
+		t.Fatalf("Terms = %v", terms)
+	}
+}
+
+func TestParseSingleTermNoWrapper(t *testing.T) {
+	n, err := Parse("retrieval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpTerm || n.Term != "retrieval" {
+		t.Fatalf("tree = %s", n)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]OpKind{
+		"#sum(a b)": OpSum,
+		"#and(a b)": OpAnd,
+		"#or(a b)":  OpOr,
+		"#not(a)":   OpNot,
+		"#max(a b)": OpMax,
+		"#syn(a b)": OpSyn,
+	}
+	for q, op := range cases {
+		n, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		if n.Op != op {
+			t.Fatalf("Parse(%q) op = %v, want %v", q, n.Op, op)
+		}
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	n, err := Parse("#phrase(information retrieval)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpOrderedWindow || n.Window != 3 {
+		t.Fatalf("phrase = %+v", n)
+	}
+	n, _ = Parse("#od5(a b c)")
+	if n.Op != OpOrderedWindow || n.Window != 5 {
+		t.Fatalf("od5 = %+v", n)
+	}
+	n, _ = Parse("#uw10(a b)")
+	if n.Op != OpUnorderedWindow || n.Window != 10 {
+		t.Fatalf("uw10 = %+v", n)
+	}
+	// #uw window is widened to at least the number of terms.
+	n, _ = Parse("#uw2(a b c d)")
+	if n.Window != 4 {
+		t.Fatalf("uw2 over 4 terms window = %d", n.Window)
+	}
+}
+
+func TestParseWSum(t *testing.T) {
+	n, err := Parse("#wsum(2 information 1 retrieval)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpWSum || len(n.Children) != 2 {
+		t.Fatalf("wsum = %s", n)
+	}
+	if n.Weights[0] != 2 || n.Weights[1] != 1 {
+		t.Fatalf("weights = %v", n.Weights)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	n, err := Parse("#and(#or(a b) #not(c) #phrase(d e))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpAnd || len(n.Children) != 3 {
+		t.Fatalf("tree = %s", n)
+	}
+	if got := n.String(); !strings.Contains(got, "#or(a b)") || !strings.Contains(got, "#od3(d e)") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"#bogus(a)",
+		"#and(a",
+		"#and()",
+		"#not(a b)",
+		"#wsum(1 a 2)",
+		"#wsum(x a)",
+		"#od0(a b)",
+		"#phrase(#and(a b) c)",
+		")",
+		"#and a",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+}
+
+func TestNormalizeTerms(t *testing.T) {
+	n, _ := Parse("#and(The Running #or(dogs a))")
+	norm := n.NormalizeTerms(func(s string) string {
+		low := strings.ToLower(s)
+		if low == "the" || low == "a" {
+			return "" // stopped
+		}
+		return strings.TrimSuffix(low, "s")
+	})
+	if norm == nil {
+		t.Fatal("normalized tree is nil")
+	}
+	s := norm.String()
+	if s != "#and(running #or(dog))" {
+		t.Fatalf("normalized = %q", s)
+	}
+	// A fully stopped query normalizes to nil.
+	n2, _ := Parse("the a")
+	if n2.NormalizeTerms(func(string) string { return "" }) != nil {
+		t.Fatal("fully stopped query did not normalize to nil")
+	}
+}
+
+// --- Belief function tests ---
+
+func TestBeliefProperties(t *testing.T) {
+	if b := Belief(0, 10, 10, 5, 100); b != DefaultBelief {
+		t.Fatalf("Belief(tf=0) = %v", b)
+	}
+	b1 := Belief(1, 10, 10, 5, 100)
+	b3 := Belief(3, 10, 10, 5, 100)
+	if !(DefaultBelief < b1 && b1 < b3 && b3 < 1) {
+		t.Fatalf("belief not increasing in tf: %v %v", b1, b3)
+	}
+	// Rarer terms contribute more.
+	rare := Belief(2, 10, 10, 2, 100)
+	common := Belief(2, 10, 10, 80, 100)
+	if rare <= common {
+		t.Fatalf("idf ordering violated: rare %v common %v", rare, common)
+	}
+	// Longer documents are penalized.
+	short := Belief(2, 5, 10, 5, 100)
+	long := Belief(2, 50, 10, 5, 100)
+	if short <= long {
+		t.Fatalf("length normalization violated: %v vs %v", short, long)
+	}
+}
+
+// TestPropertyBeliefBounded via testing/quick: belief always in [0.4, 1).
+func TestPropertyBeliefBounded(t *testing.T) {
+	check := func(tf uint8, docLen uint8, df uint16, n uint16) bool {
+		nn := int(n%5000) + 1
+		dff := uint64(df)%uint64(nn) + 1
+		b := Belief(int(tf), int(docLen)+1, 12, dff, nn)
+		return b >= DefaultBelief && b < 1.0 && !math.IsNaN(b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- TAAT evaluation tests ---
+
+func TestEvaluateSingleTermRanking(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0), pk(2, 0, 5, 9), pk(3, 0, 1))
+	n, _ := Parse("apple")
+	res, err := EvaluateTAAT(n, src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	// Doc 2 has tf 3, doc 3 tf 2, doc 1 tf 1 (all same length).
+	if res[0].Doc != 2 || res[1].Doc != 3 || res[2].Doc != 1 {
+		t.Fatalf("order = %v", res)
+	}
+}
+
+func TestEvaluateSumFavorsBothTerms(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0), pk(2, 0))
+	src.add("banana", pk(2, 3), pk(3, 3))
+	n, _ := Parse("apple banana")
+	res, _ := EvaluateTAAT(n, src, 10)
+	if len(res) != 3 || res[0].Doc != 2 {
+		t.Fatalf("results = %v", res)
+	}
+}
+
+func TestEvaluateAndOrNot(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0), pk(2, 0))
+	src.add("banana", pk(2, 3), pk(3, 3))
+
+	n, _ := Parse("#and(apple banana)")
+	res, _ := EvaluateTAAT(n, src, 10)
+	if res[0].Doc != 2 {
+		t.Fatalf("#and top = %v", res)
+	}
+	// For #and, docs with one term score default*belief < belief*belief.
+	if !(res[0].Score > res[1].Score) {
+		t.Fatalf("#and scores = %v", res)
+	}
+
+	n, _ = Parse("#or(apple banana)")
+	res, _ = EvaluateTAAT(n, src, 10)
+	if res[0].Doc != 2 {
+		t.Fatalf("#or top = %v", res)
+	}
+
+	n, _ = Parse("#and(apple #not(banana))")
+	res, _ = EvaluateTAAT(n, src, 10)
+	// Doc 1 has apple but not banana; doc 2 has both and is penalized.
+	if res[0].Doc != 1 {
+		t.Fatalf("#not ranking = %v", res)
+	}
+}
+
+func TestEvaluateWSum(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0))
+	src.add("banana", pk(2, 0))
+	n, _ := Parse("#wsum(10 apple 1 banana)")
+	res, _ := EvaluateTAAT(n, src, 10)
+	if len(res) != 2 || res[0].Doc != 1 {
+		t.Fatalf("wsum ranking = %v", res)
+	}
+}
+
+func TestEvaluateMax(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0, 1, 2, 3), pk(2, 0))
+	src.add("banana", pk(2, 5))
+	n, _ := Parse("#max(apple banana)")
+	res, _ := EvaluateTAAT(n, src, 10)
+	if res[0].Doc != 1 {
+		t.Fatalf("max ranking = %v", res)
+	}
+}
+
+func TestEvaluatePhrase(t *testing.T) {
+	src := newFake()
+	// Doc 1: "information retrieval" adjacent; doc 2: far apart; doc 3
+	// only "information".
+	src.add("information", pk(1, 4), pk(2, 0), pk(3, 7))
+	src.add("retrieval", pk(1, 5), pk(2, 30))
+	n, _ := Parse("#phrase(information retrieval)")
+	res, err := EvaluateTAAT(n, src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Doc != 1 {
+		t.Fatalf("phrase results = %v", res)
+	}
+}
+
+func TestEvaluateUnorderedWindow(t *testing.T) {
+	src := newFake()
+	src.add("a", pk(1, 0), pk(2, 0))
+	src.add("b", pk(1, 3), pk(2, 50))
+	n, _ := Parse("#uw5(a b)")
+	res, _ := EvaluateTAAT(n, src, 10)
+	if len(res) != 1 || res[0].Doc != 1 {
+		t.Fatalf("uw results = %v", res)
+	}
+}
+
+func TestEvaluateSyn(t *testing.T) {
+	src := newFake()
+	src.add("car", pk(1, 0))
+	src.add("auto", pk(1, 5), pk(2, 0))
+	n, _ := Parse("#syn(car auto)")
+	res, _ := EvaluateTAAT(n, src, 10)
+	if len(res) != 2 {
+		t.Fatalf("syn results = %v", res)
+	}
+	// Doc 1 has combined tf 2 vs doc 2's tf 1.
+	if res[0].Doc != 1 {
+		t.Fatalf("syn ranking = %v", res)
+	}
+}
+
+func TestEvaluateMissingTerm(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0))
+	n, _ := Parse("apple zebra")
+	res, err := EvaluateTAAT(n, src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Doc != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	// A query of only missing terms ranks nothing.
+	n, _ = Parse("zebra")
+	res, _ = EvaluateTAAT(n, src, 10)
+	if len(res) != 0 {
+		t.Fatalf("missing-only results = %v", res)
+	}
+}
+
+func TestEvaluateTopK(t *testing.T) {
+	src := newFake()
+	var ps []postings.Posting
+	for d := uint32(1); d <= 50; d++ {
+		pos := make([]uint32, d%7+1)
+		for i := range pos {
+			pos[i] = uint32(i * 2)
+		}
+		ps = append(ps, postings.Posting{Doc: d, Positions: pos})
+	}
+	src.add("apple", ps...)
+	n, _ := Parse("apple")
+	res, _ := EvaluateTAAT(n, src, 5)
+	if len(res) != 5 {
+		t.Fatalf("topK = %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+// --- Window counting tests ---
+
+func TestCountOrderedMatches(t *testing.T) {
+	cases := []struct {
+		lists  [][]uint32
+		window int
+		want   int
+	}{
+		{[][]uint32{{0}, {1}}, 1, 1},
+		{[][]uint32{{0}, {2}}, 1, 0},
+		{[][]uint32{{0, 10}, {1, 11}}, 1, 2},
+		{[][]uint32{{0, 1}, {2}}, 3, 1},   // non-overlapping: one match
+		{[][]uint32{{1}, {0}}, 5, 0},      // wrong order
+		{[][]uint32{{0}, {1}, {2}}, 1, 1}, // three terms adjacent
+		{[][]uint32{{0}, {5}, {6}}, 2, 0}, // first gap too wide
+		{[][]uint32{{3}, {4}, {9}}, 5, 1},
+	}
+	for i, c := range cases {
+		if got := countOrderedMatches(c.lists, c.window); got != c.want {
+			t.Errorf("case %d: got %d want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestCountUnorderedMatches(t *testing.T) {
+	cases := []struct {
+		lists  [][]uint32
+		window int
+		want   int
+	}{
+		{[][]uint32{{0}, {1}}, 2, 1},
+		{[][]uint32{{1}, {0}}, 2, 1}, // order-free
+		{[][]uint32{{0}, {5}}, 2, 0},
+		{[][]uint32{{0, 10}, {1, 11}}, 2, 2},
+		{[][]uint32{{0}, {1}, {2}}, 3, 1},
+		{[][]uint32{{0, 100}, {1}}, 2, 1},
+	}
+	for i, c := range cases {
+		if got := countUnorderedMatches(c.lists, c.window); got != c.want {
+			t.Errorf("case %d: got %d want %d", i, got, c.want)
+		}
+	}
+}
+
+// --- DAAT tests ---
+
+func TestDAATMatchesTAATOnTermQueries(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0), pk(2, 0, 5), pk(7, 1))
+	src.add("banana", pk(2, 3), pk(3, 3), pk(7, 9, 11))
+	src.add("cherry", pk(1, 2), pk(9, 0))
+	for _, q := range []string{
+		"apple",
+		"apple banana cherry",
+		"#and(apple banana)",
+		"#or(apple cherry)",
+		"#max(apple banana cherry)",
+		"#wsum(3 apple 1 banana)",
+		"#and(apple #not(banana))",
+		"#sum(#and(apple banana) cherry)",
+	} {
+		n, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taat, err := EvaluateTAAT(n, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		daat, err := EvaluateDAAT(n, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(taat) != len(daat) {
+			t.Fatalf("%q: TAAT %d docs, DAAT %d docs", q, len(taat), len(daat))
+		}
+		for i := range taat {
+			if taat[i].Doc != daat[i].Doc || math.Abs(taat[i].Score-daat[i].Score) > 1e-12 {
+				t.Fatalf("%q: rank %d: TAAT %v DAAT %v", q, i, taat[i], daat[i])
+			}
+		}
+	}
+}
+
+func TestDAATTopKHeap(t *testing.T) {
+	src := newFake()
+	var ps []postings.Posting
+	for d := uint32(1); d <= 100; d++ {
+		pos := make([]uint32, d%9+1)
+		for i := range pos {
+			pos[i] = uint32(i)
+		}
+		ps = append(ps, postings.Posting{Doc: d, Positions: pos})
+	}
+	src.add("apple", ps...)
+	n, _ := Parse("apple")
+	full, _ := EvaluateDAAT(n, src, 0)
+	top, _ := EvaluateDAAT(n, src, 7)
+	if len(top) != 7 {
+		t.Fatalf("topK = %d", len(top))
+	}
+	for i := range top {
+		if top[i] != full[i] {
+			t.Fatalf("rank %d: top %v full %v", i, top[i], full[i])
+		}
+	}
+}
+
+func TestDAATPhrase(t *testing.T) {
+	src := newFake()
+	src.add("information", pk(1, 4), pk(2, 0))
+	src.add("retrieval", pk(1, 5), pk(2, 30))
+	n, _ := Parse("#phrase(information retrieval)")
+	res, err := EvaluateDAAT(n, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Doc != 1 {
+		t.Fatalf("DAAT phrase = %v", res)
+	}
+	// Doc 1 (a real match) must outscore doc 2 (terms far apart).
+	for _, r := range res[1:] {
+		if r.Score >= res[0].Score {
+			t.Fatalf("non-match outscored match: %v", res)
+		}
+	}
+}
+
+// TestPropertyTAATDAATAgree via randomized flat queries.
+func TestPropertyTAATDAATAgree(t *testing.T) {
+	check := func(seed int64) bool {
+		src := newFake()
+		rng := newRand(seed)
+		terms := []string{"t0", "t1", "t2", "t3"}
+		for _, term := range terms {
+			var ps []postings.Posting
+			doc := uint32(0)
+			for doc < 60 {
+				doc += uint32(rng.Intn(9) + 1)
+				tf := rng.Intn(4) + 1
+				pos := make([]uint32, tf)
+				for i := range pos {
+					pos[i] = uint32(i * 3)
+				}
+				ps = append(ps, postings.Posting{Doc: doc, Positions: pos})
+			}
+			src.add(term, ps...)
+		}
+		n, err := Parse("#sum(t0 #and(t1 t2) #or(t3 t0))")
+		if err != nil {
+			return false
+		}
+		taat, err1 := EvaluateTAAT(n, src, 0)
+		daat, err2 := EvaluateDAAT(n, src, 0)
+		if err1 != nil || err2 != nil || len(taat) != len(daat) {
+			return false
+		}
+		for i := range taat {
+			if taat[i].Doc != daat[i].Doc || math.Abs(taat[i].Score-daat[i].Score) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRand avoids importing math/rand at every call site above.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestParseFilterOps(t *testing.T) {
+	n, err := Parse("#filreq(#and(a b) #sum(c d))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpFilReq || len(n.Children) != 2 {
+		t.Fatalf("tree = %s", n)
+	}
+	if _, err := Parse("#filreq(a)"); err == nil {
+		t.Fatal("one-argument #filreq accepted")
+	}
+	if _, err := Parse("#filrej(a b c)"); err == nil {
+		t.Fatal("three-argument #filrej accepted")
+	}
+	if got := n.String(); !strings.Contains(got, "#filreq(") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEvaluateFilReq(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0), pk(2, 0))        // filter
+	src.add("banana", pk(2, 3), pk(3, 3, 4, 5)) // ranking expression
+	n, _ := Parse("#filreq(apple banana)")
+	res, err := EvaluateTAAT(n, src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only docs 1 and 2 pass the filter; doc 3 (best banana doc) is out.
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	for _, r := range res {
+		if r.Doc == 3 {
+			t.Fatalf("doc 3 passed the filter: %v", res)
+		}
+	}
+	// Doc 2 (has banana) outranks doc 1 (filter only).
+	if res[0].Doc != 2 {
+		t.Fatalf("ranking = %v", res)
+	}
+}
+
+func TestEvaluateFilRej(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0), pk(2, 0))
+	src.add("banana", pk(2, 3), pk(3, 3))
+	n, _ := Parse("#filrej(apple banana)")
+	res, err := EvaluateTAAT(n, src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Docs with apple are rejected: only doc 3 remains.
+	if len(res) != 1 || res[0].Doc != 3 {
+		t.Fatalf("results = %v", res)
+	}
+}
+
+func TestDAATRejectsFilterOps(t *testing.T) {
+	src := newFake()
+	src.add("a", pk(1, 0))
+	n, _ := Parse("#filreq(a a)")
+	if _, err := EvaluateDAAT(n, src, 0); err == nil {
+		t.Fatal("DAAT accepted a filter operator")
+	}
+	n, _ = Parse("#sum(#filrej(a a) a)")
+	if _, err := EvaluateDAAT(n, src, 0); err == nil {
+		t.Fatal("DAAT accepted a nested filter operator")
+	}
+}
+
+func TestExplainMatchesEvaluate(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0), pk(2, 0, 5), pk(7, 1))
+	src.add("banana", pk(2, 3), pk(3, 3))
+	for _, q := range []string{
+		"apple",
+		"apple banana",
+		"#and(apple banana)",
+		"#or(apple #not(banana))",
+		"#wsum(3 apple 1 banana)",
+		"#max(apple banana)",
+		"#sum(#phrase(apple banana) apple)",
+	} {
+		n, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EvaluateTAAT(n, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			ex, err := Explain(n, src, r.Doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := ex.Belief - r.Score; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("%q doc %d: explain %.6f vs score %.6f", q, r.Doc, ex.Belief, r.Score)
+			}
+		}
+	}
+}
+
+func TestExplainDetailAndRendering(t *testing.T) {
+	src := newFake()
+	src.add("apple", pk(1, 0, 2))
+	n, _ := Parse("#and(apple zebra)")
+	ex, err := Explain(n, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Children) != 2 {
+		t.Fatalf("children = %d", len(ex.Children))
+	}
+	if !strings.Contains(ex.Children[0].Detail, "tf=2") {
+		t.Fatalf("leaf detail = %q", ex.Children[0].Detail)
+	}
+	if !strings.Contains(ex.Children[1].Detail, "not in collection") {
+		t.Fatalf("missing-term detail = %q", ex.Children[1].Detail)
+	}
+	out := ex.String()
+	if !strings.Contains(out, "#and") || !strings.Contains(out, "  ") {
+		t.Fatalf("rendering = %q", out)
+	}
+}
+
+func benchSource(nTerms, docsPerTerm int) *fakeSource {
+	src := newFake()
+	src.n = 100000
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < nTerms; i++ {
+		var ps []postings.Posting
+		doc := uint32(0)
+		for d := 0; d < docsPerTerm; d++ {
+			doc += uint32(rng.Intn(20) + 1)
+			ps = append(ps, postings.Posting{Doc: doc, Positions: []uint32{0, 5, 9}})
+		}
+		src.add(string(rune('a'+i)), ps...)
+	}
+	return src
+}
+
+func BenchmarkEvaluateTAAT(b *testing.B) {
+	src := benchSource(4, 5000)
+	n, _ := Parse("#sum(a b #and(c d))")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateTAAT(n, src, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateDAAT(b *testing.B) {
+	src := benchSource(4, 5000)
+	n, _ := Parse("#sum(a b #and(c d))")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateDAAT(n, src, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package inference implements INQUERY's retrieval model: "a
+// probabilistic information retrieval system based upon a Bayesian
+// inference network model. The power of the inference network model is
+// the consistent formalism it provides for reasoning about evidence of
+// differing types" (paper §3.1, after Turtle & Croft).
+//
+// Queries are trees of belief operators over term evidence. The package
+// provides the query language parser, the belief algebra, and both
+// evaluation strategies the paper discusses: the fast, memory-hungry
+// 'term-at-a-time' processing INQUERY uses, and the 'document-at-a-time'
+// alternative it speculates "might scale better to large collections".
+package inference
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// OpKind enumerates the belief operators of the query language.
+type OpKind uint8
+
+const (
+	// OpTerm is a leaf: evidence from one term's inverted list.
+	OpTerm OpKind = iota
+	// OpSum averages the children's beliefs (#sum, the default).
+	OpSum
+	// OpWSum forms a weighted average (#wsum).
+	OpWSum
+	// OpAnd takes the product of beliefs (#and).
+	OpAnd
+	// OpOr combines as 1 - ∏(1-b) (#or).
+	OpOr
+	// OpNot negates a single child's belief (#not).
+	OpNot
+	// OpMax takes the maximum child belief (#max).
+	OpMax
+	// OpOrderedWindow matches children in order within a window (#odN;
+	// #phrase is #od3).
+	OpOrderedWindow
+	// OpUnorderedWindow matches all children within any-order windows
+	// (#uwN).
+	OpUnorderedWindow
+	// OpSyn treats its children as one synonym class (#syn).
+	OpSyn
+	// OpFilReq ranks by the second child only among documents that
+	// match the first (#filreq(filter expr)) — INQUERY's "filter
+	// require" for restricting a query to a document subset.
+	OpFilReq
+	// OpFilRej ranks by the second child only among documents that do
+	// NOT match the first (#filrej(filter expr)).
+	OpFilRej
+)
+
+// String returns the operator's query-language spelling.
+func (k OpKind) String() string {
+	switch k {
+	case OpTerm:
+		return "term"
+	case OpSum:
+		return "#sum"
+	case OpWSum:
+		return "#wsum"
+	case OpAnd:
+		return "#and"
+	case OpOr:
+		return "#or"
+	case OpNot:
+		return "#not"
+	case OpMax:
+		return "#max"
+	case OpOrderedWindow:
+		return "#od"
+	case OpUnorderedWindow:
+		return "#uw"
+	case OpSyn:
+		return "#syn"
+	case OpFilReq:
+		return "#filreq"
+	case OpFilRej:
+		return "#filrej"
+	}
+	return "?"
+}
+
+// Node is one vertex of a parsed query tree.
+type Node struct {
+	Op       OpKind
+	Term     string    // OpTerm only
+	Window   int       // OpOrderedWindow / OpUnorderedWindow
+	Weights  []float64 // OpWSum: parallel to Children
+	Children []*Node
+}
+
+// Terms appends the distinct terms mentioned anywhere in the tree, in
+// first-appearance order — the quick scan INQUERY performs before
+// evaluation to reserve already-resident inverted lists.
+func (n *Node) Terms() []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Op == OpTerm {
+			if !seen[m.Term] {
+				seen[m.Term] = true
+				out = append(out, m.Term)
+			}
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// String renders the tree in query-language syntax.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	if n.Op == OpTerm {
+		b.WriteString(n.Term)
+		return
+	}
+	switch n.Op {
+	case OpOrderedWindow:
+		fmt.Fprintf(b, "#od%d(", n.Window)
+	case OpUnorderedWindow:
+		fmt.Fprintf(b, "#uw%d(", n.Window)
+	default:
+		b.WriteString(n.Op.String())
+		b.WriteByte('(')
+	}
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if n.Op == OpWSum {
+			fmt.Fprintf(b, "%g ", n.Weights[i])
+		}
+		c.write(b)
+	}
+	b.WriteByte(')')
+}
+
+// ParseError reports a query syntax problem.
+type ParseError struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("inference: parse %q at %d: %s", e.Query, e.Pos, e.Msg)
+}
+
+// Parse parses a query. A query is a sequence of items, each a bare term
+// or an operator application `#op(item...)`; multiple top-level items
+// are wrapped in #sum, INQUERY's default combination. Operator names:
+// #sum #wsum #and #or #not #max #syn #phrase #odN #uwN #filreq #filrej.
+// #wsum alternates numeric weights and items; the filter operators take
+// exactly (filter, expression). Term normalization (stemming,
+// stopping) is the caller's concern; Parse preserves terms verbatim.
+func Parse(query string) (*Node, error) {
+	p := &parser{src: query}
+	var items []*Node
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		n, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, n)
+	}
+	switch len(items) {
+	case 0:
+		return nil, &ParseError{query, 0, "empty query"}
+	case 1:
+		return items[0], nil
+	default:
+		return &Node{Op: OpSum, Children: items}, nil
+	}
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{p.src, p.pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseItem() (*Node, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("unexpected end of query")
+	}
+	if p.src[p.pos] == '#' {
+		return p.parseOperator()
+	}
+	if p.src[p.pos] == '(' || p.src[p.pos] == ')' {
+		return nil, p.errf("unexpected %q", p.src[p.pos])
+	}
+	return p.parseTerm()
+}
+
+func (p *parser) parseTerm() (*Node, error) {
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.src[p.pos])
+		if c == '(' || c == ')' || c == '#' || unicode.IsSpace(c) || c == ',' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("expected a term")
+	}
+	return &Node{Op: OpTerm, Term: p.src[start:p.pos]}, nil
+}
+
+func (p *parser) parseOperator() (*Node, error) {
+	p.pos++ // consume '#'
+	start := p.pos
+	for !p.eof() && (isAlpha(p.src[p.pos]) || isDigit(p.src[p.pos])) {
+		p.pos++
+	}
+	name := strings.ToLower(p.src[start:p.pos])
+	node := &Node{}
+	switch {
+	case name == "sum":
+		node.Op = OpSum
+	case name == "wsum":
+		node.Op = OpWSum
+	case name == "and":
+		node.Op = OpAnd
+	case name == "or":
+		node.Op = OpOr
+	case name == "not":
+		node.Op = OpNot
+	case name == "max":
+		node.Op = OpMax
+	case name == "syn":
+		node.Op = OpSyn
+	case name == "filreq":
+		node.Op = OpFilReq
+	case name == "filrej":
+		node.Op = OpFilRej
+	case name == "phrase":
+		node.Op = OpOrderedWindow
+		node.Window = 3
+	case strings.HasPrefix(name, "od"):
+		node.Op = OpOrderedWindow
+		w, err := windowSuffix(name[2:], 3)
+		if err != nil {
+			return nil, p.errf("bad window in #%s", name)
+		}
+		node.Window = w
+	case strings.HasPrefix(name, "uw"):
+		node.Op = OpUnorderedWindow
+		w, err := windowSuffix(name[2:], 8)
+		if err != nil {
+			return nil, p.errf("bad window in #%s", name)
+		}
+		node.Window = w
+	default:
+		return nil, p.errf("unknown operator #%s", name)
+	}
+
+	p.skipSpace()
+	if p.eof() || p.src[p.pos] != '(' {
+		return nil, p.errf("expected '(' after #%s", name)
+	}
+	p.pos++
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, p.errf("missing ')' for #%s", name)
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		if node.Op == OpWSum {
+			w, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			node.Weights = append(node.Weights, w)
+			p.skipSpace()
+		}
+		child, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, child)
+	}
+	if len(node.Children) == 0 {
+		return nil, p.errf("#%s needs at least one argument", name)
+	}
+	if node.Op == OpNot && len(node.Children) != 1 {
+		return nil, p.errf("#not takes exactly one argument")
+	}
+	if (node.Op == OpFilReq || node.Op == OpFilRej) && len(node.Children) != 2 {
+		return nil, p.errf("#%s takes exactly two arguments (filter, expression)", name)
+	}
+	if node.Op == OpWSum && len(node.Weights) != len(node.Children) {
+		return nil, p.errf("#wsum weights and items mismatched")
+	}
+	if node.Op == OpOrderedWindow || node.Op == OpUnorderedWindow {
+		for _, c := range node.Children {
+			if c.Op != OpTerm {
+				return nil, p.errf("proximity operators take only terms")
+			}
+		}
+		if node.Op == OpUnorderedWindow && node.Window < len(node.Children) {
+			node.Window = len(node.Children)
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if isDigit(c) || c == '.' || c == '-' || c == '+' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return 0, p.errf("expected a weight")
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errf("bad weight %q", p.src[start:p.pos])
+	}
+	return v, nil
+}
+
+// windowSuffix parses the numeric suffix of #odN/#uwN, with a default
+// when absent (#od ≡ #od3, #uw ≡ #uw8).
+func windowSuffix(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad window %q", s)
+	}
+	return n, nil
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// NormalizeTerms rewrites every term leaf through fn (stemming/stopping
+// as configured by the engine). Terms for which fn returns "" are
+// dropped; operators left without children are removed, and an entirely
+// stopped query yields nil.
+func (n *Node) NormalizeTerms(fn func(string) string) *Node {
+	if n.Op == OpTerm {
+		t := fn(n.Term)
+		if t == "" {
+			return nil
+		}
+		return &Node{Op: OpTerm, Term: t}
+	}
+	out := &Node{Op: n.Op, Window: n.Window}
+	for i, c := range n.Children {
+		nc := c.NormalizeTerms(fn)
+		if nc == nil {
+			continue
+		}
+		out.Children = append(out.Children, nc)
+		if n.Op == OpWSum {
+			out.Weights = append(out.Weights, n.Weights[i])
+		}
+	}
+	if len(out.Children) == 0 {
+		return nil
+	}
+	return out
+}

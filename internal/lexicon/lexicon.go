@@ -1,0 +1,218 @@
+// Package lexicon implements INQUERY's term dictionary: "an
+// open-chaining hash dictionary to map text strings (words) to unique
+// integers called term ids. The hash dictionary also stores summary
+// statistics for each string and resides entirely in main memory during
+// query processing" (paper §3.1).
+//
+// In the integrated system the dictionary entry additionally carries the
+// storage reference for the term's inverted list — the Mneme object
+// identifier ("The Mneme identifier assigned to the object was stored in
+// the INQUERY hash dictionary entry for the associated term", §3.3) or,
+// for the B-tree backend, the record key.
+//
+// The table is a hand-rolled separate-chaining hash over a contiguous
+// entry arena, not a Go map, so that its behaviour (and its persistent
+// format) is explicit and stable.
+package lexicon
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Entry is one term's dictionary record.
+type Entry struct {
+	Term string
+	// ID is the term identifier, assigned densely from 0 in intern order.
+	ID uint32
+	// CTF is the collection term frequency (total occurrences).
+	CTF uint64
+	// DF is the document frequency (documents containing the term).
+	DF uint64
+	// Ref is the storage reference for the term's inverted list: a Mneme
+	// object identifier or a B-tree key, depending on the backend.
+	Ref uint64
+	// ListBytes is the encoded size of the term's inverted list record,
+	// maintained by the indexer. It drives pool selection analysis and
+	// the paper's Figures 1 and 2.
+	ListBytes uint32
+}
+
+// Dictionary is an open-chaining (separately chained) hash table. The
+// zero value is not usable; call New.
+type Dictionary struct {
+	buckets []int32 // index of chain head in entries, or -1
+	next    []int32 // chain links, parallel to entries
+	entries []Entry
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	d := &Dictionary{buckets: make([]int32, 64)}
+	for i := range d.buckets {
+		d.buckets[i] = -1
+	}
+	return d
+}
+
+// Len returns the number of distinct terms.
+func (d *Dictionary) Len() int { return len(d.entries) }
+
+// fnv1a is the 64-bit FNV-1a string hash.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Lookup finds a term. The returned pointer is valid until the next
+// Intern (which may grow the arena); callers must not retain it.
+func (d *Dictionary) Lookup(term string) (*Entry, bool) {
+	b := fnv1a(term) & uint64(len(d.buckets)-1)
+	for i := d.buckets[b]; i >= 0; i = d.next[i] {
+		if d.entries[i].Term == term {
+			return &d.entries[i], true
+		}
+	}
+	return nil, false
+}
+
+// Intern returns the entry for term, creating it with the next dense ID
+// if absent. The returned pointer is valid until the next Intern.
+func (d *Dictionary) Intern(term string) *Entry {
+	if e, ok := d.Lookup(term); ok {
+		return e
+	}
+	if len(d.entries) >= 2*len(d.buckets) {
+		d.grow()
+	}
+	id := uint32(len(d.entries))
+	d.entries = append(d.entries, Entry{Term: term, ID: id})
+	b := fnv1a(term) & uint64(len(d.buckets)-1)
+	d.next = append(d.next, d.buckets[b])
+	d.buckets[b] = int32(id)
+	return &d.entries[id]
+}
+
+// ByID returns the entry with the given term id, or nil if out of range.
+// The pointer is valid until the next Intern.
+func (d *Dictionary) ByID(id uint32) *Entry {
+	if int(id) >= len(d.entries) {
+		return nil
+	}
+	return &d.entries[id]
+}
+
+// Range calls fn for every entry in term-id order, stopping early if fn
+// returns false. The entry pointer must not be retained across Interns.
+func (d *Dictionary) Range(fn func(*Entry) bool) {
+	for i := range d.entries {
+		if !fn(&d.entries[i]) {
+			return
+		}
+	}
+}
+
+// grow doubles the bucket array and rechains every entry.
+func (d *Dictionary) grow() {
+	nb := make([]int32, len(d.buckets)*2)
+	for i := range nb {
+		nb[i] = -1
+	}
+	d.buckets = nb
+	for i := range d.entries {
+		b := fnv1a(d.entries[i].Term) & uint64(len(d.buckets)-1)
+		d.next[i] = d.buckets[b]
+		d.buckets[b] = int32(i)
+	}
+}
+
+const magic = "INQLEX1\n"
+
+// ErrBadFormat reports a corrupt or foreign dictionary image.
+var ErrBadFormat = errors.New("lexicon: bad dictionary image")
+
+// Encode serializes the dictionary to a byte image (terms in id order).
+func (d *Dictionary) Encode() []byte {
+	var size int
+	for i := range d.entries {
+		size += len(d.entries[i].Term) + 5*binary.MaxVarintLen64
+	}
+	buf := make([]byte, 0, len(magic)+binary.MaxVarintLen64+size)
+	buf = append(buf, magic...)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(len(d.entries)))
+	for i := range d.entries {
+		e := &d.entries[i]
+		put(uint64(len(e.Term)))
+		buf = append(buf, e.Term...)
+		put(e.CTF)
+		put(e.DF)
+		put(e.Ref)
+		put(uint64(e.ListBytes))
+	}
+	return buf
+}
+
+// Decode reconstructs a dictionary from an Encode image.
+func Decode(buf []byte) (*Dictionary, error) {
+	if len(buf) < len(magic) || string(buf[:len(magic)]) != magic {
+		return nil, ErrBadFormat
+	}
+	off := len(magic)
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return 0, ErrBadFormat
+		}
+		off += n
+		return v, nil
+	}
+	count, err := get()
+	if err != nil {
+		return nil, err
+	}
+	d := New()
+	for i := uint64(0); i < count; i++ {
+		tl, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(tl) > len(buf) {
+			return nil, fmt.Errorf("%w: truncated term", ErrBadFormat)
+		}
+		term := string(buf[off : off+int(tl)])
+		off += int(tl)
+		e := d.Intern(term)
+		if e.ID != uint32(i) {
+			return nil, fmt.Errorf("%w: duplicate term %q", ErrBadFormat, term)
+		}
+		if e.CTF, err = get(); err != nil {
+			return nil, err
+		}
+		if e.DF, err = get(); err != nil {
+			return nil, err
+		}
+		if e.Ref, err = get(); err != nil {
+			return nil, err
+		}
+		lb, err := get()
+		if err != nil {
+			return nil, err
+		}
+		e.ListBytes = uint32(lb)
+	}
+	return d, nil
+}

@@ -1,0 +1,230 @@
+package lexicon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	d := New()
+	for i := 0; i < 100; i++ {
+		e := d.Intern(fmt.Sprintf("term%03d", i))
+		if e.ID != uint32(i) {
+			t.Fatalf("Intern #%d: ID = %d", i, e.ID)
+		}
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Re-interning returns the same entry, no new ID.
+	e := d.Intern("term042")
+	if e.ID != 42 || d.Len() != 100 {
+		t.Fatalf("re-intern: ID = %d, Len = %d", e.ID, d.Len())
+	}
+}
+
+func TestLookupAndByID(t *testing.T) {
+	d := New()
+	e := d.Intern("retrieval")
+	e.CTF = 7
+	e.DF = 3
+	e.Ref = 99
+	e.ListBytes = 123
+
+	got, ok := d.Lookup("retrieval")
+	if !ok || got.CTF != 7 || got.DF != 3 || got.Ref != 99 || got.ListBytes != 123 {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Fatal("Lookup(absent) = true")
+	}
+	if byID := d.ByID(0); byID == nil || byID.Term != "retrieval" {
+		t.Fatalf("ByID(0) = %+v", byID)
+	}
+	if d.ByID(1) != nil {
+		t.Fatal("ByID out of range != nil")
+	}
+}
+
+func TestGrowPreservesEntries(t *testing.T) {
+	d := New()
+	const n = 5000 // forces several grows past the initial 64 buckets
+	for i := 0; i < n; i++ {
+		e := d.Intern(fmt.Sprintf("w%d", i))
+		e.CTF = uint64(i)
+	}
+	for i := 0; i < n; i++ {
+		e, ok := d.Lookup(fmt.Sprintf("w%d", i))
+		if !ok || e.ID != uint32(i) || e.CTF != uint64(i) {
+			t.Fatalf("after grow: w%d => %+v, %v", i, e, ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	d := New()
+	d.Intern("a")
+	d.Intern("b")
+	d.Intern("c")
+	var seen []string
+	d.Range(func(e *Entry) bool {
+		seen = append(seen, e.Term)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != "a" || seen[2] != "c" {
+		t.Fatalf("Range order = %v", seen)
+	}
+	count := 0
+	d.Range(func(e *Entry) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early-stop Range visited %d", count)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := New()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		e := d.Intern(fmt.Sprintf("token-%d", i))
+		e.CTF = rng.Uint64() % 1e9
+		e.DF = rng.Uint64() % 1e6
+		e.Ref = rng.Uint64()
+		e.ListBytes = rng.Uint32()
+	}
+	img := d.Encode()
+	got, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), d.Len())
+	}
+	d.Range(func(e *Entry) bool {
+		g, ok := got.Lookup(e.Term)
+		if !ok || *g != *e {
+			t.Fatalf("entry %q: got %+v want %+v", e.Term, g, e)
+		}
+		return true
+	})
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("WRONGMAG"),
+		append([]byte(magic), 0x80),      // truncated count varint
+		append([]byte(magic), 2, 5, 'a'), // truncated term
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: Decode succeeded on garbage", i)
+		}
+	}
+}
+
+func TestDecodeRejectsDuplicateTerms(t *testing.T) {
+	// Hand-build an image with the same term twice.
+	var buf []byte
+	buf = append(buf, magic...)
+	buf = append(buf, 2) // count
+	for i := 0; i < 2; i++ {
+		buf = append(buf, 3)        // term len
+		buf = append(buf, "dup"...) // term
+		buf = append(buf, 0, 0, 0, 0)
+	}
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("duplicate term accepted")
+	}
+}
+
+// TestPropertyInternIdempotent via testing/quick: interning any multiset
+// of strings yields one ID per distinct string and Lookup agrees.
+func TestPropertyInternIdempotent(t *testing.T) {
+	check := func(words []string) bool {
+		d := New()
+		ids := make(map[string]uint32)
+		for _, w := range words {
+			e := d.Intern(w)
+			if prev, ok := ids[w]; ok && prev != e.ID {
+				return false
+			}
+			ids[w] = e.ID
+		}
+		if d.Len() != len(ids) {
+			return false
+		}
+		for w, id := range ids {
+			e, ok := d.Lookup(w)
+			if !ok || e.ID != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEncodeDecode via testing/quick on arbitrary term sets.
+func TestPropertyEncodeDecode(t *testing.T) {
+	check := func(words []string, stats []uint32) bool {
+		d := New()
+		for i, w := range words {
+			e := d.Intern(w)
+			if i < len(stats) {
+				e.CTF = uint64(stats[i])
+				e.DF = uint64(stats[i] / 2)
+			}
+		}
+		got, err := Decode(d.Encode())
+		if err != nil || got.Len() != d.Len() {
+			return false
+		}
+		okAll := true
+		d.Range(func(e *Entry) bool {
+			g, ok := got.Lookup(e.Term)
+			if !ok || *g != *e {
+				okAll = false
+				return false
+			}
+			return true
+		})
+		return okAll
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntern(b *testing.B) {
+	words := make([]string, 10000)
+	for i := range words {
+		words[i] = fmt.Sprintf("word-%d", i%5000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New()
+		for _, w := range words {
+			d.Intern(w)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	d := New()
+	for i := 0; i < 50000; i++ {
+		d.Intern(fmt.Sprintf("word-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(fmt.Sprintf("word-%d", i%50000))
+	}
+}

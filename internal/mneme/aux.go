@@ -1,0 +1,99 @@
+package mneme
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// auxWriter builds the auxiliary-table image written at Flush.
+type auxWriter struct {
+	buf []byte
+}
+
+func (w *auxWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *auxWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *auxWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *auxWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *auxWriter) i32(v int32)  { w.u32(uint32(v)) }
+
+func (w *auxWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *auxWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+var errAuxShort = errors.New("aux image truncated")
+
+// auxReader parses the auxiliary-table image at Open. The first error
+// sticks; callers check err once after a parsing batch.
+type auxReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *auxReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w at offset %d", errAuxShort, r.off)
+	}
+}
+
+func (r *auxReader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *auxReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *auxReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *auxReader) i64() int64 { return int64(r.u64()) }
+func (r *auxReader) i32() int32 { return int32(r.u32()) }
+
+func (r *auxReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *auxReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return b
+}

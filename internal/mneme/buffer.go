@@ -1,0 +1,260 @@
+package mneme
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// segRef names one physical segment: the owning pool's index within the
+// store and the pool's internal segment number. The reference is stable
+// across shadow relocation of the segment within the file.
+type segRef struct {
+	pool uint8
+	idx  int32
+}
+
+// Segment is a resident (or transiently loaded) physical segment.
+type Segment struct {
+	ref      segRef
+	data     []byte
+	dirty    bool
+	reserved bool
+	elem     *list.Element // policy bookkeeping; nil when transient
+}
+
+// Data exposes the segment's bytes. Pools slice objects out of it.
+func (s *Segment) Data() []byte { return s.data }
+
+// ReplacementPolicy is the extensibility hook the paper describes:
+// "Buffers may be defined by supplying a number of standard buffer
+// operations ... How these operations are implemented determines the
+// policies used to manage the buffer." Implementations order resident
+// segments and nominate eviction victims.
+type ReplacementPolicy interface {
+	// Inserted records a newly resident segment.
+	Inserted(*Segment)
+	// Touched records a reference to a resident segment.
+	Touched(*Segment)
+	// Removed forgets an evicted segment.
+	Removed(*Segment)
+	// Victim returns the next eviction candidate, skipping segments for
+	// which skip returns true, or nil if none qualifies.
+	Victim(skip func(*Segment) bool) *Segment
+}
+
+// lruPolicy is least-recently-used replacement — the policy the paper
+// selects for all three pools ("least recently used (LRU) with a slight
+// optimization", the optimization being reservation, which the Buffer
+// implements by skipping reserved segments during victim selection).
+type lruPolicy struct {
+	order *list.List // front = most recently used
+}
+
+// NewLRU returns an LRU replacement policy.
+func NewLRU() ReplacementPolicy { return &lruPolicy{order: list.New()} }
+
+func (p *lruPolicy) Inserted(s *Segment) { s.elem = p.order.PushFront(s) }
+func (p *lruPolicy) Touched(s *Segment)  { p.order.MoveToFront(s.elem) }
+func (p *lruPolicy) Removed(s *Segment) {
+	p.order.Remove(s.elem)
+	s.elem = nil
+}
+
+func (p *lruPolicy) Victim(skip func(*Segment) bool) *Segment {
+	for e := p.order.Back(); e != nil; e = e.Prev() {
+		s := e.Value.(*Segment)
+		if !skip(s) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Buffer manages the residency of one pool's physical segments. Each
+// pool attaches to its own buffer ("Each object pool was attached to a
+// separate buffer, allowing the global buffer space to be divided
+// between the object pools based on expected access patterns").
+type Buffer struct {
+	capacity int64
+	used     int64
+	resident map[segRef]*Segment
+	policy   ReplacementPolicy
+	stats    BufferStats
+
+	// save is the pool's modified-segment-save call-back, invoked when
+	// a dirty segment is evicted or flushed.
+	save func(*Segment) error
+}
+
+// NewBuffer creates a buffer with the given byte capacity and policy.
+// Capacity <= 0 disables caching: every acquisition is transient.
+func NewBuffer(capacity int64, policy ReplacementPolicy, save func(*Segment) error) *Buffer {
+	return &Buffer{
+		capacity: capacity,
+		resident: make(map[segRef]*Segment),
+		policy:   policy,
+		save:     save,
+	}
+}
+
+// SetCapacity changes the buffer's capacity, evicting as needed when
+// shrinking. Used by the buffer-size sweep of Figure 3.
+func (b *Buffer) SetCapacity(capacity int64) error {
+	b.capacity = capacity
+	if capacity <= 0 {
+		return b.Clear()
+	}
+	return b.evictUntil(capacity)
+}
+
+// Capacity returns the configured capacity in bytes.
+func (b *Buffer) Capacity() int64 { return b.capacity }
+
+// Stats returns the access counters.
+func (b *Buffer) Stats() BufferStats { return b.stats }
+
+// ResetStats zeroes the access counters.
+func (b *Buffer) ResetStats() { b.stats = BufferStats{} }
+
+// Acquire returns the named segment, loading it with load on a miss.
+// countRef selects whether this access is an object reference (counted
+// in Refs/Hits, i.e. the paper's Table 6) or internal bookkeeping.
+// With caching disabled the segment is transient: it is returned but
+// never made resident.
+func (b *Buffer) Acquire(ref segRef, size int, countRef bool, load func([]byte) error) (*Segment, error) {
+	if countRef {
+		b.stats.Refs++
+	}
+	if s, ok := b.resident[ref]; ok {
+		if countRef {
+			b.stats.Hits++
+		}
+		b.policy.Touched(s)
+		return s, nil
+	}
+	data := make([]byte, size)
+	if err := load(data); err != nil {
+		return nil, err
+	}
+	b.stats.Loads++
+	s := &Segment{ref: ref, data: data}
+	if b.capacity <= 0 {
+		return s, nil // transient: no caching configured
+	}
+	if err := b.evictUntil(b.capacity - int64(size)); err != nil {
+		return nil, err
+	}
+	b.resident[ref] = s
+	b.used += int64(size)
+	b.policy.Inserted(s)
+	return s, nil
+}
+
+// evictUntil evicts unreserved victims until used <= limit or no victim
+// remains. Dirty victims are saved through the pool call-back first.
+func (b *Buffer) evictUntil(limit int64) error {
+	for b.used > limit {
+		v := b.policy.Victim(func(s *Segment) bool { return s.reserved })
+		if v == nil {
+			return nil // everything reserved; tolerate overflow
+		}
+		if err := b.evict(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Buffer) evict(s *Segment) error {
+	if s.dirty {
+		if err := b.save(s); err != nil {
+			return err
+		}
+		s.dirty = false
+	}
+	b.policy.Removed(s)
+	delete(b.resident, s.ref)
+	b.used -= int64(len(s.data))
+	b.stats.Evictions++
+	return nil
+}
+
+// MarkDirty flags a segment as modified. A transient segment (no-cache
+// mode) is saved immediately through the pool call-back, since nothing
+// would otherwise write it back.
+func (b *Buffer) MarkDirty(s *Segment) error {
+	if _, ok := b.resident[s.ref]; !ok {
+		return b.save(s)
+	}
+	s.dirty = true
+	return nil
+}
+
+// Resident reports whether the segment is in the buffer.
+func (b *Buffer) Resident(ref segRef) bool {
+	_, ok := b.resident[ref]
+	return ok
+}
+
+// ReserveResident pins the segment against eviction if (and only if) it
+// is already resident — the paper's optimization: "we quickly scan the
+// tree and 'reserve' any objects required by the query that are already
+// resident, potentially avoiding a bad replacement choice." It reports
+// whether a reservation was made.
+func (b *Buffer) ReserveResident(ref segRef) bool {
+	s, ok := b.resident[ref]
+	if !ok {
+		return false
+	}
+	s.reserved = true
+	return true
+}
+
+// ReleaseReservations unpins every reserved segment.
+func (b *Buffer) ReleaseReservations() {
+	for _, s := range b.resident {
+		s.reserved = false
+	}
+}
+
+// FlushDirty saves every dirty resident segment via the pool call-back.
+func (b *Buffer) FlushDirty() error {
+	for _, s := range b.resident {
+		if s.dirty {
+			if err := b.save(s); err != nil {
+				return err
+			}
+			s.dirty = false
+		}
+	}
+	return nil
+}
+
+// Drop removes a segment without saving — used when the pool has
+// rewritten or invalidated it (compaction, deletion of a large object).
+func (b *Buffer) Drop(ref segRef) {
+	if s, ok := b.resident[ref]; ok {
+		b.policy.Removed(s)
+		delete(b.resident, ref)
+		b.used -= int64(len(s.data))
+	}
+}
+
+// Clear evicts everything, saving dirty segments first.
+func (b *Buffer) Clear() error {
+	for _, s := range b.resident {
+		if s.dirty {
+			if err := b.save(s); err != nil {
+				return fmt.Errorf("mneme: clear: %w", err)
+			}
+			s.dirty = false
+		}
+		b.policy.Removed(s)
+		delete(b.resident, s.ref)
+		b.used -= int64(len(s.data))
+	}
+	return nil
+}
+
+// Used returns the bytes currently resident.
+func (b *Buffer) Used() int64 { return b.used }

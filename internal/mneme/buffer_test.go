@@ -1,0 +1,248 @@
+package mneme
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestBufferHitMiss(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 1<<20))
+	a, _ := st.Allocate("large", payload(1, 5000))
+	b, _ := st.Allocate("large", payload(2, 5000))
+	st.Flush()
+	st.DropBuffers()
+	st.ResetBufferStats()
+
+	st.Get(a) // miss
+	st.Get(a) // hit
+	st.Get(b) // miss
+	st.Get(a) // hit
+	bs := st.BufferStats()["large"]
+	if bs.Refs != 4 || bs.Hits != 2 || bs.Loads != 2 {
+		t.Fatalf("large buffer stats = %+v", bs)
+	}
+	if bs.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", bs.HitRate())
+	}
+}
+
+func TestBufferNoCacheMode(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 0))
+	a, _ := st.Allocate("large", payload(1, 5000))
+	st.Flush()
+	st.ResetBufferStats()
+	for i := 0; i < 5; i++ {
+		if got, err := st.Get(a); err != nil || !bytes.Equal(got, payload(1, 5000)) {
+			t.Fatalf("Get #%d: %v", i, err)
+		}
+	}
+	bs := st.BufferStats()["large"]
+	if bs.Refs != 5 || bs.Hits != 0 || bs.Loads != 5 {
+		t.Fatalf("no-cache stats = %+v", bs)
+	}
+	if st.IsResident(a) {
+		t.Fatal("object resident with caching disabled")
+	}
+}
+
+func TestBufferLRUEviction(t *testing.T) {
+	fs := newStoreFS()
+	// Large buffer fits exactly two 5000-byte segments.
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 10000))
+	a, _ := st.Allocate("large", payload(1, 5000))
+	b, _ := st.Allocate("large", payload(2, 5000))
+	c, _ := st.Allocate("large", payload(3, 5000))
+	st.Flush()
+	st.DropBuffers()
+	st.ResetBufferStats()
+
+	st.Get(a)
+	st.Get(b)
+	st.Get(c) // evicts a (LRU)
+	if st.IsResident(a) {
+		t.Fatal("LRU victim still resident")
+	}
+	if !st.IsResident(b) || !st.IsResident(c) {
+		t.Fatal("recently used segments evicted")
+	}
+	st.Get(b) // touch b so c becomes LRU
+	st.Get(a) // evicts c
+	if st.IsResident(c) {
+		t.Fatal("touched ordering ignored: c should have been evicted")
+	}
+	bs := st.BufferStats()["large"]
+	if bs.Evictions != 2 {
+		t.Fatalf("Evictions = %d, want 2", bs.Evictions)
+	}
+}
+
+func TestReserveProtectsResidentSegments(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 10000))
+	a, _ := st.Allocate("large", payload(1, 5000))
+	b, _ := st.Allocate("large", payload(2, 5000))
+	c, _ := st.Allocate("large", payload(3, 5000))
+	st.Flush()
+	st.DropBuffers()
+
+	st.Get(a)
+	st.Get(b)
+	// Reserve a (the LRU) as a query tree scan would; c's load must then
+	// evict b instead.
+	if n := st.Reserve([]ObjectID{a, c}); n != 1 {
+		t.Fatalf("Reserve made %d reservations, want 1 (c is not resident)", n)
+	}
+	st.Get(c)
+	if !st.IsResident(a) {
+		t.Fatal("reserved segment evicted")
+	}
+	if st.IsResident(b) {
+		t.Fatal("unreserved segment survived over reserved one")
+	}
+	st.ReleaseReservations()
+	st.Get(b) // now a is LRU and unreserved: evicted
+	if st.IsResident(a) {
+		t.Fatal("released segment not evictable")
+	}
+}
+
+func TestReserveSkipsInvalidAndAbsent(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 10000))
+	a, _ := st.Allocate("large", payload(1, 500))
+	if n := st.Reserve([]ObjectID{NilID, makeID(900, 1), a}); n != 1 {
+		// a was just allocated, so its segment is resident and reservable.
+		t.Fatalf("Reserve = %d, want 1", n)
+	}
+	st.ReleaseReservations()
+}
+
+func TestSetBufferCapacityShrinkEvicts(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 1<<20))
+	var ids []ObjectID
+	for i := 0; i < 10; i++ {
+		id, _ := st.Allocate("large", payload(i, 5000))
+		ids = append(ids, id)
+	}
+	st.Flush()
+	for _, id := range ids {
+		st.Get(id)
+	}
+	resident := 0
+	for _, id := range ids {
+		if st.IsResident(id) {
+			resident++
+		}
+	}
+	if resident != 10 {
+		t.Fatalf("resident = %d before shrink", resident)
+	}
+	if err := st.SetBufferCapacity("large", 12000); err != nil {
+		t.Fatal(err)
+	}
+	resident = 0
+	for _, id := range ids {
+		if st.IsResident(id) {
+			resident++
+		}
+	}
+	if resident > 2 {
+		t.Fatalf("resident = %d after shrink to 2 segments", resident)
+	}
+	if err := st.SetBufferCapacity("bogus", 1); err == nil {
+		t.Fatal("SetBufferCapacity on unknown pool succeeded")
+	}
+}
+
+func TestDirtyEvictionPersists(t *testing.T) {
+	fs := newStoreFS()
+	// Tiny medium buffer: one 8K segment at a time.
+	st := mustCreate(t, fs, "store", paperConfig(0, 8192, 0))
+	var ids []ObjectID
+	// Each allocation dirties the open segment; filling several segments
+	// forces dirty evictions along the way.
+	for i := 0; i < 40; i++ {
+		id, err := st.Allocate("medium", payload(i, 1500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	st.Close()
+	st2, err := Open(fs, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got, err := st2.Get(id)
+		if err != nil || !bytes.Equal(got, payload(i, 1500)) {
+			t.Fatalf("object %d lost through dirty eviction: %v", i, err)
+		}
+	}
+}
+
+// TestShadowSaveKeepsResidencyKeyStable: a dirty segment that is
+// relocated by its save call-back must remain addressable through the
+// same segRef afterwards.
+func TestShadowSaveKeepsResidencyKeyStable(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 1<<20, 0))
+	id, _ := st.Allocate("medium", payload(1, 1000))
+	st.Flush() // shadow-saves the dirty segment to a fresh extent
+	if got, err := st.Get(id); err != nil || !bytes.Equal(got, payload(1, 1000)) {
+		t.Fatalf("Get after flush: %v", err)
+	}
+	// Modify and flush again: another relocation.
+	st.Modify(id, payload(2, 999))
+	st.Flush()
+	st.DropBuffers()
+	if got, err := st.Get(id); err != nil || !bytes.Equal(got, payload(2, 999)) {
+		t.Fatalf("Get after second shadow save: %v", err)
+	}
+}
+
+func TestBufferOverflowWhenAllReserved(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 6000))
+	a, _ := st.Allocate("large", payload(1, 5000))
+	b, _ := st.Allocate("large", payload(2, 5000))
+	st.Flush()
+	st.DropBuffers()
+	st.Get(a)
+	st.Reserve([]ObjectID{a})
+	// Loading b exceeds capacity but the only victim is reserved; the
+	// buffer must tolerate the overflow rather than fail.
+	if got, err := st.Get(b); err != nil || !bytes.Equal(got, payload(2, 5000)) {
+		t.Fatalf("Get under full reservation: %v", err)
+	}
+	if !st.IsResident(a) {
+		t.Fatal("reserved segment evicted under pressure")
+	}
+	st.ReleaseReservations()
+}
+
+func TestStoreFileAccessCounting(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192}) // no OS cache
+	st := mustCreate(t, fs, "store", Config{Pools: []PoolConfig{
+		{Name: "large", Kind: PoolLarge, BufferBytes: 1 << 20},
+	}})
+	id, _ := st.Allocate("large", payload(1, 9000))
+	st.Flush()
+	st.DropBuffers()
+	fs.ResetStats()
+
+	st.Get(id) // one segment load: one file access
+	s := fs.Stats()
+	if s.FileAccesses != 1 {
+		t.Fatalf("FileAccesses = %d, want 1 (Mneme's ~1 access per lookup)", s.FileAccesses)
+	}
+	st.Get(id) // resident: no file access
+	if s2 := fs.Stats(); s2.FileAccesses != 1 {
+		t.Fatalf("FileAccesses after hit = %d, want 1", s2.FileAccesses)
+	}
+}

@@ -1,0 +1,232 @@
+package mneme
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Chunked objects implement the paper's suggested use of Mneme's richer
+// data model: "Inter-object references allow structures such as linked
+// lists to be used to break large objects into more manageable pieces.
+// This could provide better support for inverted list updates and allow
+// incremental retrieval of large aggregate objects" (paper §6).
+//
+// A chunk is an ordinary object whose first 4 bytes hold the ObjectID of
+// the next chunk (NilID terminates the list) followed by payload bytes.
+
+const chunkHeader = 4
+
+// ChunkRefLocator is the RefLocator for pools that store chunks: the
+// only reference is the next-chunk identifier in the header.
+func ChunkRefLocator(data []byte) []ObjectID {
+	if len(data) < chunkHeader {
+		return nil
+	}
+	next := ObjectID(binary.LittleEndian.Uint32(data))
+	if next == NilID {
+		return nil
+	}
+	return []ObjectID{next}
+}
+
+// WriteChunked stores data as a linked list of chunks in the named pool,
+// each chunk carrying at most chunkSize payload bytes, and returns the
+// head chunk's identifier. Chunks are allocated tail-first so each can
+// embed its successor's identifier.
+func WriteChunked(st *Store, poolName string, data []byte, chunkSize int) (ObjectID, error) {
+	if chunkSize <= 0 {
+		return NilID, fmt.Errorf("mneme: chunk size %d", chunkSize)
+	}
+	n := (len(data) + chunkSize - 1) / chunkSize
+	if n == 0 {
+		n = 1 // an empty object still gets one (empty) chunk
+	}
+	next := NilID
+	for i := n - 1; i >= 0; i-- {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := make([]byte, chunkHeader+hi-lo)
+		binary.LittleEndian.PutUint32(chunk, uint32(next))
+		copy(chunk[chunkHeader:], data[lo:hi])
+		id, err := st.Allocate(poolName, chunk)
+		if err != nil {
+			return NilID, err
+		}
+		next = id
+	}
+	return next, nil
+}
+
+// ReadChunked reassembles a chunked object.
+func ReadChunked(st *Store, head ObjectID) ([]byte, error) {
+	var out []byte
+	err := ScanChunked(st, head, func(payload []byte) bool {
+		out = append(out, payload...)
+		return true
+	})
+	return out, err
+}
+
+// ScanChunked walks the chunk list, calling fn with each payload in
+// order — incremental retrieval of a large aggregate object. fn
+// returning false stops the walk early. fn must not retain the slice.
+func ScanChunked(st *Store, head ObjectID, fn func(payload []byte) bool) error {
+	seen := make(map[ObjectID]bool)
+	for id := head; id != NilID; {
+		if seen[id] {
+			return fmt.Errorf("%w: chunk cycle at %#x", ErrCorrupt, uint32(id))
+		}
+		seen[id] = true
+		var next ObjectID
+		stop := false
+		err := st.View(id, func(data []byte) error {
+			if len(data) < chunkHeader {
+				return fmt.Errorf("%w: chunk %#x shorter than header", ErrCorrupt, uint32(id))
+			}
+			next = ObjectID(binary.LittleEndian.Uint32(data))
+			if !fn(data[chunkHeader:]) {
+				stop = true
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}
+
+// AppendChunked extends a chunked object with extra bytes by writing new
+// chunks and linking them from the current tail — the incremental
+// inverted-list update the paper motivates, which never rewrites the
+// existing chunks. It returns the head (unchanged).
+func AppendChunked(st *Store, poolName string, head ObjectID, extra []byte, chunkSize int) (ObjectID, error) {
+	if len(extra) == 0 {
+		return head, nil
+	}
+	newHead, err := WriteChunked(st, poolName, extra, chunkSize)
+	if err != nil {
+		return NilID, err
+	}
+	// Find the tail chunk of the existing list.
+	tail := NilID
+	for id := head; id != NilID; {
+		var next ObjectID
+		err := st.View(id, func(data []byte) error {
+			if len(data) < chunkHeader {
+				return fmt.Errorf("%w: chunk %#x shorter than header", ErrCorrupt, uint32(id))
+			}
+			next = ObjectID(binary.LittleEndian.Uint32(data))
+			return nil
+		})
+		if err != nil {
+			return NilID, err
+		}
+		tail = id
+		id = next
+	}
+	if tail == NilID {
+		return newHead, nil
+	}
+	// Relink the tail to the new chunks.
+	var relinked []byte
+	err = st.View(tail, func(data []byte) error {
+		relinked = append([]byte(nil), data...)
+		return nil
+	})
+	if err != nil {
+		return NilID, err
+	}
+	binary.LittleEndian.PutUint32(relinked, uint32(newHead))
+	if err := st.Modify(tail, relinked); err != nil {
+		return NilID, err
+	}
+	return head, nil
+}
+
+// DeleteChunked removes every chunk of a chunked object.
+func DeleteChunked(st *Store, head ObjectID) error {
+	for id := head; id != NilID; {
+		var next ObjectID
+		err := st.View(id, func(data []byte) error {
+			if len(data) < chunkHeader {
+				return fmt.Errorf("%w: chunk %#x shorter than header", ErrCorrupt, uint32(id))
+			}
+			next = ObjectID(binary.LittleEndian.Uint32(data))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := st.Delete(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// ChunkedReader returns an io.Reader over a chunked object's payload,
+// fetching chunks lazily as the reader advances — at most one chunk's
+// segment needs to be resident at a time.
+func ChunkedReader(st *Store, head ObjectID) io.Reader {
+	return &chunkReader{st: st, next: head, seen: make(map[ObjectID]bool)}
+}
+
+type chunkReader struct {
+	st   *Store
+	next ObjectID
+	buf  []byte
+	seen map[ObjectID]bool
+	err  error
+}
+
+func (cr *chunkReader) Read(p []byte) (int, error) {
+	for len(cr.buf) == 0 {
+		if cr.err != nil {
+			return 0, cr.err
+		}
+		if cr.next == NilID {
+			return 0, io.EOF
+		}
+		id := cr.next
+		if cr.seen[id] {
+			cr.err = fmt.Errorf("%w: chunk cycle at %#x", ErrCorrupt, uint32(id))
+			return 0, cr.err
+		}
+		cr.seen[id] = true
+		err := cr.st.View(id, func(data []byte) error {
+			if len(data) < chunkHeader {
+				return fmt.Errorf("%w: chunk %#x shorter than header", ErrCorrupt, uint32(id))
+			}
+			cr.next = ObjectID(binary.LittleEndian.Uint32(data))
+			cr.buf = append(cr.buf[:0], data[chunkHeader:]...)
+			return nil
+		})
+		if err != nil {
+			cr.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, cr.buf)
+	cr.buf = cr.buf[n:]
+	return n, nil
+}
+
+// ChunkedLen returns the total payload size of a chunked object.
+func ChunkedLen(st *Store, head ObjectID) (int, error) {
+	total := 0
+	err := ScanChunked(st, head, func(p []byte) bool {
+		total += len(p)
+		return true
+	})
+	return total, err
+}

@@ -1,0 +1,77 @@
+package mneme
+
+import "fmt"
+
+// CopyTo writes a compacted copy of the store into a new file: every
+// live object is re-allocated in the corresponding pool of the new
+// store, preserving object identifiers, and all abandoned file space
+// (shadow-superseded segments, replaced large extents, stale auxiliary
+// regions) is left behind. This is the "full store copy" that reclaims
+// what in-place compaction cannot — the role a mature data manager's
+// offline reorganization utility plays.
+//
+// Identifier preservation works by replaying allocation: pools are
+// walked in global logical-segment order and every slot of every
+// segment is allocated in sequence — live objects with their data, dead
+// or never-used slots as empty placeholders that are deleted afterwards
+// (leaving them reusable, exactly like freed slots).
+func (st *Store) CopyTo(name string) (*Store, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, ErrStoreClosed
+	}
+	cfg := Config{}
+	for _, p := range st.pools {
+		cfg.Pools = append(cfg.Pools, p.config())
+	}
+	dst, err := Create(st.fs, name, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Logical segments must be re-created in their original global
+	// order, since the segment-number allocator is store-wide.
+	var placeholders []ObjectID
+	for seg := uint32(1); seg < st.nextLogSeg; seg++ {
+		pi, ok := st.segPool[seg]
+		if !ok {
+			return nil, fmt.Errorf("mneme: copy: segment %d unassigned", seg)
+		}
+		src := st.pools[pi]
+		poolName := src.config().Name
+		for slot := 0; slot < SegmentObjects; slot++ {
+			id := makeID(seg, uint8(slot))
+			var data []byte
+			live := false
+			if _, exists := src.segOf(id); exists {
+				if err := src.view(id, func(b []byte) error {
+					data = append([]byte(nil), b...)
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+				live = true
+			}
+			nid, err := dst.Allocate(poolName, data)
+			if err != nil {
+				return nil, err
+			}
+			if nid != id {
+				return nil, fmt.Errorf("mneme: copy: id drift: %#x became %#x", uint32(id), uint32(nid))
+			}
+			if !live {
+				placeholders = append(placeholders, nid)
+			}
+		}
+	}
+	for _, id := range placeholders {
+		if err := dst.Delete(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := dst.Flush(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

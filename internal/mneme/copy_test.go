@@ -1,0 +1,154 @@
+package mneme
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCopyToPreservesIDsAndData(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "src", paperConfig(1<<14, 1<<17, 1<<19))
+	rng := rand.New(rand.NewSource(31))
+	ref := make(map[ObjectID][]byte)
+	var ids []ObjectID
+	for i := 0; i < 900; i++ {
+		var pool string
+		var size int
+		switch rng.Intn(3) {
+		case 0:
+			pool, size = "small", rng.Intn(13)
+		case 1:
+			pool, size = "medium", rng.Intn(4000)+13
+		default:
+			pool, size = "large", rng.Intn(20000)+4097
+		}
+		data := payload(i, size)
+		id, err := st.Allocate(pool, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[id] = data
+		ids = append(ids, id)
+	}
+	// Churn: modify and delete to create abandoned space.
+	for i := 0; i < 300; i++ {
+		id := ids[rng.Intn(len(ids))]
+		if ref[id] == nil {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			st.Delete(id)
+			ref[id] = nil
+		} else {
+			size := len(ref[id])
+			if size == 0 {
+				size = 1
+			}
+			data := payload(i+5000, size)
+			if err := st.Modify(id, data); err != nil {
+				t.Fatal(err)
+			}
+			ref[id] = data
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := st.CopyTo("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every live object readable under its original id.
+	for id, want := range ref {
+		got, err := dst.Get(id)
+		if want == nil {
+			if err == nil {
+				t.Fatalf("deleted object %#x alive in copy", uint32(id))
+			}
+			continue
+		}
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("copy Get(%#x): %v", uint32(id), err)
+		}
+	}
+	// The copy is no larger than the churned source.
+	if dst.SizeBytes() > st.SizeBytes() {
+		t.Fatalf("copy (%d) larger than churned source (%d)", dst.SizeBytes(), st.SizeBytes())
+	}
+	// The copy keeps working after reopen and accepts new allocations.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst2, err := Open(fs, "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nid, err := dst2.Allocate("medium", payload(9999, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := ref[nid]; live != nil {
+		t.Fatalf("new allocation %#x collided with a live copied object", uint32(nid))
+	}
+	if got, err := dst2.Get(nid); err != nil || !bytes.Equal(got, payload(9999, 500)) {
+		t.Fatalf("alloc in copy: %v", err)
+	}
+}
+
+func TestCopyToReclaimsSpace(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "src", Config{Pools: []PoolConfig{
+		{Name: "large", Kind: PoolLarge, BufferBytes: 1 << 20},
+	}})
+	id, _ := st.Allocate("large", payload(1, 50_000))
+	// Repeated modification abandons extents.
+	for i := 0; i < 20; i++ {
+		if err := st.Modify(id, payload(i, 50_000)); err != nil {
+			t.Fatal(err)
+		}
+		st.Flush()
+	}
+	churned := st.SizeBytes()
+	dst, err := st.CopyTo("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.SizeBytes() >= churned/3 {
+		t.Fatalf("copy reclaimed too little: %d of %d", dst.SizeBytes(), churned)
+	}
+	got, err := dst.Get(id)
+	if err != nil || !bytes.Equal(got, payload(19, 50_000)) {
+		t.Fatalf("copied object wrong: %v", err)
+	}
+}
+
+func TestCopyToPreservesChunkReferences(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "src", chunkConfig())
+	data := payload(3, 20_000)
+	head, err := WriteChunked(st, "chunks", data, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Flush()
+	dst, err := st.CopyTo("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inter-object references survive because ids are preserved.
+	got, err := ReadChunked(dst, head)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("chunk list broken in copy: %v", err)
+	}
+}
+
+func TestCopyToClosedStore(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "src", chunkConfig())
+	st.Close()
+	if _, err := st.CopyTo("dst"); err == nil {
+		t.Fatal("CopyTo on closed store succeeded")
+	}
+}

@@ -1,0 +1,277 @@
+package mneme
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func chunkConfig() Config {
+	return Config{Pools: []PoolConfig{
+		{Name: "chunks", Kind: PoolMedium, SegmentBytes: 8192, BufferBytes: 1 << 20},
+	}}
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	for _, size := range []int{0, 1, 100, 1000, 10000, 100000} {
+		data := payload(size, size)
+		head, err := WriteChunked(st, "chunks", data, 1024)
+		if err != nil {
+			t.Fatalf("WriteChunked(%d): %v", size, err)
+		}
+		got, err := ReadChunked(st, head)
+		if err != nil {
+			t.Fatalf("ReadChunked(%d): %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("chunked round trip failed for %d bytes", size)
+		}
+		if n, err := ChunkedLen(st, head); err != nil || n != size {
+			t.Fatalf("ChunkedLen = %d, %v; want %d", n, err, size)
+		}
+	}
+	if _, err := WriteChunked(st, "chunks", []byte("x"), 0); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}
+
+func TestChunkedIncrementalScan(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	data := payload(9, 5000)
+	head, _ := WriteChunked(st, "chunks", data, 512)
+	var got []byte
+	calls := 0
+	ScanChunked(st, head, func(p []byte) bool {
+		calls++
+		got = append(got, p...)
+		return calls < 3 // stop early: incremental retrieval
+	})
+	if calls != 3 || !bytes.Equal(got, data[:3*512]) {
+		t.Fatalf("incremental scan: calls=%d len=%d", calls, len(got))
+	}
+}
+
+func TestChunkedAppend(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	a := payload(1, 3000)
+	b := payload(2, 2000)
+	head, err := WriteChunked(st, "chunks", a, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head2, err := AppendChunked(st, "chunks", head, b, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head2 != head {
+		t.Fatal("append changed the head id")
+	}
+	got, err := ReadChunked(st, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append(append([]byte(nil), a...), b...)) {
+		t.Fatal("appended data mismatch")
+	}
+	// Appending nothing is a no-op.
+	if h, err := AppendChunked(st, "chunks", head, nil, 700); err != nil || h != head {
+		t.Fatalf("empty append = %v, %v", h, err)
+	}
+}
+
+func TestChunkedDelete(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	head, _ := WriteChunked(st, "chunks", payload(3, 4000), 512)
+	before := st.PoolStats()[0].Objects
+	if before < 8 {
+		t.Fatalf("expected >= 8 chunks, got %d", before)
+	}
+	if err := DeleteChunked(st, head); err != nil {
+		t.Fatal(err)
+	}
+	if after := st.PoolStats()[0].Objects; after != 0 {
+		t.Fatalf("chunks remain after delete: %d", after)
+	}
+}
+
+func TestChunkedCycleDetected(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	head, _ := WriteChunked(st, "chunks", payload(4, 100), 64)
+	// Point the head chunk's next field at itself.
+	raw, _ := st.Get(head)
+	raw[0] = byte(head)
+	raw[1] = byte(head >> 8)
+	raw[2] = byte(head >> 16)
+	raw[3] = byte(head >> 24)
+	st.Modify(head, raw)
+	if _, err := ReadChunked(st, head); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+// TestPropertyChunkedRoundTrip via testing/quick over sizes and chunk sizes.
+func TestPropertyChunkedRoundTrip(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	check := func(seed int64, sizeRaw uint16, chunkRaw uint8) bool {
+		size := int(sizeRaw) % 20000
+		chunk := int(chunkRaw)%2000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, size)
+		rng.Read(data)
+		head, err := WriteChunked(st, "chunks", data, chunk)
+		if err != nil {
+			return false
+		}
+		got, err := ReadChunked(st, head)
+		if err != nil || !bytes.Equal(got, data) {
+			return false
+		}
+		return DeleteChunked(st, head) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCCollectsUnreachableChunks(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	st.SetRefLocator("chunks", ChunkRefLocator)
+
+	keep, _ := WriteChunked(st, "chunks", payload(1, 3000), 512)
+	lose, _ := WriteChunked(st, "chunks", payload(2, 3000), 512)
+	total := st.PoolStats()[0].Objects
+
+	freed, err := st.GC([]ObjectID{keep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 || int64(freed) != total-st.PoolStats()[0].Objects {
+		t.Fatalf("freed = %d, total %d -> %d", freed, total, st.PoolStats()[0].Objects)
+	}
+	if got, err := ReadChunked(st, keep); err != nil || !bytes.Equal(got, payload(1, 3000)) {
+		t.Fatalf("kept object damaged by GC: %v", err)
+	}
+	if _, err := st.Get(lose); err == nil {
+		t.Fatal("unreachable head survived GC")
+	}
+	// GC with every root present frees nothing further.
+	freed, err = st.GC([]ObjectID{keep})
+	if err != nil || freed != 0 {
+		t.Fatalf("second GC freed %d, err %v", freed, err)
+	}
+}
+
+func TestGCWithoutLocatorKeepsOnlyRoots(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<14, 1<<16, 1<<18))
+	a, _ := st.Allocate("medium", payload(1, 100))
+	b, _ := st.Allocate("medium", payload(2, 100))
+	c, _ := st.Allocate("large", payload(3, 9000))
+	freed, err := st.GC([]ObjectID{a, c})
+	if err != nil || freed != 1 {
+		t.Fatalf("GC = %d, %v; want 1 freed", freed, err)
+	}
+	if _, err := st.Get(b); err == nil {
+		t.Fatal("unrooted object survived")
+	}
+	for _, id := range []ObjectID{a, c} {
+		if _, err := st.Get(id); err != nil {
+			t.Fatalf("rooted object %#x collected: %v", uint32(id), err)
+		}
+	}
+}
+
+func TestCompactReducesSegmentTransfer(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", Config{Pools: []PoolConfig{
+		{Name: "medium", Kind: PoolMedium, SegmentBytes: 8192, BufferBytes: 0},
+	}})
+	var ids []ObjectID
+	for i := 0; i < 16; i++ {
+		id, _ := st.Allocate("medium", payload(i, 1000))
+		ids = append(ids, id)
+	}
+	// Delete every other object, then compact.
+	for i := 0; i < 16; i += 2 {
+		st.Delete(ids[i])
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 16; i += 2 {
+		got, err := st.Get(ids[i])
+		if err != nil || !bytes.Equal(got, payload(i, 1000)) {
+			t.Fatalf("object %d damaged by compaction: %v", i, err)
+		}
+	}
+	// Survives a flush/reopen cycle.
+	st.Close()
+	st2, err := Open(fs, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 16; i += 2 {
+		got, err := st2.Get(ids[i])
+		if err != nil || !bytes.Equal(got, payload(i, 1000)) {
+			t.Fatalf("object %d damaged after reopen: %v", i, err)
+		}
+	}
+}
+
+func TestRegistryGlobalIDs(t *testing.T) {
+	fs := newStoreFS()
+	st1 := mustCreate(t, fs, "f1", chunkConfig())
+	st2 := mustCreate(t, fs, "f2", chunkConfig())
+	a, _ := st1.Allocate("chunks", []byte("file-one"))
+	b, _ := st2.Allocate("chunks", []byte("file-two"))
+	// Same local id in both files (both are the first allocation).
+	if a != b {
+		t.Fatalf("expected matching local ids, got %#x and %#x", uint32(a), uint32(b))
+	}
+	r := NewRegistry()
+	h1 := r.Attach(st1)
+	h2 := r.Attach(st2)
+	if r.Attach(st1) != h1 {
+		t.Fatal("re-attach changed handle")
+	}
+	ga, err := r.Global(h1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := r.Global(h2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga == gb {
+		t.Fatal("distinct files share a global id")
+	}
+	// Stable mapping on repeat.
+	if ga2, _ := r.Global(h1, a); ga2 != ga {
+		t.Fatal("global mapping unstable")
+	}
+	if data, err := r.Get(ga); err != nil || string(data) != "file-one" {
+		t.Fatalf("resolve ga: %q, %v", data, err)
+	}
+	if data, err := r.Get(gb); err != nil || string(data) != "file-two" {
+		t.Fatalf("resolve gb: %q, %v", data, err)
+	}
+	// Errors.
+	if _, err := r.Global(99, a); err == nil {
+		t.Fatal("bad handle accepted")
+	}
+	if _, err := r.Global(h1, NilID); err == nil {
+		t.Fatal("nil id accepted")
+	}
+	if _, _, err := r.Resolve(GlobalID(makeID(4000, 1))); err == nil {
+		t.Fatal("unknown global resolved")
+	}
+}

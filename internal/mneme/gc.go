@@ -1,0 +1,115 @@
+package mneme
+
+import "fmt"
+
+// RefLocator extracts the object identifiers referenced by an object's
+// bytes. The paper: "Pools are also required to locate for Mneme any
+// identifiers stored in the objects managed by the pool. This would be
+// necessary, for instance, during garbage collection of the persistent
+// store." Pools without a locator are assumed to hold leaf objects.
+type RefLocator func(data []byte) []ObjectID
+
+// SetRefLocator installs a locator for the named pool.
+func (st *Store) SetRefLocator(poolName string, fn RefLocator) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pi, ok := st.poolIdx[poolName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoPool, poolName)
+	}
+	st.ensureLocators()
+	st.locators[pi] = fn
+	return nil
+}
+
+func (st *Store) ensureLocators() {
+	if st.locators == nil {
+		st.locators = make([]RefLocator, len(st.pools))
+	}
+}
+
+// GC performs a mark-and-sweep collection over the store: objects not
+// reachable from roots (directly or through inter-object references
+// reported by the pools' locators) are deleted, and pools with dead
+// space are compacted. It returns the number of objects freed.
+func (st *Store) GC(roots []ObjectID) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, ErrStoreClosed
+	}
+	st.ensureLocators()
+
+	marked := make(map[ObjectID]bool)
+	stack := make([]ObjectID, 0, len(roots))
+	for _, r := range roots {
+		if r.Valid() {
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if marked[id] {
+			continue
+		}
+		p, err := st.poolFor(id)
+		if err != nil {
+			continue // dangling reference: ignore, as the store has no type info
+		}
+		if _, exists := p.segOf(id); !exists {
+			continue
+		}
+		marked[id] = true
+		loc := st.locators[st.segPool[id.LogicalSegment()]]
+		if loc == nil {
+			continue
+		}
+		err = p.view(id, func(data []byte) error {
+			for _, ref := range loc(data) {
+				if ref.Valid() && !marked[ref] {
+					stack = append(stack, ref)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Sweep.
+	var dead []ObjectID
+	st.forEachLocked(func(id ObjectID, _ int) bool {
+		if !marked[id] {
+			dead = append(dead, id)
+		}
+		return true
+	})
+	for _, id := range dead {
+		if err := st.deleteLocked(id); err != nil {
+			return 0, err
+		}
+	}
+	for _, p := range st.pools {
+		if err := p.compact(); err != nil {
+			return 0, err
+		}
+	}
+	return len(dead), nil
+}
+
+// Compact repacks every pool's segments without collecting garbage.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrStoreClosed
+	}
+	for _, p := range st.pools {
+		if err := p.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Package mneme is a Go reimplementation of the Mneme persistent object
+// store (Moss, "Design of the Mneme persistent object store", ACM TOIS
+// 8(2), 1990) as used by the paper to manage INQUERY's inverted file
+// index.
+//
+// The store's model, following the paper's §3.2:
+//
+//   - An *object* is a chunk of contiguous bytes with a unique
+//     identifier. Mneme has no notion of type or class; the only
+//     structure it is aware of is that objects may contain identifiers
+//     of other objects (inter-object references).
+//   - Objects are grouped into *files*. Identifiers are unique within a
+//     file; a Registry maps them to globally unique identifiers when
+//     files are accessed together (the global space is bounded at 2^28).
+//   - Objects are physically grouped into *physical segments*, the unit
+//     of transfer between disk and main memory, of arbitrary size.
+//   - Objects are logically grouped into *logical segments* of 255
+//     objects "to assist in identification, indexing, and location".
+//     An identifier encodes (logical segment, slot).
+//   - Objects are logically grouped into *pools*. A pool defines the
+//     management policies for its objects: how large the physical
+//     segments are, how objects are laid out within them, how objects
+//     are located in the file, and how objects are created. Physical
+//     segments are not shared between pools. Pools also locate the
+//     identifiers stored inside their objects (needed for garbage
+//     collection) and supply call-back routines such as modified-segment
+//     save.
+//   - *Buffers* provide extensible buffer management: a pool attaches to
+//     a buffer, and the standard buffer operations the pool invokes are
+//     mapped to the policy supplied by that buffer (LRU here, with the
+//     paper's "reserve already-resident objects" optimization).
+//
+// Modified segments are saved shadow-style to freshly allocated file
+// space, with the header rewrite acting as the commit point, giving the
+// single-file recovery the paper lists as future work.
+package mneme
+
+import "errors"
+
+// IDBits is the width of an object identifier within a file. The paper:
+// "the number of objects that may be accessed simultaneously is bounded
+// by the number of globally unique identifiers (currently 2^28)".
+const IDBits = 28
+
+// SegmentObjects is the number of objects in one logical segment:
+// "logical segments ... contain 255 objects logically grouped together
+// to assist in identification, indexing, and location".
+const SegmentObjects = 255
+
+// ObjectID identifies an object within one store file. The low 8 bits
+// select a slot (0..254) and the remaining bits the logical segment.
+// Logical segment numbers start at 1, so 0 is never a valid ObjectID.
+type ObjectID uint32
+
+// NilID is the zero, invalid object identifier.
+const NilID ObjectID = 0
+
+// makeID builds an identifier from a logical segment number and slot.
+func makeID(logSeg uint32, slot uint8) ObjectID {
+	return ObjectID(logSeg<<8 | uint32(slot))
+}
+
+// LogicalSegment returns the identifier's logical segment number.
+func (id ObjectID) LogicalSegment() uint32 { return uint32(id) >> 8 }
+
+// Slot returns the identifier's slot within its logical segment.
+func (id ObjectID) Slot() uint8 { return uint8(id) }
+
+// Valid reports whether the identifier could name an object: nonzero
+// logical segment, slot below SegmentObjects, and within the 28-bit
+// identifier space.
+func (id ObjectID) Valid() bool {
+	return id.LogicalSegment() != 0 && id.Slot() < SegmentObjects && uint32(id)>>IDBits == 0
+}
+
+// PoolKind selects one of the built-in pool implementations.
+type PoolKind uint8
+
+const (
+	// PoolSmall stores fixed-size slots: SlotBytes per object including
+	// a 4-byte size field, one logical segment (255 objects) per
+	// physical segment. The paper's small object pool uses 16-byte
+	// slots in 4 Kbyte physical segments.
+	PoolSmall PoolKind = iota + 1
+	// PoolMedium packs variable-size objects into fixed-size physical
+	// segments (8 Kbyte in the paper). Objects larger than a segment
+	// get a dedicated, exactly-sized segment, so a store configured
+	// with only a medium pool is the paper's "single pool" ablation.
+	PoolMedium
+	// PoolLarge stores each object in its own physical segment sized to
+	// the object: "these lists are allocated in their own physical
+	// segment".
+	PoolLarge
+)
+
+// String names the pool kind.
+func (k PoolKind) String() string {
+	switch k {
+	case PoolSmall:
+		return "small"
+	case PoolMedium:
+		return "medium"
+	case PoolLarge:
+		return "large"
+	}
+	return "invalid"
+}
+
+// PoolConfig declares one pool of a store.
+type PoolConfig struct {
+	// Name identifies the pool; it must be unique within the store.
+	Name string
+	// Kind selects the layout strategy.
+	Kind PoolKind
+	// SegmentBytes is the physical segment size. For PoolSmall it must
+	// hold SegmentObjects slots; for PoolLarge it is ignored (segments
+	// are sized to their object).
+	SegmentBytes int
+	// SlotBytes is the fixed slot size for PoolSmall (including the
+	// 4-byte size field); ignored otherwise.
+	SlotBytes int
+	// BufferBytes is the capacity of the buffer the pool attaches to.
+	// Zero or negative means no caching: every access transfers the
+	// segment and discards it afterwards.
+	BufferBytes int64
+	// Policy names the buffer replacement policy: "lru" (default),
+	// "fifo", or "clock". The paper's integration uses LRU with the
+	// reservation optimization for all three pools.
+	Policy string
+}
+
+// Config declares a store's pools.
+type Config struct {
+	Pools []PoolConfig
+}
+
+// Errors returned by store operations.
+var (
+	ErrCorrupt     = errors.New("mneme: corrupt store")
+	ErrBadID       = errors.New("mneme: invalid object identifier")
+	ErrNoObject    = errors.New("mneme: no such object")
+	ErrNoPool      = errors.New("mneme: no such pool")
+	ErrTooLarge    = errors.New("mneme: object too large for pool")
+	ErrWrongPool   = errors.New("mneme: object size no longer fits its pool")
+	ErrStoreClosed = errors.New("mneme: store is closed")
+)
+
+// PoolStats summarizes a pool's contents.
+type PoolStats struct {
+	Name         string
+	Kind         PoolKind
+	Objects      int64 // live objects
+	LogicalSegs  int64
+	PhysicalSegs int64
+	LiveBytes    int64 // bytes of live object data
+	SegmentBytes int64 // bytes of allocated physical segments
+}
+
+// BufferStats counts object accesses through a pool's buffer. Refs and
+// Hits correspond directly to the paper's Table 6 columns.
+type BufferStats struct {
+	Refs      int64 // object accesses routed to the buffer
+	Hits      int64 // accesses whose physical segment was resident
+	Loads     int64 // segments transferred from the file
+	Evictions int64 // segments discarded to make room
+}
+
+// HitRate returns Hits/Refs, or 0 when there were no references.
+func (b BufferStats) HitRate() float64 {
+	if b.Refs == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(b.Refs)
+}

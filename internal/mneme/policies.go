@@ -1,0 +1,102 @@
+package mneme
+
+import "container/list"
+
+// Additional replacement policies. The paper stresses that Mneme's
+// buffers are extensible — "How these operations are implemented
+// determines the policies used to manage the buffer" — and the
+// integration chose LRU after experimenting. These alternatives plug
+// into the same Buffer and are compared by the policy ablation bench.
+
+// fifoPolicy evicts in arrival order, ignoring recency.
+type fifoPolicy struct {
+	order *list.List // front = newest
+}
+
+// NewFIFO returns first-in-first-out replacement.
+func NewFIFO() ReplacementPolicy { return &fifoPolicy{order: list.New()} }
+
+func (p *fifoPolicy) Inserted(s *Segment) { s.elem = p.order.PushFront(s) }
+func (p *fifoPolicy) Touched(*Segment)    {}
+func (p *fifoPolicy) Removed(s *Segment) {
+	p.order.Remove(s.elem)
+	s.elem = nil
+}
+
+func (p *fifoPolicy) Victim(skip func(*Segment) bool) *Segment {
+	for e := p.order.Back(); e != nil; e = e.Prev() {
+		s := e.Value.(*Segment)
+		if !skip(s) {
+			return s
+		}
+	}
+	return nil
+}
+
+// clockEntry wraps a segment with a reference bit.
+type clockEntry struct {
+	seg *Segment
+	ref bool
+}
+
+// clockPolicy is the classic second-chance approximation of LRU.
+type clockPolicy struct {
+	ring *list.List // circular order; hand advances through it
+	hand *list.Element
+	pos  map[*Segment]*list.Element
+}
+
+// NewClock returns clock (second-chance) replacement.
+func NewClock() ReplacementPolicy {
+	return &clockPolicy{ring: list.New(), pos: make(map[*Segment]*list.Element)}
+}
+
+func (p *clockPolicy) Inserted(s *Segment) {
+	p.pos[s] = p.ring.PushBack(&clockEntry{seg: s, ref: true})
+}
+
+func (p *clockPolicy) Touched(s *Segment) {
+	if e, ok := p.pos[s]; ok {
+		e.Value.(*clockEntry).ref = true
+	}
+}
+
+func (p *clockPolicy) Removed(s *Segment) {
+	e, ok := p.pos[s]
+	if !ok {
+		return
+	}
+	if p.hand == e {
+		p.hand = e.Next()
+	}
+	p.ring.Remove(e)
+	delete(p.pos, s)
+}
+
+func (p *clockPolicy) Victim(skip func(*Segment) bool) *Segment {
+	n := p.ring.Len()
+	if n == 0 {
+		return nil
+	}
+	// Sweep at most two full revolutions: the first may clear reference
+	// bits, the second must find a victim unless everything is skipped.
+	for i := 0; i < 2*n; i++ {
+		if p.hand == nil {
+			p.hand = p.ring.Front()
+		}
+		ce := p.hand.Value.(*clockEntry)
+		next := p.hand.Next()
+		if skip(ce.seg) {
+			p.hand = next
+			continue
+		}
+		if ce.ref {
+			ce.ref = false
+			p.hand = next
+			continue
+		}
+		p.hand = next
+		return ce.seg
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package mneme
+
+import "fmt"
+
+// largePool gives each object its own physical segment, sized to the
+// object: "a number of inverted lists are so large, it is not reasonable
+// to cluster them with other objects in the same physical segment.
+// Instead, these lists are allocated in their own physical segment"
+// (paper §3.3). The pool-internal physical segment index is derived from
+// the object's logical position, so each object maps 1:1 to a segment.
+type largePool struct {
+	st  *Store
+	cfg PoolConfig
+	idx uint8
+	buf *Buffer
+
+	logSegs   []uint32
+	entries   [][]largeEntry
+	logToIdx  map[uint32]int32
+	nextSlot  int
+	freeSlots []ObjectID
+	objects   int64
+	live      int64
+	allocated int64 // total bytes of extents ever allocated (incl. leaked)
+}
+
+// largeEntry locates one object's dedicated segment.
+type largeEntry struct {
+	off    int64 // file offset; 0 = never persisted
+	length int32 // object (= segment) size; -1 = no object
+}
+
+func newLargePool(st *Store, cfg PoolConfig) *largePool {
+	return &largePool{st: st, cfg: cfg, logToIdx: make(map[uint32]int32)}
+}
+
+func (p *largePool) config() PoolConfig { return p.cfg }
+func (p *largePool) setIndex(i uint8)   { p.idx = i }
+func (p *largePool) attach(b *Buffer)   { p.buf = b }
+func (p *largePool) buffer() *Buffer    { return p.buf }
+
+func (p *largePool) newSlot() (ObjectID, error) {
+	if n := len(p.freeSlots); n > 0 {
+		id := p.freeSlots[n-1]
+		p.freeSlots = p.freeSlots[:n-1]
+		return id, nil
+	}
+	if len(p.logSegs) == 0 || p.nextSlot >= SegmentObjects {
+		ls, err := p.st.allocLogSeg(p.idx)
+		if err != nil {
+			return NilID, err
+		}
+		p.logToIdx[ls] = int32(len(p.logSegs))
+		p.logSegs = append(p.logSegs, ls)
+		row := make([]largeEntry, SegmentObjects)
+		for i := range row {
+			row[i].length = -1
+		}
+		p.entries = append(p.entries, row)
+		p.nextSlot = 0
+	}
+	ls := p.logSegs[len(p.logSegs)-1]
+	slot := uint8(p.nextSlot)
+	p.nextSlot++
+	return makeID(ls, slot), nil
+}
+
+// segIdx derives the stable pool-internal segment index for an id.
+func (p *largePool) segIdx(li int32, slot uint8) int32 {
+	return li*SegmentObjects + int32(slot)
+}
+
+func (p *largePool) entry(id ObjectID) (*largeEntry, int32, bool) {
+	li, ok := p.logToIdx[id.LogicalSegment()]
+	if !ok {
+		return nil, 0, false
+	}
+	e := &p.entries[li][id.Slot()]
+	if e.length < 0 {
+		return nil, 0, false
+	}
+	return e, p.segIdx(li, id.Slot()), true
+}
+
+func (p *largePool) allocate(data []byte) (ObjectID, error) {
+	id, err := p.newSlot()
+	if err != nil {
+		return NilID, err
+	}
+	li := p.logToIdx[id.LogicalSegment()]
+	e := &p.entries[li][id.Slot()]
+	*e = largeEntry{length: int32(len(data))}
+	seg, err := p.acquireEntry(e, p.segIdx(li, id.Slot()), false)
+	if err != nil {
+		return NilID, err
+	}
+	copy(seg.data, data)
+	if err := p.buf.MarkDirty(seg); err != nil {
+		return NilID, err
+	}
+	p.objects++
+	p.live += int64(len(data))
+	return id, nil
+}
+
+func (p *largePool) acquireEntry(e *largeEntry, si int32, countRef bool) (*Segment, error) {
+	ref := segRef{pool: p.idx, idx: si}
+	return p.buf.Acquire(ref, int(e.length), countRef, func(dst []byte) error {
+		if e.off == 0 {
+			return nil
+		}
+		return p.st.readSegment(dst, e.off)
+	})
+}
+
+func (p *largePool) view(id ObjectID, fn func([]byte) error) error {
+	e, si, ok := p.entry(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	seg, err := p.acquireEntry(e, si, true)
+	if err != nil {
+		return err
+	}
+	return fn(seg.data)
+}
+
+func (p *largePool) modify(id ObjectID, data []byte) error {
+	e, si, ok := p.entry(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	// The segment is exactly the object, so any size change replaces the
+	// segment; the old extent is abandoned until compaction.
+	p.buf.Drop(segRef{pool: p.idx, idx: si})
+	p.live += int64(len(data)) - int64(e.length)
+	*e = largeEntry{length: int32(len(data))}
+	seg, err := p.acquireEntry(e, si, false)
+	if err != nil {
+		return err
+	}
+	copy(seg.data, data)
+	return p.buf.MarkDirty(seg)
+}
+
+func (p *largePool) remove(id ObjectID) error {
+	e, si, ok := p.entry(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	p.buf.Drop(segRef{pool: p.idx, idx: si})
+	p.objects--
+	p.live -= int64(e.length)
+	*e = largeEntry{length: -1}
+	p.freeSlots = append(p.freeSlots, id)
+	return nil
+}
+
+func (p *largePool) segOf(id ObjectID) (segRef, bool) {
+	_, si, ok := p.entry(id)
+	if !ok {
+		return segRef{}, false
+	}
+	return segRef{pool: p.idx, idx: si}, true
+}
+
+func (p *largePool) objectLen(id ObjectID) (int, bool) {
+	e, _, ok := p.entry(id)
+	if !ok {
+		return 0, false
+	}
+	return int(e.length), true
+}
+
+func (p *largePool) logicalSegments() []uint32 {
+	return append([]uint32(nil), p.logSegs...)
+}
+
+func (p *largePool) forEach(fn func(ObjectID, int) bool) {
+	for li, row := range p.entries {
+		for slot := range row {
+			if row[slot].length < 0 {
+				continue
+			}
+			if !fn(makeID(p.logSegs[li], uint8(slot)), int(row[slot].length)) {
+				return
+			}
+		}
+	}
+}
+
+func (p *largePool) stats() PoolStats {
+	var segBytes int64
+	var segs int64
+	for _, row := range p.entries {
+		for i := range row {
+			if row[i].length >= 0 {
+				segBytes += int64(row[i].length)
+				segs++
+			}
+		}
+	}
+	return PoolStats{
+		Name:         p.cfg.Name,
+		Kind:         PoolLarge,
+		Objects:      p.objects,
+		LogicalSegs:  int64(len(p.logSegs)),
+		PhysicalSegs: segs,
+		LiveBytes:    p.live,
+		SegmentBytes: segBytes,
+	}
+}
+
+func (p *largePool) saveSegment(s *Segment) error {
+	li := s.ref.idx / SegmentObjects
+	slot := s.ref.idx % SegmentObjects
+	e := &p.entries[li][slot]
+	off := p.st.allocExtent(len(s.data))
+	if err := p.st.writeSegment(s.data, off); err != nil {
+		return err
+	}
+	e.off = off
+	p.allocated += int64(len(s.data))
+	return nil
+}
+
+func (p *largePool) marshalAux(w *auxWriter) {
+	w.u32(uint32(len(p.logSegs)))
+	for li, ls := range p.logSegs {
+		w.u32(ls)
+		for s := range p.entries[li] {
+			e := &p.entries[li][s]
+			w.i64(e.off)
+			w.i32(e.length)
+		}
+	}
+	w.u32(uint32(len(p.freeSlots)))
+	for _, id := range p.freeSlots {
+		w.u32(uint32(id))
+	}
+	w.u32(uint32(p.nextSlot))
+	w.u64(uint64(p.objects))
+	w.u64(uint64(p.live))
+	w.u64(uint64(p.allocated))
+}
+
+func (p *largePool) unmarshalAux(r *auxReader) error {
+	nl := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	p.logSegs = make([]uint32, nl)
+	p.entries = make([][]largeEntry, nl)
+	p.logToIdx = make(map[uint32]int32, nl)
+	for li := 0; li < nl; li++ {
+		p.logSegs[li] = r.u32()
+		p.logToIdx[p.logSegs[li]] = int32(li)
+		row := make([]largeEntry, SegmentObjects)
+		for s := range row {
+			row[s] = largeEntry{off: r.i64(), length: r.i32()}
+		}
+		p.entries[li] = row
+	}
+	nf := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	p.freeSlots = make([]ObjectID, nf)
+	for i := range p.freeSlots {
+		p.freeSlots[i] = ObjectID(r.u32())
+	}
+	p.nextSlot = int(r.u32())
+	p.objects = int64(r.u64())
+	p.live = int64(r.u64())
+	p.allocated = int64(r.u64())
+	return r.err
+}
+
+// compact is a no-op for the large pool: each live object's segment is
+// already exactly its size. Abandoned extents are unreferenced file
+// space, reclaimable only by a full store copy.
+func (p *largePool) compact() error { return nil }

@@ -1,0 +1,396 @@
+package mneme
+
+import "fmt"
+
+// mediumPool packs variable-size objects into fixed-size physical
+// segments ("The remaining inverted lists ... were allocated in a medium
+// object pool. These objects are packed into 8 Kbyte physical segments.
+// The physical segment size is based on the disk I/O block size and a
+// desire to keep the segments relatively small so as to reduce the
+// number of unused objects retrieved with each segment", paper §3.3).
+//
+// An object larger than a segment receives a dedicated segment sized to
+// the object, which makes a store configured with a single medium pool a
+// valid (if unpartitioned) layout — the single-pool ablation.
+type mediumPool struct {
+	st  *Store
+	cfg PoolConfig
+	idx uint8
+	buf *Buffer
+
+	segs      []medSeg
+	logSegs   []uint32     // logical segment numbers, in creation order
+	entries   [][]medEntry // per logical segment, SegmentObjects entries
+	logToIdx  map[uint32]int32
+	openSeg   int32 // segment currently receiving allocations; -1 none
+	nextSlot  int   // next unused slot in the last logical segment
+	freeSlots []ObjectID
+	objects   int64
+	live      int64
+}
+
+// medSeg is one physical segment.
+type medSeg struct {
+	off  int64 // file offset; 0 = never persisted
+	size int32 // allocated byte size (cfg.SegmentBytes, or larger for a dedicated oversize segment)
+	used int32 // high-water mark of packed bytes
+	dead int32 // bytes belonging to deleted or relocated objects
+}
+
+// medEntry locates one object.
+type medEntry struct {
+	seg    int32 // physical segment index; -1 = no object
+	off    uint32
+	length uint32
+}
+
+func newMediumPool(st *Store, cfg PoolConfig) *mediumPool {
+	return &mediumPool{st: st, cfg: cfg, logToIdx: make(map[uint32]int32), openSeg: -1}
+}
+
+func (p *mediumPool) config() PoolConfig { return p.cfg }
+func (p *mediumPool) setIndex(i uint8)   { p.idx = i }
+func (p *mediumPool) attach(b *Buffer)   { p.buf = b }
+func (p *mediumPool) buffer() *Buffer    { return p.buf }
+
+// newSlot returns a free (logical segment, slot) pair, reusing deleted
+// slots first and extending the logical segment space as needed.
+func (p *mediumPool) newSlot() (ObjectID, error) {
+	if n := len(p.freeSlots); n > 0 {
+		id := p.freeSlots[n-1]
+		p.freeSlots = p.freeSlots[:n-1]
+		return id, nil
+	}
+	if len(p.logSegs) == 0 || p.nextSlot >= SegmentObjects {
+		ls, err := p.st.allocLogSeg(p.idx)
+		if err != nil {
+			return NilID, err
+		}
+		p.logToIdx[ls] = int32(len(p.logSegs))
+		p.logSegs = append(p.logSegs, ls)
+		row := make([]medEntry, SegmentObjects)
+		for i := range row {
+			row[i].seg = -1
+		}
+		p.entries = append(p.entries, row)
+		p.nextSlot = 0
+	}
+	ls := p.logSegs[len(p.logSegs)-1]
+	slot := uint8(p.nextSlot)
+	p.nextSlot++
+	return makeID(ls, slot), nil
+}
+
+func (p *mediumPool) entry(id ObjectID) (*medEntry, bool) {
+	li, ok := p.logToIdx[id.LogicalSegment()]
+	if !ok {
+		return nil, false
+	}
+	e := &p.entries[li][id.Slot()]
+	if e.seg < 0 {
+		return nil, false
+	}
+	return e, true
+}
+
+// place finds space for size bytes, opening a new physical segment when
+// the current one is full, and returns (segment index, offset).
+func (p *mediumPool) place(size int) (int32, uint32, error) {
+	if size > p.cfg.SegmentBytes {
+		// Oversize: dedicated segment, exactly sized.
+		si := int32(len(p.segs))
+		p.segs = append(p.segs, medSeg{size: int32(size), used: int32(size)})
+		return si, 0, nil
+	}
+	if p.openSeg >= 0 {
+		sg := &p.segs[p.openSeg]
+		if int(sg.used)+size <= int(sg.size) {
+			off := uint32(sg.used)
+			sg.used += int32(size)
+			return p.openSeg, off, nil
+		}
+	}
+	si := int32(len(p.segs))
+	p.segs = append(p.segs, medSeg{size: int32(p.cfg.SegmentBytes), used: int32(size)})
+	p.openSeg = si
+	return si, 0, nil
+}
+
+// store writes data into segment si at off through the buffer.
+func (p *mediumPool) store(si int32, off uint32, data []byte) error {
+	seg, err := p.acquire(si, false)
+	if err != nil {
+		return err
+	}
+	copy(seg.data[off:], data)
+	return p.buf.MarkDirty(seg)
+}
+
+func (p *mediumPool) allocate(data []byte) (ObjectID, error) {
+	id, err := p.newSlot()
+	if err != nil {
+		return NilID, err
+	}
+	si, off, err := p.place(len(data))
+	if err != nil {
+		return NilID, err
+	}
+	if err := p.store(si, off, data); err != nil {
+		return NilID, err
+	}
+	li := p.logToIdx[id.LogicalSegment()]
+	p.entries[li][id.Slot()] = medEntry{seg: si, off: off, length: uint32(len(data))}
+	p.objects++
+	p.live += int64(len(data))
+	return id, nil
+}
+
+func (p *mediumPool) acquire(si int32, countRef bool) (*Segment, error) {
+	sg := &p.segs[si]
+	ref := segRef{pool: p.idx, idx: si}
+	return p.buf.Acquire(ref, int(sg.size), countRef, func(dst []byte) error {
+		if sg.off == 0 {
+			return nil
+		}
+		return p.st.readSegment(dst, sg.off)
+	})
+}
+
+func (p *mediumPool) view(id ObjectID, fn func([]byte) error) error {
+	e, ok := p.entry(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	seg, err := p.acquire(e.seg, true)
+	if err != nil {
+		return err
+	}
+	return fn(seg.data[e.off : e.off+e.length])
+}
+
+func (p *mediumPool) modify(id ObjectID, data []byte) error {
+	e, ok := p.entry(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	if len(data) <= int(e.length) {
+		// Shrink or same size: rewrite in place.
+		seg, err := p.acquire(e.seg, true)
+		if err != nil {
+			return err
+		}
+		copy(seg.data[e.off:], data)
+		p.segs[e.seg].dead += int32(e.length) - int32(len(data))
+		p.live += int64(len(data)) - int64(e.length)
+		e.length = uint32(len(data))
+		return p.buf.MarkDirty(seg)
+	}
+	// Growth: relocate within the pool; the identifier is unchanged.
+	si, off, err := p.place(len(data))
+	if err != nil {
+		return err
+	}
+	if err := p.store(si, off, data); err != nil {
+		return err
+	}
+	p.segs[e.seg].dead += int32(e.length)
+	p.live += int64(len(data)) - int64(e.length)
+	*e = medEntry{seg: si, off: off, length: uint32(len(data))}
+	return nil
+}
+
+func (p *mediumPool) remove(id ObjectID) error {
+	e, ok := p.entry(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	p.segs[e.seg].dead += int32(e.length)
+	p.objects--
+	p.live -= int64(e.length)
+	e.seg = -1
+	p.freeSlots = append(p.freeSlots, id)
+	return nil
+}
+
+func (p *mediumPool) segOf(id ObjectID) (segRef, bool) {
+	e, ok := p.entry(id)
+	if !ok {
+		return segRef{}, false
+	}
+	return segRef{pool: p.idx, idx: e.seg}, true
+}
+
+func (p *mediumPool) objectLen(id ObjectID) (int, bool) {
+	e, ok := p.entry(id)
+	if !ok {
+		return 0, false
+	}
+	return int(e.length), true
+}
+
+func (p *mediumPool) logicalSegments() []uint32 {
+	return append([]uint32(nil), p.logSegs...)
+}
+
+func (p *mediumPool) forEach(fn func(ObjectID, int) bool) {
+	for li, row := range p.entries {
+		for slot := range row {
+			e := &row[slot]
+			if e.seg < 0 {
+				continue
+			}
+			if !fn(makeID(p.logSegs[li], uint8(slot)), int(e.length)) {
+				return
+			}
+		}
+	}
+}
+
+func (p *mediumPool) stats() PoolStats {
+	var segBytes int64
+	for i := range p.segs {
+		segBytes += int64(p.segs[i].size)
+	}
+	return PoolStats{
+		Name:         p.cfg.Name,
+		Kind:         PoolMedium,
+		Objects:      p.objects,
+		LogicalSegs:  int64(len(p.logSegs)),
+		PhysicalSegs: int64(len(p.segs)),
+		LiveBytes:    p.live,
+		SegmentBytes: segBytes,
+	}
+}
+
+func (p *mediumPool) saveSegment(s *Segment) error {
+	sg := &p.segs[s.ref.idx]
+	off := p.st.allocExtent(len(s.data))
+	if err := p.st.writeSegment(s.data, off); err != nil {
+		return err
+	}
+	sg.off = off
+	return nil
+}
+
+func (p *mediumPool) marshalAux(w *auxWriter) {
+	w.u32(uint32(len(p.segs)))
+	for i := range p.segs {
+		sg := &p.segs[i]
+		w.i64(sg.off)
+		w.i32(sg.size)
+		w.i32(sg.used)
+		w.i32(sg.dead)
+	}
+	w.u32(uint32(len(p.logSegs)))
+	for li, ls := range p.logSegs {
+		w.u32(ls)
+		for s := range p.entries[li] {
+			e := &p.entries[li][s]
+			w.i32(e.seg)
+			w.u32(e.off)
+			w.u32(e.length)
+		}
+	}
+	w.u32(uint32(len(p.freeSlots)))
+	for _, id := range p.freeSlots {
+		w.u32(uint32(id))
+	}
+	w.i32(p.openSeg)
+	w.u32(uint32(p.nextSlot))
+	w.u64(uint64(p.objects))
+	w.u64(uint64(p.live))
+}
+
+func (p *mediumPool) unmarshalAux(r *auxReader) error {
+	ns := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	p.segs = make([]medSeg, ns)
+	for i := range p.segs {
+		p.segs[i] = medSeg{off: r.i64(), size: r.i32(), used: r.i32(), dead: r.i32()}
+	}
+	nl := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	p.logSegs = make([]uint32, nl)
+	p.entries = make([][]medEntry, nl)
+	p.logToIdx = make(map[uint32]int32, nl)
+	for li := 0; li < nl; li++ {
+		p.logSegs[li] = r.u32()
+		p.logToIdx[p.logSegs[li]] = int32(li)
+		row := make([]medEntry, SegmentObjects)
+		for s := range row {
+			row[s] = medEntry{seg: r.i32(), off: r.u32(), length: r.u32()}
+		}
+		p.entries[li] = row
+	}
+	nf := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	p.freeSlots = make([]ObjectID, nf)
+	for i := range p.freeSlots {
+		p.freeSlots[i] = ObjectID(r.u32())
+	}
+	p.openSeg = r.i32()
+	p.nextSlot = int(r.u32())
+	p.objects = int64(r.u64())
+	p.live = int64(r.u64())
+	return r.err
+}
+
+// compact rewrites every physical segment that contains dead bytes,
+// repacking its live objects densely. Object identifiers are stable;
+// only locations change. Freed file space is not reclaimed (the file is
+// append-only), but segment transfer sizes shrink to live data.
+func (p *mediumPool) compact() error {
+	// Collect live objects per segment.
+	type liveObj struct {
+		li   int
+		slot int
+	}
+	bySeg := make(map[int32][]liveObj)
+	for li, row := range p.entries {
+		for slot := range row {
+			if row[slot].seg >= 0 {
+				bySeg[row[slot].seg] = append(bySeg[row[slot].seg], liveObj{li, slot})
+			}
+		}
+	}
+	for si := range p.segs {
+		sg := &p.segs[si]
+		if sg.dead == 0 {
+			continue
+		}
+		objs := bySeg[int32(si)]
+		// Read current image.
+		seg, err := p.acquire(int32(si), false)
+		if err != nil {
+			return err
+		}
+		packed := make([]byte, 0, int(sg.used-sg.dead))
+		offs := make([]uint32, len(objs))
+		for i, o := range objs {
+			e := &p.entries[o.li][o.slot]
+			offs[i] = uint32(len(packed))
+			packed = append(packed, seg.data[e.off:e.off+e.length]...)
+		}
+		// Rewrite the segment in place within its allocation.
+		newData := make([]byte, sg.size)
+		copy(newData, packed)
+		p.buf.Drop(segRef{pool: p.idx, idx: int32(si)})
+		off := p.st.allocExtent(int(sg.size))
+		if err := p.st.writeSegment(newData, off); err != nil {
+			return err
+		}
+		sg.off = off
+		sg.used = int32(len(packed))
+		sg.dead = 0
+		for i, o := range objs {
+			p.entries[o.li][o.slot].off = offs[i]
+		}
+	}
+	return nil
+}

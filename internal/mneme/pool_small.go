@@ -1,0 +1,351 @@
+package mneme
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// smallPool stores fixed-size slots: SlotBytes per object, the first 4
+// bytes holding the object's actual size. One logical segment (255
+// objects) fills exactly one physical segment: "By allocating a 16 byte
+// object (4 bytes for a size field) for every inverted list less than or
+// equal to 12 bytes, we can conveniently fit a whole logical segment
+// (255 objects) in one 4 Kbyte physical segment. This greatly simplifies
+// both the indexing strategy used to locate these objects in the file
+// and the buffer management strategy for these segments" (paper §3.3).
+type smallPool struct {
+	st  *Store
+	cfg PoolConfig
+	idx uint8
+	buf *Buffer
+
+	segs     []smallSeg
+	logToIdx map[uint32]int32
+	// freeSegs lists segments with at least one free slot, newest last.
+	freeSegs []int32
+	objects  int64
+	live     int64 // live data bytes
+}
+
+// smallSeg is one (logical segment, physical segment) pair.
+type smallSeg struct {
+	logSeg uint32
+	off    int64 // file offset; 0 = never persisted
+	used   [4]uint64
+	count  int16
+}
+
+func (sg *smallSeg) isUsed(slot uint8) bool {
+	return sg.used[slot/64]&(1<<(slot%64)) != 0
+}
+
+func (sg *smallSeg) setUsed(slot uint8, on bool) {
+	if on {
+		sg.used[slot/64] |= 1 << (slot % 64)
+	} else {
+		sg.used[slot/64] &^= 1 << (slot % 64)
+	}
+}
+
+// freeSlot returns the lowest free slot, or -1 when full.
+func (sg *smallSeg) freeSlot() int {
+	for s := 0; s < SegmentObjects; s++ {
+		if !sg.isUsed(uint8(s)) {
+			return s
+		}
+	}
+	return -1
+}
+
+func newSmallPool(st *Store, cfg PoolConfig) *smallPool {
+	return &smallPool{st: st, cfg: cfg, logToIdx: make(map[uint32]int32)}
+}
+
+func (p *smallPool) config() PoolConfig { return p.cfg }
+func (p *smallPool) setIndex(i uint8)   { p.idx = i }
+func (p *smallPool) attach(b *Buffer)   { p.buf = b }
+func (p *smallPool) buffer() *Buffer    { return p.buf }
+
+// MaxObject returns the largest object the pool can hold.
+func (p *smallPool) maxObject() int { return p.cfg.SlotBytes - 4 }
+
+func (p *smallPool) allocate(data []byte) (ObjectID, error) {
+	if len(data) > p.maxObject() {
+		return NilID, fmt.Errorf("%w: %d > %d in small pool %q",
+			ErrTooLarge, len(data), p.maxObject(), p.cfg.Name)
+	}
+	si, err := p.segWithSpace()
+	if err != nil {
+		return NilID, err
+	}
+	sg := &p.segs[si]
+	slot := sg.freeSlot()
+	seg, err := p.acquire(si, false)
+	if err != nil {
+		return NilID, err
+	}
+	p.writeSlot(seg.data, slot, data)
+	sg.setUsed(uint8(slot), true)
+	sg.count++
+	p.objects++
+	p.live += int64(len(data))
+	if sg.count >= SegmentObjects {
+		p.dropFreeSeg(si)
+	}
+	if err := p.buf.MarkDirty(seg); err != nil {
+		return NilID, err
+	}
+	return makeID(sg.logSeg, uint8(slot)), nil
+}
+
+// segWithSpace returns the index of a segment with a free slot,
+// creating a new logical+physical segment pair when none exists.
+func (p *smallPool) segWithSpace() (int32, error) {
+	for len(p.freeSegs) > 0 {
+		si := p.freeSegs[len(p.freeSegs)-1]
+		if p.segs[si].count < SegmentObjects {
+			return si, nil
+		}
+		p.freeSegs = p.freeSegs[:len(p.freeSegs)-1]
+	}
+	ls, err := p.st.allocLogSeg(p.idx)
+	if err != nil {
+		return 0, err
+	}
+	si := int32(len(p.segs))
+	p.segs = append(p.segs, smallSeg{logSeg: ls})
+	p.logToIdx[ls] = si
+	p.freeSegs = append(p.freeSegs, si)
+	return si, nil
+}
+
+func (p *smallPool) dropFreeSeg(si int32) {
+	for i, v := range p.freeSegs {
+		if v == si {
+			p.freeSegs = append(p.freeSegs[:i], p.freeSegs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *smallPool) writeSlot(segData []byte, slot int, data []byte) {
+	off := slot * p.cfg.SlotBytes
+	binary.LittleEndian.PutUint32(segData[off:], uint32(len(data)))
+	n := copy(segData[off+4:off+p.cfg.SlotBytes], data)
+	// Zero any residue from a previous occupant of the slot.
+	for i := off + 4 + n; i < off+p.cfg.SlotBytes; i++ {
+		segData[i] = 0
+	}
+}
+
+// acquire loads the pool segment through the buffer. Segments that were
+// never persisted load as zeroes without touching the file.
+func (p *smallPool) acquire(si int32, countRef bool) (*Segment, error) {
+	sg := &p.segs[si]
+	ref := segRef{pool: p.idx, idx: si}
+	return p.buf.Acquire(ref, p.cfg.SegmentBytes, countRef, func(dst []byte) error {
+		if sg.off == 0 {
+			return nil // fresh segment: all zeroes
+		}
+		return p.st.readSegment(dst, sg.off)
+	})
+}
+
+// locate resolves an id to its segment index and slot.
+func (p *smallPool) locate(id ObjectID) (int32, uint8, bool) {
+	si, ok := p.logToIdx[id.LogicalSegment()]
+	if !ok {
+		return 0, 0, false
+	}
+	slot := id.Slot()
+	if !p.segs[si].isUsed(slot) {
+		return 0, 0, false
+	}
+	return si, slot, true
+}
+
+func (p *smallPool) view(id ObjectID, fn func([]byte) error) error {
+	si, slot, ok := p.locate(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	seg, err := p.acquire(si, true)
+	if err != nil {
+		return err
+	}
+	off := int(slot) * p.cfg.SlotBytes
+	size := int(binary.LittleEndian.Uint32(seg.data[off:]))
+	if size > p.maxObject() {
+		return fmt.Errorf("%w: small object %#x size field %d", ErrCorrupt, uint32(id), size)
+	}
+	return fn(seg.data[off+4 : off+4+size])
+}
+
+func (p *smallPool) modify(id ObjectID, data []byte) error {
+	if len(data) > p.maxObject() {
+		return fmt.Errorf("%w: %d > %d", ErrWrongPool, len(data), p.maxObject())
+	}
+	si, slot, ok := p.locate(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	seg, err := p.acquire(si, true)
+	if err != nil {
+		return err
+	}
+	off := int(slot) * p.cfg.SlotBytes
+	old := int(binary.LittleEndian.Uint32(seg.data[off:]))
+	p.writeSlot(seg.data, int(slot), data)
+	p.live += int64(len(data) - old)
+	return p.buf.MarkDirty(seg)
+}
+
+func (p *smallPool) remove(id ObjectID) error {
+	si, slot, ok := p.locate(id)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	sg := &p.segs[si]
+	// The allocation bitmap lives in the aux tables, so clearing the
+	// bit is sufficient; the slot bytes are overwritten on reuse.
+	seg, err := p.acquire(si, false)
+	if err != nil {
+		return err
+	}
+	off := int(slot) * p.cfg.SlotBytes
+	old := int(binary.LittleEndian.Uint32(seg.data[off:]))
+	wasFull := sg.count >= SegmentObjects
+	sg.setUsed(slot, false)
+	sg.count--
+	p.objects--
+	p.live -= int64(old)
+	if wasFull {
+		p.freeSegs = append(p.freeSegs, si)
+	}
+	return nil
+}
+
+func (p *smallPool) segOf(id ObjectID) (segRef, bool) {
+	si, _, ok := p.locate(id)
+	if !ok {
+		return segRef{}, false
+	}
+	return segRef{pool: p.idx, idx: si}, true
+}
+
+func (p *smallPool) objectLen(id ObjectID) (int, bool) {
+	si, slot, ok := p.locate(id)
+	if !ok {
+		return 0, false
+	}
+	size := -1
+	seg, err := p.acquire(si, false)
+	if err != nil {
+		return 0, false
+	}
+	size = int(binary.LittleEndian.Uint32(seg.data[int(slot)*p.cfg.SlotBytes:]))
+	return size, true
+}
+
+func (p *smallPool) logicalSegments() []uint32 {
+	out := make([]uint32, len(p.segs))
+	for i := range p.segs {
+		out[i] = p.segs[i].logSeg
+	}
+	return out
+}
+
+func (p *smallPool) forEach(fn func(ObjectID, int) bool) {
+	for i := range p.segs {
+		sg := &p.segs[i]
+		if sg.count == 0 {
+			continue
+		}
+		seg, err := p.acquire(int32(i), false)
+		if err != nil {
+			return
+		}
+		for s := 0; s < SegmentObjects; s++ {
+			if !sg.isUsed(uint8(s)) {
+				continue
+			}
+			size := int(binary.LittleEndian.Uint32(seg.data[s*p.cfg.SlotBytes:]))
+			if !fn(makeID(sg.logSeg, uint8(s)), size) {
+				return
+			}
+		}
+	}
+}
+
+func (p *smallPool) stats() PoolStats {
+	return PoolStats{
+		Name:         p.cfg.Name,
+		Kind:         PoolSmall,
+		Objects:      p.objects,
+		LogicalSegs:  int64(len(p.segs)),
+		PhysicalSegs: int64(len(p.segs)),
+		LiveBytes:    p.live,
+		SegmentBytes: int64(len(p.segs)) * int64(p.cfg.SegmentBytes),
+	}
+}
+
+// saveSegment is the modified-segment-save call-back: shadow-write the
+// segment image to fresh space and repoint the location table.
+func (p *smallPool) saveSegment(s *Segment) error {
+	sg := &p.segs[s.ref.idx]
+	off := p.st.allocExtent(len(s.data))
+	if err := p.st.writeSegment(s.data, off); err != nil {
+		return err
+	}
+	sg.off = off
+	return nil
+}
+
+func (p *smallPool) marshalAux(w *auxWriter) {
+	w.u32(uint32(len(p.segs)))
+	for i := range p.segs {
+		sg := &p.segs[i]
+		w.u32(sg.logSeg)
+		w.i64(sg.off)
+		for _, word := range sg.used {
+			w.u64(word)
+		}
+		w.u32(uint32(sg.count))
+	}
+	w.u64(uint64(p.objects))
+	w.u64(uint64(p.live))
+}
+
+func (p *smallPool) unmarshalAux(r *auxReader) error {
+	n := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	p.segs = make([]smallSeg, 0, n)
+	p.logToIdx = make(map[uint32]int32, n)
+	p.freeSegs = nil
+	for i := 0; i < n; i++ {
+		var sg smallSeg
+		sg.logSeg = r.u32()
+		sg.off = r.i64()
+		for j := range sg.used {
+			sg.used[j] = r.u64()
+		}
+		sg.count = int16(r.u32())
+		if r.err != nil {
+			return r.err
+		}
+		p.logToIdx[sg.logSeg] = int32(len(p.segs))
+		if sg.count < SegmentObjects {
+			p.freeSegs = append(p.freeSegs, int32(len(p.segs)))
+		}
+		p.segs = append(p.segs, sg)
+	}
+	p.objects = int64(r.u64())
+	p.live = int64(r.u64())
+	return r.err
+}
+
+// compact rewrites nothing for the small pool: slots are fixed size and
+// reused in place, so there is no dead space to squeeze out.
+func (p *smallPool) compact() error { return nil }

@@ -1,0 +1,101 @@
+package mneme
+
+import "fmt"
+
+// GlobalID is a globally unique object identifier spanning multiple
+// open store files: "An object's identifier is unique only within the
+// object's file. Multiple files may be open simultaneously, however, so
+// object identifiers are mapped to globally unique identifiers when the
+// objects are accessed. ... The number of objects that may be accessed
+// simultaneously is bounded by the number of globally unique
+// identifiers (currently 2^28)" (paper §3.2).
+type GlobalID uint32
+
+// NilGlobal is the invalid global identifier.
+const NilGlobal GlobalID = 0
+
+// Registry maps (file, local id) pairs onto the bounded global space.
+// Global logical segment numbers are handed out lazily, on first access
+// to each file-local logical segment.
+type Registry struct {
+	stores     []*Store
+	handleOf   map[*Store]int
+	nextGlobal uint32              // global logical segment allocator, starts at 1
+	toGlobal   []map[uint32]uint32 // per handle: local logseg -> global logseg
+	fromGlobal map[uint32]regEntry
+}
+
+type regEntry struct {
+	handle   int
+	localSeg uint32
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		handleOf:   make(map[*Store]int),
+		nextGlobal: 1,
+		fromGlobal: make(map[uint32]regEntry),
+	}
+}
+
+// Attach registers an open store and returns its handle. Attaching the
+// same store twice returns the original handle.
+func (r *Registry) Attach(st *Store) int {
+	if h, ok := r.handleOf[st]; ok {
+		return h
+	}
+	h := len(r.stores)
+	r.stores = append(r.stores, st)
+	r.handleOf[st] = h
+	r.toGlobal = append(r.toGlobal, make(map[uint32]uint32))
+	return h
+}
+
+// Global maps a file-local identifier to a global identifier, assigning
+// a global logical segment on first access. It fails when the 2^28
+// global identifier space is exhausted — the bound the paper notes,
+// worked around by "allocating a new file when the previous file's
+// object identifiers have been exhausted" and re-attaching.
+func (r *Registry) Global(handle int, id ObjectID) (GlobalID, error) {
+	if handle < 0 || handle >= len(r.stores) {
+		return NilGlobal, fmt.Errorf("mneme: registry: bad handle %d", handle)
+	}
+	if !id.Valid() {
+		return NilGlobal, fmt.Errorf("%w: %#x", ErrBadID, uint32(id))
+	}
+	local := id.LogicalSegment()
+	g, ok := r.toGlobal[handle][local]
+	if !ok {
+		if r.nextGlobal >= 1<<(IDBits-8) {
+			return NilGlobal, fmt.Errorf("mneme: registry: global identifier space exhausted")
+		}
+		g = r.nextGlobal
+		r.nextGlobal++
+		r.toGlobal[handle][local] = g
+		r.fromGlobal[g] = regEntry{handle: handle, localSeg: local}
+	}
+	return GlobalID(makeID(g, id.Slot())), nil
+}
+
+// Resolve maps a global identifier back to its store and local id.
+func (r *Registry) Resolve(g GlobalID) (*Store, ObjectID, error) {
+	id := ObjectID(g)
+	if !id.Valid() {
+		return nil, NilID, fmt.Errorf("%w: global %#x", ErrBadID, uint32(g))
+	}
+	e, ok := r.fromGlobal[id.LogicalSegment()]
+	if !ok {
+		return nil, NilID, fmt.Errorf("%w: global %#x", ErrNoObject, uint32(g))
+	}
+	return r.stores[e.handle], makeID(e.localSeg, id.Slot()), nil
+}
+
+// Get fetches an object through its global identifier.
+func (r *Registry) Get(g GlobalID) ([]byte, error) {
+	st, id, err := r.Resolve(g)
+	if err != nil {
+		return nil, err
+	}
+	return st.Get(id)
+}

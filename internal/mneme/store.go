@@ -1,0 +1,639 @@
+package mneme
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+const (
+	storeMagic    = uint64(0x4D4E454D45313031) // "MNEME101"
+	headerBytes   = 64
+	formatVersion = 2
+)
+
+// pool is the internal interface every pool kind implements. It mirrors
+// the paper's description: the pool owns object creation, layout,
+// location, and the modified-segment-save call-back invoked by its
+// buffer.
+type pool interface {
+	config() PoolConfig
+	setIndex(i uint8)
+	attach(b *Buffer)
+	buffer() *Buffer
+
+	allocate(data []byte) (ObjectID, error)
+	view(id ObjectID, fn func([]byte) error) error
+	modify(id ObjectID, data []byte) error
+	remove(id ObjectID) error
+
+	// segOf maps an object to its physical segment; ok=false when the
+	// object does not exist.
+	segOf(id ObjectID) (segRef, bool)
+	objectLen(id ObjectID) (int, bool)
+	logicalSegments() []uint32
+	forEach(fn func(id ObjectID, size int) bool)
+	stats() PoolStats
+
+	// saveSegment is the modified-segment-save call-back: it writes the
+	// segment shadow-style to fresh file space and repoints the pool's
+	// location table at it.
+	saveSegment(s *Segment) error
+
+	marshalAux(w *auxWriter)
+	unmarshalAux(r *auxReader) error
+	// compact rewrites the pool's segments densely, dropping dead space.
+	compact() error
+}
+
+// Store is one Mneme file: a set of pools sharing an identifier space
+// and a physical file. All operations are safe for concurrent use: the
+// store serializes access with a single store-wide lock — the coarse
+// concurrency control the paper lists as future work, adequate for the
+// predominantly read-only access pattern it describes.
+type Store struct {
+	mu     sync.Mutex
+	fs     *vfs.FS
+	file   *vfs.File
+	name   string
+	closed bool
+
+	pools   []pool
+	poolIdx map[string]uint8
+	buffers []*Buffer
+
+	nextLogSeg uint32           // logical segment allocator; starts at 1
+	segPool    map[uint32]uint8 // logical segment -> owning pool
+	tail       int64            // next free file offset (block aligned)
+
+	// lastAuxCRC carries the checksum of the most recently written aux
+	// region from Flush to writeHeader.
+	lastAuxCRC uint32
+
+	// locators hold per-pool reference locators for GC; indexes match
+	// pools. nil entries mean the pool's objects hold no references.
+	locators []RefLocator
+}
+
+// Create makes a new store file with the configured pools.
+func Create(fs *vfs.FS, name string, cfg Config) (*Store, error) {
+	if len(cfg.Pools) == 0 {
+		return nil, fmt.Errorf("mneme: create %q: no pools configured", name)
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		fs:         fs,
+		file:       f,
+		name:       name,
+		poolIdx:    make(map[string]uint8),
+		nextLogSeg: 1,
+		segPool:    make(map[uint32]uint8),
+		tail:       int64(headerBytes),
+	}
+	st.alignTail()
+	for _, pc := range cfg.Pools {
+		if err := st.addPool(pc); err != nil {
+			return nil, err
+		}
+	}
+	// Commit the empty image so the new store is immediately consistent
+	// on disk (and an early Rollback has a state to restore).
+	if err := st.flushLocked(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *Store) addPool(pc PoolConfig) error {
+	if _, dup := st.poolIdx[pc.Name]; dup {
+		return fmt.Errorf("mneme: duplicate pool %q", pc.Name)
+	}
+	if len(st.pools) >= 255 {
+		return fmt.Errorf("mneme: too many pools")
+	}
+	var p pool
+	switch pc.Kind {
+	case PoolSmall:
+		if pc.SlotBytes < 5 {
+			return fmt.Errorf("mneme: pool %q: SlotBytes %d too small", pc.Name, pc.SlotBytes)
+		}
+		if pc.SegmentBytes < pc.SlotBytes*SegmentObjects {
+			return fmt.Errorf("mneme: pool %q: segment %d cannot hold %d slots of %d bytes",
+				pc.Name, pc.SegmentBytes, SegmentObjects, pc.SlotBytes)
+		}
+		p = newSmallPool(st, pc)
+	case PoolMedium:
+		if pc.SegmentBytes < 64 {
+			return fmt.Errorf("mneme: pool %q: SegmentBytes %d too small", pc.Name, pc.SegmentBytes)
+		}
+		p = newMediumPool(st, pc)
+	case PoolLarge:
+		p = newLargePool(st, pc)
+	default:
+		return fmt.Errorf("mneme: pool %q: unknown kind %d", pc.Name, pc.Kind)
+	}
+	idx := uint8(len(st.pools))
+	p.setIndex(idx)
+	policy, err := policyByName(pc.Policy)
+	if err != nil {
+		return fmt.Errorf("mneme: pool %q: %w", pc.Name, err)
+	}
+	b := NewBuffer(pc.BufferBytes, policy, p.saveSegment)
+	p.attach(b)
+	st.pools = append(st.pools, p)
+	st.buffers = append(st.buffers, b)
+	st.poolIdx[pc.Name] = idx
+	return nil
+}
+
+// Open loads an existing store. The auxiliary tables — the "compact
+// multi-level hash tables" that locate logical segments — are read once
+// here and stay permanently cached, as the paper observes of Mneme's
+// lookup mechanism.
+func Open(fs *vfs.FS, name string) (*Store, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{fs: fs, file: f, name: name}
+	if err := st.loadCommitted(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// loadCommitted (re)builds the store's in-memory state — pools, their
+// buffers, and the logical-segment directory — from the last committed
+// header and auxiliary tables.
+func (st *Store) loadCommitted() error {
+	st.pools = nil
+	st.buffers = nil
+	st.poolIdx = make(map[string]uint8)
+	st.segPool = make(map[uint32]uint8)
+	st.locators = nil
+
+	var hdr [headerBytes]byte
+	if err := vfs.ReadFull(st.file, hdr[:], 0); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != storeMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != formatVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	st.tail = int64(binary.LittleEndian.Uint64(hdr[16:]))
+	auxOff := int64(binary.LittleEndian.Uint64(hdr[24:]))
+	auxLen := int64(binary.LittleEndian.Uint64(hdr[32:]))
+	st.nextLogSeg = binary.LittleEndian.Uint32(hdr[40:])
+	poolCount := int(binary.LittleEndian.Uint32(hdr[44:]))
+	wantCRC := binary.LittleEndian.Uint32(hdr[48:])
+
+	aux := make([]byte, auxLen)
+	if auxLen > 0 {
+		if err := vfs.ReadFull(st.file, aux, auxOff); err != nil {
+			return fmt.Errorf("%w: aux tables: %v", ErrCorrupt, err)
+		}
+	}
+	if crc32.ChecksumIEEE(aux) != wantCRC {
+		return fmt.Errorf("%w: aux table checksum mismatch", ErrCorrupt)
+	}
+	st.lastAuxCRC = wantCRC
+	r := &auxReader{buf: aux}
+	for i := 0; i < poolCount; i++ {
+		pc := PoolConfig{
+			Name:         r.str(),
+			Kind:         PoolKind(r.u8()),
+			SegmentBytes: int(r.u32()),
+			SlotBytes:    int(r.u32()),
+			BufferBytes:  int64(r.u64()),
+			Policy:       r.str(),
+		}
+		if r.err != nil {
+			return fmt.Errorf("%w: pool directory: %v", ErrCorrupt, r.err)
+		}
+		if err := st.addPool(pc); err != nil {
+			return err
+		}
+		if err := st.pools[i].unmarshalAux(r); err != nil {
+			return err
+		}
+	}
+	if r.err != nil {
+		return fmt.Errorf("%w: aux tables: %v", ErrCorrupt, r.err)
+	}
+	// Rebuild the logical-segment directory from the pools.
+	for i, p := range st.pools {
+		for _, ls := range p.logicalSegments() {
+			st.segPool[ls] = uint8(i)
+		}
+	}
+	return nil
+}
+
+// writeHeader persists the header; writing it is the commit point.
+func (st *Store) writeHeader(auxOff, auxLen int64) error {
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint64(hdr[0:], storeMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(st.tail))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(auxOff))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(auxLen))
+	binary.LittleEndian.PutUint32(hdr[40:], st.nextLogSeg)
+	binary.LittleEndian.PutUint32(hdr[44:], uint32(len(st.pools)))
+	binary.LittleEndian.PutUint32(hdr[48:], st.lastAuxCRC)
+	_, err := st.file.WriteAt(hdr[:], 0)
+	return err
+}
+
+// Flush saves all dirty segments (shadow-style), writes the auxiliary
+// tables to fresh file space, and commits by rewriting the header. A
+// crash before the header write leaves the previous consistent image.
+// Commit is a synonym.
+func (st *Store) Flush() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.flushLocked()
+}
+
+func (st *Store) flushLocked() error {
+	if st.closed {
+		return ErrStoreClosed
+	}
+	for _, b := range st.buffers {
+		if err := b.FlushDirty(); err != nil {
+			return err
+		}
+	}
+	w := &auxWriter{}
+	for _, p := range st.pools {
+		pc := p.config()
+		w.str(pc.Name)
+		w.u8(uint8(pc.Kind))
+		w.u32(uint32(pc.SegmentBytes))
+		w.u32(uint32(pc.SlotBytes))
+		w.u64(uint64(pc.BufferBytes))
+		w.str(pc.Policy)
+		p.marshalAux(w)
+	}
+	auxOff := st.allocExtent(len(w.buf))
+	if len(w.buf) > 0 {
+		if _, err := st.file.WriteAt(w.buf, auxOff); err != nil {
+			return err
+		}
+	}
+	st.lastAuxCRC = crc32.ChecksumIEEE(w.buf)
+	return st.writeHeader(auxOff, int64(len(w.buf)))
+}
+
+// Close flushes and invalidates the store.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrStoreClosed
+	}
+	if err := st.flushLocked(); err != nil {
+		return err
+	}
+	st.closed = true
+	return st.file.Close()
+}
+
+// alignTail rounds the allocation tail up to the disk block size, so
+// physical segments start on transfer-block boundaries — the "careful
+// file allocation sympathetic to the device transfer block size" the
+// paper credits for much of the improvement.
+func (st *Store) alignTail() {
+	bs := int64(st.fs.BlockSize())
+	if rem := st.tail % bs; rem != 0 {
+		st.tail += bs - rem
+	}
+}
+
+// allocExtent reserves size bytes of file space starting on a block
+// boundary and returns the starting offset.
+func (st *Store) allocExtent(size int) int64 {
+	st.alignTail()
+	off := st.tail
+	st.tail += int64(size)
+	return off
+}
+
+// allocLogSeg assigns the next logical segment number to a pool.
+func (st *Store) allocLogSeg(poolIdx uint8) (uint32, error) {
+	if st.nextLogSeg >= 1<<(IDBits-8) {
+		return 0, fmt.Errorf("mneme: logical segment space exhausted")
+	}
+	ls := st.nextLogSeg
+	st.nextLogSeg++
+	st.segPool[ls] = poolIdx
+	return ls, nil
+}
+
+// poolFor dispatches an object identifier to its owning pool.
+func (st *Store) poolFor(id ObjectID) (pool, error) {
+	if st.closed {
+		return nil, ErrStoreClosed
+	}
+	if !id.Valid() {
+		return nil, fmt.Errorf("%w: %#x", ErrBadID, uint32(id))
+	}
+	pi, ok := st.segPool[id.LogicalSegment()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	return st.pools[pi], nil
+}
+
+// Allocate creates an object holding data in the named pool and returns
+// its identifier.
+func (st *Store) Allocate(poolName string, data []byte) (ObjectID, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return NilID, ErrStoreClosed
+	}
+	pi, ok := st.poolIdx[poolName]
+	if !ok {
+		return NilID, fmt.Errorf("%w: %q", ErrNoPool, poolName)
+	}
+	return st.pools[pi].allocate(data)
+}
+
+// Get returns a copy of the object's bytes.
+func (st *Store) Get(id ObjectID) ([]byte, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []byte
+	err := st.viewLocked(id, func(b []byte) error {
+		out = append([]byte(nil), b...)
+		return nil
+	})
+	return out, err
+}
+
+// View calls fn with the object's bytes without copying them out of the
+// buffered segment. fn must not retain or mutate the slice, and must
+// not call back into the store (the store lock is held).
+func (st *Store) View(id ObjectID, fn func([]byte) error) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.viewLocked(id, fn)
+}
+
+func (st *Store) viewLocked(id ObjectID, fn func([]byte) error) error {
+	p, err := st.poolFor(id)
+	if err != nil {
+		return err
+	}
+	return p.view(id, fn)
+}
+
+// Modify replaces the object's contents. The identifier is stable even
+// when the object must be relocated within its pool. If the new size is
+// not storable by the owning pool, ErrWrongPool or ErrTooLarge is
+// returned and the caller must delete and re-allocate in another pool.
+func (st *Store) Modify(id ObjectID, data []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, err := st.poolFor(id)
+	if err != nil {
+		return err
+	}
+	return p.modify(id, data)
+}
+
+// Delete removes the object. Its slot may be reused by later
+// allocations in the same pool.
+func (st *Store) Delete(id ObjectID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.deleteLocked(id)
+}
+
+func (st *Store) deleteLocked(id ObjectID) error {
+	p, err := st.poolFor(id)
+	if err != nil {
+		return err
+	}
+	return p.remove(id)
+}
+
+// ObjectLen returns the object's size in bytes.
+func (st *Store) ObjectLen(id ObjectID) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, err := st.poolFor(id)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := p.objectLen(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
+	}
+	return n, nil
+}
+
+// IsResident reports whether the object's physical segment is buffered —
+// the residency hash-table check the paper describes.
+func (st *Store) IsResident(id ObjectID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, err := st.poolFor(id)
+	if err != nil {
+		return false
+	}
+	ref, ok := p.segOf(id)
+	if !ok {
+		return false
+	}
+	return p.buffer().Resident(ref)
+}
+
+// Reserve pins the physical segments of every listed object that is
+// already resident, so that evaluating a query cannot evict evidence it
+// is about to use. Objects that are absent, not resident, or invalid
+// are skipped. It returns the number of reservations made.
+func (st *Store) Reserve(ids []ObjectID) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		p, err := st.poolFor(id)
+		if err != nil {
+			continue
+		}
+		ref, ok := p.segOf(id)
+		if !ok {
+			continue
+		}
+		if p.buffer().ReserveResident(ref) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReleaseReservations unpins all reserved segments in every buffer.
+func (st *Store) ReleaseReservations() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, b := range st.buffers {
+		b.ReleaseReservations()
+	}
+}
+
+// SetBufferCapacity adjusts the byte capacity of the named pool's
+// buffer. Zero disables caching for that pool.
+func (st *Store) SetBufferCapacity(poolName string, capacity int64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pi, ok := st.poolIdx[poolName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoPool, poolName)
+	}
+	return st.buffers[pi].SetCapacity(capacity)
+}
+
+// DropBuffers empties every buffer (saving dirty segments first),
+// used between measured runs alongside vfs.Chill.
+func (st *Store) DropBuffers() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, b := range st.buffers {
+		if err := b.Clear(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BufferStats returns per-pool buffer counters keyed by pool name.
+func (st *Store) BufferStats() map[string]BufferStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]BufferStats, len(st.pools))
+	for name, pi := range st.poolIdx {
+		out[name] = st.buffers[pi].Stats()
+	}
+	return out
+}
+
+// ResetBufferStats zeroes every buffer's counters.
+func (st *Store) ResetBufferStats() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, b := range st.buffers {
+		b.ResetStats()
+	}
+}
+
+// PoolStats returns per-pool content statistics in pool order.
+func (st *Store) PoolStats() []PoolStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]PoolStats, len(st.pools))
+	for i, p := range st.pools {
+		out[i] = p.stats()
+	}
+	return out
+}
+
+// PoolNames returns the pool names in pool order.
+func (st *Store) PoolNames() []string {
+	out := make([]string, len(st.pools))
+	for i, p := range st.pools {
+		out[i] = p.config().Name
+	}
+	return out
+}
+
+// PoolOf returns the name of the pool owning id.
+func (st *Store) PoolOf(id ObjectID) (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, err := st.poolFor(id)
+	if err != nil {
+		return "", err
+	}
+	return p.config().Name, nil
+}
+
+// ForEach calls fn for every live object in every pool (pool order,
+// then allocation order), stopping early if fn returns false. The
+// object set is snapshotted first, so fn may safely call back into the
+// store (Get, View, Delete, ...); objects deleted concurrently after
+// the snapshot may still be reported.
+func (st *Store) ForEach(fn func(id ObjectID, size int) bool) {
+	type entry struct {
+		id   ObjectID
+		size int
+	}
+	var snapshot []entry
+	st.mu.Lock()
+	st.forEachLocked(func(id ObjectID, size int) bool {
+		snapshot = append(snapshot, entry{id, size})
+		return true
+	})
+	st.mu.Unlock()
+	for _, e := range snapshot {
+		if !fn(e.id, e.size) {
+			return
+		}
+	}
+}
+
+func (st *Store) forEachLocked(fn func(id ObjectID, size int) bool) {
+	for _, p := range st.pools {
+		stop := false
+		p.forEach(func(id ObjectID, size int) bool {
+			if !fn(id, size) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// SizeBytes reports the store file's allocated size.
+func (st *Store) SizeBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.tail
+}
+
+// readSegment loads size bytes at off from the store file.
+func (st *Store) readSegment(dst []byte, off int64) error {
+	return vfs.ReadFull(st.file, dst, off)
+}
+
+// writeSegment writes a segment image at off.
+func (st *Store) writeSegment(data []byte, off int64) error {
+	_, err := st.file.WriteAt(data, off)
+	return err
+}
+
+// policyByName constructs a buffer replacement policy from its
+// configured name. An empty name selects LRU, the paper's choice.
+func policyByName(name string) (ReplacementPolicy, error) {
+	switch name {
+	case "", "lru":
+		return NewLRU(), nil
+	case "fifo":
+		return NewFIFO(), nil
+	case "clock":
+		return NewClock(), nil
+	}
+	return nil, fmt.Errorf("unknown buffer policy %q", name)
+}

@@ -1,0 +1,544 @@
+package mneme
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// paperConfig mirrors the paper's three-pool layout: 16-byte slots in
+// 4 Kbyte small segments, 8 Kbyte medium segments, per-object large
+// segments.
+func paperConfig(bufSmall, bufMedium, bufLarge int64) Config {
+	return Config{Pools: []PoolConfig{
+		{Name: "small", Kind: PoolSmall, SegmentBytes: 4096, SlotBytes: 16, BufferBytes: bufSmall},
+		{Name: "medium", Kind: PoolMedium, SegmentBytes: 8192, BufferBytes: bufMedium},
+		{Name: "large", Kind: PoolLarge, BufferBytes: bufLarge},
+	}}
+}
+
+func newStoreFS() *vfs.FS {
+	return vfs.New(vfs.Options{BlockSize: 8192, OSCacheBytes: 1 << 22})
+}
+
+func mustCreate(t *testing.T, fs *vfs.FS, name string, cfg Config) *Store {
+	t.Helper()
+	st, err := Create(fs, name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func payload(seed, size int) []byte {
+	b := make([]byte, size)
+	rng := rand.New(rand.NewSource(int64(seed)*7919 + int64(size)))
+	rng.Read(b)
+	return b
+}
+
+func TestObjectIDEncoding(t *testing.T) {
+	id := makeID(12345, 200)
+	if id.LogicalSegment() != 12345 || id.Slot() != 200 {
+		t.Fatalf("id parts = %d, %d", id.LogicalSegment(), id.Slot())
+	}
+	if !id.Valid() {
+		t.Fatal("valid id reported invalid")
+	}
+	if NilID.Valid() {
+		t.Fatal("NilID reported valid")
+	}
+	if makeID(1, 255).Valid() {
+		t.Fatal("slot 255 reported valid")
+	}
+	if ObjectID(1<<IDBits | 0x100).Valid() {
+		t.Fatal("id beyond 28 bits reported valid")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	fs := newStoreFS()
+	if _, err := Create(fs, "empty", Config{}); err == nil {
+		t.Fatal("Create with no pools succeeded")
+	}
+	bad := []Config{
+		{Pools: []PoolConfig{{Name: "s", Kind: PoolSmall, SegmentBytes: 4096, SlotBytes: 4}}},
+		{Pools: []PoolConfig{{Name: "s", Kind: PoolSmall, SegmentBytes: 100, SlotBytes: 16}}},
+		{Pools: []PoolConfig{{Name: "m", Kind: PoolMedium, SegmentBytes: 10}}},
+		{Pools: []PoolConfig{{Name: "x", Kind: PoolKind(9)}}},
+		{Pools: []PoolConfig{{Name: "a", Kind: PoolLarge}, {Name: "a", Kind: PoolLarge}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Create(fs, fmt.Sprintf("bad%d", i), cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestAllocateGetAllPools(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<16, 1<<16, 1<<20))
+	cases := []struct {
+		pool string
+		size int
+	}{
+		{"small", 0}, {"small", 1}, {"small", 12},
+		{"medium", 13}, {"medium", 100}, {"medium", 8192}, {"medium", 20000},
+		{"large", 4097}, {"large", 100000},
+	}
+	ids := make([]ObjectID, len(cases))
+	for i, c := range cases {
+		id, err := st.Allocate(c.pool, payload(i, c.size))
+		if err != nil {
+			t.Fatalf("Allocate %s/%d: %v", c.pool, c.size, err)
+		}
+		ids[i] = id
+	}
+	for i, c := range cases {
+		got, err := st.Get(ids[i])
+		if err != nil {
+			t.Fatalf("Get %s/%d: %v", c.pool, c.size, err)
+		}
+		if !bytes.Equal(got, payload(i, c.size)) {
+			t.Fatalf("Get %s/%d: data mismatch", c.pool, c.size)
+		}
+		if n, err := st.ObjectLen(ids[i]); err != nil || n != c.size {
+			t.Fatalf("ObjectLen = %d, %v; want %d", n, err, c.size)
+		}
+		if name, _ := st.PoolOf(ids[i]); name != c.pool {
+			t.Fatalf("PoolOf = %q, want %q", name, c.pool)
+		}
+	}
+}
+
+func TestSmallPoolRejectsOversize(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 0))
+	if _, err := st.Allocate("small", payload(0, 13)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBadIDErrors(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 0))
+	if _, err := st.Get(NilID); !errors.Is(err, ErrBadID) {
+		t.Fatalf("Get(NilID) err = %v", err)
+	}
+	if _, err := st.Get(makeID(999, 3)); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("Get(unknown seg) err = %v", err)
+	}
+	id, _ := st.Allocate("small", []byte("x"))
+	other := makeID(id.LogicalSegment(), id.Slot()+1)
+	if _, err := st.Get(other); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("Get(unallocated slot) err = %v", err)
+	}
+	if _, err := st.Allocate("nope", []byte("x")); !errors.Is(err, ErrNoPool) {
+		t.Fatalf("Allocate bad pool err = %v", err)
+	}
+}
+
+func TestSmallPoolSegmentPacking(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<16, 0, 0))
+	// 255 objects fill exactly one logical segment / physical segment.
+	var ids []ObjectID
+	for i := 0; i < 255; i++ {
+		id, err := st.Allocate("small", payload(i, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	first := ids[0].LogicalSegment()
+	for _, id := range ids {
+		if id.LogicalSegment() != first {
+			t.Fatal("first 255 small objects span multiple logical segments")
+		}
+	}
+	id256, _ := st.Allocate("small", payload(256, 5))
+	if id256.LogicalSegment() == first {
+		t.Fatal("256th object did not open a new logical segment")
+	}
+	ps := st.PoolStats()[0]
+	if ps.Objects != 256 || ps.PhysicalSegs != 2 || ps.LogicalSegs != 2 {
+		t.Fatalf("small pool stats = %+v", ps)
+	}
+	if ps.SegmentBytes != 2*4096 {
+		t.Fatalf("small SegmentBytes = %d", ps.SegmentBytes)
+	}
+}
+
+func TestMediumPoolPackingAndOversize(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 1<<20, 0))
+	// Three 3000-byte objects: first two share an 8K segment, third opens another.
+	a, _ := st.Allocate("medium", payload(1, 3000))
+	b, _ := st.Allocate("medium", payload(2, 3000))
+	c, _ := st.Allocate("medium", payload(3, 3000))
+	ra, _ := st.pools[1].segOf(a)
+	rb, _ := st.pools[1].segOf(b)
+	rc, _ := st.pools[1].segOf(c)
+	if ra != rb {
+		t.Fatal("first two medium objects not packed together")
+	}
+	if rc == ra {
+		t.Fatal("third medium object did not open a new segment")
+	}
+	// Oversize object gets a dedicated exact-size segment.
+	big, _ := st.Allocate("medium", payload(4, 30000))
+	rBig, _ := st.pools[1].segOf(big)
+	if rBig == ra || rBig == rc {
+		t.Fatal("oversize object shared a segment")
+	}
+	got, err := st.Get(big)
+	if err != nil || !bytes.Equal(got, payload(4, 30000)) {
+		t.Fatalf("oversize Get failed: %v", err)
+	}
+}
+
+func TestModifyAllPools(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<16, 1<<20, 1<<20))
+	sm, _ := st.Allocate("small", payload(1, 10))
+	md, _ := st.Allocate("medium", payload(2, 500))
+	lg, _ := st.Allocate("large", payload(3, 9000))
+
+	// Small: in place, any size <= 12.
+	if err := st.Modify(sm, payload(10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.Get(sm); !bytes.Equal(got, payload(10, 4)) {
+		t.Fatal("small modify lost data")
+	}
+	if err := st.Modify(sm, payload(11, 13)); !errors.Is(err, ErrWrongPool) {
+		t.Fatalf("small oversize modify err = %v", err)
+	}
+
+	// Medium: shrink in place, grow relocates, id stable.
+	if err := st.Modify(md, payload(20, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Modify(md, payload(21, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.Get(md); !bytes.Equal(got, payload(21, 4000)) {
+		t.Fatal("medium grow lost data")
+	}
+
+	// Large: any size change allowed.
+	if err := st.Modify(lg, payload(30, 20000)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.Get(lg); !bytes.Equal(got, payload(30, 20000)) {
+		t.Fatal("large modify lost data")
+	}
+}
+
+func TestDeleteAndSlotReuse(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<16, 1<<20, 1<<20))
+	for _, pool := range []string{"small", "medium", "large"} {
+		size := map[string]int{"small": 8, "medium": 400, "large": 5000}[pool]
+		id, err := st.Allocate(pool, payload(1, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Get(id); !errors.Is(err, ErrNoObject) {
+			t.Fatalf("%s: Get after delete err = %v", pool, err)
+		}
+		if err := st.Delete(id); !errors.Is(err, ErrNoObject) {
+			t.Fatalf("%s: double delete err = %v", pool, err)
+		}
+		// The freed slot is reused.
+		id2, err := st.Allocate(pool, payload(2, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id2 != id {
+			t.Fatalf("%s: slot not reused: %#x then %#x", pool, uint32(id), uint32(id2))
+		}
+		if got, _ := st.Get(id2); !bytes.Equal(got, payload(2, size)) {
+			t.Fatalf("%s: reused slot data mismatch", pool)
+		}
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<16, 1<<18, 1<<20))
+	type obj struct {
+		id   ObjectID
+		pool string
+		seed int
+		size int
+	}
+	rng := rand.New(rand.NewSource(5))
+	var objs []obj
+	for i := 0; i < 1200; i++ {
+		var pool string
+		var size int
+		switch rng.Intn(3) {
+		case 0:
+			pool, size = "small", rng.Intn(13)
+		case 1:
+			pool, size = "medium", rng.Intn(4000)+13
+		default:
+			pool, size = "large", rng.Intn(20000)+4097
+		}
+		id, err := st.Allocate(pool, payload(i, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj{id, pool, i, size})
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(objs[0].id); !errors.Is(err, ErrStoreClosed) {
+		t.Fatal("closed store still serves reads")
+	}
+
+	st2, err := Open(fs, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		got, err := st2.Get(o.id)
+		if err != nil {
+			t.Fatalf("reopen Get(%#x): %v", uint32(o.id), err)
+		}
+		if !bytes.Equal(got, payload(o.seed, o.size)) {
+			t.Fatalf("reopen Get(%#x): data mismatch (%s, %d bytes)", uint32(o.id), o.pool, o.size)
+		}
+	}
+	// Allocation continues cleanly after reopen.
+	id, err := st2.Allocate("medium", payload(9999, 777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if o.id == id {
+			t.Fatal("new allocation collided with an existing id")
+		}
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(0, 0, 0))
+	st.Allocate("medium", payload(1, 100))
+	st.Close()
+
+	if _, err := Open(fs, "missing"); err == nil {
+		t.Fatal("Open(missing) succeeded")
+	}
+	// Flip a byte in the aux region (after the header).
+	f, _ := fs.Open("store")
+	var hdr [headerBytes]byte
+	vfs.ReadFull(f, hdr[:], 0)
+	auxOff := int64(uint64(hdr[24]) | uint64(hdr[25])<<8 | uint64(hdr[26])<<16 | uint64(hdr[27])<<24)
+	one := []byte{0xFF}
+	f.WriteAt(one, auxOff+3)
+	if _, err := Open(fs, "store"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt aux err = %v", err)
+	}
+	// Garbage header.
+	g, _ := fs.Create("garbage")
+	g.WriteAt(bytes.Repeat([]byte{0xAB}, 128), 0)
+	if _, err := Open(fs, "garbage"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on garbage err = %v", err)
+	}
+}
+
+func TestCrashBeforeFlushPreservesPreviousImage(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<16, 1<<18, 1<<20))
+	id, _ := st.Allocate("medium", payload(1, 1000))
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate work after the committed flush that never commits:
+	// allocate more objects and modify the first, then "crash" (drop the
+	// store without flushing).
+	st.Allocate("medium", payload(2, 2000))
+	st.Modify(id, payload(3, 900))
+	// No Flush. Reopen from the last committed header.
+	st2, err := Open(fs, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload(1, 1000)) {
+		t.Fatal("committed image damaged by uncommitted work")
+	}
+	if st2.PoolStats()[1].Objects != 1 {
+		t.Fatalf("uncommitted allocation visible: %+v", st2.PoolStats()[1])
+	}
+}
+
+func TestForEachAndStats(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<16, 1<<18, 1<<20))
+	sizes := map[string][]int{
+		"small":  {1, 5, 12},
+		"medium": {100, 200},
+		"large":  {5000},
+	}
+	want := 0
+	for pool, ss := range sizes {
+		for i, s := range ss {
+			if _, err := st.Allocate(pool, payload(i, s)); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+	}
+	got := 0
+	var totalBytes int
+	st.ForEach(func(id ObjectID, size int) bool {
+		got++
+		totalBytes += size
+		return true
+	})
+	if got != want {
+		t.Fatalf("ForEach visited %d, want %d", got, want)
+	}
+	if totalBytes != 1+5+12+100+200+5000 {
+		t.Fatalf("ForEach total bytes = %d", totalBytes)
+	}
+	// Early stop.
+	got = 0
+	st.ForEach(func(ObjectID, int) bool { got++; return false })
+	if got != 1 {
+		t.Fatalf("early stop visited %d", got)
+	}
+	// Live bytes accounting.
+	var live int64
+	for _, ps := range st.PoolStats() {
+		live += ps.LiveBytes
+	}
+	if live != 1+5+12+100+200+5000 {
+		t.Fatalf("LiveBytes total = %d", live)
+	}
+}
+
+// TestPropertyStoreAgainstMap runs a random workload across all pools
+// and cross-checks against a reference map, including across a
+// close/reopen cycle.
+func TestPropertyStoreAgainstMap(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", paperConfig(1<<15, 1<<17, 1<<19))
+	ref := make(map[ObjectID][]byte)
+	poolFor := func(size int) string {
+		switch {
+		case size <= 12:
+			return "small"
+		case size <= 4096:
+			return "medium"
+		default:
+			return "large"
+		}
+	}
+	var ids []ObjectID
+	rng := rand.New(rand.NewSource(77))
+	randSize := func() int {
+		switch rng.Intn(3) {
+		case 0:
+			return rng.Intn(13)
+		case 1:
+			return rng.Intn(4084) + 13
+		default:
+			return rng.Intn(30000) + 4097
+		}
+	}
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || len(ids) == 0: // allocate
+			size := randSize()
+			data := payload(step, size)
+			id, err := st.Allocate(poolFor(size), data)
+			if err != nil {
+				t.Fatalf("step %d: Allocate: %v", step, err)
+			}
+			if ref[id] != nil {
+				t.Fatalf("step %d: live id %#x handed out twice", step, uint32(id))
+			}
+			ref[id] = data
+			ids = append(ids, id)
+		case op < 6: // modify within pool constraints
+			id := ids[rng.Intn(len(ids))]
+			if ref[id] == nil {
+				continue
+			}
+			pool, _ := st.PoolOf(id)
+			var size int
+			switch pool {
+			case "small":
+				size = rng.Intn(13)
+			case "medium":
+				size = rng.Intn(4084) + 13
+			default:
+				size = rng.Intn(30000) + 4097
+			}
+			data := payload(step+1000000, size)
+			if err := st.Modify(id, data); err != nil {
+				t.Fatalf("step %d: Modify(%s): %v", step, pool, err)
+			}
+			ref[id] = data
+		case op < 7: // delete
+			id := ids[rng.Intn(len(ids))]
+			if ref[id] == nil {
+				continue
+			}
+			if err := st.Delete(id); err != nil {
+				t.Fatalf("step %d: Delete: %v", step, err)
+			}
+			ref[id] = nil
+		default: // read
+			id := ids[rng.Intn(len(ids))]
+			got, err := st.Get(id)
+			want := ref[id]
+			if want == nil {
+				if !errors.Is(err, ErrNoObject) {
+					t.Fatalf("step %d: Get deleted err = %v", step, err)
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("step %d: Get mismatch: %v", step, err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(fs, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for id, want := range ref {
+		if want == nil {
+			continue
+		}
+		live++
+		got, err := st2.Get(id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("after reopen: Get(%#x): %v", uint32(id), err)
+		}
+	}
+	if live == 0 {
+		t.Fatal("property test degenerated: no live objects")
+	}
+}

@@ -1,0 +1,53 @@
+package mneme
+
+// Transaction support, the paper's future work made concrete. The store
+// already commits atomically: Flush shadow-writes dirty segments and
+// fresh auxiliary tables, then the single header rewrite publishes them.
+// Commit and Rollback expose that mechanism as an explicit transaction
+// boundary: everything between two commits is all-or-nothing.
+//
+// The paper predicted that adding these services "would not introduce
+// excessive overhead" for IR's predominantly read-only access; here the
+// read path's only added cost is the store lock.
+
+// Commit makes all work since the previous commit durable. It is
+// Flush under its transactional name.
+func (st *Store) Commit() error { return st.Flush() }
+
+// Rollback discards all uncommitted work — allocations, modifications,
+// deletions, dirty buffered segments — and restores the state of the
+// last Commit (or of Open/Create for a store never committed since).
+// Buffer contents are dropped, and buffer capacities revert to the
+// persisted pool configuration. Reference locators installed with
+// SetRefLocator must be reinstalled by name, which Rollback does
+// automatically for pools that still exist.
+func (st *Store) Rollback() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrStoreClosed
+	}
+	// Preserve user-installed locators across the state reload.
+	saved := make(map[string]RefLocator)
+	if st.locators != nil {
+		for i, p := range st.pools {
+			if st.locators[i] != nil {
+				saved[p.config().Name] = st.locators[i]
+			}
+		}
+	}
+	// Dirty segments are intentionally NOT saved: dropping the buffers
+	// and in-memory tables and reloading the committed image is the
+	// whole point. Shadow segments already written by earlier evictions
+	// become unreferenced file space beyond the committed tail.
+	if err := st.loadCommitted(); err != nil {
+		return err
+	}
+	for name, fn := range saved {
+		if pi, ok := st.poolIdx[name]; ok {
+			st.ensureLocators()
+			st.locators[pi] = fn
+		}
+	}
+	return nil
+}

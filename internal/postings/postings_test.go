@@ -1,0 +1,353 @@
+package postings
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mk(doc uint32, positions ...uint32) Posting {
+	return Posting{Doc: doc, Positions: positions}
+}
+
+func TestEncodeDecodeEmpty(t *testing.T) {
+	rec := Encode(nil)
+	ctf, df, err := Stats(rec)
+	if err != nil || ctf != 0 || df != 0 {
+		t.Fatalf("Stats = %d, %d, %v", ctf, df, err)
+	}
+	ps, err := DecodeAll(rec)
+	if err != nil || len(ps) != 0 {
+		t.Fatalf("DecodeAll = %v, %v", ps, err)
+	}
+}
+
+func TestEncodeDecodeSimple(t *testing.T) {
+	in := []Posting{
+		mk(0, 0, 5, 9),
+		mk(3, 2),
+		mk(4, 0, 1, 2, 3),
+		mk(1000000, 4294967295),
+	}
+	rec := Encode(in)
+	ctf, df, err := Stats(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctf != 9 || df != 4 {
+		t.Fatalf("ctf=%d df=%d, want 9, 4", ctf, df)
+	}
+	out, err := DecodeAll(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %v want %v", out, in)
+	}
+}
+
+func TestReaderIncremental(t *testing.T) {
+	in := []Posting{mk(2, 1, 7), mk(9, 3)}
+	r := NewReader(Encode(in))
+	if r.CTF() != 3 || r.DF() != 2 {
+		t.Fatalf("header ctf=%d df=%d", r.CTF(), r.DF())
+	}
+	p, ok := r.Next()
+	if !ok || p.Doc != 2 || p.TF() != 2 {
+		t.Fatalf("first = %v, %v", p, ok)
+	}
+	p, ok = r.Next()
+	if !ok || p.Doc != 9 || p.TF() != 1 {
+		t.Fatalf("second = %v, %v", p, ok)
+	}
+	if _, ok = r.Next(); ok {
+		t.Fatal("Next past end returned true")
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestEncodePanicsOnDisorder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-order docs")
+		}
+	}()
+	Encode([]Posting{mk(5, 1), mk(5, 2)})
+}
+
+func TestEncodePanicsOnPositionDisorder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-order positions")
+		}
+	}()
+	Encode([]Posting{mk(5, 3, 3)})
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},              // empty: no header
+		{0x80},          // truncated varint
+		{3, 1, 0},       // zero doc gap
+		{2, 1, 1, 2, 0}, // zero position gap
+		{5, 2, 1, 1, 1}, // df says 2, record has 1
+	}
+	for i, rec := range cases {
+		if _, err := DecodeAll(rec); err == nil {
+			t.Errorf("case %d: corrupt record decoded without error", i)
+		}
+	}
+	if _, _, err := Stats(nil); err == nil {
+		t.Error("Stats(nil) succeeded")
+	}
+}
+
+func TestMergeAppend(t *testing.T) {
+	rec := Encode([]Posting{mk(1, 0), mk(5, 2, 3)})
+	out, err := Merge(rec, []Posting{mk(9, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := DecodeAll(out)
+	want := []Posting{mk(1, 0), mk(5, 2, 3), mk(9, 1)}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("got %v want %v", ps, want)
+	}
+}
+
+func TestMergeMiddleAndReplace(t *testing.T) {
+	rec := Encode([]Posting{mk(1, 0), mk(5, 2, 3), mk(9, 1)})
+	out, err := Merge(rec, []Posting{mk(3, 7), mk(5, 8, 9, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := DecodeAll(out)
+	want := []Posting{mk(1, 0), mk(3, 7), mk(5, 8, 9, 10), mk(9, 1)}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("got %v want %v", ps, want)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	out, err := Merge(Encode(nil), []Posting{mk(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := DecodeAll(out)
+	if !reflect.DeepEqual(ps, []Posting{mk(4, 2)}) {
+		t.Fatalf("got %v", ps)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rec := Encode([]Posting{mk(1, 0), mk(5, 2), mk(9, 1)})
+	out, err := Delete(rec, []uint32{5, 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := DecodeAll(out)
+	want := []Posting{mk(1, 0), mk(9, 1)}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("got %v want %v", ps, want)
+	}
+	// Delete everything: header-only record, stats go to zero.
+	out, err = Delete(out, []uint32{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctf, df, _ := Stats(out)
+	if ctf != 0 || df != 0 {
+		t.Fatalf("after full delete ctf=%d df=%d", ctf, df)
+	}
+}
+
+func randomPostings(rng *rand.Rand, maxDocs int) []Posting {
+	n := rng.Intn(maxDocs)
+	docs := make(map[uint32]bool)
+	for len(docs) < n {
+		docs[uint32(rng.Intn(1<<20))] = true
+	}
+	sorted := make([]uint32, 0, n)
+	for d := range docs {
+		sorted = append(sorted, d)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ps := make([]Posting, n)
+	for i, d := range sorted {
+		tf := rng.Intn(8) + 1
+		pos := make([]uint32, tf)
+		cur := uint32(rng.Intn(50))
+		for j := range pos {
+			pos[j] = cur
+			cur += uint32(rng.Intn(100) + 1)
+		}
+		ps[i] = Posting{Doc: d, Positions: pos}
+	}
+	return ps
+}
+
+// TestPropertyRoundTrip: Encode∘DecodeAll is the identity on sorted lists.
+func TestPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		in := randomPostings(rng, 80)
+		out, err := DecodeAll(Encode(in))
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if len(in) == 0 && len(out) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iter %d: round trip mismatch", i)
+		}
+	}
+}
+
+// TestPropertyHeaderConsistent: the header always matches the body.
+func TestPropertyHeaderConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		in := randomPostings(rng, 60)
+		rec := Encode(in)
+		ctf, df, err := Stats(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantCTF uint64
+		for _, p := range in {
+			wantCTF += uint64(p.TF())
+		}
+		if ctf != wantCTF || df != uint64(len(in)) {
+			t.Fatalf("iter %d: header (%d,%d) body (%d,%d)", i, ctf, df, wantCTF, len(in))
+		}
+	}
+}
+
+// TestPropertyMergeEquivalence: Merge over encoded bytes equals merging
+// the plain posting slices and encoding the result.
+func TestPropertyMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		base := randomPostings(rng, 50)
+		adds := randomPostings(rng, 20)
+		got, err := Merge(Encode(base), adds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference merge on maps.
+		m := make(map[uint32]Posting)
+		for _, p := range base {
+			m[p.Doc] = p
+		}
+		for _, p := range adds {
+			m[p.Doc] = p
+		}
+		docs := make([]uint32, 0, len(m))
+		for d := range m {
+			docs = append(docs, d)
+		}
+		sort.Slice(docs, func(a, b int) bool { return docs[a] < docs[b] })
+		want := make([]Posting, len(docs))
+		for j, d := range docs {
+			want[j] = m[d]
+		}
+		if !bytes.Equal(got, Encode(want)) {
+			t.Fatalf("iter %d: merge mismatch", i)
+		}
+	}
+}
+
+// TestPropertyDeleteThenDecode via testing/quick: Delete removes exactly
+// the named documents.
+func TestPropertyDeleteThenDecode(t *testing.T) {
+	check := func(docSeed int64, delMask uint16) bool {
+		rng := rand.New(rand.NewSource(docSeed))
+		base := randomPostings(rng, 16)
+		var del []uint32
+		for i, p := range base {
+			if delMask&(1<<uint(i%16)) != 0 {
+				del = append(del, p.Doc)
+			}
+		}
+		out, err := Delete(Encode(base), del)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeAll(out)
+		if err != nil {
+			return false
+		}
+		gone := make(map[uint32]bool)
+		for _, d := range del {
+			gone[d] = true
+		}
+		want := 0
+		for _, p := range base {
+			if !gone[p.Doc] {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressionRate: on dense realistic lists the codec should achieve
+// compression in the neighbourhood the paper reports (~60 % average, i.e.
+// encoded ≈ 40 % of the raw integer-vector size), and never exceed raw.
+func TestCompressionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// A frequent term: appears in 5000 consecutive-ish documents.
+	ps := make([]Posting, 5000)
+	doc := uint32(0)
+	for i := range ps {
+		doc += uint32(rng.Intn(4) + 1)
+		tf := rng.Intn(4) + 1
+		pos := make([]uint32, tf)
+		cur := uint32(rng.Intn(100))
+		for j := range pos {
+			pos[j] = cur
+			cur += uint32(rng.Intn(500) + 1)
+		}
+		ps[i] = Posting{Doc: doc, Positions: pos}
+	}
+	raw := RawSize(ps)
+	enc := len(Encode(ps))
+	ratio := float64(enc) / float64(raw)
+	if ratio >= 1 {
+		t.Fatalf("no compression: encoded %d raw %d", enc, raw)
+	}
+	if ratio > 0.6 {
+		t.Fatalf("compression ratio %.2f worse than expected 0.25-0.60 band", ratio)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ps := randomPostings(rng, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(ps)
+	}
+}
+
+func BenchmarkDecodeAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	rec := Encode(randomPostings(rng, 2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAll(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

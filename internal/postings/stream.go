@@ -1,0 +1,113 @@
+package postings
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// StreamReader decodes an inverted-list record from an io.Reader
+// instead of a byte slice, so a record chunked across multiple store
+// objects can be scanned without materializing it — the incremental
+// retrieval of large aggregate objects that the paper's §6 proposes
+// for document-at-a-time processing.
+type StreamReader struct {
+	r    io.Reader
+	buf  [1]byte
+	ctf  uint64
+	df   uint64
+	seen uint64
+	prev int64
+	err  error
+}
+
+// NewStreamReader prepares a streaming decoder; the header is read
+// eagerly. Check Err before trusting CTF/DF.
+func NewStreamReader(r io.Reader) *StreamReader {
+	sr := &StreamReader{r: r, prev: -1}
+	sr.ctf = sr.uvarint()
+	sr.df = sr.uvarint()
+	return sr
+}
+
+// ReadByte implements io.ByteReader over the wrapped reader.
+func (sr *StreamReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(sr.r, sr.buf[:]); err != nil {
+		return 0, err
+	}
+	return sr.buf[0], nil
+}
+
+func (sr *StreamReader) uvarint() uint64 {
+	if sr.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(sr)
+	if err != nil {
+		if err == io.EOF {
+			err = ErrCorrupt
+		}
+		sr.err = err
+		return 0
+	}
+	return v
+}
+
+// CTF returns the collection term frequency from the header.
+func (sr *StreamReader) CTF() uint64 { return sr.ctf }
+
+// DF returns the document frequency from the header.
+func (sr *StreamReader) DF() uint64 { return sr.df }
+
+// Err returns the first decoding error encountered, if any.
+func (sr *StreamReader) Err() error {
+	if sr.err == io.EOF {
+		return nil
+	}
+	return sr.err
+}
+
+// Next decodes the next posting, mirroring Reader.Next.
+func (sr *StreamReader) Next() (Posting, bool) {
+	if sr.err != nil || sr.seen >= sr.df {
+		return Posting{}, false
+	}
+	gap := sr.uvarint()
+	if sr.err != nil {
+		return Posting{}, false
+	}
+	if gap == 0 {
+		sr.err = ErrCorrupt
+		return Posting{}, false
+	}
+	doc := sr.prev + int64(gap)
+	if doc > 0xFFFFFFFF {
+		sr.err = ErrCorrupt
+		return Posting{}, false
+	}
+	sr.prev = doc
+	tf := sr.uvarint()
+	if sr.err != nil {
+		return Posting{}, false
+	}
+	positions := make([]uint32, 0, tf)
+	prevPos := int64(-1)
+	for i := uint64(0); i < tf; i++ {
+		pg := sr.uvarint()
+		if sr.err != nil {
+			return Posting{}, false
+		}
+		if pg == 0 {
+			sr.err = ErrCorrupt
+			return Posting{}, false
+		}
+		pos := prevPos + int64(pg)
+		if pos > 0xFFFFFFFF {
+			sr.err = ErrCorrupt
+			return Posting{}, false
+		}
+		positions = append(positions, uint32(pos))
+		prevPos = pos
+	}
+	sr.seen++
+	return Posting{Doc: uint32(doc), Positions: positions}, true
+}

@@ -1,0 +1,118 @@
+package postings
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// chunkedReader feeds a record in tiny pieces to exercise decoding
+// across read boundaries.
+type chunkedReader struct {
+	data  []byte
+	chunk int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func TestStreamReaderMatchesReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100; iter++ {
+		in := randomPostings(rng, 60)
+		rec := Encode(in)
+		for _, chunk := range []int{1, 3, 7, 64, len(rec) + 1} {
+			sr := NewStreamReader(&chunkedReader{data: rec, chunk: chunk})
+			if sr.Err() != nil {
+				t.Fatalf("iter %d chunk %d: header err %v", iter, chunk, sr.Err())
+			}
+			var got []Posting
+			for {
+				p, ok := sr.Next()
+				if !ok {
+					break
+				}
+				got = append(got, p)
+			}
+			if sr.Err() != nil {
+				t.Fatalf("iter %d chunk %d: %v", iter, chunk, sr.Err())
+			}
+			if len(in) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, in) {
+				t.Fatalf("iter %d chunk %d: stream decode mismatch", iter, chunk)
+			}
+			if sr.DF() != uint64(len(in)) {
+				t.Fatalf("DF = %d, want %d", sr.DF(), len(in))
+			}
+		}
+	}
+}
+
+func TestStreamReaderHeader(t *testing.T) {
+	rec := Encode([]Posting{mk(3, 1, 5), mk(9, 2)})
+	sr := NewStreamReader(bytes.NewReader(rec))
+	if sr.CTF() != 3 || sr.DF() != 2 {
+		t.Fatalf("header = %d, %d", sr.CTF(), sr.DF())
+	}
+}
+
+func TestStreamReaderTruncated(t *testing.T) {
+	rec := Encode([]Posting{mk(3, 1, 5), mk(9, 2)})
+	sr := NewStreamReader(bytes.NewReader(rec[:len(rec)-1]))
+	for {
+		if _, ok := sr.Next(); !ok {
+			break
+		}
+	}
+	if sr.Err() == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	// Empty stream: header fails.
+	sr = NewStreamReader(bytes.NewReader(nil))
+	if sr.Err() == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestStreamReaderCorruptGaps(t *testing.T) {
+	// df=1 but zero doc gap.
+	sr := NewStreamReader(bytes.NewReader([]byte{1, 1, 0}))
+	if _, ok := sr.Next(); ok || sr.Err() == nil {
+		t.Fatal("zero gap accepted")
+	}
+}
+
+func BenchmarkStreamDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	rec := Encode(randomPostings(rng, 2000))
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr := NewStreamReader(bytes.NewReader(rec))
+		for {
+			if _, ok := sr.Next(); !ok {
+				break
+			}
+		}
+		if sr.Err() != nil {
+			b.Fatal(sr.Err())
+		}
+	}
+}

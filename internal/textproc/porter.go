@@ -1,0 +1,264 @@
+package textproc
+
+// Stem applies the Porter stemming algorithm (M.F. Porter, "An algorithm
+// for suffix stripping", Program 14(3), 1980) to a lowercase word.
+// Words shorter than three letters are returned unchanged, as in the
+// original algorithm.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	s := stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+// stemmer holds the word buffer being reduced in place.
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant per Porter's rules:
+// 'y' is a consonant when at the start or when following a vowel.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[:end].
+func (s *stemmer) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			return m
+		}
+		// Skip consonants: one VC sequence complete.
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+		m++
+	}
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b[:end] ends with a doubled consonant.
+func (s *stemmer) endsDoubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return s.b[end-1] == s.b[end-2] && s.isConsonant(end-1)
+}
+
+// cvc reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y (Porter's *o condition).
+func (s *stemmer) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isConsonant(end-3) || s.isConsonant(end-2) || !s.isConsonant(end-1) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the buffer ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b)
+	if n < len(suf) {
+		return false
+	}
+	return string(s.b[n-len(suf):]) == suf
+}
+
+// stemEnd returns the length of the stem if suf were removed.
+func (s *stemmer) stemEnd(suf string) int { return len(s.b) - len(suf) }
+
+// replace swaps a verified suffix for rep.
+func (s *stemmer) replace(suf, rep string) {
+	s.b = append(s.b[:len(s.b)-len(suf)], rep...)
+}
+
+// replaceIfM replaces suf with rep when the stem measure exceeds thresh.
+// It returns true if the suffix matched (whether or not it fired).
+func (s *stemmer) replaceIfM(suf, rep string, thresh int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	if s.measure(s.stemEnd(suf)) > thresh {
+		s.replace(suf, rep)
+	}
+	return true
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.replace("sses", "ss")
+	case s.hasSuffix("ies"):
+		s.replace("ies", "i")
+	case s.hasSuffix("ss"):
+		// Unchanged.
+	case s.hasSuffix("s"):
+		s.replace("s", "")
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(s.stemEnd("eed")) > 0 {
+			s.replace("eed", "ee")
+		}
+		return
+	}
+	fired := false
+	switch {
+	case s.hasSuffix("ed") && s.hasVowel(s.stemEnd("ed")):
+		s.replace("ed", "")
+		fired = true
+	case s.hasSuffix("ing") && s.hasVowel(s.stemEnd("ing")):
+		s.replace("ing", "")
+		fired = true
+	}
+	if !fired {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"):
+		s.replace("at", "ate")
+	case s.hasSuffix("bl"):
+		s.replace("bl", "ble")
+	case s.hasSuffix("iz"):
+		s.replace("iz", "ize")
+	case s.endsDoubleConsonant(len(s.b)):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.cvc(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(s.stemEnd("y")) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m(stem) > 0. The pairs
+// are ordered so longer suffixes are tried before their tails.
+func (s *stemmer) step2() {
+	pairs := []struct{ suf, rep string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+		{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+		{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+		{"biliti", "ble"}, {"logi", "log"},
+	}
+	for _, p := range pairs {
+		if s.replaceIfM(p.suf, p.rep, 0) {
+			return
+		}
+	}
+}
+
+func (s *stemmer) step3() {
+	pairs := []struct{ suf, rep string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+		{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, p := range pairs {
+		if s.replaceIfM(p.suf, p.rep, 0) {
+			return
+		}
+	}
+}
+
+// step4 strips residual suffixes when m(stem) > 1.
+func (s *stemmer) step4() {
+	sufs := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+	}
+	// Longer matches first so e.g. "ement" wins over "ment" and "ent".
+	for _, suf := range []string{"ement", "ance", "ence", "able", "ible", "ment"} {
+		if s.hasSuffix(suf) {
+			if s.measure(s.stemEnd(suf)) > 1 {
+				s.replace(suf, "")
+			}
+			return
+		}
+	}
+	for _, suf := range sufs {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		end := s.stemEnd(suf)
+		if suf == "ion" {
+			if end < 1 || (s.b[end-1] != 's' && s.b[end-1] != 't') {
+				return
+			}
+		}
+		if s.measure(end) > 1 {
+			s.replace(suf, "")
+		}
+		return
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	end := len(s.b) - 1
+	m := s.measure(end)
+	if m > 1 || (m == 1 && !s.cvc(end)) {
+		s.b = s.b[:end]
+	}
+}
+
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n > 1 && s.b[n-1] == 'l' && s.endsDoubleConsonant(n) && s.measure(n) > 1 {
+		s.b = s.b[:n-1]
+	}
+}

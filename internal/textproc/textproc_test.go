@@ -1,0 +1,268 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestStemVocabulary checks Stem against the published Porter examples
+// and a sample of words with well-known stems.
+func TestStemVocabulary(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a.
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b.
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c.
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2.
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3.
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4.
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5.
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// General.
+		"retrieval":   "retriev",
+		"information": "inform",
+		"documents":   "document",
+		"indexing":    "index",
+		"queries":     "queri",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// TestPropertyStemIdempotentOutputStable: stemming is deterministic and
+// never grows a word by more than one letter (the +e case in step 1b).
+func TestPropertyStemProperties(t *testing.T) {
+	check := func(raw string) bool {
+		// Restrict to plausible lowercase words.
+		var sb strings.Builder
+		for _, r := range raw {
+			if r >= 'a' && r <= 'z' {
+				sb.WriteRune(r)
+			}
+		}
+		w := sb.String()
+		if len(w) > 40 {
+			w = w[:40]
+		}
+		s1 := Stem(w)
+		s2 := Stem(w)
+		if s1 != s2 {
+			return false
+		}
+		return len(s1) <= len(w)+1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokensBasic(t *testing.T) {
+	a := NewAnalyzer(WithStemming(false))
+	got := a.Tokens("The Quick brown fox, the lazy dog!")
+	// "the" (x2) stopped; positions advance across them.
+	want := []Token{
+		{Term: "quick", Pos: 1},
+		{Term: "brown", Pos: 2},
+		{Term: "fox", Pos: 3},
+		{Term: "lazy", Pos: 5},
+		{Term: "dog", Pos: 6},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokensStemming(t *testing.T) {
+	a := NewAnalyzer()
+	got := a.Tokens("retrieving documents")
+	if len(got) != 2 || got[0].Term != "retriev" || got[1].Term != "document" {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+func TestTokensDigitsAndMixed(t *testing.T) {
+	a := NewAnalyzer(WithStemming(false), WithStopWords(nil))
+	got := a.Tokens("term42 x1y2 100")
+	want := []Token{
+		{Term: "term42", Pos: 0},
+		{Term: "x1y2", Pos: 1},
+		{Term: "100", Pos: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokensEmptyAndPunctuation(t *testing.T) {
+	a := NewAnalyzer()
+	if got := a.Tokens(""); len(got) != 0 {
+		t.Fatalf("Tokens(\"\") = %v", got)
+	}
+	if got := a.Tokens("... --- !!!"); len(got) != 0 {
+		t.Fatalf("Tokens(punct) = %v", got)
+	}
+}
+
+func TestTokensUnicodeFallback(t *testing.T) {
+	a := NewAnalyzer(WithStemming(false), WithStopWords(nil))
+	got := a.Tokens("naïve café — done")
+	if len(got) != 3 {
+		t.Fatalf("Tokens = %v", got)
+	}
+	if got[0].Term != "naïve" || got[1].Term != "café" || got[2].Term != "done" {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+func TestMaxTokenLength(t *testing.T) {
+	a := NewAnalyzer(WithStemming(false), WithStopWords(nil), WithMaxTokenLength(4))
+	got := a.Tokens("abcdefgh")
+	if len(got) != 1 || got[0].Term != "abcd" {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+func TestIsStopWordAndNormalize(t *testing.T) {
+	a := NewAnalyzer()
+	if !a.IsStopWord("The") || a.IsStopWord("fox") {
+		t.Fatal("IsStopWord misclassifies")
+	}
+	if a.Normalize("Running") != "run" {
+		t.Fatalf("Normalize = %q", a.Normalize("Running"))
+	}
+}
+
+func TestCustomStopWords(t *testing.T) {
+	a := NewAnalyzer(WithStemming(false), WithStopWords([]string{"fox"}))
+	got := a.Tokens("the fox runs")
+	// Only "fox" stopped now; "the" survives.
+	if len(got) != 2 || got[0].Term != "the" || got[1].Term != "runs" {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+// TestPropertyTokensPositionsAscending via testing/quick.
+func TestPropertyTokensPositionsAscending(t *testing.T) {
+	a := NewAnalyzer()
+	check := func(text string) bool {
+		toks := a.Tokens(text)
+		for i := 1; i < len(toks); i++ {
+			if toks[i].Pos <= toks[i-1].Pos {
+				return false
+			}
+		}
+		for _, tok := range toks {
+			if tok.Term == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTokens(b *testing.B) {
+	a := NewAnalyzer()
+	text := strings.Repeat("information retrieval systems have unusual and challenging data management requirements ", 50)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Tokens(text)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "retrieval", "formalize", "documents", "adjustment"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,166 @@
+// Package textproc provides INQUERY's document and query text analysis:
+// tokenization, stop-word removal, and Porter stemming. The paper's
+// query runs use "appropriate relevance and stop words files"; the
+// analyzer here accepts an arbitrary stop set and defaults to a standard
+// English list.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is one indexable term occurrence.
+type Token struct {
+	Term string
+	// Pos is the token's ordinal position in the text. Positions advance
+	// across stop words so proximity operators see true word distances.
+	Pos uint32
+}
+
+// Analyzer converts raw text into index tokens.
+type Analyzer struct {
+	stop   map[string]struct{}
+	stem   bool
+	maxLen int
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithStopWords replaces the default stop set. Pass an empty slice to
+// disable stopping entirely.
+func WithStopWords(words []string) Option {
+	return func(a *Analyzer) {
+		a.stop = make(map[string]struct{}, len(words))
+		for _, w := range words {
+			a.stop[strings.ToLower(w)] = struct{}{}
+		}
+	}
+}
+
+// WithStemming enables or disables Porter stemming (default on).
+func WithStemming(on bool) Option {
+	return func(a *Analyzer) { a.stem = on }
+}
+
+// WithMaxTokenLength caps token length; longer tokens are truncated.
+func WithMaxTokenLength(n int) Option {
+	return func(a *Analyzer) { a.maxLen = n }
+}
+
+// NewAnalyzer builds an analyzer with the default English stop list and
+// Porter stemming enabled.
+func NewAnalyzer(opts ...Option) *Analyzer {
+	a := &Analyzer{stem: true, maxLen: 64}
+	WithStopWords(DefaultStopWords)(a)
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// IsStopWord reports whether w (case-insensitive) is in the stop set.
+func (a *Analyzer) IsStopWord(w string) bool {
+	_, ok := a.stop[strings.ToLower(w)]
+	return ok
+}
+
+// Normalize lowercases, truncates, and optionally stems a single word,
+// applying exactly the transformation used during tokenization. It does
+// not consult the stop list.
+func (a *Analyzer) Normalize(w string) string {
+	w = strings.ToLower(w)
+	if a.maxLen > 0 && len(w) > a.maxLen {
+		w = w[:a.maxLen]
+	}
+	if a.stem {
+		w = Stem(w)
+	}
+	return w
+}
+
+// Tokens analyzes text: words are maximal runs of letters and digits,
+// lowercased; stop words are dropped (but still advance the position
+// counter); surviving words are stemmed when stemming is enabled.
+func (a *Analyzer) Tokens(text string) []Token {
+	out := make([]Token, 0, len(text)/6)
+	pos := uint32(0)
+	i := 0
+	for i < len(text) {
+		// Skip separators. The corpora are ASCII; handle them on the
+		// fast path and fall back to unicode for anything else.
+		c := text[i]
+		if !isWordByte(c) {
+			if c < 0x80 {
+				i++
+				continue
+			}
+			r, size := decodeRune(text[i:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				i += size
+				continue
+			}
+		}
+		start := i
+		for i < len(text) {
+			c := text[i]
+			if isWordByte(c) {
+				i++
+				continue
+			}
+			if c < 0x80 {
+				break
+			}
+			r, size := decodeRune(text[i:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				break
+			}
+			i += size
+		}
+		word := strings.ToLower(text[start:i])
+		p := pos
+		pos++
+		if _, stopped := a.stop[word]; stopped {
+			continue
+		}
+		if a.maxLen > 0 && len(word) > a.maxLen {
+			word = word[:a.maxLen]
+		}
+		if a.stem {
+			word = Stem(word)
+		}
+		out = append(out, Token{Term: word, Pos: p})
+	}
+	return out
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// decodeRune decodes the first rune of s for the non-ASCII fallback.
+func decodeRune(s string) (rune, int) {
+	return utf8.DecodeRuneInString(s)
+}
+
+// DefaultStopWords is a conventional English stop list of the sort
+// shipped with INQUERY-era retrieval systems.
+var DefaultStopWords = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "as", "at", "be", "because", "been", "before",
+	"being", "below", "between", "both", "but", "by", "can", "cannot",
+	"could", "did", "do", "does", "doing", "down", "during", "each", "few",
+	"for", "from", "further", "had", "has", "have", "having", "he", "her",
+	"here", "hers", "herself", "him", "himself", "his", "how", "i", "if",
+	"in", "into", "is", "it", "its", "itself", "me", "more", "most", "my",
+	"myself", "no", "nor", "not", "of", "off", "on", "once", "only", "or",
+	"other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+	"same", "she", "should", "so", "some", "such", "than", "that", "the",
+	"their", "theirs", "them", "themselves", "then", "there", "these",
+	"they", "this", "those", "through", "to", "too", "under", "until",
+	"up", "very", "was", "we", "were", "what", "when", "where", "which",
+	"while", "who", "whom", "why", "with", "would", "you", "your", "yours",
+	"yourself", "yourselves",
+}

@@ -1,0 +1,82 @@
+package vfs
+
+import "container/list"
+
+// blockKey identifies one disk block of one file.
+type blockKey struct {
+	file  uint64
+	block int64
+}
+
+// blockCache is a strict-LRU set of resident disk blocks, modelling the
+// ULTRIX file-system buffer cache. It stores only residency information;
+// block contents live in the file itself, so hit/miss classification is
+// exact while data copies stay cheap.
+type blockCache struct {
+	capacity int64
+	order    *list.List // front = most recently used; values are blockKey
+	index    map[blockKey]*list.Element
+}
+
+func newBlockCache(capacity int64) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[blockKey]*list.Element),
+	}
+}
+
+// touch reports whether the block is resident, promoting it to most
+// recently used if so.
+func (c *blockCache) touch(file uint64, block int64) bool {
+	e, ok := c.index[blockKey{file, block}]
+	if !ok {
+		return false
+	}
+	c.order.MoveToFront(e)
+	return true
+}
+
+// insert makes the block resident, evicting the least recently used
+// block if the cache is full. Inserting an already-resident block just
+// promotes it.
+func (c *blockCache) insert(file uint64, block int64) {
+	k := blockKey{file, block}
+	if e, ok := c.index[k]; ok {
+		c.order.MoveToFront(e)
+		return
+	}
+	for int64(c.order.Len()) >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		delete(c.index, back.Value.(blockKey))
+		c.order.Remove(back)
+	}
+	c.index[k] = c.order.PushFront(k)
+}
+
+// clear empties the cache.
+func (c *blockCache) clear() {
+	c.order.Init()
+	c.index = make(map[blockKey]*list.Element)
+}
+
+// evictFile removes all blocks belonging to the file.
+func (c *blockCache) evictFile(file uint64) {
+	c.evictFileFrom(file, 0)
+}
+
+// evictFileFrom removes the file's blocks numbered >= from.
+func (c *blockCache) evictFileFrom(file uint64, from int64) {
+	for k, e := range c.index {
+		if k.file == file && k.block >= from {
+			delete(c.index, k)
+			c.order.Remove(e)
+		}
+	}
+}
+
+// len reports the number of resident blocks.
+func (c *blockCache) len() int { return c.order.Len() }

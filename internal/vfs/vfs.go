@@ -1,0 +1,465 @@
+// Package vfs provides a simulated storage stack: an in-memory block
+// "disk", an operating-system block cache, per-filesystem I/O accounting,
+// and a deterministic 1993-era time model.
+//
+// The paper's evaluation (Tables 3-5) is driven entirely by three
+// counters measured on a DECstation 5000/240 running ULTRIX:
+//
+//	I — the number of 8 Kbyte blocks actually read from disk,
+//	A — the average number of file accesses (read system calls) per
+//	    inverted-list record lookup, and
+//	B — the total number of Kbytes read from the inverted file.
+//
+// Both storage backends (the custom B-tree package and the Mneme
+// persistent object store) perform all file I/O through this package, so
+// the same counters can be reported for the reproduction. The ULTRIX
+// file-system buffer cache — which satisfies some file accesses without
+// disk activity and which the paper purges with a 32 Mbyte "chill file"
+// before every run — is modelled by an LRU block cache inside FS; Chill
+// performs the purge.
+//
+// All data lives in memory. Files grow in units of the block size and
+// behave like ordinary byte-addressable files.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize is the disk transfer block size used throughout the
+// paper: "Each disk access causes 8 Kbytes to be read from disk".
+const DefaultBlockSize = 8192
+
+// Common errors returned by FS and File operations.
+var (
+	ErrNotExist = errors.New("vfs: file does not exist")
+	ErrExist    = errors.New("vfs: file already exists")
+	ErrClosed   = errors.New("vfs: file is closed")
+)
+
+// Stats holds cumulative I/O counters for a file system. The fields map
+// onto the paper's Table 5 columns as documented on each field.
+type Stats struct {
+	// FileAccesses counts read system calls (File.ReadAt and friends).
+	// Divided by the number of record lookups it yields the paper's "A".
+	FileAccesses int64
+	// DiskReads counts blocks read from the simulated disk, i.e. read
+	// accesses that the OS block cache could not satisfy. This is the
+	// paper's "I" (I/O inputs from getrusage).
+	DiskReads int64
+	// CacheHits counts block reads satisfied by the OS block cache.
+	CacheHits int64
+	// BytesRead is the total number of bytes requested by read calls —
+	// the paper's "B" (reported in Kbytes there).
+	BytesRead int64
+
+	// FileWrites counts write system calls.
+	FileWrites int64
+	// DiskWrites counts blocks written to the simulated disk.
+	DiskWrites int64
+	// BytesWritten is the total number of bytes passed to write calls.
+	BytesWritten int64
+}
+
+// Add returns the field-wise sum of s and t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		FileAccesses: s.FileAccesses + t.FileAccesses,
+		DiskReads:    s.DiskReads + t.DiskReads,
+		CacheHits:    s.CacheHits + t.CacheHits,
+		BytesRead:    s.BytesRead + t.BytesRead,
+		FileWrites:   s.FileWrites + t.FileWrites,
+		DiskWrites:   s.DiskWrites + t.DiskWrites,
+		BytesWritten: s.BytesWritten + t.BytesWritten,
+	}
+}
+
+// Sub returns the field-wise difference s - t. It is used to compute the
+// counters for a single run from two snapshots.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		FileAccesses: s.FileAccesses - t.FileAccesses,
+		DiskReads:    s.DiskReads - t.DiskReads,
+		CacheHits:    s.CacheHits - t.CacheHits,
+		BytesRead:    s.BytesRead - t.BytesRead,
+		FileWrites:   s.FileWrites - t.FileWrites,
+		DiskWrites:   s.DiskWrites - t.DiskWrites,
+		BytesWritten: s.BytesWritten - t.BytesWritten,
+	}
+}
+
+// Options configures a file system.
+type Options struct {
+	// BlockSize is the disk transfer unit in bytes. Zero selects
+	// DefaultBlockSize (8 Kbytes, as in the paper).
+	BlockSize int
+	// OSCacheBytes is the capacity of the simulated operating-system
+	// block cache. Zero disables OS caching entirely (every read access
+	// becomes a disk read).
+	OSCacheBytes int64
+}
+
+// FS is a simulated file system. It is safe for concurrent use.
+type FS struct {
+	mu        sync.Mutex
+	blockSize int
+	files     map[string]*fileData
+	cache     *blockCache
+	stats     Stats
+	nextID    uint64
+}
+
+// New creates an empty file system.
+func New(opts Options) *FS {
+	bs := opts.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	var c *blockCache
+	if opts.OSCacheBytes > 0 {
+		capBlocks := opts.OSCacheBytes / int64(bs)
+		if capBlocks < 1 {
+			capBlocks = 1
+		}
+		c = newBlockCache(capBlocks)
+	}
+	return &FS{
+		blockSize: bs,
+		files:     make(map[string]*fileData),
+		cache:     c,
+	}
+}
+
+// BlockSize reports the disk transfer unit in bytes.
+func (fs *FS) BlockSize() int { return fs.blockSize }
+
+// Create creates a new empty file. It fails if the name already exists.
+func (fs *FS) Create(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+	}
+	fs.nextID++
+	fd := &fileData{name: name, id: fs.nextID}
+	fs.files[name] = fd
+	return &File{fs: fs, fd: fd}, nil
+}
+
+// OpenOrCreate opens name, creating it if absent.
+func (fs *FS) OpenOrCreate(name string) (*File, error) {
+	f, err := fs.Open(name)
+	if errors.Is(err, ErrNotExist) {
+		return fs.Create(name)
+	}
+	return f, err
+}
+
+// Open opens an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fd, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+	}
+	return &File{fs: fs, fd: fd}, nil
+}
+
+// Remove deletes a file and evicts its blocks from the OS cache.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fd, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+	}
+	delete(fs.files, name)
+	if fs.cache != nil {
+		fs.cache.evictFile(fd.id)
+	}
+	return nil
+}
+
+// Exists reports whether name names an existing file.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Names returns the names of all files in the file system, sorted.
+func (fs *FS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Chill purges the OS block cache, mimicking the paper's procedure of
+// reading a 32 Mbyte chill file before each run "to purge the operating
+// system file buffers and guarantee that no inverted file data was
+// cached by the file system across runs". Counters are unaffected.
+func (fs *FS) Chill() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.cache != nil {
+		fs.cache.clear()
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes all counters.
+func (fs *FS) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}
+
+// TotalSize returns the sum of all file sizes in bytes.
+func (fs *FS) TotalSize() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, fd := range fs.files {
+		n += fd.size
+	}
+	return n
+}
+
+// fileData is the on-"disk" representation of a file: a sequence of
+// fixed-size blocks plus a logical size.
+type fileData struct {
+	name   string
+	id     uint64
+	blocks [][]byte
+	size   int64
+}
+
+// File is a handle to a file within an FS. The handle itself is not safe
+// for concurrent use, but distinct handles to the same file are.
+type File struct {
+	fs     *FS
+	fd     *fileData
+	closed bool
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.fd.name }
+
+// Size returns the file's logical size in bytes.
+func (f *File) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return f.fd.size
+}
+
+// Close invalidates the handle. The file's data remains in the FS.
+func (f *File) Close() error {
+	f.closed = true
+	return nil
+}
+
+// ReadAt reads len(p) bytes starting at offset off. It counts one file
+// access regardless of length, touches every spanned block through the
+// OS cache (counting disk reads for misses), and adds len(p) to
+// BytesRead. Reads past the current end of file return io.EOF, with the
+// available prefix filled in, matching os.File semantics.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative read offset %d", off)
+	}
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	fs.stats.FileAccesses++
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n := len(p)
+	short := false
+	if off >= f.fd.size {
+		return 0, io.EOF
+	}
+	if off+int64(n) > f.fd.size {
+		n = int(f.fd.size - off)
+		short = true
+	}
+	fs.touchBlocks(f.fd, off, int64(n), true)
+	fs.stats.BytesRead += int64(n)
+	f.copyOut(p[:n], off)
+	if short {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes len(p) bytes at offset off, growing the file as needed.
+// It counts one file write access, len(p) bytes written, and one disk
+// write per spanned block (write-through). Written blocks enter the OS
+// cache, as a unified buffer cache would.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative write offset %d", off)
+	}
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	fs.stats.FileWrites++
+	if len(p) == 0 {
+		return 0, nil
+	}
+	end := off + int64(len(p))
+	fs.ensureSize(f.fd, end)
+	fs.stats.BytesWritten += int64(len(p))
+	nblocks := fs.touchBlocks(f.fd, off, int64(len(p)), false)
+	fs.stats.DiskWrites += nblocks
+	f.copyIn(p, off)
+	return len(p), nil
+}
+
+// Truncate sets the file's logical size. Growing zero-fills.
+func (f *File) Truncate(size int64) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if size < 0 {
+		return fmt.Errorf("vfs: negative truncate size %d", size)
+	}
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if size > f.fd.size {
+		fs.ensureSize(f.fd, size)
+	} else {
+		f.fd.size = size
+		want := int((size + int64(fs.blockSize) - 1) / int64(fs.blockSize))
+		if want < len(f.fd.blocks) {
+			f.fd.blocks = f.fd.blocks[:want]
+			if fs.cache != nil {
+				fs.cache.evictFileFrom(f.fd.id, int64(want))
+			}
+		}
+		// Zero the tail of the last kept block so re-growth reads zeros.
+		if want > 0 {
+			tail := int(size - int64(want-1)*int64(fs.blockSize))
+			blk := f.fd.blocks[want-1]
+			for i := tail; i < len(blk); i++ {
+				blk[i] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// Sync is a no-op provided for interface parity with real files.
+func (f *File) Sync() error {
+	if f.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// ensureSize grows fd to at least size bytes, allocating zero blocks.
+// Callers must hold fs.mu.
+func (fs *FS) ensureSize(fd *fileData, size int64) {
+	if size <= fd.size {
+		return
+	}
+	need := int((size + int64(fs.blockSize) - 1) / int64(fs.blockSize))
+	for len(fd.blocks) < need {
+		fd.blocks = append(fd.blocks, make([]byte, fs.blockSize))
+	}
+	fd.size = size
+}
+
+// touchBlocks walks every block overlapped by [off, off+n) and, when
+// counting reads, classifies each as an OS cache hit or a disk read. It
+// returns the number of blocks spanned. Callers must hold fs.mu.
+func (fs *FS) touchBlocks(fd *fileData, off, n int64, read bool) int64 {
+	first := off / int64(fs.blockSize)
+	last := (off + n - 1) / int64(fs.blockSize)
+	count := last - first + 1
+	for b := first; b <= last; b++ {
+		if fs.cache == nil {
+			if read {
+				fs.stats.DiskReads++
+			}
+			continue
+		}
+		if fs.cache.touch(fd.id, b) {
+			if read {
+				fs.stats.CacheHits++
+			}
+		} else {
+			if read {
+				fs.stats.DiskReads++
+			}
+			fs.cache.insert(fd.id, b)
+		}
+	}
+	return count
+}
+
+// copyOut copies file bytes [off, off+len(p)) into p. Callers must hold
+// fs.mu and guarantee the range is within the file.
+func (f *File) copyOut(p []byte, off int64) {
+	bs := int64(f.fs.blockSize)
+	for len(p) > 0 {
+		bi := off / bs
+		bo := off % bs
+		blk := f.fd.blocks[bi]
+		c := copy(p, blk[bo:])
+		p = p[c:]
+		off += int64(c)
+	}
+}
+
+// copyIn copies p into file bytes starting at off. Callers must hold
+// fs.mu and guarantee the file has been grown to cover the range.
+func (f *File) copyIn(p []byte, off int64) {
+	bs := int64(f.fs.blockSize)
+	for len(p) > 0 {
+		bi := off / bs
+		bo := off % bs
+		blk := f.fd.blocks[bi]
+		c := copy(blk[bo:], p)
+		p = p[c:]
+		off += int64(c)
+	}
+}
+
+// ReadFull reads exactly len(p) bytes at off or returns an error.
+func ReadFull(f *File, p []byte, off int64) error {
+	n, err := f.ReadAt(p, off)
+	if n == len(p) {
+		return nil
+	}
+	if err == nil || err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,502 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateOpenRemove(t *testing.T) {
+	fs := New(Options{})
+	if fs.BlockSize() != DefaultBlockSize {
+		t.Fatalf("BlockSize = %d, want %d", fs.BlockSize(), DefaultBlockSize)
+	}
+	if _, err := fs.Open("missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open missing: err = %v, want ErrNotExist", err)
+	}
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("Create dup: err = %v, want ErrExist", err)
+	}
+	if !fs.Exists("a") {
+		t.Fatal("Exists(a) = false after Create")
+	}
+	if f.Name() != "a" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a") {
+		t.Fatal("Exists(a) = true after Remove")
+	}
+	if err := fs.Remove("a"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Remove missing: err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestOpenOrCreate(t *testing.T) {
+	fs := New(Options{})
+	f, err := fs.OpenOrCreate("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.OpenOrCreate("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 5 {
+		t.Fatalf("second handle Size = %d, want 5", g.Size())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(Options{BlockSize: 64})
+	f, _ := fs.Create("f")
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if n, err := f.WriteAt(data, 130); err != nil || n != len(data) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	if f.Size() != 1130 {
+		t.Fatalf("Size = %d, want 1130", f.Size())
+	}
+	got := make([]byte, 1000)
+	if n, err := f.ReadAt(got, 130); err != nil || n != 1000 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round-trip mismatch")
+	}
+	// The gap before offset 130 must read as zeros.
+	gap := make([]byte, 130)
+	if _, err := f.ReadAt(gap, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range gap {
+		if b != 0 {
+			t.Fatalf("gap byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs := New(Options{BlockSize: 32})
+	f, _ := fs.Create("f")
+	f.WriteAt([]byte("abcdef"), 0)
+
+	p := make([]byte, 10)
+	n, err := f.ReadAt(p, 3)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short read = %d, %v; want 3, io.EOF", n, err)
+	}
+	if string(p[:n]) != "def" {
+		t.Fatalf("short read data = %q", p[:n])
+	}
+	if n, err = f.ReadAt(p, 6); n != 0 || err != io.EOF {
+		t.Fatalf("read at EOF = %d, %v; want 0, io.EOF", n, err)
+	}
+	if n, err = f.ReadAt(p, 100); n != 0 || err != io.EOF {
+		t.Fatalf("read past EOF = %d, %v; want 0, io.EOF", n, err)
+	}
+}
+
+func TestClosedHandle(t *testing.T) {
+	fs := New(Options{})
+	f, _ := fs.Create("f")
+	f.WriteAt([]byte("x"), 0)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadAt after Close: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("y"), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteAt after Close: %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Truncate after Close: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+	// Data persists and is reachable through a fresh handle.
+	g, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 1)
+	if _, err := g.ReadAt(p, 0); err != nil || p[0] != 'x' {
+		t.Fatalf("reopen read = %q, %v", p, err)
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	fs := New(Options{})
+	f, _ := fs.Create("f")
+	if _, err := f.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("ReadAt(-1) succeeded")
+	}
+	if _, err := f.WriteAt([]byte("x"), -1); err == nil {
+		t.Fatal("WriteAt(-1) succeeded")
+	}
+	if err := f.Truncate(-1); err == nil {
+		t.Fatal("Truncate(-1) succeeded")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := New(Options{BlockSize: 16})
+	f, _ := fs.Create("f")
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	f.WriteAt(data, 0)
+	if err := f.Truncate(37); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 37 {
+		t.Fatalf("Size = %d, want 37", f.Size())
+	}
+	// Growing again must expose zeros beyond the truncation point.
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 100)
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 37; i++ {
+		if p[i] != 0xAB {
+			t.Fatalf("byte %d = %#x, want 0xAB", i, p[i])
+		}
+	}
+	for i := 37; i < 100; i++ {
+		if p[i] != 0 {
+			t.Fatalf("byte %d = %#x, want 0 after regrow", i, p[i])
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	fs := New(Options{BlockSize: 100, OSCacheBytes: 1000}) // 10-block cache
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 1000), 0) // 10 blocks
+	fs.Chill()                       // drop write-populated blocks
+	fs.ResetStats()
+
+	// First read of 250 bytes spans blocks 0-2: 3 disk reads, 1 access.
+	f.ReadAt(make([]byte, 250), 0)
+	s := fs.Stats()
+	if s.FileAccesses != 1 || s.DiskReads != 3 || s.CacheHits != 0 || s.BytesRead != 250 {
+		t.Fatalf("after first read: %+v", s)
+	}
+	// Second identical read: all three blocks now cached.
+	f.ReadAt(make([]byte, 250), 0)
+	s = fs.Stats()
+	if s.FileAccesses != 2 || s.DiskReads != 3 || s.CacheHits != 3 || s.BytesRead != 500 {
+		t.Fatalf("after second read: %+v", s)
+	}
+	// Chill purges the cache; the next read misses again.
+	fs.Chill()
+	f.ReadAt(make([]byte, 250), 0)
+	s = fs.Stats()
+	if s.DiskReads != 6 || s.CacheHits != 3 {
+		t.Fatalf("after chill+read: %+v", s)
+	}
+}
+
+func TestWriteCountsAndCachePopulation(t *testing.T) {
+	fs := New(Options{BlockSize: 100, OSCacheBytes: 1000})
+	f, _ := fs.Create("f")
+	fs.ResetStats()
+	f.WriteAt(make([]byte, 350), 0) // blocks 0-3
+	s := fs.Stats()
+	if s.FileWrites != 1 || s.DiskWrites != 4 || s.BytesWritten != 350 {
+		t.Fatalf("write stats: %+v", s)
+	}
+	// Written blocks are cached: reading them back hits.
+	f.ReadAt(make([]byte, 350), 0)
+	s = fs.Stats()
+	if s.DiskReads != 0 || s.CacheHits != 4 {
+		t.Fatalf("read-after-write stats: %+v", s)
+	}
+}
+
+func TestOSCacheEviction(t *testing.T) {
+	fs := New(Options{BlockSize: 100, OSCacheBytes: 300}) // 3 blocks
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 1000), 0)
+	fs.Chill()
+	fs.ResetStats()
+
+	one := make([]byte, 1)
+	// Touch blocks 0,1,2 — fills the cache.
+	for b := int64(0); b < 3; b++ {
+		f.ReadAt(one, b*100)
+	}
+	// Touch block 3 — evicts LRU block 0.
+	f.ReadAt(one, 300)
+	// Block 1 still resident, block 0 not.
+	f.ReadAt(one, 100)
+	f.ReadAt(one, 0)
+	s := fs.Stats()
+	if s.DiskReads != 5 || s.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 5 disk reads and 1 hit", s)
+	}
+}
+
+func TestNoOSCache(t *testing.T) {
+	fs := New(Options{BlockSize: 100}) // OSCacheBytes 0 disables caching
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 200), 0)
+	fs.ResetStats()
+	for i := 0; i < 5; i++ {
+		f.ReadAt(make([]byte, 50), 0)
+	}
+	s := fs.Stats()
+	if s.DiskReads != 5 || s.CacheHits != 0 {
+		t.Fatalf("stats = %+v, want every read to hit disk", s)
+	}
+}
+
+func TestRemoveEvictsCachedBlocks(t *testing.T) {
+	fs := New(Options{BlockSize: 100, OSCacheBytes: 1000})
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 100), 0)
+	fs.Remove("f")
+	if fs.cache.len() != 0 {
+		t.Fatalf("cache has %d blocks after Remove, want 0", fs.cache.len())
+	}
+}
+
+func TestTruncateEvictsTailBlocks(t *testing.T) {
+	fs := New(Options{BlockSize: 100, OSCacheBytes: 10000})
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 1000), 0) // 10 blocks cached via write-through
+	if got := fs.cache.len(); got != 10 {
+		t.Fatalf("cache len = %d, want 10", got)
+	}
+	f.Truncate(250) // keeps blocks 0-2
+	if got := fs.cache.len(); got != 3 {
+		t.Fatalf("cache len after truncate = %d, want 3", got)
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{FileAccesses: 5, DiskReads: 3, CacheHits: 2, BytesRead: 100,
+		FileWrites: 1, DiskWrites: 1, BytesWritten: 10}
+	b := Stats{FileAccesses: 2, DiskReads: 1, CacheHits: 1, BytesRead: 40,
+		FileWrites: 1, DiskWrites: 1, BytesWritten: 10}
+	sum := a.Add(b)
+	if sum.FileAccesses != 7 || sum.BytesRead != 140 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff != a {
+		t.Fatalf("Sub = %+v, want %+v", diff, a)
+	}
+}
+
+func TestNamesAndTotalSize(t *testing.T) {
+	fs := New(Options{BlockSize: 10})
+	fa, _ := fs.Create("b")
+	fb, _ := fs.Create("a")
+	fa.WriteAt(make([]byte, 25), 0)
+	fb.WriteAt(make([]byte, 5), 0)
+	names := fs.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if fs.TotalSize() != 30 {
+		t.Fatalf("TotalSize = %d, want 30", fs.TotalSize())
+	}
+}
+
+func TestReadFull(t *testing.T) {
+	fs := New(Options{})
+	f, _ := fs.Create("f")
+	f.WriteAt([]byte("abcdef"), 0)
+	p := make([]byte, 6)
+	if err := ReadFull(f, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != "abcdef" {
+		t.Fatalf("ReadFull = %q", p)
+	}
+	if err := ReadFull(f, make([]byte, 7), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("short ReadFull err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestPropertyRandomIO mirrors a reference byte slice: any interleaving
+// of writes and reads through vfs must agree with the reference.
+func TestPropertyRandomIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	fs := New(Options{BlockSize: 128, OSCacheBytes: 128 * 7})
+	f, _ := fs.Create("f")
+	const maxSize = 10_000
+	ref := make([]byte, 0, maxSize)
+
+	for step := 0; step < 2000; step++ {
+		off := rng.Int63n(maxSize / 2)
+		n := rng.Intn(700) + 1
+		if rng.Intn(2) == 0 {
+			p := make([]byte, n)
+			rng.Read(p)
+			if _, err := f.WriteAt(p, off); err != nil {
+				t.Fatalf("step %d: WriteAt: %v", step, err)
+			}
+			end := off + int64(n)
+			for int64(len(ref)) < end {
+				ref = append(ref, 0)
+			}
+			copy(ref[off:end], p)
+		} else {
+			p := make([]byte, n)
+			got, err := f.ReadAt(p, off)
+			want := 0
+			if off < int64(len(ref)) {
+				want = len(ref) - int(off)
+				if want > n {
+					want = n
+				}
+			}
+			if got != want {
+				t.Fatalf("step %d: ReadAt(%d,%d) n = %d, want %d", step, off, n, got, want)
+			}
+			if want < n && err != io.EOF {
+				t.Fatalf("step %d: short read err = %v", step, err)
+			}
+			if !bytes.Equal(p[:got], ref[off:off+int64(got)]) {
+				t.Fatalf("step %d: data mismatch at %d+%d", step, off, got)
+			}
+		}
+		if f.Size() != int64(len(ref)) {
+			t.Fatalf("step %d: Size = %d, want %d", step, f.Size(), len(ref))
+		}
+	}
+}
+
+// TestPropertyCacheBounded checks via testing/quick that the OS cache
+// never exceeds its block capacity no matter the access pattern.
+func TestPropertyCacheBounded(t *testing.T) {
+	check := func(offsets []uint16, capBlocks uint8) bool {
+		capacity := int64(capBlocks%16) + 1
+		c := newBlockCache(capacity)
+		for _, o := range offsets {
+			b := int64(o % 64)
+			if !c.touch(1, b) {
+				c.insert(1, b)
+			}
+			if int64(c.len()) > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStatsMonotonic: counters never decrease across operations.
+func TestPropertyStatsMonotonic(t *testing.T) {
+	fs := New(Options{BlockSize: 64, OSCacheBytes: 64 * 4})
+	f, _ := fs.Create("f")
+	rng := rand.New(rand.NewSource(7))
+	prev := fs.Stats()
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			f.WriteAt(make([]byte, rng.Intn(200)+1), rng.Int63n(2000))
+		case 1:
+			f.ReadAt(make([]byte, rng.Intn(200)+1), rng.Int63n(2000))
+		case 2:
+			fs.Chill()
+		}
+		cur := fs.Stats()
+		if cur.FileAccesses < prev.FileAccesses || cur.DiskReads < prev.DiskReads ||
+			cur.CacheHits < prev.CacheHits || cur.BytesRead < prev.BytesRead ||
+			cur.FileWrites < prev.FileWrites || cur.DiskWrites < prev.DiskWrites ||
+			cur.BytesWritten < prev.BytesWritten {
+			t.Fatalf("op %d: counters decreased: %+v -> %+v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTimeModel(t *testing.T) {
+	m := Model1993()
+	zero := m.SystemIO(Stats{})
+	if zero != 0 {
+		t.Fatalf("SystemIO(zero) = %v", zero)
+	}
+	s := Stats{DiskReads: 100, FileAccesses: 10, BytesRead: 8192 * 100}
+	d := m.SystemIO(s)
+	if d <= 0 {
+		t.Fatalf("SystemIO = %v", d)
+	}
+	// Disk reads dominate at these constants.
+	if d < 100*m.DiskReadPerBlock {
+		t.Fatalf("SystemIO %v < disk component %v", d, 100*m.DiskReadPerBlock)
+	}
+	// More disk reads means strictly more time.
+	s2 := s
+	s2.DiskReads *= 2
+	if m.SystemIO(s2) <= d {
+		t.Fatal("SystemIO not monotonic in DiskReads")
+	}
+	u := m.UserCPU(1_000_000, 50)
+	if u <= 0 {
+		t.Fatalf("UserCPU = %v", u)
+	}
+	if w := m.WallClock(s, 1_000_000, 50); w != u+d {
+		t.Fatalf("WallClock = %v, want %v", w, u+d)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New(Options{BlockSize: 64, OSCacheBytes: 64 * 8})
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 4096), 0)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			h, _ := fs.Open("f")
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				h.ReadAt(make([]byte, 32), rng.Int63n(4000))
+			}
+		}(int64(g))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	s := fs.Stats()
+	if s.FileAccesses < 800 {
+		t.Fatalf("FileAccesses = %d, want >= 800", s.FileAccesses)
+	}
+}
+
+func BenchmarkReadAtCached(b *testing.B) {
+	fs := New(Options{OSCacheBytes: 1 << 24})
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 1<<20), 0)
+	p := make([]byte, 8192)
+	b.SetBytes(int64(len(p)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ReadAt(p, int64(i%(1<<7))*8192)
+	}
+}
