@@ -1,0 +1,31 @@
+# Build and test tiers. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: all build test race fmt check bench
+
+all: check
+
+# Tier 1: everything compiles and the unit suite passes.
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Concurrency tier: static checks plus the unit suite under the race
+# detector (covers the engine smoke tests and the Mneme pin/evict tests).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Formatting gate: fails if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt test race
+
+# Quick pass over the paper-reproduction benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/collection"
@@ -322,6 +323,58 @@ func BenchmarkAblationChunkedLists(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(t.Rows)), "variants")
+}
+
+// BenchmarkParallelSearch measures concurrent query serving over one
+// shared engine with a warm Mneme record cache: the batch driver at
+// increasing worker counts (queries/s is the headline metric), plus a
+// b.RunParallel variant with one Searcher per goroutine.
+func BenchmarkParallelSearch(b *testing.B) {
+	lab := benchLab()
+	built, err := lab.Collection("Legal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+	eng, err := core.Open(built.FS, built.Col.Name, core.BackendMneme,
+		core.WithAnalyzer(an), core.WithPlan(experiments.PlanFor(built)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	var queries []string
+	for _, q := range built.Col.GenQueries(built.Col.QuerySets[0]) {
+		queries = append(queries, q.Text)
+	}
+	// Warm the record buffers so the measurement isolates concurrency,
+	// not cold I/O.
+	if _, err := eng.SearchBatch(queries, core.TopK(10)); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("batch/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.SearchBatch(queries, core.Parallelism(w), core.TopK(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(queries))/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+
+	b.Run("runparallel", func(b *testing.B) {
+		var cursor atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			s := eng.Acquire()
+			for pb.Next() {
+				q := queries[int(cursor.Add(1)-1)%len(queries)]
+				if _, err := s.Search(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkSection2Analysis regenerates the paper's §2 workload

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -35,6 +36,7 @@ func main() {
 	interactive := flag.Bool("i", false, "interactive mode")
 	queryFile := flag.String("queries", "", "file of queries, one per line (batch mode)")
 	stats := flag.Bool("stats", false, "print I/O and buffer statistics after the run")
+	workers := flag.Int("workers", 1, "parallel query workers for -queries batch mode (TAAT only)")
 	stem := flag.Bool("stem", true, "apply Porter stemming to query terms")
 	chunk := flag.Int("chunk", 0, "chunk size the index was built with (must match inquery-index -chunk)")
 	explain := flag.Bool("explain", false, "print the belief breakdown for each query's top document")
@@ -55,14 +57,9 @@ func main() {
 		fail(err)
 	}
 
-	var kind core.BackendKind
-	switch *backend {
-	case "mneme":
-		kind = core.BackendMneme
-	case "btree":
-		kind = core.BackendBTree
-	default:
-		fail(fmt.Errorf("unknown backend %q", *backend))
+	kind, err := core.ParseBackendKind(*backend)
+	if err != nil {
+		fail(err)
 	}
 
 	// Synthetic collections are indexed without stemming; honour -stem.
@@ -71,15 +68,25 @@ func main() {
 		an = textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
 	}
 
-	opts := core.EngineOptions{Analyzer: an, ChunkLargeLists: *chunk}
+	opts := []core.Option{core.WithAnalyzer(an), core.WithChunking(*chunk)}
 	if kind == core.BackendMneme && *cache {
-		opts.Plan = planFromDictionary(fs, *name)
+		opts = append(opts, core.WithPlan(planFromDictionary(fs, *name)))
 	}
-	eng, err := core.Open(fs, *name, kind, opts)
+	eng, err := core.Open(fs, *name, kind, opts...)
 	if err != nil {
 		fail(err)
 	}
 	defer eng.Close()
+
+	printResults := func(res []core.Result) {
+		if len(res) == 0 {
+			fmt.Println("  (no matching documents)")
+			return
+		}
+		for i, r := range res {
+			fmt.Printf("  %2d. doc %-8d belief %.4f\n", i+1, r.Doc, r.Score)
+		}
+	}
 
 	run := func(q string) {
 		q = strings.TrimSpace(q)
@@ -97,14 +104,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "  error:", err)
 			return
 		}
-		if len(res) == 0 {
-			fmt.Println("  (no matching documents)")
-			return
-		}
-		for i, r := range res {
-			fmt.Printf("  %2d. doc %-8d belief %.4f\n", i+1, r.Doc, r.Score)
-		}
-		if *explain {
+		printResults(res)
+		if *explain && len(res) > 0 {
 			ex, err := eng.Explain(q, res[0].Doc)
 			if err == nil {
 				fmt.Printf("  explanation for doc %d:\n", res[0].Doc)
@@ -120,17 +121,35 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		var queries []string
 		sc := bufio.NewScanner(qf)
 		for sc.Scan() {
 			if strings.TrimSpace(sc.Text()) == "" {
 				continue
 			}
-			fmt.Printf("query: %s\n", sc.Text())
-			run(sc.Text())
+			queries = append(queries, sc.Text())
 		}
 		qf.Close()
 		if err := sc.Err(); err != nil {
 			fail(err)
+		}
+		if *workers > 1 && !*daat {
+			// Parallel batch: evaluate with the worker pool, then print
+			// per-query rankings in input order.
+			res, err := eng.SearchBatch(queries,
+				core.Parallelism(*workers), core.TopK(*topK))
+			if err != nil {
+				fail(err)
+			}
+			for i, q := range queries {
+				fmt.Printf("query: %s\n", q)
+				printResults(res[i])
+			}
+		} else {
+			for _, q := range queries {
+				fmt.Printf("query: %s\n", q)
+				run(q)
+			}
 		}
 	} else if *interactive {
 		fmt.Printf("%s/%s ready (%d docs). Enter queries; blank line quits.\n",
@@ -154,13 +173,18 @@ func main() {
 	}
 
 	if *stats {
-		c := eng.Counters()
-		io := fs.Stats()
+		snap := eng.Snapshot()
 		fmt.Printf("\n%d queries, %d record lookups, %d postings processed\n",
-			c.Queries, c.Lookups, c.Postings)
+			snap.Counters.Queries, snap.Counters.Lookups, snap.Counters.Postings)
 		fmt.Printf("I/O: %d file accesses, %d disk blocks, %d KB read\n",
-			io.FileAccesses, io.DiskReads, io.BytesRead/1024)
-		for pool, bs := range eng.Backend().BufferStats() {
+			snap.IO.FileAccesses, snap.IO.DiskReads, snap.IO.BytesRead/1024)
+		pools := make([]string, 0, len(snap.Buffers))
+		for pool := range snap.Buffers {
+			pools = append(pools, pool)
+		}
+		sort.Strings(pools)
+		for _, pool := range pools {
+			bs := snap.Buffers[pool]
 			fmt.Printf("buffer %-7s refs %-6d hits %-6d rate %.2f\n",
 				pool, bs.Refs, bs.Hits, bs.HitRate())
 		}
@@ -171,7 +195,7 @@ func main() {
 // stored dictionary: large = 3x the largest list, medium = 9% of large
 // (at least 3 segments), small = 3 segments.
 func planFromDictionary(fs *vfs.FS, name string) core.BufferPlan {
-	eng, err := core.Open(fs, name, core.BackendMneme, core.EngineOptions{})
+	eng, err := core.Open(fs, name, core.BackendMneme)
 	if err != nil {
 		return core.BufferPlan{SmallBytes: 3 * 4096, MediumBytes: 3 * 8192, LargeBytes: 1 << 20}
 	}

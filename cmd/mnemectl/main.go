@@ -7,6 +7,7 @@
 //	mnemectl -index index.img -store mycol.mn stats
 //	mnemectl -index index.img -store mycol.mn histogram
 //	mnemectl -index index.img -store mycol.mn verify
+//	mnemectl -index index.img -store mycol.mn snapshot
 //	mnemectl -index index.img -store mycol.mn -out compact.img copy
 package main
 
@@ -14,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/mneme"
 	"repro/internal/vfs"
 )
@@ -116,6 +119,20 @@ func main() {
 		if bad > 0 {
 			os.Exit(1)
 		}
+	case "snapshot":
+		// The unified engine snapshot: open the collection the store
+		// belongs to and print the stable JSON encoding.
+		col := strings.TrimSuffix(*storeName, ".mn")
+		eng, err := core.Open(fs, col, core.BackendMneme)
+		if err != nil {
+			fail(err)
+		}
+		defer eng.Close()
+		out, err := eng.Snapshot().JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(out))
 	case "copy":
 		// Reorganize: copy live objects to a fresh store (reclaiming all
 		// abandoned file space) and write a new image containing it.
@@ -139,6 +156,6 @@ func main() {
 		fmt.Printf("copied %s: %d KB -> %d KB (image %s, store %s.compact)\n",
 			*storeName, before/1024, f2.Size()/1024, *outPath, *storeName)
 	default:
-		fail(fmt.Errorf("unknown command %q (stats, histogram, verify, copy)", cmd))
+		fail(fmt.Errorf("unknown command %q (stats, histogram, verify, snapshot, copy)", cmd))
 	}
 }

@@ -15,11 +15,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -29,6 +31,7 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate only figure N (1-3)")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
 	analyze := flag.Bool("analyze", false, "run only the paper-§2 workload analysis")
+	snapshots := flag.Bool("snapshots", false, "print one engine-snapshot JSON line per evaluation run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII plots")
 	flag.Parse()
 
@@ -77,6 +80,8 @@ func main() {
 		runAblations(lab, fail)
 	case *analyze:
 		runAnalysis(lab, fail)
+	case *snapshots:
+		runSnapshots(lab, fail)
 	default:
 		fmt.Printf("Reproducing Brown, Callan, Moss, Croft — \"Supporting Full-Text Information\n")
 		fmt.Printf("Retrieval with a Persistent Object Store\" (UMass TR 93-67 / EDBT 1994)\n")
@@ -99,6 +104,41 @@ func main() {
 		runAblations(lab, fail)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runSnapshots executes the full evaluation matrix and emits one JSON
+// line per run: the row's identity plus the engine's unified Snapshot.
+func runSnapshots(lab *experiments.Lab, fail func(error)) {
+	rows := []struct {
+		col string
+		qs  int
+	}{
+		{"CACM", 0}, {"CACM", 1}, {"CACM", 2},
+		{"Legal", 0}, {"Legal", 1},
+		{"TIPSTER1", 0},
+		{"TIPSTER", 0},
+	}
+	systems := []experiments.System{
+		experiments.SysBTree, experiments.SysMnemeNoCache, experiments.SysMnemeCache,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, row := range rows {
+		for _, sys := range systems {
+			r, err := lab.Run(row.col, row.qs, sys)
+			if err != nil {
+				fail(err)
+			}
+			line := struct {
+				Collection string        `json:"collection"`
+				QuerySet   string        `json:"query_set"`
+				System     int           `json:"system"`
+				Snapshot   core.Snapshot `json:"snapshot"`
+			}{r.Collection, r.QuerySet, int(r.Sys), r.Snap}
+			if err := enc.Encode(line); err != nil {
+				fail(err)
+			}
+		}
+	}
 }
 
 func runAnalysis(lab *experiments.Lab, fail func(error)) {

@@ -90,11 +90,11 @@ func main() {
 
 	// Run the batch on both backends and evaluate.
 	for _, kind := range []core.BackendKind{core.BackendBTree, core.BackendMneme} {
-		opts := core.EngineOptions{Analyzer: an}
+		opts := []core.Option{core.WithAnalyzer(an)}
 		if kind == core.BackendMneme {
-			opts.Plan = core.BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10}
+			opts = append(opts, core.WithPlan(core.BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10}))
 		}
-		eng, err := core.Open(fs, "tipster", kind, opts)
+		eng, err := core.Open(fs, "tipster", kind, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

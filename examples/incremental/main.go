@@ -32,7 +32,7 @@ func main() {
 
 	// --- Part 1: single-document update through the object store. ---
 	fmt.Println("== incremental document update ==")
-	bt, err := core.Open(fs, "col", core.BackendBTree, core.EngineOptions{})
+	bt, err := core.Open(fs, "col", core.BackendBTree)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,9 +41,8 @@ func main() {
 	}
 	bt.Close()
 
-	mn, err := core.Open(fs, "col", core.BackendMneme, core.EngineOptions{
-		Plan: core.BufferPlan{SmallBytes: 8 << 10, MediumBytes: 32 << 10, LargeBytes: 64 << 10},
-	})
+	mn, err := core.Open(fs, "col", core.BackendMneme,
+		core.WithPlan(core.BufferPlan{SmallBytes: 8 << 10, MediumBytes: 32 << 10, LargeBytes: 64 << 10}))
 	if err != nil {
 		log.Fatal(err)
 	}

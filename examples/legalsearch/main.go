@@ -38,7 +38,7 @@ func main() {
 		stats.Docs, stats.Records, stats.BTreeBytes/1024, stats.MnemeBytes/1024)
 
 	// Compute the paper's buffer plan from the dictionary.
-	probe, err := core.Open(fs, "legal", core.BackendMneme, core.EngineOptions{Analyzer: an})
+	probe, err := core.Open(fs, "legal", core.BackendMneme, core.WithAnalyzer(an))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,9 +58,8 @@ func main() {
 	fmt.Printf("buffer plan (Table 2 heuristics): small %d KB, medium %d KB, large %d KB\n\n",
 		plan.SmallBytes/1024, plan.MediumBytes/1024, plan.LargeBytes/1024)
 
-	eng, err := core.Open(fs, "legal", core.BackendMneme, core.EngineOptions{
-		Analyzer: an, Plan: plan,
-	})
+	eng, err := core.Open(fs, "legal", core.BackendMneme,
+		core.WithAnalyzer(an), core.WithPlan(plan))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,9 +37,8 @@ func main() {
 		stats.Docs, stats.Terms, stats.Records, stats.BTreeBytes/1024, stats.MnemeBytes/1024)
 
 	// Open the Mneme-backed engine with small record buffers.
-	eng, err := core.Open(fs, "quickstart", core.BackendMneme, core.EngineOptions{
-		Plan: core.BufferPlan{SmallBytes: 8 << 10, MediumBytes: 32 << 10, LargeBytes: 64 << 10},
-	})
+	eng, err := core.Open(fs, "quickstart", core.BackendMneme,
+		core.WithPlan(core.BufferPlan{SmallBytes: 8 << 10, MediumBytes: 32 << 10, LargeBytes: 64 << 10}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -47,15 +47,14 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// --- Open both backends on the reloaded image. ---
-	bt, err := core.Open(fs2, "e2e", core.BackendBTree, core.EngineOptions{Analyzer: an})
+	bt, err := core.Open(fs2, "e2e", core.BackendBTree, core.WithAnalyzer(an))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer bt.Close()
-	mn, err := core.Open(fs2, "e2e", core.BackendMneme, core.EngineOptions{
-		Analyzer: an,
-		Plan:     core.BufferPlan{SmallBytes: 12 << 10, MediumBytes: 48 << 10, LargeBytes: 128 << 10},
-	})
+	mn, err := core.Open(fs2, "e2e", core.BackendMneme,
+		core.WithAnalyzer(an),
+		core.WithPlan(core.BufferPlan{SmallBytes: 12 << 10, MediumBytes: 48 << 10, LargeBytes: 128 << 10}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +170,10 @@ func TestEndToEndChunkedPipeline(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := core.Open(fs, "c", core.BackendMneme, core.EngineOptions{
-		Analyzer:        an,
-		Plan:            core.BufferPlan{MediumBytes: 64 << 10, LargeBytes: 64 << 10},
-		ChunkLargeLists: chunk,
-	})
+	e, err := core.Open(fs, "c", core.BackendMneme,
+		core.WithAnalyzer(an),
+		core.WithPlan(core.BufferPlan{MediumBytes: 64 << 10, LargeBytes: 64 << 10}),
+		core.WithChunking(chunk))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/vfs"
 )
@@ -75,8 +76,12 @@ type Stats struct {
 	Records int64 // live keys
 }
 
-// Tree is a disk B+tree keyed by term id.
+// Tree is a disk B+tree keyed by term id. It is safe for concurrent
+// use: lookups and scans share a read lock (the node cache has its own
+// internal lock, since concurrent lookups fill it), while structural
+// mutations take the lock exclusively.
 type Tree struct {
+	mu     sync.RWMutex
 	file   *vfs.File
 	root   *node // pinned in memory
 	height int
@@ -131,6 +136,8 @@ func Open(fs *vfs.FS, name string, opts Options) (*Tree, error) {
 // Close flushes the header. The pinned root was written on every
 // structural change, so no other state is dirty.
 func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.writeHeader(); err != nil {
 		return err
 	}
@@ -138,10 +145,16 @@ func (t *Tree) Close() error {
 }
 
 // Sync persists the header.
-func (t *Tree) Sync() error { return t.writeHeader() }
+func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.writeHeader()
+}
 
 // Stats reports the tree's current shape.
 func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return Stats{Height: t.height, Pages: (t.tail + PageSize - 1) / PageSize, Records: t.count}
 }
 
@@ -182,8 +195,11 @@ func (t *Tree) allocExtent(size int) int64 {
 }
 
 // Lookup returns the record stored under key. The returned slice is
-// freshly allocated. The boolean reports presence.
+// freshly allocated. The boolean reports presence. Concurrent lookups
+// are safe and proceed in parallel.
 func (t *Tree) Lookup(key uint32) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	for !n.leaf {
 		child := n.childFor(key)
@@ -213,6 +229,8 @@ func (t *Tree) Lookup(key uint32) ([]byte, bool, error) {
 // Insert stores rec under key, replacing any existing record. Replaced
 // extents are abandoned, not reclaimed.
 func (t *Tree) Insert(key uint32, rec []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	v, err := t.storeValue(rec)
 	if err != nil {
 		return err
@@ -345,6 +363,8 @@ func (t *Tree) splitInternal(n *node) (uint32, uint32, error) {
 // underflow is tolerated (lazy deletion): pages are never merged,
 // matching the archival usage the paper describes.
 func (t *Tree) Delete(key uint32) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := t.root
 	for !n.leaf {
 		next, err := t.readNodeCached(n.childFor(key))
@@ -371,6 +391,8 @@ func (t *Tree) Delete(key uint32) (bool, error) {
 // (there are no sibling links), which is adequate for the bulk
 // operations that use it.
 func (t *Tree) Range(fn func(key uint32, rec []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	_, err := t.rangeNode(t.root, fn)
 	return err
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/vfs"
 )
@@ -227,8 +228,10 @@ func (t *Tree) writeNode(n *node) error {
 }
 
 // fifoCache is the limited, unsophisticated internal-node cache: a
-// bounded FIFO with no recency tracking.
+// bounded FIFO with no recency tracking. It has its own lock because
+// concurrent lookups — which hold the tree lock only shared — fill it.
 type fifoCache struct {
+	mu       sync.Mutex
 	capacity int
 	order    []uint32
 	pages    map[uint32]*node
@@ -245,11 +248,15 @@ func newFIFOCache(capPages int) *fifoCache {
 }
 
 func (c *fifoCache) get(page uint32) (*node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n, ok := c.pages[page]
 	return n, ok
 }
 
 func (c *fifoCache) put(page uint32, n *node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.capacity == 0 {
 		return
 	}
@@ -268,6 +275,8 @@ func (c *fifoCache) put(page uint32, n *node) {
 
 // update refreshes a cached page in place without changing FIFO order.
 func (c *fifoCache) update(page uint32, n *node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.pages[page]; ok {
 		c.pages[page] = n
 	}

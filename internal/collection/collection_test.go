@@ -88,7 +88,7 @@ func TestZipfShape(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := core.Open(fs, "shape", core.BackendMneme, core.EngineOptions{Analyzer: an})
+	e, err := core.Open(fs, "shape", core.BackendMneme, core.WithAnalyzer(an))
 	if err != nil {
 		t.Fatal(err)
 	}

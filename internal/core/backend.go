@@ -46,6 +46,37 @@ func (k BackendKind) String() string {
 	return "invalid"
 }
 
+// ParseBackendKind maps a backend name ("btree" or "mneme") to its
+// kind. It is the inverse of String and the one place command-line
+// tools should translate user-supplied backend names.
+func ParseBackendKind(s string) (BackendKind, error) {
+	switch s {
+	case "btree":
+		return BackendBTree, nil
+	case "mneme":
+		return BackendMneme, nil
+	}
+	return 0, fmt.Errorf("core: unknown backend %q (want btree or mneme)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (k BackendKind) MarshalText() ([]byte, error) {
+	if k != BackendBTree && k != BackendMneme {
+		return nil, fmt.Errorf("core: invalid backend kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *BackendKind) UnmarshalText(text []byte) error {
+	v, err := ParseBackendKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // Pool size thresholds from the paper's analysis (§3.3): "approximately
 // 50% of the inverted lists are 12 bytes or less"; "All inverted lists
 // larger than 4 Kbytes were allocated ... in a large object pool".
@@ -91,6 +122,19 @@ var NoCache = BufferPlan{}
 // re-indexed".
 var ErrNoUpdate = errors.New("core: backend does not support incremental update")
 
+// Pin is a per-caller handle over record reservations made by
+// Backend.Reserve. Releasing it drops exactly the pins it made, so
+// concurrent queries' reservations are independent.
+type Pin interface {
+	Release()
+}
+
+// noPin is the empty reservation, used when reservation is disabled or
+// the backend has no record cache.
+type noPin struct{}
+
+func (noPin) Release() {}
+
 // Backend abstracts the inverted-file record manager. Refs are opaque
 // handles stored in the hash dictionary: a term id key for the B-tree, a
 // Mneme object identifier for the object store.
@@ -99,10 +143,9 @@ type Backend interface {
 	// Fetch returns the record bytes for a ref.
 	Fetch(ref uint64) ([]byte, error)
 	// Reserve pins already-resident records (Mneme only; no-op for the
-	// B-tree, which has no record cache).
-	Reserve(refs []uint64)
-	// Release unpins all reservations.
-	Release()
+	// B-tree, which has no record cache) and returns the handle that
+	// releases them.
+	Reserve(refs []uint64) Pin
 	// DropCaches empties any record caches (between measured runs).
 	DropCaches() error
 	// BufferStats reports per-pool buffer counters (empty for B-tree).
@@ -163,8 +206,7 @@ func (b *btreeBackend) Fetch(ref uint64) ([]byte, error) {
 	return rec, nil
 }
 
-func (b *btreeBackend) Reserve([]uint64)                          {}
-func (b *btreeBackend) Release()                                  {}
+func (b *btreeBackend) Reserve([]uint64) Pin                      { return noPin{} }
 func (b *btreeBackend) DropCaches() error                         { return nil }
 func (b *btreeBackend) BufferStats() map[string]mneme.BufferStats { return nil }
 func (b *btreeBackend) ResetBufferStats()                         {}
@@ -282,15 +324,13 @@ func (b *mnemeBackend) StreamRecord(ref uint64) (io.Reader, bool) {
 	return mneme.ChunkedReader(b.store, mnemeID(ref)), true
 }
 
-func (b *mnemeBackend) Reserve(refs []uint64) {
+func (b *mnemeBackend) Reserve(refs []uint64) Pin {
 	ids := make([]mneme.ObjectID, len(refs))
 	for i, r := range refs {
 		ids[i] = mnemeID(r) // for a chunked record this pins the head
 	}
-	b.store.Reserve(ids)
+	return b.store.Reserve(ids)
 }
-
-func (b *mnemeBackend) Release() { b.store.ReleaseReservations() }
 
 func (b *mnemeBackend) DropCaches() error { return b.store.DropBuffers() }
 

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// batchConfig holds batch-driver settings.
+type batchConfig struct {
+	parallelism int
+	topK        int
+}
+
+// BatchOption configures SearchBatch.
+type BatchOption func(*batchConfig)
+
+// Parallelism sets the number of worker goroutines evaluating queries
+// (default 1, the paper's serial protocol). Each worker runs its own
+// Searcher over the shared engine.
+func Parallelism(n int) BatchOption {
+	return func(c *batchConfig) {
+		if n > 0 {
+			c.parallelism = n
+		}
+	}
+}
+
+// TopK bounds each query's result list (default 0: all documents).
+func TopK(k int) BatchOption {
+	return func(c *batchConfig) { c.topK = k }
+}
+
+// SearchBatch evaluates queries over the engine and returns per-query
+// rankings in query order. With Parallelism(n), n workers pull queries
+// from a shared feed, each on its own Searcher; rankings and aggregate
+// counters are identical to a serial run. The first query error stops
+// the feed and is returned alongside the results completed so far.
+func (e *Engine) SearchBatch(queries []string, opts ...BatchOption) ([][]Result, error) {
+	cfg := batchConfig{parallelism: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	results := make([][]Result, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	workers := cfg.parallelism
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		s := e.Acquire()
+		for i, q := range queries {
+			r, err := s.Search(q, cfg.topK)
+			if err != nil {
+				return results, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // shared feed cursor
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.Acquire()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				r, err := s.Search(queries[i], cfg.topK)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}

@@ -46,11 +46,10 @@ func chunkedCollection(t *testing.T, chunk int) (plainFS, chunkedFS *vfs.FS) {
 
 func openChunked(t *testing.T, fs *vfs.FS, chunk int) *Engine {
 	t.Helper()
-	e, err := Open(fs, "col", BackendMneme, EngineOptions{
-		Analyzer:        plainAnalyzer(),
-		Plan:            BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10},
-		ChunkLargeLists: chunk,
-	})
+	e, err := Open(fs, "col", BackendMneme,
+		WithAnalyzer(plainAnalyzer()),
+		WithPlan(BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10}),
+		WithChunking(chunk))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,11 +41,11 @@ func buildTiny(t *testing.T, fs *vfs.FS, name string) *BuildStats {
 func openBoth(t *testing.T, fs *vfs.FS, name string, plan BufferPlan) (bt, mn *Engine) {
 	t.Helper()
 	var err error
-	bt, err = Open(fs, name, BackendBTree, EngineOptions{Analyzer: plainAnalyzer()})
+	bt, err = Open(fs, name, BackendBTree, WithAnalyzer(plainAnalyzer()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mn, err = Open(fs, name, BackendMneme, EngineOptions{Analyzer: plainAnalyzer(), Plan: plan})
+	mn, err = Open(fs, name, BackendMneme, WithAnalyzer(plainAnalyzer()), WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestStopwordsAndStemmingInQueries(t *testing.T) {
 	if _, err := Build(fs, "stem", &SliceDocs{Docs: docs}, BuildOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := Open(fs, "stem", BackendMneme, EngineOptions{})
+	e, err := Open(fs, "stem", BackendMneme)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,11 +177,8 @@ func TestStopwordsAndStemmingInQueries(t *testing.T) {
 func TestCountersAndAccessLog(t *testing.T) {
 	fs := newFS()
 	buildTiny(t, fs, "tiny")
-	e, err := Open(fs, "tiny", BackendMneme, EngineOptions{
-		Analyzer:     plainAnalyzer(),
-		LogAccesses:  true,
-		TrackTermUse: true,
-	})
+	e, err := Open(fs, "tiny", BackendMneme,
+		WithAnalyzer(plainAnalyzer()), WithAccessLog(), WithTermUse())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +233,7 @@ func TestMnemePoolPlacement(t *testing.T) {
 	if _, err := Build(fs, "pools", &SliceDocs{Docs: docs}, BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := Open(fs, "pools", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()})
+	e, err := Open(fs, "pools", BackendMneme, WithAnalyzer(plainAnalyzer()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +261,7 @@ func TestMnemePoolPlacement(t *testing.T) {
 func TestBTreeRejectsUpdates(t *testing.T) {
 	fs := newFS()
 	buildTiny(t, fs, "tiny")
-	bt, _ := Open(fs, "tiny", BackendBTree, EngineOptions{Analyzer: plainAnalyzer()})
+	bt, _ := Open(fs, "tiny", BackendBTree, WithAnalyzer(plainAnalyzer()))
 	defer bt.Close()
 	if _, err := bt.AddDocument("new doc"); !errors.Is(err, ErrNoUpdate) {
 		t.Fatalf("AddDocument err = %v", err)
@@ -277,10 +274,9 @@ func TestBTreeRejectsUpdates(t *testing.T) {
 func TestAddDocumentIncremental(t *testing.T) {
 	fs := newFS()
 	buildTiny(t, fs, "tiny")
-	e, err := Open(fs, "tiny", BackendMneme, EngineOptions{
-		Analyzer: plainAnalyzer(),
-		Plan:     BufferPlan{MediumBytes: 1 << 16, LargeBytes: 1 << 18},
-	})
+	e, err := Open(fs, "tiny", BackendMneme,
+		WithAnalyzer(plainAnalyzer()),
+		WithPlan(BufferPlan{MediumBytes: 1 << 16, LargeBytes: 1 << 18}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +312,7 @@ func TestAddDocumentIncremental(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Close()
-	e2, err := Open(fs, "tiny", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()})
+	e2, err := Open(fs, "tiny", BackendMneme, WithAnalyzer(plainAnalyzer()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +331,7 @@ func TestAddDocumentCrossesPoolBoundaries(t *testing.T) {
 	if _, err := Build(fs, "grow", &SliceDocs{Docs: docs}, BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := Open(fs, "grow", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()})
+	e, err := Open(fs, "grow", BackendMneme, WithAnalyzer(plainAnalyzer()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +365,7 @@ func TestAddDocumentCrossesPoolBoundaries(t *testing.T) {
 func TestDeleteDocument(t *testing.T) {
 	fs := newFS()
 	buildTiny(t, fs, "tiny")
-	e, err := Open(fs, "tiny", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()})
+	e, err := Open(fs, "tiny", BackendMneme, WithAnalyzer(plainAnalyzer()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +425,7 @@ func TestPropertyIncrementalMatchesRebuild(t *testing.T) {
 	if _, err := Build(fsA, "c", &SliceDocs{Docs: docsA}, BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
 		t.Fatal(err)
 	}
-	ea, err := Open(fsA, "c", BackendMneme, EngineOptions{Analyzer: plainAnalyzer(), Plan: BufferPlan{MediumBytes: 1 << 16}})
+	ea, err := Open(fsA, "c", BackendMneme, WithAnalyzer(plainAnalyzer()), WithPlan(BufferPlan{MediumBytes: 1 << 16}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,7 +445,7 @@ func TestPropertyIncrementalMatchesRebuild(t *testing.T) {
 	if _, err := Build(fsB, "c", &SliceDocs{Docs: docsB}, BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
 		t.Fatal(err)
 	}
-	eb, err := Open(fsB, "c", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()})
+	eb, err := Open(fsB, "c", BackendMneme, WithAnalyzer(plainAnalyzer()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,11 +473,11 @@ func TestPropertyIncrementalMatchesRebuild(t *testing.T) {
 
 func TestOpenErrors(t *testing.T) {
 	fs := newFS()
-	if _, err := Open(fs, "missing", BackendBTree, EngineOptions{}); err == nil {
+	if _, err := Open(fs, "missing", BackendBTree); err == nil {
 		t.Fatal("Open missing collection succeeded")
 	}
 	buildTiny(t, fs, "tiny")
-	if _, err := Open(fs, "tiny", BackendKind(9), EngineOptions{}); err == nil {
+	if _, err := Open(fs, "tiny", BackendKind(9)); err == nil {
 		t.Fatal("bad backend kind accepted")
 	}
 }
@@ -498,10 +494,10 @@ func TestBuildSingleBackend(t *testing.T) {
 	if st.BTreeBytes != 0 || st.MnemeBytes == 0 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if _, err := Open(fs, "only-mn", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()}); err != nil {
+	if _, err := Open(fs, "only-mn", BackendMneme, WithAnalyzer(plainAnalyzer())); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(fs, "only-mn", BackendBTree, EngineOptions{Analyzer: plainAnalyzer()}); err == nil {
+	if _, err := Open(fs, "only-mn", BackendBTree, WithAnalyzer(plainAnalyzer())); err == nil {
 		t.Fatal("opened a backend that was never built")
 	}
 }
@@ -524,7 +520,7 @@ func TestEngineExplain(t *testing.T) {
 		t.Fatalf("explain %.6f vs score %.6f", ex.Belief, res[0].Score)
 	}
 	// Fully stopped queries explain gracefully.
-	stemmed, err := Open(fs, "tiny", BackendMneme, EngineOptions{})
+	stemmed, err := Open(fs, "tiny", BackendMneme)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -549,10 +545,9 @@ func BenchmarkEngineSearch(b *testing.B) {
 	if _, err := Build(fs, "bench", &SliceDocs{Docs: docs}, BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
 		b.Fatal(err)
 	}
-	e, err := Open(fs, "bench", BackendMneme, EngineOptions{
-		Analyzer: plainAnalyzer(),
-		Plan:     BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10},
-	})
+	e, err := Open(fs, "bench", BackendMneme,
+		WithAnalyzer(plainAnalyzer()),
+		WithPlan(BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10}))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -2,10 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/inference"
 	"repro/internal/lexicon"
-	"repro/internal/postings"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 )
@@ -14,36 +15,76 @@ import (
 // metrics: Lookups is the denominator of Table 5's "A"; Postings drives
 // the user-CPU estimate; Queries counts query evaluations.
 type Counters struct {
-	Lookups      int64 // inverted-list record lookups
-	Postings     int64 // posting entries processed
-	Queries      int64 // queries evaluated
-	BytesFetched int64 // record bytes fetched from the backend
+	Lookups      int64 `json:"lookups"`       // inverted-list record lookups
+	Postings     int64 `json:"postings"`      // posting entries processed
+	Queries      int64 `json:"queries"`       // queries evaluated
+	BytesFetched int64 `json:"bytes_fetched"` // record bytes fetched from the backend
 }
 
-// EngineOptions configures an opened engine.
-type EngineOptions struct {
-	// Analyzer must match the one used at build time; nil selects the
-	// default.
-	Analyzer *textproc.Analyzer
-	// Plan sets Mneme buffer capacities (ignored for the B-tree). The
-	// zero plan is "Mneme, No Cache".
-	Plan BufferPlan
-	// DisableReserve turns off the resident-object reservation scan
-	// (for the ablation measurement).
-	DisableReserve bool
-	// LogAccesses records the byte size of every inverted list fetched,
-	// the raw series behind Figure 2.
-	LogAccesses bool
-	// TrackTermUse records per-term lookup counts (term repetition
-	// analysis). Costs a map insert per lookup.
-	TrackTermUse bool
-	// ChunkLargeLists must match the value the collection was built
-	// with (0 = records stored whole).
-	ChunkLargeLists int
+// Add returns the field-wise sum of c and d.
+func (c Counters) Add(d Counters) Counters {
+	return Counters{
+		Lookups:      c.Lookups + d.Lookups,
+		Postings:     c.Postings + d.Postings,
+		Queries:      c.Queries + d.Queries,
+		BytesFetched: c.BytesFetched + d.BytesFetched,
+	}
+}
+
+// Sub returns the field-wise difference c - d.
+func (c Counters) Sub(d Counters) Counters {
+	return Counters{
+		Lookups:      c.Lookups - d.Lookups,
+		Postings:     c.Postings - d.Postings,
+		Queries:      c.Queries - d.Queries,
+		BytesFetched: c.BytesFetched - d.BytesFetched,
+	}
+}
+
+// atomicCounters is the engine-level aggregate of all searchers' work.
+type atomicCounters struct {
+	lookups      atomic.Int64
+	postings     atomic.Int64
+	queries      atomic.Int64
+	bytesFetched atomic.Int64
+}
+
+func (a *atomicCounters) add(d Counters) {
+	a.lookups.Add(d.Lookups)
+	a.postings.Add(d.Postings)
+	a.queries.Add(d.Queries)
+	a.bytesFetched.Add(d.BytesFetched)
+}
+
+func (a *atomicCounters) snapshot() Counters {
+	return Counters{
+		Lookups:      a.lookups.Load(),
+		Postings:     a.postings.Load(),
+		Queries:      a.queries.Load(),
+		BytesFetched: a.bytesFetched.Load(),
+	}
+}
+
+func (a *atomicCounters) reset() {
+	a.lookups.Store(0)
+	a.postings.Store(0)
+	a.queries.Store(0)
+	a.bytesFetched.Store(0)
 }
 
 // Engine is one opened collection + backend pair: INQUERY's query
 // processor over an inverted file managed by either storage subsystem.
+//
+// The engine is an immutable, goroutine-safe handle: the dictionary,
+// document metadata, and backend are shared read structures, and all
+// per-query mutable state lives in a Searcher (see Acquire). Engine
+// counters are the atomic aggregate of every searcher's work, so
+// concurrent and serial runs reconcile to the same totals. Search and
+// SearchDAAT acquire an implicit per-call searcher and remain safe to
+// call from many goroutines.
+//
+// Index mutation (AddDocument, DeleteDocument, SaveMeta) is the
+// exception: it must not run concurrently with searches.
 type Engine struct {
 	fs      *vfs.FS
 	name    string
@@ -53,15 +94,22 @@ type Engine struct {
 	an      *textproc.Analyzer
 	docLens []uint32
 	total   int64
+	opts    EngineOptions
 
-	opts      EngineOptions
-	counters  Counters
+	agg atomicCounters
+
+	mu        sync.Mutex // guards accessLog and termUse
 	accessLog []uint32
 	termUse   map[string]int64
 }
 
-// Open loads a collection with the chosen backend.
-func Open(fs *vfs.FS, name string, kind BackendKind, opt EngineOptions) (*Engine, error) {
+// Open loads a collection with the chosen backend, configured by
+// functional options: Open(fs, "CACM", BackendMneme, WithPlan(p)).
+func Open(fs *vfs.FS, name string, kind BackendKind, opts ...Option) (*Engine, error) {
+	var opt EngineOptions
+	for _, o := range opts {
+		o(&opt)
+	}
 	dict, err := loadLexicon(fs, name)
 	if err != nil {
 		return nil, err
@@ -119,12 +167,16 @@ func (e *Engine) Dictionary() *lexicon.Dictionary { return e.dict }
 // Analyzer exposes the text analyzer.
 func (e *Engine) Analyzer() *textproc.Analyzer { return e.an }
 
-// Counters returns a snapshot of the engine's work counters.
-func (e *Engine) Counters() Counters { return e.counters }
+// Counters returns a snapshot of the engine's aggregate work counters:
+// the sum over every searcher's completed calls.
+func (e *Engine) Counters() Counters { return e.agg.snapshot() }
 
-// ResetCounters zeroes work counters and the access log.
+// ResetCounters zeroes work counters, the access log, and term-use
+// counts. It must not run concurrently with searches.
 func (e *Engine) ResetCounters() {
-	e.counters = Counters{}
+	e.agg.reset()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.accessLog = nil
 	if e.termUse != nil {
 		e.termUse = make(map[string]int64)
@@ -132,12 +184,25 @@ func (e *Engine) ResetCounters() {
 }
 
 // AccessLog returns the sizes (bytes) of the inverted lists fetched
-// since the last reset, in access order. Empty unless LogAccesses.
-func (e *Engine) AccessLog() []uint32 { return e.accessLog }
+// since the last reset, in access order. Empty unless WithAccessLog.
+// Under concurrency the order interleaves per-query flushes.
+func (e *Engine) AccessLog() []uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]uint32(nil), e.accessLog...)
+}
 
 // TermUse returns per-term lookup counts since the last reset. Empty
-// unless TrackTermUse.
-func (e *Engine) TermUse() map[string]int64 { return e.termUse }
+// unless WithTermUse.
+func (e *Engine) TermUse() map[string]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int64, len(e.termUse))
+	for t, n := range e.termUse {
+		out[t] = n
+	}
+	return out
+}
 
 // refOf maps a dictionary entry to the backend's record handle: the
 // term id keys the B-tree; the stored Mneme object identifier locates
@@ -167,10 +232,11 @@ func (e *Engine) normalizeQuery(query string) (*inference.Node, error) {
 }
 
 // reserve scans the query tree and pins the inverted lists that are
-// already resident — INQUERY's pre-evaluation reservation pass.
-func (e *Engine) reserve(n *inference.Node) {
+// already resident — INQUERY's pre-evaluation reservation pass. The
+// returned pin releases exactly this query's reservations.
+func (e *Engine) reserve(n *inference.Node) Pin {
 	if e.opts.DisableReserve {
-		return
+		return noPin{}
 	}
 	terms := n.Terms()
 	refs := make([]uint64, 0, len(terms))
@@ -181,139 +247,24 @@ func (e *Engine) reserve(n *inference.Node) {
 			}
 		}
 	}
-	e.backend.Reserve(refs)
+	return e.backend.Reserve(refs)
 }
 
 // Result re-exports the ranked-document type.
 type Result = inference.Result
 
 // Search evaluates a query with term-at-a-time processing and returns
-// the topK documents (topK <= 0 means all).
+// the topK documents (topK <= 0 means all). It is safe for concurrent
+// use; each call runs on an implicit per-call Searcher.
 func (e *Engine) Search(query string, topK int) ([]Result, error) {
-	n, err := e.normalizeQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	e.counters.Queries++
-	if n == nil {
-		return nil, nil
-	}
-	e.reserve(n)
-	defer e.backend.Release()
-	return inference.EvaluateTAAT(n, e, topK)
+	return e.Acquire().Search(query, topK)
 }
 
-// SearchDAAT evaluates a query document-at-a-time.
+// SearchDAAT evaluates a query document-at-a-time. It is safe for
+// concurrent use.
 func (e *Engine) SearchDAAT(query string, topK int) ([]Result, error) {
-	n, err := e.normalizeQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	e.counters.Queries++
-	if n == nil {
-		return nil, nil
-	}
-	e.reserve(n)
-	defer e.backend.Release()
-	return inference.EvaluateDAAT(n, e, topK)
+	return e.Acquire().SearchDAAT(query, topK)
 }
-
-// countLookup maintains the counters the experiments report for one
-// inverted-list record lookup of the given encoded size.
-func (e *Engine) countLookup(term string, size uint32) {
-	e.counters.Lookups++
-	e.counters.BytesFetched += int64(size)
-	if e.opts.LogAccesses {
-		e.accessLog = append(e.accessLog, size)
-	}
-	if e.termUse != nil {
-		e.termUse[term]++
-	}
-}
-
-// fetchRecord performs one inverted-list record lookup through the
-// backend.
-func (e *Engine) fetchRecord(term string) ([]byte, bool, error) {
-	entry, ok := e.dict.Lookup(term)
-	if !ok {
-		return nil, false, nil
-	}
-	ref, ok := e.refOf(entry)
-	if !ok {
-		return nil, false, nil
-	}
-	rec, err := e.backend.Fetch(ref)
-	if err != nil {
-		return nil, false, err
-	}
-	e.countLookup(term, uint32(len(rec)))
-	return rec, true, nil
-}
-
-// Postings implements inference.Source.
-func (e *Engine) Postings(term string) ([]postings.Posting, bool, error) {
-	rec, ok, err := e.fetchRecord(term)
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	ps, err := postings.DecodeAll(rec)
-	if err != nil {
-		return nil, false, err
-	}
-	e.counters.Postings += int64(len(ps))
-	return ps, true, nil
-}
-
-// Iterator implements inference.StreamSource. Chunked records (see
-// EngineOptions.ChunkLargeLists) are decoded as they stream off their
-// chunk list instead of being materialized first.
-func (e *Engine) Iterator(term string) (inference.PostingIterator, bool, error) {
-	entry, ok := e.dict.Lookup(term)
-	if !ok {
-		return nil, false, nil
-	}
-	ref, ok := e.refOf(entry)
-	if !ok {
-		return nil, false, nil
-	}
-	if rs, streams := e.backend.(RecordStreamer); streams {
-		if r, ok := rs.StreamRecord(ref); ok {
-			e.countLookup(term, entry.ListBytes)
-			return &countingIterator{it: postings.NewStreamReader(r), c: &e.counters}, true, nil
-		}
-	}
-	rec, err := e.backend.Fetch(ref)
-	if err != nil {
-		return nil, false, err
-	}
-	e.countLookup(term, uint32(len(rec)))
-	return &countingIterator{it: postings.NewReader(rec), c: &e.counters}, true, nil
-}
-
-// recordIterator is the shape shared by the in-memory and streaming
-// posting decoders.
-type recordIterator interface {
-	Next() (postings.Posting, bool)
-	DF() uint64
-	Err() error
-}
-
-// countingIterator counts postings as they stream past.
-type countingIterator struct {
-	it recordIterator
-	c  *Counters
-}
-
-func (ci *countingIterator) Next() (postings.Posting, bool) {
-	p, ok := ci.it.Next()
-	if ok {
-		ci.c.Postings++
-	}
-	return p, ok
-}
-
-func (ci *countingIterator) DF() uint64 { return ci.it.DF() }
-func (ci *countingIterator) Err() error { return ci.it.Err() }
 
 // NumDocs implements inference.Source.
 func (e *Engine) NumDocs() int { return len(e.docLens) }
@@ -360,12 +311,5 @@ func (e *Engine) SaveMeta() error {
 // the inference network's per-node evidence combination, with leaf-level
 // tf/df detail. The root belief equals the document's Search score.
 func (e *Engine) Explain(query string, doc uint32) (*inference.Explanation, error) {
-	n, err := e.normalizeQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	if n == nil {
-		return &inference.Explanation{Op: "(all terms stopped)", Belief: 0}, nil
-	}
-	return inference.Explain(n, e, doc)
+	return e.Acquire().Explain(query, doc)
 }

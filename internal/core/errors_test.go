@@ -15,7 +15,7 @@ func TestOpenCorruptedArtifacts(t *testing.T) {
 	// Corrupt dictionary image.
 	f, _ := fs.Open("tiny" + suffixLexicon)
 	f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 0)
-	if _, err := Open(fs, "tiny", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()}); err == nil {
+	if _, err := Open(fs, "tiny", BackendMneme, WithAnalyzer(plainAnalyzer())); err == nil {
 		t.Fatal("corrupt lexicon accepted")
 	}
 
@@ -24,7 +24,7 @@ func TestOpenCorruptedArtifacts(t *testing.T) {
 	buildTiny(t, fs, "tiny")
 	f, _ = fs.Open("tiny" + suffixDocMeta)
 	f.Truncate(1)
-	if _, err := Open(fs, "tiny", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()}); err == nil {
+	if _, err := Open(fs, "tiny", BackendMneme, WithAnalyzer(plainAnalyzer())); err == nil {
 		t.Fatal("corrupt doc table accepted")
 	}
 
@@ -32,7 +32,7 @@ func TestOpenCorruptedArtifacts(t *testing.T) {
 	fs = newFS()
 	buildTiny(t, fs, "tiny")
 	fs.Remove("tiny" + suffixMneme)
-	if _, err := Open(fs, "tiny", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()}); err == nil {
+	if _, err := Open(fs, "tiny", BackendMneme, WithAnalyzer(plainAnalyzer())); err == nil {
 		t.Fatal("missing store accepted")
 	}
 }
@@ -82,8 +82,7 @@ func TestBTreeBackendFetchMissing(t *testing.T) {
 		t.Fatal("missing record fetched")
 	}
 	// No-op methods behave.
-	bt.Reserve([]uint64{1})
-	bt.Release()
+	bt.Reserve([]uint64{1}).Release()
 	if err := bt.DropCaches(); err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +111,7 @@ func TestBuildRejectsUnknownBackend(t *testing.T) {
 func TestEngineAccessorsAndListSize(t *testing.T) {
 	fs := newFS()
 	buildTiny(t, fs, "tiny")
-	e, err := Open(fs, "tiny", BackendMneme, EngineOptions{Analyzer: plainAnalyzer()})
+	e, err := Open(fs, "tiny", BackendMneme, WithAnalyzer(plainAnalyzer()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,75 @@
+package core
+
+import "repro/internal/textproc"
+
+// EngineOptions configures an opened engine.
+//
+// Deprecated: pass functional options (WithPlan, WithAnalyzer, ...) to
+// Open instead; a literal EngineOptions can be applied with WithOptions
+// during migration.
+type EngineOptions struct {
+	// Analyzer must match the one used at build time; nil selects the
+	// default.
+	Analyzer *textproc.Analyzer
+	// Plan sets Mneme buffer capacities (ignored for the B-tree). The
+	// zero plan is "Mneme, No Cache".
+	Plan BufferPlan
+	// DisableReserve turns off the resident-object reservation scan
+	// (for the ablation measurement).
+	DisableReserve bool
+	// LogAccesses records the byte size of every inverted list fetched,
+	// the raw series behind Figure 2.
+	LogAccesses bool
+	// TrackTermUse records per-term lookup counts (term repetition
+	// analysis). Costs a map insert per lookup.
+	TrackTermUse bool
+	// ChunkLargeLists must match the value the collection was built
+	// with (0 = records stored whole).
+	ChunkLargeLists int
+}
+
+// Option configures an engine at Open time.
+type Option func(*EngineOptions)
+
+// WithOptions applies a whole EngineOptions literal.
+//
+// Deprecated: migration shim; use the individual With* options.
+func WithOptions(o EngineOptions) Option {
+	return func(dst *EngineOptions) { *dst = o }
+}
+
+// WithAnalyzer selects the text analyzer, which must match the one used
+// at build time.
+func WithAnalyzer(a *textproc.Analyzer) Option {
+	return func(o *EngineOptions) { o.Analyzer = a }
+}
+
+// WithPlan sets Mneme buffer capacities (ignored for the B-tree). The
+// default is the zero plan, "Mneme, No Cache".
+func WithPlan(p BufferPlan) Option {
+	return func(o *EngineOptions) { o.Plan = p }
+}
+
+// WithAccessLog records the byte size of every inverted list fetched —
+// the raw series behind Figure 2.
+func WithAccessLog() Option {
+	return func(o *EngineOptions) { o.LogAccesses = true }
+}
+
+// WithTermUse records per-term lookup counts (term repetition
+// analysis). Costs a map insert per lookup.
+func WithTermUse() Option {
+	return func(o *EngineOptions) { o.TrackTermUse = true }
+}
+
+// WithoutReserve turns off the resident-object reservation scan (for
+// the ablation measurement).
+func WithoutReserve() Option {
+	return func(o *EngineOptions) { o.DisableReserve = true }
+}
+
+// WithChunking sets the chunk payload size for large lists; it must
+// match the value the collection was built with (0 = stored whole).
+func WithChunking(n int) Option {
+	return func(o *EngineOptions) { o.ChunkLargeLists = n }
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"repro/internal/inference"
+	"repro/internal/postings"
+)
+
+// Searcher is one query stream's view of a shared Engine. It owns all
+// per-query mutable state — work counters, the access log and term-use
+// deltas, and (through the backend Pin) reservation pins — so any
+// number of searchers can evaluate queries over the same engine
+// concurrently. A searcher itself is not safe for concurrent use; use
+// one per goroutine.
+//
+// The searcher's Counters cover everything it has evaluated. At the end
+// of every Search / SearchDAAT / Explain call the delta since the last
+// flush is merged into the engine's atomic aggregates, so the engine
+// totals reconcile exactly with a serial run regardless of interleaving.
+type Searcher struct {
+	e        *Engine
+	counters Counters // cumulative work of this searcher
+	flushed  Counters // portion already merged into the engine
+
+	// opLog and opTerms buffer the unflushed access-log and term-use
+	// deltas, so the engine lock is taken once per query, not per lookup.
+	opLog   []uint32
+	opTerms map[string]int64
+}
+
+// Acquire returns a new searcher over the engine.
+func (e *Engine) Acquire() *Searcher { return &Searcher{e: e} }
+
+// Engine returns the shared engine this searcher evaluates against.
+func (s *Searcher) Engine() *Engine { return s.e }
+
+// Counters returns the work this searcher has performed.
+func (s *Searcher) Counters() Counters { return s.counters }
+
+// flush merges the searcher's unmerged work into the engine.
+func (s *Searcher) flush() {
+	e := s.e
+	e.agg.add(s.counters.Sub(s.flushed))
+	s.flushed = s.counters
+	if len(s.opLog) == 0 && len(s.opTerms) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.accessLog = append(e.accessLog, s.opLog...)
+	if e.termUse != nil {
+		for t, n := range s.opTerms {
+			e.termUse[t] += n
+		}
+	}
+	e.mu.Unlock()
+	s.opLog = nil
+	s.opTerms = nil
+}
+
+// Search evaluates a query with term-at-a-time processing and returns
+// the topK documents (topK <= 0 means all).
+func (s *Searcher) Search(query string, topK int) ([]Result, error) {
+	n, err := s.e.normalizeQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.Queries++
+	defer s.flush()
+	if n == nil {
+		return nil, nil
+	}
+	pin := s.e.reserve(n)
+	defer pin.Release()
+	return inference.EvaluateTAAT(n, s, topK)
+}
+
+// SearchDAAT evaluates a query document-at-a-time.
+func (s *Searcher) SearchDAAT(query string, topK int) ([]Result, error) {
+	n, err := s.e.normalizeQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.Queries++
+	defer s.flush()
+	if n == nil {
+		return nil, nil
+	}
+	pin := s.e.reserve(n)
+	defer pin.Release()
+	return inference.EvaluateDAAT(n, s, topK)
+}
+
+// Explain returns the belief breakdown a query assigns to one document.
+func (s *Searcher) Explain(query string, doc uint32) (*inference.Explanation, error) {
+	n, err := s.e.normalizeQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return &inference.Explanation{Op: "(all terms stopped)", Belief: 0}, nil
+	}
+	defer s.flush()
+	return inference.Explain(n, s, doc)
+}
+
+// countLookup maintains the counters the experiments report for one
+// inverted-list record lookup of the given encoded size.
+func (s *Searcher) countLookup(term string, size uint32) {
+	s.counters.Lookups++
+	s.counters.BytesFetched += int64(size)
+	if s.e.opts.LogAccesses {
+		s.opLog = append(s.opLog, size)
+	}
+	if s.e.opts.TrackTermUse {
+		if s.opTerms == nil {
+			s.opTerms = make(map[string]int64)
+		}
+		s.opTerms[term]++
+	}
+}
+
+// fetchRecord performs one inverted-list record lookup through the
+// backend.
+func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
+	e := s.e
+	entry, ok := e.dict.Lookup(term)
+	if !ok {
+		return nil, false, nil
+	}
+	ref, ok := e.refOf(entry)
+	if !ok {
+		return nil, false, nil
+	}
+	rec, err := e.backend.Fetch(ref)
+	if err != nil {
+		return nil, false, err
+	}
+	s.countLookup(term, uint32(len(rec)))
+	return rec, true, nil
+}
+
+// Postings implements inference.Source.
+func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
+	rec, ok, err := s.fetchRecord(term)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ps, err := postings.DecodeAll(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	s.counters.Postings += int64(len(ps))
+	return ps, true, nil
+}
+
+// Iterator implements inference.StreamSource. Chunked records (see
+// WithChunking) are decoded as they stream off their chunk list instead
+// of being materialized first.
+func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error) {
+	e := s.e
+	entry, ok := e.dict.Lookup(term)
+	if !ok {
+		return nil, false, nil
+	}
+	ref, ok := e.refOf(entry)
+	if !ok {
+		return nil, false, nil
+	}
+	if rs, streams := e.backend.(RecordStreamer); streams {
+		if r, ok := rs.StreamRecord(ref); ok {
+			s.countLookup(term, entry.ListBytes)
+			return &countingIterator{it: postings.NewStreamReader(r), c: &s.counters}, true, nil
+		}
+	}
+	rec, err := e.backend.Fetch(ref)
+	if err != nil {
+		return nil, false, err
+	}
+	s.countLookup(term, uint32(len(rec)))
+	return &countingIterator{it: postings.NewReader(rec), c: &s.counters}, true, nil
+}
+
+// NumDocs implements inference.Source.
+func (s *Searcher) NumDocs() int { return s.e.NumDocs() }
+
+// DocLen implements inference.Source.
+func (s *Searcher) DocLen(doc uint32) int { return s.e.DocLen(doc) }
+
+// AvgDocLen implements inference.Source.
+func (s *Searcher) AvgDocLen() float64 { return s.e.AvgDocLen() }
+
+// recordIterator is the shape shared by the in-memory and streaming
+// posting decoders.
+type recordIterator interface {
+	Next() (postings.Posting, bool)
+	DF() uint64
+	Err() error
+}
+
+// countingIterator counts postings into the owning searcher's counters
+// as they stream past. The evaluators fully consume iterators before
+// returning, so the counts land before the query's flush.
+type countingIterator struct {
+	it recordIterator
+	c  *Counters
+}
+
+func (ci *countingIterator) Next() (postings.Posting, bool) {
+	p, ok := ci.it.Next()
+	if ok {
+		ci.c.Postings++
+	}
+	return p, ok
+}
+
+func (ci *countingIterator) DF() uint64 { return ci.it.DF() }
+func (ci *countingIterator) Err() error { return ci.it.Err() }

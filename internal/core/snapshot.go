@@ -1,0 +1,39 @@
+package core
+
+import (
+	"encoding/json"
+
+	"repro/internal/mneme"
+	"repro/internal/vfs"
+)
+
+// Snapshot is the unified observability record: the engine's aggregate
+// work counters, the file system's I/O counters, and (for Mneme) the
+// per-pool buffer counters, under one stable JSON encoding. It replaces
+// the ad-hoc per-tool formatting of the three underlying stat types.
+type Snapshot struct {
+	Backend  string                       `json:"backend"`
+	Counters Counters                     `json:"counters"`
+	IO       vfs.Stats                    `json:"io"`
+	Buffers  map[string]mneme.BufferStats `json:"buffers,omitempty"`
+}
+
+// Snapshot captures the engine's current aggregate state. It is safe to
+// call concurrently with searches; counters are read atomically (the
+// snapshot as a whole is not a single atomic cut across all three
+// sources).
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Backend:  e.kind.String(),
+		Counters: e.Counters(),
+		IO:       e.fs.Stats(),
+		Buffers:  e.backend.BufferStats(),
+	}
+}
+
+// JSON renders the snapshot in its stable encoding: encoding/json
+// emits struct fields in declaration order and sorts the buffer-pool
+// map keys.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.Marshal(s)
+}

@@ -50,7 +50,7 @@ func (l *Lab) buildVariant(colName string, cfg *mneme.Config, chunkBytes int) (*
 
 // maxListBytesMneme mirrors maxListBytes for Mneme-only builds.
 func maxListBytesMneme(fs *vfs.FS, name string) int64 {
-	e, err := core.Open(fs, name, core.BackendMneme, core.EngineOptions{Analyzer: analyzer()})
+	e, err := core.Open(fs, name, core.BackendMneme, core.WithAnalyzer(analyzer()))
 	if err != nil {
 		return 0
 	}
@@ -69,13 +69,16 @@ func maxListBytesMneme(fs *vfs.FS, name string) int64 {
 func (l *Lab) runMneme(b *Built, qsIdx int, plan core.BufferPlan, disableReserve bool, chunkBytes int) (*RunResult, error) {
 	qs := b.Col.QuerySets[qsIdx]
 	queries := b.Col.GenQueries(qs)
-	eng, err := core.Open(b.FS, b.Col.Name, core.BackendMneme, core.EngineOptions{
-		Analyzer:        analyzer(),
-		Plan:            plan,
-		DisableReserve:  disableReserve,
-		LogAccesses:     true,
-		ChunkLargeLists: chunkBytes,
-	})
+	opts := []core.Option{
+		core.WithAnalyzer(analyzer()),
+		core.WithPlan(plan),
+		core.WithAccessLog(),
+		core.WithChunking(chunkBytes),
+	}
+	if disableReserve {
+		opts = append(opts, core.WithoutReserve())
+	}
+	eng, err := core.Open(b.FS, b.Col.Name, core.BackendMneme, opts...)
 	if err != nil {
 		return nil, err
 	}

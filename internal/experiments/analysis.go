@@ -31,7 +31,7 @@ func (l *Lab) AnalyzeCollections() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := core.Open(b.FS, c, core.BackendBTree, core.EngineOptions{Analyzer: analyzer()})
+		eng, err := core.Open(b.FS, c, core.BackendBTree, core.WithAnalyzer(analyzer()))
 		if err != nil {
 			return nil, err
 		}
@@ -87,10 +87,8 @@ func (l *Lab) AnalyzeQueryRepetition() (*Table, error) {
 			return nil, err
 		}
 		qs := b.Col.QuerySets[p.qs]
-		eng, err := core.Open(b.FS, p.col, core.BackendMneme, core.EngineOptions{
-			Analyzer:     analyzer(),
-			TrackTermUse: true,
-		})
+		eng, err := core.Open(b.FS, p.col, core.BackendMneme,
+			core.WithAnalyzer(analyzer()), core.WithTermUse())
 		if err != nil {
 			return nil, err
 		}

@@ -129,7 +129,7 @@ func (l *Lab) Figure1() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.Open(b.FS, "Legal", core.BackendBTree, core.EngineOptions{Analyzer: analyzer()})
+	eng, err := core.Open(b.FS, "Legal", core.BackendBTree, core.WithAnalyzer(analyzer()))
 	if err != nil {
 		return nil, err
 	}
@@ -237,10 +237,8 @@ func (l *Lab) Figure3() (*Figure, error) {
 		size := int64(float64(b.MaxList) * mult)
 		plan := base
 		plan.LargeBytes = size
-		eng, err := core.Open(b.FS, "TIPSTER", core.BackendMneme, core.EngineOptions{
-			Analyzer: analyzer(),
-			Plan:     plan,
-		})
+		eng, err := core.Open(b.FS, "TIPSTER", core.BackendMneme,
+			core.WithAnalyzer(analyzer()), core.WithPlan(plan))
 		if err != nil {
 			return nil, err
 		}

@@ -123,7 +123,7 @@ func (l *Lab) Collection(name string) (*Built, error) {
 
 // maxListBytes scans the collection dictionary for the largest record.
 func maxListBytes(fs *vfs.FS, name string) int64 {
-	e, err := core.Open(fs, name, core.BackendBTree, core.EngineOptions{Analyzer: analyzer()})
+	e, err := core.Open(fs, name, core.BackendBTree, core.WithAnalyzer(analyzer()))
 	if err != nil {
 		return 0
 	}
@@ -177,6 +177,10 @@ type RunResult struct {
 
 	// AccessSizes are the byte sizes of every record fetched (Figure 2).
 	AccessSizes []uint32
+
+	// Snap is the engine's unified post-run snapshot (cumulative
+	// counters, not the run delta held in the fields above).
+	Snap core.Snapshot
 }
 
 // A returns average file accesses per record lookup (Table 5 "A").
@@ -251,11 +255,8 @@ func (l *Lab) RunFresh(colName string, qsIndex int, sys System) (*RunResult, err
 		return nil, fmt.Errorf("experiments: unknown system %d", sys)
 	}
 
-	eng, err := core.Open(b.FS, colName, kind, core.EngineOptions{
-		Analyzer:    analyzer(),
-		Plan:        plan,
-		LogAccesses: true,
-	})
+	eng, err := core.Open(b.FS, colName, kind,
+		core.WithAnalyzer(analyzer()), core.WithPlan(plan), core.WithAccessLog())
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +291,8 @@ func (l *Lab) RunFresh(colName string, qsIndex int, sys System) (*RunResult, err
 		UserCPU:     l.Model.UserCPU(c.Postings, len(queries)),
 		MeasuredNS:  elapsed.Nanoseconds(),
 		Buffers:     eng.Backend().BufferStats(),
-		AccessSizes: append([]uint32(nil), eng.AccessLog()...),
+		AccessSizes: eng.AccessLog(),
+		Snap:        eng.Snapshot(),
 	}
 	r.Wall = r.UserCPU + r.SysIO
 	return r, nil

@@ -15,11 +15,14 @@ type segRef struct {
 
 // Segment is a resident (or transiently loaded) physical segment.
 type Segment struct {
-	ref      segRef
-	data     []byte
-	dirty    bool
-	reserved bool
-	elem     *list.Element // policy bookkeeping; nil when transient
+	ref   segRef
+	data  []byte
+	dirty bool
+	// pins counts outstanding reservations. A segment with pins > 0 is
+	// never selected as an eviction victim, so one query's release
+	// cannot evict a segment another concurrent query has reserved.
+	pins int32
+	elem *list.Element // policy bookkeeping; nil when transient
 }
 
 // Data exposes the segment's bytes. Pools slice objects out of it.
@@ -150,11 +153,11 @@ func (b *Buffer) Acquire(ref segRef, size int, countRef bool, load func([]byte) 
 	return s, nil
 }
 
-// evictUntil evicts unreserved victims until used <= limit or no victim
+// evictUntil evicts unpinned victims until used <= limit or no victim
 // remains. Dirty victims are saved through the pool call-back first.
 func (b *Buffer) evictUntil(limit int64) error {
 	for b.used > limit {
-		v := b.policy.Victim(func(s *Segment) bool { return s.reserved })
+		v := b.policy.Victim(func(s *Segment) bool { return s.pins > 0 })
 		if v == nil {
 			return nil // everything reserved; tolerate overflow
 		}
@@ -196,24 +199,36 @@ func (b *Buffer) Resident(ref segRef) bool {
 	return ok
 }
 
-// ReserveResident pins the segment against eviction if (and only if) it
-// is already resident — the paper's optimization: "we quickly scan the
+// Pin adds one reservation to the segment if (and only if) it is
+// already resident — the paper's optimization: "we quickly scan the
 // tree and 'reserve' any objects required by the query that are already
-// resident, potentially avoiding a bad replacement choice." It reports
-// whether a reservation was made.
-func (b *Buffer) ReserveResident(ref segRef) bool {
+// resident, potentially avoiding a bad replacement choice." Pins are
+// counted, so reservations made by concurrent queries are independent.
+// It reports whether a pin was added.
+func (b *Buffer) Pin(ref segRef) bool {
 	s, ok := b.resident[ref]
 	if !ok {
 		return false
 	}
-	s.reserved = true
+	s.pins++
 	return true
 }
 
-// ReleaseReservations unpins every reserved segment.
+// Unpin removes one reservation from the segment. Unpinning a segment
+// that was evicted in the interim (impossible while pinned, but the
+// segment may have been dropped by compaction or Clear) is a no-op.
+func (b *Buffer) Unpin(ref segRef) {
+	if s, ok := b.resident[ref]; ok && s.pins > 0 {
+		s.pins--
+	}
+}
+
+// ReleaseReservations force-clears every pin in the buffer, regardless
+// of which reservation holds it. It is an administrative reset (used
+// between measured runs); per-query releases go through Reservation.
 func (b *Buffer) ReleaseReservations() {
 	for _, s := range b.resident {
-		s.reserved = false
+		s.pins = 0
 	}
 }
 

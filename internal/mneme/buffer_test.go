@@ -93,8 +93,8 @@ func TestReserveProtectsResidentSegments(t *testing.T) {
 	st.Get(b)
 	// Reserve a (the LRU) as a query tree scan would; c's load must then
 	// evict b instead.
-	if n := st.Reserve([]ObjectID{a, c}); n != 1 {
-		t.Fatalf("Reserve made %d reservations, want 1 (c is not resident)", n)
+	if n := st.Reserve([]ObjectID{a, c}); n.Count() != 1 {
+		t.Fatalf("Reserve made %d reservations, want 1 (c is not resident)", n.Count())
 	}
 	st.Get(c)
 	if !st.IsResident(a) {
@@ -114,9 +114,9 @@ func TestReserveSkipsInvalidAndAbsent(t *testing.T) {
 	fs := newStoreFS()
 	st := mustCreate(t, fs, "store", paperConfig(0, 0, 10000))
 	a, _ := st.Allocate("large", payload(1, 500))
-	if n := st.Reserve([]ObjectID{NilID, makeID(900, 1), a}); n != 1 {
+	if n := st.Reserve([]ObjectID{NilID, makeID(900, 1), a}); n.Count() != 1 {
 		// a was just allocated, so its segment is resident and reservable.
-		t.Fatalf("Reserve = %d, want 1", n)
+		t.Fatalf("Reserve = %d, want 1", n.Count())
 	}
 	st.ReleaseReservations()
 }

@@ -159,10 +159,10 @@ type PoolStats struct {
 // BufferStats counts object accesses through a pool's buffer. Refs and
 // Hits correspond directly to the paper's Table 6 columns.
 type BufferStats struct {
-	Refs      int64 // object accesses routed to the buffer
-	Hits      int64 // accesses whose physical segment was resident
-	Loads     int64 // segments transferred from the file
-	Evictions int64 // segments discarded to make room
+	Refs      int64 `json:"refs"`      // object accesses routed to the buffer
+	Hits      int64 `json:"hits"`      // accesses whose physical segment was resident
+	Loads     int64 `json:"loads"`     // segments transferred from the file
+	Evictions int64 `json:"evictions"` // segments discarded to make room
 }
 
 // HitRate returns Hits/Refs, or 0 when there were no references.

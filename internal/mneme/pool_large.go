@@ -36,6 +36,7 @@ func newLargePool(st *Store, cfg PoolConfig) *largePool {
 
 func (p *largePool) config() PoolConfig { return p.cfg }
 func (p *largePool) setIndex(i uint8)   { p.idx = i }
+func (p *largePool) index() uint8       { return p.idx }
 func (p *largePool) attach(b *Buffer)   { p.buf = b }
 func (p *largePool) buffer() *Buffer    { return p.buf }
 

@@ -50,6 +50,7 @@ func newMediumPool(st *Store, cfg PoolConfig) *mediumPool {
 
 func (p *mediumPool) config() PoolConfig { return p.cfg }
 func (p *mediumPool) setIndex(i uint8)   { p.idx = i }
+func (p *mediumPool) index() uint8       { return p.idx }
 func (p *mediumPool) attach(b *Buffer)   { p.buf = b }
 func (p *mediumPool) buffer() *Buffer    { return p.buf }
 

@@ -63,6 +63,7 @@ func newSmallPool(st *Store, cfg PoolConfig) *smallPool {
 
 func (p *smallPool) config() PoolConfig { return p.cfg }
 func (p *smallPool) setIndex(i uint8)   { p.idx = i }
+func (p *smallPool) index() uint8       { return p.idx }
 func (p *smallPool) attach(b *Buffer)   { p.buf = b }
 func (p *smallPool) buffer() *Buffer    { return p.buf }
 

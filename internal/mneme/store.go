@@ -33,6 +33,7 @@ type pool interface {
 	// segOf maps an object to its physical segment; ok=false when the
 	// object does not exist.
 	segOf(id ObjectID) (segRef, bool)
+	index() uint8
 	objectLen(id ObjectID) (int, bool)
 	logicalSegments() []uint32
 	forEach(fn func(id ObjectID, size int) bool)
@@ -50,12 +51,21 @@ type pool interface {
 }
 
 // Store is one Mneme file: a set of pools sharing an identifier space
-// and a physical file. All operations are safe for concurrent use: the
-// store serializes access with a single store-wide lock — the coarse
-// concurrency control the paper lists as future work, adequate for the
-// predominantly read-only access pattern it describes.
+// and a physical file. All operations are safe for concurrent use — the
+// concurrency control the paper lists as future work. Structural
+// mutations (Allocate, Modify, Delete, Flush, GC, ...) serialize behind
+// a store-wide write lock; the read path (Get, View, Reserve, stats)
+// takes the lock shared and serializes per pool, so concurrent queries
+// touching different pools proceed in parallel. Reservations are
+// refcounted pins held by per-caller Reservation tokens, so one query's
+// release never drops a segment another query still has reserved.
+//
+// Lock order: st.mu (shared or exclusive) -> per-pool mutex ->
+// st.allocMu -> the vfs file lock. The per-pool mutex guards the pool's
+// location tables and its buffer (including eviction's shadow-save of
+// dirty segments, which allocates file space under allocMu).
 type Store struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	fs     *vfs.FS
 	file   *vfs.File
 	name   string
@@ -64,6 +74,14 @@ type Store struct {
 	pools   []pool
 	poolIdx map[string]uint8
 	buffers []*Buffer
+	// poolMus serialize read-path access per pool (parallel to pools).
+	// Writers holding st.mu exclusively need no pool mutex: shared
+	// holders are excluded entirely.
+	poolMus []*sync.Mutex
+
+	// allocMu guards the file-space allocator (tail), which the read
+	// path exercises when evicting a dirty segment shadow-style.
+	allocMu sync.Mutex
 
 	nextLogSeg uint32           // logical segment allocator; starts at 1
 	segPool    map[uint32]uint8 // logical segment -> owning pool
@@ -148,6 +166,7 @@ func (st *Store) addPool(pc PoolConfig) error {
 	p.attach(b)
 	st.pools = append(st.pools, p)
 	st.buffers = append(st.buffers, b)
+	st.poolMus = append(st.poolMus, &sync.Mutex{})
 	st.poolIdx[pc.Name] = idx
 	return nil
 }
@@ -174,6 +193,7 @@ func Open(fs *vfs.FS, name string) (*Store, error) {
 func (st *Store) loadCommitted() error {
 	st.pools = nil
 	st.buffers = nil
+	st.poolMus = nil
 	st.poolIdx = make(map[string]uint8)
 	st.segPool = make(map[uint32]uint8)
 	st.locators = nil
@@ -318,8 +338,12 @@ func (st *Store) alignTail() {
 }
 
 // allocExtent reserves size bytes of file space starting on a block
-// boundary and returns the starting offset.
+// boundary and returns the starting offset. It is safe under a shared
+// store lock: the read path allocates when eviction shadow-saves a
+// dirty segment.
 func (st *Store) allocExtent(size int) int64 {
+	st.allocMu.Lock()
+	defer st.allocMu.Unlock()
 	st.alignTail()
 	off := st.tail
 	st.tail += int64(size)
@@ -369,8 +393,8 @@ func (st *Store) Allocate(poolName string, data []byte) (ObjectID, error) {
 
 // Get returns a copy of the object's bytes.
 func (st *Store) Get(id ObjectID) ([]byte, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var out []byte
 	err := st.viewLocked(id, func(b []byte) error {
 		out = append([]byte(nil), b...)
@@ -381,18 +405,26 @@ func (st *Store) Get(id ObjectID) ([]byte, error) {
 
 // View calls fn with the object's bytes without copying them out of the
 // buffered segment. fn must not retain or mutate the slice, and must
-// not call back into the store (the store lock is held).
+// not call back into the store (the store lock is held). Concurrent
+// Views are safe; Views of objects in different pools proceed in
+// parallel.
 func (st *Store) View(id ObjectID, fn func([]byte) error) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return st.viewLocked(id, fn)
 }
 
+// viewLocked requires st.mu held (shared or exclusive) and serializes
+// on the owning pool's mutex, which guards the pool's tables and buffer
+// against concurrent shared-lock holders.
 func (st *Store) viewLocked(id ObjectID, fn func([]byte) error) error {
 	p, err := st.poolFor(id)
 	if err != nil {
 		return err
 	}
+	mu := st.poolMus[p.index()]
+	mu.Lock()
+	defer mu.Unlock()
 	return p.view(id, fn)
 }
 
@@ -428,12 +460,15 @@ func (st *Store) deleteLocked(id ObjectID) error {
 
 // ObjectLen returns the object's size in bytes.
 func (st *Store) ObjectLen(id ObjectID) (int, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	p, err := st.poolFor(id)
 	if err != nil {
 		return 0, err
 	}
+	mu := st.poolMus[p.index()]
+	mu.Lock()
+	defer mu.Unlock()
 	n, ok := p.objectLen(id)
 	if !ok {
 		return 0, fmt.Errorf("%w: %#x", ErrNoObject, uint32(id))
@@ -444,12 +479,15 @@ func (st *Store) ObjectLen(id ObjectID) (int, error) {
 // IsResident reports whether the object's physical segment is buffered —
 // the residency hash-table check the paper describes.
 func (st *Store) IsResident(id ObjectID) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	p, err := st.poolFor(id)
 	if err != nil {
 		return false
 	}
+	mu := st.poolMus[p.index()]
+	mu.Lock()
+	defer mu.Unlock()
 	ref, ok := p.segOf(id)
 	if !ok {
 		return false
@@ -457,31 +495,72 @@ func (st *Store) IsResident(id ObjectID) bool {
 	return p.buffer().Resident(ref)
 }
 
+// Reservation is a per-caller set of segment pins made by Reserve.
+// Releasing it drops exactly the pins it added; concurrent reservations
+// by other queries on the same segments are unaffected (pins are
+// refcounts).
+type Reservation struct {
+	st   *Store
+	refs []segRef
+}
+
+// Count returns the number of segment pins the reservation holds.
+func (r *Reservation) Count() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.refs)
+}
+
+// Release drops the reservation's pins. It is idempotent. Pins whose
+// segments have since been dropped (compaction, buffer Clear) are
+// ignored.
+func (r *Reservation) Release() {
+	if r == nil || len(r.refs) == 0 {
+		return
+	}
+	st := r.st
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, ref := range r.refs {
+		if int(ref.pool) >= len(st.buffers) {
+			continue
+		}
+		mu := st.poolMus[ref.pool]
+		mu.Lock()
+		st.buffers[ref.pool].Unpin(ref)
+		mu.Unlock()
+	}
+	r.refs = nil
+}
+
 // Reserve pins the physical segments of every listed object that is
 // already resident, so that evaluating a query cannot evict evidence it
 // is about to use. Objects that are absent, not resident, or invalid
-// are skipped. It returns the number of reservations made.
-func (st *Store) Reserve(ids []ObjectID) int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	n := 0
+// are skipped. The returned reservation is never nil; release it when
+// the query completes.
+func (st *Store) Reserve(ids []ObjectID) *Reservation {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	r := &Reservation{st: st}
 	for _, id := range ids {
 		p, err := st.poolFor(id)
 		if err != nil {
 			continue
 		}
-		ref, ok := p.segOf(id)
-		if !ok {
-			continue
+		mu := st.poolMus[p.index()]
+		mu.Lock()
+		if ref, ok := p.segOf(id); ok && p.buffer().Pin(ref) {
+			r.refs = append(r.refs, ref)
 		}
-		if p.buffer().ReserveResident(ref) {
-			n++
-		}
+		mu.Unlock()
 	}
-	return n
+	return r
 }
 
-// ReleaseReservations unpins all reserved segments in every buffer.
+// ReleaseReservations force-clears every pin in every buffer, no matter
+// which Reservation holds it — an administrative reset used between
+// measured runs. Outstanding Reservation tokens become harmless no-ops.
 func (st *Store) ReleaseReservations() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -517,11 +596,14 @@ func (st *Store) DropBuffers() error {
 
 // BufferStats returns per-pool buffer counters keyed by pool name.
 func (st *Store) BufferStats() map[string]BufferStats {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make(map[string]BufferStats, len(st.pools))
 	for name, pi := range st.poolIdx {
+		mu := st.poolMus[pi]
+		mu.Lock()
 		out[name] = st.buffers[pi].Stats()
+		mu.Unlock()
 	}
 	return out
 }
@@ -537,17 +619,22 @@ func (st *Store) ResetBufferStats() {
 
 // PoolStats returns per-pool content statistics in pool order.
 func (st *Store) PoolStats() []PoolStats {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]PoolStats, len(st.pools))
 	for i, p := range st.pools {
+		mu := st.poolMus[i]
+		mu.Lock()
 		out[i] = p.stats()
+		mu.Unlock()
 	}
 	return out
 }
 
 // PoolNames returns the pool names in pool order.
 func (st *Store) PoolNames() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]string, len(st.pools))
 	for i, p := range st.pools {
 		out[i] = p.config().Name
@@ -557,8 +644,8 @@ func (st *Store) PoolNames() []string {
 
 // PoolOf returns the name of the pool owning id.
 func (st *Store) PoolOf(id ObjectID) (string, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	p, err := st.poolFor(id)
 	if err != nil {
 		return "", err
@@ -608,8 +695,10 @@ func (st *Store) forEachLocked(fn func(id ObjectID, size int) bool) {
 
 // SizeBytes reports the store file's allocated size.
 func (st *Store) SizeBytes() int64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.allocMu.Lock()
+	defer st.allocMu.Unlock()
 	return st.tail
 }
 

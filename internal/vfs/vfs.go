@@ -28,6 +28,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultBlockSize is the disk transfer block size used throughout the
@@ -46,23 +47,23 @@ var (
 type Stats struct {
 	// FileAccesses counts read system calls (File.ReadAt and friends).
 	// Divided by the number of record lookups it yields the paper's "A".
-	FileAccesses int64
+	FileAccesses int64 `json:"file_accesses"`
 	// DiskReads counts blocks read from the simulated disk, i.e. read
 	// accesses that the OS block cache could not satisfy. This is the
 	// paper's "I" (I/O inputs from getrusage).
-	DiskReads int64
+	DiskReads int64 `json:"disk_reads"`
 	// CacheHits counts block reads satisfied by the OS block cache.
-	CacheHits int64
+	CacheHits int64 `json:"cache_hits"`
 	// BytesRead is the total number of bytes requested by read calls —
 	// the paper's "B" (reported in Kbytes there).
-	BytesRead int64
+	BytesRead int64 `json:"bytes_read"`
 
 	// FileWrites counts write system calls.
-	FileWrites int64
+	FileWrites int64 `json:"file_writes"`
 	// DiskWrites counts blocks written to the simulated disk.
-	DiskWrites int64
+	DiskWrites int64 `json:"disk_writes"`
 	// BytesWritten is the total number of bytes passed to write calls.
-	BytesWritten int64
+	BytesWritten int64 `json:"bytes_written"`
 }
 
 // Add returns the field-wise sum of s and t.
@@ -251,12 +252,13 @@ type fileData struct {
 	size   int64
 }
 
-// File is a handle to a file within an FS. The handle itself is not safe
-// for concurrent use, but distinct handles to the same file are.
+// File is a handle to a file within an FS. Handles are safe for
+// concurrent use: all I/O serializes on the file system's lock, and the
+// closed flag is atomic.
 type File struct {
 	fs     *FS
 	fd     *fileData
-	closed bool
+	closed atomic.Bool
 }
 
 // Name returns the file's name.
@@ -271,7 +273,7 @@ func (f *File) Size() int64 {
 
 // Close invalidates the handle. The file's data remains in the FS.
 func (f *File) Close() error {
-	f.closed = true
+	f.closed.Store(true)
 	return nil
 }
 
@@ -281,7 +283,7 @@ func (f *File) Close() error {
 // BytesRead. Reads past the current end of file return io.EOF, with the
 // available prefix filled in, matching os.File semantics.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
-	if f.closed {
+	if f.closed.Load() {
 		return 0, ErrClosed
 	}
 	if off < 0 {
@@ -318,7 +320,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 // write per spanned block (write-through). Written blocks enter the OS
 // cache, as a unified buffer cache would.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
-	if f.closed {
+	if f.closed.Load() {
 		return 0, ErrClosed
 	}
 	if off < 0 {
@@ -343,7 +345,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 
 // Truncate sets the file's logical size. Growing zero-fills.
 func (f *File) Truncate(size int64) error {
-	if f.closed {
+	if f.closed.Load() {
 		return ErrClosed
 	}
 	if size < 0 {
@@ -377,7 +379,7 @@ func (f *File) Truncate(size int64) error {
 
 // Sync is a no-op provided for interface parity with real files.
 func (f *File) Sync() error {
-	if f.closed {
+	if f.closed.Load() {
 		return ErrClosed
 	}
 	return nil
