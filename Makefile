@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt check bench
+.PHONY: all build test race fmt vet faults check bench
 
 all: check
 
@@ -13,18 +13,27 @@ build:
 test: build
 	$(GO) test ./...
 
-# Concurrency tier: static checks plus the unit suite under the race
-# detector (covers the engine smoke tests and the Mneme pin/evict tests).
+# Concurrency tier: the unit suite under the race detector (covers the
+# engine smoke tests and the Mneme pin/evict tests).
 race:
-	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Static analysis gate.
+vet:
+	$(GO) vet ./...
+
+# Robustness tier: the fault-injection, crash-recovery, checksum, and
+# degraded-mode suites across the storage stack, run with fresh counts.
+faults:
+	$(GO) test -count=1 -run 'Fault|Crash|Corrupt|Torn|Rot|Fsck|Degraded|Rollback|CloseHygiene|FlipByte' \
+		./internal/vfs/ ./internal/mneme/ ./internal/btree/ ./internal/core/
 
 # Formatting gate: fails if any file needs gofmt.
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: fmt test race
+check: fmt vet test faults race
 
 # Quick pass over the paper-reproduction benchmarks.
 bench:

@@ -40,6 +40,7 @@ func main() {
 	stem := flag.Bool("stem", true, "apply Porter stemming to query terms")
 	chunk := flag.Int("chunk", 0, "chunk size the index was built with (must match inquery-index -chunk)")
 	explain := flag.Bool("explain", false, "print the belief breakdown for each query's top document")
+	degraded := flag.Bool("degraded", false, "skip unreadable inverted-list records instead of aborting (counted in -stats)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -69,6 +70,9 @@ func main() {
 	}
 
 	opts := []core.Option{core.WithAnalyzer(an), core.WithChunking(*chunk)}
+	if *degraded {
+		opts = append(opts, core.WithDegraded())
+	}
 	if kind == core.BackendMneme && *cache {
 		opts = append(opts, core.WithPlan(planFromDictionary(fs, *name)))
 	}
@@ -176,6 +180,9 @@ func main() {
 		snap := eng.Snapshot()
 		fmt.Printf("\n%d queries, %d record lookups, %d postings processed\n",
 			snap.Counters.Queries, snap.Counters.Lookups, snap.Counters.Postings)
+		if snap.CorruptRecords > 0 {
+			fmt.Printf("WARNING: %d corrupt records skipped (degraded mode)\n", snap.CorruptRecords)
+		}
 		fmt.Printf("I/O: %d file accesses, %d disk blocks, %d KB read\n",
 			snap.IO.FileAccesses, snap.IO.DiskReads, snap.IO.BytesRead/1024)
 		pools := make([]string, 0, len(snap.Buffers))

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"repro/internal/vfs"
@@ -47,6 +48,13 @@ const (
 
 	magic       = uint32(0xB7EE1994)
 	headerBytes = 40
+
+	// pageCRCBytes is the per-page checksum trailer: the last 4 bytes of
+	// every node page hold a CRC32 of the rest, so bit rot and torn page
+	// writes are detected on read. Node payloads are limited to
+	// pagePayload bytes.
+	pageCRCBytes = 4
+	pagePayload  = PageSize - pageCRCBytes
 
 	typeInternal = 1
 	typeLeaf     = 2
@@ -121,6 +129,9 @@ func Open(fs *vfs.FS, name string, opts Options) (*Tree, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
+	if crc32.ChecksumIEEE(hdr[:36]) != binary.LittleEndian.Uint32(hdr[36:]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
 	rootPage := binary.LittleEndian.Uint32(hdr[4:])
 	t.height = int(binary.LittleEndian.Uint32(hdr[8:]))
 	t.tail = int64(binary.LittleEndian.Uint64(hdr[16:]))
@@ -161,6 +172,9 @@ func (t *Tree) Stats() Stats {
 // SizeBytes reports the size of the backing file.
 func (t *Tree) SizeBytes() int64 { return t.file.Size() }
 
+// writeHeader persists the header, self-checksummed over its first 36
+// bytes. Like the Mneme store header, it never spans a disk-block
+// boundary, so the fault model treats its write as atomic.
 func (t *Tree) writeHeader() error {
 	var hdr [headerBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magic)
@@ -168,6 +182,7 @@ func (t *Tree) writeHeader() error {
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.height))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.tail))
 	binary.LittleEndian.PutUint64(hdr[24:], uint64(t.count))
+	binary.LittleEndian.PutUint32(hdr[36:], crc32.ChecksumIEEE(hdr[:36]))
 	_, err := t.file.WriteAt(hdr[:], 0)
 	return err
 }
@@ -288,7 +303,7 @@ func (t *Tree) insertInto(n *node, key uint32, v leafVal) (sep uint32, right uin
 			n.keys[i] = key
 			n.vals[i] = v
 		}
-		if n.serializedSize() <= PageSize {
+		if n.serializedSize() <= pagePayload {
 			return 0, 0, replaced, t.writeNode(n)
 		}
 		sep, right, err = t.splitLeaf(n)
@@ -311,7 +326,7 @@ func (t *Tree) insertInto(n *node, key uint32, v leafVal) (sep uint32, right uin
 	n.children = append(n.children, 0)
 	copy(n.children[ci+2:], n.children[ci+1:])
 	n.children[ci+1] = cright
-	if n.serializedSize() <= PageSize {
+	if n.serializedSize() <= pagePayload {
 		return 0, 0, replaced, t.writeNode(n)
 	}
 	sep, right, err = t.splitInternal(n)

@@ -3,6 +3,7 @@ package btree
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 
@@ -81,7 +82,8 @@ func (n *node) splitPointLeaf() int {
 	return len(n.keys) / 2
 }
 
-// serialize renders the node into a page-sized buffer.
+// serialize renders the node into a page-sized buffer, with the CRC32
+// of the payload in the trailing pageCRCBytes.
 func (n *node) serialize() []byte {
 	buf := make([]byte, PageSize)
 	if n.leaf {
@@ -99,7 +101,7 @@ func (n *node) serialize() []byte {
 			binary.LittleEndian.PutUint32(buf[off+4:], n.children[i+1])
 			off += 8
 		}
-		return buf
+		return stampPage(buf)
 	}
 	for i, k := range n.keys {
 		binary.LittleEndian.PutUint32(buf[off:], k)
@@ -118,6 +120,12 @@ func (n *node) serialize() []byte {
 			off += 13
 		}
 	}
+	return stampPage(buf)
+}
+
+// stampPage writes the payload checksum into the page trailer.
+func stampPage(buf []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[pagePayload:], crc32.ChecksumIEEE(buf[:pagePayload]))
 	return buf
 }
 
@@ -187,12 +195,19 @@ func parseNode(page uint32, buf []byte) (*node, error) {
 }
 
 // readNode reads and parses a page from the file, bypassing the cache.
+// The page's trailer checksum is verified first, so a torn page write
+// or flipped bit surfaces as ErrCorrupt before any cell is decoded.
 func (t *Tree) readNode(page uint32) (*node, error) {
 	buf := make([]byte, PageSize)
 	if err := vfs.ReadFull(t.file, buf, int64(page)*PageSize); err != nil {
 		return nil, fmt.Errorf("btree: read page %d: %w", page, err)
 	}
-	return parseNode(page, buf)
+	want := binary.LittleEndian.Uint32(buf[pagePayload:])
+	if got := crc32.ChecksumIEEE(buf[:pagePayload]); got != want {
+		return nil, fmt.Errorf("%w: page %d checksum %08x, want %08x (torn write or bit rot)",
+			ErrCorrupt, page, got, want)
+	}
+	return parseNode(page, buf[:pagePayload])
 }
 
 // readNodeCached reads a page, serving internal pages from the pinned
@@ -217,7 +232,7 @@ func (t *Tree) readNodeCached(page uint32) (*node, error) {
 
 // writeNode persists a node page and refreshes any cached copy.
 func (t *Tree) writeNode(n *node) error {
-	if n.serializedSize() > PageSize {
+	if n.serializedSize() > pagePayload {
 		return fmt.Errorf("btree: node %d overflows page (%d bytes)", n.page, n.serializedSize())
 	}
 	if _, err := t.file.WriteAt(n.serialize(), int64(n.page)*PageSize); err != nil {

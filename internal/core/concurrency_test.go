@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/index"
+	"repro/internal/mneme"
 	"repro/internal/vfs"
 )
 
@@ -199,6 +200,99 @@ func TestSearchBatchError(t *testing.T) {
 	if _, err := eng.SearchBatch(nil, Parallelism(4)); err != nil {
 		t.Fatalf("empty batch: %v", err)
 	}
+}
+
+// TestCommitRollbackDuringSearches races the store's transaction
+// boundary against live searchers: a writer goroutine allocates scratch
+// objects and alternates Commit and Rollback while reader goroutines
+// evaluate the query batch. Committed inverted lists are never touched,
+// so every concurrent ranking must equal the serial baseline, and the
+// whole dance must be race-clean.
+func TestCommitRollbackDuringSearches(t *testing.T) {
+	fs := newFS()
+	queries := concurrencyCorpus(t, fs, "txn")
+	eng, err := Open(fs, "txn", BackendMneme,
+		WithAnalyzer(plainAnalyzer()),
+		WithPlan(BufferPlan{SmallBytes: 12 << 10, MediumBytes: 64 << 10, LargeBytes: 256 << 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		if want[i], err = eng.Search(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := eng.Backend().(interface{ Mneme() *mneme.Store }).Mneme()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		scratch := make([]byte, 64)
+		for i := 0; i < 40; i++ {
+			id, err := st.Allocate(PoolNameMedium, scratch)
+			if err != nil {
+				t.Errorf("allocate: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				if err := st.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+				if err := st.Delete(id); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+				if err := st.Commit(); err != nil {
+					t.Errorf("commit after delete: %v", err)
+					return
+				}
+			} else if err := st.Rollback(); err != nil {
+				t.Errorf("rollback: %v", err)
+				return
+			}
+		}
+	}()
+
+	const readers = 4
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := eng.Acquire()
+			for {
+				for i, q := range queries {
+					got, err := s.Search(q, 10)
+					if err != nil {
+						t.Errorf("reader %d query %d: %v", g, i, err)
+						return
+					}
+					if len(got) != len(want[i]) {
+						t.Errorf("reader %d query %d: %d results, want %d", g, i, len(got), len(want[i]))
+						return
+					}
+					for r := range got {
+						if got[r] != want[i][r] {
+							t.Errorf("reader %d query %d rank %d: %v, want %v", g, i, r, got[r], want[i][r])
+							return
+						}
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // TestConcurrentMixedReadPaths exercises the remaining read surface

@@ -19,34 +19,42 @@ type Counters struct {
 	Postings     int64 `json:"postings"`      // posting entries processed
 	Queries      int64 `json:"queries"`       // queries evaluated
 	BytesFetched int64 `json:"bytes_fetched"` // record bytes fetched from the backend
+	// CorruptRecords counts inverted-list records skipped because their
+	// storage failed checksum or I/O on fetch. Always zero unless the
+	// engine was opened WithDegraded; without it corruption aborts the
+	// query instead of being counted.
+	CorruptRecords int64 `json:"corrupt_records"`
 }
 
 // Add returns the field-wise sum of c and d.
 func (c Counters) Add(d Counters) Counters {
 	return Counters{
-		Lookups:      c.Lookups + d.Lookups,
-		Postings:     c.Postings + d.Postings,
-		Queries:      c.Queries + d.Queries,
-		BytesFetched: c.BytesFetched + d.BytesFetched,
+		Lookups:        c.Lookups + d.Lookups,
+		Postings:       c.Postings + d.Postings,
+		Queries:        c.Queries + d.Queries,
+		BytesFetched:   c.BytesFetched + d.BytesFetched,
+		CorruptRecords: c.CorruptRecords + d.CorruptRecords,
 	}
 }
 
 // Sub returns the field-wise difference c - d.
 func (c Counters) Sub(d Counters) Counters {
 	return Counters{
-		Lookups:      c.Lookups - d.Lookups,
-		Postings:     c.Postings - d.Postings,
-		Queries:      c.Queries - d.Queries,
-		BytesFetched: c.BytesFetched - d.BytesFetched,
+		Lookups:        c.Lookups - d.Lookups,
+		Postings:       c.Postings - d.Postings,
+		Queries:        c.Queries - d.Queries,
+		BytesFetched:   c.BytesFetched - d.BytesFetched,
+		CorruptRecords: c.CorruptRecords - d.CorruptRecords,
 	}
 }
 
 // atomicCounters is the engine-level aggregate of all searchers' work.
 type atomicCounters struct {
-	lookups      atomic.Int64
-	postings     atomic.Int64
-	queries      atomic.Int64
-	bytesFetched atomic.Int64
+	lookups        atomic.Int64
+	postings       atomic.Int64
+	queries        atomic.Int64
+	bytesFetched   atomic.Int64
+	corruptRecords atomic.Int64
 }
 
 func (a *atomicCounters) add(d Counters) {
@@ -54,14 +62,16 @@ func (a *atomicCounters) add(d Counters) {
 	a.postings.Add(d.Postings)
 	a.queries.Add(d.Queries)
 	a.bytesFetched.Add(d.BytesFetched)
+	a.corruptRecords.Add(d.CorruptRecords)
 }
 
 func (a *atomicCounters) snapshot() Counters {
 	return Counters{
-		Lookups:      a.lookups.Load(),
-		Postings:     a.postings.Load(),
-		Queries:      a.queries.Load(),
-		BytesFetched: a.bytesFetched.Load(),
+		Lookups:        a.lookups.Load(),
+		Postings:       a.postings.Load(),
+		Queries:        a.queries.Load(),
+		BytesFetched:   a.bytesFetched.Load(),
+		CorruptRecords: a.corruptRecords.Load(),
 	}
 }
 
@@ -70,6 +80,7 @@ func (a *atomicCounters) reset() {
 	a.postings.Store(0)
 	a.queries.Store(0)
 	a.bytesFetched.Store(0)
+	a.corruptRecords.Store(0)
 }
 
 // Engine is one opened collection + backend pair: INQUERY's query

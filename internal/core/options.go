@@ -26,6 +26,12 @@ type EngineOptions struct {
 	// ChunkLargeLists must match the value the collection was built
 	// with (0 = records stored whole).
 	ChunkLargeLists int
+	// DegradedOK lets searches survive unreadable inverted-list records
+	// (checksum failures, I/O errors): the affected term is scored as
+	// absent, the skip is counted in Counters.CorruptRecords, and the
+	// rest of the query ranks normally. Without it, the first corrupt
+	// record aborts the query with the storage error.
+	DegradedOK bool
 }
 
 // Option configures an engine at Open time.
@@ -72,4 +78,11 @@ func WithoutReserve() Option {
 // match the value the collection was built with (0 = stored whole).
 func WithChunking(n int) Option {
 	return func(o *EngineOptions) { o.ChunkLargeLists = n }
+}
+
+// WithDegraded lets searches skip unreadable inverted-list records —
+// ranking what remains and counting the skips in Counters.CorruptRecords
+// — instead of aborting on the first storage error.
+func WithDegraded() Option {
+	return func(o *EngineOptions) { o.DegradedOK = true }
 }

@@ -1,8 +1,14 @@
 package core
 
 import (
+	"errors"
+	"io"
+
+	"repro/internal/btree"
 	"repro/internal/inference"
+	"repro/internal/mneme"
 	"repro/internal/postings"
+	"repro/internal/vfs"
 )
 
 // Searcher is one query stream's view of a shared Engine. It owns all
@@ -118,6 +124,29 @@ func (s *Searcher) countLookup(term string, size uint32) {
 	}
 }
 
+// isCorruption reports whether an error is a storage-integrity failure
+// (checksum mismatch, injected or short I/O, undecodable record) rather
+// than a usage error — the class a degraded search may survive.
+func isCorruption(err error) bool {
+	return errors.Is(err, mneme.ErrCorrupt) ||
+		errors.Is(err, btree.ErrCorrupt) ||
+		errors.Is(err, postings.ErrCorrupt) ||
+		errors.Is(err, vfs.ErrInjected) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// degrade decides whether a failed record fetch is survivable: under
+// WithDegraded, a corruption-class error is counted in CorruptRecords
+// and the term is scored as absent; any other error (or a strict
+// engine) aborts the query.
+func (s *Searcher) degrade(err error) bool {
+	if !s.e.opts.DegradedOK || !isCorruption(err) {
+		return false
+	}
+	s.counters.CorruptRecords++
+	return true
+}
+
 // fetchRecord performs one inverted-list record lookup through the
 // backend.
 func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
@@ -132,6 +161,9 @@ func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
 	}
 	rec, err := e.backend.Fetch(ref)
 	if err != nil {
+		if s.degrade(err) {
+			return nil, false, nil
+		}
 		return nil, false, err
 	}
 	s.countLookup(term, uint32(len(rec)))
@@ -146,6 +178,9 @@ func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
 	}
 	ps, err := postings.DecodeAll(rec)
 	if err != nil {
+		if s.degrade(err) {
+			return nil, false, nil
+		}
 		return nil, false, err
 	}
 	s.counters.Postings += int64(len(ps))
@@ -173,6 +208,9 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 	}
 	rec, err := e.backend.Fetch(ref)
 	if err != nil {
+		if s.degrade(err) {
+			return nil, false, nil
+		}
 		return nil, false, err
 	}
 	s.countLookup(term, uint32(len(rec)))

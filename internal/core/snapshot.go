@@ -16,6 +16,10 @@ type Snapshot struct {
 	Counters Counters                     `json:"counters"`
 	IO       vfs.Stats                    `json:"io"`
 	Buffers  map[string]mneme.BufferStats `json:"buffers,omitempty"`
+	// CorruptRecords mirrors Counters.CorruptRecords at the top level so
+	// degraded-mode damage is visible without digging into the counter
+	// block. Non-zero only for engines opened WithDegraded.
+	CorruptRecords int64 `json:"corrupt_records,omitempty"`
 }
 
 // Snapshot captures the engine's current aggregate state. It is safe to
@@ -23,11 +27,13 @@ type Snapshot struct {
 // snapshot as a whole is not a single atomic cut across all three
 // sources).
 func (e *Engine) Snapshot() Snapshot {
+	c := e.Counters()
 	return Snapshot{
-		Backend:  e.kind.String(),
-		Counters: e.Counters(),
-		IO:       e.fs.Stats(),
-		Buffers:  e.backend.BufferStats(),
+		Backend:        e.kind.String(),
+		Counters:       c,
+		IO:             e.fs.Stats(),
+		Buffers:        e.backend.BufferStats(),
+		CorruptRecords: c.CorruptRecords,
 	}
 }
 

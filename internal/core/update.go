@@ -60,7 +60,11 @@ func (e *Engine) AddDocument(text string) (uint32, error) {
 			}
 			entry.Ref = nref
 		} else {
-			rec = postings.Encode([]postings.Posting{add})
+			var err error
+			rec, err = postings.Encode([]postings.Posting{add})
+			if err != nil {
+				return 0, fmt.Errorf("core: add document: encode %q: %w", term, err)
+			}
 			nref, err := e.backend.Store(rec)
 			if err != nil {
 				return 0, err

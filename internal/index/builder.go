@@ -300,7 +300,11 @@ func (m *Merged) Next() (termID uint32, rec []byte, ok bool, err error) {
 			return 0, nil, false, err
 		}
 	}
-	rec = postings.Encode(ps)
+	rec, err = postings.Encode(ps)
+	if err != nil {
+		m.err = err
+		return 0, nil, false, err
+	}
 	e := m.b.dict.ByID(term)
 	e.DF = uint64(len(ps))
 	e.ListBytes = uint32(len(rec))

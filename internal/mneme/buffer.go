@@ -123,7 +123,10 @@ func (b *Buffer) ResetStats() { b.stats = BufferStats{} }
 // countRef selects whether this access is an object reference (counted
 // in Refs/Hits, i.e. the paper's Table 6) or internal bookkeeping.
 // With caching disabled the segment is transient: it is returned but
-// never made resident.
+// never made resident. A load failure — including a checksum mismatch
+// detected on fault-in (ErrCorruptSegment) — leaves the buffer
+// unchanged: the failed segment is never made resident, so a later
+// retry re-reads the file rather than serving poisoned bytes.
 func (b *Buffer) Acquire(ref segRef, size int, countRef bool, load func([]byte) error) (*Segment, error) {
 	if countRef {
 		b.stats.Refs++

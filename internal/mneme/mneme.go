@@ -35,7 +35,10 @@
 // single-file recovery the paper lists as future work.
 package mneme
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // IDBits is the width of an object identifier within a file. The paper:
 // "the number of objects that may be accessed simultaneously is bounded
@@ -143,7 +146,32 @@ var (
 	ErrTooLarge    = errors.New("mneme: object too large for pool")
 	ErrWrongPool   = errors.New("mneme: object size no longer fits its pool")
 	ErrStoreClosed = errors.New("mneme: store is closed")
+
+	// ErrCorruptSegment reports a physical segment whose bytes do not
+	// match the checksum recorded at its last save. It chains to
+	// ErrCorrupt, so existing errors.Is(err, ErrCorrupt) checks also
+	// match.
+	ErrCorruptSegment = fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
 )
+
+// CorruptSegmentError carries the details of a checksum failure detected
+// when a physical segment is faulted into its buffer (or walked by
+// Fsck). It unwraps to ErrCorruptSegment and therefore to ErrCorrupt.
+type CorruptSegmentError struct {
+	Store string // store file name
+	Pool  string // owning pool name
+	Seg   int32  // pool-internal physical segment index
+	Off   int64  // file offset of the segment image
+	Want  uint32 // checksum recorded in the location table
+	Got   uint32 // checksum of the bytes actually read
+}
+
+func (e *CorruptSegmentError) Error() string {
+	return fmt.Sprintf("mneme: store %q pool %q segment %d at offset %d: checksum %08x, want %08x",
+		e.Store, e.Pool, e.Seg, e.Off, e.Got, e.Want)
+}
+
+func (e *CorruptSegmentError) Unwrap() error { return ErrCorruptSegment }
 
 // PoolStats summarizes a pool's contents.
 type PoolStats struct {

@@ -26,8 +26,9 @@ type largePool struct {
 
 // largeEntry locates one object's dedicated segment.
 type largeEntry struct {
-	off    int64 // file offset; 0 = never persisted
-	length int32 // object (= segment) size; -1 = no object
+	off    int64  // file offset; 0 = never persisted
+	crc    uint32 // CRC32 of the image at off
+	length int32  // object (= segment) size; -1 = no object
 }
 
 func newLargePool(st *Store, cfg PoolConfig) *largePool {
@@ -110,7 +111,7 @@ func (p *largePool) acquireEntry(e *largeEntry, si int32, countRef bool) (*Segme
 		if e.off == 0 {
 			return nil
 		}
-		return p.st.readSegment(dst, e.off)
+		return p.st.readSegmentChecked(dst, e.off, e.crc, p.cfg.Name, si)
 	})
 }
 
@@ -217,10 +218,12 @@ func (p *largePool) saveSegment(s *Segment) error {
 	slot := s.ref.idx % SegmentObjects
 	e := &p.entries[li][slot]
 	off := p.st.allocExtent(len(s.data))
-	if err := p.st.writeSegment(s.data, off); err != nil {
+	crc, err := p.st.writeSegment(s.data, off)
+	if err != nil {
 		return err
 	}
 	e.off = off
+	e.crc = crc
 	p.allocated += int64(len(s.data))
 	return nil
 }
@@ -232,6 +235,7 @@ func (p *largePool) marshalAux(w *auxWriter) {
 		for s := range p.entries[li] {
 			e := &p.entries[li][s]
 			w.i64(e.off)
+			w.u32(e.crc)
 			w.i32(e.length)
 		}
 	}
@@ -258,7 +262,7 @@ func (p *largePool) unmarshalAux(r *auxReader) error {
 		p.logToIdx[p.logSegs[li]] = int32(li)
 		row := make([]largeEntry, SegmentObjects)
 		for s := range row {
-			row[s] = largeEntry{off: r.i64(), length: r.i32()}
+			row[s] = largeEntry{off: r.i64(), crc: r.u32(), length: r.i32()}
 		}
 		p.entries[li] = row
 	}
@@ -281,3 +285,14 @@ func (p *largePool) unmarshalAux(r *auxReader) error {
 // already exactly its size. Abandoned extents are unreferenced file
 // space, reclaimable only by a full store copy.
 func (p *largePool) compact() error { return nil }
+
+func (p *largePool) persistedSegments(fn func(seg int32, off int64, size int, crc uint32)) {
+	for li, row := range p.entries {
+		for slot := range row {
+			e := &row[slot]
+			if e.length >= 0 && e.off != 0 {
+				fn(p.segIdx(int32(li), uint8(slot)), e.off, int(e.length), e.crc)
+			}
+		}
+	}
+}

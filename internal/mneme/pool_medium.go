@@ -31,10 +31,11 @@ type mediumPool struct {
 
 // medSeg is one physical segment.
 type medSeg struct {
-	off  int64 // file offset; 0 = never persisted
-	size int32 // allocated byte size (cfg.SegmentBytes, or larger for a dedicated oversize segment)
-	used int32 // high-water mark of packed bytes
-	dead int32 // bytes belonging to deleted or relocated objects
+	off  int64  // file offset; 0 = never persisted
+	crc  uint32 // CRC32 of the image at off
+	size int32  // allocated byte size (cfg.SegmentBytes, or larger for a dedicated oversize segment)
+	used int32  // high-water mark of packed bytes
+	dead int32  // bytes belonging to deleted or relocated objects
 }
 
 // medEntry locates one object.
@@ -153,7 +154,7 @@ func (p *mediumPool) acquire(si int32, countRef bool) (*Segment, error) {
 		if sg.off == 0 {
 			return nil
 		}
-		return p.st.readSegment(dst, sg.off)
+		return p.st.readSegmentChecked(dst, sg.off, sg.crc, p.cfg.Name, si)
 	})
 }
 
@@ -266,10 +267,12 @@ func (p *mediumPool) stats() PoolStats {
 func (p *mediumPool) saveSegment(s *Segment) error {
 	sg := &p.segs[s.ref.idx]
 	off := p.st.allocExtent(len(s.data))
-	if err := p.st.writeSegment(s.data, off); err != nil {
+	crc, err := p.st.writeSegment(s.data, off)
+	if err != nil {
 		return err
 	}
 	sg.off = off
+	sg.crc = crc
 	return nil
 }
 
@@ -278,6 +281,7 @@ func (p *mediumPool) marshalAux(w *auxWriter) {
 	for i := range p.segs {
 		sg := &p.segs[i]
 		w.i64(sg.off)
+		w.u32(sg.crc)
 		w.i32(sg.size)
 		w.i32(sg.used)
 		w.i32(sg.dead)
@@ -309,7 +313,7 @@ func (p *mediumPool) unmarshalAux(r *auxReader) error {
 	}
 	p.segs = make([]medSeg, ns)
 	for i := range p.segs {
-		p.segs[i] = medSeg{off: r.i64(), size: r.i32(), used: r.i32(), dead: r.i32()}
+		p.segs[i] = medSeg{off: r.i64(), crc: r.u32(), size: r.i32(), used: r.i32(), dead: r.i32()}
 	}
 	nl := int(r.u32())
 	if r.err != nil {
@@ -383,10 +387,12 @@ func (p *mediumPool) compact() error {
 		copy(newData, packed)
 		p.buf.Drop(segRef{pool: p.idx, idx: int32(si)})
 		off := p.st.allocExtent(int(sg.size))
-		if err := p.st.writeSegment(newData, off); err != nil {
+		crc, err := p.st.writeSegment(newData, off)
+		if err != nil {
 			return err
 		}
 		sg.off = off
+		sg.crc = crc
 		sg.used = int32(len(packed))
 		sg.dead = 0
 		for i, o := range objs {
@@ -394,4 +400,12 @@ func (p *mediumPool) compact() error {
 		}
 	}
 	return nil
+}
+
+func (p *mediumPool) persistedSegments(fn func(seg int32, off int64, size int, crc uint32)) {
+	for i := range p.segs {
+		if sg := &p.segs[i]; sg.off != 0 {
+			fn(int32(i), sg.off, int(sg.size), sg.crc)
+		}
+	}
 }

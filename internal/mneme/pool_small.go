@@ -30,7 +30,8 @@ type smallPool struct {
 // smallSeg is one (logical segment, physical segment) pair.
 type smallSeg struct {
 	logSeg uint32
-	off    int64 // file offset; 0 = never persisted
+	off    int64  // file offset; 0 = never persisted
+	crc    uint32 // CRC32 of the image at off
 	used   [4]uint64
 	count  int16
 }
@@ -148,7 +149,7 @@ func (p *smallPool) acquire(si int32, countRef bool) (*Segment, error) {
 		if sg.off == 0 {
 			return nil // fresh segment: all zeroes
 		}
-		return p.st.readSegment(dst, sg.off)
+		return p.st.readSegmentChecked(dst, sg.off, sg.crc, p.cfg.Name, si)
 	})
 }
 
@@ -295,10 +296,12 @@ func (p *smallPool) stats() PoolStats {
 func (p *smallPool) saveSegment(s *Segment) error {
 	sg := &p.segs[s.ref.idx]
 	off := p.st.allocExtent(len(s.data))
-	if err := p.st.writeSegment(s.data, off); err != nil {
+	crc, err := p.st.writeSegment(s.data, off)
+	if err != nil {
 		return err
 	}
 	sg.off = off
+	sg.crc = crc
 	return nil
 }
 
@@ -308,6 +311,7 @@ func (p *smallPool) marshalAux(w *auxWriter) {
 		sg := &p.segs[i]
 		w.u32(sg.logSeg)
 		w.i64(sg.off)
+		w.u32(sg.crc)
 		for _, word := range sg.used {
 			w.u64(word)
 		}
@@ -329,6 +333,7 @@ func (p *smallPool) unmarshalAux(r *auxReader) error {
 		var sg smallSeg
 		sg.logSeg = r.u32()
 		sg.off = r.i64()
+		sg.crc = r.u32()
 		for j := range sg.used {
 			sg.used[j] = r.u64()
 		}
@@ -350,3 +355,11 @@ func (p *smallPool) unmarshalAux(r *auxReader) error {
 // compact rewrites nothing for the small pool: slots are fixed size and
 // reused in place, so there is no dead space to squeeze out.
 func (p *smallPool) compact() error { return nil }
+
+func (p *smallPool) persistedSegments(fn func(seg int32, off int64, size int, crc uint32)) {
+	for i := range p.segs {
+		if sg := &p.segs[i]; sg.off != 0 {
+			fn(int32(i), sg.off, p.cfg.SegmentBytes, sg.crc)
+		}
+	}
+}

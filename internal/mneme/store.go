@@ -12,7 +12,7 @@ import (
 const (
 	storeMagic    = uint64(0x4D4E454D45313031) // "MNEME101"
 	headerBytes   = 64
-	formatVersion = 2
+	formatVersion = 3
 )
 
 // pool is the internal interface every pool kind implements. It mirrors
@@ -48,6 +48,11 @@ type pool interface {
 	unmarshalAux(r *auxReader) error
 	// compact rewrites the pool's segments densely, dropping dead space.
 	compact() error
+
+	// persistedSegments calls fn for every physical segment that has a
+	// committed on-disk image, with its pool-internal index, file
+	// offset, byte size, and the checksum recorded at its last save.
+	persistedSegments(fn func(seg int32, off int64, size int, crc uint32))
 }
 
 // Store is one Mneme file: a set of pools sharing an identifier space
@@ -214,6 +219,9 @@ func (st *Store) loadCommitted() error {
 	st.nextLogSeg = binary.LittleEndian.Uint32(hdr[40:])
 	poolCount := int(binary.LittleEndian.Uint32(hdr[44:]))
 	wantCRC := binary.LittleEndian.Uint32(hdr[48:])
+	if got := crc32.ChecksumIEEE(hdr[:52]); got != binary.LittleEndian.Uint32(hdr[52:]) {
+		return fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
 
 	aux := make([]byte, auxLen)
 	if auxLen > 0 {
@@ -257,7 +265,12 @@ func (st *Store) loadCommitted() error {
 	return nil
 }
 
-// writeHeader persists the header; writing it is the commit point.
+// writeHeader persists the header; writing it is the commit point. The
+// header is self-checksummed: bytes [0,52) are covered by a CRC32 at
+// [52,56), so a torn or rotted header is detected on open. The header
+// never spans a disk-block boundary (headerBytes << block size, offset
+// 0), so under the fault model's tear-at-block-boundary semantics the
+// commit-point write is atomic.
 func (st *Store) writeHeader(auxOff, auxLen int64) error {
 	var hdr [headerBytes]byte
 	binary.LittleEndian.PutUint64(hdr[0:], storeMagic)
@@ -268,8 +281,11 @@ func (st *Store) writeHeader(auxOff, auxLen int64) error {
 	binary.LittleEndian.PutUint32(hdr[40:], st.nextLogSeg)
 	binary.LittleEndian.PutUint32(hdr[44:], uint32(len(st.pools)))
 	binary.LittleEndian.PutUint32(hdr[48:], st.lastAuxCRC)
-	_, err := st.file.WriteAt(hdr[:], 0)
-	return err
+	binary.LittleEndian.PutUint32(hdr[52:], crc32.ChecksumIEEE(hdr[:52]))
+	if _, err := st.file.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	return st.file.Sync()
 }
 
 // Flush saves all dirty segments (shadow-style), writes the auxiliary
@@ -707,10 +723,28 @@ func (st *Store) readSegment(dst []byte, off int64) error {
 	return vfs.ReadFull(st.file, dst, off)
 }
 
-// writeSegment writes a segment image at off.
-func (st *Store) writeSegment(data []byte, off int64) error {
-	_, err := st.file.WriteAt(data, off)
-	return err
+// readSegmentChecked loads a segment image and verifies it against the
+// checksum recorded at its last save. A mismatch — bit rot or a torn
+// write — surfaces as a *CorruptSegmentError chaining to
+// ErrCorruptSegment. This runs on every buffer fault-in, so corruption
+// is caught before any object bytes are handed to a caller.
+func (st *Store) readSegmentChecked(dst []byte, off int64, want uint32, poolName string, seg int32) error {
+	if err := vfs.ReadFull(st.file, dst, off); err != nil {
+		return err
+	}
+	if got := crc32.ChecksumIEEE(dst); got != want {
+		return &CorruptSegmentError{Store: st.name, Pool: poolName, Seg: seg, Off: off, Want: want, Got: got}
+	}
+	return nil
+}
+
+// writeSegment writes a segment image at off and returns its CRC32 for
+// the pool's location table.
+func (st *Store) writeSegment(data []byte, off int64) (uint32, error) {
+	if _, err := st.file.WriteAt(data, off); err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(data), nil
 }
 
 // policyByName constructs a buffer replacement policy from its

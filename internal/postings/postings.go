@@ -36,16 +36,17 @@ type Posting struct {
 // TF returns the within-document term frequency.
 func (p Posting) TF() int { return len(p.Positions) }
 
-// Errors returned by the decoder.
+// Errors returned by the codec.
 var (
-	ErrCorrupt = errors.New("postings: corrupt record")
+	ErrCorrupt  = errors.New("postings: corrupt record")
+	ErrUnsorted = errors.New("postings: postings out of order")
 )
 
 // Encode serializes a list of postings. Postings must be sorted by
 // ascending Doc with no duplicates, and each position list ascending;
-// Encode panics otherwise, since violating this is always a programming
-// error in the indexer.
-func Encode(ps []Posting) []byte {
+// Encode returns ErrUnsorted otherwise, so a misbehaving indexer
+// surfaces as a build error rather than a crash.
+func Encode(ps []Posting) ([]byte, error) {
 	var ctf uint64
 	for _, p := range ps {
 		ctf += uint64(len(p.Positions))
@@ -61,7 +62,7 @@ func Encode(ps []Posting) []byte {
 	prevDoc := int64(-1)
 	for _, p := range ps {
 		if int64(p.Doc) <= prevDoc {
-			panic(fmt.Sprintf("postings: documents out of order: %d after %d", p.Doc, prevDoc))
+			return nil, fmt.Errorf("%w: document %d after %d", ErrUnsorted, p.Doc, prevDoc)
 		}
 		put(uint64(int64(p.Doc) - prevDoc))
 		prevDoc = int64(p.Doc)
@@ -69,13 +70,13 @@ func Encode(ps []Posting) []byte {
 		prevPos := int64(-1)
 		for _, pos := range p.Positions {
 			if int64(pos) <= prevPos {
-				panic(fmt.Sprintf("postings: positions out of order: %d after %d", pos, prevPos))
+				return nil, fmt.Errorf("%w: position %d after %d in document %d", ErrUnsorted, pos, prevPos, p.Doc)
 			}
 			put(uint64(int64(pos) - prevPos))
 			prevPos = int64(pos)
 		}
 	}
-	return buf
+	return buf, nil
 }
 
 // Stats decodes only the record header.
@@ -230,7 +231,7 @@ func Merge(rec []byte, adds []Posting) ([]byte, error) {
 			merged[i] = a
 		}
 	}
-	return Encode(merged), nil
+	return Encode(merged)
 }
 
 // Delete removes the entries for the given documents from the encoded
@@ -252,7 +253,7 @@ func Delete(rec []byte, docs []uint32) ([]byte, error) {
 			kept = append(kept, p)
 		}
 	}
-	return Encode(kept), nil
+	return Encode(kept)
 }
 
 // RawSize returns the size in bytes of the uncompressed "vector of

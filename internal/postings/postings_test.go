@@ -2,6 +2,7 @@ package postings
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -13,8 +14,18 @@ func mk(doc uint32, positions ...uint32) Posting {
 	return Posting{Doc: doc, Positions: positions}
 }
 
+// mustEncode encodes a list the test knows to be sorted.
+func mustEncode(tb testing.TB, ps []Posting) []byte {
+	tb.Helper()
+	rec, err := Encode(ps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rec
+}
+
 func TestEncodeDecodeEmpty(t *testing.T) {
-	rec := Encode(nil)
+	rec := mustEncode(t, nil)
 	ctf, df, err := Stats(rec)
 	if err != nil || ctf != 0 || df != 0 {
 		t.Fatalf("Stats = %d, %d, %v", ctf, df, err)
@@ -32,7 +43,7 @@ func TestEncodeDecodeSimple(t *testing.T) {
 		mk(4, 0, 1, 2, 3),
 		mk(1000000, 4294967295),
 	}
-	rec := Encode(in)
+	rec := mustEncode(t, in)
 	ctf, df, err := Stats(rec)
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +62,7 @@ func TestEncodeDecodeSimple(t *testing.T) {
 
 func TestReaderIncremental(t *testing.T) {
 	in := []Posting{mk(2, 1, 7), mk(9, 3)}
-	r := NewReader(Encode(in))
+	r := NewReader(mustEncode(t, in))
 	if r.CTF() != 3 || r.DF() != 2 {
 		t.Fatalf("header ctf=%d df=%d", r.CTF(), r.DF())
 	}
@@ -71,22 +82,26 @@ func TestReaderIncremental(t *testing.T) {
 	}
 }
 
-func TestEncodePanicsOnDisorder(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for out-of-order docs")
+func TestEncodeRejectsDocDisorder(t *testing.T) {
+	for _, ps := range [][]Posting{
+		{mk(5, 1), mk(5, 2)}, // duplicate doc
+		{mk(7, 1), mk(5, 2)}, // descending docs
+	} {
+		if _, err := Encode(ps); !errors.Is(err, ErrUnsorted) {
+			t.Fatalf("Encode(%v): want ErrUnsorted, got %v", ps, err)
 		}
-	}()
-	Encode([]Posting{mk(5, 1), mk(5, 2)})
+	}
 }
 
-func TestEncodePanicsOnPositionDisorder(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for out-of-order positions")
+func TestEncodeRejectsPositionDisorder(t *testing.T) {
+	for _, ps := range [][]Posting{
+		{mk(5, 3, 3)}, // duplicate position
+		{mk(5, 4, 2)}, // descending positions
+	} {
+		if _, err := Encode(ps); !errors.Is(err, ErrUnsorted) {
+			t.Fatalf("Encode(%v): want ErrUnsorted, got %v", ps, err)
 		}
-	}()
-	Encode([]Posting{mk(5, 3, 3)})
+	}
 }
 
 func TestDecodeCorrupt(t *testing.T) {
@@ -108,7 +123,7 @@ func TestDecodeCorrupt(t *testing.T) {
 }
 
 func TestMergeAppend(t *testing.T) {
-	rec := Encode([]Posting{mk(1, 0), mk(5, 2, 3)})
+	rec := mustEncode(t, []Posting{mk(1, 0), mk(5, 2, 3)})
 	out, err := Merge(rec, []Posting{mk(9, 1)})
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +136,7 @@ func TestMergeAppend(t *testing.T) {
 }
 
 func TestMergeMiddleAndReplace(t *testing.T) {
-	rec := Encode([]Posting{mk(1, 0), mk(5, 2, 3), mk(9, 1)})
+	rec := mustEncode(t, []Posting{mk(1, 0), mk(5, 2, 3), mk(9, 1)})
 	out, err := Merge(rec, []Posting{mk(3, 7), mk(5, 8, 9, 10)})
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +149,7 @@ func TestMergeMiddleAndReplace(t *testing.T) {
 }
 
 func TestMergeIntoEmpty(t *testing.T) {
-	out, err := Merge(Encode(nil), []Posting{mk(4, 2)})
+	out, err := Merge(mustEncode(t, nil), []Posting{mk(4, 2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +160,7 @@ func TestMergeIntoEmpty(t *testing.T) {
 }
 
 func TestDelete(t *testing.T) {
-	rec := Encode([]Posting{mk(1, 0), mk(5, 2), mk(9, 1)})
+	rec := mustEncode(t, []Posting{mk(1, 0), mk(5, 2), mk(9, 1)})
 	out, err := Delete(rec, []uint32{5, 77})
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +211,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 300; i++ {
 		in := randomPostings(rng, 80)
-		out, err := DecodeAll(Encode(in))
+		out, err := DecodeAll(mustEncode(t, in))
 		if err != nil {
 			t.Fatalf("iter %d: %v", i, err)
 		}
@@ -214,7 +229,7 @@ func TestPropertyHeaderConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 200; i++ {
 		in := randomPostings(rng, 60)
-		rec := Encode(in)
+		rec := mustEncode(t, in)
 		ctf, df, err := Stats(rec)
 		if err != nil {
 			t.Fatal(err)
@@ -236,7 +251,7 @@ func TestPropertyMergeEquivalence(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		base := randomPostings(rng, 50)
 		adds := randomPostings(rng, 20)
-		got, err := Merge(Encode(base), adds)
+		got, err := Merge(mustEncode(t, base), adds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -257,7 +272,7 @@ func TestPropertyMergeEquivalence(t *testing.T) {
 		for j, d := range docs {
 			want[j] = m[d]
 		}
-		if !bytes.Equal(got, Encode(want)) {
+		if !bytes.Equal(got, mustEncode(t, want)) {
 			t.Fatalf("iter %d: merge mismatch", i)
 		}
 	}
@@ -275,7 +290,7 @@ func TestPropertyDeleteThenDecode(t *testing.T) {
 				del = append(del, p.Doc)
 			}
 		}
-		out, err := Delete(Encode(base), del)
+		out, err := Delete(mustEncode(t, base), del)
 		if err != nil {
 			return false
 		}
@@ -320,7 +335,7 @@ func TestCompressionRate(t *testing.T) {
 		ps[i] = Posting{Doc: doc, Positions: pos}
 	}
 	raw := RawSize(ps)
-	enc := len(Encode(ps))
+	enc := len(mustEncode(t, ps))
 	ratio := float64(enc) / float64(raw)
 	if ratio >= 1 {
 		t.Fatalf("no compression: encoded %d raw %d", enc, raw)
@@ -336,13 +351,13 @@ func BenchmarkEncode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Encode(ps)
+		mustEncode(b, ps)
 	}
 }
 
 func BenchmarkDecodeAll(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
-	rec := Encode(randomPostings(rng, 2000))
+	rec := mustEncode(b, randomPostings(rng, 2000))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

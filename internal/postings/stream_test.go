@@ -35,7 +35,7 @@ func TestStreamReaderMatchesReader(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for iter := 0; iter < 100; iter++ {
 		in := randomPostings(rng, 60)
-		rec := Encode(in)
+		rec := mustEncode(t, in)
 		for _, chunk := range []int{1, 3, 7, 64, len(rec) + 1} {
 			sr := NewStreamReader(&chunkedReader{data: rec, chunk: chunk})
 			if sr.Err() != nil {
@@ -66,7 +66,7 @@ func TestStreamReaderMatchesReader(t *testing.T) {
 }
 
 func TestStreamReaderHeader(t *testing.T) {
-	rec := Encode([]Posting{mk(3, 1, 5), mk(9, 2)})
+	rec := mustEncode(t, []Posting{mk(3, 1, 5), mk(9, 2)})
 	sr := NewStreamReader(bytes.NewReader(rec))
 	if sr.CTF() != 3 || sr.DF() != 2 {
 		t.Fatalf("header = %d, %d", sr.CTF(), sr.DF())
@@ -74,7 +74,7 @@ func TestStreamReaderHeader(t *testing.T) {
 }
 
 func TestStreamReaderTruncated(t *testing.T) {
-	rec := Encode([]Posting{mk(3, 1, 5), mk(9, 2)})
+	rec := mustEncode(t, []Posting{mk(3, 1, 5), mk(9, 2)})
 	sr := NewStreamReader(bytes.NewReader(rec[:len(rec)-1]))
 	for {
 		if _, ok := sr.Next(); !ok {
@@ -101,7 +101,7 @@ func TestStreamReaderCorruptGaps(t *testing.T) {
 
 func BenchmarkStreamDecode(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
-	rec := Encode(randomPostings(rng, 2000))
+	rec := mustEncode(b, randomPostings(rng, 2000))
 	b.SetBytes(int64(len(rec)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

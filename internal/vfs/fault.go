@@ -1,0 +1,229 @@
+package vfs
+
+// Deterministic fault injection. A FaultPlan is attached to an FS with
+// SetFaultPlan and consulted on every read, write, and sync system
+// call. It can fail the Nth operation of each kind with an injected I/O
+// error, tear the failing write at a disk-block boundary (only the
+// bytes up to the boundary reach the disk), and simulate a crash by
+// freezing the disk: after the first injected fault fires, every
+// subsequent operation fails, so the file data at that instant is
+// exactly the image a machine would reboot with. Clone then produces a
+// fresh FS from that frozen image for recovery testing.
+//
+// Plans are deterministic: a seed drives the optional probabilistic
+// mode, and operation ordinals are counted per kind, so the same
+// workload under the same plan always fails at the same point.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the error returned by operations that a FaultPlan
+// chose to fail. Wrapped errors always chain to it.
+var ErrInjected = errors.New("vfs: injected I/O fault")
+
+// faultOp indexes the per-kind operation counters of a FaultPlan.
+type faultOp int
+
+const (
+	opRead faultOp = iota
+	opWrite
+	opSync
+	opKinds
+)
+
+func (k faultOp) String() string {
+	switch k {
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opSync:
+		return "sync"
+	}
+	return "op"
+}
+
+// FaultPlan schedules injected failures for one FS. Configure it with
+// the chainable FailRead/FailWrite/FailSync/WithTear/WithCrash calls
+// before attaching; the plan is safe for concurrent use afterwards.
+type FaultPlan struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	prob    float64
+	counts  [opKinds]int64 // operations observed, per kind
+	failAt  [opKinds]int64 // 1-based ordinal to fail; 0 = never
+	tear    bool
+	crash   bool
+	crashed bool
+	fired   int64
+}
+
+// NewFaultPlan creates an empty plan. The seed drives the probabilistic
+// mode (WithProbability); plans that only use fixed ordinals behave
+// identically for every seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailRead schedules the nth read access (1-based) to fail.
+func (p *FaultPlan) FailRead(n int64) *FaultPlan { p.failAt[opRead] = n; return p }
+
+// FailWrite schedules the nth write access (1-based) to fail.
+func (p *FaultPlan) FailWrite(n int64) *FaultPlan { p.failAt[opWrite] = n; return p }
+
+// FailSync schedules the nth Sync call (1-based) to fail.
+func (p *FaultPlan) FailSync(n int64) *FaultPlan { p.failAt[opSync] = n; return p }
+
+// WithTear makes the failing write a torn write: the bytes up to the
+// first disk-block boundary past the write's start offset reach the
+// disk, the rest do not — the partial-write anatomy of a power cut.
+func (p *FaultPlan) WithTear() *FaultPlan { p.tear = true; return p }
+
+// WithCrash freezes the disk once the first fault fires: every
+// subsequent operation fails too, so the file data is exactly the image
+// present at the instant of the crash.
+func (p *FaultPlan) WithCrash() *FaultPlan { p.crash = true; return p }
+
+// WithProbability makes every operation fail independently with
+// probability prob, driven by the plan's seed. Combine with WithCrash
+// for randomized crash-point soak tests.
+func (p *FaultPlan) WithProbability(prob float64) *FaultPlan { p.prob = prob; return p }
+
+// Fired returns how many faults the plan has injected.
+func (p *FaultPlan) Fired() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Crashed reports whether the disk is frozen.
+func (p *FaultPlan) Crashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
+// Counts returns the operations observed so far, in (reads, writes,
+// syncs) order. Observation happens whether or not a fault fired.
+func (p *FaultPlan) Counts() (reads, writes, syncs int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[opRead], p.counts[opWrite], p.counts[opSync]
+}
+
+// before observes one operation of the given kind and decides whether
+// it fails. It returns a non-nil error chained to ErrInjected when the
+// operation must fail.
+func (p *FaultPlan) before(kind faultOp) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return fmt.Errorf("%s after crash: %w", kind, ErrInjected)
+	}
+	p.counts[kind]++
+	fail := p.failAt[kind] != 0 && p.counts[kind] == p.failAt[kind]
+	if !fail && p.prob > 0 && p.rng.Float64() < p.prob {
+		fail = true
+	}
+	if !fail {
+		return nil
+	}
+	p.fired++
+	if p.crash {
+		p.crashed = true
+	}
+	return fmt.Errorf("%s #%d: %w", kind, p.counts[kind], ErrInjected)
+}
+
+// beforeWrite observes a write of n bytes at off and decides its fate:
+// allow is the number of leading bytes that reach the disk (n when the
+// write succeeds; a block-boundary prefix when the failing write tears;
+// 0 otherwise), and err is non-nil when the write must report failure.
+// A frozen disk rejects the write outright — nothing reaches it.
+func (p *FaultPlan) beforeWrite(off int64, n, blockSize int) (allow int, err error) {
+	if p == nil {
+		return n, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return 0, fmt.Errorf("write after crash: %w", ErrInjected)
+	}
+	p.counts[opWrite]++
+	fail := p.failAt[opWrite] != 0 && p.counts[opWrite] == p.failAt[opWrite]
+	if !fail && p.prob > 0 && p.rng.Float64() < p.prob {
+		fail = true
+	}
+	if !fail {
+		return n, nil
+	}
+	p.fired++
+	if p.crash {
+		p.crashed = true
+	}
+	err = fmt.Errorf("write #%d: %w", p.counts[opWrite], ErrInjected)
+	if p.tear {
+		// Tear at the next block boundary: the device completed the
+		// current block's transfer and lost the rest.
+		if keep := blockSize - int(off%int64(blockSize)); keep < n {
+			return keep, err
+		}
+	}
+	return 0, err
+}
+
+// SetFaultPlan attaches (or, with nil, detaches) a fault plan. All
+// subsequent reads, writes, and syncs on the file system consult it.
+func (fs *FS) SetFaultPlan(p *FaultPlan) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = p
+}
+
+// Clone returns an independent deep copy of the file system's current
+// disk contents — the "frozen image" a machine would reboot with after
+// a crash. The clone has fresh counters, a fresh OS cache per opts, and
+// no fault plan. Open handles on the original do not affect the clone.
+func (fs *FS) Clone(opts Options) *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if opts.BlockSize == 0 {
+		opts.BlockSize = fs.blockSize
+	}
+	out := New(opts)
+	for name, fd := range fs.files {
+		out.nextID++
+		nfd := &fileData{name: name, id: out.nextID, size: fd.size}
+		nfd.blocks = make([][]byte, len(fd.blocks))
+		for i, blk := range fd.blocks {
+			nfd.blocks[i] = append([]byte(nil), blk...)
+		}
+		out.files[name] = nfd
+	}
+	return out
+}
+
+// FlipByte XORs the byte at off in name's data with mask, bypassing all
+// I/O accounting and fault injection — the bit-rot half of the fault
+// model, used to exercise checksum verification.
+func (fs *FS) FlipByte(name string, off int64, mask byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fd, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("flip %q: %w", name, ErrNotExist)
+	}
+	if off < 0 || off >= fd.size {
+		return fmt.Errorf("vfs: flip %q: offset %d outside file of %d bytes", name, off, fd.size)
+	}
+	bs := int64(fs.blockSize)
+	fd.blocks[off/bs][off%bs] ^= mask
+	return nil
+}

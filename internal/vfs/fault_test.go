@@ -1,0 +1,235 @@
+package vfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFaultPlanFailsNthOp(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, err := fs.Create("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultPlan(NewFaultPlan(1).FailWrite(2).FailRead(3).FailSync(1))
+
+	buf := make([]byte, 64)
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatalf("write #1: %v", err)
+	}
+	if _, err := f.WriteAt(buf, 64); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write #2: want ErrInjected, got %v", err)
+	}
+	if _, err := f.WriteAt(buf, 64); err != nil {
+		t.Fatalf("write #3: %v", err)
+	}
+
+	for i := 1; i <= 2; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatalf("read #%d: %v", i, err)
+		}
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("read #3: want ErrInjected")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatal("sync #1: want ErrInjected")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync #2: %v", err)
+	}
+}
+
+func TestFaultPlanTornWrite(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, _ := fs.Create("data")
+	// Lay down a known background so the torn region is observable.
+	bg := make([]byte, 2048)
+	for i := range bg {
+		bg[i] = 0xAA
+	}
+	if _, err := f.WriteAt(bg, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.SetFaultPlan(NewFaultPlan(1).FailWrite(1).WithTear())
+	p := make([]byte, 1024)
+	for i := range p {
+		p[i] = 0xBB
+	}
+	// Write starts 100 bytes into a block: 412 bytes fit before the
+	// boundary and must land; the rest must not.
+	n, err := f.WriteAt(p, 100)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if want := 512 - 100; n != want {
+		t.Fatalf("torn write landed %d bytes, want %d", n, want)
+	}
+	fs.SetFaultPlan(nil)
+
+	got := make([]byte, 2048)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0xAA)
+		if i >= 100 && i < 512 {
+			want = 0xBB
+		}
+		if b != want {
+			t.Fatalf("byte %d: got %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestFaultPlanCrashFreezesDisk(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, _ := fs.Create("data")
+	plan := NewFaultPlan(1).FailWrite(1).WithCrash()
+	fs.SetFaultPlan(plan)
+
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("want injected write failure")
+	}
+	if !plan.Crashed() {
+		t.Fatal("plan should report crashed")
+	}
+	// Every subsequent operation fails on the frozen disk.
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("write after crash should fail")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("read after crash should fail")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatal("sync after crash should fail")
+	}
+	if got := plan.Fired(); got < 1 {
+		t.Fatalf("Fired() = %d, want >= 1", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, _ := fs.Create("data")
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	img := fs.Clone(Options{})
+	if img.BlockSize() != 512 {
+		t.Fatalf("clone block size %d", img.BlockSize())
+	}
+
+	// Mutating the original must not affect the clone.
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := img.Open("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if _, err := g.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("clone content %q", got)
+	}
+	if img.Stats().FileWrites != 0 {
+		t.Fatal("clone should start with fresh counters")
+	}
+}
+
+func TestFlipByte(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, _ := fs.Create("data")
+	if _, err := f.WriteAt([]byte{1, 2, 3, 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.FlipByte("data", 2, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 3^0xFF {
+		t.Fatalf("byte not flipped: %v", got)
+	}
+	if err := fs.FlipByte("nope", 0, 1); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+	if err := fs.FlipByte("data", 99, 1); err == nil {
+		t.Fatal("out-of-range flip should fail")
+	}
+}
+
+func TestCloseHygiene(t *testing.T) {
+	fs := New(Options{})
+	f, _ := fs.Create("x")
+	if err := f.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	err := f.Close()
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: want ErrClosed, got %v", err)
+	}
+	if !strings.Contains(err.Error(), `"x"`) {
+		t.Fatalf("double close error should name the file: %v", err)
+	}
+	if _, rerr := f.ReadAt(make([]byte, 1), 0); !errors.Is(rerr, ErrClosed) || !strings.Contains(rerr.Error(), `"x"`) {
+		t.Fatalf("read after close: %v", rerr)
+	}
+	if _, werr := f.WriteAt([]byte{0}, 0); !errors.Is(werr, ErrClosed) || !strings.Contains(werr.Error(), `"x"`) {
+		t.Fatalf("write after close: %v", werr)
+	}
+	if serr := f.Sync(); !errors.Is(serr, ErrClosed) || !strings.Contains(serr.Error(), `"x"`) {
+		t.Fatalf("sync after close: %v", serr)
+	}
+	if terr := f.Truncate(0); !errors.Is(terr, ErrClosed) || !strings.Contains(terr.Error(), `"x"`) {
+		t.Fatalf("truncate after close: %v", terr)
+	}
+}
+
+func TestFaultPlanProbabilityDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		fs := New(Options{BlockSize: 512})
+		f, _ := fs.Create("data")
+		fs.SetFaultPlan(NewFaultPlan(seed).WithProbability(0.3))
+		var failed []int
+		for i := 0; i < 50; i++ {
+			if _, err := f.WriteAt([]byte{byte(i)}, int64(i)); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("p=0.3 over 50 ops should fail at least once")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("seeds 42 and 43 produced identical failure sets (unlikely but possible)")
+	}
+}

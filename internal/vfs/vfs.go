@@ -112,6 +112,9 @@ type FS struct {
 	cache     *blockCache
 	stats     Stats
 	nextID    uint64
+	// faults, when non-nil, is consulted on every read, write, and sync
+	// (see FaultPlan).
+	faults *FaultPlan
 }
 
 // New creates an empty file system.
@@ -272,8 +275,12 @@ func (f *File) Size() int64 {
 }
 
 // Close invalidates the handle. The file's data remains in the FS.
+// Closing an already-closed handle returns a stable error wrapping
+// ErrClosed, so double-close bugs surface instead of passing silently.
 func (f *File) Close() error {
-	f.closed.Store(true)
+	if !f.closed.CompareAndSwap(false, true) {
+		return fmt.Errorf("vfs: close %q: %w", f.fd.name, ErrClosed)
+	}
 	return nil
 }
 
@@ -284,7 +291,7 @@ func (f *File) Close() error {
 // available prefix filled in, matching os.File semantics.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if f.closed.Load() {
-		return 0, ErrClosed
+		return 0, fmt.Errorf("vfs: read %q: %w", f.fd.name, ErrClosed)
 	}
 	if off < 0 {
 		return 0, fmt.Errorf("vfs: negative read offset %d", off)
@@ -293,6 +300,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 
+	if err := fs.faults.before(opRead); err != nil {
+		return 0, fmt.Errorf("vfs: read %q: %w", f.fd.name, err)
+	}
 	fs.stats.FileAccesses++
 	if len(p) == 0 {
 		return 0, nil
@@ -318,10 +328,12 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 // WriteAt writes len(p) bytes at offset off, growing the file as needed.
 // It counts one file write access, len(p) bytes written, and one disk
 // write per spanned block (write-through). Written blocks enter the OS
-// cache, as a unified buffer cache would.
+// cache, as a unified buffer cache would. Under an active FaultPlan the
+// write may fail, possibly torn: the returned count is the prefix that
+// actually reached the disk.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if f.closed.Load() {
-		return 0, ErrClosed
+		return 0, fmt.Errorf("vfs: write %q: %w", f.fd.name, ErrClosed)
 	}
 	if off < 0 {
 		return 0, fmt.Errorf("vfs: negative write offset %d", off)
@@ -330,9 +342,17 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 
+	allow, ferr := fs.faults.beforeWrite(off, len(p), fs.blockSize)
+	if ferr != nil {
+		ferr = fmt.Errorf("vfs: write %q: %w", f.fd.name, ferr)
+		if allow <= 0 {
+			return 0, ferr
+		}
+		p = p[:allow] // torn write: the leading block still lands
+	}
 	fs.stats.FileWrites++
 	if len(p) == 0 {
-		return 0, nil
+		return 0, ferr
 	}
 	end := off + int64(len(p))
 	fs.ensureSize(f.fd, end)
@@ -340,13 +360,13 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	nblocks := fs.touchBlocks(f.fd, off, int64(len(p)), false)
 	fs.stats.DiskWrites += nblocks
 	f.copyIn(p, off)
-	return len(p), nil
+	return len(p), ferr
 }
 
 // Truncate sets the file's logical size. Growing zero-fills.
 func (f *File) Truncate(size int64) error {
 	if f.closed.Load() {
-		return ErrClosed
+		return fmt.Errorf("vfs: truncate %q: %w", f.fd.name, ErrClosed)
 	}
 	if size < 0 {
 		return fmt.Errorf("vfs: negative truncate size %d", size)
@@ -380,7 +400,13 @@ func (f *File) Truncate(size int64) error {
 // Sync is a no-op provided for interface parity with real files.
 func (f *File) Sync() error {
 	if f.closed.Load() {
-		return ErrClosed
+		return fmt.Errorf("vfs: sync %q: %w", f.fd.name, ErrClosed)
+	}
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.faults.before(opSync); err != nil {
+		return fmt.Errorf("vfs: sync %q: %w", f.fd.name, err)
 	}
 	return nil
 }
