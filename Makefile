@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet faults check bench
+.PHONY: all build test race fmt vet faults fuzz check bench gobench
 
 all: check
 
@@ -33,8 +33,26 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test faults race
+# Fuzz smoke: a short randomized pass over the record codec and the
+# B-tree op-sequence fuzzer. Longer sessions: go test -fuzz <name>
+# -fuzztime 5m in the package directory.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzPostingsRoundTrip -fuzztime 5s ./internal/postings/
+	$(GO) test -run '^$$' -fuzz FuzzBTreeInsertLookup -fuzztime 5s ./internal/btree/
 
-# Quick pass over the paper-reproduction benchmarks.
+check: fmt vet test faults race fuzz
+
+# Query-latency regression gate: runs the standard query mixes over both
+# backends (cmd/repro -bench) and diffs the per-stage p95 quantiles
+# against the committed baseline, failing on >20% regression. The
+# quantiles come from the deterministic cost model, so this catches
+# algorithmic regressions (more I/O, more faults, more postings), not
+# host noise. Regenerate the baseline after intentional changes with:
+#   $(GO) run ./cmd/repro -scale 0.25 -bench -benchout testdata/bench_baseline.json
 bench:
+	$(GO) run ./cmd/repro -scale 0.25 -bench -benchout BENCH_query.json \
+		-baseline testdata/bench_baseline.json
+
+# Quick pass over the paper-reproduction go benchmarks.
+gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -91,6 +91,8 @@ func BenchmarkTable1_IndexBuild(b *testing.B) {
 	}
 	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
 	var stats *core.BuildStats
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize})
 		st, err := core.Build(fs, col.Name, col.Stream(), core.BuildOptions{Analyzer: an})
@@ -107,6 +109,13 @@ func BenchmarkTable1_IndexBuild(b *testing.B) {
 // BenchmarkTable2_BufferPlan regenerates the buffer-size table.
 func BenchmarkTable2_BufferPlan(b *testing.B) {
 	lab := benchLab()
+	for _, row := range matrixRows {
+		if _, err := lab.Collection(row.col); err != nil { // build outside the timer
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -125,6 +134,7 @@ func benchRun(b *testing.B, col string, qs int, sys experiments.System) *experim
 	if _, err := lab.Collection(col); err != nil { // build outside the timer
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var r *experiments.RunResult
 	for i := 0; i < b.N; i++ {
@@ -197,6 +207,7 @@ func BenchmarkFigure1_ListSizeDistribution(b *testing.B) {
 	if _, err := lab.Collection("Legal"); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
@@ -216,6 +227,7 @@ func BenchmarkFigure2_AccessBySize(b *testing.B) {
 	if _, err := lab.Collection("Legal"); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
@@ -239,6 +251,7 @@ func BenchmarkFigure3_BufferSweep(b *testing.B) {
 	if _, err := lab.Collection("TIPSTER"); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var f *experiments.Figure
 	for i := 0; i < b.N; i++ {
@@ -256,6 +269,11 @@ func BenchmarkFigure3_BufferSweep(b *testing.B) {
 // BenchmarkAblationNoReserve measures the reservation optimization.
 func BenchmarkAblationNoReserve(b *testing.B) {
 	lab := benchLab()
+	if _, err := lab.Collection("Legal"); err != nil { // build outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -271,6 +289,11 @@ func BenchmarkAblationNoReserve(b *testing.B) {
 // one unpartitioned pool.
 func BenchmarkAblationSinglePool(b *testing.B) {
 	lab := benchLab()
+	if _, err := lab.Collection("Legal"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -285,6 +308,11 @@ func BenchmarkAblationSinglePool(b *testing.B) {
 // BenchmarkAblationSegmentSize sweeps the medium-pool segment size.
 func BenchmarkAblationSegmentSize(b *testing.B) {
 	lab := benchLab()
+	if _, err := lab.Collection("Legal"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -300,6 +328,11 @@ func BenchmarkAblationSegmentSize(b *testing.B) {
 // replacement for the record buffers.
 func BenchmarkAblationBufferPolicy(b *testing.B) {
 	lab := benchLab()
+	if _, err := lab.Collection("CACM"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -314,6 +347,11 @@ func BenchmarkAblationBufferPolicy(b *testing.B) {
 // BenchmarkAblationChunkedLists compares whole vs chunked large lists.
 func BenchmarkAblationChunkedLists(b *testing.B) {
 	lab := benchLab()
+	if _, err := lab.Collection("CACM"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -354,6 +392,7 @@ func BenchmarkParallelSearch(b *testing.B) {
 
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("batch/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.SearchBatch(queries, core.Parallelism(w), core.TopK(10)); err != nil {
 					b.Fatal(err)
@@ -364,6 +403,7 @@ func BenchmarkParallelSearch(b *testing.B) {
 	}
 
 	b.Run("runparallel", func(b *testing.B) {
+		b.ReportAllocs()
 		var cursor atomic.Int64
 		b.RunParallel(func(pb *testing.PB) {
 			s := eng.Acquire()
@@ -381,6 +421,13 @@ func BenchmarkParallelSearch(b *testing.B) {
 // analysis: size-class fractions, compression rate, term repetition.
 func BenchmarkSection2Analysis(b *testing.B) {
 	lab := benchLab()
+	for _, row := range matrixRows {
+		if _, err := lab.Collection(row.col); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	var t1, t2 *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lexicon"
+	"repro/internal/obs"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 )
@@ -41,6 +42,7 @@ func main() {
 	chunk := flag.Int("chunk", 0, "chunk size the index was built with (must match inquery-index -chunk)")
 	explain := flag.Bool("explain", false, "print the belief breakdown for each query's top document")
 	degraded := flag.Bool("degraded", false, "skip unreadable inverted-list records instead of aborting (counted in -stats)")
+	trace := flag.Bool("trace", false, "print a per-query span tree (lexicon, fetch, fault-in, score) with real and simulated durations")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -99,9 +101,16 @@ func main() {
 		}
 		var res []core.Result
 		var err error
-		if *daat {
+		switch {
+		case *trace:
+			var tr *obs.Trace
+			res, tr, err = eng.TraceSearch(q, *topK, *daat)
+			if tr != nil {
+				fmt.Print(tr.Render(vfs.Model1993().Costs()))
+			}
+		case *daat:
 			res, err = eng.SearchDAAT(q, *topK)
-		} else {
+		default:
 			res, err = eng.Search(q, *topK)
 		}
 		if err != nil {
@@ -137,7 +146,9 @@ func main() {
 		if err := sc.Err(); err != nil {
 			fail(err)
 		}
-		if *workers > 1 && !*daat {
+		// Tracing is single-stream, so -trace always takes the serial
+		// loop regardless of -workers.
+		if *workers > 1 && !*daat && !*trace {
 			// Parallel batch: evaluate with the worker pool, then print
 			// per-query rankings in input order.
 			res, err := eng.SearchBatch(queries,

@@ -33,6 +33,9 @@ func main() {
 	analyze := flag.Bool("analyze", false, "run only the paper-§2 workload analysis")
 	snapshots := flag.Bool("snapshots", false, "print one engine-snapshot JSON line per evaluation run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII plots")
+	bench := flag.Bool("bench", false, "run the standard query mixes over both backends and write per-stage latency quantiles")
+	benchOut := flag.String("benchout", "BENCH_query.json", "bench report output path (-bench)")
+	baseline := flag.String("baseline", "", "baseline BENCH_query.json to diff against; exits non-zero on >20% p95 regression (-bench)")
 	flag.Parse()
 
 	lab := experiments.NewLab(*scale)
@@ -54,6 +57,8 @@ func main() {
 	}
 
 	switch {
+	case *bench:
+		runBench(lab, *benchOut, *baseline, fail)
 	case *table != 0:
 		fns := []func() (*experiments.Table, error){
 			lab.Table1, lab.Table2, lab.Table3, lab.Table4, lab.Table5, lab.Table6,
@@ -104,6 +109,39 @@ func main() {
 		runAblations(lab, fail)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runBench runs the bench query mixes, writes the deterministic report,
+// and optionally enforces the p95 regression gate against a baseline.
+func runBench(lab *experiments.Lab, outPath, basePath string, fail func(error)) {
+	report, err := lab.RunBench(nil)
+	if err != nil {
+		fail(err)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: %d rows written to %s\n", len(report.Rows), outPath)
+	if basePath == "" {
+		return
+	}
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		fail(err)
+	}
+	var base experiments.BenchReport
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		fail(fmt.Errorf("parse baseline %s: %w", basePath, err))
+	}
+	if err := experiments.CompareBench(&base, report, 0.20); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: no p95 regression vs %s (tolerance 20%%)\n", basePath)
 }
 
 // runSnapshots executes the full evaluation matrix and emits one JSON

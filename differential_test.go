@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/textproc"
+)
+
+// diffScale keeps the differential suite fast while still covering every
+// collection and query set of the paper matrix.
+const diffScale = 0.1
+
+// openPair opens the same built collection on both storage backends,
+// Mneme under its paper buffer plan.
+func openPair(t *testing.T, built *experiments.Built, extra ...core.Option) (bt, mn *core.Engine) {
+	t.Helper()
+	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+	btOpts := append([]core.Option{core.WithAnalyzer(an)}, extra...)
+	bt, err := core.Open(built.FS, built.Col.Name, core.BackendBTree, btOpts...)
+	if err != nil {
+		t.Fatalf("open btree: %v", err)
+	}
+	mnOpts := append([]core.Option{
+		core.WithAnalyzer(an), core.WithPlan(experiments.PlanFor(built)),
+	}, extra...)
+	mn, err = core.Open(built.FS, built.Col.Name, core.BackendMneme, mnOpts...)
+	if err != nil {
+		bt.Close()
+		t.Fatalf("open mneme: %v", err)
+	}
+	return bt, mn
+}
+
+// assertSameResults requires identical rankings and doc counts, with
+// scores equal to within 1e-9 (belief arithmetic is the same float64
+// sequence on both backends; the tolerance only absorbs printing-level
+// differences, not reordering).
+func assertSameResults(t *testing.T, label string, r1, r2 []core.Result) {
+	t.Helper()
+	if len(r1) != len(r2) {
+		t.Fatalf("%s: doc counts differ: btree %d vs mneme %d", label, len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Doc != r2[i].Doc {
+			t.Fatalf("%s: rank %d: btree doc %d vs mneme doc %d", label, i, r1[i].Doc, r2[i].Doc)
+		}
+		if math.Abs(r1[i].Score-r2[i].Score) > 1e-9 {
+			t.Fatalf("%s: rank %d (doc %d): scores differ: %.12f vs %.12f",
+				label, i, r1[i].Doc, r1[i].Score, r2[i].Score)
+		}
+	}
+}
+
+// TestDifferentialBackends runs the full paper query mix — every
+// (collection, query set) row of the evaluation matrix — on the same
+// index image under both the B-tree and Mneme backends and requires
+// identical rankings. The storage manager must be invisible to the
+// retrieval engine; any divergence is a storage bug, not a tuning
+// difference.
+func TestDifferentialBackends(t *testing.T) {
+	lab := experiments.NewLab(diffScale)
+	for _, row := range matrixRows {
+		built, err := lab.Collection(row.col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := built.Col.QuerySets[row.qs]
+		t.Run(fmt.Sprintf("%s_qs%s", row.col, qs.Name), func(t *testing.T) {
+			bt, mn := openPair(t, built)
+			defer bt.Close()
+			defer mn.Close()
+			for _, q := range built.Col.GenQueries(qs) {
+				r1, err := bt.Search(q.Text, 0)
+				if err != nil {
+					t.Fatalf("btree %s: %v", q.ID, err)
+				}
+				r2, err := mn.Search(q.Text, 0)
+				if err != nil {
+					t.Fatalf("mneme %s: %v", q.ID, err)
+				}
+				assertSameResults(t, q.ID, r1, r2)
+			}
+		})
+	}
+}
+
+// TestDifferentialBackendsDegraded repeats the differential run with
+// both engines opened WithDegraded but no faults injected: degraded
+// mode must be a pure error-handling policy with zero effect on healthy
+// results, and must count zero corrupt records.
+func TestDifferentialBackendsDegraded(t *testing.T) {
+	lab := experiments.NewLab(diffScale)
+	for _, row := range matrixRows {
+		built, err := lab.Collection(row.col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := built.Col.QuerySets[row.qs]
+		t.Run(fmt.Sprintf("%s_qs%s", row.col, qs.Name), func(t *testing.T) {
+			bt, mn := openPair(t, built, core.WithDegraded())
+			defer bt.Close()
+			defer mn.Close()
+			for _, q := range built.Col.GenQueries(qs) {
+				r1, err := bt.Search(q.Text, 0)
+				if err != nil {
+					t.Fatalf("btree %s: %v", q.ID, err)
+				}
+				r2, err := mn.Search(q.Text, 0)
+				if err != nil {
+					t.Fatalf("mneme %s: %v", q.ID, err)
+				}
+				assertSameResults(t, q.ID, r1, r2)
+			}
+			if n := bt.Counters().CorruptRecords; n != 0 {
+				t.Fatalf("btree: %d corrupt records counted with no faults injected", n)
+			}
+			if n := mn.Counters().CorruptRecords; n != 0 {
+				t.Fatalf("mneme: %d corrupt records counted with no faults injected", n)
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -96,6 +97,19 @@ type Tree struct {
 	tail   int64 // next free byte offset (page 0 is the header)
 	count  int64 // live records
 	cache  *fifoCache
+	// rec, when non-nil, receives a node-read event per uncached page
+	// fetched from the file. Nil when tracing is off.
+	rec obs.Recorder
+}
+
+// SetRecorder attaches (or, with nil, detaches) a trace recorder that
+// observes uncached node page reads. Recorders are for single-stream
+// diagnostic tracing: attach one only while no other goroutine is
+// using the tree.
+func (t *Tree) SetRecorder(r obs.Recorder) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rec = r
 }
 
 // Create makes a new empty tree in a new file.

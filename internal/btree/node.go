@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -206,6 +207,9 @@ func (t *Tree) readNode(page uint32) (*node, error) {
 	if got := crc32.ChecksumIEEE(buf[:pagePayload]); got != want {
 		return nil, fmt.Errorf("%w: page %d checksum %08x, want %08x (torn write or bit rot)",
 			ErrCorrupt, page, got, want)
+	}
+	if t.rec != nil {
+		t.rec.Event(obs.EvNodeRead, "btree", 1)
 	}
 	return parseNode(page, buf[:pagePayload])
 }

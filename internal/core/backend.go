@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/mneme"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -164,6 +165,11 @@ type Backend interface {
 	// Flush persists backend state.
 	Flush() error
 	Close() error
+	// SetRecorder attaches (nil detaches) a trace recorder to the
+	// backend's storage layer — buffer hit/miss and fault-in spans for
+	// Mneme, node-page reads for the B-tree. Recorders are for
+	// single-stream diagnostic tracing only.
+	SetRecorder(obs.Recorder)
 }
 
 // --- B-tree backend ---
@@ -216,6 +222,7 @@ func (b *btreeBackend) Update(uint64, []byte) (uint64, error)     { return 0, Er
 func (b *btreeBackend) Remove(uint64) error                       { return ErrNoUpdate }
 func (b *btreeBackend) Flush() error                              { return b.tree.Sync() }
 func (b *btreeBackend) Close() error                              { return b.tree.Close() }
+func (b *btreeBackend) SetRecorder(r obs.Recorder)                { b.tree.SetRecorder(r) }
 
 // --- Mneme backend ---
 
@@ -407,3 +414,5 @@ func (b *mnemeBackend) Remove(ref uint64) error {
 
 func (b *mnemeBackend) Flush() error { return b.store.Flush() }
 func (b *mnemeBackend) Close() error { return b.store.Close() }
+
+func (b *mnemeBackend) SetRecorder(r obs.Recorder) { b.store.SetRecorder(r) }

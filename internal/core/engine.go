@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/inference"
 	"repro/internal/lexicon"
+	"repro/internal/obs"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 )
@@ -83,6 +84,54 @@ func (a *atomicCounters) reset() {
 	a.corruptRecords.Store(0)
 }
 
+// engineMetrics holds the engine's metrics registry plus cached handles
+// into it, so the per-lookup and per-query paths pay only the atomic
+// adds — never a registry map lookup.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	queries  *obs.Counter
+	lookups  *obs.Counter
+	postings *obs.Counter
+	bytes    *obs.Counter
+	corrupt  *obs.Counter
+
+	fetchBytes    *obs.Histogram // bytes per inverted-list record fetch
+	queryLookups  *obs.Histogram // record lookups per query
+	queryPostings *obs.Histogram // posting entries per query
+}
+
+func newEngineMetrics() *engineMetrics {
+	reg := obs.NewRegistry()
+	return &engineMetrics{
+		reg:      reg,
+		queries:  reg.Counter("queries_total"),
+		lookups:  reg.Counter("lookups_total"),
+		postings: reg.Counter("postings_total"),
+		bytes:    reg.Counter("bytes_fetched_total"),
+		corrupt:  reg.Counter("corrupt_records_total"),
+
+		fetchBytes:    reg.Histogram("fetch_bytes", obs.ExpBuckets(16, 4, 10)),
+		queryLookups:  reg.Histogram("query_lookups", obs.ExpBuckets(1, 2, 10)),
+		queryPostings: reg.Histogram("query_postings", obs.ExpBuckets(4, 4, 10)),
+	}
+}
+
+// observeQuery folds one searcher flush delta into the metrics. The
+// distributions are of deterministic quantities (counts and bytes, not
+// wall-clock), so snapshots of identical runs are identical.
+func (m *engineMetrics) observeQuery(d Counters) {
+	m.queries.Add(d.Queries)
+	m.lookups.Add(d.Lookups)
+	m.postings.Add(d.Postings)
+	m.bytes.Add(d.BytesFetched)
+	m.corrupt.Add(d.CorruptRecords)
+	if d.Queries > 0 {
+		m.queryLookups.Observe(d.Lookups)
+		m.queryPostings.Observe(d.Postings)
+	}
+}
+
 // Engine is one opened collection + backend pair: INQUERY's query
 // processor over an inverted file managed by either storage subsystem.
 //
@@ -108,6 +157,7 @@ type Engine struct {
 	opts    EngineOptions
 
 	agg atomicCounters
+	met *engineMetrics
 
 	mu        sync.Mutex // guards accessLog and termUse
 	accessLog []uint32
@@ -155,6 +205,7 @@ func Open(fs *vfs.FS, name string, kind BackendKind, opts ...Option) (*Engine, e
 		docLens: lens,
 		total:   total,
 		opts:    opt,
+		met:     newEngineMetrics(),
 	}
 	if opt.TrackTermUse {
 		e.termUse = make(map[string]int64)
@@ -182,10 +233,15 @@ func (e *Engine) Analyzer() *textproc.Analyzer { return e.an }
 // the sum over every searcher's completed calls.
 func (e *Engine) Counters() Counters { return e.agg.snapshot() }
 
-// ResetCounters zeroes work counters, the access log, and term-use
-// counts. It must not run concurrently with searches.
+// Metrics exposes the engine's metrics registry (always on; populated
+// with deterministic distributions by every search).
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// ResetCounters zeroes work counters, the metrics registry, the access
+// log, and term-use counts. It must not run concurrently with searches.
 func (e *Engine) ResetCounters() {
 	e.agg.reset()
+	e.met.reg.Reset()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.accessLog = nil
@@ -323,4 +379,38 @@ func (e *Engine) SaveMeta() error {
 // tf/df detail. The root belief equals the document's Search score.
 func (e *Engine) Explain(query string, doc uint32) (*inference.Explanation, error) {
 	return e.Acquire().Explain(query, doc)
+}
+
+// TraceSearch evaluates one query with a trace recorder attached through
+// every layer — searcher (lexicon/fetch spans), inference (score spans),
+// backend (buffer hit/miss, fault-in spans, node reads), and the file
+// system (simulated-disk I/O events) — and returns the results together
+// with the finished trace.
+//
+// Tracing is a single-stream diagnostic: the recorder is attached to the
+// shared file system and backend for the duration of the call, so
+// TraceSearch must not run concurrently with other searches on the same
+// engine (or any engine sharing the FS). Ordinary Search/SearchDAAT pay
+// nothing for this facility: their recorder fields stay nil.
+func (e *Engine) TraceSearch(query string, topK int, daat bool) ([]Result, *obs.Trace, error) {
+	tr := obs.NewTrace(query)
+	e.fs.SetRecorder(tr)
+	e.backend.SetRecorder(tr)
+	defer func() {
+		e.backend.SetRecorder(nil)
+		e.fs.SetRecorder(nil)
+	}()
+	s := e.Acquire()
+	s.SetRecorder(tr)
+	var (
+		res []Result
+		err error
+	)
+	if daat {
+		res, err = s.SearchDAAT(query, topK)
+	} else {
+		res, err = s.Search(query, topK)
+	}
+	tr.Finish()
+	return res, tr, err
 }

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/inference"
+	"repro/internal/lexicon"
 	"repro/internal/mneme"
+	"repro/internal/obs"
 	"repro/internal/postings"
 	"repro/internal/vfs"
 )
@@ -31,7 +33,19 @@ type Searcher struct {
 	// deltas, so the engine lock is taken once per query, not per lookup.
 	opLog   []uint32
 	opTerms map[string]int64
+
+	// rec, when non-nil, receives lexicon and fetch spans and lookup
+	// events for every record access. Nil during ordinary searches: the
+	// only per-access cost of the tracing facility is this nil check.
+	rec obs.Recorder
 }
+
+// SetRecorder attaches (nil detaches) a trace recorder to this searcher.
+func (s *Searcher) SetRecorder(r obs.Recorder) { s.rec = r }
+
+// ObsRecorder implements obs.Traced, letting the inference evaluators
+// discover the recorder through the Source they are handed.
+func (s *Searcher) ObsRecorder() obs.Recorder { return s.rec }
 
 // Acquire returns a new searcher over the engine.
 func (e *Engine) Acquire() *Searcher { return &Searcher{e: e} }
@@ -45,7 +59,9 @@ func (s *Searcher) Counters() Counters { return s.counters }
 // flush merges the searcher's unmerged work into the engine.
 func (s *Searcher) flush() {
 	e := s.e
-	e.agg.add(s.counters.Sub(s.flushed))
+	d := s.counters.Sub(s.flushed)
+	e.agg.add(d)
+	e.met.observeQuery(d)
 	s.flushed = s.counters
 	if len(s.opLog) == 0 && len(s.opTerms) == 0 {
 		return
@@ -113,6 +129,7 @@ func (s *Searcher) Explain(query string, doc uint32) (*inference.Explanation, er
 func (s *Searcher) countLookup(term string, size uint32) {
 	s.counters.Lookups++
 	s.counters.BytesFetched += int64(size)
+	s.e.met.fetchBytes.Observe(int64(size))
 	if s.e.opts.LogAccesses {
 		s.opLog = append(s.opLog, size)
 	}
@@ -147,19 +164,41 @@ func (s *Searcher) degrade(err error) bool {
 	return true
 }
 
+// lookupRef resolves a term through the hash dictionary to a backend
+// record ref, bracketed by a lexicon span when tracing.
+func (s *Searcher) lookupRef(term string) (uint64, *lexicon.Entry, bool) {
+	e := s.e
+	if s.rec != nil {
+		s.rec.BeginSpan(obs.StageLexicon, term)
+	}
+	var ref uint64
+	entry, ok := e.dict.Lookup(term)
+	if ok {
+		ref, ok = e.refOf(entry)
+	}
+	if s.rec != nil {
+		if ok {
+			s.rec.Event(obs.EvLookup, term, 1)
+		}
+		s.rec.EndSpan()
+	}
+	return ref, entry, ok
+}
+
 // fetchRecord performs one inverted-list record lookup through the
 // backend.
 func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
-	e := s.e
-	entry, ok := e.dict.Lookup(term)
+	ref, _, ok := s.lookupRef(term)
 	if !ok {
 		return nil, false, nil
 	}
-	ref, ok := e.refOf(entry)
-	if !ok {
-		return nil, false, nil
+	if s.rec != nil {
+		s.rec.BeginSpan(obs.StageFetch, term)
 	}
-	rec, err := e.backend.Fetch(ref)
+	rec, err := s.e.backend.Fetch(ref)
+	if s.rec != nil {
+		s.rec.EndSpan()
+	}
 	if err != nil {
 		if s.degrade(err) {
 			return nil, false, nil
@@ -192,21 +231,23 @@ func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
 // of being materialized first.
 func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error) {
 	e := s.e
-	entry, ok := e.dict.Lookup(term)
-	if !ok {
-		return nil, false, nil
-	}
-	ref, ok := e.refOf(entry)
+	ref, entry, ok := s.lookupRef(term)
 	if !ok {
 		return nil, false, nil
 	}
 	if rs, streams := e.backend.(RecordStreamer); streams {
 		if r, ok := rs.StreamRecord(ref); ok {
 			s.countLookup(term, entry.ListBytes)
-			return &countingIterator{it: postings.NewStreamReader(r), c: &s.counters}, true, nil
+			return &countingIterator{it: postings.NewStreamReader(r), c: &s.counters, rec: s.rec}, true, nil
 		}
 	}
+	if s.rec != nil {
+		s.rec.BeginSpan(obs.StageFetch, term)
+	}
 	rec, err := e.backend.Fetch(ref)
+	if s.rec != nil {
+		s.rec.EndSpan()
+	}
 	if err != nil {
 		if s.degrade(err) {
 			return nil, false, nil
@@ -214,7 +255,7 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 		return nil, false, err
 	}
 	s.countLookup(term, uint32(len(rec)))
-	return &countingIterator{it: postings.NewReader(rec), c: &s.counters}, true, nil
+	return &countingIterator{it: postings.NewReader(rec), c: &s.counters, rec: s.rec}, true, nil
 }
 
 // NumDocs implements inference.Source.
@@ -236,16 +277,22 @@ type recordIterator interface {
 
 // countingIterator counts postings into the owning searcher's counters
 // as they stream past. The evaluators fully consume iterators before
-// returning, so the counts land before the query's flush.
+// returning, so the counts land before the query's flush. When tracing,
+// each posting also lands as an event on the innermost open span (the
+// DAAT score span during evaluation).
 type countingIterator struct {
-	it recordIterator
-	c  *Counters
+	it  recordIterator
+	c   *Counters
+	rec obs.Recorder
 }
 
 func (ci *countingIterator) Next() (postings.Posting, bool) {
 	p, ok := ci.it.Next()
 	if ok {
 		ci.c.Postings++
+		if ci.rec != nil {
+			ci.rec.Event(obs.EvPostings, "", 1)
+		}
 	}
 	return p, ok
 }

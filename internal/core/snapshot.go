@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/mneme"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -20,6 +21,10 @@ type Snapshot struct {
 	// degraded-mode damage is visible without digging into the counter
 	// block. Non-zero only for engines opened WithDegraded.
 	CorruptRecords int64 `json:"corrupt_records,omitempty"`
+	// Metrics is the engine's metrics-registry snapshot: work counters
+	// plus deterministic distributions (fetch sizes, per-query lookups
+	// and postings), sorted by name.
+	Metrics obs.RegistrySnapshot `json:"metrics"`
 }
 
 // Snapshot captures the engine's current aggregate state. It is safe to
@@ -34,6 +39,7 @@ func (e *Engine) Snapshot() Snapshot {
 		IO:             e.fs.Stats(),
 		Buffers:        e.backend.BufferStats(),
 		CorruptRecords: c.CorruptRecords,
+		Metrics:        e.met.reg.Snapshot(),
 	}
 }
 

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// BenchSchema versions the BENCH_query.json format. Bump it whenever a
+// field changes meaning, so CompareBench refuses to diff across formats.
+const BenchSchema = "repro/bench_query/v1"
+
+// BenchSystems are the configurations the bench mode measures: the two
+// storage backends, with Mneme under its paper buffer plan.
+var BenchSystems = []System{SysBTree, SysMnemeCache}
+
+// BenchStage holds one per-stage latency distribution over a query mix.
+// Times are simulated microseconds from the lab's cost model applied to
+// each query's trace counts — a pure function of the counters, so the
+// report is byte-identical across runs and machines.
+type BenchStage struct {
+	Stage string  `json:"stage"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+// BenchHitRate is one pool's record-buffer outcome over the run.
+type BenchHitRate struct {
+	Pool string  `json:"pool"`
+	Refs int64   `json:"refs"`
+	Hits int64   `json:"hits"`
+	Rate float64 `json:"rate"`
+}
+
+// BenchRow is one (system, collection, query set) measurement.
+type BenchRow struct {
+	Backend    string         `json:"backend"`
+	Collection string         `json:"collection"`
+	QuerySet   string         `json:"query_set"`
+	Queries    int            `json:"queries"`
+	Stages     []BenchStage   `json:"stages"`
+	HitRates   []BenchHitRate `json:"hit_rates,omitempty"`
+	DiskReads  int64          `json:"disk_reads"`
+	BytesRead  int64          `json:"bytes_read"`
+}
+
+// BenchReport is the full bench-mode output (BENCH_query.json).
+type BenchReport struct {
+	Schema string     `json:"schema"`
+	Scale  float64    `json:"scale"`
+	Rows   []BenchRow `json:"rows"`
+}
+
+// quantile returns the q-quantile of a sorted slice by linear
+// interpolation between order statistics (the exact sample quantile, no
+// bucketing — regressions are not hidden by bucket resolution).
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + (sorted[i+1]-sorted[i])*frac
+}
+
+// RunBench traces the standard query mix of every matrix row under each
+// bench system and distils per-stage simulated-latency quantiles, buffer
+// hit rates, and I/O totals. The protocol per row mirrors RunFresh:
+// fresh engine, chill the OS cache, reset counters, then evaluate the
+// query set in order (buffers warm across queries within a row, as in
+// the paper's batch runs).
+func (l *Lab) RunBench(systems []System) (*BenchReport, error) {
+	if len(systems) == 0 {
+		systems = BenchSystems
+	}
+	costs := l.Model.Costs()
+	report := &BenchReport{Schema: BenchSchema, Scale: l.Scale}
+	for _, p := range matrix() {
+		b, err := l.Collection(p.col)
+		if err != nil {
+			return nil, err
+		}
+		qs := b.Col.QuerySets[p.qs]
+		queries := b.Col.GenQueries(qs)
+		for _, sys := range systems {
+			var kind core.BackendKind
+			plan := core.NoCache
+			switch sys {
+			case SysBTree:
+				kind = core.BackendBTree
+			case SysMnemeNoCache:
+				kind = core.BackendMneme
+			case SysMnemeCache:
+				kind = core.BackendMneme
+				plan = PlanFor(b)
+			default:
+				return nil, fmt.Errorf("experiments: unknown system %d", sys)
+			}
+			eng, err := core.Open(b.FS, p.col, kind,
+				core.WithAnalyzer(analyzer()), core.WithPlan(plan))
+			if err != nil {
+				return nil, err
+			}
+			b.FS.Chill()
+			eng.ResetCounters()
+			eng.Backend().ResetBufferStats()
+			before := b.FS.Stats()
+
+			stageUS := make(map[obs.Stage][]float64, len(obs.Stages()))
+			for _, q := range queries {
+				_, tr, err := eng.TraceSearch(q.Text, 0, false)
+				if err != nil {
+					eng.Close()
+					return nil, fmt.Errorf("experiments: bench %s/%s/%s: query %s: %w",
+						sys, p.col, qs.Name, q.ID, err)
+				}
+				totals := tr.StageTotals()
+				for _, st := range obs.Stages() {
+					tot := totals[st]
+					ns := costs.SimNS(&tot.Counts)
+					if st == obs.StageQuery {
+						ns += costs.QueryNS
+					}
+					stageUS[st] = append(stageUS[st], float64(ns)/1e3)
+				}
+			}
+
+			delta := b.FS.Stats().Sub(before)
+			row := BenchRow{
+				Backend:    sys.String(),
+				Collection: p.col,
+				QuerySet:   qs.Name,
+				Queries:    len(queries),
+				DiskReads:  delta.DiskReads,
+				BytesRead:  delta.BytesRead,
+			}
+			for _, st := range obs.Stages() {
+				us := stageUS[st]
+				sort.Float64s(us)
+				row.Stages = append(row.Stages, BenchStage{
+					Stage: st.String(),
+					P50us: quantile(us, 0.50),
+					P95us: quantile(us, 0.95),
+					P99us: quantile(us, 0.99),
+				})
+			}
+			bufs := eng.Backend().BufferStats()
+			pools := make([]string, 0, len(bufs))
+			for pool := range bufs {
+				pools = append(pools, pool)
+			}
+			sort.Strings(pools)
+			for _, pool := range pools {
+				bs := bufs[pool]
+				row.HitRates = append(row.HitRates, BenchHitRate{
+					Pool: pool, Refs: bs.Refs, Hits: bs.Hits, Rate: bs.HitRate(),
+				})
+			}
+			eng.Close()
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	return report, nil
+}
+
+// rowKey identifies a bench row across reports.
+func rowKey(r BenchRow) string {
+	return r.Backend + "/" + r.Collection + "/" + r.QuerySet
+}
+
+// CompareBench diffs a current report against a committed baseline and
+// returns an error describing every stage whose p95 simulated latency
+// regressed by more than tol (0.20 = 20%). Reports must share schema and
+// scale; rows present in the baseline must still exist.
+func CompareBench(base, cur *BenchReport, tol float64) error {
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("bench schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)
+	}
+	if base.Scale != cur.Scale {
+		return fmt.Errorf("bench scale mismatch: baseline %g vs current %g (regenerate the baseline at the current scale)", base.Scale, cur.Scale)
+	}
+	curRows := make(map[string]BenchRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curRows[rowKey(r)] = r
+	}
+	var bad []string
+	for _, br := range base.Rows {
+		cr, ok := curRows[rowKey(br)]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: row missing from current report", rowKey(br)))
+			continue
+		}
+		curStages := make(map[string]BenchStage, len(cr.Stages))
+		for _, s := range cr.Stages {
+			curStages[s.Stage] = s
+		}
+		for _, bs := range br.Stages {
+			cs, ok := curStages[bs.Stage]
+			if !ok {
+				bad = append(bad, fmt.Sprintf("%s/%s: stage missing from current report", rowKey(br), bs.Stage))
+				continue
+			}
+			if bs.P95us > 0 && cs.P95us > bs.P95us*(1+tol) {
+				bad = append(bad, fmt.Sprintf("%s/%s: p95 %.1fµs -> %.1fµs (+%.0f%%, tolerance %.0f%%)",
+					rowKey(br), bs.Stage, bs.P95us, cs.P95us,
+					100*(cs.P95us/bs.P95us-1), 100*tol))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench regression vs baseline:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/postings"
 )
 
@@ -93,6 +94,14 @@ func EvaluateDAAT(n *Node, src StreamSource, topK int) ([]Result, error) {
 	var all []*peekIter
 	for _, ls := range leaves {
 		all = append(all, ls.iters...)
+	}
+
+	// The whole document-at-a-time sweep is one scoring span: postings
+	// stream past inside it (via the source's counting iterators), and
+	// any lazily-faulted chunk I/O nests as child spans.
+	if rec := recorderOf(src); rec != nil {
+		rec.BeginSpan(obs.StageScore, "daat")
+		defer rec.EndSpan()
 	}
 
 	h := &resultHeap{}

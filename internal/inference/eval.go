@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/postings"
 )
 
@@ -53,6 +54,18 @@ func Belief(tf, docLen int, avgLen float64, df uint64, n int) float64 {
 		idf = 0
 	}
 	return DefaultBelief + (1-DefaultBelief)*tfn*idf
+}
+
+// recorderOf extracts the trace recorder a source carries (sources that
+// implement obs.Traced, i.e. core.Searcher), or nil when tracing is off.
+// The evaluators bracket their scoring work in StageScore spans through
+// it; with no recorder attached the cost is one failed type assertion
+// per evidence leaf.
+func recorderOf(src any) obs.Recorder {
+	if t, ok := src.(obs.Traced); ok {
+		return t.ObsRecorder()
+	}
+	return nil
 }
 
 // evidence is a sparse belief assignment: explicit beliefs for some
@@ -118,6 +131,11 @@ func evalNode(n *Node, src Source) (evidence, error) {
 }
 
 func evalTerm(term string, src Source) (evidence, error) {
+	rec := recorderOf(src)
+	if rec != nil {
+		rec.BeginSpan(obs.StageScore, term)
+		defer rec.EndSpan()
+	}
 	ps, ok, err := src.Postings(term)
 	if err != nil {
 		return evidence{}, err
@@ -125,6 +143,9 @@ func evalTerm(term string, src Source) (evidence, error) {
 	ev := evidence{scores: make(map[uint32]float64), def: DefaultBelief}
 	if !ok || len(ps) == 0 {
 		return ev, nil
+	}
+	if rec != nil {
+		rec.Event(obs.EvPostings, term, int64(len(ps)))
 	}
 	df := uint64(len(ps))
 	n := src.NumDocs()
@@ -138,6 +159,11 @@ func evalTerm(term string, src Source) (evidence, error) {
 // evalSyn merges its children's postings into one synonym class and
 // scores it as a single pseudo-term.
 func evalSyn(n *Node, src Source) (evidence, error) {
+	rec := recorderOf(src)
+	if rec != nil {
+		rec.BeginSpan(obs.StageScore, "#syn")
+		defer rec.EndSpan()
+	}
 	tf := make(map[uint32]int)
 	for _, c := range n.Children {
 		if c.Op != OpTerm {
@@ -150,6 +176,9 @@ func evalSyn(n *Node, src Source) (evidence, error) {
 		}
 		if !ok {
 			continue
+		}
+		if rec != nil {
+			rec.Event(obs.EvPostings, c.Term, int64(len(ps)))
 		}
 		for _, p := range ps {
 			tf[p.Doc] += p.TF()
@@ -173,6 +202,11 @@ func evalOrLike(n *Node, src Source) (evidence, error) {
 // evalProximity computes per-document window-match counts over the
 // children's position lists, then scores them as a pseudo-term.
 func evalProximity(n *Node, src Source) (evidence, error) {
+	rec := recorderOf(src)
+	if rec != nil {
+		rec.BeginSpan(obs.StageScore, "#prox")
+		defer rec.EndSpan()
+	}
 	// Gather each child's postings keyed by document.
 	type posmap map[uint32][]uint32
 	childPos := make([]posmap, len(n.Children))
@@ -183,6 +217,9 @@ func evalProximity(n *Node, src Source) (evidence, error) {
 		}
 		pm := make(posmap)
 		if ok {
+			if rec != nil {
+				rec.Event(obs.EvPostings, c.Term, int64(len(ps)))
+			}
 			for _, p := range ps {
 				pm[p.Doc] = p.Positions
 			}

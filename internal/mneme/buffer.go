@@ -3,6 +3,8 @@ package mneme
 import (
 	"container/list"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // segRef names one physical segment: the owning pool's index within the
@@ -87,6 +89,19 @@ type Buffer struct {
 	// save is the pool's modified-segment-save call-back, invoked when
 	// a dirty segment is evicted or flushed.
 	save func(*Segment) error
+
+	// rec, when non-nil, receives hit/miss events and fault-in spans,
+	// labelled with the owning pool's name. Attached through
+	// Store.SetRecorder; nil when tracing is off.
+	rec      obs.Recorder
+	recLabel string
+}
+
+// SetRecorder attaches (or, with nil, detaches) a trace recorder; label
+// names the owning pool on emitted events and spans.
+func (b *Buffer) SetRecorder(label string, r obs.Recorder) {
+	b.recLabel = label
+	b.rec = r
 }
 
 // NewBuffer creates a buffer with the given byte capacity and policy.
@@ -135,11 +150,23 @@ func (b *Buffer) Acquire(ref segRef, size int, countRef bool, load func([]byte) 
 		if countRef {
 			b.stats.Hits++
 		}
+		if b.rec != nil {
+			b.rec.Event(obs.EvBufferHit, b.recLabel, 1)
+		}
 		b.policy.Touched(s)
 		return s, nil
 	}
 	data := make([]byte, size)
-	if err := load(data); err != nil {
+	if b.rec != nil {
+		b.rec.Event(obs.EvBufferMiss, b.recLabel, 1)
+		b.rec.BeginSpan(obs.StageFaultIn, b.recLabel)
+	}
+	err := load(data)
+	if b.rec != nil {
+		b.rec.Event(obs.EvFaultInBytes, b.recLabel, int64(size))
+		b.rec.EndSpan()
+	}
+	if err != nil {
 		return nil, err
 	}
 	b.stats.Loads++

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -582,6 +583,19 @@ func (st *Store) ReleaseReservations() {
 	defer st.mu.Unlock()
 	for _, b := range st.buffers {
 		b.ReleaseReservations()
+	}
+}
+
+// SetRecorder attaches (or, with nil, detaches) a trace recorder to
+// every pool buffer, so record-buffer hits, misses, and segment
+// fault-ins appear as per-pool events in a query trace. Recorders are
+// for single-stream diagnostic tracing: attach one only while no other
+// goroutine is using the store.
+func (st *Store) SetRecorder(r obs.Recorder) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for name, pi := range st.poolIdx {
+		st.buffers[pi].SetRecorder(name, r)
 	}
 }
 

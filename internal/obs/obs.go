@@ -1,0 +1,203 @@
+// Package obs is the observability substrate for the retrieval stack:
+// a lock-cheap metrics registry (counters and fixed-bucket histograms,
+// snapshot-able to JSON with deterministic field ordering) and a
+// per-query trace that records span events — lexicon lookup, record
+// fault-in per pool, buffer hit/miss, simulated-disk I/O, and inference
+// scoring — as they flow through vfs, mneme, btree, core, and
+// inference.
+//
+// The paper's entire argument rests on instrumentation: Tables 3-6
+// report wall-clock, system+I/O time, file accesses per record lookup,
+// and buffer hit rates for each backend. This package generalizes those
+// end-of-run counters into per-stage visibility, so a query's cost can
+// be attributed across the storage layers rather than observed only in
+// aggregate.
+//
+// Recorders are threaded as plain fields that default to nil. Every
+// instrumentation site guards with a nil check, so with tracing off the
+// hot path costs one predictable branch and zero allocations — no
+// interface dispatch, no time syscalls. The package imports only the
+// standard library and sits below every other package in the repo.
+package obs
+
+// Stage classifies a trace span by the layer of the stack it measures.
+type Stage uint8
+
+const (
+	// StageQuery is the root span of one query evaluation.
+	StageQuery Stage = iota
+	// StageLexicon is a hash-dictionary term lookup.
+	StageLexicon
+	// StageFetch is one inverted-list record fetch through the backend.
+	StageFetch
+	// StageFaultIn is a buffer miss loading a physical segment from the
+	// file (Mneme); the span label names the pool.
+	StageFaultIn
+	// StageScore is inference-network evidence combination: the whole
+	// evaluation at the top level, one nested span per query leaf.
+	StageScore
+	numStages
+)
+
+// String names the stage for rendering and the bench JSON schema.
+func (s Stage) String() string {
+	switch s {
+	case StageQuery:
+		return "query"
+	case StageLexicon:
+		return "lexicon"
+	case StageFetch:
+		return "fetch"
+	case StageFaultIn:
+		return "fault_in"
+	case StageScore:
+		return "score"
+	}
+	return "?"
+}
+
+// Stages lists every span stage in declaration order.
+func Stages() []Stage {
+	return []Stage{StageQuery, StageLexicon, StageFetch, StageFaultIn, StageScore}
+}
+
+// EventKind identifies one counted trace event. Events are attributed
+// to the innermost open span, so a disk read performed while faulting a
+// segment in lands on that fault-in span.
+type EventKind uint8
+
+const (
+	// EvFileAccess counts read system calls against the simulated file
+	// system (the paper's "A" numerator).
+	EvFileAccess EventKind = iota
+	// EvDiskRead counts 8 Kbyte blocks read from the simulated disk
+	// (the paper's "I").
+	EvDiskRead
+	// EvCacheHit counts block reads satisfied by the simulated OS cache.
+	EvCacheHit
+	// EvBytesRead counts bytes requested by reads (the paper's "B").
+	EvBytesRead
+	// EvFileWrite counts write system calls.
+	EvFileWrite
+	// EvDiskWrite counts blocks written to the simulated disk.
+	EvDiskWrite
+	// EvBytesWritten counts bytes passed to writes.
+	EvBytesWritten
+	// EvBufferHit counts Mneme record-buffer hits (label = pool).
+	EvBufferHit
+	// EvBufferMiss counts Mneme record-buffer misses (label = pool).
+	EvBufferMiss
+	// EvFaultInBytes counts segment bytes loaded on buffer misses.
+	EvFaultInBytes
+	// EvNodeRead counts uncached B-tree node page reads.
+	EvNodeRead
+	// EvLookup counts dictionary hits that became record fetches.
+	EvLookup
+	// EvPostings counts posting entries decoded and scored.
+	EvPostings
+	// NumEvents is the number of event kinds; it sizes Counts.
+	NumEvents
+)
+
+// String names the event kind for rendering.
+func (k EventKind) String() string {
+	switch k {
+	case EvFileAccess:
+		return "file_accesses"
+	case EvDiskRead:
+		return "disk_reads"
+	case EvCacheHit:
+		return "cache_hits"
+	case EvBytesRead:
+		return "bytes_read"
+	case EvFileWrite:
+		return "file_writes"
+	case EvDiskWrite:
+		return "disk_writes"
+	case EvBytesWritten:
+		return "bytes_written"
+	case EvBufferHit:
+		return "buffer_hits"
+	case EvBufferMiss:
+		return "buffer_misses"
+	case EvFaultInBytes:
+		return "fault_in_bytes"
+	case EvNodeRead:
+		return "node_reads"
+	case EvLookup:
+		return "lookups"
+	case EvPostings:
+		return "postings"
+	}
+	return "?"
+}
+
+// Counts aggregates event totals, indexed by EventKind. A fixed array
+// keeps span bookkeeping allocation-free.
+type Counts [NumEvents]int64
+
+// Add accumulates other into c.
+func (c *Counts) Add(other *Counts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// IsZero reports whether no event was recorded.
+func (c *Counts) IsZero() bool {
+	for _, v := range c {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Recorder receives span boundaries and counted events from the
+// instrumented layers. Implementations need not be safe for concurrent
+// use: a recorder observes one query stream at a time (diagnostic
+// tracing), and all hot paths leave their recorder fields nil when
+// tracing is off.
+type Recorder interface {
+	// BeginSpan opens a child span of the innermost open span.
+	BeginSpan(stage Stage, label string)
+	// EndSpan closes the innermost open span.
+	EndSpan()
+	// Event adds v occurrences of kind to the innermost open span. The
+	// label annotates per-pool events and must be pre-interned (no
+	// formatting on the hot path).
+	Event(kind EventKind, label string, v int64)
+}
+
+// Traced is implemented by evidence sources (core.Searcher) that carry
+// a per-query recorder, letting the inference evaluators emit scoring
+// spans without widening the Source interface. A nil recorder means
+// tracing is off.
+type Traced interface {
+	ObsRecorder() Recorder
+}
+
+// CostModel converts span event counts into deterministic simulated
+// nanoseconds, mirroring vfs.TimeModel (which provides the adapter) so
+// that traces and benches report the same 1993-machine estimates as
+// the paper tables without obs importing vfs.
+type CostModel struct {
+	DiskReadNS    int64
+	DiskWriteNS   int64
+	SyscallNS     int64
+	CopyPerByteNS float64
+	PostingNS     int64
+	QueryNS       int64
+}
+
+// SimNS estimates the simulated time spent producing the given event
+// counts: disk waits, system-call overhead, kernel/user copying, and
+// per-posting scoring cost. Query parse overhead (QueryNS) is charged
+// separately by callers, once per query.
+func (m CostModel) SimNS(c *Counts) int64 {
+	ns := c[EvDiskRead]*m.DiskReadNS + c[EvDiskWrite]*m.DiskWriteNS
+	ns += (c[EvFileAccess] + c[EvFileWrite]) * m.SyscallNS
+	ns += int64(float64(c[EvBytesRead]+c[EvBytesWritten]) * m.CopyPerByteNS)
+	ns += c[EvPostings] * m.PostingNS
+	return ns
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10)) // 1,2,4,...,512
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %d, want 5050", h.Sum())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 32 || p50 > 64 {
+		t.Errorf("p50 = %v, want within bucket (32,64]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 64 || p99 > 128 {
+		t.Errorf("p99 = %v, want within bucket (64,128]", p99)
+	}
+	if got := h.Quantile(1.0); got < p99 {
+		t.Errorf("p100 = %v below p99 = %v", got, p99)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	h.Observe(1e6) // overflow bucket
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("overflow quantile = %v, want last bound 100", got)
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(3)
+	r.Counter("alpha").Add(1)
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000) // overflow
+
+	a, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+	s := string(a)
+	if strings.Index(s, `"alpha"`) > strings.Index(s, `"zeta"`) {
+		t.Errorf("counters not sorted by name: %s", s)
+	}
+	if !strings.Contains(s, `"le":0`) {
+		t.Errorf("overflow bucket missing: %s", s)
+	}
+}
+
+func TestRegistryConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n")
+			h := r.Histogram("v", ExpBuckets(1, 4, 8))
+			for i := int64(0); i < 1000; i++ {
+				c.Add(1)
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("v", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestTraceTreeAndStageTotals(t *testing.T) {
+	tr := NewTrace("q1")
+	tr.BeginSpan(StageScore, "taat")
+	tr.BeginSpan(StageFetch, "termA")
+	tr.Event(EvFileAccess, "", 2)
+	tr.Event(EvBytesRead, "", 8192)
+	tr.BeginSpan(StageFaultIn, "medium")
+	tr.Event(EvDiskRead, "medium", 1)
+	tr.EndSpan() // fault_in
+	tr.EndSpan() // fetch
+	tr.Event(EvPostings, "", 40)
+	tr.EndSpan() // score
+	tr.EndSpan() // surplus: must be ignored
+	tr.Finish()
+
+	root := tr.Root()
+	if root.Label != "q1" || len(root.Children) != 1 {
+		t.Fatalf("bad root: %+v", root)
+	}
+	totals := tr.StageTotals()
+	if totals[StageFaultIn].Counts[EvDiskRead] != 1 {
+		t.Errorf("fault_in disk reads = %d, want 1", totals[StageFaultIn].Counts[EvDiskRead])
+	}
+	if totals[StageFetch].Counts[EvDiskRead] != 0 {
+		t.Errorf("fetch stage must not absorb fault_in events (exclusive attribution)")
+	}
+	if totals[StageScore].Counts[EvPostings] != 40 {
+		t.Errorf("score postings = %d, want 40", totals[StageScore].Counts[EvPostings])
+	}
+
+	m := CostModel{DiskReadNS: 9e6, SyscallNS: 120e3, CopyPerByteNS: 100, PostingNS: 9e3, QueryNS: 25e6}
+	wantSim := int64(9e6) + 2*int64(120e3) + int64(8192*100) + 40*int64(9e3) + int64(25e6)
+	if got := tr.SimNS(m); got != wantSim {
+		t.Errorf("SimNS = %d, want %d", got, wantSim)
+	}
+
+	out := tr.Render(m)
+	for _, want := range []string{"query q1", "score taat", "fetch termA", "fault_in medium", "disk_reads 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountsAddAndZero(t *testing.T) {
+	var a, b Counts
+	if !a.IsZero() {
+		t.Fatal("fresh counts not zero")
+	}
+	b[EvPostings] = 7
+	a.Add(&b)
+	a.Add(&b)
+	if a[EvPostings] != 14 || a.IsZero() {
+		t.Fatalf("add failed: %v", a)
+	}
+}

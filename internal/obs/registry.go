@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically adjustable atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram of int64 observations
+// (latencies in nanoseconds, sizes in bytes). Observations are two
+// atomic adds plus a binary search over the bounds — no locks — so the
+// hot path stays cheap under concurrent searchers.
+type Histogram struct {
+	bounds []int64 // ascending inclusive upper bounds; implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram creates a histogram over the given ascending inclusive
+// upper bounds. An overflow bucket catches values above the last bound.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// ExpBuckets returns n bounds growing geometrically from start by
+// factor: the standard shape for latency and size distributions.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the selected bucket. Values in the overflow
+// bucket report the last bound (the histogram cannot see past it).
+// With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= target && n > 0 {
+			var lo, hi float64
+			if i == 0 {
+				lo, hi = 0, float64(h.bounds[0])
+			} else if i == len(h.bounds) {
+				return float64(h.bounds[len(h.bounds)-1])
+			} else {
+				lo, hi = float64(h.bounds[i-1]), float64(h.bounds[i])
+			}
+			frac := (target - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
+// Registry names counters and histograms. Lookup of an existing metric
+// takes a shared lock; the returned handles are then lock-free, so
+// callers cache them in struct fields and pay nothing per event beyond
+// the atomic adds.
+type Registry struct {
+	mu     sync.RWMutex
+	ctrs   map[string]*Counter
+	hists  map[string]*Histogram
+	bounds map[string][]int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   make(map[string]*Counter),
+		hists:  make(map[string]*Histogram),
+		bounds: make(map[string][]int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.ctrs[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.ctrs[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.ctrs[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls reuse the original bounds).
+func (r *Registry) Histogram(name string, boundsIfNew []int64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram(boundsIfNew)
+	r.hists[name] = h
+	r.bounds[name] = h.bounds
+	return h
+}
+
+// Reset zeroes every metric in place; handles held by callers stay
+// valid.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ctrs {
+		c.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// CounterSnap is one counter in a registry snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: the inclusive upper
+// bound (0 marks the overflow bucket) and its count.
+type BucketSnap struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnap is one histogram in a registry snapshot.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// RegistrySnapshot is a point-in-time copy of every metric, with
+// deterministic ordering: counters and histograms each sorted by name,
+// buckets in bound order. encoding/json preserves struct field and
+// slice order, so the serialized form is stable for golden files and
+// downstream tooling.
+type RegistrySnapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry. Counters and histogram cells are
+// read atomically; the snapshot as a whole is not one atomic cut.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var snap RegistrySnapshot
+	for name, c := range r.ctrs {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	for name, h := range r.hists {
+		hs := HistogramSnap{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+		for i := range h.counts {
+			n := h.counts[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := int64(0) // overflow bucket
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnap{LE: le, Count: n})
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}

@@ -1,0 +1,76 @@
+package postings
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzPostingsRoundTrip throws arbitrary bytes at the record decoder.
+// The contract under attack: DecodeAll must return an error for any
+// malformed input — never panic, never hang, never fabricate postings —
+// and anything it accepts must survive a semantic round trip
+// (re-encode, re-decode, byte-level and structural agreement). The
+// byte form need not round-trip: the decoder tolerates a wrong CTF
+// header, non-minimal varints, and trailing bytes, all of which Encode
+// normalizes away.
+func FuzzPostingsRoundTrip(f *testing.F) {
+	// Seed with well-formed records of each shape the encoder produces...
+	for _, ps := range [][]Posting{
+		{},
+		{{Doc: 0, Positions: []uint32{0}}},
+		{{Doc: 1, Positions: []uint32{1, 5, 9}}, {Doc: 7, Positions: []uint32{2}}},
+		{{Doc: 100, Positions: nil}, {Doc: 4096, Positions: []uint32{65535}}},
+	} {
+		rec, err := Encode(ps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rec)
+	}
+	// ...and with malformed prefixes the decoder must reject cleanly.
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                   // truncated uvarint
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff}) // df huge, body truncated
+	f.Add([]byte{0x00, 0x02, 0x00})       // zero doc gap
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeAll(data)
+		if err != nil {
+			return // rejected: the only acceptable failure mode
+		}
+		enc, err := Encode(ps)
+		if err != nil {
+			t.Fatalf("decoded postings do not re-encode: %v", err)
+		}
+		ps2, err := DecodeAll(enc)
+		if err != nil {
+			t.Fatalf("re-encoded record does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(ps, ps2) {
+			t.Fatalf("round trip changed postings:\n  first  %v\n  second %v", ps, ps2)
+		}
+		// The streaming decoder must agree with the in-memory one on
+		// canonical input.
+		sr := NewStreamReader(bytes.NewReader(enc))
+		var streamed []Posting
+		for {
+			p, ok := sr.Next()
+			if !ok {
+				break
+			}
+			streamed = append(streamed, p)
+		}
+		if sr.Err() != nil {
+			t.Fatalf("stream decode of canonical record failed: %v", sr.Err())
+		}
+		if len(streamed) != len(ps) {
+			t.Fatalf("stream decoded %d postings, in-memory %d", len(streamed), len(ps))
+		}
+		for i := range ps {
+			if streamed[i].Doc != ps[i].Doc || !reflect.DeepEqual(streamed[i].Positions, ps[i].Positions) {
+				t.Fatalf("posting %d: stream %v vs in-memory %v", i, streamed[i], ps[i])
+			}
+		}
+	})
+}

@@ -166,7 +166,14 @@ func (r *Reader) Next() (Posting, bool) {
 	if !ok {
 		return Posting{}, false
 	}
-	positions := make([]uint32, 0, tf)
+	// Cap the pre-allocation by what the remaining bytes could possibly
+	// encode (one byte per position gap minimum), so a corrupt tf header
+	// cannot demand an arbitrarily large allocation.
+	capHint := tf
+	if rem := uint64(len(r.rec) - r.off); capHint > rem {
+		capHint = rem
+	}
+	positions := make([]uint32, 0, capHint)
 	prevPos := int64(-1)
 	for i := uint64(0); i < tf; i++ {
 		pg, ok := r.uvarint()
@@ -192,7 +199,13 @@ func (r *Reader) Next() (Posting, bool) {
 // DecodeAll decodes every posting in rec.
 func DecodeAll(rec []byte) ([]Posting, error) {
 	r := NewReader(rec)
-	ps := make([]Posting, 0, r.DF())
+	// Each posting needs at least two bytes (doc gap + tf), so cap the
+	// pre-allocation accordingly rather than trusting a corrupt df header.
+	capHint := r.DF()
+	if rem := uint64(len(rec)) / 2; capHint > rem {
+		capHint = rem
+	}
+	ps := make([]Posting, 0, capHint)
 	for {
 		p, ok := r.Next()
 		if !ok {

@@ -89,7 +89,14 @@ func (sr *StreamReader) Next() (Posting, bool) {
 	if sr.err != nil {
 		return Posting{}, false
 	}
-	positions := make([]uint32, 0, tf)
+	// The stream length is unknown, so bound the pre-allocation with a
+	// fixed hint; append grows it for genuinely large position lists,
+	// while a corrupt tf header cannot demand gigabytes up front.
+	capHint := tf
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	positions := make([]uint32, 0, capHint)
 	prevPos := int64(-1)
 	for i := uint64(0); i < tf; i++ {
 		pg := sr.uvarint()

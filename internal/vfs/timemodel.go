@@ -1,6 +1,10 @@
 package vfs
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // TimeModel converts I/O counters and retrieval-engine work into
 // estimated elapsed time for a 1993-era platform. The paper measured a
@@ -40,6 +44,20 @@ func Model1993() TimeModel {
 		CopyPerByte:       100 * time.Nanosecond,
 		PostingCost:       9 * time.Microsecond,
 		QueryOverhead:     25 * time.Millisecond,
+	}
+}
+
+// Costs adapts the time model to the obs cost model, so traces and
+// benches convert per-span event counts into the same deterministic
+// 1993-machine estimates the experiment tables report.
+func (m TimeModel) Costs() obs.CostModel {
+	return obs.CostModel{
+		DiskReadNS:    m.DiskReadPerBlock.Nanoseconds(),
+		DiskWriteNS:   m.DiskWritePerBlock.Nanoseconds(),
+		SyscallNS:     m.SyscallOverhead.Nanoseconds(),
+		CopyPerByteNS: float64(m.CopyPerByte.Nanoseconds()),
+		PostingNS:     m.PostingCost.Nanoseconds(),
+		QueryNS:       m.QueryOverhead.Nanoseconds(),
 	}
 }
 

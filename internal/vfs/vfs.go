@@ -29,6 +29,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // DefaultBlockSize is the disk transfer block size used throughout the
@@ -115,6 +117,11 @@ type FS struct {
 	// faults, when non-nil, is consulted on every read, write, and sync
 	// (see FaultPlan).
 	faults *FaultPlan
+	// rec, when non-nil, receives per-access trace events (file access,
+	// disk read/write, cache hit, bytes moved) attributed to the
+	// caller's current span. Nil when tracing is off — the hot path
+	// pays one branch.
+	rec obs.Recorder
 }
 
 // New creates an empty file system.
@@ -207,6 +214,16 @@ func (fs *FS) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// SetRecorder attaches (or, with nil, detaches) a trace recorder that
+// observes every subsequent read, write, and sync. Recorders are for
+// single-stream diagnostic tracing: attach one only while no other
+// goroutine is using the file system.
+func (fs *FS) SetRecorder(r obs.Recorder) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rec = r
 }
 
 // Chill purges the OS block cache, mimicking the paper's procedure of
@@ -304,6 +321,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("vfs: read %q: %w", f.fd.name, err)
 	}
 	fs.stats.FileAccesses++
+	if fs.rec != nil {
+		fs.rec.Event(obs.EvFileAccess, f.fd.name, 1)
+	}
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -316,8 +336,17 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		n = int(f.fd.size - off)
 		short = true
 	}
-	fs.touchBlocks(f.fd, off, int64(n), true)
+	blocks, hits := fs.touchBlocks(f.fd, off, int64(n), true)
 	fs.stats.BytesRead += int64(n)
+	if fs.rec != nil {
+		fs.rec.Event(obs.EvBytesRead, f.fd.name, int64(n))
+		if hits > 0 {
+			fs.rec.Event(obs.EvCacheHit, f.fd.name, hits)
+		}
+		if miss := blocks - hits; miss > 0 {
+			fs.rec.Event(obs.EvDiskRead, f.fd.name, miss)
+		}
+	}
 	f.copyOut(p[:n], off)
 	if short {
 		return n, io.EOF
@@ -351,14 +380,21 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		p = p[:allow] // torn write: the leading block still lands
 	}
 	fs.stats.FileWrites++
+	if fs.rec != nil {
+		fs.rec.Event(obs.EvFileWrite, f.fd.name, 1)
+	}
 	if len(p) == 0 {
 		return 0, ferr
 	}
 	end := off + int64(len(p))
 	fs.ensureSize(f.fd, end)
 	fs.stats.BytesWritten += int64(len(p))
-	nblocks := fs.touchBlocks(f.fd, off, int64(len(p)), false)
+	nblocks, _ := fs.touchBlocks(f.fd, off, int64(len(p)), false)
 	fs.stats.DiskWrites += nblocks
+	if fs.rec != nil {
+		fs.rec.Event(obs.EvBytesWritten, f.fd.name, int64(len(p)))
+		fs.rec.Event(obs.EvDiskWrite, f.fd.name, nblocks)
+	}
 	f.copyIn(p, off)
 	return len(p), ferr
 }
@@ -426,11 +462,12 @@ func (fs *FS) ensureSize(fd *fileData, size int64) {
 
 // touchBlocks walks every block overlapped by [off, off+n) and, when
 // counting reads, classifies each as an OS cache hit or a disk read. It
-// returns the number of blocks spanned. Callers must hold fs.mu.
-func (fs *FS) touchBlocks(fd *fileData, off, n int64, read bool) int64 {
+// returns the number of blocks spanned and, for reads, how many were
+// cache hits. Callers must hold fs.mu.
+func (fs *FS) touchBlocks(fd *fileData, off, n int64, read bool) (count, hits int64) {
 	first := off / int64(fs.blockSize)
 	last := (off + n - 1) / int64(fs.blockSize)
-	count := last - first + 1
+	count = last - first + 1
 	for b := first; b <= last; b++ {
 		if fs.cache == nil {
 			if read {
@@ -441,6 +478,7 @@ func (fs *FS) touchBlocks(fd *fileData, off, n int64, read bool) int64 {
 		if fs.cache.touch(fd.id, b) {
 			if read {
 				fs.stats.CacheHits++
+				hits++
 			}
 		} else {
 			if read {
@@ -449,7 +487,7 @@ func (fs *FS) touchBlocks(fd *fileData, off, n int64, read bool) int64 {
 			fs.cache.insert(fd.id, b)
 		}
 	}
-	return count
+	return count, hits
 }
 
 // copyOut copies file bytes [off, off+len(p)) into p. Callers must hold
