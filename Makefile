@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet faults fuzz check bench gobench
+.PHONY: all build test race fmt vet faults fuzz soak check bench gobench
 
 all: check
 
@@ -40,7 +40,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPostingsRoundTrip -fuzztime 5s ./internal/postings/
 	$(GO) test -run '^$$' -fuzz FuzzBTreeInsertLookup -fuzztime 5s ./internal/btree/
 
-check: fmt vet test faults race fuzz
+# Chaos soak: randomized-but-seeded fault schedules (probabilistic,
+# periodic, and transient injection) over the full query matrix on both
+# backends, with retry, breaker, admission gate, and per-query deadlines
+# all engaged. Asserts the resilience invariant: every query either
+# matches the clean-run ranking exactly or carries a typed shed /
+# deadline / degraded label — never a silent wrong result. SOAK_ROUNDS
+# scales the schedule (default 4 in-test; ~5s at 1000).
+soak:
+	SOAK_ROUNDS=1000 $(GO) test -count=1 -run TestChaosSoak ./internal/core/
+
+check: fmt vet test faults race fuzz soak
 
 # Query-latency regression gate: runs the standard query mixes over both
 # backends (cmd/repro -bench) and diffs the per-stage p95 quantiles

@@ -10,10 +10,18 @@
 //
 // The query language supports bare terms plus #sum, #wsum, #and, #or,
 // #not, #max, #syn, #phrase, #odN, #uwN, #filreq, and #filrej.
+//
+// Exit codes: 0 all queries completed cleanly; 1 hard failure (bad
+// flags, unreadable image, or a query error that is neither shed nor
+// deadline); 3 at least one query was shed by admission control
+// (-max-inflight); 4 results may be incomplete — corrupt records were
+// skipped in -degraded mode or a -deadline cut a query short.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +31,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/lexicon"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
+)
+
+// Exit codes beyond the conventional 0/1, so scripts can distinguish
+// load shedding from data damage without parsing output.
+const (
+	exitShed     = 3 // at least one query rejected by admission control
+	exitDegraded = 4 // partial results: corrupt records skipped or deadline hit
 )
 
 func main() {
@@ -43,6 +59,11 @@ func main() {
 	explain := flag.Bool("explain", false, "print the belief breakdown for each query's top document")
 	degraded := flag.Bool("degraded", false, "skip unreadable inverted-list records instead of aborting (counted in -stats)")
 	trace := flag.Bool("trace", false, "print a per-query span tree (lexicon, fetch, fault-in, score) with real and simulated durations")
+	deadline := flag.Duration("deadline", 0, "per-query deadline; an expired query returns its partial ranking (0 = none)")
+	maxInflight := flag.Int("max-inflight", 0, "bound on concurrently admitted queries; excess queries wait -queue-wait then are shed (0 = unbounded)")
+	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit query may wait for admission before being shed")
+	retries := flag.Int("retries", 1, "read attempts per storage fault-in; >1 retries transient faults with capped backoff")
+	breaker := flag.Int("breaker", 0, "consecutive-failure threshold that opens a per-pool circuit breaker (0 = disabled)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -75,6 +96,15 @@ func main() {
 	if *degraded {
 		opts = append(opts, core.WithDegraded())
 	}
+	if *maxInflight > 0 {
+		opts = append(opts, core.WithMaxInFlight(*maxInflight, *queueWait))
+	}
+	if *retries > 1 {
+		opts = append(opts, core.WithRetry(*retries))
+	}
+	if *breaker > 0 {
+		opts = append(opts, core.WithBreaker(*breaker, 0))
+	}
 	if kind == core.BackendMneme && *cache {
 		opts = append(opts, core.WithPlan(planFromDictionary(fs, *name)))
 	}
@@ -94,6 +124,8 @@ func main() {
 		}
 	}
 
+	hardErrs := 0
+
 	run := func(q string) {
 		q = strings.TrimSpace(q)
 		if q == "" {
@@ -103,18 +135,35 @@ func main() {
 		var err error
 		switch {
 		case *trace:
+			// Tracing is a diagnostic replay; -deadline is not applied.
 			var tr *obs.Trace
 			res, tr, err = eng.TraceSearch(q, *topK, *daat)
 			if tr != nil {
 				fmt.Print(tr.Render(vfs.Model1993().Costs()))
 			}
-		case *daat:
-			res, err = eng.SearchDAAT(q, *topK)
 		default:
-			res, err = eng.Search(q, *topK)
+			ctx := context.Background()
+			if *deadline > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *deadline)
+				defer cancel()
+			}
+			if *daat {
+				res, err = eng.SearchDAATCtx(ctx, q, *topK)
+			} else {
+				res, err = eng.SearchCtx(ctx, q, *topK)
+			}
 		}
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, resilience.ErrShed):
+			fmt.Println("  (query shed by admission control)")
+			return
+		case errors.Is(err, resilience.ErrDeadline):
+			fmt.Println("  (deadline exceeded; partial ranking)")
+		default:
 			fmt.Fprintln(os.Stderr, "  error:", err)
+			hardErrs++
 			return
 		}
 		printResults(res)
@@ -150,15 +199,31 @@ func main() {
 		// loop regardless of -workers.
 		if *workers > 1 && !*daat && !*trace {
 			// Parallel batch: evaluate with the worker pool, then print
-			// per-query rankings in input order.
-			res, err := eng.SearchBatch(queries,
-				core.Parallelism(*workers), core.TopK(*topK))
+			// per-query outcomes in input order. Shed and deadline
+			// conditions are labelled, not fatal; hard errors are
+			// reported per query and reflected in the exit code.
+			out, err := eng.SearchBatchCtx(nil, queries,
+				core.Parallelism(*workers), core.TopK(*topK),
+				core.QueryTimeout(*deadline))
 			if err != nil {
 				fail(err)
 			}
 			for i, q := range queries {
 				fmt.Printf("query: %s\n", q)
-				printResults(res[i])
+				o := out[i]
+				switch {
+				case o.Err == nil:
+				case errors.Is(o.Err, resilience.ErrShed):
+					fmt.Println("  (query shed by admission control)")
+					continue
+				case errors.Is(o.Err, resilience.ErrDeadline):
+					fmt.Println("  (deadline exceeded; partial ranking)")
+				default:
+					fmt.Fprintln(os.Stderr, "  error:", o.Err)
+					hardErrs++
+					continue
+				}
+				printResults(o.Results)
 			}
 		} else {
 			for _, q := range queries {
@@ -206,6 +271,34 @@ func main() {
 			fmt.Printf("buffer %-7s refs %-6d hits %-6d rate %.2f\n",
 				pool, bs.Refs, bs.Hits, bs.HitRate())
 		}
+		if rs := snap.Resilience; rs != nil {
+			fmt.Printf("resilience: %d retried reads, %d deadline hits, %d shed",
+				rs.RetriedReads, rs.DeadlineHits, rs.Shed)
+			if rs.MaxInFlight > 0 {
+				fmt.Printf(", %d/%d in flight", rs.InFlight, rs.MaxInFlight)
+			}
+			fmt.Println()
+			names := make([]string, 0, len(rs.Breakers))
+			for n := range rs.Breakers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				b := rs.Breakers[n]
+				fmt.Printf("breaker %-7s %-8s opens %-4d rejects %-4d probes %d\n",
+					n, b.State, b.Opens, b.Rejects, b.Probes)
+			}
+		}
+	}
+
+	c := eng.Counters()
+	switch {
+	case hardErrs > 0:
+		os.Exit(1)
+	case c.Shed > 0:
+		os.Exit(exitShed)
+	case c.CorruptRecords > 0 || c.DeadlineHits > 0:
+		os.Exit(exitDegraded)
 	}
 }
 

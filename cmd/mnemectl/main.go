@@ -8,6 +8,7 @@
 //	mnemectl -index index.img -store mycol.mn histogram
 //	mnemectl -index index.img -store mycol.mn verify
 //	mnemectl -index index.img -store mycol.mn fsck
+//	mnemectl -index index.img -store mycol.mn scrub
 //	mnemectl -index index.img -store mycol.mn snapshot
 //	mnemectl -index index.img -store mycol.mn -out compact.img copy
 package main
@@ -16,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mneme"
@@ -27,6 +30,8 @@ func main() {
 	imgPath := flag.String("index", "index.img", "index image path")
 	storeName := flag.String("store", "", "store file name inside the image (e.g. mycol.mn)")
 	outPath := flag.String("out", "compact.img", "output image for the copy command")
+	scrubBatch := flag.Int("scrub-batch", 0, "segments verified per lock acquisition in the scrub command (0 = default)")
+	scrubPause := flag.Duration("scrub-pause", 0, "pause between scrub batches (rate limit; 0 = none)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -138,6 +143,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("clean")
+	case "scrub":
+		// Online background verification: like fsck, but in rate-limited
+		// batches that release the store lock between acquisitions, so a
+		// live store keeps serving queries. Corrupt segments that are
+		// still current at the end of the pass are reported as
+		// quarantine candidates. Exits 1 when any candidate is found.
+		start := time.Now()
+		rep, err := st.Scrub(mneme.ScrubOptions{
+			BatchSegments: *scrubBatch,
+			Pause:         *scrubPause,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("scrub %s: %d segments, %d KB checksummed in %v\n",
+			*storeName, rep.Segments, rep.Bytes/1024, time.Since(start).Round(time.Millisecond))
+		for _, issue := range rep.Candidates {
+			fmt.Fprintln(os.Stderr, "  quarantine candidate:", issue.String())
+		}
+		if !rep.Clean() {
+			pools := make([]string, 0, len(rep.PerPool))
+			for p := range rep.PerPool {
+				pools = append(pools, p)
+			}
+			sort.Strings(pools)
+			for _, p := range pools {
+				fmt.Printf("  pool %-8s %d candidate(s)\n", p, rep.PerPool[p])
+			}
+			fmt.Printf("%d quarantine candidate(s)\n", len(rep.Candidates))
+			os.Exit(1)
+		}
+		fmt.Println("clean")
 	case "snapshot":
 		// The unified engine snapshot: open the collection the store
 		// belongs to and print the stable JSON encoding.
@@ -175,6 +212,6 @@ func main() {
 		fmt.Printf("copied %s: %d KB -> %d KB (image %s, store %s.compact)\n",
 			*storeName, before/1024, f2.Size()/1024, *outPath, *storeName)
 	default:
-		fail(fmt.Errorf("unknown command %q (stats, histogram, verify, fsck, snapshot, copy)", cmd))
+		fail(fmt.Errorf("unknown command %q (stats, histogram, verify, fsck, scrub, snapshot, copy)", cmd))
 	}
 }

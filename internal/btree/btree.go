@@ -26,9 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/vfs"
 )
 
@@ -100,6 +102,36 @@ type Tree struct {
 	// rec, when non-nil, receives a node-read event per uncached page
 	// fetched from the file. Nil when tracing is off.
 	rec obs.Recorder
+	// guard, when non-nil, wraps node-page and extent reads with
+	// transient-fault retry and a circuit breaker for the tree file.
+	// Attached through SetResilience; nil costs one branch per read.
+	guard *resilience.Guard
+}
+
+// SetResilience attaches (or, with nil, detaches) a fault-in guard
+// wrapping every node-page and record-extent read. Retried reads are
+// counted by the guard's Retry; a breaker that opens fails reads fast
+// with an error chaining to resilience.ErrBreakerOpen (the pinned root
+// and cached internal nodes keep being served).
+func (t *Tree) SetResilience(g *resilience.Guard) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.guard = g
+}
+
+// transientRead classifies reads worth retrying: injected device faults
+// and short reads, never checksum corruption (re-reading rotted bytes
+// cannot help).
+func transientRead(err error) bool {
+	return errors.Is(err, vfs.ErrInjected) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// readFull reads through the guard when one is attached.
+func (t *Tree) readFull(dst []byte, off int64) error {
+	if t.guard == nil {
+		return vfs.ReadFull(t.file, dst, off)
+	}
+	return t.guard.Do(func() error { return vfs.ReadFull(t.file, dst, off) }, transientRead)
 }
 
 // SetRecorder attaches (or, with nil, detaches) a trace recorder that
@@ -249,7 +281,7 @@ func (t *Tree) Lookup(key uint32) ([]byte, bool, error) {
 		return out, true, nil
 	}
 	rec := make([]byte, v.extLen)
-	if err := vfs.ReadFull(t.file, rec, v.extOff); err != nil {
+	if err := t.readFull(rec, v.extOff); err != nil {
 		return nil, false, err
 	}
 	return rec, true, nil
@@ -435,7 +467,7 @@ func (t *Tree) rangeNode(n *node, fn func(uint32, []byte) bool) (stopped bool, e
 				rec = append([]byte(nil), v.inline...)
 			} else {
 				rec = make([]byte, v.extLen)
-				if err := vfs.ReadFull(t.file, rec, v.extOff); err != nil {
+				if err := t.readFull(rec, v.extOff); err != nil {
 					return false, err
 				}
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/resilience"
 	"repro/internal/vfs"
 )
 
@@ -112,5 +113,78 @@ func TestReopenAfterCleanCloseVerifies(t *testing.T) {
 	}
 	if n != keys {
 		t.Fatalf("reopened tree has %d records, want %d", n, keys)
+	}
+}
+
+// TestTreeRetryRecoversTransientFault: a transient injected read on a
+// node page or extent is recovered by the guard's retry budget.
+func TestTreeRetryRecoversTransientFault(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192})
+	tr, keys := buildTree(t, fs, "rt.bt")
+	defer tr.Close()
+	retry := resilience.NewRetry(resilience.DefaultRetryPolicy())
+	tr.SetResilience(&resilience.Guard{Label: "btree", Retry: retry})
+
+	fs.SetFaultPlan(vfs.NewFaultPlan(1).FailReadEvery(1).Once())
+	rec, ok, err := tr.Lookup(uint32(keys / 2))
+	if err != nil || !ok {
+		t.Fatalf("Lookup with transient fault: ok=%v err=%v", ok, err)
+	}
+	if len(rec) == 0 {
+		t.Fatal("empty record")
+	}
+	if retry.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", retry.Retries())
+	}
+	fs.SetFaultPlan(nil)
+}
+
+// TestTreeBreakerFailsFast: a persistent outage opens the tree's
+// breaker; while open, lookups needing uncached pages fail fast with
+// ErrBreakerOpen and do not touch the file.
+func TestTreeBreakerFailsFast(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192})
+	tr, keys := buildTree(t, fs, "bk.bt")
+	defer tr.Close()
+	br := resilience.NewBreaker(resilience.BreakerPolicy{FailureThreshold: 2, Cooldown: 100})
+	tr.SetResilience(&resilience.Guard{Label: "btree", Breaker: br})
+
+	fs.SetFaultPlan(vfs.NewFaultPlan(1).FailReadEvery(1))
+	for i := 0; i < 2; i++ {
+		if _, _, err := tr.Lookup(uint32(i)); !errors.Is(err, vfs.ErrInjected) {
+			t.Fatalf("Lookup #%d = %v, want ErrInjected", i, err)
+		}
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker state = %v, want Open", br.State())
+	}
+	before := fs.Stats().FileAccesses
+	if _, _, err := tr.Lookup(uint32(keys - 1)); !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("open breaker Lookup = %v, want ErrBreakerOpen", err)
+	}
+	if got := fs.Stats().FileAccesses; got != before {
+		t.Fatalf("open breaker touched the file: %d accesses, want %d", got, before)
+	}
+	fs.SetFaultPlan(nil)
+}
+
+// TestTreeCorruptionNotRetried: a rotted page is corruption, not a
+// transient fault — the retry budget is not spent on it.
+func TestTreeCorruptionNotRetried(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192})
+	tr, _ := buildTree(t, fs, "rot2.bt")
+	defer tr.Close()
+	retry := resilience.NewRetry(resilience.DefaultRetryPolicy())
+	tr.SetResilience(&resilience.Guard{Label: "btree", Retry: retry})
+
+	page := leftmostLeafPage(t, tr)
+	if err := fs.FlipByte("rot2.bt", int64(page)*PageSize+10, 0x08); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Lookup(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Lookup = %v, want ErrCorrupt", err)
+	}
+	if retry.Retries() != 0 {
+		t.Fatalf("Retries = %d, want 0 (corruption is not retryable)", retry.Retries())
 	}
 }

@@ -8,7 +8,6 @@ import (
 	"sync"
 
 	"repro/internal/obs"
-	"repro/internal/vfs"
 )
 
 // leafVal is a leaf cell payload: either an inline record or a pointer
@@ -200,7 +199,7 @@ func parseNode(page uint32, buf []byte) (*node, error) {
 // or flipped bit surfaces as ErrCorrupt before any cell is decoded.
 func (t *Tree) readNode(page uint32) (*node, error) {
 	buf := make([]byte, PageSize)
-	if err := vfs.ReadFull(t.file, buf, int64(page)*PageSize); err != nil {
+	if err := t.readFull(buf, int64(page)*PageSize); err != nil {
 		return nil, fmt.Errorf("btree: read page %d: %w", page, err)
 	}
 	want := binary.LittleEndian.Uint32(buf[pagePayload:])

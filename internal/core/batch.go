@@ -1,14 +1,20 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
 )
 
 // batchConfig holds batch-driver settings.
 type batchConfig struct {
 	parallelism int
 	topK        int
+	timeout     time.Duration
 }
 
 // BatchOption configures SearchBatch.
@@ -30,11 +36,45 @@ func TopK(k int) BatchOption {
 	return func(c *batchConfig) { c.topK = k }
 }
 
+// QueryTimeout gives every query in the batch its own deadline. An
+// expired query contributes its partial ranking (tagged in the driver's
+// per-query outcome, or silently truncated-and-counted for SearchBatch —
+// see Counters.DeadlineHits) and the batch moves on.
+func QueryTimeout(d time.Duration) BatchOption {
+	return func(c *batchConfig) { c.timeout = d }
+}
+
+// searchOne evaluates one batch query under the per-query timeout.
+func searchOne(ctx context.Context, s *Searcher, query string, cfg *batchConfig) ([]Result, error) {
+	if cfg.timeout <= 0 {
+		return s.SearchCtx(ctx, query, cfg.topK)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	qctx, cancel := context.WithTimeout(ctx, cfg.timeout)
+	defer cancel()
+	return s.SearchCtx(qctx, query, cfg.topK)
+}
+
+// resilienceOutcome reports whether an error is a typed per-query
+// resilience condition — shed by admission control or cut short by a
+// deadline — rather than a hard failure. Typed conditions are expected
+// under load and never abort a batch.
+func resilienceOutcome(err error) bool {
+	return errors.Is(err, resilience.ErrShed) || errors.Is(err, resilience.ErrDeadline)
+}
+
 // SearchBatch evaluates queries over the engine and returns per-query
 // rankings in query order. With Parallelism(n), n workers pull queries
 // from a shared feed, each on its own Searcher; rankings and aggregate
-// counters are identical to a serial run. The first query error stops
-// the feed and is returned alongside the results completed so far.
+// counters are identical to a serial run. The first hard query error
+// stops the feed and is returned alongside the results completed so
+// far. Typed resilience outcomes (shed, deadline — possible only under
+// WithMaxInFlight or QueryTimeout) are not hard errors: the query's
+// partial results are kept, the condition is counted in the engine
+// counters, and the batch continues. Use SearchBatchCtx to see those
+// conditions per query.
 func (e *Engine) SearchBatch(queries []string, opts ...BatchOption) ([][]Result, error) {
 	cfg := batchConfig{parallelism: 1}
 	for _, o := range opts {
@@ -51,8 +91,8 @@ func (e *Engine) SearchBatch(queries []string, opts ...BatchOption) ([][]Result,
 	if workers == 1 {
 		s := e.Acquire()
 		for i, q := range queries {
-			r, err := s.Search(q, cfg.topK)
-			if err != nil {
+			r, err := searchOne(nil, s, q, &cfg)
+			if err != nil && !resilienceOutcome(err) {
 				return results, err
 			}
 			results[i] = r
@@ -77,8 +117,8 @@ func (e *Engine) SearchBatch(queries []string, opts ...BatchOption) ([][]Result,
 				if i >= len(queries) {
 					return
 				}
-				r, err := s.Search(queries[i], cfg.topK)
-				if err != nil {
+				r, err := searchOne(nil, s, queries[i], &cfg)
+				if err != nil && !resilienceOutcome(err) {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 					return
@@ -89,4 +129,73 @@ func (e *Engine) SearchBatch(queries []string, opts ...BatchOption) ([][]Result,
 	}
 	wg.Wait()
 	return results, firstErr
+}
+
+// BatchOutcome is one query's result from SearchBatchCtx: the ranking
+// (possibly partial) and the query's own error. Err chains to
+// resilience.ErrShed when admission control rejected the query, to
+// resilience.ErrDeadline when it was cut short (Results then holds the
+// partial ranking), or carries the hard failure that aborted it.
+type BatchOutcome struct {
+	Results []Result
+	Err     error
+}
+
+// SearchBatchCtx evaluates queries like SearchBatch but reports every
+// query's individual outcome instead of collapsing to first-error: no
+// query error — typed or hard — stops the feed. Only the batch context
+// itself ends the run early, in which case the outcomes completed so
+// far are returned together with ctx.Err(); unreached queries have nil
+// Results and nil Err. The per-query context passed to each evaluation
+// derives from ctx, bounded by QueryTimeout when set.
+func (e *Engine) SearchBatchCtx(ctx context.Context, queries []string, opts ...BatchOption) ([]BatchOutcome, error) {
+	cfg := batchConfig{parallelism: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	out := make([]BatchOutcome, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	batchDone := func() bool { return ctx != nil && ctx.Err() != nil }
+	workers := cfg.parallelism
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		s := e.Acquire()
+		for i, q := range queries {
+			if batchDone() {
+				return out, ctx.Err()
+			}
+			r, err := searchOne(ctx, s, q, &cfg)
+			out[i] = BatchOutcome{Results: r, Err: err}
+		}
+		return out, nil
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.Acquire()
+			for !batchDone() {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				r, err := searchOne(ctx, s, queries[i], &cfg)
+				out[i] = BatchOutcome{Results: r, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	if batchDone() {
+		return out, ctx.Err()
+	}
+	return out, nil
 }

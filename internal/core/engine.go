@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/inference"
 	"repro/internal/lexicon"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 )
@@ -21,10 +23,23 @@ type Counters struct {
 	Queries      int64 `json:"queries"`       // queries evaluated
 	BytesFetched int64 `json:"bytes_fetched"` // record bytes fetched from the backend
 	// CorruptRecords counts inverted-list records skipped because their
-	// storage failed checksum or I/O on fetch. Always zero unless the
+	// storage failed checksum or I/O on fetch — including fast-fail
+	// rejections from an open circuit breaker. Always zero unless the
 	// engine was opened WithDegraded; without it corruption aborts the
 	// query instead of being counted.
 	CorruptRecords int64 `json:"corrupt_records"`
+	// RetriedReads counts transient record fault-in failures that a
+	// retry recovered (the caller never saw them). Always zero unless
+	// the engine was opened WithRetry. Engine-level: individual
+	// searchers report zero here; Engine.Counters fills it in.
+	RetriedReads int64 `json:"retried_reads"`
+	// DeadlineHits counts queries cut short by their context deadline:
+	// the query returned partial results tagged resilience.ErrDeadline.
+	DeadlineHits int64 `json:"deadline_hits"`
+	// Shed counts queries rejected by admission control (WithMaxInFlight)
+	// with resilience.ErrShed. Shed queries are not counted in Queries —
+	// they were never evaluated.
+	Shed int64 `json:"shed"`
 }
 
 // Add returns the field-wise sum of c and d.
@@ -35,6 +50,9 @@ func (c Counters) Add(d Counters) Counters {
 		Queries:        c.Queries + d.Queries,
 		BytesFetched:   c.BytesFetched + d.BytesFetched,
 		CorruptRecords: c.CorruptRecords + d.CorruptRecords,
+		RetriedReads:   c.RetriedReads + d.RetriedReads,
+		DeadlineHits:   c.DeadlineHits + d.DeadlineHits,
+		Shed:           c.Shed + d.Shed,
 	}
 }
 
@@ -46,16 +64,23 @@ func (c Counters) Sub(d Counters) Counters {
 		Queries:        c.Queries - d.Queries,
 		BytesFetched:   c.BytesFetched - d.BytesFetched,
 		CorruptRecords: c.CorruptRecords - d.CorruptRecords,
+		RetriedReads:   c.RetriedReads - d.RetriedReads,
+		DeadlineHits:   c.DeadlineHits - d.DeadlineHits,
+		Shed:           c.Shed - d.Shed,
 	}
 }
 
 // atomicCounters is the engine-level aggregate of all searchers' work.
+// RetriedReads has no slot: retries are counted engine-wide by the
+// shared resilience.Retry, not per searcher.
 type atomicCounters struct {
 	lookups        atomic.Int64
 	postings       atomic.Int64
 	queries        atomic.Int64
 	bytesFetched   atomic.Int64
 	corruptRecords atomic.Int64
+	deadlineHits   atomic.Int64
+	shed           atomic.Int64
 }
 
 func (a *atomicCounters) add(d Counters) {
@@ -64,6 +89,8 @@ func (a *atomicCounters) add(d Counters) {
 	a.queries.Add(d.Queries)
 	a.bytesFetched.Add(d.BytesFetched)
 	a.corruptRecords.Add(d.CorruptRecords)
+	a.deadlineHits.Add(d.DeadlineHits)
+	a.shed.Add(d.Shed)
 }
 
 func (a *atomicCounters) snapshot() Counters {
@@ -73,6 +100,8 @@ func (a *atomicCounters) snapshot() Counters {
 		Queries:        a.queries.Load(),
 		BytesFetched:   a.bytesFetched.Load(),
 		CorruptRecords: a.corruptRecords.Load(),
+		DeadlineHits:   a.deadlineHits.Load(),
+		Shed:           a.shed.Load(),
 	}
 }
 
@@ -82,6 +111,8 @@ func (a *atomicCounters) reset() {
 	a.queries.Store(0)
 	a.bytesFetched.Store(0)
 	a.corruptRecords.Store(0)
+	a.deadlineHits.Store(0)
+	a.shed.Store(0)
 }
 
 // engineMetrics holds the engine's metrics registry plus cached handles
@@ -95,10 +126,14 @@ type engineMetrics struct {
 	postings *obs.Counter
 	bytes    *obs.Counter
 	corrupt  *obs.Counter
+	retried  *obs.Counter
+	deadline *obs.Counter
+	shed     *obs.Counter
 
 	fetchBytes    *obs.Histogram // bytes per inverted-list record fetch
 	queryLookups  *obs.Histogram // record lookups per query
 	queryPostings *obs.Histogram // posting entries per query
+	gateWait      *obs.Histogram // ns queued before admission (gate only)
 }
 
 func newEngineMetrics() *engineMetrics {
@@ -110,22 +145,30 @@ func newEngineMetrics() *engineMetrics {
 		postings: reg.Counter("postings_total"),
 		bytes:    reg.Counter("bytes_fetched_total"),
 		corrupt:  reg.Counter("corrupt_records_total"),
+		retried:  reg.Counter("retried_reads_total"),
+		deadline: reg.Counter("deadline_hits_total"),
+		shed:     reg.Counter("shed_total"),
 
 		fetchBytes:    reg.Histogram("fetch_bytes", obs.ExpBuckets(16, 4, 10)),
 		queryLookups:  reg.Histogram("query_lookups", obs.ExpBuckets(1, 2, 10)),
 		queryPostings: reg.Histogram("query_postings", obs.ExpBuckets(4, 4, 10)),
+		gateWait:      reg.Histogram("gate_wait_ns", obs.ExpBuckets(1024, 4, 12)),
 	}
 }
 
 // observeQuery folds one searcher flush delta into the metrics. The
 // distributions are of deterministic quantities (counts and bytes, not
-// wall-clock), so snapshots of identical runs are identical.
+// wall-clock), so snapshots of identical runs are identical. The one
+// exception is gate_wait_ns, which is fed only when admission control
+// (WithMaxInFlight) is on — engines without a gate never observe it.
 func (m *engineMetrics) observeQuery(d Counters) {
 	m.queries.Add(d.Queries)
 	m.lookups.Add(d.Lookups)
 	m.postings.Add(d.Postings)
 	m.bytes.Add(d.BytesFetched)
 	m.corrupt.Add(d.CorruptRecords)
+	m.deadline.Add(d.DeadlineHits)
+	m.shed.Add(d.Shed)
 	if d.Queries > 0 {
 		m.queryLookups.Observe(d.Lookups)
 		m.queryPostings.Observe(d.Postings)
@@ -158,6 +201,13 @@ type Engine struct {
 
 	agg atomicCounters
 	met *engineMetrics
+
+	// Resilience state, all nil/zero unless the corresponding options
+	// were given — the default query path costs only nil checks.
+	gate        *resilience.Gate    // admission control (WithMaxInFlight)
+	retry       *resilience.Retry   // shared transient-fault retry budget (WithRetry)
+	treeBreaker *resilience.Breaker // the B-tree file's breaker (WithBreaker)
+	retriedBase int64               // retry count at last ResetCounters
 
 	mu        sync.Mutex // guards accessLog and termUse
 	accessLog []uint32
@@ -210,6 +260,7 @@ func Open(fs *vfs.FS, name string, kind BackendKind, opts ...Option) (*Engine, e
 	if opt.TrackTermUse {
 		e.termUse = make(map[string]int64)
 	}
+	e.initResilience()
 	return e, nil
 }
 
@@ -230,8 +281,15 @@ func (e *Engine) Dictionary() *lexicon.Dictionary { return e.dict }
 func (e *Engine) Analyzer() *textproc.Analyzer { return e.an }
 
 // Counters returns a snapshot of the engine's aggregate work counters:
-// the sum over every searcher's completed calls.
-func (e *Engine) Counters() Counters { return e.agg.snapshot() }
+// the sum over every searcher's completed calls, plus the engine-wide
+// retry recovery count.
+func (e *Engine) Counters() Counters {
+	c := e.agg.snapshot()
+	if e.retry != nil {
+		c.RetriedReads = e.retry.Retries() - e.retriedBase
+	}
+	return c
+}
 
 // Metrics exposes the engine's metrics registry (always on; populated
 // with deterministic distributions by every search).
@@ -242,6 +300,9 @@ func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
 func (e *Engine) ResetCounters() {
 	e.agg.reset()
 	e.met.reg.Reset()
+	if e.retry != nil {
+		e.retriedBase = e.retry.Retries()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.accessLog = nil
@@ -331,6 +392,18 @@ func (e *Engine) Search(query string, topK int) ([]Result, error) {
 // concurrent use.
 func (e *Engine) SearchDAAT(query string, topK int) ([]Result, error) {
 	return e.Acquire().SearchDAAT(query, topK)
+}
+
+// SearchCtx is Search under a context: the query respects ctx's
+// deadline/cancellation and the engine's admission gate. See
+// Searcher.SearchCtx for the full contract.
+func (e *Engine) SearchCtx(ctx context.Context, query string, topK int) ([]Result, error) {
+	return e.Acquire().SearchCtx(ctx, query, topK)
+}
+
+// SearchDAATCtx is SearchDAAT under a context.
+func (e *Engine) SearchDAATCtx(ctx context.Context, query string, topK int) ([]Result, error) {
+	return e.Acquire().SearchDAATCtx(ctx, query, topK)
 }
 
 // NumDocs implements inference.Source.

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/textproc"
+import (
+	"time"
+
+	"repro/internal/textproc"
+)
 
 // EngineOptions configures an opened engine.
 //
@@ -32,6 +36,28 @@ type EngineOptions struct {
 	// rest of the query ranks normally. Without it, the first corrupt
 	// record aborts the query with the storage error.
 	DegradedOK bool
+	// MaxInFlight bounds the number of concurrently admitted queries
+	// (0, the default, means unbounded: no admission control). Queries
+	// arriving at a full engine queue for up to QueueWait and are then
+	// shed with an error chaining to resilience.ErrShed.
+	MaxInFlight int
+	// QueueWait is how long an arriving query may wait for an in-flight
+	// slot before being shed. Zero sheds immediately when full.
+	QueueWait time.Duration
+	// RetryAttempts > 1 wraps backend record fault-ins with a
+	// transient-fault retry budget of that many total attempts.
+	// Zero or one disables retry (the default: a fault surfaces
+	// immediately, which the fault-injection experiments rely on).
+	RetryAttempts int
+	// BreakerThreshold > 0 arms a circuit breaker per storage pool
+	// (per file for the B-tree): that many consecutive fault-in
+	// failures open the breaker, after which fetches fail fast with
+	// resilience.ErrBreakerOpen instead of touching the device.
+	BreakerThreshold int
+	// BreakerCooldown is the number of rejected calls an open breaker
+	// absorbs before admitting a half-open probe. Zero selects the
+	// resilience package default.
+	BreakerCooldown int
 }
 
 // Option configures an engine at Open time.
@@ -85,4 +111,35 @@ func WithChunking(n int) Option {
 // — instead of aborting on the first storage error.
 func WithDegraded() Option {
 	return func(o *EngineOptions) { o.DegradedOK = true }
+}
+
+// WithMaxInFlight bounds concurrent queries to n, queueing arrivals for
+// at most queueWait before shedding them with resilience.ErrShed. The
+// default (no gate) admits everything.
+func WithMaxInFlight(n int, queueWait time.Duration) Option {
+	return func(o *EngineOptions) {
+		o.MaxInFlight = n
+		o.QueueWait = queueWait
+	}
+}
+
+// WithRetry wraps backend record fault-ins with a transient-fault retry
+// budget of attempts total tries (capped-exponential backoff with
+// deterministic seeded jitter). Retries recovered this way surface in
+// Counters.RetriedReads; checksum corruption is never retried.
+func WithRetry(attempts int) Option {
+	return func(o *EngineOptions) { o.RetryAttempts = attempts }
+}
+
+// WithBreaker arms a per-pool circuit breaker: threshold consecutive
+// fault-in failures open it, and an open breaker fails fetches fast
+// (resilience.ErrBreakerOpen) for cooldown rejected calls before
+// admitting a half-open probe. cooldown <= 0 selects the resilience
+// package default. The cooldown is counted in rejected calls, not
+// wall-clock, so breaker behaviour is deterministic under test.
+func WithBreaker(threshold, cooldown int) Option {
+	return func(o *EngineOptions) {
+		o.BreakerThreshold = threshold
+		o.BreakerCooldown = cooldown
+	}
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// initResilience wires the engine's resilience options into the storage
+// layers at Open time. Everything here is opt-in: with no resilience
+// options the engine carries nil fields and the hot paths pay only nil
+// checks, so default behaviour — including which error a fault surfaces
+// as and the benchmark cost profile — is exactly the pre-resilience
+// engine.
+func (e *Engine) initResilience() {
+	o := &e.opts
+	if o.RetryAttempts > 1 {
+		p := resilience.DefaultRetryPolicy()
+		p.MaxAttempts = o.RetryAttempts
+		e.retry = resilience.NewRetry(p)
+		e.retry.OnRetry = func() { e.met.retried.Add(1) }
+	}
+	var bp resilience.BreakerPolicy
+	if o.BreakerThreshold > 0 {
+		bp = resilience.BreakerPolicy{
+			FailureThreshold: o.BreakerThreshold,
+			Cooldown:         o.BreakerCooldown,
+		}
+		if bp.Cooldown <= 0 {
+			bp.Cooldown = resilience.DefaultBreakerPolicy().Cooldown
+		}
+	}
+	if e.retry != nil || bp.FailureThreshold > 0 {
+		switch b := e.backend.(type) {
+		case *mnemeBackend:
+			b.store.SetResilience(e.retry, bp)
+		case *btreeBackend:
+			g := &resilience.Guard{Label: "btree", Retry: e.retry}
+			if bp.FailureThreshold > 0 {
+				e.treeBreaker = resilience.NewBreaker(bp)
+				g.Breaker = e.treeBreaker
+			}
+			b.tree.SetResilience(g)
+		}
+	}
+	if o.MaxInFlight > 0 {
+		e.gate = resilience.NewGate(o.MaxInFlight, o.QueueWait)
+		e.gate.Observe = func(w time.Duration) { e.met.gateWait.Observe(int64(w)) }
+	}
+}
+
+// resilienceConfigured reports whether any resilience option is active.
+func (e *Engine) resilienceConfigured() bool {
+	return e.gate != nil || e.retry != nil || e.opts.BreakerThreshold > 0
+}
+
+// breakerSnaps collects the backend's circuit-breaker snapshots, keyed
+// by pool name ("btree" for the B-tree's single file breaker).
+func (e *Engine) breakerSnaps() map[string]resilience.BreakerSnap {
+	switch b := e.backend.(type) {
+	case *mnemeBackend:
+		return b.store.BreakerSnaps()
+	case *btreeBackend:
+		if e.treeBreaker != nil {
+			return map[string]resilience.BreakerSnap{"btree": e.treeBreaker.Snap()}
+		}
+	}
+	return nil
+}
+
+// ResilienceStats summarizes the engine's request-lifecycle resilience
+// state for the unified snapshot: retry recoveries, deadline and shed
+// counts, gate occupancy, and per-pool breaker states.
+type ResilienceStats struct {
+	RetriedReads int64                             `json:"retried_reads"`
+	DeadlineHits int64                             `json:"deadline_hits"`
+	Shed         int64                             `json:"shed"`
+	MaxInFlight  int                               `json:"max_in_flight,omitempty"`
+	InFlight     int                               `json:"in_flight,omitempty"`
+	Breakers     map[string]resilience.BreakerSnap `json:"breakers,omitempty"`
+}
+
+// ResilienceStats returns the current resilience summary, or nil when
+// no resilience option (WithMaxInFlight, WithRetry, WithBreaker) was
+// given — which keeps Snapshot JSON byte-identical for plain engines.
+func (e *Engine) ResilienceStats() *ResilienceStats {
+	if !e.resilienceConfigured() {
+		return nil
+	}
+	c := e.Counters()
+	rs := &ResilienceStats{
+		RetriedReads: c.RetriedReads,
+		DeadlineHits: c.DeadlineHits,
+		Shed:         c.Shed,
+		Breakers:     e.breakerSnaps(),
+	}
+	if e.gate != nil {
+		rs.MaxInFlight = e.gate.Max()
+		rs.InFlight = e.gate.InFlight()
+	}
+	return rs
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/btree"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/mneme"
 	"repro/internal/obs"
 	"repro/internal/postings"
+	"repro/internal/resilience"
 	"repro/internal/vfs"
 )
 
@@ -38,6 +41,14 @@ type Searcher struct {
 	// events for every record access. Nil during ordinary searches: the
 	// only per-access cost of the tracing facility is this nil check.
 	rec obs.Recorder
+
+	// ctx is the in-flight query's context, set only for the duration
+	// of a SearchCtx/SearchDAATCtx call whose context can actually
+	// expire (ctx.Done() != nil) — plain Search pays one nil check per
+	// boundary and nothing more. deadlined latches the first observed
+	// expiry so DeadlineHits counts queries, not checks.
+	ctx       context.Context
+	deadlined bool
 }
 
 // SetRecorder attaches (nil detaches) a trace recorder to this searcher.
@@ -81,22 +92,64 @@ func (s *Searcher) flush() {
 // Search evaluates a query with term-at-a-time processing and returns
 // the topK documents (topK <= 0 means all).
 func (s *Searcher) Search(query string, topK int) ([]Result, error) {
-	n, err := s.e.normalizeQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	s.counters.Queries++
-	defer s.flush()
-	if n == nil {
-		return nil, nil
-	}
-	pin := s.e.reserve(n)
-	defer pin.Release()
-	return inference.EvaluateTAAT(n, s, topK)
+	return s.SearchCtx(nil, query, topK)
 }
 
 // SearchDAAT evaluates a query document-at-a-time.
 func (s *Searcher) SearchDAAT(query string, topK int) ([]Result, error) {
+	return s.SearchDAATCtx(nil, query, topK)
+}
+
+// SearchCtx evaluates a query under a context. The contract:
+//
+//   - If the engine has an admission gate (WithMaxInFlight) and the
+//     query is shed, the error chains to resilience.ErrShed and no
+//     evaluation happens (Counters.Shed, not Queries).
+//   - If ctx expires mid-query, evaluation stops at the next boundary
+//     (record fault-in, or every posting batch while streaming), the
+//     terms not yet scored are treated as absent, and the partial
+//     ranking is returned together with an error chaining to both
+//     resilience.ErrDeadline and ctx.Err() — a cut-short query is
+//     always labelled, never passed off as a complete ranking.
+//   - A nil or never-expiring ctx behaves exactly like Search.
+func (s *Searcher) SearchCtx(ctx context.Context, query string, topK int) ([]Result, error) {
+	return s.searchCtx(ctx, query, topK, evalTAAT)
+}
+
+// SearchDAATCtx is SearchCtx with document-at-a-time evaluation.
+func (s *Searcher) SearchDAATCtx(ctx context.Context, query string, topK int) ([]Result, error) {
+	return s.searchCtx(ctx, query, topK, evalDAAT)
+}
+
+// evalTAAT and evalDAAT adapt the two evaluators (whose source
+// parameter types differ) to one callback shape for searchCtx.
+func evalTAAT(n *inference.Node, s *Searcher, topK int) ([]Result, error) {
+	return inference.EvaluateTAAT(n, s, topK)
+}
+
+func evalDAAT(n *inference.Node, s *Searcher, topK int) ([]Result, error) {
+	return inference.EvaluateDAAT(n, s, topK)
+}
+
+func (s *Searcher) searchCtx(ctx context.Context, query string, topK int,
+	eval func(*inference.Node, *Searcher, int) ([]Result, error)) ([]Result, error) {
+	if g := s.e.gate; g != nil {
+		if err := g.Acquire(ctx); err != nil {
+			if errors.Is(err, resilience.ErrShed) {
+				s.counters.Shed++
+			} else {
+				s.counters.DeadlineHits++
+			}
+			s.flush()
+			return nil, fmt.Errorf("core: query not admitted: %w", err)
+		}
+		defer g.Release()
+	}
+	s.deadlined = false
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+		defer func() { s.ctx = nil }()
+	}
 	n, err := s.e.normalizeQuery(query)
 	if err != nil {
 		return nil, err
@@ -108,7 +161,29 @@ func (s *Searcher) SearchDAAT(query string, topK int) ([]Result, error) {
 	}
 	pin := s.e.reserve(n)
 	defer pin.Release()
-	return inference.EvaluateDAAT(n, s, topK)
+	res, err := eval(n, s, topK)
+	if err == nil && s.deadlined {
+		err = fmt.Errorf("core: query cut short: %w (%w)", resilience.ErrDeadline, s.ctx.Err())
+	}
+	return res, err
+}
+
+// expired reports whether the in-flight query's context has expired,
+// latching the first hit into Counters.DeadlineHits. Queries without a
+// cancellable context pay exactly this nil check.
+func (s *Searcher) expired() bool {
+	if s.ctx == nil {
+		return false
+	}
+	if s.deadlined {
+		return true
+	}
+	if s.ctx.Err() != nil {
+		s.deadlined = true
+		s.counters.DeadlineHits++
+		return true
+	}
+	return false
 }
 
 // Explain returns the belief breakdown a query assigns to one document.
@@ -153,11 +228,16 @@ func isCorruption(err error) bool {
 }
 
 // degrade decides whether a failed record fetch is survivable: under
-// WithDegraded, a corruption-class error is counted in CorruptRecords
-// and the term is scored as absent; any other error (or a strict
-// engine) aborts the query.
+// WithDegraded, a corruption-class error — or a fast-fail rejection
+// from an open circuit breaker, which shields the rest of the query
+// from a failing pool — is counted in CorruptRecords and the term is
+// scored as absent; any other error (or a strict engine) aborts the
+// query.
 func (s *Searcher) degrade(err error) bool {
-	if !s.e.opts.DegradedOK || !isCorruption(err) {
+	if !s.e.opts.DegradedOK {
+		return false
+	}
+	if !isCorruption(err) && !errors.Is(err, resilience.ErrBreakerOpen) {
 		return false
 	}
 	s.counters.CorruptRecords++
@@ -186,8 +266,12 @@ func (s *Searcher) lookupRef(term string) (uint64, *lexicon.Entry, bool) {
 }
 
 // fetchRecord performs one inverted-list record lookup through the
-// backend.
+// backend. A query whose context has expired fetches nothing more:
+// the term reads as absent and the deadline is reported at query end.
 func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
+	if s.expired() {
+		return nil, false, nil
+	}
 	ref, _, ok := s.lookupRef(term)
 	if !ok {
 		return nil, false, nil
@@ -231,6 +315,9 @@ func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
 // of being materialized first.
 func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error) {
 	e := s.e
+	if s.expired() {
+		return nil, false, nil
+	}
 	ref, entry, ok := s.lookupRef(term)
 	if !ok {
 		return nil, false, nil
@@ -238,7 +325,7 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 	if rs, streams := e.backend.(RecordStreamer); streams {
 		if r, ok := rs.StreamRecord(ref); ok {
 			s.countLookup(term, entry.ListBytes)
-			return &countingIterator{it: postings.NewStreamReader(r), c: &s.counters, rec: s.rec}, true, nil
+			return &countingIterator{it: postings.NewStreamReader(r), s: s, rec: s.rec}, true, nil
 		}
 	}
 	if s.rec != nil {
@@ -255,7 +342,7 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 		return nil, false, err
 	}
 	s.countLookup(term, uint32(len(rec)))
-	return &countingIterator{it: postings.NewReader(rec), c: &s.counters, rec: s.rec}, true, nil
+	return &countingIterator{it: postings.NewReader(rec), s: s, rec: s.rec}, true, nil
 }
 
 // NumDocs implements inference.Source.
@@ -275,21 +362,33 @@ type recordIterator interface {
 	Err() error
 }
 
+// deadlineCheckEvery is how many streamed postings pass between context
+// checks inside a countingIterator — frequent enough to cut a huge list
+// off promptly, rare enough to cost nothing measurable per posting.
+const deadlineCheckEvery = 256
+
 // countingIterator counts postings into the owning searcher's counters
 // as they stream past. The evaluators fully consume iterators before
 // returning, so the counts land before the query's flush. When tracing,
 // each posting also lands as an event on the innermost open span (the
-// DAAT score span during evaluation).
+// DAAT score span during evaluation). Every deadlineCheckEvery postings
+// the owning query's context is checked, so an expired query stops
+// mid-list instead of draining a multi-megabyte stream.
 type countingIterator struct {
 	it  recordIterator
-	c   *Counters
+	s   *Searcher
 	rec obs.Recorder
+	n   int64 // postings streamed, for the periodic deadline check
 }
 
 func (ci *countingIterator) Next() (postings.Posting, bool) {
+	ci.n++
+	if ci.n%deadlineCheckEvery == 0 && ci.s.expired() {
+		return postings.Posting{}, false
+	}
 	p, ok := ci.it.Next()
 	if ok {
-		ci.c.Postings++
+		ci.s.counters.Postings++
 		if ci.rec != nil {
 			ci.rec.Event(obs.EvPostings, "", 1)
 		}

@@ -25,6 +25,10 @@ type Snapshot struct {
 	// plus deterministic distributions (fetch sizes, per-query lookups
 	// and postings), sorted by name.
 	Metrics obs.RegistrySnapshot `json:"metrics"`
+	// Resilience summarizes retry recoveries, deadline and shed counts,
+	// gate occupancy, and breaker states. Nil — and absent from the
+	// JSON — unless a resilience option was given at Open.
+	Resilience *ResilienceStats `json:"resilience,omitempty"`
 }
 
 // Snapshot captures the engine's current aggregate state. It is safe to
@@ -40,6 +44,7 @@ func (e *Engine) Snapshot() Snapshot {
 		Buffers:        e.backend.BufferStats(),
 		CorruptRecords: c.CorruptRecords,
 		Metrics:        e.met.reg.Snapshot(),
+		Resilience:     e.ResilienceStats(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // segRef names one physical segment: the owning pool's index within the
@@ -95,7 +96,15 @@ type Buffer struct {
 	// Store.SetRecorder; nil when tracing is off.
 	rec      obs.Recorder
 	recLabel string
+
+	// guard, when non-nil, wraps segment fault-in with transient-fault
+	// retry and a circuit breaker. Attached through Store.SetResilience;
+	// nil (the default) costs one branch per miss.
+	guard *resilience.Guard
 }
+
+// SetGuard attaches (or, with nil, detaches) the fault-in guard.
+func (b *Buffer) SetGuard(g *resilience.Guard) { b.guard = g }
 
 // SetRecorder attaches (or, with nil, detaches) a trace recorder; label
 // names the owning pool on emitted events and spans.
@@ -161,7 +170,19 @@ func (b *Buffer) Acquire(ref segRef, size int, countRef bool, load func([]byte) 
 		b.rec.Event(obs.EvBufferMiss, b.recLabel, 1)
 		b.rec.BeginSpan(obs.StageFaultIn, b.recLabel)
 	}
-	err := load(data)
+	var err error
+	if b.guard != nil {
+		attempts := 0
+		err = b.guard.Do(func() error {
+			attempts++
+			return load(data)
+		}, transientRead)
+		if attempts > 1 {
+			b.stats.Retries += int64(attempts - 1)
+		}
+	} else {
+		err = load(data)
+	}
 	if b.rec != nil {
 		b.rec.Event(obs.EvFaultInBytes, b.recLabel, int64(size))
 		b.rec.EndSpan()

@@ -191,6 +191,7 @@ type BufferStats struct {
 	Hits      int64 `json:"hits"`      // accesses whose physical segment was resident
 	Loads     int64 `json:"loads"`     // segments transferred from the file
 	Evictions int64 `json:"evictions"` // segments discarded to make room
+	Retries   int64 `json:"retries"`   // transient fault-in failures recovered by retry
 }
 
 // HitRate returns Hits/Refs, or 0 when there were no references.

@@ -1,0 +1,62 @@
+package mneme
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/resilience"
+	"repro/internal/vfs"
+)
+
+// transientRead classifies segment fault-in errors worth retrying: an
+// injected device fault or a short read may succeed on a re-read.
+// Checksum corruption (ErrCorruptSegment) is deliberately excluded —
+// re-reading rotted bytes yields the same rotted bytes, so corruption
+// goes to the degraded path and the scrub report, never the retry loop.
+func transientRead(err error) bool {
+	return errors.Is(err, vfs.ErrInjected) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// SetResilience wraps every pool's segment fault-in with the shared
+// retry budget and (when the policy's FailureThreshold is positive) a
+// per-pool circuit breaker. Passing a nil retry and a zero policy
+// detaches. A pool whose breaker is open fails fault-ins fast with an
+// error chaining to resilience.ErrBreakerOpen; resident segments keep
+// being served, which is the paper's buffer-manager spirit — serve what
+// is resident, bound what is not.
+func (st *Store) SetResilience(retry *resilience.Retry, bp resilience.BreakerPolicy) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.breakers = nil
+	for name, pi := range st.poolIdx {
+		if retry == nil && bp.FailureThreshold <= 0 {
+			st.buffers[pi].SetGuard(nil)
+			continue
+		}
+		g := &resilience.Guard{Label: fmt.Sprintf("mneme pool %q", name), Retry: retry}
+		if bp.FailureThreshold > 0 {
+			g.Breaker = resilience.NewBreaker(bp)
+			if st.breakers == nil {
+				st.breakers = make(map[string]*resilience.Breaker)
+			}
+			st.breakers[name] = g.Breaker
+		}
+		st.buffers[pi].SetGuard(g)
+	}
+}
+
+// BreakerSnaps returns the per-pool circuit-breaker snapshots, keyed by
+// pool name; nil when no breakers are configured.
+func (st *Store) BreakerSnaps() map[string]resilience.BreakerSnap {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(st.breakers) == 0 {
+		return nil
+	}
+	out := make(map[string]resilience.BreakerSnap, len(st.breakers))
+	for name, b := range st.breakers {
+		out[name] = b.Snap()
+	}
+	return out
+}

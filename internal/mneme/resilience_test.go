@@ -1,0 +1,231 @@
+package mneme
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/vfs"
+)
+
+// persistedSegOffset returns the file offset of one persisted segment
+// of the named pool.
+func persistedSegOffset(t *testing.T, st *Store, pool string) int64 {
+	t.Helper()
+	var off int64 = -1
+	for _, p := range st.pools {
+		if p.config().Name != pool {
+			continue
+		}
+		p.persistedSegments(func(seg int32, o int64, size int, crc uint32) {
+			if off < 0 {
+				off = o
+			}
+		})
+	}
+	if off < 0 {
+		t.Fatalf("pool %q has no persisted segment", pool)
+	}
+	return off
+}
+
+// TestBufferRetryRecoversTransientFault: a single injected read fault
+// on segment fault-in is recovered by the retry budget; the caller
+// never sees an error and the recovery is counted in BufferStats.
+func TestBufferRetryRecoversTransientFault(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "retry.mn", paperConfig(1<<20, 1<<20, 1<<20))
+	id, err := st.Allocate("medium", payload(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DropBuffers(); err != nil {
+		t.Fatal(err)
+	}
+	st.SetResilience(resilience.NewRetry(resilience.DefaultRetryPolicy()), resilience.BreakerPolicy{})
+
+	// Fail the next read once: the fault-in's first attempt dies, its
+	// retry lands on a fresh ordinal and succeeds.
+	fs.SetFaultPlan(vfs.NewFaultPlan(1).FailReadEvery(1).Once())
+	got, err := st.Get(id)
+	if err != nil {
+		t.Fatalf("Get with transient fault: %v", err)
+	}
+	if len(got) != 600 {
+		t.Fatalf("got %d bytes, want 600", len(got))
+	}
+	stats := st.BufferStats()["medium"]
+	if stats.Retries != 1 {
+		t.Fatalf("medium pool Retries = %d, want 1", stats.Retries)
+	}
+	fs.SetFaultPlan(nil)
+}
+
+// TestBufferRetryDoesNotRetryCorruption: checksum corruption is not a
+// transient fault — the retry budget must not be spent re-reading
+// rotted bytes, and the caller sees ErrCorruptSegment.
+func TestBufferRetryDoesNotRetryCorruption(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "rot.mn", paperConfig(1<<20, 1<<20, 1<<20))
+	id, err := st.Allocate("large", payload(2, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DropBuffers(); err != nil {
+		t.Fatal(err)
+	}
+	retry := resilience.NewRetry(resilience.DefaultRetryPolicy())
+	st.SetResilience(retry, resilience.BreakerPolicy{})
+	// Rot one byte inside the large object's persisted segment so its
+	// checksum fails on fault-in.
+	off := persistedSegOffset(t, st, "large")
+	if err := fs.FlipByte("rot.mn", off+100, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Get(id)
+	if !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("Get = %v, want ErrCorruptSegment", err)
+	}
+	if retry.Retries() != 0 {
+		t.Fatalf("Retries = %d, want 0 (corruption is not retryable)", retry.Retries())
+	}
+}
+
+// TestPoolBreakerOpensAndRecovers: a persistent read outage trips the
+// pool's breaker after the failure threshold; while open, fault-ins
+// fail fast with ErrBreakerOpen and do not touch the device; after the
+// cooldown a probe closes it again once the outage clears.
+func TestPoolBreakerOpensAndRecovers(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "brk.mn", paperConfig(0, 0, 0)) // no caching: every Get faults in
+	id, err := st.Allocate("medium", payload(3, 700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	policy := resilience.BreakerPolicy{FailureThreshold: 2, Cooldown: 3}
+	st.SetResilience(nil, policy) // no retry: each Get is one breaker observation
+	fs.SetFaultPlan(vfs.NewFaultPlan(1).FailReadEvery(1))
+
+	// Threshold failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := st.Get(id); !errors.Is(err, vfs.ErrInjected) {
+			t.Fatalf("Get #%d = %v, want ErrInjected", i, err)
+		}
+	}
+	snaps := st.BreakerSnaps()
+	if snaps["medium"].State != "open" {
+		t.Fatalf("medium breaker state = %q, want open (snaps: %+v)", snaps["medium"].State, snaps)
+	}
+
+	// Open: fail fast, no device reads.
+	readsBefore := fs.Stats().FileAccesses
+	for i := 0; i < 2; i++ { // cooldown 3: these two are pure rejections
+		if _, err := st.Get(id); !errors.Is(err, resilience.ErrBreakerOpen) {
+			t.Fatalf("open breaker Get = %v, want ErrBreakerOpen", err)
+		}
+	}
+	if got := fs.Stats().FileAccesses; got != readsBefore {
+		t.Fatalf("open breaker touched the device: %d file accesses, want %d", got, readsBefore)
+	}
+
+	// The outage ends; the cooldown's 3rd rejected call becomes the
+	// probe, succeeds, and closes the breaker.
+	fs.SetFaultPlan(nil)
+	if _, err := st.Get(id); err != nil {
+		t.Fatalf("probe Get = %v, want success", err)
+	}
+	snaps = st.BreakerSnaps()
+	if snaps["medium"].State != "closed" {
+		t.Fatalf("medium breaker state = %q, want closed after probe", snaps["medium"].State)
+	}
+	if snaps["medium"].Opens != 1 || snaps["medium"].Probes != 1 {
+		t.Fatalf("snap = %+v, want 1 open and 1 probe", snaps["medium"])
+	}
+	// Back to normal service.
+	if _, err := st.Get(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubFindsQuarantineCandidates: Scrub reports a rotted segment as
+// a per-pool quarantine candidate while a clean store scrubs clean, and
+// the store stays online (reads keep working mid-walk semantics are
+// covered by the batched locking; here we check the report shape).
+func TestScrubFindsQuarantineCandidates(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "scrub.mn", paperConfig(1<<20, 1<<20, 1<<20))
+	var ids []ObjectID
+	for i := 0; i < 50; i++ {
+		id, err := st.Allocate("medium", payload(i, 400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	big, err := st.Allocate("large", payload(99, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.Scrub(ScrubOptions{BatchSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean store: scrub found %v", rep.Candidates)
+	}
+	if rep.Segments == 0 || rep.Bytes == 0 {
+		t.Fatalf("scrub walked nothing: %+v", rep)
+	}
+
+	// Rot a byte inside a persisted segment, using Fsck as the oracle
+	// for how many pool segments the flip actually corrupted.
+	off := persistedSegOffset(t, st, "medium")
+	if err := fs.FlipByte("scrub.mn", off+10, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := st.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt := 0
+	for _, is := range oracle.Issues {
+		if is.Pool != "" {
+			wantCorrupt++
+		}
+	}
+	if wantCorrupt == 0 {
+		t.Fatal("flip missed every persisted segment; test needs a new offset")
+	}
+	rep2, err := st.Scrub(ScrubOptions{BatchSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Candidates) != wantCorrupt {
+		t.Fatalf("scrub found %d candidates, Fsck found %d pool issues", len(rep2.Candidates), wantCorrupt)
+	}
+	total := 0
+	for _, n := range rep2.PerPool {
+		total += n
+	}
+	if total != len(rep2.Candidates) {
+		t.Fatalf("PerPool total %d != %d candidates", total, len(rep2.Candidates))
+	}
+	// The store is still online: reads of clean segments succeed.
+	if _, err := st.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	_ = big
+}

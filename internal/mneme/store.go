@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/vfs"
 )
 
@@ -100,6 +101,10 @@ type Store struct {
 	// locators hold per-pool reference locators for GC; indexes match
 	// pools. nil entries mean the pool's objects hold no references.
 	locators []RefLocator
+
+	// breakers are the per-pool circuit breakers installed by
+	// SetResilience, keyed by pool name; nil when resilience is off.
+	breakers map[string]*resilience.Breaker
 }
 
 // Create makes a new store file with the configured pools.

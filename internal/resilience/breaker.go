@@ -1,0 +1,186 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BreakerState is one of the three classic circuit states.
+type BreakerState int32
+
+const (
+	// Closed: calls flow through; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: calls are rejected without touching the resource.
+	Open
+	// HalfOpen: one probe call is admitted to test recovery.
+	HalfOpen
+)
+
+// String returns the lower-case state name used in snapshots.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// BreakerPolicy configures a Breaker.
+type BreakerPolicy struct {
+	// FailureThreshold is the number of consecutive failures that
+	// trips the breaker open. Values below 1 are treated as 1.
+	FailureThreshold int
+	// Cooldown is the number of rejected calls the breaker absorbs
+	// while open before transitioning to half-open. Measured in
+	// calls, not wall-clock, so breaker behavior is deterministic
+	// under the repo's seeded fault schedules. Values below 1 are
+	// treated as 1.
+	Cooldown int
+}
+
+// DefaultBreakerPolicy trips after 5 consecutive failures and probes
+// again after rejecting 32 calls.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{FailureThreshold: 5, Cooldown: 32}
+}
+
+// Breaker is a three-state (closed/open/half-open) circuit breaker.
+// Unlike the textbook version its open→half-open transition is counted
+// in rejected calls rather than elapsed time: the Nth rejected call
+// after opening is converted into the half-open probe. That keeps the
+// state machine a pure function of the call/outcome sequence, which is
+// what makes the chaos soak reproducible from a seed.
+type Breaker struct {
+	policy BreakerPolicy
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int  // consecutive failures while closed
+	rejected  int  // rejections since opening
+	probing   bool // a half-open probe is in flight
+	opens     int64
+	rejects   int64
+	probes    int64
+	successes int64
+	failTotal int64
+}
+
+// NewBreaker builds a Breaker from the policy.
+func NewBreaker(p BreakerPolicy) *Breaker {
+	if p.FailureThreshold < 1 {
+		p.FailureThreshold = 1
+	}
+	if p.Cooldown < 1 {
+		p.Cooldown = 1
+	}
+	return &Breaker{policy: p}
+}
+
+// Allow reports whether a call may proceed. It returns nil to admit
+// the call (the caller must then report the outcome via Observe) or
+// an error chaining to ErrBreakerOpen to reject it.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		b.rejected++
+		if b.rejected >= b.policy.Cooldown {
+			// Convert this call into the half-open probe.
+			b.state = HalfOpen
+			b.probing = true
+			b.probes++
+			return nil
+		}
+		b.rejects++
+		return ErrBreakerOpen
+	case HalfOpen:
+		if b.probing {
+			// Only one probe at a time; reject concurrent calls.
+			b.rejects++
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		b.probes++
+		return nil
+	}
+	return nil
+}
+
+// Observe reports the outcome of an admitted call. Success while
+// half-open closes the breaker; failure re-opens it and restarts the
+// cooldown. While closed, FailureThreshold consecutive failures open
+// the breaker.
+func (b *Breaker) Observe(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.successes++
+		b.failures = 0
+		if b.state == HalfOpen {
+			b.state = Closed
+			b.probing = false
+			b.rejected = 0
+		}
+		return
+	}
+	b.failTotal++
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.policy.FailureThreshold {
+			b.open()
+		}
+	case HalfOpen:
+		b.probing = false
+		b.open()
+	}
+}
+
+// open transitions to Open and restarts the cooldown. Caller holds mu.
+func (b *Breaker) open() {
+	b.state = Open
+	b.failures = 0
+	b.rejected = 0
+	b.opens++
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnap is the JSON-stable view of a breaker for core.Snapshot.
+type BreakerSnap struct {
+	State     string `json:"state"`
+	Opens     int64  `json:"opens"`
+	Rejects   int64  `json:"rejects"`
+	Probes    int64  `json:"probes"`
+	Successes int64  `json:"successes"`
+	Failures  int64  `json:"failures"`
+}
+
+// Snap returns a consistent snapshot of the breaker's state and
+// lifetime counters.
+func (b *Breaker) Snap() BreakerSnap {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnap{
+		State:     b.state.String(),
+		Opens:     b.opens,
+		Rejects:   b.rejects,
+		Probes:    b.probes,
+		Successes: b.successes,
+		Failures:  b.failTotal,
+	}
+}

@@ -1,0 +1,93 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Gate is a bounded admission-control semaphore for in-flight queries.
+// When all slots are busy, Acquire waits up to the configured
+// queue-wait budget for one to free and then sheds the request with an
+// error chaining to ErrShed. A zero budget sheds immediately on a full
+// gate.
+type Gate struct {
+	sem  chan struct{}
+	wait time.Duration
+	shed atomic.Int64
+
+	// Observe, if set, is called once per admitted request with the
+	// time spent queued (0 for the uncontended fast path). Used to
+	// feed the queue-wait histogram.
+	Observe func(wait time.Duration)
+}
+
+// NewGate builds a gate admitting at most max concurrent requests,
+// each willing to queue for at most queueWait.
+func NewGate(max int, queueWait time.Duration) *Gate {
+	if max < 1 {
+		max = 1
+	}
+	return &Gate{sem: make(chan struct{}, max), wait: queueWait}
+}
+
+// Max returns the in-flight limit.
+func (g *Gate) Max() int { return cap(g.sem) }
+
+// InFlight returns the number of currently admitted requests.
+func (g *Gate) InFlight() int { return len(g.sem) }
+
+// ShedCount returns the number of requests rejected so far.
+func (g *Gate) ShedCount() int64 { return g.shed.Load() }
+
+// Acquire admits the request or rejects it. It returns nil when a slot
+// was obtained (the caller must Release), an error chaining to ErrShed
+// when the gate is full past the queue-wait budget, or ctx.Err()
+// (wrapped in ErrDeadline) when the context expires while queued.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		if g.Observe != nil {
+			g.Observe(0)
+		}
+		return nil
+	default:
+	}
+	if g.wait <= 0 {
+		g.shed.Add(1)
+		return ErrShed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timer := time.NewTimer(g.wait)
+	defer timer.Stop()
+	start := time.Now()
+	select {
+	case g.sem <- struct{}{}:
+		if g.Observe != nil {
+			g.Observe(time.Since(start))
+		}
+		return nil
+	case <-timer.C:
+		g.shed.Add(1)
+		return ErrShed
+	case <-ctx.Done():
+		return &deadlineError{cause: ctx.Err()}
+	}
+}
+
+// Release frees a slot obtained by Acquire.
+func (g *Gate) Release() { <-g.sem }
+
+// deadlineError chains to both ErrDeadline and the underlying context
+// error, so errors.Is works against either.
+type deadlineError struct{ cause error }
+
+func (e *deadlineError) Error() string {
+	return "resilience: deadline while queued: " + e.cause.Error()
+}
+func (e *deadlineError) Is(target error) bool {
+	return target == ErrDeadline || target == e.cause
+}
+func (e *deadlineError) Unwrap() error { return e.cause }

@@ -1,0 +1,42 @@
+package resilience
+
+import "fmt"
+
+// Guard composes a Breaker and a Retry around one fault-in path (a
+// Mneme pool's segment reads, the B-tree's page file). Either field
+// may be nil; a nil *Guard is a pass-through, so call sites pay one
+// nil check when resilience is not configured.
+type Guard struct {
+	// Label names the protected resource in breaker-open errors,
+	// e.g. "mneme pool \"small\"" or "btree".
+	Label string
+	// Breaker gates admission; nil disables circuit breaking.
+	Breaker *Breaker
+	// Retry re-runs transient failures; nil disables retry.
+	Retry *Retry
+}
+
+// Do runs fn under the guard: the breaker is consulted first (an open
+// circuit fails fast without touching the resource), then fn runs under
+// the retry budget with retryable classifying transient errors, and the
+// final outcome — after retries — is reported back to the breaker.
+func (g *Guard) Do(fn func() error, retryable func(error) bool) error {
+	if g == nil {
+		return fn()
+	}
+	if g.Breaker != nil {
+		if err := g.Breaker.Allow(); err != nil {
+			return fmt.Errorf("%s: %w", g.Label, err)
+		}
+	}
+	var err error
+	if g.Retry != nil {
+		err = g.Retry.Do(fn, retryable)
+	} else {
+		err = fn()
+	}
+	if g.Breaker != nil {
+		g.Breaker.Observe(err == nil)
+	}
+	return err
+}

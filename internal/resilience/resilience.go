@@ -1,0 +1,38 @@
+// Package resilience provides the request-lifecycle survival
+// primitives for the query path: bounded retry of transient storage
+// faults, a per-resource circuit breaker, and an admission gate that
+// sheds load instead of queueing unboundedly.
+//
+// The package is deliberately storage-agnostic: callers decide which
+// errors are retryable (checksum corruption is not — re-reading rotted
+// bytes yields the same rotted bytes — while an injected transient read
+// error is), and callers wire the primitives around their own fault-in
+// paths via Guard.
+//
+// Determinism: the repo's culture is that every observable quantity is
+// a count, never wall-clock. The breaker therefore measures its
+// cooldown in *rejected calls* rather than elapsed time, and the retry
+// backoff schedule is derived from a seeded RNG so a given seed always
+// produces the same jitter sequence. Retry sleeping is optional (a nil
+// Sleep func skips it), so fault-injection tests run at full speed and
+// stay reproducible.
+package resilience
+
+import "errors"
+
+// Typed failure classes surfaced to callers. Each is a sentinel that
+// wrapped errors chain to with errors.Is.
+var (
+	// ErrShed reports that admission control rejected the request:
+	// the in-flight limit was reached and the queue-wait budget (if
+	// any) elapsed without a slot freeing up.
+	ErrShed = errors.New("resilience: load shed")
+
+	// ErrDeadline reports that a request's deadline or cancellation
+	// fired mid-evaluation; results returned alongside it are partial.
+	ErrDeadline = errors.New("resilience: deadline exceeded")
+
+	// ErrBreakerOpen reports that a circuit breaker is open and the
+	// protected resource was not touched.
+	ErrBreakerOpen = errors.New("resilience: circuit open")
+)

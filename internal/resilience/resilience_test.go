@@ -1,0 +1,293 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+var errHard = errors.New("hard")
+
+func isTransient(err error) bool { return errors.Is(err, errTransient) }
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	r := NewRetry(RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Cap: 8 * time.Millisecond, Seed: 7})
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	}, isTransient)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	r := NewRetry(RetryPolicy{MaxAttempts: 3, Seed: 1})
+	calls := 0
+	err := r.Do(func() error { calls++; return errTransient }, isTransient)
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("Do = %v, want errTransient", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (MaxAttempts)", calls)
+	}
+}
+
+func TestRetryDoesNotRetryNonRetryable(t *testing.T) {
+	r := NewRetry(DefaultRetryPolicy())
+	calls := 0
+	err := r.Do(func() error { calls++; return errHard }, isTransient)
+	if !errors.Is(err, errHard) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want errHard after 1", err, calls)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("Retries() = %d, want 0", r.Retries())
+	}
+}
+
+// TestRetryBackoffDeterministic: the same seed yields the same sleep
+// schedule; sleeps are capped-exponential with jitter in [d/2, d].
+func TestRetryBackoffDeterministic(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		r := NewRetry(RetryPolicy{
+			MaxAttempts: 5,
+			Base:        4 * time.Millisecond,
+			Cap:         10 * time.Millisecond,
+			Seed:        seed,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		})
+		_ = r.Do(func() error { return errTransient }, isTransient)
+		return slept
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) != 4 {
+		t.Fatalf("slept %d times, want 4 (MaxAttempts-1)", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic: %v vs %v", a, b)
+		}
+	}
+	// Bounds: attempt i has nominal delay min(Base<<i-1, Cap), jitter
+	// draws from [nominal/2, nominal].
+	nominal := []time.Duration{4, 8, 10, 10}
+	for i, d := range a {
+		n := nominal[i] * time.Millisecond
+		if d < n/2 || d > n {
+			t.Fatalf("sleep[%d] = %v outside [%v, %v]", i, d, n/2, n)
+		}
+	}
+}
+
+func TestRetryOnRetryHook(t *testing.T) {
+	r := NewRetry(RetryPolicy{MaxAttempts: 4, Seed: 1})
+	hooks := 0
+	r.OnRetry = func() { hooks++ }
+	_ = r.Do(func() error { return errTransient }, isTransient)
+	if hooks != 3 {
+		t.Fatalf("OnRetry fired %d times, want 3", hooks)
+	}
+}
+
+// TestBreakerStateMachine walks the canonical transitions as a table:
+// each step is an operation (admitted call with an outcome, or a
+// rejected call) with the state expected afterwards.
+func TestBreakerStateMachine(t *testing.T) {
+	type step struct {
+		name      string
+		ok        bool // outcome if admitted
+		wantAdmit bool
+		wantState BreakerState
+	}
+	b := NewBreaker(BreakerPolicy{FailureThreshold: 2, Cooldown: 2})
+	steps := []step{
+		{"closed: success keeps closed", true, true, Closed},
+		{"closed: first failure stays closed", false, true, Closed},
+		{"closed: success resets streak", true, true, Closed},
+		{"closed: failure 1/2", false, true, Closed},
+		{"closed: failure 2/2 trips open", false, true, Open},
+		{"open: rejected 1/2", false, false, Open},
+		{"open: cooldown elapsed, probe admitted, fails", false, true, Open},
+		{"open: rejected 1/2 again", false, false, Open},
+		{"open: probe admitted, succeeds, closes", true, true, Closed},
+		{"closed again: success", true, true, Closed},
+	}
+	for i, s := range steps {
+		err := b.Allow()
+		admitted := err == nil
+		if admitted != s.wantAdmit {
+			t.Fatalf("step %d (%s): admitted = %v, want %v", i, s.name, admitted, s.wantAdmit)
+		}
+		if !admitted && !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("step %d (%s): reject error = %v, want ErrBreakerOpen", i, s.name, err)
+		}
+		if admitted {
+			b.Observe(s.ok)
+		}
+		if got := b.State(); got != s.wantState {
+			t.Fatalf("step %d (%s): state = %v, want %v", i, s.name, got, s.wantState)
+		}
+	}
+	snap := b.Snap()
+	if snap.Opens != 2 || snap.Probes != 2 || snap.Rejects != 2 {
+		t.Fatalf("snap = %+v, want 2 opens, 2 probes, 2 rejects", snap)
+	}
+	if snap.State != "closed" {
+		t.Fatalf("snap.State = %q, want closed", snap.State)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: while a probe is in flight, other
+// calls are rejected rather than stampeding the recovering resource.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(BreakerPolicy{FailureThreshold: 1, Cooldown: 1})
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Observe(false) // trips open
+	if err := b.Allow(); err != nil {
+		t.Fatalf("cooldown=1: first rejected call should become the probe, got %v", err)
+	}
+	// Probe in flight: a second caller must be rejected.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("concurrent probe admitted: %v", err)
+	}
+	b.Observe(true)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want Closed", b.State())
+	}
+}
+
+func TestGateShedsWhenFull(t *testing.T) {
+	g := NewGate(1, 0)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("second Acquire = %v, want ErrShed", err)
+	}
+	if g.ShedCount() != 1 {
+		t.Fatalf("ShedCount = %d, want 1", g.ShedCount())
+	}
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	g.Release()
+}
+
+func TestGateQueueWaitAdmits(t *testing.T) {
+	g := NewGate(1, time.Second)
+	var waited time.Duration
+	var mu sync.Mutex
+	g.Observe = func(d time.Duration) { mu.Lock(); waited = d; mu.Unlock() }
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued Acquire = %v, want admission", err)
+	}
+	mu.Lock()
+	w := waited
+	mu.Unlock()
+	if w <= 0 {
+		t.Fatalf("Observe saw wait %v, want > 0", w)
+	}
+	g.Release()
+}
+
+func TestGateQueueWaitTimesOut(t *testing.T) {
+	g := NewGate(1, 5*time.Millisecond)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("Acquire = %v, want ErrShed after queue-wait timeout", err)
+	}
+	g.Release()
+}
+
+func TestGateContextCanceledWhileQueued(t *testing.T) {
+	g := NewGate(1, time.Second)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := g.Acquire(ctx)
+	if !errors.Is(err, ErrDeadline) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire = %v, want ErrDeadline wrapping context.Canceled", err)
+	}
+	g.Release()
+}
+
+func TestGuardNilPassThrough(t *testing.T) {
+	var g *Guard
+	calls := 0
+	if err := g.Do(func() error { calls++; return nil }, nil); err != nil || calls != 1 {
+		t.Fatalf("nil guard: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestGuardBreakerCountsExhaustedRetryOnce: a fault-in that fails
+// through the whole retry budget is one breaker failure, not three.
+func TestGuardBreakerCountsExhaustedRetryOnce(t *testing.T) {
+	g := &Guard{
+		Label:   "test",
+		Breaker: NewBreaker(BreakerPolicy{FailureThreshold: 2, Cooldown: 4}),
+		Retry:   NewRetry(RetryPolicy{MaxAttempts: 3, Seed: 1}),
+	}
+	for i := 0; i < 2; i++ {
+		if err := g.Do(func() error { return errTransient }, isTransient); !errors.Is(err, errTransient) {
+			t.Fatalf("Do = %v", err)
+		}
+	}
+	if g.Breaker.State() != Open {
+		t.Fatalf("breaker state = %v after 2 exhausted guards, want Open", g.Breaker.State())
+	}
+	err := g.Do(func() error { return nil }, isTransient)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker: Do = %v, want ErrBreakerOpen", err)
+	}
+}
+
+// TestGuardRecoveredRetryIsBreakerSuccess: a call that succeeds on a
+// retry counts as a success to the breaker.
+func TestGuardRecoveredRetryIsBreakerSuccess(t *testing.T) {
+	g := &Guard{
+		Breaker: NewBreaker(BreakerPolicy{FailureThreshold: 1, Cooldown: 1}),
+		Retry:   NewRetry(RetryPolicy{MaxAttempts: 2, Seed: 1}),
+	}
+	calls := 0
+	err := g.Do(func() error {
+		calls++
+		if calls == 1 {
+			return errTransient
+		}
+		return nil
+	}, isTransient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Breaker.State() != Closed {
+		t.Fatalf("state = %v, want Closed (recovered retry is not a failure)", g.Breaker.State())
+	}
+}

@@ -1,0 +1,102 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds a capped-exponential-backoff retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included). Values below 1 are treated as 1 (no retry).
+	MaxAttempts int
+	// Base is the backoff before the first retry; each subsequent
+	// retry doubles it up to Cap. Jitter draws the actual delay
+	// uniformly from [delay/2, delay].
+	Base time.Duration
+	// Cap bounds the exponential growth. Zero means no cap.
+	Cap time.Duration
+	// Seed fixes the jitter RNG so backoff schedules are
+	// reproducible across runs.
+	Seed int64
+	// Sleep performs the backoff wait. Nil means no sleeping at all:
+	// the retry is immediate, which is what the simulated-I/O stack
+	// wants (faults are deterministic ordinals, not time windows).
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the stock budget: three total attempts,
+// 1ms base, 100ms cap, no sleeping (immediate re-read of simulated
+// storage).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 1}
+}
+
+// Retry executes functions under a RetryPolicy and counts the retries
+// it performs. One Retry is typically shared engine-wide so the total
+// transient-recovery count surfaces in a single place.
+type Retry struct {
+	policy  RetryPolicy
+	mu      sync.Mutex // guards rng
+	rng     *rand.Rand
+	retries atomic.Int64
+
+	// OnRetry, if set, is invoked once per performed retry (not per
+	// attempt). Used to bump an external metrics counter.
+	OnRetry func()
+}
+
+// NewRetry builds a Retry from the policy.
+func NewRetry(p RetryPolicy) *Retry {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	return &Retry{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Retries reports the total number of retries performed (attempts
+// beyond the first, across all Do calls).
+func (r *Retry) Retries() int64 { return r.retries.Load() }
+
+// Do runs fn, retrying up to the policy budget while retryable(err)
+// holds. It returns nil on the first success, or the last error once
+// the budget is exhausted or the error is not retryable.
+func (r *Retry) Do(fn func() error, retryable func(error) bool) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if attempt >= r.policy.MaxAttempts || retryable == nil || !retryable(err) {
+			return err
+		}
+		r.backoff(attempt)
+		r.retries.Add(1)
+		if r.OnRetry != nil {
+			r.OnRetry()
+		}
+	}
+}
+
+// backoff computes the capped-exponential delay for the given attempt
+// number and sleeps it through the policy's Sleep func (if any). The
+// jitter draw happens even when Sleep is nil so the RNG stream — and
+// thus any schedule derived from it — is identical whether or not the
+// caller actually waits.
+func (r *Retry) backoff(attempt int) {
+	d := r.policy.Base << (attempt - 1)
+	if r.policy.Cap > 0 && (d > r.policy.Cap || d <= 0) {
+		d = r.policy.Cap
+	}
+	if d > 0 {
+		r.mu.Lock()
+		d = d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+		r.mu.Unlock()
+	}
+	if r.policy.Sleep != nil && d > 0 {
+		r.policy.Sleep(d)
+	}
+}

@@ -13,6 +13,18 @@ package vfs
 // Plans are deterministic: a seed drives the optional probabilistic
 // mode, and operation ordinals are counted per kind, so the same
 // workload under the same plan always fails at the same point.
+//
+// Op-ordinal semantics: every read, write, and sync that reaches the
+// simulated device increments its kind's counter, whether or not a
+// fault fires, and the counters never reset for the life of the plan.
+// FailRead(n)/FailWrite(n)/FailSync(n) name the 1-based ordinal of the
+// single operation to fail; FailReadEvery(n) fails every read whose
+// ordinal is a multiple of n. A failed operation still consumed its
+// ordinal, so a caller that retries sees a *new* ordinal — this is what
+// makes FailRead(n).Once() a transient fault (the retry re-reads at
+// ordinal n+1 and succeeds) while FailReadEvery(1) is a hard outage.
+// Once() caps the plan at a single injected fault across all modes;
+// without it, periodic and probabilistic modes keep firing.
 
 import (
 	"errors"
@@ -51,15 +63,17 @@ func (k faultOp) String() string {
 // the chainable FailRead/FailWrite/FailSync/WithTear/WithCrash calls
 // before attaching; the plan is safe for concurrent use afterwards.
 type FaultPlan struct {
-	mu      sync.Mutex
-	rng     *rand.Rand
-	prob    float64
-	counts  [opKinds]int64 // operations observed, per kind
-	failAt  [opKinds]int64 // 1-based ordinal to fail; 0 = never
-	tear    bool
-	crash   bool
-	crashed bool
-	fired   int64
+	mu        sync.Mutex
+	rng       *rand.Rand
+	prob      float64
+	counts    [opKinds]int64 // operations observed, per kind
+	failAt    [opKinds]int64 // 1-based ordinal to fail; 0 = never
+	failEvery [opKinds]int64 // fail every nth op; 0 = never
+	maxFires  int64          // cap on injected faults; 0 = unlimited
+	tear      bool
+	crash     bool
+	crashed   bool
+	fired     int64
 }
 
 // NewFaultPlan creates an empty plan. The seed drives the probabilistic
@@ -77,6 +91,24 @@ func (p *FaultPlan) FailWrite(n int64) *FaultPlan { p.failAt[opWrite] = n; retur
 
 // FailSync schedules the nth Sync call (1-based) to fail.
 func (p *FaultPlan) FailSync(n int64) *FaultPlan { p.failAt[opSync] = n; return p }
+
+// FailReadEvery schedules every nth read (ordinals n, 2n, 3n, ...) to
+// fail — a periodic fault. n <= 0 disables the mode. Combine with
+// Once() to turn the first periodic hit into a single transient fault.
+func (p *FaultPlan) FailReadEvery(n int64) *FaultPlan {
+	if n <= 0 {
+		n = 0
+	}
+	p.failEvery[opRead] = n
+	return p
+}
+
+// Once caps the plan at a single injected fault: after the first fault
+// fires, the plan goes inert (ordinals keep advancing, nothing more
+// fails). This is the transient mode — a retry of the failed operation
+// lands on a fresh ordinal and succeeds. Once has no effect on a
+// WithCrash plan's frozen-disk behavior.
+func (p *FaultPlan) Once() *FaultPlan { p.maxFires = 1; return p }
 
 // WithTear makes the failing write a torn write: the bytes up to the
 // first disk-block boundary past the write's start offset reach the
@@ -115,6 +147,23 @@ func (p *FaultPlan) Counts() (reads, writes, syncs int64) {
 	return p.counts[opRead], p.counts[opWrite], p.counts[opSync]
 }
 
+// failNow decides whether the operation whose ordinal was just counted
+// must fail, consulting the single-ordinal, periodic, and probabilistic
+// modes in that order, gated by the Once cap. Caller holds p.mu.
+func (p *FaultPlan) failNow(kind faultOp) bool {
+	if p.maxFires > 0 && p.fired >= p.maxFires {
+		return false
+	}
+	n := p.counts[kind]
+	if p.failAt[kind] != 0 && n == p.failAt[kind] {
+		return true
+	}
+	if p.failEvery[kind] > 0 && n%p.failEvery[kind] == 0 {
+		return true
+	}
+	return p.prob > 0 && p.rng.Float64() < p.prob
+}
+
 // before observes one operation of the given kind and decides whether
 // it fails. It returns a non-nil error chained to ErrInjected when the
 // operation must fail.
@@ -128,11 +177,7 @@ func (p *FaultPlan) before(kind faultOp) error {
 		return fmt.Errorf("%s after crash: %w", kind, ErrInjected)
 	}
 	p.counts[kind]++
-	fail := p.failAt[kind] != 0 && p.counts[kind] == p.failAt[kind]
-	if !fail && p.prob > 0 && p.rng.Float64() < p.prob {
-		fail = true
-	}
-	if !fail {
+	if !p.failNow(kind) {
 		return nil
 	}
 	p.fired++
@@ -157,11 +202,7 @@ func (p *FaultPlan) beforeWrite(off int64, n, blockSize int) (allow int, err err
 		return 0, fmt.Errorf("write after crash: %w", ErrInjected)
 	}
 	p.counts[opWrite]++
-	fail := p.failAt[opWrite] != 0 && p.counts[opWrite] == p.failAt[opWrite]
-	if !fail && p.prob > 0 && p.rng.Float64() < p.prob {
-		fail = true
-	}
-	if !fail {
+	if !p.failNow(opWrite) {
 		return n, nil
 	}
 	p.fired++

@@ -233,3 +233,84 @@ func TestFaultPlanProbabilityDeterministic(t *testing.T) {
 		t.Log("seeds 42 and 43 produced identical failure sets (unlikely but possible)")
 	}
 }
+
+// TestFaultPlanOnce: a Once plan injects exactly one fault — the retry
+// of the failed read lands on a fresh ordinal and succeeds.
+func TestFaultPlanOnce(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, _ := fs.Create("data")
+	buf := make([]byte, 64)
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(1).FailRead(2).Once()
+	fs.SetFaultPlan(plan)
+
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read #1: %v", err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("read #2: want ErrInjected")
+	}
+	// The "retry" — and everything after it — succeeds.
+	for i := 3; i <= 6; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatalf("read #%d after transient: %v", i, err)
+		}
+	}
+	if got := plan.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+}
+
+// TestFaultPlanFailReadEvery: periodic mode fails ordinals n, 2n, ...
+func TestFaultPlanFailReadEvery(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, _ := fs.Create("data")
+	buf := make([]byte, 64)
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(1).FailReadEvery(3)
+	fs.SetFaultPlan(plan)
+
+	for i := 1; i <= 9; i++ {
+		_, err := f.ReadAt(buf, 0)
+		if i%3 == 0 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("read #%d: want ErrInjected, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("read #%d: %v", i, err)
+		}
+	}
+	if got := plan.Fired(); got != 3 {
+		t.Fatalf("Fired() = %d, want 3", got)
+	}
+}
+
+// TestFaultPlanFailReadEveryOnce: Once turns the first periodic hit
+// into a single transient fault.
+func TestFaultPlanFailReadEveryOnce(t *testing.T) {
+	fs := New(Options{BlockSize: 512})
+	f, _ := fs.Create("data")
+	buf := make([]byte, 64)
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(1).FailReadEvery(2).Once()
+	fs.SetFaultPlan(plan)
+
+	fails := 0
+	for i := 1; i <= 8; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			fails++
+			if i != 2 {
+				t.Fatalf("read #%d failed, only #2 should", i)
+			}
+		}
+	}
+	if fails != 1 || plan.Fired() != 1 {
+		t.Fatalf("fails=%d Fired=%d, want 1/1", fails, plan.Fired())
+	}
+}
