@@ -50,6 +50,7 @@ func main() {
 	cache := flag.Bool("cache", true, "enable Mneme record caching (paper buffer plan)")
 	topK := flag.Int("k", 10, "results per query (0 = all)")
 	daat := flag.Bool("daat", false, "use document-at-a-time evaluation")
+	prune := flag.Bool("prune", false, "MaxScore dynamic pruning for -daat queries with -k > 0 (identical top-k, skips non-competitive postings)")
 	interactive := flag.Bool("i", false, "interactive mode")
 	queryFile := flag.String("queries", "", "file of queries, one per line (batch mode)")
 	stats := flag.Bool("stats", false, "print I/O and buffer statistics after the run")
@@ -93,6 +94,9 @@ func main() {
 	}
 
 	opts := []core.Option{core.WithAnalyzer(an), core.WithChunking(*chunk)}
+	if *prune {
+		opts = append(opts, core.WithPruning())
+	}
 	if *degraded {
 		opts = append(opts, core.WithDegraded())
 	}

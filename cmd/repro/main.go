@@ -36,9 +36,11 @@ func main() {
 	bench := flag.Bool("bench", false, "run the standard query mixes over both backends and write per-stage latency quantiles")
 	benchOut := flag.String("benchout", "BENCH_query.json", "bench report output path (-bench)")
 	baseline := flag.String("baseline", "", "baseline BENCH_query.json to diff against; exits non-zero on >20% p95 regression (-bench)")
+	topK := flag.Int("topk", experiments.DefaultBenchTopK, "ranking depth of the bench mode's document-at-a-time rows (-bench)")
 	flag.Parse()
 
 	lab := experiments.NewLab(*scale)
+	lab.BenchTopK = *topK
 	start := time.Now()
 
 	fail := func(err error) {

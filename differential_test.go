@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -120,6 +121,101 @@ func TestDifferentialBackendsDegraded(t *testing.T) {
 			}
 			if n := mn.Counters().CorruptRecords; n != 0 {
 				t.Fatalf("mneme: %d corrupt records counted with no faults injected", n)
+			}
+		})
+	}
+}
+
+// diffTopK is the ranking depth of the pruning differential: deep
+// enough that eligible queries carry several terms past the heap-fill
+// point, shallow enough that pruning actually engages.
+const diffTopK = 10
+
+// TestDifferentialMaxScore runs the full paper query matrix with
+// MaxScore pruning enabled (WithPruning) and requires the top-k to
+// equal exhaustive document-at-a-time evaluation — same documents, same
+// order, same scores — on both backends, and to agree with
+// term-at-a-time evaluation at the same depth. Pruning is a pure
+// evaluation-order optimization; any ranking difference is a bug in the
+// bound arithmetic, not a tuning knob.
+func TestDifferentialMaxScore(t *testing.T) {
+	lab := experiments.NewLab(diffScale)
+	for _, row := range matrixRows {
+		built, err := lab.Collection(row.col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := built.Col.QuerySets[row.qs]
+		t.Run(fmt.Sprintf("%s_qs%s", row.col, qs.Name), func(t *testing.T) {
+			bt, mn := openPair(t, built)
+			defer bt.Close()
+			defer mn.Close()
+			btP, mnP := openPair(t, built, core.WithPruning())
+			defer btP.Close()
+			defer mnP.Close()
+			for _, q := range built.Col.GenQueries(qs) {
+				exact, err := bt.SearchDAAT(q.Text, diffTopK)
+				if err != nil {
+					t.Fatalf("btree daat %s: %v", q.ID, err)
+				}
+				for label, eng := range map[string]*core.Engine{"btree": btP, "mneme": mnP} {
+					pruned, err := eng.SearchDAAT(q.Text, diffTopK)
+					if err != nil {
+						t.Fatalf("%s pruned %s: %v", label, q.ID, err)
+					}
+					assertSameResults(t, q.ID+"/"+label+"-pruned", exact, pruned)
+				}
+				// TAAT cross-check, skipping proximity queries: DAAT
+				// bounds a proximity node's df by its rarest child (see
+				// daat.go collectLeaves) where TAAT counts exact window
+				// matches, so the two paths agree only on queries
+				// without #phrase/#odN/#uwN.
+				if !strings.Contains(q.Text, "#phrase") &&
+					!strings.Contains(q.Text, "#od") && !strings.Contains(q.Text, "#uw") {
+					taat, err := mn.Search(q.Text, diffTopK)
+					if err != nil {
+						t.Fatalf("mneme taat %s: %v", q.ID, err)
+					}
+					assertSameResults(t, q.ID+"/taat", exact, taat)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialMaxScoreDegraded repeats the pruning differential
+// with the pruned engines opened WithDegraded (no faults injected):
+// the degraded policy must not perturb pruned rankings either.
+func TestDifferentialMaxScoreDegraded(t *testing.T) {
+	lab := experiments.NewLab(diffScale)
+	for _, row := range matrixRows {
+		built, err := lab.Collection(row.col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := built.Col.QuerySets[row.qs]
+		t.Run(fmt.Sprintf("%s_qs%s", row.col, qs.Name), func(t *testing.T) {
+			bt, mn := openPair(t, built)
+			defer bt.Close()
+			defer mn.Close()
+			btP, mnP := openPair(t, built, core.WithPruning(), core.WithDegraded())
+			defer btP.Close()
+			defer mnP.Close()
+			for _, q := range built.Col.GenQueries(qs) {
+				exact, err := mn.SearchDAAT(q.Text, diffTopK)
+				if err != nil {
+					t.Fatalf("mneme daat %s: %v", q.ID, err)
+				}
+				for label, eng := range map[string]*core.Engine{"btree": btP, "mneme": mnP} {
+					pruned, err := eng.SearchDAAT(q.Text, diffTopK)
+					if err != nil {
+						t.Fatalf("%s pruned %s: %v", label, q.ID, err)
+					}
+					assertSameResults(t, q.ID+"/"+label+"-pruned-degraded", exact, pruned)
+				}
+			}
+			if n := btP.Counters().CorruptRecords + mnP.Counters().CorruptRecords; n != 0 {
+				t.Fatalf("%d corrupt records counted with no faults injected", n)
 			}
 		})
 	}

@@ -26,6 +26,17 @@ type RecordStreamer interface {
 	StreamRecord(ref uint64) (r io.Reader, ok bool)
 }
 
+// RecordRanger is implemented by backends that can serve a record's
+// bytes by random-access range, faulting in only the storage chunks the
+// requested ranges overlap. The Mneme backend implements it for
+// indexed chunked records; block-format readers use it to skip chunks
+// along with the blocks they hold.
+type RecordRanger interface {
+	// RangeRecord returns range access over the record, or ok=false
+	// when the ref is not an indexed chunked record.
+	RangeRecord(ref uint64) (cr *mneme.ChunkRange, ok bool, err error)
+}
+
 // BackendKind selects the inverted-file storage manager.
 type BackendKind uint8
 
@@ -229,8 +240,15 @@ func (b *btreeBackend) SetRecorder(r obs.Recorder)                { b.tree.SetRe
 // chunkedRefBit flags a dictionary ref whose record is stored as a
 // linked list of chunk objects (inter-object references) rather than a
 // single contiguous object — the paper's §6 proposal for breaking
-// large inverted lists into manageable pieces.
-const chunkedRefBit = uint64(1) << 63
+// large inverted lists into manageable pieces. chunkedV2RefBit flags
+// the indexed variant: the head object carries a chunk table, so a
+// reader can fault in exactly the chunks a byte range overlaps instead
+// of walking the list front to back. New chunked records are written
+// indexed; linked refs from older collections remain readable.
+const (
+	chunkedRefBit   = uint64(1) << 63
+	chunkedV2RefBit = uint64(1) << 62
+)
 
 // mnemeBackend wraps the persistent object store with the paper's
 // three-pool configuration.
@@ -307,18 +325,40 @@ func (b *mnemeBackend) Mneme() *mneme.Store { return b.store }
 func (b *mnemeBackend) SetChunking(chunkBytes int) { b.chunkBytes = chunkBytes }
 
 // mnemeID converts a dictionary ref to an object identifier.
-func mnemeID(ref uint64) mneme.ObjectID { return mneme.ObjectID(ref &^ chunkedRefBit) }
+func mnemeID(ref uint64) mneme.ObjectID {
+	return mneme.ObjectID(ref &^ (chunkedRefBit | chunkedV2RefBit))
+}
 
-// isChunked reports whether a ref names a chunked record.
+// isChunked reports whether a ref names a linked chunked record.
 func isChunked(ref uint64) bool { return ref&chunkedRefBit != 0 }
+
+// isChunkedV2 reports whether a ref names an indexed chunked record.
+func isChunkedV2(ref uint64) bool { return ref&chunkedV2RefBit != 0 }
 
 func (b *mnemeBackend) Kind() BackendKind { return BackendMneme }
 
 func (b *mnemeBackend) Fetch(ref uint64) ([]byte, error) {
+	if isChunkedV2(ref) {
+		return mneme.ReadChunkedIndexed(b.store, mnemeID(ref))
+	}
 	if isChunked(ref) {
 		return mneme.ReadChunked(b.store, mnemeID(ref))
 	}
 	return b.store.Get(mnemeID(ref))
+}
+
+// RangeRecord implements RecordRanger for indexed chunked records,
+// returning random access over the record bytes that faults in only the
+// chunks actually read.
+func (b *mnemeBackend) RangeRecord(ref uint64) (*mneme.ChunkRange, bool, error) {
+	if !isChunkedV2(ref) {
+		return nil, false, nil
+	}
+	cr, err := mneme.OpenChunkRange(b.store, mnemeID(ref))
+	if err != nil {
+		return nil, true, err
+	}
+	return cr, true, nil
 }
 
 // StreamRecord implements RecordStreamer for chunked records: chunks
@@ -364,11 +404,11 @@ func (b *mnemeBackend) poolName(n int) string {
 
 func (b *mnemeBackend) Store(rec []byte) (uint64, error) {
 	if b.chunkBytes > 0 && len(rec) > MediumListMax {
-		head, err := mneme.WriteChunked(b.store, b.poolName(b.chunkBytes+4), rec, b.chunkBytes)
+		head, err := mneme.WriteChunkedIndexed(b.store, b.poolName(b.chunkBytes+4), rec, b.chunkBytes)
 		if err != nil {
 			return 0, err
 		}
-		return uint64(head) | chunkedRefBit, nil
+		return uint64(head) | chunkedV2RefBit, nil
 	}
 	id, err := b.store.Allocate(b.poolName(len(rec)), rec)
 	return uint64(id), err
@@ -379,7 +419,7 @@ func (b *mnemeBackend) Store(rec []byte) (uint64, error) {
 // re-allocated, yielding a new ref that the caller must store back into
 // the dictionary entry.
 func (b *mnemeBackend) Update(ref uint64, rec []byte) (uint64, error) {
-	if isChunked(ref) || (b.chunkBytes > 0 && len(rec) > MediumListMax) {
+	if isChunked(ref) || isChunkedV2(ref) || (b.chunkBytes > 0 && len(rec) > MediumListMax) {
 		if err := b.Remove(ref); err != nil {
 			return 0, err
 		}
@@ -406,7 +446,9 @@ func (b *mnemeBackend) Update(ref uint64, rec []byte) (uint64, error) {
 }
 
 func (b *mnemeBackend) Remove(ref uint64) error {
-	if isChunked(ref) {
+	if isChunked(ref) || isChunkedV2(ref) {
+		// An indexed head's first word doubles as the next pointer, so
+		// the linked-list walk frees both layouts.
 		return mneme.DeleteChunked(b.store, mnemeID(ref))
 	}
 	return b.store.Delete(mnemeID(ref))

@@ -59,6 +59,11 @@ type BuildOptions struct {
 	// MediumListMax as linked chunk lists with this payload size per
 	// chunk (paper §6). Engines must open with the same value.
 	ChunkLargeLists int
+	// V1Postings forces the sequential v1 record encoding for every
+	// list, producing a legacy-layout collection without block (v2)
+	// records. Engines read both formats, so this needs no matching
+	// open-time option.
+	V1Postings bool
 }
 
 // BuildStats reports what was built — the raw material of the paper's
@@ -83,9 +88,10 @@ func Build(fs *vfs.FS, name string, src DocSource, opt BuildOptions) (*BuildStat
 		backends = []BackendKind{BackendBTree, BackendMneme}
 	}
 	b := index.NewBuilder(fs, index.Options{
-		Analyzer: opt.Analyzer,
-		RunLimit: opt.RunLimit,
-		Scratch:  name + ".run",
+		Analyzer:   opt.Analyzer,
+		RunLimit:   opt.RunLimit,
+		Scratch:    name + ".run",
+		V1Postings: opt.V1Postings,
 	})
 	for {
 		doc, ok, err := src.Next()

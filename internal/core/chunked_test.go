@@ -67,11 +67,11 @@ func TestChunkedBuildMarksLargeLists(t *testing.T) {
 	if heavy.ListBytes <= MediumListMax {
 		t.Fatalf("test needs a large list; got %d bytes", heavy.ListBytes)
 	}
-	if !isChunked(heavy.Ref) {
+	if !isChunkedV2(heavy.Ref) {
 		t.Fatal("large list not stored chunked")
 	}
 	mid, _ := e.Dictionary().Lookup("mid")
-	if isChunked(mid.Ref) {
+	if isChunked(mid.Ref) || isChunkedV2(mid.Ref) {
 		t.Fatal("medium list unexpectedly chunked")
 	}
 }
@@ -157,7 +157,7 @@ func TestChunkedIncrementalUpdate(t *testing.T) {
 	}
 	// The updated record is still chunked.
 	heavy, _ := e.Dictionary().Lookup("heavy")
-	if !isChunked(heavy.Ref) {
+	if !isChunked(heavy.Ref) && !isChunkedV2(heavy.Ref) {
 		t.Fatal("update lost chunking")
 	}
 	// Deleting the document shrinks the list again.

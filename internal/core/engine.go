@@ -40,33 +40,50 @@ type Counters struct {
 	// with resilience.ErrShed. Shed queries are not counted in Queries —
 	// they were never evaluated.
 	Shed int64 `json:"shed"`
+	// PostingsSkipped counts posting entries an Advance-capable iterator
+	// passed over without surfacing them to the evaluator — the postings
+	// MaxScore pruning never scored. Disjoint from Postings.
+	PostingsSkipped int64 `json:"postings_skipped"`
+	// BlocksSkipped counts block-format (v2) record blocks whose bodies
+	// were never decoded because Advance jumped past them.
+	BlocksSkipped int64 `json:"blocks_skipped"`
+	// ChunksSkipped counts storage chunks of indexed chunked records
+	// that were never faulted in — skipped blocks translated into
+	// avoided I/O.
+	ChunksSkipped int64 `json:"chunks_skipped"`
 }
 
 // Add returns the field-wise sum of c and d.
 func (c Counters) Add(d Counters) Counters {
 	return Counters{
-		Lookups:        c.Lookups + d.Lookups,
-		Postings:       c.Postings + d.Postings,
-		Queries:        c.Queries + d.Queries,
-		BytesFetched:   c.BytesFetched + d.BytesFetched,
-		CorruptRecords: c.CorruptRecords + d.CorruptRecords,
-		RetriedReads:   c.RetriedReads + d.RetriedReads,
-		DeadlineHits:   c.DeadlineHits + d.DeadlineHits,
-		Shed:           c.Shed + d.Shed,
+		Lookups:         c.Lookups + d.Lookups,
+		Postings:        c.Postings + d.Postings,
+		Queries:         c.Queries + d.Queries,
+		BytesFetched:    c.BytesFetched + d.BytesFetched,
+		CorruptRecords:  c.CorruptRecords + d.CorruptRecords,
+		RetriedReads:    c.RetriedReads + d.RetriedReads,
+		DeadlineHits:    c.DeadlineHits + d.DeadlineHits,
+		Shed:            c.Shed + d.Shed,
+		PostingsSkipped: c.PostingsSkipped + d.PostingsSkipped,
+		BlocksSkipped:   c.BlocksSkipped + d.BlocksSkipped,
+		ChunksSkipped:   c.ChunksSkipped + d.ChunksSkipped,
 	}
 }
 
 // Sub returns the field-wise difference c - d.
 func (c Counters) Sub(d Counters) Counters {
 	return Counters{
-		Lookups:        c.Lookups - d.Lookups,
-		Postings:       c.Postings - d.Postings,
-		Queries:        c.Queries - d.Queries,
-		BytesFetched:   c.BytesFetched - d.BytesFetched,
-		CorruptRecords: c.CorruptRecords - d.CorruptRecords,
-		RetriedReads:   c.RetriedReads - d.RetriedReads,
-		DeadlineHits:   c.DeadlineHits - d.DeadlineHits,
-		Shed:           c.Shed - d.Shed,
+		Lookups:         c.Lookups - d.Lookups,
+		Postings:        c.Postings - d.Postings,
+		Queries:         c.Queries - d.Queries,
+		BytesFetched:    c.BytesFetched - d.BytesFetched,
+		CorruptRecords:  c.CorruptRecords - d.CorruptRecords,
+		RetriedReads:    c.RetriedReads - d.RetriedReads,
+		DeadlineHits:    c.DeadlineHits - d.DeadlineHits,
+		Shed:            c.Shed - d.Shed,
+		PostingsSkipped: c.PostingsSkipped - d.PostingsSkipped,
+		BlocksSkipped:   c.BlocksSkipped - d.BlocksSkipped,
+		ChunksSkipped:   c.ChunksSkipped - d.ChunksSkipped,
 	}
 }
 
@@ -74,13 +91,16 @@ func (c Counters) Sub(d Counters) Counters {
 // RetriedReads has no slot: retries are counted engine-wide by the
 // shared resilience.Retry, not per searcher.
 type atomicCounters struct {
-	lookups        atomic.Int64
-	postings       atomic.Int64
-	queries        atomic.Int64
-	bytesFetched   atomic.Int64
-	corruptRecords atomic.Int64
-	deadlineHits   atomic.Int64
-	shed           atomic.Int64
+	lookups         atomic.Int64
+	postings        atomic.Int64
+	queries         atomic.Int64
+	bytesFetched    atomic.Int64
+	corruptRecords  atomic.Int64
+	deadlineHits    atomic.Int64
+	shed            atomic.Int64
+	postingsSkipped atomic.Int64
+	blocksSkipped   atomic.Int64
+	chunksSkipped   atomic.Int64
 }
 
 func (a *atomicCounters) add(d Counters) {
@@ -91,17 +111,23 @@ func (a *atomicCounters) add(d Counters) {
 	a.corruptRecords.Add(d.CorruptRecords)
 	a.deadlineHits.Add(d.DeadlineHits)
 	a.shed.Add(d.Shed)
+	a.postingsSkipped.Add(d.PostingsSkipped)
+	a.blocksSkipped.Add(d.BlocksSkipped)
+	a.chunksSkipped.Add(d.ChunksSkipped)
 }
 
 func (a *atomicCounters) snapshot() Counters {
 	return Counters{
-		Lookups:        a.lookups.Load(),
-		Postings:       a.postings.Load(),
-		Queries:        a.queries.Load(),
-		BytesFetched:   a.bytesFetched.Load(),
-		CorruptRecords: a.corruptRecords.Load(),
-		DeadlineHits:   a.deadlineHits.Load(),
-		Shed:           a.shed.Load(),
+		Lookups:         a.lookups.Load(),
+		Postings:        a.postings.Load(),
+		Queries:         a.queries.Load(),
+		BytesFetched:    a.bytesFetched.Load(),
+		CorruptRecords:  a.corruptRecords.Load(),
+		DeadlineHits:    a.deadlineHits.Load(),
+		Shed:            a.shed.Load(),
+		PostingsSkipped: a.postingsSkipped.Load(),
+		BlocksSkipped:   a.blocksSkipped.Load(),
+		ChunksSkipped:   a.chunksSkipped.Load(),
 	}
 }
 
@@ -113,6 +139,9 @@ func (a *atomicCounters) reset() {
 	a.corruptRecords.Store(0)
 	a.deadlineHits.Store(0)
 	a.shed.Store(0)
+	a.postingsSkipped.Store(0)
+	a.blocksSkipped.Store(0)
+	a.chunksSkipped.Store(0)
 }
 
 // engineMetrics holds the engine's metrics registry plus cached handles
@@ -121,14 +150,17 @@ func (a *atomicCounters) reset() {
 type engineMetrics struct {
 	reg *obs.Registry
 
-	queries  *obs.Counter
-	lookups  *obs.Counter
-	postings *obs.Counter
-	bytes    *obs.Counter
-	corrupt  *obs.Counter
-	retried  *obs.Counter
-	deadline *obs.Counter
-	shed     *obs.Counter
+	queries      *obs.Counter
+	lookups      *obs.Counter
+	postings     *obs.Counter
+	bytes        *obs.Counter
+	corrupt      *obs.Counter
+	retried      *obs.Counter
+	deadline     *obs.Counter
+	shed         *obs.Counter
+	postSkipped  *obs.Counter
+	blockSkipped *obs.Counter
+	chunkSkipped *obs.Counter
 
 	fetchBytes    *obs.Histogram // bytes per inverted-list record fetch
 	queryLookups  *obs.Histogram // record lookups per query
@@ -139,15 +171,18 @@ type engineMetrics struct {
 func newEngineMetrics() *engineMetrics {
 	reg := obs.NewRegistry()
 	return &engineMetrics{
-		reg:      reg,
-		queries:  reg.Counter("queries_total"),
-		lookups:  reg.Counter("lookups_total"),
-		postings: reg.Counter("postings_total"),
-		bytes:    reg.Counter("bytes_fetched_total"),
-		corrupt:  reg.Counter("corrupt_records_total"),
-		retried:  reg.Counter("retried_reads_total"),
-		deadline: reg.Counter("deadline_hits_total"),
-		shed:     reg.Counter("shed_total"),
+		reg:          reg,
+		queries:      reg.Counter("queries_total"),
+		lookups:      reg.Counter("lookups_total"),
+		postings:     reg.Counter("postings_total"),
+		bytes:        reg.Counter("bytes_fetched_total"),
+		corrupt:      reg.Counter("corrupt_records_total"),
+		retried:      reg.Counter("retried_reads_total"),
+		deadline:     reg.Counter("deadline_hits_total"),
+		shed:         reg.Counter("shed_total"),
+		postSkipped:  reg.Counter("postings_skipped_total"),
+		blockSkipped: reg.Counter("blocks_skipped_total"),
+		chunkSkipped: reg.Counter("chunks_skipped_total"),
 
 		fetchBytes:    reg.Histogram("fetch_bytes", obs.ExpBuckets(16, 4, 10)),
 		queryLookups:  reg.Histogram("query_lookups", obs.ExpBuckets(1, 2, 10)),
@@ -169,6 +204,9 @@ func (m *engineMetrics) observeQuery(d Counters) {
 	m.corrupt.Add(d.CorruptRecords)
 	m.deadline.Add(d.DeadlineHits)
 	m.shed.Add(d.Shed)
+	m.postSkipped.Add(d.PostingsSkipped)
+	m.blockSkipped.Add(d.BlocksSkipped)
+	m.chunkSkipped.Add(d.ChunksSkipped)
 	if d.Queries > 0 {
 		m.queryLookups.Observe(d.Lookups)
 		m.queryPostings.Observe(d.Postings)

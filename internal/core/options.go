@@ -30,6 +30,13 @@ type EngineOptions struct {
 	// ChunkLargeLists must match the value the collection was built
 	// with (0 = records stored whole).
 	ChunkLargeLists int
+	// Prune enables MaxScore dynamic pruning for document-at-a-time
+	// searches with a bounded top-k: terms whose score upper bound
+	// cannot affect the ranking stop driving candidate selection and
+	// are skipped forward instead of decoded. The top-k results are
+	// identical to exhaustive evaluation; queries outside the flat
+	// sum-of-terms shape fall back to it automatically.
+	Prune bool
 	// DegradedOK lets searches survive unreadable inverted-list records
 	// (checksum failures, I/O errors): the affected term is scored as
 	// absent, the skip is counted in Counters.CorruptRecords, and the
@@ -104,6 +111,17 @@ func WithoutReserve() Option {
 // match the value the collection was built with (0 = stored whole).
 func WithChunking(n int) Option {
 	return func(o *EngineOptions) { o.ChunkLargeLists = n }
+}
+
+// WithPruning turns on MaxScore dynamic pruning for document-at-a-time
+// searches: per-term score upper bounds (from record block descriptors
+// when available) let the evaluator skip postings — and, for block
+// records in chunked storage, whole blocks and storage chunks — that
+// cannot change the top-k. Results are exactly those of exhaustive
+// evaluation; work avoided shows up in Counters.PostingsSkipped,
+// BlocksSkipped, and ChunksSkipped.
+func WithPruning() Option {
+	return func(o *EngineOptions) { o.Prune = true }
 }
 
 // WithDegraded lets searches skip unreadable inverted-list records —

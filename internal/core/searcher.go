@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/inference"
@@ -37,6 +38,15 @@ type Searcher struct {
 	opLog   []uint32
 	opTerms map[string]int64
 
+	// iters tracks the iterators the in-flight query opened, so their
+	// skip statistics (postings/blocks/chunks never touched) can be
+	// settled into the counters when evaluation ends.
+	iters []*countingIterator
+
+	// pooled tracks decoded-posting scratch buffers borrowed from
+	// postingBufPool for the in-flight query; flush returns them.
+	pooled []*[]postings.Posting
+
 	// rec, when non-nil, receives lexicon and fetch spans and lookup
 	// events for every record access. Nil during ordinary searches: the
 	// only per-access cost of the tracing facility is this nil check.
@@ -67,8 +77,38 @@ func (s *Searcher) Engine() *Engine { return s.e }
 // Counters returns the work this searcher has performed.
 func (s *Searcher) Counters() Counters { return s.counters }
 
+// postingBufPool recycles the backing arrays of decoded posting slices
+// across queries on the materializing (TAAT / DecodeAll) path. Only the
+// []Posting array is pooled; Positions slices are fresh per decode, so
+// evaluators may retain them. Elements are cleared before return so a
+// pooled array pins no Positions memory.
+var postingBufPool = sync.Pool{
+	New: func() any {
+		b := make([]postings.Posting, 0, 256)
+		return &b
+	},
+}
+
+// finishIters settles skip statistics from every iterator the query
+// opened. Runs after evaluation, before the counter flush.
+func (s *Searcher) finishIters() {
+	for _, ci := range s.iters {
+		ci.finish()
+	}
+	s.iters = s.iters[:0]
+}
+
 // flush merges the searcher's unmerged work into the engine.
 func (s *Searcher) flush() {
+	for _, bp := range s.pooled {
+		b := *bp
+		for i := range b {
+			b[i] = postings.Posting{}
+		}
+		*bp = b[:0]
+		postingBufPool.Put(bp)
+	}
+	s.pooled = s.pooled[:0]
 	e := s.e
 	d := s.counters.Sub(s.flushed)
 	e.agg.add(d)
@@ -128,6 +168,9 @@ func evalTAAT(n *inference.Node, s *Searcher, topK int) ([]Result, error) {
 }
 
 func evalDAAT(n *inference.Node, s *Searcher, topK int) ([]Result, error) {
+	if s.e.opts.Prune {
+		return inference.EvaluateMaxScore(n, s, topK)
+	}
 	return inference.EvaluateDAAT(n, s, topK)
 }
 
@@ -156,6 +199,7 @@ func (s *Searcher) searchCtx(ctx context.Context, query string, topK int,
 	}
 	s.counters.Queries++
 	defer s.flush()
+	defer s.finishIters()
 	if n == nil {
 		return nil, nil
 	}
@@ -196,6 +240,7 @@ func (s *Searcher) Explain(query string, doc uint32) (*inference.Explanation, er
 		return &inference.Explanation{Op: "(all terms stopped)", Belief: 0}, nil
 	}
 	defer s.flush()
+	defer s.finishIters()
 	return inference.Explain(n, s, doc)
 }
 
@@ -293,13 +338,20 @@ func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
 	return rec, true, nil
 }
 
-// Postings implements inference.Source.
+// Postings implements inference.Source. The decoded slice's backing
+// array is borrowed from postingBufPool and reclaimed when the query
+// flushes; callers (the TAAT evaluator, Explain) must not retain it
+// past evaluation. Positions slices are fresh allocations and safe to
+// keep.
 func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
 	rec, ok, err := s.fetchRecord(term)
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	ps, err := postings.DecodeAll(rec)
+	bufp := postingBufPool.Get().(*[]postings.Posting)
+	ps, err := postings.AppendAll((*bufp)[:0], rec)
+	*bufp = ps // full length: flush clears the elements before pooling
+	s.pooled = append(s.pooled, bufp)
 	if err != nil {
 		if s.degrade(err) {
 			return nil, false, nil
@@ -311,8 +363,12 @@ func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
 }
 
 // Iterator implements inference.StreamSource. Chunked records (see
-// WithChunking) are decoded as they stream off their chunk list instead
-// of being materialized first.
+// WithChunking) are decoded as they stream off their chunk storage
+// instead of being materialized first: indexed chunked records get
+// random access, so a block-format (v2) record iterated with Advance
+// faults in only the chunks holding blocks it actually decodes; linked
+// chunked records stream sequentially, one chunk's segment buffered at
+// a time. Whole records dispatch on their encoding version.
 func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error) {
 	e := s.e
 	if s.expired() {
@@ -322,10 +378,23 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 	if !ok {
 		return nil, false, nil
 	}
+	if rr, ranges := e.backend.(RecordRanger); ranges {
+		cr, ok, err := rr.RangeRecord(ref)
+		if err != nil {
+			if s.degrade(err) {
+				return nil, false, nil
+			}
+			return nil, false, err
+		}
+		if ok {
+			s.countLookup(term, entry.ListBytes)
+			return s.track(s.rangeIterator(cr)), true, nil
+		}
+	}
 	if rs, streams := e.backend.(RecordStreamer); streams {
 		if r, ok := rs.StreamRecord(ref); ok {
 			s.countLookup(term, entry.ListBytes)
-			return &countingIterator{it: postings.NewStreamReader(r), s: s, rec: s.rec}, true, nil
+			return s.track(&countingIterator{it: postings.NewStreamReader(r), s: s, rec: s.rec}), true, nil
 		}
 	}
 	if s.rec != nil {
@@ -342,7 +411,55 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 		return nil, false, err
 	}
 	s.countLookup(term, uint32(len(rec)))
-	return &countingIterator{it: postings.NewReader(rec), s: s, rec: s.rec}, true, nil
+	return s.track(&countingIterator{it: postings.Iter(rec), s: s, rec: s.rec}), true, nil
+}
+
+// track registers an iterator for end-of-query skip accounting.
+func (s *Searcher) track(ci *countingIterator) *countingIterator {
+	s.iters = append(s.iters, ci)
+	return ci
+}
+
+// rangeIterator builds the iterator over an indexed chunked record: a
+// skip-capable BlockReader when the record is block-format, otherwise a
+// sequential stream decoder fed chunk by chunk. The version is decided
+// by peeking the record's first bytes — one chunk fault, which the
+// sequential path would pay anyway and the block path re-reads as part
+// of its header.
+func (s *Searcher) rangeIterator(cr *mneme.ChunkRange) *countingIterator {
+	if cr.Size() > 2 {
+		if magic, err := cr.ReadRange(0, 3); err == nil && postings.IsV2(magic) {
+			return &countingIterator{it: postings.NewBlockRangeReader(chunkRangeSource{cr}), s: s, rec: s.rec, cr: cr}
+		}
+	}
+	return &countingIterator{it: postings.NewStreamReader(&chunkRangeReader{cr: cr}), s: s, rec: s.rec, cr: cr}
+}
+
+// chunkRangeSource adapts mneme.ChunkRange to postings.RangeSource.
+type chunkRangeSource struct{ cr *mneme.ChunkRange }
+
+func (c chunkRangeSource) ReadRange(off, n int) ([]byte, error) { return c.cr.ReadRange(off, n) }
+func (c chunkRangeSource) Size() int                            { return c.cr.Size() }
+
+// chunkRangeReader adapts a ChunkRange to io.Reader for sequential
+// consumption of v1-encoded payloads.
+type chunkRangeReader struct {
+	cr  *mneme.ChunkRange
+	off int
+}
+
+func (r *chunkRangeReader) Read(p []byte) (int, error) {
+	n := min(len(p), r.cr.Size()-r.off)
+	if n <= 0 {
+		return 0, io.EOF
+	}
+	b, err := r.cr.ReadRange(r.off, n)
+	if err != nil {
+		return 0, err
+	}
+	copy(p, b)
+	r.off += n
+	return n, nil
 }
 
 // NumDocs implements inference.Source.
@@ -375,10 +492,12 @@ const deadlineCheckEvery = 256
 // the owning query's context is checked, so an expired query stops
 // mid-list instead of draining a multi-megabyte stream.
 type countingIterator struct {
-	it  recordIterator
-	s   *Searcher
-	rec obs.Recorder
-	n   int64 // postings streamed, for the periodic deadline check
+	it   recordIterator
+	s    *Searcher
+	rec  obs.Recorder
+	n    int64             // postings streamed, for the periodic deadline check
+	cr   *mneme.ChunkRange // chunked storage behind it, for skip accounting
+	done bool
 }
 
 func (ci *countingIterator) Next() (postings.Posting, bool) {
@@ -398,3 +517,60 @@ func (ci *countingIterator) Next() (postings.Posting, bool) {
 
 func (ci *countingIterator) DF() uint64 { return ci.it.DF() }
 func (ci *countingIterator) Err() error { return ci.it.Err() }
+
+// Advance implements inference.AdvancingIterator: block readers skip
+// whole blocks (and, through chunked storage, whole chunks); sequential
+// decoders fall back to a linear scan, which still counts every decoded
+// posting.
+func (ci *countingIterator) Advance(target uint32) (postings.Posting, bool) {
+	adv, ok := ci.it.(interface {
+		Advance(uint32) (postings.Posting, bool)
+	})
+	if !ok {
+		for {
+			p, ok := ci.Next()
+			if !ok || p.Doc >= target {
+				return p, ok
+			}
+		}
+	}
+	ci.n++
+	if ci.n%deadlineCheckEvery == 0 && ci.s.expired() {
+		return postings.Posting{}, false
+	}
+	p, found := adv.Advance(target)
+	if found {
+		ci.s.counters.Postings++
+		if ci.rec != nil {
+			ci.rec.Event(obs.EvPostings, "", 1)
+		}
+	}
+	return p, found
+}
+
+// MaxTF implements inference.BoundedIterator when the underlying record
+// format carries a maximum term frequency (v2 block descriptors).
+func (ci *countingIterator) MaxTF() (uint32, bool) {
+	if br, ok := ci.it.(*postings.BlockReader); ok {
+		return br.MaxTF(), true
+	}
+	return 0, false
+}
+
+// finish settles the iterator's skip statistics into the searcher's
+// counters: postings and blocks an Advance jumped past, and storage
+// chunks never faulted in. Idempotent.
+func (ci *countingIterator) finish() {
+	if ci.done {
+		return
+	}
+	ci.done = true
+	if br, ok := ci.it.(*postings.BlockReader); ok {
+		st := br.FinishStats()
+		ci.s.counters.PostingsSkipped += int64(st.Postings)
+		ci.s.counters.BlocksSkipped += int64(st.Blocks)
+	}
+	if ci.cr != nil {
+		ci.s.counters.ChunksSkipped += int64(ci.cr.Chunks() - ci.cr.Faulted())
+	}
+}

@@ -119,7 +119,7 @@ func (e *Engine) DeleteDocument(docID uint32, text string) error {
 		// statistics (the supplied text may not match what was indexed).
 		present := false
 		var tf uint64
-		r := postings.NewReader(old)
+		r := postings.Iter(old)
 		for {
 			p, ok := r.Next()
 			if !ok {

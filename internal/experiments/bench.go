@@ -5,13 +5,15 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
 
 // BenchSchema versions the BENCH_query.json format. Bump it whenever a
 // field changes meaning, so CompareBench refuses to diff across formats.
-const BenchSchema = "repro/bench_query/v1"
+// v2 added the prune stage, skip counters, and the chunked DAAT rows.
+const BenchSchema = "repro/bench_query/v2"
 
 // BenchSystems are the configurations the bench mode measures: the two
 // storage backends, with Mneme under its paper buffer plan.
@@ -36,6 +38,15 @@ type BenchHitRate struct {
 	Rate float64 `json:"rate"`
 }
 
+// BenchSkips totals the evaluation work the run avoided: postings an
+// Advance-capable iterator never surfaced, block bodies never decoded,
+// and storage chunks never faulted in.
+type BenchSkips struct {
+	Postings int64 `json:"postings"`
+	Blocks   int64 `json:"blocks"`
+	Chunks   int64 `json:"chunks"`
+}
+
 // BenchRow is one (system, collection, query set) measurement.
 type BenchRow struct {
 	Backend    string         `json:"backend"`
@@ -46,6 +57,10 @@ type BenchRow struct {
 	HitRates   []BenchHitRate `json:"hit_rates,omitempty"`
 	DiskReads  int64          `json:"disk_reads"`
 	BytesRead  int64          `json:"bytes_read"`
+	// Skips is present on the document-at-a-time rows, where iterators
+	// can skip; the exhaustive and pruned rows differ only here and in
+	// the stage latencies.
+	Skips *BenchSkips `json:"skips,omitempty"`
 }
 
 // BenchReport is the full bench-mode output (BENCH_query.json).
@@ -72,17 +87,109 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i] + (sorted[i+1]-sorted[i])*frac
 }
 
+// benchSetup describes one measured engine configuration of the bench.
+type benchSetup struct {
+	label string // row backend label
+	kind  core.BackendKind
+	opts  []core.Option
+	daat  bool // evaluate document-at-a-time with topK
+	topK  int  // ranking depth for the DAAT rows (0 = all, TAAT rows)
+	skips bool // record the skip counters on the row
+}
+
+// benchRow measures one (setup, collection, query set) cell: fresh
+// engine, chill the OS cache, reset counters, then trace the query set
+// in order (buffers warm across queries within a row, as in the
+// paper's batch runs).
+func (l *Lab) benchRow(b *Built, colName, qsName string, queries []collection.Query, set benchSetup) (BenchRow, error) {
+	costs := l.Model.Costs()
+	opts := append([]core.Option{core.WithAnalyzer(analyzer())}, set.opts...)
+	eng, err := core.Open(b.FS, colName, set.kind, opts...)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	defer eng.Close()
+	b.FS.Chill()
+	eng.ResetCounters()
+	eng.Backend().ResetBufferStats()
+	before := b.FS.Stats()
+
+	stageUS := make(map[obs.Stage][]float64, len(obs.Stages()))
+	for _, q := range queries {
+		_, tr, err := eng.TraceSearch(q.Text, set.topK, set.daat)
+		if err != nil {
+			return BenchRow{}, fmt.Errorf("experiments: bench %s/%s/%s: query %s: %w",
+				set.label, colName, qsName, q.ID, err)
+		}
+		totals := tr.StageTotals()
+		for _, st := range obs.Stages() {
+			tot := totals[st]
+			ns := costs.SimNS(&tot.Counts)
+			if st == obs.StageQuery {
+				ns += costs.QueryNS
+			}
+			stageUS[st] = append(stageUS[st], float64(ns)/1e3)
+		}
+	}
+
+	delta := b.FS.Stats().Sub(before)
+	row := BenchRow{
+		Backend:    set.label,
+		Collection: colName,
+		QuerySet:   qsName,
+		Queries:    len(queries),
+		DiskReads:  delta.DiskReads,
+		BytesRead:  delta.BytesRead,
+	}
+	for _, st := range obs.Stages() {
+		us := stageUS[st]
+		sort.Float64s(us)
+		row.Stages = append(row.Stages, BenchStage{
+			Stage: st.String(),
+			P50us: quantile(us, 0.50),
+			P95us: quantile(us, 0.95),
+			P99us: quantile(us, 0.99),
+		})
+	}
+	bufs := eng.Backend().BufferStats()
+	pools := make([]string, 0, len(bufs))
+	for pool := range bufs {
+		pools = append(pools, pool)
+	}
+	sort.Strings(pools)
+	for _, pool := range pools {
+		bs := bufs[pool]
+		row.HitRates = append(row.HitRates, BenchHitRate{
+			Pool: pool, Refs: bs.Refs, Hits: bs.Hits, Rate: bs.HitRate(),
+		})
+	}
+	if set.skips {
+		c := eng.Counters()
+		row.Skips = &BenchSkips{
+			Postings: c.PostingsSkipped,
+			Blocks:   c.BlocksSkipped,
+			Chunks:   c.ChunksSkipped,
+		}
+	}
+	return row, nil
+}
+
 // RunBench traces the standard query mix of every matrix row under each
 // bench system and distils per-stage simulated-latency quantiles, buffer
-// hit rates, and I/O totals. The protocol per row mirrors RunFresh:
-// fresh engine, chill the OS cache, reset counters, then evaluate the
-// query set in order (buffers warm across queries within a row, as in
-// the paper's batch runs).
+// hit rates, I/O totals, and skip counters. Beyond the term-at-a-time
+// systems the paper measured, the SysMnemeCache configuration also runs
+// two document-at-a-time rows against the chunked-collection variant —
+// exhaustive ("Mneme, Cache (daat)") and MaxScore-pruned ("Mneme, Cache
+// (pruned)") — whose stage latencies and skip counters quantify what
+// block-format skipping saves.
 func (l *Lab) RunBench(systems []System) (*BenchReport, error) {
 	if len(systems) == 0 {
 		systems = BenchSystems
 	}
-	costs := l.Model.Costs()
+	topK := l.BenchTopK
+	if topK <= 0 {
+		topK = DefaultBenchTopK
+	}
 	report := &BenchReport{Schema: BenchSchema, Scale: l.Scale}
 	for _, p := range matrix() {
 		b, err := l.Collection(p.col)
@@ -92,81 +199,49 @@ func (l *Lab) RunBench(systems []System) (*BenchReport, error) {
 		qs := b.Col.QuerySets[p.qs]
 		queries := b.Col.GenQueries(qs)
 		for _, sys := range systems {
-			var kind core.BackendKind
-			plan := core.NoCache
+			set := benchSetup{label: sys.String()}
 			switch sys {
 			case SysBTree:
-				kind = core.BackendBTree
+				set.kind = core.BackendBTree
 			case SysMnemeNoCache:
-				kind = core.BackendMneme
+				set.kind = core.BackendMneme
+				set.opts = []core.Option{core.WithPlan(core.NoCache)}
 			case SysMnemeCache:
-				kind = core.BackendMneme
-				plan = PlanFor(b)
+				set.kind = core.BackendMneme
+				set.opts = []core.Option{core.WithPlan(PlanFor(b))}
 			default:
 				return nil, fmt.Errorf("experiments: unknown system %d", sys)
 			}
-			eng, err := core.Open(b.FS, p.col, kind,
-				core.WithAnalyzer(analyzer()), core.WithPlan(plan))
+			row, err := l.benchRow(b, p.col, qs.Name, queries, set)
 			if err != nil {
 				return nil, err
 			}
-			b.FS.Chill()
-			eng.ResetCounters()
-			eng.Backend().ResetBufferStats()
-			before := b.FS.Stats()
-
-			stageUS := make(map[obs.Stage][]float64, len(obs.Stages()))
-			for _, q := range queries {
-				_, tr, err := eng.TraceSearch(q.Text, 0, false)
-				if err != nil {
-					eng.Close()
-					return nil, fmt.Errorf("experiments: bench %s/%s/%s: query %s: %w",
-						sys, p.col, qs.Name, q.ID, err)
-				}
-				totals := tr.StageTotals()
-				for _, st := range obs.Stages() {
-					tot := totals[st]
-					ns := costs.SimNS(&tot.Counts)
-					if st == obs.StageQuery {
-						ns += costs.QueryNS
-					}
-					stageUS[st] = append(stageUS[st], float64(ns)/1e3)
-				}
-			}
-
-			delta := b.FS.Stats().Sub(before)
-			row := BenchRow{
-				Backend:    sys.String(),
-				Collection: p.col,
-				QuerySet:   qs.Name,
-				Queries:    len(queries),
-				DiskReads:  delta.DiskReads,
-				BytesRead:  delta.BytesRead,
-			}
-			for _, st := range obs.Stages() {
-				us := stageUS[st]
-				sort.Float64s(us)
-				row.Stages = append(row.Stages, BenchStage{
-					Stage: st.String(),
-					P50us: quantile(us, 0.50),
-					P95us: quantile(us, 0.95),
-					P99us: quantile(us, 0.99),
-				})
-			}
-			bufs := eng.Backend().BufferStats()
-			pools := make([]string, 0, len(bufs))
-			for pool := range bufs {
-				pools = append(pools, pool)
-			}
-			sort.Strings(pools)
-			for _, pool := range pools {
-				bs := bufs[pool]
-				row.HitRates = append(row.HitRates, BenchHitRate{
-					Pool: pool, Refs: bs.Refs, Hits: bs.Hits, Rate: bs.HitRate(),
-				})
-			}
-			eng.Close()
 			report.Rows = append(report.Rows, row)
+
+			if sys != SysMnemeCache {
+				continue
+			}
+			cb, err := l.ChunkedCollection(p.col)
+			if err != nil {
+				return nil, err
+			}
+			base := []core.Option{
+				core.WithPlan(PlanFor(cb)),
+				core.WithChunking(ChunkPayloadBytes),
+			}
+			for _, ds := range []benchSetup{
+				{label: sys.String() + " (daat)", kind: core.BackendMneme,
+					opts: base, daat: true, topK: topK, skips: true},
+				{label: sys.String() + " (pruned)", kind: core.BackendMneme,
+					opts: append(append([]core.Option{}, base...), core.WithPruning()),
+					daat: true, topK: topK, skips: true},
+			} {
+				row, err := l.benchRow(cb, p.col, qs.Name, queries, ds)
+				if err != nil {
+					return nil, err
+				}
+				report.Rows = append(report.Rows, row)
+			}
 		}
 	}
 	return report, nil

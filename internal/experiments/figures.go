@@ -182,6 +182,9 @@ func logSpace(lo, hi float64, n int) []float64 {
 	for i := range out {
 		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
 	}
+	// Pin the endpoints: pow(10, log10(hi)) can round just below hi,
+	// which would drop the largest sample from a cumulative curve.
+	out[0], out[n-1] = lo, hi
 	return out
 }
 

@@ -60,10 +60,14 @@ type Lab struct {
 	OSCacheBytes int64
 	// Model converts I/O counters into 1993-hardware time estimates.
 	Model vfs.TimeModel
+	// BenchTopK is the ranking depth of the bench mode's DAAT rows —
+	// the k that MaxScore pruning prunes against.
+	BenchTopK int
 
-	mu   sync.Mutex
-	cols map[string]*Built
-	runs map[string]*RunResult
+	mu      sync.Mutex
+	cols    map[string]*Built
+	chunked map[string]*Built
+	runs    map[string]*RunResult
 }
 
 // Built is a collection constructed under the lab's file system.
@@ -80,13 +84,22 @@ type Built struct {
 // DefaultOSCache is the lab's simulated file-system cache size.
 const DefaultOSCache = 512 << 10
 
+// DefaultBenchTopK is the bench mode's default ranking depth.
+const DefaultBenchTopK = 10
+
+// ChunkPayloadBytes is the chunk payload size of the lab's chunked
+// collection variants (one medium segment's worth of record bytes).
+const ChunkPayloadBytes = 4096
+
 // NewLab creates a lab at the given collection scale.
 func NewLab(scale float64) *Lab {
 	return &Lab{
 		Scale:        scale,
 		OSCacheBytes: DefaultOSCache,
 		Model:        vfs.Model1993(),
+		BenchTopK:    DefaultBenchTopK,
 		cols:         make(map[string]*Built),
+		chunked:      make(map[string]*Built),
 		runs:         make(map[string]*RunResult),
 	}
 }
@@ -121,9 +134,46 @@ func (l *Lab) Collection(name string) (*Built, error) {
 	return b, nil
 }
 
+// ChunkedCollection builds (once) the named collection with large
+// inverted lists stored as indexed chunked objects, on its own file
+// system — the substrate of the bench mode's skip-aware DAAT rows. The
+// table experiments keep using the unchunked Collection, so their
+// numbers are unaffected.
+func (l *Lab) ChunkedCollection(name string) (*Built, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b, ok := l.chunked[name]; ok {
+		return b, nil
+	}
+	col, ok := collection.ByName(name, l.Scale)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown collection %q", name)
+	}
+	fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize, OSCacheBytes: l.OSCacheBytes})
+	stream := col.Stream()
+	stats, err := core.Build(fs, col.Name, stream, core.BuildOptions{
+		Analyzer:        analyzer(),
+		Backends:        []core.BackendKind{core.BackendMneme},
+		ChunkLargeLists: ChunkPayloadBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build chunked %s: %w", name, err)
+	}
+	b := &Built{Col: col, FS: fs, Stats: stats, TextBytes: stream.TextBytes()}
+	b.MaxList = maxDictListBytes(fs, col.Name, core.BackendMneme)
+	l.chunked[name] = b
+	return b, nil
+}
+
 // maxListBytes scans the collection dictionary for the largest record.
 func maxListBytes(fs *vfs.FS, name string) int64 {
-	e, err := core.Open(fs, name, core.BackendBTree, core.WithAnalyzer(analyzer()))
+	return maxDictListBytes(fs, name, core.BackendBTree)
+}
+
+// maxDictListBytes is maxListBytes through whichever backend index
+// file the build produced.
+func maxDictListBytes(fs *vfs.FS, name string, kind core.BackendKind) int64 {
+	e, err := core.Open(fs, name, kind, core.WithAnalyzer(analyzer()))
 	if err != nil {
 		return 0
 	}

@@ -46,6 +46,7 @@ type Builder struct {
 	dict     *lexicon.Dictionary
 	runLimit int
 	scratch  string // scratch file name prefix
+	v1       bool   // force sequential v1 record encoding
 
 	buf     []tuple
 	runs    []string
@@ -64,6 +65,11 @@ type Options struct {
 	RunLimit int
 	// Scratch prefixes the names of temporary run files.
 	Scratch string
+	// V1Postings forces every record into the sequential v1 encoding,
+	// disabling the block (v2) format for lists long enough to benefit
+	// from it. For building legacy-layout collections and for the
+	// mixed-version compatibility tests.
+	V1Postings bool
 }
 
 // NewBuilder returns an empty Builder writing scratch runs into fs.
@@ -80,7 +86,7 @@ func NewBuilder(fs *vfs.FS, opt Options) *Builder {
 	if scratch == "" {
 		scratch = "indexrun"
 	}
-	return &Builder{fs: fs, an: an, dict: lexicon.New(), runLimit: rl, scratch: scratch}
+	return &Builder{fs: fs, an: an, dict: lexicon.New(), runLimit: rl, scratch: scratch, v1: opt.V1Postings}
 }
 
 // Dictionary exposes the term dictionary being built.
@@ -300,7 +306,11 @@ func (m *Merged) Next() (termID uint32, rec []byte, ok bool, err error) {
 			return 0, nil, false, err
 		}
 	}
-	rec, err = postings.Encode(ps)
+	if m.b.v1 {
+		rec, err = postings.Encode(ps)
+	} else {
+		rec, err = postings.EncodeAuto(ps)
+	}
 	if err != nil {
 		m.err = err
 		return 0, nil, false, err

@@ -91,10 +91,21 @@ func EvaluateDAAT(n *Node, src StreamSource, topK int) ([]Result, error) {
 	if err := collectLeaves(n, src, leaves); err != nil {
 		return nil, err
 	}
+	// Gather iterators in tree order, not map order: the advance order
+	// fixes the storage access sequence, and a deterministic sequence
+	// keeps buffer hit counts and fault-in traces reproducible.
 	var all []*peekIter
-	for _, ls := range leaves {
-		all = append(all, ls.iters...)
+	var gather func(*Node)
+	gather = func(n *Node) {
+		if ls, ok := leaves[n]; ok {
+			all = append(all, ls.iters...)
+			return
+		}
+		for _, c := range n.Children {
+			gather(c)
+		}
 	}
+	gather(n)
 
 	// The whole document-at-a-time sweep is one scoring span: postings
 	// stream past inside it (via the source's counting iterators), and

@@ -1,0 +1,291 @@
+package inference
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/postings"
+)
+
+// blockSource wraps a fakeSource so every list is served through a v2
+// BlockReader — the iterators implement Advance and MaxTF, exercising
+// the skip-aware path of MaxScore.
+type blockSource struct {
+	*fakeSource
+	encoded map[string][]byte
+}
+
+func newBlockSource(f *fakeSource, t testing.TB) *blockSource {
+	bs := &blockSource{fakeSource: f, encoded: make(map[string][]byte)}
+	for term, ps := range f.lists {
+		rec, err := postings.EncodeV2(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs.encoded[term] = rec
+	}
+	return bs
+}
+
+// blockIter adapts a BlockReader to the evaluator interfaces.
+type blockIter struct{ br *postings.BlockReader }
+
+func (b blockIter) Next() (postings.Posting, bool) { return b.br.Next() }
+func (b blockIter) DF() uint64                     { return b.br.DF() }
+func (b blockIter) Err() error                     { return b.br.Err() }
+func (b blockIter) Advance(target uint32) (postings.Posting, bool) {
+	return b.br.Advance(target)
+}
+func (b blockIter) MaxTF() (uint32, bool) { return b.br.MaxTF(), true }
+
+func (bs *blockSource) Iterator(term string) (PostingIterator, bool, error) {
+	rec, ok := bs.encoded[term]
+	if !ok {
+		return nil, false, nil
+	}
+	br, ok := postings.OpenBlockReader(rec)
+	if !ok {
+		return nil, false, fmt.Errorf("list for %q not v2", term)
+	}
+	return blockIter{br: br}, true, nil
+}
+
+// randomSource builds a synthetic collection with Zipf-ish lists.
+func randomMSSource(rng *rand.Rand, terms, docs int) *fakeSource {
+	f := newFake()
+	f.n = docs
+	for ti := 0; ti < terms; ti++ {
+		df := 1 + rng.Intn(docs/2)
+		seen := make(map[uint32]bool)
+		var ps []postings.Posting
+		for len(ps) < df {
+			d := uint32(rng.Intn(docs))
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			ps = append(ps, postings.Posting{Doc: d})
+		}
+		// sort and attach 1..4 positions
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && ps[j].Doc < ps[j-1].Doc; j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+		for i := range ps {
+			tf := 1 + rng.Intn(4)
+			pos := make([]uint32, tf)
+			for k := range pos {
+				pos[k] = uint32(k * 3)
+			}
+			ps[i].Positions = pos
+		}
+		f.add(fmt.Sprintf("t%d", ti), ps...)
+	}
+	return f
+}
+
+// TestMaxScoreExact compares MaxScore against exhaustive DAAT on
+// random flat queries over both slice-backed and block-backed sources.
+// Scores must be bit-identical, not merely close: MaxScore rescores
+// every surviving candidate with the same arithmetic.
+func TestMaxScoreExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 40; iter++ {
+		f := randomMSSource(rng, 2+rng.Intn(6), 50+rng.Intn(400))
+		bs := newBlockSource(f, t)
+
+		nTerms := 1 + rng.Intn(5)
+		children := make([]*Node, nTerms)
+		weights := make([]float64, nTerms)
+		for i := range children {
+			children[i] = &Node{Op: OpTerm, Term: fmt.Sprintf("t%d", rng.Intn(8))}
+			weights[i] = 0.5 + rng.Float64()*3
+		}
+		queries := []*Node{
+			{Op: OpSum, Children: children},
+			{Op: OpWSum, Children: children, Weights: weights},
+		}
+		for qi, q := range queries {
+			for _, topK := range []int{1, 3, 10, 1000} {
+				want, err := EvaluateDAAT(q, f, topK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for si, src := range []StreamSource{f, bs} {
+					got, err := EvaluateMaxScore(q, src, topK)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("iter %d q%d src%d k%d: %d results, want %d",
+							iter, qi, si, topK, len(got), len(want))
+					}
+					for i := range want {
+						if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+							t.Fatalf("iter %d q%d src%d k%d rank %d: got %d/%.17g want %d/%.17g",
+								iter, qi, si, topK, i,
+								got[i].Doc, got[i].Score, want[i].Doc, want[i].Score)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaxScoreFallback: shapes outside the eligible flat sum must
+// delegate to the exhaustive evaluator and still agree with it.
+func TestMaxScoreFallback(t *testing.T) {
+	f := newFake()
+	f.add("a", pk(1, 1), pk(3, 1, 2), pk(9, 4))
+	f.add("b", pk(3, 2), pk(9, 1))
+	queries := []*Node{
+		{Op: OpAnd, Children: []*Node{{Op: OpTerm, Term: "a"}, {Op: OpTerm, Term: "b"}}},
+		{Op: OpSum, Children: []*Node{
+			{Op: OpTerm, Term: "a"},
+			{Op: OpSyn, Children: []*Node{{Op: OpTerm, Term: "b"}}},
+		}},
+		{Op: OpTerm, Term: "a"},
+	}
+	for qi, q := range queries {
+		want, err := EvaluateDAAT(q, f, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvaluateMaxScore(q, f, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q%d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q%d rank %d: got %v want %v", qi, i, got[i], want[i])
+			}
+		}
+	}
+	// topK <= 0 (return all) also falls back.
+	if _, err := EvaluateMaxScore(queries[0], f, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxScoreMissingTerms: absent terms contribute the prior, exactly
+// as in exhaustive evaluation.
+func TestMaxScoreMissingTerms(t *testing.T) {
+	f := newFake()
+	f.add("a", pk(1, 1), pk(5, 1, 2))
+	q := &Node{Op: OpSum, Children: []*Node{
+		{Op: OpTerm, Term: "a"},
+		{Op: OpTerm, Term: "zzz-not-indexed"},
+	}}
+	want, err := EvaluateDAAT(q, f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateMaxScore(q, f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMaxScorePrunes pins down that pruning actually skips work on a
+// skewed collection: with one rare high-idf term and one ubiquitous
+// low-idf term, the ubiquitous list must not be fully consumed.
+func TestMaxScorePrunes(t *testing.T) {
+	f := newFake()
+	f.n = 4000
+	common := make([]postings.Posting, 2000)
+	for i := range common {
+		common[i] = postings.Posting{Doc: uint32(i * 2), Positions: []uint32{1}}
+	}
+	rare := []postings.Posting{
+		{Doc: 100, Positions: []uint32{1, 2, 3}},
+		{Doc: 2900, Positions: []uint32{4, 5}},
+	}
+	f.add("common", common...)
+	f.add("rare", rare...)
+	bs := newBlockSource(f, t)
+
+	q := &Node{Op: OpSum, Children: []*Node{
+		{Op: OpTerm, Term: "rare"},
+		{Op: OpTerm, Term: "common"},
+	}}
+	want, err := EvaluateDAAT(q, f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count how much of the common list the pruned run surfaces via a
+	// counting wrapper around the block source.
+	cs := &countSource{StreamSource: bs, counts: map[string]*countIter{}}
+	got, err := EvaluateMaxScore(q, cs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	ci := cs.counts["common"]
+	if ci == nil {
+		t.Fatal("common list never opened")
+	}
+	if ci.surfaced >= len(common) {
+		t.Fatalf("pruned run surfaced the whole common list (%d postings)", ci.surfaced)
+	}
+}
+
+type countSource struct {
+	StreamSource
+	counts map[string]*countIter
+}
+
+type countIter struct {
+	AdvancingIterator
+	surfaced int
+}
+
+func (c *countIter) Next() (postings.Posting, bool) {
+	p, ok := c.AdvancingIterator.Next()
+	if ok {
+		c.surfaced++
+	}
+	return p, ok
+}
+
+func (c *countIter) Advance(target uint32) (postings.Posting, bool) {
+	p, ok := c.AdvancingIterator.Advance(target)
+	if ok {
+		c.surfaced++
+	}
+	return p, ok
+}
+
+func (c *countIter) MaxTF() (uint32, bool) {
+	if b, ok := c.AdvancingIterator.(BoundedIterator); ok {
+		return b.MaxTF()
+	}
+	return 0, false
+}
+
+func (c *countSource) Iterator(term string) (PostingIterator, bool, error) {
+	it, ok, err := c.StreamSource.Iterator(term)
+	if !ok || err != nil {
+		return it, ok, err
+	}
+	ci := &countIter{AdvancingIterator: it.(AdvancingIterator)}
+	c.counts[term] = ci
+	return ci, true, nil
+}

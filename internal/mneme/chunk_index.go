@@ -1,0 +1,163 @@
+package mneme
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Indexed chunked objects extend the linked-list layout with a head
+// object that maps byte ranges to chunks, enabling the "incremental
+// retrieval of large aggregate objects" of paper §6 to become random
+// access: a reader that knows which byte ranges it wants (a
+// block-format inverted list skipping whole blocks) faults in only the
+// chunks those ranges overlap.
+//
+// Head object payload (all uint32 little-endian):
+//
+//	[0:4]   first data chunk id (NilID when the object is empty)
+//	[4:8]   chunk count
+//	[8:12]  total payload bytes
+//	[12:16] payload bytes per chunk (last chunk may be short)
+//	[16:]   count × chunk id
+//
+// Data chunks are identical to linked chunks — 4-byte next pointer,
+// then payload — and remain chained. The head's first word doubles as
+// a next pointer, so ChunkRefLocator, DeleteChunked, and garbage
+// collection traverse indexed objects exactly like linked ones; only
+// readers consult the table.
+
+const chunkIndexHeader = 16
+
+// WriteChunkedIndexed stores data as chained chunks plus an index
+// head in the named pool and returns the head's identifier.
+func WriteChunkedIndexed(st *Store, poolName string, data []byte, chunkSize int) (ObjectID, error) {
+	if chunkSize <= 0 {
+		return NilID, fmt.Errorf("mneme: chunk size %d", chunkSize)
+	}
+	n := (len(data) + chunkSize - 1) / chunkSize
+	ids := make([]ObjectID, n)
+	next := NilID
+	for i := n - 1; i >= 0; i-- {
+		lo := i * chunkSize
+		hi := min(lo+chunkSize, len(data))
+		chunk := make([]byte, chunkHeader+hi-lo)
+		binary.LittleEndian.PutUint32(chunk, uint32(next))
+		copy(chunk[chunkHeader:], data[lo:hi])
+		id, err := st.Allocate(poolName, chunk)
+		if err != nil {
+			return NilID, err
+		}
+		ids[i] = id
+		next = id
+	}
+	head := make([]byte, chunkIndexHeader+4*n)
+	binary.LittleEndian.PutUint32(head[0:], uint32(next)) // first chunk or NilID
+	binary.LittleEndian.PutUint32(head[4:], uint32(n))
+	binary.LittleEndian.PutUint32(head[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(head[12:], uint32(chunkSize))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(head[chunkIndexHeader+4*i:], uint32(id))
+	}
+	return st.Allocate(poolName, head)
+}
+
+// ChunkRange is random access over an indexed chunked object's
+// payload. It tracks which chunks it has faulted in, so a caller can
+// report how many the access pattern skipped entirely.
+type ChunkRange struct {
+	st        *Store
+	ids       []ObjectID
+	chunkSize int
+	total     int
+	faulted   []bool
+	nfaulted  int
+	buf       []byte // reused backing for ReadRange results
+}
+
+// OpenChunkRange reads an indexed object's head (one object view — no
+// data chunks are touched) and returns the range reader.
+func OpenChunkRange(st *Store, head ObjectID) (*ChunkRange, error) {
+	cr := &ChunkRange{st: st}
+	err := st.View(head, func(data []byte) error {
+		if len(data) < chunkIndexHeader {
+			return fmt.Errorf("%w: chunk index %#x shorter than header", ErrCorrupt, uint32(head))
+		}
+		count := int(binary.LittleEndian.Uint32(data[4:]))
+		cr.total = int(binary.LittleEndian.Uint32(data[8:]))
+		cr.chunkSize = int(binary.LittleEndian.Uint32(data[12:]))
+		if len(data) != chunkIndexHeader+4*count {
+			return fmt.Errorf("%w: chunk index %#x length %d for %d chunks", ErrCorrupt, uint32(head), len(data), count)
+		}
+		if cr.chunkSize <= 0 || count != (cr.total+cr.chunkSize-1)/cr.chunkSize {
+			return fmt.Errorf("%w: chunk index %#x: %d chunks of %d for %d bytes", ErrCorrupt, uint32(head), count, cr.chunkSize, cr.total)
+		}
+		cr.ids = make([]ObjectID, count)
+		for i := range cr.ids {
+			cr.ids[i] = ObjectID(binary.LittleEndian.Uint32(data[chunkIndexHeader+4*i:]))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cr.faulted = make([]bool, len(cr.ids))
+	return cr, nil
+}
+
+// Size returns the total payload length in bytes.
+func (cr *ChunkRange) Size() int { return cr.total }
+
+// Chunks returns the number of data chunks backing the object.
+func (cr *ChunkRange) Chunks() int { return len(cr.ids) }
+
+// Faulted returns how many distinct chunks have been read so far.
+func (cr *ChunkRange) Faulted() int { return cr.nfaulted }
+
+// ReadRange returns n payload bytes at offset off, faulting in only
+// the chunks the range overlaps. The returned slice is valid until the
+// next ReadRange call.
+func (cr *ChunkRange) ReadRange(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > cr.total {
+		return nil, fmt.Errorf("%w: range [%d,%d) outside %d-byte chunked object", ErrCorrupt, off, off+n, cr.total)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	cr.buf = cr.buf[:0]
+	for ci := off / cr.chunkSize; ci <= (off+n-1)/cr.chunkSize; ci++ {
+		lo := max(off-ci*cr.chunkSize, 0)
+		hi := min(off+n-ci*cr.chunkSize, cr.chunkSize)
+		err := cr.st.View(cr.ids[ci], func(data []byte) error {
+			if len(data) < chunkHeader+hi {
+				return fmt.Errorf("%w: chunk %#x shorter than indexed payload", ErrCorrupt, uint32(cr.ids[ci]))
+			}
+			cr.buf = append(cr.buf, data[chunkHeader+lo:chunkHeader+hi]...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !cr.faulted[ci] {
+			cr.faulted[ci] = true
+			cr.nfaulted++
+		}
+	}
+	return cr.buf, nil
+}
+
+// ReadChunkedIndexed materializes the whole payload of an indexed
+// chunked object.
+func ReadChunkedIndexed(st *Store, head ObjectID) ([]byte, error) {
+	cr, err := OpenChunkRange(st, head)
+	if err != nil {
+		return nil, err
+	}
+	if cr.total == 0 {
+		return nil, nil
+	}
+	out, err := cr.ReadRange(0, cr.total)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), out...), nil
+}

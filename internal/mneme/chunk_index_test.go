@@ -1,0 +1,139 @@
+package mneme
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChunkIndexRoundTrip(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	for _, size := range []int{0, 1, 100, 1024, 1025, 10000, 100000} {
+		data := payload(size, size)
+		head, err := WriteChunkedIndexed(st, "chunks", data, 1024)
+		if err != nil {
+			t.Fatalf("WriteChunkedIndexed(%d): %v", size, err)
+		}
+		got, err := ReadChunkedIndexed(st, head)
+		if err != nil {
+			t.Fatalf("ReadChunkedIndexed(%d): %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("indexed round trip failed for %d bytes", size)
+		}
+		cr, err := OpenChunkRange(st, head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Size() != size {
+			t.Fatalf("Size = %d, want %d", cr.Size(), size)
+		}
+		wantChunks := (size + 1023) / 1024
+		if cr.Chunks() != wantChunks {
+			t.Fatalf("Chunks = %d, want %d", cr.Chunks(), wantChunks)
+		}
+	}
+	if _, err := WriteChunkedIndexed(st, "chunks", []byte("x"), 0); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}
+
+func TestChunkRangeReads(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	data := payload(3, 10_000)
+	head, err := WriteChunkedIndexed(st, "chunks", data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := OpenChunkRange(st, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ off, n int }{
+		{0, 0}, {0, 1}, {0, 1024}, {1023, 2}, {1024, 1024},
+		{5000, 3000}, {9999, 1}, {0, 10_000}, {2048, 0},
+	}
+	for _, c := range cases {
+		got, err := cr.ReadRange(c.off, c.n)
+		if err != nil {
+			t.Fatalf("ReadRange(%d,%d): %v", c.off, c.n, err)
+		}
+		if !bytes.Equal(got, data[c.off:c.off+c.n]) {
+			t.Fatalf("ReadRange(%d,%d) wrong bytes", c.off, c.n)
+		}
+	}
+	for _, c := range []struct{ off, n int }{{-1, 5}, {0, 10_001}, {10_000, 1}, {5, -1}} {
+		if _, err := cr.ReadRange(c.off, c.n); err == nil {
+			t.Fatalf("ReadRange(%d,%d) accepted", c.off, c.n)
+		}
+	}
+}
+
+// TestChunkRangeSkipsChunks is the layer-level form of the tentpole
+// claim: reading a sparse subset of ranges faults in only the chunks
+// those ranges overlap.
+func TestChunkRangeSkipsChunks(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	data := payload(4, 64*1024)
+	head, err := WriteChunkedIndexed(st, "chunks", data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := OpenChunkRange(st, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Faulted() != 0 {
+		t.Fatalf("opened with %d faulted chunks", cr.Faulted())
+	}
+	// Touch the first chunk, one in the middle, and a straddling pair.
+	if _, err := cr.ReadRange(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.ReadRange(30*1024, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.ReadRange(50*1024-50, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cr.Faulted(), 4; got != want {
+		t.Fatalf("Faulted = %d, want %d", got, want)
+	}
+	if cr.Chunks() != 64 {
+		t.Fatalf("Chunks = %d, want 64", cr.Chunks())
+	}
+	// Re-reading a faulted chunk must not double count.
+	if _, err := cr.ReadRange(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Faulted() != 4 {
+		t.Fatalf("Faulted after re-read = %d, want 4", cr.Faulted())
+	}
+}
+
+// TestChunkIndexDeleteCompatible: DeleteChunked walks the next-pointer
+// chain that indexed objects preserve, removing head and every chunk.
+func TestChunkIndexDeleteCompatible(t *testing.T) {
+	fs := newStoreFS()
+	st := mustCreate(t, fs, "store", chunkConfig())
+	data := payload(5, 20_000)
+	head, err := WriteChunkedIndexed(st, "chunks", data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := OpenChunkRange(st, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := append([]ObjectID{head}, cr.ids...)
+	if err := DeleteChunked(st, head); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if err := st.View(id, func([]byte) error { return nil }); err == nil {
+			t.Fatalf("object %#x survived DeleteChunked", uint32(id))
+		}
+	}
+}

@@ -36,6 +36,10 @@ const (
 	// StageScore is inference-network evidence combination: the whole
 	// evaluation at the top level, one nested span per query leaf.
 	StageScore
+	// StagePrune is MaxScore dynamic-pruning evaluation: scoring with
+	// per-term upper bounds, where non-essential lists are skipped
+	// rather than decoded. The pruned counterpart of StageScore.
+	StagePrune
 	numStages
 )
 
@@ -52,13 +56,15 @@ func (s Stage) String() string {
 		return "fault_in"
 	case StageScore:
 		return "score"
+	case StagePrune:
+		return "prune"
 	}
 	return "?"
 }
 
 // Stages lists every span stage in declaration order.
 func Stages() []Stage {
-	return []Stage{StageQuery, StageLexicon, StageFetch, StageFaultIn, StageScore}
+	return []Stage{StageQuery, StageLexicon, StageFetch, StageFaultIn, StageScore, StagePrune}
 }
 
 // EventKind identifies one counted trace event. Events are attributed

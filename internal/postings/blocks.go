@@ -1,0 +1,520 @@
+// Block (v2) record format: the same gap-encoded varint postings as v1,
+// laid out in fixed-size blocks of BlockLen documents with a small
+// descriptor table up front. The descriptors — last docID, maximum
+// within-document tf, and byte length per block — let an iterator skip
+// whole blocks (Advance) without decoding them, and let a chunked
+// storage source avoid faulting in chunks whose blocks are never read.
+// The maximum tf doubles as the score upper bound the MaxScore pruning
+// evaluator needs.
+//
+// Layout (all integers unsigned LEB128 varints unless noted):
+//
+//	0x00 0x00 0x02           magic: two zero bytes + version
+//	ctf                      collection term frequency
+//	df                       document frequency
+//	nblocks                  ceil(df / BlockLen)
+//	nblocks × [ lastDocDelta, maxTF, byteLen ]
+//	nblocks × block body     v1-style [docGap, tf, tf × posGap] runs
+//
+// Block i holds postings i·BlockLen .. min(df,(i+1)·BlockLen)-1; the
+// per-block posting count is implicit. Document gaps continue across
+// block boundaries (the first gap of block i is relative to the last
+// docID of block i-1), so linear decoding is identical to v1; a skip to
+// block i re-bases the previous docID from descriptor i-1 instead.
+// lastDocDelta is lastDoc+1 for block 0 and lastDoc_i − lastDoc_{i-1}
+// after, mirroring the doc-gap convention.
+//
+// The magic is unambiguous against v1: a v1 record starting with two
+// zero bytes has ctf = 0 and df = 0, so it is exactly two bytes long.
+// Any longer record with that prefix must be a versioned block record.
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockLen is the fixed number of documents per block. 128 keeps
+// descriptor overhead under 3% for position-free lists while making a
+// block a meaningful skip unit (a few hundred bytes, roughly a storage
+// chunk for tf-only lists).
+const BlockLen = 128
+
+// IsV2 reports whether rec carries the block-format magic. See the
+// package comment for why two leading zero bytes on a record longer
+// than two bytes cannot be a v1 record.
+func IsV2(rec []byte) bool {
+	return len(rec) > 2 && rec[0] == 0 && rec[1] == 0
+}
+
+// EncodeV2 serializes postings in the block format. The input contract
+// matches Encode: ascending unique docs, ascending positions.
+func EncodeV2(ps []Posting) ([]byte, error) {
+	var ctf uint64
+	for _, p := range ps {
+		ctf += uint64(len(p.Positions))
+	}
+	nblocks := (len(ps) + BlockLen - 1) / BlockLen
+	var tmp [binary.MaxVarintLen64]byte
+	bodies := make([]byte, 0, 2*binary.MaxVarintLen32+len(ps)*4)
+	descs := make([]uint64, 0, nblocks*3) // lastDocDelta, maxTF, byteLen triples
+	prevDoc := int64(-1)
+	prevLast := int64(-1)
+	for b := 0; b < nblocks; b++ {
+		start := len(bodies)
+		lo, hi := b*BlockLen, min((b+1)*BlockLen, len(ps))
+		var maxTF uint64
+		for _, p := range ps[lo:hi] {
+			if int64(p.Doc) <= prevDoc {
+				return nil, fmt.Errorf("%w: document %d after %d", ErrUnsorted, p.Doc, prevDoc)
+			}
+			n := binary.PutUvarint(tmp[:], uint64(int64(p.Doc)-prevDoc))
+			bodies = append(bodies, tmp[:n]...)
+			prevDoc = int64(p.Doc)
+			if uint64(len(p.Positions)) > maxTF {
+				maxTF = uint64(len(p.Positions))
+			}
+			n = binary.PutUvarint(tmp[:], uint64(len(p.Positions)))
+			bodies = append(bodies, tmp[:n]...)
+			prevPos := int64(-1)
+			for _, pos := range p.Positions {
+				if int64(pos) <= prevPos {
+					return nil, fmt.Errorf("%w: position %d after %d in document %d", ErrUnsorted, pos, prevPos, p.Doc)
+				}
+				n = binary.PutUvarint(tmp[:], uint64(int64(pos)-prevPos))
+				bodies = append(bodies, tmp[:n]...)
+				prevPos = int64(pos)
+			}
+		}
+		last := int64(ps[hi-1].Doc)
+		descs = append(descs, uint64(last-prevLast), maxTF, uint64(len(bodies)-start))
+		prevLast = last
+	}
+	out := make([]byte, 0, 3+3*binary.MaxVarintLen32+len(descs)*2+len(bodies))
+	out = append(out, 0x00, 0x00, 0x02)
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	put(ctf)
+	put(uint64(len(ps)))
+	put(uint64(nblocks))
+	for _, v := range descs {
+		put(v)
+	}
+	out = append(out, bodies...)
+	return out, nil
+}
+
+// EncodeAuto picks the record version by list size: lists longer than
+// one block gain skip structure, shorter lists stay in the leaner v1
+// encoding (a descriptor table on a sub-block list is pure overhead).
+// Stores therefore naturally hold a mix of versions; every reader in
+// this package dispatches on the magic.
+func EncodeAuto(ps []Posting) ([]byte, error) {
+	if len(ps) > BlockLen {
+		return EncodeV2(ps)
+	}
+	return Encode(ps)
+}
+
+// RangeSource is random-access byte retrieval over one encoded record.
+// BlockReader fetches the header eagerly and each block body on first
+// use, so a source backed by chunked storage only faults in the chunks
+// that overlap the ranges actually read.
+type RangeSource interface {
+	// ReadRange returns n bytes at offset off. The returned slice is
+	// only valid until the next call.
+	ReadRange(off, n int) ([]byte, error)
+	// Size returns the total encoded record length in bytes.
+	Size() int
+}
+
+type bytesRange []byte
+
+func (b bytesRange) ReadRange(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(b) {
+		return nil, ErrCorrupt
+	}
+	return b[off : off+n], nil
+}
+
+func (b bytesRange) Size() int { return len(b) }
+
+// rangeCursor decodes varints sequentially from a RangeSource,
+// fetching small windows on demand (the header and descriptor table
+// are a tiny prefix of the record).
+type rangeCursor struct {
+	src  RangeSource
+	off  int // absolute offset of buf[0]
+	buf  []byte
+	bpos int
+	err  error
+}
+
+func (c *rangeCursor) pos() int { return c.off + c.bpos }
+
+func (c *rangeCursor) uvarint() uint64 {
+	for c.err == nil {
+		v, n := binary.Uvarint(c.buf[c.bpos:])
+		if n > 0 {
+			c.bpos += n
+			return v
+		}
+		if n < 0 {
+			c.err = ErrCorrupt
+			return 0
+		}
+		// Window exhausted mid-varint: slide it forward.
+		abs := c.pos()
+		want := c.src.Size() - abs
+		if want > 256 {
+			want = 256
+		}
+		if want <= len(c.buf)-c.bpos {
+			c.err = ErrCorrupt // already had every remaining byte
+			return 0
+		}
+		b, err := c.src.ReadRange(abs, want)
+		if err != nil {
+			c.err = err
+			return 0
+		}
+		c.buf, c.off, c.bpos = b, abs, 0
+	}
+	return 0
+}
+
+type blockDesc struct {
+	lastDoc uint32
+	maxTF   uint32
+	off     int // absolute byte offset of the block body
+	length  int
+}
+
+// SkipStats summarizes how much of a record an iterator never touched.
+type SkipStats struct {
+	Postings uint64 // postings never surfaced to the caller
+	Blocks   uint64 // blocks whose bodies were never fetched
+}
+
+// BlockReader iterates a v2 record with optional skipping. Next gives
+// the v1-compatible linear scan; Advance(doc) jumps to the first
+// posting with Doc >= doc, loading only the blocks it lands in.
+type BlockReader struct {
+	src   RangeSource
+	ctf   uint64
+	df    uint64
+	descs []blockDesc
+	maxTF uint32
+
+	cur      int // current block index; len(descs) when exhausted
+	body     []byte
+	bodyOff  int
+	inBlock  int   // postings consumed from the current block
+	prev     int64 // last decoded docID
+	returned uint64
+	loadedN  int
+	err      error
+
+	finished bool
+	stats    SkipStats
+}
+
+// NewBlockRangeReader opens a v2 record over a random-access source.
+// Header and descriptor corruption is reported through Err, like the
+// other readers in this package.
+func NewBlockRangeReader(src RangeSource) *BlockReader {
+	br := &BlockReader{src: src, prev: -1, cur: -1}
+	size := src.Size()
+	if size < 3 {
+		br.err = ErrCorrupt
+		return br
+	}
+	magic, err := src.ReadRange(0, 3)
+	if err != nil {
+		br.err = err
+		return br
+	}
+	if magic[0] != 0 || magic[1] != 0 || magic[2] != 2 {
+		br.err = ErrCorrupt
+		return br
+	}
+	c := &rangeCursor{src: src, off: 3}
+	br.ctf = c.uvarint()
+	br.df = c.uvarint()
+	nb := c.uvarint()
+	if c.err != nil {
+		br.err = c.err
+		return br
+	}
+	// The block count is fully determined by df, and each descriptor
+	// takes at least three bytes, so both checks bound the allocation
+	// below against corrupt headers.
+	if nb != (br.df+BlockLen-1)/BlockLen || nb > uint64(size)/3+1 {
+		br.err = ErrCorrupt
+		return br
+	}
+	descs := make([]blockDesc, 0, nb)
+	prevLast := int64(-1)
+	for i := uint64(0); i < nb; i++ {
+		delta := c.uvarint()
+		mt := c.uvarint()
+		bl := c.uvarint()
+		if c.err != nil {
+			br.err = c.err
+			return br
+		}
+		if delta == 0 || mt > 0xFFFFFFFF || bl < 2 || bl > uint64(size) {
+			br.err = ErrCorrupt
+			return br
+		}
+		last := prevLast + int64(delta)
+		if last > 0xFFFFFFFF {
+			br.err = ErrCorrupt
+			return br
+		}
+		descs = append(descs, blockDesc{lastDoc: uint32(last), maxTF: uint32(mt), length: int(bl)})
+		if uint32(mt) > br.maxTF {
+			br.maxTF = uint32(mt)
+		}
+		prevLast = last
+	}
+	off := c.pos()
+	for i := range descs {
+		descs[i].off = off
+		off += descs[i].length
+	}
+	if off != size {
+		br.err = ErrCorrupt // bodies must exactly fill the record
+		return br
+	}
+	br.descs = descs
+	return br
+}
+
+// OpenBlockReader opens an in-memory record if it is v2-encoded; the
+// bool is false for v1 records (use NewReader for those).
+func OpenBlockReader(rec []byte) (*BlockReader, bool) {
+	if !IsV2(rec) {
+		return nil, false
+	}
+	return NewBlockRangeReader(bytesRange(rec)), true
+}
+
+// CTF returns the collection term frequency from the header.
+func (br *BlockReader) CTF() uint64 { return br.ctf }
+
+// DF returns the document frequency from the header.
+func (br *BlockReader) DF() uint64 { return br.df }
+
+// MaxTF returns the largest within-document term frequency in the
+// record, from the descriptor table — no block decoding needed. This
+// is the basis of the per-term score upper bound in MaxScore pruning.
+func (br *BlockReader) MaxTF() uint32 { return br.maxTF }
+
+// Blocks returns the number of blocks in the record.
+func (br *BlockReader) Blocks() int { return len(br.descs) }
+
+// Err returns the first decoding error encountered, if any.
+func (br *BlockReader) Err() error { return br.err }
+
+// count returns the number of postings block i holds.
+func (br *BlockReader) count(i int) int {
+	if i == len(br.descs)-1 {
+		return int(br.df) - i*BlockLen
+	}
+	return BlockLen
+}
+
+func (br *BlockReader) loadBlock(i int) bool {
+	d := br.descs[i]
+	body, err := br.src.ReadRange(d.off, d.length)
+	if err != nil {
+		br.err = err
+		return false
+	}
+	br.body, br.bodyOff = body, 0
+	br.cur, br.inBlock = i, 0
+	br.loadedN++
+	if i == 0 {
+		br.prev = -1
+	} else {
+		br.prev = int64(br.descs[i-1].lastDoc)
+	}
+	return true
+}
+
+func (br *BlockReader) uv() (uint64, bool) {
+	v, n := binary.Uvarint(br.body[br.bodyOff:])
+	if n <= 0 {
+		br.err = ErrCorrupt
+		return 0, false
+	}
+	br.bodyOff += n
+	return v, true
+}
+
+// Next decodes the next posting in document order, exactly as a v1
+// Reader would. The Positions slice is freshly allocated.
+func (br *BlockReader) Next() (Posting, bool) {
+	return br.scan(0, false)
+}
+
+// Advance returns the first posting with Doc >= target at or after the
+// current position. Blocks whose descriptor shows lastDoc < target are
+// skipped without being fetched; within the landing block, passed-over
+// postings are decoded but their positions are not materialized.
+// Advance and Next may be interleaved freely.
+func (br *BlockReader) Advance(target uint32) (Posting, bool) {
+	return br.scan(target, true)
+}
+
+func (br *BlockReader) scan(target uint32, filtered bool) (Posting, bool) {
+	for {
+		if br.err != nil {
+			return Posting{}, false
+		}
+		if br.cur < 0 || br.cur >= len(br.descs) || br.inBlock >= br.count(br.cur) {
+			// No current block or current one exhausted: step to the next
+			// candidate, skipping blocks the descriptor rules out.
+			ni := br.cur + 1
+			if filtered {
+				for ni < len(br.descs) && br.descs[ni].lastDoc < target {
+					ni++
+				}
+			}
+			if ni >= len(br.descs) {
+				br.cur = len(br.descs)
+				return Posting{}, false
+			}
+			if !br.loadBlock(ni) {
+				return Posting{}, false
+			}
+			continue
+		}
+		if filtered && br.descs[br.cur].lastDoc < target {
+			// Mid-block and every remaining doc here is below target:
+			// abandon the rest of the block.
+			br.inBlock = br.count(br.cur)
+			continue
+		}
+		d := br.descs[br.cur]
+		gap, ok := br.uv()
+		if !ok {
+			return Posting{}, false
+		}
+		if gap == 0 {
+			br.err = ErrCorrupt
+			return Posting{}, false
+		}
+		doc := br.prev + int64(gap)
+		if doc > int64(d.lastDoc) {
+			br.err = ErrCorrupt // descriptor promised lastDoc; body exceeds it
+			return Posting{}, false
+		}
+		br.prev = doc
+		tf, ok := br.uv()
+		if !ok {
+			return Posting{}, false
+		}
+		if tf > uint64(d.maxTF) {
+			br.err = ErrCorrupt // tf above the descriptor bound breaks MaxScore
+			return Posting{}, false
+		}
+		materialize := !filtered || uint32(doc) >= target
+		var positions []uint32
+		if materialize {
+			capHint := tf
+			if rem := uint64(len(br.body) - br.bodyOff); capHint > rem {
+				capHint = rem
+			}
+			positions = make([]uint32, 0, capHint)
+		}
+		prevPos := int64(-1)
+		for i := uint64(0); i < tf; i++ {
+			pg, ok := br.uv()
+			if !ok {
+				return Posting{}, false
+			}
+			if pg == 0 {
+				br.err = ErrCorrupt
+				return Posting{}, false
+			}
+			pos := prevPos + int64(pg)
+			if pos > 0xFFFFFFFF {
+				br.err = ErrCorrupt
+				return Posting{}, false
+			}
+			if materialize {
+				positions = append(positions, uint32(pos))
+			}
+			prevPos = pos
+		}
+		br.inBlock++
+		if br.inBlock == br.count(br.cur) {
+			if uint32(doc) != d.lastDoc || br.bodyOff != len(br.body) {
+				br.err = ErrCorrupt
+				return Posting{}, false
+			}
+		}
+		if materialize {
+			br.returned++
+			return Posting{Doc: uint32(doc), Positions: positions}, true
+		}
+	}
+}
+
+// FinishStats closes out the iteration and returns what was skipped:
+// postings never surfaced (whether their block was skipped or they
+// were passed over inside one) and block bodies never fetched.
+// Idempotent; safe to call mid-iteration for a partial read (deadline,
+// early heap exit), where the unread tail counts as skipped.
+func (br *BlockReader) FinishStats() SkipStats {
+	if !br.finished {
+		br.finished = true
+		br.stats = SkipStats{
+			Postings: br.df - br.returned,
+			Blocks:   uint64(len(br.descs) - br.loadedN),
+		}
+	}
+	return br.stats
+}
+
+// RecordIterator is the version-independent view of a record scan.
+type RecordIterator interface {
+	Next() (Posting, bool)
+	CTF() uint64
+	DF() uint64
+	Err() error
+}
+
+// Iter opens the right linear iterator for an encoded record of either
+// version.
+func Iter(rec []byte) RecordIterator {
+	if br, ok := OpenBlockReader(rec); ok {
+		return br
+	}
+	return NewReader(rec)
+}
+
+// AppendAll decodes every posting in rec (either version) onto dst,
+// for callers that reuse a scratch slice across records.
+func AppendAll(dst []Posting, rec []byte) ([]Posting, error) {
+	it := Iter(rec)
+	n := len(dst)
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, p)
+	}
+	if it.Err() != nil {
+		return dst, it.Err()
+	}
+	if uint64(len(dst)-n) != it.DF() {
+		return dst, fmt.Errorf("%w: header df=%d but %d postings", ErrCorrupt, it.DF(), len(dst)-n)
+	}
+	return dst, nil
+}

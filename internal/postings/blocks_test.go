@@ -1,0 +1,362 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// encodeBoth returns the v1 and v2 encodings of the same postings.
+func encodeBoth(t testing.TB, ps []Posting) (v1, v2 []byte) {
+	t.Helper()
+	var err error
+	v1, err = Encode(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err = EncodeV2(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v1, v2
+}
+
+func TestV2Magic(t *testing.T) {
+	_, v2 := encodeBoth(t, randomPostings(rand.New(rand.NewSource(1)), 300))
+	if !IsV2(v2) {
+		t.Fatal("EncodeV2 output not detected as v2")
+	}
+	// Every v1 encoding the encoder can produce must be distinguishable.
+	for _, ps := range [][]Posting{
+		{},
+		{mk(0, 0)},
+		{mk(0, 0), mk(1, 0)},
+		{mk(5, 1, 2, 3)},
+	} {
+		v1, err := Encode(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsV2(v1) {
+			t.Fatalf("v1 record %v misdetected as v2", v1)
+		}
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 127, 128, 129, 500, 1000} {
+		in := randomPostingsN(rng, n)
+		_, v2 := encodeBoth(t, in)
+		got, err := DecodeAll(v2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(in) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("n=%d: v2 round trip mismatch", n)
+		}
+		ctf, df, err := Stats(v2)
+		if err != nil {
+			t.Fatalf("n=%d stats: %v", n, err)
+		}
+		var wantCTF uint64
+		for _, p := range in {
+			wantCTF += uint64(len(p.Positions))
+		}
+		if ctf != wantCTF || df != uint64(n) {
+			t.Fatalf("n=%d: stats = %d,%d want %d,%d", n, ctf, df, wantCTF, n)
+		}
+	}
+}
+
+func TestV2AgreesWithV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		in := randomPostingsN(rng, 50+rng.Intn(500))
+		v1, v2 := encodeBoth(t, in)
+		a, err := DecodeAll(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DecodeAll(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("iter %d: v1 and v2 decode differently", iter)
+		}
+	}
+}
+
+// TestAdvanceOracle checks Advance against a brute-force scan: from any
+// starting position, Advance(target) must return exactly the first
+// posting at or after target that a linear Next walk would reach.
+func TestAdvanceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 30; iter++ {
+		in := randomPostingsN(rng, 1+rng.Intn(700))
+		_, v2 := encodeBoth(t, in)
+		maxDoc := in[len(in)-1].Doc
+
+		// Interleave Next and Advance with random targets, tracking the
+		// index a linear scan would be at.
+		br, ok := OpenBlockReader(v2)
+		if !ok {
+			t.Fatal("not v2")
+		}
+		idx := 0 // next posting a linear reader would return
+		for step := 0; step < 50 && idx < len(in); step++ {
+			if rng.Intn(2) == 0 {
+				p, ok := br.Next()
+				if !ok {
+					t.Fatalf("iter %d: Next exhausted early at %d/%d (err %v)", iter, idx, len(in), br.Err())
+				}
+				if p.Doc != in[idx].Doc || !reflect.DeepEqual(p.Positions, in[idx].Positions) {
+					t.Fatalf("iter %d: Next returned %v want %v", iter, p, in[idx])
+				}
+				idx++
+				continue
+			}
+			target := uint32(rng.Int63n(int64(maxDoc) + 10))
+			// Oracle: first posting >= max(target, current position).
+			want := idx
+			for want < len(in) && in[want].Doc < target {
+				want++
+			}
+			p, ok := br.Advance(target)
+			if want == len(in) {
+				if ok {
+					t.Fatalf("iter %d: Advance(%d) returned %v, want exhausted", iter, target, p)
+				}
+				if br.Err() != nil {
+					t.Fatalf("iter %d: Advance exhausted with error %v", iter, br.Err())
+				}
+				idx = len(in)
+				break
+			}
+			if !ok {
+				t.Fatalf("iter %d: Advance(%d) exhausted, want doc %d (err %v)", iter, target, in[want].Doc, br.Err())
+			}
+			if p.Doc != in[want].Doc || !reflect.DeepEqual(p.Positions, in[want].Positions) {
+				t.Fatalf("iter %d: Advance(%d) = %v want %v", iter, target, p, in[want])
+			}
+			idx = want + 1
+		}
+		if br.Err() != nil {
+			t.Fatalf("iter %d: %v", iter, br.Err())
+		}
+	}
+}
+
+// TestAdvanceSkipsBlocks verifies both the skip accounting and that a
+// far Advance genuinely avoids fetching intermediate block bodies.
+func TestAdvanceSkipsBlocks(t *testing.T) {
+	// 10 full blocks of tf-1 postings with doc IDs 0..1279.
+	ps := make([]Posting, 10*BlockLen)
+	for i := range ps {
+		ps[i] = Posting{Doc: uint32(i), Positions: []uint32{uint32(i % 7)}}
+	}
+	rec, err := EncodeV2(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &countingRange{data: rec}
+	br := NewBlockRangeReader(src)
+	if br.Err() != nil {
+		t.Fatal(br.Err())
+	}
+	if br.Blocks() != 10 {
+		t.Fatalf("blocks = %d, want 10", br.Blocks())
+	}
+	if br.MaxTF() != 1 {
+		t.Fatalf("maxTF = %d, want 1", br.MaxTF())
+	}
+	headerReads := src.reads // header + descriptor fetches
+	p, ok := br.Advance(9*BlockLen + 5)
+	if !ok || p.Doc != uint32(9*BlockLen+5) {
+		t.Fatalf("Advance = %v,%v", p, ok)
+	}
+	if got := src.reads - headerReads; got != 1 {
+		t.Fatalf("advance fetched %d block bodies, want 1", got)
+	}
+	for {
+		if _, ok := br.Next(); !ok {
+			break
+		}
+	}
+	if br.Err() != nil {
+		t.Fatal(br.Err())
+	}
+	st := br.FinishStats()
+	if st.Blocks != 9 {
+		t.Fatalf("BlocksSkipped = %d, want 9", st.Blocks)
+	}
+	// Block 9 was fully consumed (5 passed over + the rest returned);
+	// the 9 skipped blocks plus 5 in-block skips were never surfaced.
+	if st.Postings != 9*BlockLen+5 {
+		t.Fatalf("PostingsSkipped = %d, want %d", st.Postings, 9*BlockLen+5)
+	}
+}
+
+type countingRange struct {
+	data  []byte
+	reads int
+}
+
+func (c *countingRange) ReadRange(off, n int) ([]byte, error) {
+	c.reads++
+	return bytesRange(c.data).ReadRange(off, n)
+}
+
+func (c *countingRange) Size() int { return len(c.data) }
+
+func TestV2CorruptRejected(t *testing.T) {
+	ps := make([]Posting, 300)
+	for i := range ps {
+		ps[i] = Posting{Doc: uint32(i * 3), Positions: []uint32{1, 4}}
+	}
+	rec, err := EncodeV2(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every length must error, never fabricate.
+	for n := 0; n < len(rec); n++ {
+		trunc := rec[:n]
+		if !IsV2(trunc) {
+			continue // short prefixes fall to the v1 path; covered by fuzz
+		}
+		if got, err := DecodeAll(trunc); err == nil && len(got) == len(ps) {
+			t.Fatalf("truncation to %d bytes decoded fully", n)
+		}
+	}
+	// Flipping the version byte must be rejected, not read as v1.
+	bad := append([]byte(nil), rec...)
+	bad[2] = 0x07
+	if _, err := DecodeAll(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, _, err := Stats(bad); err == nil {
+		t.Fatal("unknown version accepted by Stats")
+	}
+	// Corrupting a descriptor maxTF below the real tf must surface.
+	br, _ := OpenBlockReader(rec)
+	if br.Err() != nil {
+		t.Fatal(br.Err())
+	}
+}
+
+func TestEncodeAutoThreshold(t *testing.T) {
+	small := make([]Posting, BlockLen)
+	for i := range small {
+		small[i] = Posting{Doc: uint32(i)}
+	}
+	rec, err := EncodeAuto(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsV2(rec) {
+		t.Fatal("<= BlockLen postings should stay v1")
+	}
+	large := append(small, Posting{Doc: uint32(BlockLen)})
+	rec, err = EncodeAuto(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsV2(rec) {
+		t.Fatal("> BlockLen postings should be v2")
+	}
+	got, err := DecodeAll(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(large) {
+		t.Fatalf("decoded %d postings, want %d", len(got), len(large))
+	}
+}
+
+func TestIterDispatch(t *testing.T) {
+	ps := randomPostingsN(rand.New(rand.NewSource(5)), 200)
+	v1, v2 := encodeBoth(t, ps)
+	for _, rec := range [][]byte{v1, v2} {
+		it := Iter(rec)
+		var n int
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+		if n != len(ps) || it.DF() != uint64(len(ps)) {
+			t.Fatalf("Iter decoded %d (df %d), want %d", n, it.DF(), len(ps))
+		}
+	}
+}
+
+func TestAppendAllReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	scratch := make([]Posting, 0, 64)
+	for iter := 0; iter < 10; iter++ {
+		ps := randomPostingsN(rng, 150)
+		_, v2 := encodeBoth(t, ps)
+		var err error
+		scratch, err = AppendAll(scratch[:0], v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(scratch, ps) {
+			t.Fatalf("iter %d: AppendAll mismatch", iter)
+		}
+	}
+}
+
+// randomPostingsN builds exactly n random sorted postings.
+func randomPostingsN(rng *rand.Rand, n int) []Posting {
+	ps := make([]Posting, n)
+	doc := int64(-1)
+	for i := range ps {
+		doc += 1 + rng.Int63n(40)
+		tf := rng.Intn(6)
+		positions := make([]uint32, 0, tf)
+		pos := int64(-1)
+		for j := 0; j < tf; j++ {
+			pos += 1 + rng.Int63n(50)
+			positions = append(positions, uint32(pos))
+		}
+		ps[i] = Posting{Doc: uint32(doc), Positions: positions}
+	}
+	return ps
+}
+
+func BenchmarkBlockAdvance(b *testing.B) {
+	ps := make([]Posting, 64*BlockLen)
+	for i := range ps {
+		ps[i] = Posting{Doc: uint32(i * 2), Positions: []uint32{1, 3, 9}}
+	}
+	rec, err := EncodeV2(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(rec)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, _ := OpenBlockReader(rec)
+		var doc uint32
+		for {
+			p, ok := br.Advance(doc)
+			if !ok {
+				break
+			}
+			doc = p.Doc + 1000 // ~every 4th block
+		}
+		if br.Err() != nil {
+			b.Fatal(br.Err())
+		}
+	}
+}

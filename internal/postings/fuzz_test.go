@@ -10,10 +10,12 @@ import (
 // The contract under attack: DecodeAll must return an error for any
 // malformed input — never panic, never hang, never fabricate postings —
 // and anything it accepts must survive a semantic round trip
-// (re-encode, re-decode, byte-level and structural agreement). The
-// byte form need not round-trip: the decoder tolerates a wrong CTF
-// header, non-minimal varints, and trailing bytes, all of which Encode
-// normalizes away.
+// (re-encode, re-decode, byte-level and structural agreement) through
+// BOTH record versions. The byte form need not round-trip: the v1
+// decoder tolerates a wrong CTF header, non-minimal varints, and
+// trailing bytes, all of which Encode normalizes away. The block (v2)
+// re-encoding additionally checks that Advance(doc) agrees with a
+// linear Next walk at every skip target.
 func FuzzPostingsRoundTrip(f *testing.F) {
 	// Seed with well-formed records of each shape the encoder produces...
 	for _, ps := range [][]Posting{
@@ -27,12 +29,28 @@ func FuzzPostingsRoundTrip(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(rec)
+		rec, err = EncodeV2(ps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rec)
+	}
+	// ...a multi-block v2 record so block boundaries are in the corpus...
+	big := make([]Posting, 3*BlockLen+7)
+	for i := range big {
+		big[i] = Posting{Doc: uint32(i * 2), Positions: []uint32{uint32(i % 5)}}
+	}
+	if rec, err := EncodeV2(big); err == nil {
+		f.Add(rec)
 	}
 	// ...and with malformed prefixes the decoder must reject cleanly.
 	f.Add([]byte{})
-	f.Add([]byte{0x80})                   // truncated uvarint
-	f.Add([]byte{0x01, 0xff, 0xff, 0xff}) // df huge, body truncated
-	f.Add([]byte{0x00, 0x02, 0x00})       // zero doc gap
+	f.Add([]byte{0x80})                                                                         // truncated uvarint
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff})                                                       // df huge, body truncated
+	f.Add([]byte{0x00, 0x02, 0x00})                                                             // zero doc gap
+	f.Add([]byte{0x00, 0x00, 0x02, 0x00})                                                       // v2 magic, truncated header
+	f.Add([]byte{0x00, 0x00, 0x07, 0x01, 0x01})                                                 // unknown version byte
+	f.Add([]byte{0x00, 0x00, 0x02, 0x02, 0x02, 0x01, 0x02, 0x00, 0x02, 0x01, 0x01, 0x01, 0x01}) // v2, zero lastDocDelta
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ps, err := DecodeAll(data)
@@ -70,6 +88,58 @@ func FuzzPostingsRoundTrip(f *testing.F) {
 		for i := range ps {
 			if streamed[i].Doc != ps[i].Doc || !reflect.DeepEqual(streamed[i].Positions, ps[i].Positions) {
 				t.Fatalf("posting %d: stream %v vs in-memory %v", i, streamed[i], ps[i])
+			}
+		}
+		// The block re-encoding must round-trip the same structure...
+		encV2, err := EncodeV2(ps)
+		if err != nil {
+			t.Fatalf("decoded postings do not re-encode as v2: %v", err)
+		}
+		ps3, err := DecodeAll(encV2)
+		if err != nil {
+			t.Fatalf("v2 re-encoding does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(ps, ps3) {
+			t.Fatalf("v2 round trip changed postings:\n  first  %v\n  second %v", ps, ps3)
+		}
+		if len(ps) == 0 {
+			return
+		}
+		// ...and Advance must agree with a linear scan: for each posting
+		// doc d (and d+1), a fresh Advance walk from the start must land
+		// exactly where the decoded slice says. This is the map-oracle
+		// form: ps IS the oracle.
+		br, ok := OpenBlockReader(encV2)
+		if !ok {
+			t.Fatal("v2 encoding not detected as v2")
+		}
+		idx := 0
+		for _, delta := range []uint32{0, 1} {
+			br, _ = OpenBlockReader(encV2)
+			idx = 0
+			for idx < len(ps) {
+				target := ps[idx].Doc + delta
+				want := idx
+				for want < len(ps) && ps[want].Doc < target {
+					want++
+				}
+				p, ok := br.Advance(target)
+				if want == len(ps) {
+					if ok {
+						t.Fatalf("Advance(%d) = %v, want exhausted", target, p)
+					}
+					break
+				}
+				if !ok {
+					t.Fatalf("Advance(%d) exhausted early, want doc %d (err %v)", target, ps[want].Doc, br.Err())
+				}
+				if p.Doc != ps[want].Doc || !reflect.DeepEqual(p.Positions, ps[want].Positions) {
+					t.Fatalf("Advance(%d) = %v, want %v", target, p, ps[want])
+				}
+				idx = want + 1
+			}
+			if br.Err() != nil {
+				t.Fatalf("advance walk failed: %v", br.Err())
 			}
 		}
 	})

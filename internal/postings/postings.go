@@ -79,8 +79,22 @@ func Encode(ps []Posting) ([]byte, error) {
 	return buf, nil
 }
 
-// Stats decodes only the record header.
+// Stats decodes only the record header, of either version.
 func Stats(rec []byte) (ctf, df uint64, err error) {
+	if IsV2(rec) {
+		if rec[2] != 0x02 {
+			return 0, 0, ErrCorrupt
+		}
+		ctf, n := binary.Uvarint(rec[3:])
+		if n <= 0 {
+			return 0, 0, ErrCorrupt
+		}
+		df, m := binary.Uvarint(rec[3+n:])
+		if m <= 0 {
+			return 0, 0, ErrCorrupt
+		}
+		return ctf, df, nil
+	}
 	ctf, n := binary.Uvarint(rec)
 	if n <= 0 {
 		return 0, 0, ErrCorrupt
@@ -196,8 +210,20 @@ func (r *Reader) Next() (Posting, bool) {
 	return Posting{Doc: uint32(doc), Positions: positions}, true
 }
 
-// DecodeAll decodes every posting in rec.
+// DecodeAll decodes every posting in rec, dispatching on the record
+// version.
 func DecodeAll(rec []byte) ([]Posting, error) {
+	if IsV2(rec) {
+		_, df, err := Stats(rec)
+		if err != nil {
+			return nil, err
+		}
+		capHint := df
+		if rem := uint64(len(rec)) / 2; capHint > rem {
+			capHint = rem
+		}
+		return AppendAll(make([]Posting, 0, capHint), rec)
+	}
 	r := NewReader(rec)
 	// Each posting needs at least two bytes (doc gap + tf), so cap the
 	// pre-allocation accordingly rather than trusting a corrupt df header.
@@ -244,7 +270,7 @@ func Merge(rec []byte, adds []Posting) ([]byte, error) {
 			merged[i] = a
 		}
 	}
-	return Encode(merged)
+	return EncodeAuto(merged)
 }
 
 // Delete removes the entries for the given documents from the encoded
@@ -266,7 +292,7 @@ func Delete(rec []byte, docs []uint32) ([]byte, error) {
 			kept = append(kept, p)
 		}
 	}
-	return Encode(kept)
+	return EncodeAuto(kept)
 }
 
 // RawSize returns the size in bytes of the uncompressed "vector of

@@ -5,14 +5,27 @@ import (
 	"io"
 )
 
+// streamBufLen is the read-ahead window. One kilobyte amortizes the
+// per-read overhead of chunked sources (which copy into the buffer)
+// while staying an embedded array, so a StreamReader is still a single
+// allocation.
+const streamBufLen = 1024
+
 // StreamReader decodes an inverted-list record from an io.Reader
 // instead of a byte slice, so a record chunked across multiple store
 // objects can be scanned without materializing it — the incremental
 // retrieval of large aggregate objects that the paper's §6 proposes
 // for document-at-a-time processing.
+//
+// Decoding is buffered: the reader pulls up to streamBufLen bytes at a
+// time into an embedded scratch buffer and decodes varints from that
+// window, instead of issuing one Read per byte.
 type StreamReader struct {
 	r    io.Reader
-	buf  [1]byte
+	buf  [streamBufLen]byte
+	pos  int // next unread byte in buf
+	lim  int // valid bytes in buf
+	eof  bool
 	ctf  uint64
 	df   uint64
 	seen uint64
@@ -26,30 +39,82 @@ func NewStreamReader(r io.Reader) *StreamReader {
 	sr := &StreamReader{r: r, prev: -1}
 	sr.ctf = sr.uvarint()
 	sr.df = sr.uvarint()
+	// A v2 (block-format) record starts with two zero bytes followed by
+	// more data; decoded as v1 that would read as an empty list and
+	// silently drop every posting. Reject it — block records are random
+	// access and never stream through this reader.
+	if sr.err == nil && sr.ctf == 0 && sr.df == 0 {
+		if sr.pos < sr.lim || !sr.eof {
+			if _, err := sr.ReadByte(); err == nil {
+				sr.err = ErrCorrupt
+			}
+		}
+	}
 	return sr
 }
 
-// ReadByte implements io.ByteReader over the wrapped reader.
-func (sr *StreamReader) ReadByte() (byte, error) {
-	if _, err := io.ReadFull(sr.r, sr.buf[:]); err != nil {
-		return 0, err
+// fill slides unread bytes to the front of the buffer and reads more
+// from the source, blocking until at least one new byte arrives, EOF,
+// or an error.
+func (sr *StreamReader) fill() {
+	if sr.pos > 0 {
+		copy(sr.buf[:], sr.buf[sr.pos:sr.lim])
+		sr.lim -= sr.pos
+		sr.pos = 0
 	}
-	return sr.buf[0], nil
+	for sr.lim < len(sr.buf) {
+		n, err := sr.r.Read(sr.buf[sr.lim:])
+		sr.lim += n
+		if err == io.EOF {
+			sr.eof = true
+			return
+		}
+		if err != nil {
+			sr.err = err
+			return
+		}
+		if n > 0 {
+			return
+		}
+	}
+}
+
+// ReadByte implements io.ByteReader over the buffered window.
+func (sr *StreamReader) ReadByte() (byte, error) {
+	for sr.pos >= sr.lim {
+		if sr.err != nil {
+			return 0, sr.err
+		}
+		if sr.eof {
+			return 0, io.EOF
+		}
+		sr.fill()
+	}
+	b := sr.buf[sr.pos]
+	sr.pos++
+	return b, nil
 }
 
 func (sr *StreamReader) uvarint() uint64 {
-	if sr.err != nil {
-		return 0
-	}
-	v, err := binary.ReadUvarint(sr)
-	if err != nil {
-		if err == io.EOF {
-			err = ErrCorrupt
+	for sr.err == nil {
+		v, n := binary.Uvarint(sr.buf[sr.pos:sr.lim])
+		if n > 0 {
+			sr.pos += n
+			return v
 		}
-		sr.err = err
-		return 0
+		if n < 0 {
+			sr.err = ErrCorrupt
+			return 0
+		}
+		// Window too small for the varint: a truncated stream is
+		// corruption, otherwise refill and retry.
+		if sr.eof {
+			sr.err = ErrCorrupt
+			return 0
+		}
+		sr.fill()
 	}
-	return v
+	return 0
 }
 
 // CTF returns the collection term frequency from the header.

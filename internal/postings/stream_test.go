@@ -103,6 +103,7 @@ func BenchmarkStreamDecode(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	rec := mustEncode(b, randomPostings(rng, 2000))
 	b.SetBytes(int64(len(rec)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sr := NewStreamReader(bytes.NewReader(rec))
