@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet faults fuzz soak check bench gobench
+.PHONY: all build test race fmt vet faults fuzz soak check bench gobench serve-smoke serve-bench
 
 all: check
 
@@ -50,7 +50,15 @@ fuzz:
 soak:
 	SOAK_ROUNDS=1000 $(GO) test -count=1 -run TestChaosSoak ./internal/core/
 
-check: fmt vet test faults race fuzz soak
+# Serving smoke: build the real inqueryd + loadgen binaries, boot the
+# server on loopback over a self-built synthetic index, run a short
+# closed-loop burst, assert /metrics and /snapshot respond, then SIGTERM
+# and require a clean drain (exit 0) — a leaked worker or stuck
+# shutdown hangs and fails here.
+serve-smoke:
+	$(GO) test -count=1 -run TestServeSmoke ./cmd/inqueryd/
+
+check: fmt vet test faults race fuzz soak serve-smoke
 
 # Query-latency regression gate: runs the standard query mixes over both
 # backends (cmd/repro -bench) and diffs the per-stage p95 quantiles
@@ -62,6 +70,26 @@ check: fmt vet test faults race fuzz soak
 bench:
 	$(GO) run ./cmd/repro -scale 0.25 -bench -benchout BENCH_query.json \
 		-baseline testdata/bench_baseline.json
+
+# Serving-throughput gate: boot inqueryd over the synthetic CACM index,
+# drive a closed-loop burst with loadgen, and diff the achieved QPS,
+# shed rate, and latency quantiles against the committed baseline.
+# These are wall-clock numbers (unlike the simulated query bench), so
+# the tolerance is deliberately loose — it catches collapses, not
+# percent-level drift — and the target is NOT part of `make check`.
+# Regenerate the baseline on a quiet host with:
+#   make serve-bench SERVE_BENCH_OUT=testdata/serve_baseline.json SERVE_BENCH_BASE=
+SERVE_BENCH_OUT ?= BENCH_serve.json
+SERVE_BENCH_BASE ?= testdata/serve_baseline.json
+serve-bench:
+	$(GO) build -o /tmp/repro-inqueryd ./cmd/inqueryd
+	$(GO) build -o /tmp/repro-loadgen ./cmd/loadgen
+	/tmp/repro-inqueryd -synthetic CACM -scale 0.05 -addr 127.0.0.1:7933 & \
+	SRV=$$!; \
+	/tmp/repro-loadgen -target http://127.0.0.1:7933 -collection CACM -scale 0.05 \
+		-duration 5s -c 8 -out $(SERVE_BENCH_OUT) \
+		$(if $(SERVE_BENCH_BASE),-baseline $(SERVE_BENCH_BASE) -tol 1.0); \
+	RC=$$?; kill -TERM $$SRV; wait $$SRV; exit $$RC
 
 # Quick pass over the paper-reproduction go benchmarks.
 gobench:

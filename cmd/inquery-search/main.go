@@ -130,51 +130,46 @@ func main() {
 
 	hardErrs := 0
 
+	mode := core.ModeTAAT
+	if *daat {
+		mode = core.ModeDAAT
+	}
 	run := func(q string) {
 		q = strings.TrimSpace(q)
 		if q == "" {
 			return
 		}
-		var res []core.Result
+		req := core.Request{Query: q, TopK: *topK, Mode: mode, Deadline: *deadline}
+		var resp core.Response
 		var err error
-		switch {
-		case *trace:
+		if *trace {
 			// Tracing is a diagnostic replay; -deadline is not applied.
+			req.Deadline = 0
 			var tr *obs.Trace
-			res, tr, err = eng.TraceSearch(q, *topK, *daat)
+			resp, tr, err = eng.TraceRun(req)
 			if tr != nil {
 				fmt.Print(tr.Render(vfs.Model1993().Costs()))
 			}
-		default:
-			ctx := context.Background()
-			if *deadline > 0 {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, *deadline)
-				defer cancel()
-			}
-			if *daat {
-				res, err = eng.SearchDAATCtx(ctx, q, *topK)
-			} else {
-				res, err = eng.SearchCtx(ctx, q, *topK)
-			}
+		} else {
+			resp, err = eng.Run(context.Background(), req)
 		}
-		switch {
-		case err == nil:
-		case errors.Is(err, resilience.ErrShed):
+		switch resp.Outcome {
+		case core.OutcomeShed:
 			fmt.Println("  (query shed by admission control)")
 			return
-		case errors.Is(err, resilience.ErrDeadline):
+		case core.OutcomeDeadline:
 			fmt.Println("  (deadline exceeded; partial ranking)")
-		default:
+		case core.OutcomeError:
 			fmt.Fprintln(os.Stderr, "  error:", err)
 			hardErrs++
 			return
 		}
-		printResults(res)
-		if *explain && len(res) > 0 {
-			ex, err := eng.Explain(q, res[0].Doc)
+		printResults(resp.Results)
+		if *explain && len(resp.Results) > 0 {
+			top := resp.Results[0].Doc
+			ex, err := eng.Explain(q, top)
 			if err == nil {
-				fmt.Printf("  explanation for doc %d:\n", res[0].Doc)
+				fmt.Printf("  explanation for doc %d:\n", top)
 				for _, line := range strings.Split(strings.TrimRight(ex.String(), "\n"), "\n") {
 					fmt.Printf("    %s\n", line)
 				}

@@ -1,0 +1,255 @@
+// Command inqueryd is the long-running search server: one core.Engine
+// per configured index behind the HTTP/JSON API in internal/serve.
+//
+// Usage:
+//
+//	inqueryd -index cacm=index.img -addr 127.0.0.1:7933
+//	inqueryd -index index.img -name mycol -backend btree
+//	inqueryd -synthetic CACM -scale 0.05            # self-built test index
+//
+// Indexes come from inquery-index images (-index, repeatable, as
+// "name=path" or a bare path served under -name) or are built in
+// memory from the paper's synthetic collections (-synthetic,
+// repeatable) — the latter needs no image file and is what the smoke
+// and serve-bench harnesses use.
+//
+// Endpoints: POST /v1/search (single or batch), GET /v1/explain,
+// GET /metrics, GET /snapshot, GET /healthz. Statuses follow the
+// taxonomy documented in internal/serve: 200 ok/degraded, 400 parse,
+// 404 unknown index, 429 shed, 503 breaker open or draining, 504
+// deadline (partial ranking in the body).
+//
+// On SIGINT/SIGTERM the server marks /healthz draining, stops
+// accepting connections, and waits up to -shutdown-timeout for
+// in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/serve"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+	"time"
+)
+
+func main() {
+	var images, synthetics []string
+	addr := flag.String("addr", "127.0.0.1:7933", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	flag.Func("index", "index image to serve, as name=path or a bare path (repeatable)", func(v string) error {
+		images = append(images, v)
+		return nil
+	})
+	flag.Func("synthetic", "synthetic paper collection to build in memory and serve (CACM, Legal, ...; repeatable)", func(v string) error {
+		synthetics = append(synthetics, v)
+		return nil
+	})
+	name := flag.String("name", "collection", "collection name inside bare -index images")
+	backend := flag.String("backend", "mneme", "storage backend for -index images: mneme or btree")
+	cache := flag.Bool("cache", true, "enable Mneme record caching (paper buffer plan)")
+	stem := flag.Bool("stem", true, "apply Porter stemming to queries against -index images")
+	chunk := flag.Int("chunk", 0, "chunk size the -index image was built with")
+	scale := flag.Float64("scale", 0.05, "document-count scale of -synthetic collections")
+	topK := flag.Int("k", serve.DefaultTopK, "default results per query when a request names no top_k")
+	deadline := flag.Duration("deadline", 0, "default per-query deadline applied when a request names none (0 = none)")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "maximum requests in one batch body")
+	degraded := flag.Bool("degraded", false, "serve partial rankings past corrupt records for every request (requests can also opt in per query)")
+	prune := flag.Bool("prune", false, "MaxScore pruning for every DAAT request (requests can also opt in per query)")
+	maxInflight := flag.Int("max-inflight", 0, "bound on concurrently admitted queries per index; excess queries wait -queue-wait then are shed with 429 (0 = unbounded)")
+	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit query may wait for admission before being shed")
+	retries := flag.Int("retries", 1, "read attempts per storage fault-in")
+	breaker := flag.Int("breaker", 0, "consecutive-failure threshold that opens a per-pool circuit breaker (0 = disabled)")
+	shutdownTO := flag.Duration("shutdown-timeout", 10*time.Second, "drain budget for in-flight requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "inqueryd:", err)
+		os.Exit(1)
+	}
+	if len(images) == 0 && len(synthetics) == 0 {
+		fail(errors.New("nothing to serve: give at least one -index or -synthetic"))
+	}
+
+	engineOpts := func(an *textproc.Analyzer) []core.Option {
+		opts := []core.Option{core.WithAnalyzer(an)}
+		if *degraded {
+			opts = append(opts, core.WithDegraded())
+		}
+		if *prune {
+			opts = append(opts, core.WithPruning())
+		}
+		if *maxInflight > 0 {
+			opts = append(opts, core.WithMaxInFlight(*maxInflight, *queueWait))
+		}
+		if *retries > 1 {
+			opts = append(opts, core.WithRetry(*retries))
+		}
+		if *breaker > 0 {
+			opts = append(opts, core.WithBreaker(*breaker, 0))
+		}
+		return opts
+	}
+
+	engines := make(map[string]*core.Engine)
+	addEngine := func(n string, e *core.Engine) error {
+		if _, dup := engines[n]; dup {
+			return fmt.Errorf("duplicate index name %q", n)
+		}
+		engines[n] = e
+		return nil
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+
+	for _, spec := range images {
+		n, path := *name, spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			n, path = spec[:i], spec[i+1:]
+		}
+		eng, err := openImage(path, n, *backend, *cache, *stem, *chunk, engineOpts)
+		if err != nil {
+			fail(fmt.Errorf("index %s: %w", spec, err))
+		}
+		if err := addEngine(n, eng); err != nil {
+			fail(err)
+		}
+	}
+	// Synthetic collections are generated pre-normalized, so their
+	// engines analyze without stemming or stopping — same analyzer the
+	// experiments use.
+	for _, n := range synthetics {
+		eng, err := buildSynthetic(n, *scale, engineOpts)
+		if err != nil {
+			fail(fmt.Errorf("synthetic %s: %w", n, err))
+		}
+		if err := addEngine(n, eng); err != nil {
+			fail(err)
+		}
+	}
+
+	srv := serve.New(engines, serve.Defaults{
+		TopK:     *topK,
+		Deadline: *deadline,
+		MaxBatch: *maxBatch,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	names := make([]string, 0, len(engines))
+	for n, e := range engines {
+		names = append(names, fmt.Sprintf("%s (%d docs)", n, e.NumDocs()))
+	}
+	// The bound-address line is machine-read by the smoke harness; keep
+	// the prefix stable.
+	fmt.Printf("inqueryd: listening on http://%s\n", ln.Addr())
+	fmt.Printf("inqueryd: serving %s\n", strings.Join(names, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("inqueryd: draining")
+	srv.SetDraining(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		fail(fmt.Errorf("shutdown: %w", err))
+	}
+	fmt.Println("inqueryd: stopped")
+}
+
+// openImage loads an inquery-index image and opens an engine over it,
+// mirroring inquery-search's configuration (including the Table 2
+// buffer plan derived from the stored dictionary when caching).
+func openImage(path, name, backend string, cache, stem bool, chunk int,
+	baseOpts func(*textproc.Analyzer) []core.Option) (*core.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := vfs.LoadImage(f, vfs.Options{OSCacheBytes: 8 << 20})
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := core.ParseBackendKind(backend)
+	if err != nil {
+		return nil, err
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(stem))
+	if !stem {
+		an = textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+	}
+	opts := append(baseOpts(an), core.WithChunking(chunk))
+	if kind == core.BackendMneme && cache {
+		opts = append(opts, core.WithPlan(planFromDictionary(fs, name)))
+	}
+	return core.Open(fs, name, kind, opts...)
+}
+
+// buildSynthetic generates the named paper collection at the given
+// scale, indexes it into an in-memory file system, and opens a Mneme
+// engine with the collection's Table 2 buffer plan.
+func buildSynthetic(name string, scale float64,
+	baseOpts func(*textproc.Analyzer) []core.Option) (*core.Engine, error) {
+	col, ok := collection.ByName(name, scale)
+	if !ok {
+		return nil, fmt.Errorf("unknown collection (want CACM, Legal, TIPSTER1, TIPSTER)")
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+	fs := vfs.New(vfs.Options{OSCacheBytes: 8 << 20})
+	if _, err := core.Build(fs, col.Name, col.Stream(), core.BuildOptions{Analyzer: an}); err != nil {
+		return nil, err
+	}
+	opts := append(baseOpts(an), core.WithPlan(planFromDictionary(fs, col.Name)))
+	return core.Open(fs, col.Name, core.BackendMneme, opts...)
+}
+
+// planFromDictionary applies the paper's Table 2 heuristics to the
+// stored dictionary: large = 3x the largest list, medium = 9% of large
+// (at least 3 segments), small = 3 segments.
+func planFromDictionary(fs *vfs.FS, name string) core.BufferPlan {
+	eng, err := core.Open(fs, name, core.BackendMneme)
+	if err != nil {
+		return core.BufferPlan{SmallBytes: 3 * 4096, MediumBytes: 3 * 8192, LargeBytes: 1 << 20}
+	}
+	var max int64
+	eng.Dictionary().Range(func(e *lexicon.Entry) bool {
+		if int64(e.ListBytes) > max {
+			max = int64(e.ListBytes)
+		}
+		return true
+	})
+	eng.Close()
+	medium := 3 * max * 9 / 100
+	if medium < 3*8192 {
+		medium = 3 * 8192
+	}
+	return core.BufferPlan{SmallBytes: 3 * 4096, MediumBytes: medium, LargeBytes: 3 * max}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end serving smoke: build the real
+// inqueryd and loadgen binaries, boot the server on a loopback
+// ephemeral port over a self-built synthetic index, drive a short
+// closed-loop burst through loadgen, check /metrics and /snapshot
+// answer, then SIGTERM and require a clean drain (exit 0 with the
+// draining/stopped lifecycle lines) — a hung shutdown or leaked worker
+// turns into a test timeout here.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bins := map[string]string{
+		"inqueryd": filepath.Join(dir, "inqueryd"),
+		"loadgen":  filepath.Join(dir, "loadgen"),
+	}
+	for pkg, out := range bins {
+		cmd := exec.Command("go", "build", "-o", out, "repro/cmd/"+pkg)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, b)
+		}
+	}
+
+	srv := exec.Command(bins["inqueryd"],
+		"-synthetic", "CACM", "-scale", "0.02",
+		"-addr", "127.0.0.1:0", "-max-inflight", "8")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The first stdout line carries the bound address.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	readLine := func(what string) string {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatalf("inqueryd exited before printing %s", what)
+			}
+			return l
+		case <-time.After(30 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		return ""
+	}
+	first := readLine("the listen address")
+	const prefix = "inqueryd: listening on "
+	if !strings.HasPrefix(first, prefix) {
+		t.Fatalf("unexpected first line %q", first)
+	}
+	target := strings.TrimPrefix(first, prefix)
+
+	get := func(path string, wantSub string) {
+		t.Helper()
+		resp, err := http.Get(target + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d (%s)", path, resp.StatusCode, b)
+		}
+		if !strings.Contains(string(b), wantSub) {
+			t.Fatalf("GET %s: body lacks %q: %s", path, wantSub, b)
+		}
+	}
+	get("/healthz", `"ok"`)
+
+	lg := exec.Command(bins["loadgen"],
+		"-target", target, "-collection", "CACM", "-scale", "0.02",
+		"-duration", "1s", "-c", "4", "-wait", "5s")
+	lgOut, err := lg.CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, lgOut)
+	}
+	if !strings.Contains(string(lgOut), "qps") || !strings.Contains(string(lgOut), "outcome ok") {
+		t.Fatalf("loadgen summary missing throughput/outcome lines:\n%s", lgOut)
+	}
+
+	// The burst must be visible in the served metrics and snapshot.
+	get("/metrics", "http_requests_total")
+	get("/snapshot", "CACM")
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var rest []string
+	for l := range lines {
+		rest = append(rest, l)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("inqueryd exit: %v\n%s", err, strings.Join(rest, "\n"))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("inqueryd did not exit after SIGTERM; output:\n%s", strings.Join(rest, "\n"))
+	}
+	tail := strings.Join(rest, "\n")
+	for _, want := range []string{"draining", "stopped"} {
+		if !strings.Contains(tail, want) {
+			t.Fatalf("shutdown lifecycle line %q missing from output:\n%s", want, tail)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Command loadgen drives a running inqueryd and reports what it
+// delivered: achieved QPS, latency percentiles, status breakdown, and
+// shed rate.
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:7933 -collection CACM -duration 5s
+//	loadgen -mode open -qps 200 -c 64 -duration 10s -out BENCH_serve.json
+//	loadgen -out BENCH_serve.json -baseline testdata/serve_baseline.json -tol 1.0
+//
+// The query mix is drawn from the paper's synthetic generator
+// (-collection/-queryset/-scale — use the same values the server's
+// -synthetic index was built with) or from a -queries file, and is
+// sampled Zipf-skewed (-zipf) so a hot head dominates, as the paper's
+// buffer-locality argument assumes. -mode closed runs a fixed worker
+// pool (capacity); -mode open runs Poisson arrivals at -qps (overload
+// behaviour).
+//
+// With -out, the run is written as a bench report (schema
+// repro/bench_serve/v1) whose row carries the wall-clock percentiles
+// as an "http" stage plus a serve block (QPS, shed rate, errors). With
+// -baseline, the report is gated by experiments.CompareBench: p95 may
+// not regress past -tol, QPS may not drop below baseline*(1-tol), shed
+// rate may not rise past baseline+tol, and transport errors fail
+// outright. Exit codes: 0 ok, 1 setup/transport failure, 2 gate
+// failure.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:7933", "inqueryd base URL")
+	index := flag.String("index", "", "index name to query (empty = server default)")
+	mode := flag.String("mode", "closed", "load discipline: closed (worker pool) or open (Poisson arrivals at -qps)")
+	conc := flag.Int("c", 8, "closed-loop workers / open-loop cap on outstanding requests")
+	qps := flag.Float64("qps", 0, "open-loop target arrival rate (requests/second)")
+	duration := flag.Duration("duration", 5*time.Second, "run length (0 = until -n requests)")
+	requests := flag.Int("n", 0, "request budget (0 = until -duration)")
+	colName := flag.String("collection", "CACM", "synthetic collection supplying the query mix")
+	scale := flag.Float64("scale", 0.05, "collection scale (match the server's -scale)")
+	qsIndex := flag.Int("queryset", 0, "query set index within the collection")
+	queryFile := flag.String("queries", "", "file of queries, one per line (overrides -collection)")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf exponent of query popularity over the pool (>1)")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	topK := flag.Int("k", 0, "top_k per request (0 = server default, -1 = full ranking)")
+	daat := flag.Bool("daat", false, "request document-at-a-time evaluation")
+	prune := flag.Bool("prune", false, "request MaxScore pruning (with -daat)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline field (0 = server default)")
+	wait := flag.Duration("wait", 10*time.Second, "how long to poll /healthz for readiness before starting")
+	out := flag.String("out", "", "write the run as a bench report (BENCH_serve.json)")
+	baseline := flag.String("baseline", "", "gate the run against this baseline bench report")
+	tol := flag.Float64("tol", 1.0, "gate tolerance (fraction; wall-clock serving numbers are noisy, keep it loose)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	queries, querySet, err := queryPool(*queryFile, *colName, *scale, *qsIndex)
+	if err != nil {
+		fail(err)
+	}
+
+	if *wait > 0 {
+		if err := loadgen.WaitReady(*target, *wait); err != nil {
+			fail(err)
+		}
+	}
+
+	m := core.ModeTAAT
+	if *daat {
+		m = core.ModeDAAT
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:      *target,
+		Index:       *index,
+		Queries:     queries,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+		Discipline:  loadgen.Discipline(*mode),
+		Concurrency: *conc,
+		QPS:         *qps,
+		Duration:    *duration,
+		Requests:    *requests,
+		TopK:        *topK,
+		Mode:        m,
+		Deadline:    *deadline,
+		Prune:       *prune,
+	})
+	if err != nil {
+		fail(err)
+	}
+	printReport(rep)
+
+	if *out == "" && *baseline == "" {
+		return
+	}
+	report := &experiments.BenchReport{
+		Schema: experiments.ServeBenchSchema,
+		Scale:  *scale,
+		Rows:   []experiments.BenchRow{rep.BenchRow("serve", *colName, querySet)},
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		var base experiments.BenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fail(fmt.Errorf("baseline %s: %w", *baseline, err))
+		}
+		if err := experiments.CompareBench(&base, report, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: GATE FAILED")
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("gate ok against %s (tol %.0f%%)\n", *baseline, *tol*100)
+	}
+}
+
+// queryPool assembles the query mix: a file of queries, or the named
+// synthetic collection's generated query set. Returns the pool and a
+// label for the bench row's query_set column.
+func queryPool(file, colName string, scale float64, qsIndex int) ([]string, string, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		var queries []string
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if q := strings.TrimSpace(sc.Text()); q != "" {
+				queries = append(queries, q)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, "", err
+		}
+		if len(queries) == 0 {
+			return nil, "", fmt.Errorf("no queries in %s", file)
+		}
+		return queries, "file:" + file, nil
+	}
+	col, ok := collection.ByName(colName, scale)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown collection %q", colName)
+	}
+	if qsIndex < 0 || qsIndex >= len(col.QuerySets) {
+		return nil, "", fmt.Errorf("%s has no query set %d (has %d)", colName, qsIndex, len(col.QuerySets))
+	}
+	qs := col.QuerySets[qsIndex]
+	gen := col.GenQueries(qs)
+	queries := make([]string, len(gen))
+	for i, q := range gen {
+		queries[i] = q.Text
+	}
+	return queries, qs.Name, nil
+}
+
+// printReport renders the human-readable run summary.
+func printReport(r *loadgen.Report) {
+	fmt.Printf("%s loop: %d requests in %.2fs = %.1f qps\n",
+		r.Discipline, r.Requests, r.Seconds, r.QPS)
+	fmt.Printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+		r.P50ms, r.P95ms, r.P99ms, r.MaxMs)
+	codes := make([]int, 0, len(r.Status))
+	for c := range r.Status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	parts := make([]string, 0, len(codes))
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d:%d", c, r.Status[c]))
+	}
+	fmt.Printf("status: %s  shed rate %.3f", strings.Join(parts, " "), r.ShedRate)
+	if r.ClientShed > 0 {
+		fmt.Printf("  client-shed %d", r.ClientShed)
+	}
+	if r.Errors > 0 {
+		fmt.Printf("  transport errors %d", r.Errors)
+	}
+	fmt.Println()
+	outs := make([]string, 0, len(r.Outcomes))
+	for o := range r.Outcomes {
+		outs = append(outs, o)
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		fmt.Printf("outcome %-9s %d\n", o, r.Outcomes[o])
+	}
+}

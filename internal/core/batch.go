@@ -46,15 +46,8 @@ func QueryTimeout(d time.Duration) BatchOption {
 
 // searchOne evaluates one batch query under the per-query timeout.
 func searchOne(ctx context.Context, s *Searcher, query string, cfg *batchConfig) ([]Result, error) {
-	if cfg.timeout <= 0 {
-		return s.SearchCtx(ctx, query, cfg.topK)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	qctx, cancel := context.WithTimeout(ctx, cfg.timeout)
-	defer cancel()
-	return s.SearchCtx(qctx, query, cfg.topK)
+	resp, err := s.Run(ctx, Request{Query: query, TopK: cfg.topK, Deadline: cfg.timeout})
+	return resp.Results, err
 }
 
 // resilienceOutcome reports whether an error is a typed per-query

@@ -235,7 +235,7 @@ type Engine struct {
 	an      *textproc.Analyzer
 	docLens []uint32
 	total   int64
-	opts    EngineOptions
+	opts    engineOptions
 
 	agg atomicCounters
 	met *engineMetrics
@@ -255,7 +255,7 @@ type Engine struct {
 // Open loads a collection with the chosen backend, configured by
 // functional options: Open(fs, "CACM", BackendMneme, WithPlan(p)).
 func Open(fs *vfs.FS, name string, kind BackendKind, opts ...Option) (*Engine, error) {
-	var opt EngineOptions
+	var opt engineOptions
 	for _, o := range opts {
 		o(&opt)
 	}
@@ -422,24 +422,32 @@ type Result = inference.Result
 // Search evaluates a query with term-at-a-time processing and returns
 // the topK documents (topK <= 0 means all). It is safe for concurrent
 // use; each call runs on an implicit per-call Searcher.
+//
+// Deprecated: use Run.
 func (e *Engine) Search(query string, topK int) ([]Result, error) {
 	return e.Acquire().Search(query, topK)
 }
 
 // SearchDAAT evaluates a query document-at-a-time. It is safe for
 // concurrent use.
+//
+// Deprecated: use Run with Mode: ModeDAAT.
 func (e *Engine) SearchDAAT(query string, topK int) ([]Result, error) {
 	return e.Acquire().SearchDAAT(query, topK)
 }
 
 // SearchCtx is Search under a context: the query respects ctx's
 // deadline/cancellation and the engine's admission gate. See
-// Searcher.SearchCtx for the full contract.
+// Searcher.Run for the full contract.
+//
+// Deprecated: use Run.
 func (e *Engine) SearchCtx(ctx context.Context, query string, topK int) ([]Result, error) {
 	return e.Acquire().SearchCtx(ctx, query, topK)
 }
 
 // SearchDAATCtx is SearchDAAT under a context.
+//
+// Deprecated: use Run with Mode: ModeDAAT.
 func (e *Engine) SearchDAATCtx(ctx context.Context, query string, topK int) ([]Result, error) {
 	return e.Acquire().SearchDAATCtx(ctx, query, topK)
 }
@@ -504,7 +512,20 @@ func (e *Engine) Explain(query string, doc uint32) (*inference.Explanation, erro
 // engine (or any engine sharing the FS). Ordinary Search/SearchDAAT pay
 // nothing for this facility: their recorder fields stay nil.
 func (e *Engine) TraceSearch(query string, topK int, daat bool) ([]Result, *obs.Trace, error) {
-	tr := obs.NewTrace(query)
+	mode := ModeTAAT
+	if daat {
+		mode = ModeDAAT
+	}
+	resp, tr, err := e.TraceRun(Request{Query: query, TopK: topK, Mode: mode})
+	return resp.Results, tr, err
+}
+
+// TraceRun is TraceSearch over the unified Request/Response API: the
+// request is evaluated with a recorder attached through every layer,
+// and the response carries the per-request counter delta alongside the
+// finished trace. The same single-stream caveat applies.
+func (e *Engine) TraceRun(req Request) (Response, *obs.Trace, error) {
+	tr := obs.NewTrace(req.Query)
 	e.fs.SetRecorder(tr)
 	e.backend.SetRecorder(tr)
 	defer func() {
@@ -513,15 +534,7 @@ func (e *Engine) TraceSearch(query string, topK int, daat bool) ([]Result, *obs.
 	}()
 	s := e.Acquire()
 	s.SetRecorder(tr)
-	var (
-		res []Result
-		err error
-	)
-	if daat {
-		res, err = s.SearchDAAT(query, topK)
-	} else {
-		res, err = s.Search(query, topK)
-	}
+	resp, err := s.Run(nil, req)
 	tr.Finish()
-	return res, tr, err
+	return resp, tr, err
 }

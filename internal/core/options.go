@@ -6,12 +6,11 @@ import (
 	"repro/internal/textproc"
 )
 
-// EngineOptions configures an opened engine.
-//
-// Deprecated: pass functional options (WithPlan, WithAnalyzer, ...) to
-// Open instead; a literal EngineOptions can be applied with WithOptions
-// during migration.
-type EngineOptions struct {
+// engineOptions is the resolved configuration of an opened engine.
+// It is deliberately unexported: callers configure engines only
+// through the With* functional options, so fields can be added or
+// reshaped without breaking the Open signature.
+type engineOptions struct {
 	// Analyzer must match the one used at build time; nil selects the
 	// default.
 	Analyzer *textproc.Analyzer
@@ -68,49 +67,42 @@ type EngineOptions struct {
 }
 
 // Option configures an engine at Open time.
-type Option func(*EngineOptions)
-
-// WithOptions applies a whole EngineOptions literal.
-//
-// Deprecated: migration shim; use the individual With* options.
-func WithOptions(o EngineOptions) Option {
-	return func(dst *EngineOptions) { *dst = o }
-}
+type Option func(*engineOptions)
 
 // WithAnalyzer selects the text analyzer, which must match the one used
 // at build time.
 func WithAnalyzer(a *textproc.Analyzer) Option {
-	return func(o *EngineOptions) { o.Analyzer = a }
+	return func(o *engineOptions) { o.Analyzer = a }
 }
 
 // WithPlan sets Mneme buffer capacities (ignored for the B-tree). The
 // default is the zero plan, "Mneme, No Cache".
 func WithPlan(p BufferPlan) Option {
-	return func(o *EngineOptions) { o.Plan = p }
+	return func(o *engineOptions) { o.Plan = p }
 }
 
 // WithAccessLog records the byte size of every inverted list fetched —
 // the raw series behind Figure 2.
 func WithAccessLog() Option {
-	return func(o *EngineOptions) { o.LogAccesses = true }
+	return func(o *engineOptions) { o.LogAccesses = true }
 }
 
 // WithTermUse records per-term lookup counts (term repetition
 // analysis). Costs a map insert per lookup.
 func WithTermUse() Option {
-	return func(o *EngineOptions) { o.TrackTermUse = true }
+	return func(o *engineOptions) { o.TrackTermUse = true }
 }
 
 // WithoutReserve turns off the resident-object reservation scan (for
 // the ablation measurement).
 func WithoutReserve() Option {
-	return func(o *EngineOptions) { o.DisableReserve = true }
+	return func(o *engineOptions) { o.DisableReserve = true }
 }
 
 // WithChunking sets the chunk payload size for large lists; it must
 // match the value the collection was built with (0 = stored whole).
 func WithChunking(n int) Option {
-	return func(o *EngineOptions) { o.ChunkLargeLists = n }
+	return func(o *engineOptions) { o.ChunkLargeLists = n }
 }
 
 // WithPruning turns on MaxScore dynamic pruning for document-at-a-time
@@ -119,23 +111,25 @@ func WithChunking(n int) Option {
 // records in chunked storage, whole blocks and storage chunks — that
 // cannot change the top-k. Results are exactly those of exhaustive
 // evaluation; work avoided shows up in Counters.PostingsSkipped,
-// BlocksSkipped, and ChunksSkipped.
+// BlocksSkipped, and ChunksSkipped. Per-request opt-in is available
+// through Request.Prune.
 func WithPruning() Option {
-	return func(o *EngineOptions) { o.Prune = true }
+	return func(o *engineOptions) { o.Prune = true }
 }
 
 // WithDegraded lets searches skip unreadable inverted-list records —
 // ranking what remains and counting the skips in Counters.CorruptRecords
-// — instead of aborting on the first storage error.
+// — instead of aborting on the first storage error. Per-request opt-in
+// is available through Request.Degraded.
 func WithDegraded() Option {
-	return func(o *EngineOptions) { o.DegradedOK = true }
+	return func(o *engineOptions) { o.DegradedOK = true }
 }
 
 // WithMaxInFlight bounds concurrent queries to n, queueing arrivals for
 // at most queueWait before shedding them with resilience.ErrShed. The
 // default (no gate) admits everything.
 func WithMaxInFlight(n int, queueWait time.Duration) Option {
-	return func(o *EngineOptions) {
+	return func(o *engineOptions) {
 		o.MaxInFlight = n
 		o.QueueWait = queueWait
 	}
@@ -146,7 +140,7 @@ func WithMaxInFlight(n int, queueWait time.Duration) Option {
 // deterministic seeded jitter). Retries recovered this way surface in
 // Counters.RetriedReads; checksum corruption is never retried.
 func WithRetry(attempts int) Option {
-	return func(o *EngineOptions) { o.RetryAttempts = attempts }
+	return func(o *engineOptions) { o.RetryAttempts = attempts }
 }
 
 // WithBreaker arms a per-pool circuit breaker: threshold consecutive
@@ -156,7 +150,7 @@ func WithRetry(attempts int) Option {
 // package default. The cooldown is counted in rejected calls, not
 // wall-clock, so breaker behaviour is deterministic under test.
 func WithBreaker(threshold, cooldown int) Option {
-	return func(o *EngineOptions) {
+	return func(o *engineOptions) {
 		o.BreakerThreshold = threshold
 		o.BreakerCooldown = cooldown
 	}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/inference"
+	"repro/internal/resilience"
+)
+
+// Mode selects a Request's evaluation strategy.
+type Mode uint8
+
+const (
+	// ModeTAAT evaluates term-at-a-time: every query term's posting
+	// list is materialized and merged into the accumulator table — the
+	// paper's protocol, and the zero value.
+	ModeTAAT Mode = iota
+	// ModeDAAT evaluates document-at-a-time over streaming iterators,
+	// optionally under MaxScore pruning (Request.Prune).
+	ModeDAAT
+)
+
+// String names the mode as the request API spells it.
+func (m Mode) String() string {
+	if m == ModeDAAT {
+		return "daat"
+	}
+	return "taat"
+}
+
+// MarshalText implements encoding.TextMarshaler, so a Mode round-trips
+// through a JSON request body as "taat" / "daat".
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler. The empty string
+// selects ModeTAAT, matching the zero value.
+func (m *Mode) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "", "taat":
+		*m = ModeTAAT
+	case "daat":
+		*m = ModeDAAT
+	default:
+		return fmt.Errorf("core: unknown evaluation mode %q", b)
+	}
+	return nil
+}
+
+// Request is the single description of one retrieval call. Every entry
+// point — the CLIs, the batch driver, the bench harness, and the
+// inqueryd HTTP server (which unmarshals this struct directly from the
+// request body) — reduces to a Request handed to Searcher.Run.
+type Request struct {
+	// Query is the query text in the INQUERY operator language.
+	Query string `json:"query"`
+	// TopK bounds the ranking depth (<= 0 ranks every matching
+	// document). Transport layers may apply their own default before
+	// the request reaches Run.
+	TopK int `json:"top_k,omitempty"`
+	// Mode selects term-at-a-time (default) or document-at-a-time
+	// evaluation.
+	Mode Mode `json:"mode,omitempty"`
+	// Deadline, when positive, gives this request its own evaluation
+	// budget: Run derives a context deadline and a cut-short query
+	// returns its partial ranking with OutcomeDeadline. Encoded in
+	// JSON as nanoseconds (a Go time.Duration).
+	Deadline time.Duration `json:"deadline_ns,omitempty"`
+	// Degraded lets this request survive unreadable inverted-list
+	// records (scored as absent, tallied in Counters.CorruptRecords)
+	// even on an engine opened without WithDegraded.
+	Degraded bool `json:"degraded,omitempty"`
+	// Prune enables MaxScore dynamic pruning for ModeDAAT requests
+	// even on an engine opened without WithPruning. The top-k is
+	// identical to exhaustive evaluation.
+	Prune bool `json:"prune,omitempty"`
+}
+
+// Outcome classifies how a request ended — the label transport layers
+// map onto their status taxonomy (inqueryd: ok/degraded → 200, shed →
+// 429, deadline → 504, error → 400/503/500 by error class).
+type Outcome string
+
+const (
+	// OutcomeOK is a complete ranking with no damage observed.
+	OutcomeOK Outcome = "ok"
+	// OutcomeDegraded is a complete pass that skipped corrupt records:
+	// the ranking covers every readable list, and the skips are
+	// tallied in the response counters.
+	OutcomeDegraded Outcome = "degraded"
+	// OutcomeDeadline is a partial ranking: the deadline (or the
+	// caller's context) fired mid-evaluation and unscored terms read
+	// as absent. The paired error chains to resilience.ErrDeadline.
+	OutcomeDeadline Outcome = "deadline"
+	// OutcomeShed means admission control rejected the request before
+	// any evaluation. The paired error chains to resilience.ErrShed.
+	OutcomeShed Outcome = "shed"
+	// OutcomeError is a hard failure: bad query syntax, storage
+	// corruption on a strict engine, or an open circuit breaker.
+	OutcomeError Outcome = "error"
+)
+
+// Partial reports whether the outcome carries results that may not
+// reflect the complete collection.
+func (o Outcome) Partial() bool { return o == OutcomeDegraded || o == OutcomeDeadline }
+
+// Response is a Request's full result: the ranking, the work this
+// request performed (a per-request counter delta, not the engine
+// aggregate), and the outcome label.
+type Response struct {
+	Results  []Result `json:"results"`
+	Counters Counters `json:"counters"`
+	Outcome  Outcome  `json:"outcome"`
+}
+
+// outcomeOf derives the outcome label from a finished request's error
+// and counter delta.
+func outcomeOf(err error, delta Counters) Outcome {
+	switch {
+	case err == nil:
+		if delta.CorruptRecords > 0 {
+			return OutcomeDegraded
+		}
+		return OutcomeOK
+	case errors.Is(err, resilience.ErrShed):
+		return OutcomeShed
+	case errors.Is(err, resilience.ErrDeadline),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return OutcomeDeadline
+	default:
+		return OutcomeError
+	}
+}
+
+// Run evaluates one Request. It is the single query entry point: the
+// Search/SearchDAAT/SearchCtx/SearchDAATCtx names are thin wrappers
+// over it. The contract:
+//
+//   - If the engine has an admission gate (WithMaxInFlight) and the
+//     request is shed, no evaluation happens: OutcomeShed, an error
+//     chaining to resilience.ErrShed, and a counter delta recording
+//     the shed (not a query).
+//   - If Request.Deadline is positive, Run derives a per-request
+//     context deadline from ctx (nil ctx allowed). A request cut short
+//     — by that budget or by ctx itself — returns the partial ranking
+//     with OutcomeDeadline and an error chaining to
+//     resilience.ErrDeadline: a truncated ranking is always labelled.
+//   - Request.Degraded and Request.Prune act as per-request overrides
+//     OR-ed with the engine-level WithDegraded / WithPruning options.
+//   - Response.Counters is this request's own work delta, so callers
+//     (the HTTP layer, the bench) report per-request work without
+//     diffing engine aggregates.
+func (s *Searcher) Run(ctx context.Context, req Request) (Response, error) {
+	if req.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
+	before := s.counters
+	res, err := s.evaluate(ctx, req)
+	delta := s.counters.Sub(before)
+	return Response{Results: res, Counters: delta, Outcome: outcomeOf(err, delta)}, err
+}
+
+// evaluate runs the request through admission, normalization,
+// reservation, and the selected evaluator. Counter flushing and
+// iterator settlement happen on the way out, so the caller's delta is
+// complete when evaluate returns.
+func (s *Searcher) evaluate(ctx context.Context, req Request) ([]Result, error) {
+	if g := s.e.gate; g != nil {
+		if err := g.Acquire(ctx); err != nil {
+			if errors.Is(err, resilience.ErrShed) {
+				s.counters.Shed++
+			} else {
+				s.counters.DeadlineHits++
+			}
+			s.flush()
+			return nil, fmt.Errorf("core: query not admitted: %w", err)
+		}
+		defer g.Release()
+	}
+	s.deadlined = false
+	s.reqDegraded, s.reqPrune = req.Degraded, req.Prune
+	defer func() { s.reqDegraded, s.reqPrune = false, false }()
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+		defer func() { s.ctx = nil }()
+	}
+	n, err := s.e.normalizeQuery(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.Queries++
+	defer s.flush()
+	defer s.finishIters()
+	if n == nil {
+		return nil, nil
+	}
+	pin := s.e.reserve(n)
+	defer pin.Release()
+	var res []Result
+	switch {
+	case req.Mode == ModeDAAT && (s.e.opts.Prune || s.reqPrune):
+		res, err = inference.EvaluateMaxScore(n, s, req.TopK)
+	case req.Mode == ModeDAAT:
+		res, err = inference.EvaluateDAAT(n, s, req.TopK)
+	default:
+		res, err = inference.EvaluateTAAT(n, s, req.TopK)
+	}
+	if err == nil && s.deadlined {
+		err = fmt.Errorf("core: query cut short: %w (%w)", resilience.ErrDeadline, s.ctx.Err())
+	}
+	return res, err
+}
+
+// Run evaluates one Request on an implicit per-call Searcher. It is
+// safe for concurrent use; see Searcher.Run for the contract.
+func (e *Engine) Run(ctx context.Context, req Request) (Response, error) {
+	return e.Acquire().Run(ctx, req)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
 	"sync"
 
@@ -53,12 +52,18 @@ type Searcher struct {
 	rec obs.Recorder
 
 	// ctx is the in-flight query's context, set only for the duration
-	// of a SearchCtx/SearchDAATCtx call whose context can actually
-	// expire (ctx.Done() != nil) — plain Search pays one nil check per
-	// boundary and nothing more. deadlined latches the first observed
-	// expiry so DeadlineHits counts queries, not checks.
+	// of a Run call whose context can actually expire (ctx.Done() !=
+	// nil) — a plain Search pays one nil check per boundary and
+	// nothing more. deadlined latches the first observed expiry so
+	// DeadlineHits counts queries, not checks.
 	ctx       context.Context
 	deadlined bool
+
+	// reqDegraded and reqPrune are the in-flight Request's per-query
+	// overrides of the engine-level WithDegraded / WithPruning
+	// options, set only for the duration of a Run call.
+	reqDegraded bool
+	reqPrune    bool
 }
 
 // SetRecorder attaches (nil detaches) a trace recorder to this searcher.
@@ -131,85 +136,37 @@ func (s *Searcher) flush() {
 
 // Search evaluates a query with term-at-a-time processing and returns
 // the topK documents (topK <= 0 means all).
+//
+// Deprecated: use Run.
 func (s *Searcher) Search(query string, topK int) ([]Result, error) {
-	return s.SearchCtx(nil, query, topK)
+	resp, err := s.Run(nil, Request{Query: query, TopK: topK})
+	return resp.Results, err
 }
 
 // SearchDAAT evaluates a query document-at-a-time.
+//
+// Deprecated: use Run with Mode: ModeDAAT.
 func (s *Searcher) SearchDAAT(query string, topK int) ([]Result, error) {
-	return s.SearchDAATCtx(nil, query, topK)
+	resp, err := s.Run(nil, Request{Query: query, TopK: topK, Mode: ModeDAAT})
+	return resp.Results, err
 }
 
-// SearchCtx evaluates a query under a context. The contract:
+// SearchCtx evaluates a query under a context; see Run for the full
+// shed/deadline contract. A nil or never-expiring ctx behaves exactly
+// like Search.
 //
-//   - If the engine has an admission gate (WithMaxInFlight) and the
-//     query is shed, the error chains to resilience.ErrShed and no
-//     evaluation happens (Counters.Shed, not Queries).
-//   - If ctx expires mid-query, evaluation stops at the next boundary
-//     (record fault-in, or every posting batch while streaming), the
-//     terms not yet scored are treated as absent, and the partial
-//     ranking is returned together with an error chaining to both
-//     resilience.ErrDeadline and ctx.Err() — a cut-short query is
-//     always labelled, never passed off as a complete ranking.
-//   - A nil or never-expiring ctx behaves exactly like Search.
+// Deprecated: use Run.
 func (s *Searcher) SearchCtx(ctx context.Context, query string, topK int) ([]Result, error) {
-	return s.searchCtx(ctx, query, topK, evalTAAT)
+	resp, err := s.Run(ctx, Request{Query: query, TopK: topK})
+	return resp.Results, err
 }
 
 // SearchDAATCtx is SearchCtx with document-at-a-time evaluation.
+//
+// Deprecated: use Run with Mode: ModeDAAT.
 func (s *Searcher) SearchDAATCtx(ctx context.Context, query string, topK int) ([]Result, error) {
-	return s.searchCtx(ctx, query, topK, evalDAAT)
-}
-
-// evalTAAT and evalDAAT adapt the two evaluators (whose source
-// parameter types differ) to one callback shape for searchCtx.
-func evalTAAT(n *inference.Node, s *Searcher, topK int) ([]Result, error) {
-	return inference.EvaluateTAAT(n, s, topK)
-}
-
-func evalDAAT(n *inference.Node, s *Searcher, topK int) ([]Result, error) {
-	if s.e.opts.Prune {
-		return inference.EvaluateMaxScore(n, s, topK)
-	}
-	return inference.EvaluateDAAT(n, s, topK)
-}
-
-func (s *Searcher) searchCtx(ctx context.Context, query string, topK int,
-	eval func(*inference.Node, *Searcher, int) ([]Result, error)) ([]Result, error) {
-	if g := s.e.gate; g != nil {
-		if err := g.Acquire(ctx); err != nil {
-			if errors.Is(err, resilience.ErrShed) {
-				s.counters.Shed++
-			} else {
-				s.counters.DeadlineHits++
-			}
-			s.flush()
-			return nil, fmt.Errorf("core: query not admitted: %w", err)
-		}
-		defer g.Release()
-	}
-	s.deadlined = false
-	if ctx != nil && ctx.Done() != nil {
-		s.ctx = ctx
-		defer func() { s.ctx = nil }()
-	}
-	n, err := s.e.normalizeQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	s.counters.Queries++
-	defer s.flush()
-	defer s.finishIters()
-	if n == nil {
-		return nil, nil
-	}
-	pin := s.e.reserve(n)
-	defer pin.Release()
-	res, err := eval(n, s, topK)
-	if err == nil && s.deadlined {
-		err = fmt.Errorf("core: query cut short: %w (%w)", resilience.ErrDeadline, s.ctx.Err())
-	}
-	return res, err
+	resp, err := s.Run(ctx, Request{Query: query, TopK: topK, Mode: ModeDAAT})
+	return resp.Results, err
 }
 
 // expired reports whether the in-flight query's context has expired,
@@ -273,13 +230,13 @@ func isCorruption(err error) bool {
 }
 
 // degrade decides whether a failed record fetch is survivable: under
-// WithDegraded, a corruption-class error — or a fast-fail rejection
-// from an open circuit breaker, which shields the rest of the query
-// from a failing pool — is counted in CorruptRecords and the term is
-// scored as absent; any other error (or a strict engine) aborts the
-// query.
+// WithDegraded (or a Request with Degraded set), a corruption-class
+// error — or a fast-fail rejection from an open circuit breaker, which
+// shields the rest of the query from a failing pool — is counted in
+// CorruptRecords and the term is scored as absent; any other error (or
+// a strict engine) aborts the query.
 func (s *Searcher) degrade(err error) bool {
-	if !s.e.opts.DegradedOK {
+	if !s.e.opts.DegradedOK && !s.reqDegraded {
 		return false
 	}
 	if !isCorruption(err) && !errors.Is(err, resilience.ErrBreakerOpen) {

@@ -15,6 +15,14 @@ import (
 // v2 added the prune stage, skip counters, and the chunked DAAT rows.
 const BenchSchema = "repro/bench_query/v2"
 
+// ServeBenchSchema versions the BENCH_serve.json format written by
+// cmd/loadgen: the same BenchReport envelope and row shape as the
+// query bench, with per-row serving statistics (achieved QPS, shed
+// rate) in the Serve block and wall-clock HTTP latency quantiles as a
+// single "http" stage. Keeping the shape shared means CompareBench
+// gates served latency alongside the query bench with the same code.
+const ServeBenchSchema = "repro/bench_serve/v1"
+
 // BenchSystems are the configurations the bench mode measures: the two
 // storage backends, with Mneme under its paper buffer plan.
 var BenchSystems = []System{SysBTree, SysMnemeCache}
@@ -47,6 +55,28 @@ type BenchSkips struct {
 	Chunks   int64 `json:"chunks"`
 }
 
+// ServeStats is the serving-side block of a BENCH_serve.json row: what
+// a loadgen run achieved against a live inqueryd, beyond the latency
+// quantiles carried in the row's "http" stage.
+type ServeStats struct {
+	// Mode is the load-generation discipline: "closed" (fixed worker
+	// pool, next request after the previous response) or "open"
+	// (Poisson arrivals at a target rate, independent of responses).
+	Mode string `json:"mode"`
+	// Requests is the number of HTTP requests that completed.
+	Requests int `json:"requests"`
+	// Seconds is the measured run length.
+	Seconds float64 `json:"seconds"`
+	// QPS is the achieved served throughput (Requests / Seconds).
+	QPS float64 `json:"qps"`
+	// ShedRate is the fraction of requests answered 429 (admission
+	// control shed) — the overload signal.
+	ShedRate float64 `json:"shed_rate"`
+	// Errors counts transport-level failures (connection refused,
+	// malformed replies); any non-zero value fails the gate.
+	Errors int `json:"errors"`
+}
+
 // BenchRow is one (system, collection, query set) measurement.
 type BenchRow struct {
 	Backend    string         `json:"backend"`
@@ -61,6 +91,10 @@ type BenchRow struct {
 	// can skip; the exhaustive and pruned rows differ only here and in
 	// the stage latencies.
 	Skips *BenchSkips `json:"skips,omitempty"`
+	// Serve is present on BENCH_serve.json rows only: the loadgen
+	// throughput/shed measurements CompareBench gates in addition to
+	// the row's latency stages.
+	Serve *ServeStats `json:"serve,omitempty"`
 }
 
 // BenchReport is the full bench-mode output (BENCH_query.json).
@@ -114,9 +148,13 @@ func (l *Lab) benchRow(b *Built, colName, qsName string, queries []collection.Qu
 	eng.Backend().ResetBufferStats()
 	before := b.FS.Stats()
 
+	mode := core.ModeTAAT
+	if set.daat {
+		mode = core.ModeDAAT
+	}
 	stageUS := make(map[obs.Stage][]float64, len(obs.Stages()))
 	for _, q := range queries {
-		_, tr, err := eng.TraceSearch(q.Text, set.topK, set.daat)
+		_, tr, err := eng.TraceRun(core.Request{Query: q.Text, TopK: set.topK, Mode: mode})
 		if err != nil {
 			return BenchRow{}, fmt.Errorf("experiments: bench %s/%s/%s: query %s: %w",
 				set.label, colName, qsName, q.ID, err)
@@ -253,9 +291,15 @@ func rowKey(r BenchRow) string {
 }
 
 // CompareBench diffs a current report against a committed baseline and
-// returns an error describing every stage whose p95 simulated latency
-// regressed by more than tol (0.20 = 20%). Reports must share schema and
-// scale; rows present in the baseline must still exist.
+// returns an error describing every stage whose p95 latency regressed
+// by more than tol (0.20 = 20%). Reports must share schema and scale;
+// rows present in the baseline must still exist. The same gate covers
+// both bench formats: query rows (deterministic simulated-latency
+// stages) and serve rows, whose Serve block is additionally gated —
+// achieved QPS must not fall below baseline·(1−tol), the shed rate must
+// not exceed baseline + tol, and transport errors must stay zero.
+// Serve measurements are wall-clock, so serve baselines are gated with
+// a generous tol (see cmd/loadgen -tol), not the query bench's 20%.
 func CompareBench(base, cur *BenchReport, tol float64) error {
 	if base.Schema != cur.Schema {
 		return fmt.Errorf("bench schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)
@@ -288,6 +332,26 @@ func CompareBench(base, cur *BenchReport, tol float64) error {
 				bad = append(bad, fmt.Sprintf("%s/%s: p95 %.1fµs -> %.1fµs (+%.0f%%, tolerance %.0f%%)",
 					rowKey(br), bs.Stage, bs.P95us, cs.P95us,
 					100*(cs.P95us/bs.P95us-1), 100*tol))
+			}
+		}
+		if br.Serve == nil {
+			continue
+		}
+		switch {
+		case cr.Serve == nil:
+			bad = append(bad, fmt.Sprintf("%s: serve block missing from current report", rowKey(br)))
+		default:
+			if br.Serve.QPS > 0 && cr.Serve.QPS < br.Serve.QPS*(1-tol) {
+				bad = append(bad, fmt.Sprintf("%s: served QPS %.1f -> %.1f (-%.0f%%, tolerance %.0f%%)",
+					rowKey(br), br.Serve.QPS, cr.Serve.QPS,
+					100*(1-cr.Serve.QPS/br.Serve.QPS), 100*tol))
+			}
+			if cr.Serve.ShedRate > br.Serve.ShedRate+tol {
+				bad = append(bad, fmt.Sprintf("%s: shed rate %.3f -> %.3f (tolerance +%.2f)",
+					rowKey(br), br.Serve.ShedRate, cr.Serve.ShedRate, tol))
+			}
+			if cr.Serve.Errors > 0 {
+				bad = append(bad, fmt.Sprintf("%s: %d transport errors", rowKey(br), cr.Serve.Errors))
 			}
 		}
 	}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// serveReport builds a one-row serve bench report.
+func serveReport(qps, shed float64, errs int) *BenchReport {
+	return &BenchReport{
+		Schema: ServeBenchSchema,
+		Scale:  0.05,
+		Rows: []BenchRow{{
+			Backend: "serve", Collection: "CACM", QuerySet: "1", Queries: 100,
+			Stages: []BenchStage{{Stage: "http", P50us: 300, P95us: 900, P99us: 1500}},
+			Serve:  &ServeStats{Mode: "closed", Requests: 100, Seconds: 1, QPS: qps, ShedRate: shed, Errors: errs},
+		}},
+	}
+}
+
+// TestCompareBenchServeGate: the serve block extends the shared gate —
+// QPS floor, shed-rate ceiling, zero transport errors, and the block
+// itself may not disappear.
+func TestCompareBenchServeGate(t *testing.T) {
+	base := serveReport(1000, 0.01, 0)
+
+	if err := CompareBench(base, serveReport(950, 0.02, 0), 0.5); err != nil {
+		t.Fatalf("in-tolerance serve run rejected: %v", err)
+	}
+
+	if err := CompareBench(base, serveReport(400, 0.01, 0), 0.5); err == nil {
+		t.Fatal("QPS collapse below baseline*(1-tol) passed the gate")
+	} else if !strings.Contains(err.Error(), "QPS") {
+		t.Fatalf("QPS regression not named: %v", err)
+	}
+
+	if err := CompareBench(base, serveReport(1000, 0.9, 0), 0.5); err == nil {
+		t.Fatal("shed-rate explosion passed the gate")
+	} else if !strings.Contains(err.Error(), "shed rate") {
+		t.Fatalf("shed regression not named: %v", err)
+	}
+
+	if err := CompareBench(base, serveReport(1000, 0.01, 3), 0.5); err == nil {
+		t.Fatal("transport errors passed the gate")
+	} else if !strings.Contains(err.Error(), "transport errors") {
+		t.Fatalf("errors not named: %v", err)
+	}
+
+	cur := serveReport(1000, 0.01, 0)
+	cur.Rows[0].Serve = nil
+	if err := CompareBench(base, cur, 0.5); err == nil {
+		t.Fatal("missing serve block passed the gate")
+	}
+
+	// The stage gate still applies to the http stage of serve rows.
+	slow := serveReport(1000, 0.01, 0)
+	slow.Rows[0].Stages[0].P95us = 5000
+	if err := CompareBench(base, slow, 0.5); err == nil {
+		t.Fatal("p95 regression on the http stage passed the gate")
+	}
+}

@@ -28,10 +28,11 @@ type Source interface {
 	AvgDocLen() float64
 }
 
-// Result is one ranked document.
+// Result is one ranked document. The JSON tags are the wire encoding
+// of the serving layer's response body.
 type Result struct {
-	Doc   uint32
-	Score float64
+	Doc   uint32  `json:"doc"`
+	Score float64 `json:"score"`
 }
 
 // Belief computes the INQUERY-style belief contributed by a term

@@ -1,0 +1,384 @@
+// Package loadgen drives a live inqueryd with a Zipf-weighted query
+// mix and measures what the server actually delivered: achieved QPS,
+// wall-clock latency percentiles, the status-code breakdown, and the
+// shed rate. Two disciplines are supported:
+//
+//   - Closed loop: a fixed pool of workers, each issuing its next
+//     request as soon as the previous response lands. Throughput is
+//     capacity-bound — this measures how fast the server can go.
+//   - Open loop: requests arrive on a Poisson schedule at a target
+//     rate, independent of responses — this measures what happens to
+//     latency and shedding when demand exceeds capacity, without the
+//     coordinated-omission bias of closed loops.
+//
+// Query popularity over the pool follows a seeded Zipf distribution,
+// mirroring the collection generator's vocabulary skew: a few hot
+// queries dominate, a long tail recurs rarely — the mix the paper's
+// buffer-locality argument depends on.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// Discipline selects the load-generation loop.
+type Discipline string
+
+const (
+	// Closed is the fixed-concurrency worker-pool discipline.
+	Closed Discipline = "closed"
+	// Open is the Poisson-arrival constant-rate discipline.
+	Open Discipline = "open"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Target is the inqueryd base URL (e.g. http://127.0.0.1:7933).
+	Target string
+	// Index names the served index; empty selects the server default.
+	Index string
+	// Queries is the query pool sampled per request.
+	Queries []string
+	// ZipfS is the Zipf exponent of query popularity over the pool
+	// (must be > 1; 0 selects 1.2). Higher = hotter head.
+	ZipfS float64
+	// Seed drives query sampling and open-loop arrival jitter.
+	Seed int64
+	// Discipline is Closed (default) or Open.
+	Discipline Discipline
+	// Concurrency is the closed-loop worker count (default 8); in the
+	// open loop it caps simultaneously outstanding requests, shedding
+	// client-side beyond it so an overloaded run cannot spawn
+	// unbounded goroutines.
+	Concurrency int
+	// QPS is the open-loop target arrival rate (requests/second).
+	QPS float64
+	// Duration bounds the run in wall-clock time.
+	Duration time.Duration
+	// Requests, when positive, bounds the run by count instead of (or
+	// in addition to) Duration — whichever trips first.
+	Requests int
+	// TopK, Mode, Deadline, Prune are copied into every request body.
+	TopK     int
+	Mode     core.Mode
+	Deadline time.Duration
+	Prune    bool
+	// Client overrides the HTTP client (tests); nil uses a dedicated
+	// client with a sane per-request timeout.
+	Client *http.Client
+}
+
+// Report is what one run measured.
+type Report struct {
+	Discipline Discipline     `json:"discipline"`
+	Requests   int            `json:"requests"`
+	Seconds    float64        `json:"seconds"`
+	QPS        float64        `json:"qps"`
+	P50ms      float64        `json:"p50_ms"`
+	P95ms      float64        `json:"p95_ms"`
+	P99ms      float64        `json:"p99_ms"`
+	MaxMs      float64        `json:"max_ms"`
+	Status     map[int]int    `json:"status"`
+	Outcomes   map[string]int `json:"outcomes"`
+	ShedRate   float64        `json:"shed_rate"`
+	// ClientShed counts open-loop arrivals dropped client-side because
+	// Concurrency requests were already outstanding.
+	ClientShed int `json:"client_shed,omitempty"`
+	// Errors counts transport failures (no HTTP status at all).
+	Errors int `json:"errors"`
+}
+
+// wireReply is the slice of the response body the driver reads.
+type wireReply struct {
+	Outcome core.Outcome `json:"outcome"`
+}
+
+// collector accumulates per-request observations across workers.
+type collector struct {
+	mu         sync.Mutex
+	latencies  []float64 // milliseconds
+	status     map[int]int
+	outcomes   map[string]int
+	errors     int
+	clientShed int
+}
+
+func (c *collector) observe(status int, outcome core.Outcome, d time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.errors++
+		return
+	}
+	c.latencies = append(c.latencies, float64(d)/float64(time.Millisecond))
+	c.status[status]++
+	if outcome != "" {
+		c.outcomes[string(outcome)]++
+	}
+}
+
+// WaitReady polls the target's /healthz until it answers 200 or the
+// budget elapses — the startup handshake for scripted runs that fork
+// inqueryd and immediately aim loadgen at it.
+func WaitReady(target string, budget time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(target + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("loadgen: %s not ready after %v: %w", target, budget, lastErr)
+}
+
+// Run executes the configured load against the target and reports what
+// was measured. ctx cancels the run early (the report covers what
+// completed).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty query pool")
+	}
+	if cfg.Duration <= 0 && cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: need a -duration or a request count")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("loadgen: zipf exponent must exceed 1 (got %g)", cfg.ZipfS)
+	}
+	if cfg.Discipline == "" {
+		cfg.Discipline = Closed
+	}
+	if cfg.Discipline == Open && cfg.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: open loop needs a target -qps")
+	}
+	client := cfg.Client
+	if client == nil {
+		timeout := 30 * time.Second
+		if cfg.Deadline > 0 {
+			timeout = cfg.Deadline + 10*time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	// Pre-marshal one request body per pool entry: the hot path then
+	// only samples an index and posts cached bytes.
+	bodies := make([][]byte, len(cfg.Queries))
+	for i, q := range cfg.Queries {
+		req := struct {
+			Index string `json:"index,omitempty"`
+			core.Request
+		}{Index: cfg.Index, Request: core.Request{
+			Query: q, TopK: cfg.TopK, Mode: cfg.Mode,
+			Deadline: cfg.Deadline, Prune: cfg.Prune,
+		}}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	url := cfg.Target + "/v1/search"
+	col := &collector{status: make(map[int]int), outcomes: make(map[string]int)}
+
+	shoot := func(body []byte) {
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			col.observe(0, "", 0, err)
+			return
+		}
+		var wr wireReply
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil {
+			// A non-JSON body is still a served status; outcome stays
+			// blank rather than failing the request.
+			_ = json.Unmarshal(data, &wr)
+		}
+		col.observe(resp.StatusCode, wr.Outcome, time.Since(start), nil)
+	}
+
+	start := time.Now()
+	switch cfg.Discipline {
+	case Closed:
+		runClosed(ctx, cfg, bodies, shoot)
+	case Open:
+		runOpen(ctx, cfg, bodies, shoot, col)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown discipline %q", cfg.Discipline)
+	}
+	elapsed := time.Since(start)
+	return col.report(cfg.Discipline, elapsed), nil
+}
+
+// runClosed runs the fixed worker pool until the context expires or
+// the request budget is spent.
+func runClosed(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]byte)) {
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		issued int
+	)
+	budget := func() bool {
+		if cfg.Requests <= 0 {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if issued >= cfg.Requests {
+			return false
+		}
+		issued++
+		return true
+	}
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(bodies)-1))
+			for ctx.Err() == nil && budget() {
+				shoot(bodies[zipf.Uint64()])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen fires requests on a Poisson arrival schedule at cfg.QPS,
+// each on its own goroutine, capped at cfg.Concurrency outstanding.
+func runOpen(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]byte), col *collector) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(bodies)-1))
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	mean := float64(time.Second) / cfg.QPS
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	issued := 0
+	for ctx.Err() == nil && (cfg.Requests <= 0 || issued < cfg.Requests) {
+		select {
+		case <-ctx.Done():
+		case <-timer.C:
+			issued++
+			body := bodies[zipf.Uint64()]
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					shoot(body)
+				}()
+			default:
+				col.mu.Lock()
+				col.clientShed++
+				col.mu.Unlock()
+			}
+			timer.Reset(time.Duration(rng.ExpFloat64() * mean))
+		}
+	}
+	wg.Wait()
+}
+
+// report distils the collected observations.
+func (c *collector) report(d Discipline, elapsed time.Duration) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Float64s(c.latencies)
+	r := &Report{
+		Discipline: d,
+		Requests:   len(c.latencies),
+		Seconds:    elapsed.Seconds(),
+		Status:     c.status,
+		Outcomes:   c.outcomes,
+		ClientShed: c.clientShed,
+		Errors:     c.errors,
+		P50ms:      pct(c.latencies, 0.50),
+		P95ms:      pct(c.latencies, 0.95),
+		P99ms:      pct(c.latencies, 0.99),
+	}
+	if n := len(c.latencies); n > 0 {
+		r.MaxMs = c.latencies[n-1]
+	}
+	if r.Seconds > 0 {
+		r.QPS = float64(r.Requests) / r.Seconds
+	}
+	if r.Requests > 0 {
+		r.ShedRate = float64(c.status[429]) / float64(r.Requests)
+	}
+	return r
+}
+
+// pct is the linear-interpolated sample quantile of a sorted slice.
+func pct(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	return sorted[i] + (sorted[i+1]-sorted[i])*(pos-float64(i))
+}
+
+// BenchRow shapes a report into the shared bench-row format gated by
+// experiments.CompareBench: the latency percentiles as one "http"
+// stage (µs, like the query bench's stages) and the serving statistics
+// in the Serve block.
+func (r *Report) BenchRow(backend, collection, querySet string) experiments.BenchRow {
+	return experiments.BenchRow{
+		Backend:    backend,
+		Collection: collection,
+		QuerySet:   querySet,
+		Queries:    r.Requests,
+		Stages: []experiments.BenchStage{{
+			Stage: "http",
+			P50us: r.P50ms * 1e3,
+			P95us: r.P95ms * 1e3,
+			P99us: r.P99ms * 1e3,
+		}},
+		Serve: &experiments.ServeStats{
+			Mode:     string(r.Discipline),
+			Requests: r.Requests,
+			Seconds:  r.Seconds,
+			QPS:      r.QPS,
+			ShedRate: r.ShedRate,
+			Errors:   r.Errors,
+		},
+	}
+}

@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer answers /v1/search with a fixed status and outcome and
+// counts per-query arrivals.
+func stubServer(t *testing.T, status int, outcome string, delay time.Duration) (*httptest.Server, *sync.Map, *atomic.Int64) {
+	t.Helper()
+	var hits sync.Map
+	var total atomic.Int64
+	h := http.NewServeMux()
+	h.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Query string `json:"query"`
+		}
+		json.NewDecoder(r.Body).Decode(&body)
+		v, _ := hits.LoadOrStore(body.Query, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+		total.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]any{"outcome": outcome})
+	})
+	h.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	})
+	return httptest.NewServer(h), &hits, &total
+}
+
+// TestClosedLoopRequestBudget: a closed-loop run bounded by request
+// count issues exactly that many requests and reports them all.
+func TestClosedLoopRequestBudget(t *testing.T) {
+	ts, _, total := stubServer(t, 200, "ok", 0)
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		Target:   ts.URL,
+		Queries:  []string{"a", "b", "c"},
+		Requests: 100,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != 100 {
+		t.Fatalf("server saw %d requests, want 100", got)
+	}
+	if rep.Requests != 100 || rep.Errors != 0 {
+		t.Fatalf("report = %+v, want 100 clean requests", rep)
+	}
+	if rep.Status[200] != 100 || rep.Outcomes["ok"] != 100 {
+		t.Fatalf("status/outcome tallies = %v / %v", rep.Status, rep.Outcomes)
+	}
+	if rep.QPS <= 0 || rep.P95ms < rep.P50ms || rep.MaxMs < rep.P99ms {
+		t.Fatalf("incoherent latency stats: %+v", rep)
+	}
+}
+
+// TestZipfQueryMixIsSkewed: the head of the pool must dominate the
+// sampled mix — that skew is the point of the Zipf draw.
+func TestZipfQueryMixIsSkewed(t *testing.T) {
+	ts, hits, _ := stubServer(t, 200, "ok", 0)
+	defer ts.Close()
+	pool := make([]string, 50)
+	for i := range pool {
+		pool[i] = "q" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	if _, err := Run(context.Background(), Config{
+		Target: ts.URL, Queries: pool, Requests: 500, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	count := func(q string) int64 {
+		v, ok := hits.Load(q)
+		if !ok {
+			return 0
+		}
+		return v.(*atomic.Int64).Load()
+	}
+	head := count(pool[0])
+	if head < 500/10 {
+		t.Fatalf("head query drew %d of 500 samples — mix is not Zipf-skewed", head)
+	}
+	var tail int64
+	for _, q := range pool[25:] {
+		tail += count(q)
+	}
+	if tail >= head {
+		t.Fatalf("tail half drew %d >= head query's %d", tail, head)
+	}
+}
+
+// TestShedRateCounted: 429 replies land in ShedRate, not Errors.
+func TestShedRateCounted(t *testing.T) {
+	ts, _, _ := stubServer(t, 429, "shed", 0)
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		Target: ts.URL, Queries: []string{"a"}, Requests: 40, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShedRate != 1 || rep.Errors != 0 {
+		t.Fatalf("shed run report = %+v, want ShedRate 1", rep)
+	}
+}
+
+// TestOpenLoopClientShed: with a slow server, a 1-outstanding cap, and
+// arrivals much faster than service, the open loop must drop arrivals
+// client-side rather than stacking unbounded goroutines.
+func TestOpenLoopClientShed(t *testing.T) {
+	ts, _, _ := stubServer(t, 200, "ok", 30*time.Millisecond)
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		Target:      ts.URL,
+		Queries:     []string{"a"},
+		Discipline:  Open,
+		QPS:         300,
+		Concurrency: 1,
+		Duration:    300 * time.Millisecond,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("open loop completed no requests")
+	}
+	if rep.ClientShed == 0 {
+		t.Fatalf("no client-side sheds despite 300 qps against a 30ms server: %+v", rep)
+	}
+}
+
+// TestConfigValidation: bad configurations fail fast.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Target: "http://x", Duration: time.Second},                                            // no queries
+		{Target: "http://x", Queries: []string{"a"}},                                           // no stop condition
+		{Target: "http://x", Queries: []string{"a"}, Duration: time.Second, ZipfS: 0.5},        // zipf <= 1
+		{Target: "http://x", Queries: []string{"a"}, Duration: time.Second, Discipline: Open},  // open loop, no qps
+		{Target: "http://x", Queries: []string{"a"}, Duration: time.Second, Discipline: "odd"}, // unknown mode
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestWaitReady polls until the target serves /healthz.
+func TestWaitReady(t *testing.T) {
+	ts, _, _ := stubServer(t, 200, "ok", 0)
+	if err := WaitReady(ts.URL, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := WaitReady(ts.URL, 200*time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded against a closed server")
+	}
+}
+
+// TestBenchRowShape: the report converts into a serve bench row whose
+// stage quantiles are in microseconds and whose serve block carries the
+// throughput numbers CompareBench gates.
+func TestBenchRowShape(t *testing.T) {
+	r := &Report{
+		Discipline: Closed, Requests: 10, Seconds: 2, QPS: 5,
+		P50ms: 1, P95ms: 2, P99ms: 3, ShedRate: 0.1,
+	}
+	row := r.BenchRow("serve", "CACM", "1")
+	if row.Serve == nil || row.Serve.QPS != 5 || row.Serve.Mode != "closed" {
+		t.Fatalf("serve block = %+v", row.Serve)
+	}
+	if len(row.Stages) != 1 || row.Stages[0].Stage != "http" || row.Stages[0].P95us != 2000 {
+		t.Fatalf("stages = %+v, want one http stage in µs", row.Stages)
+	}
+	if row.Collection != "CACM" || row.QuerySet != "1" || row.Queries != 10 {
+		t.Fatalf("row labels = %+v", row)
+	}
+	if row.Serve.ShedRate != 0.1 {
+		t.Fatalf("shed rate = %g", row.Serve.ShedRate)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics instruments an HTTP serving layer through a Registry:
+// one total-request counter, per-status-class counters (http_2xx_total
+// … http_5xx_total), and a request-latency histogram in nanoseconds.
+// The handles are resolved once at construction, so the per-request
+// cost is a few atomic adds — same budget as the engine's own metrics.
+type HTTPMetrics struct {
+	requests *Counter
+	byClass  [6]*Counter
+	latency  *Histogram
+	inFlight *Counter // started - finished; sampled, not a high-water mark
+	finished *Counter
+}
+
+// NewHTTPMetrics registers the HTTP metric family in reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	m := &HTTPMetrics{
+		requests: reg.Counter("http_requests_total"),
+		latency:  reg.Histogram("http_request_ns", ExpBuckets(16384, 4, 14)),
+		inFlight: reg.Counter("http_in_flight"),
+		finished: reg.Counter("http_finished_total"),
+	}
+	names := [6]string{"", "http_1xx_total", "http_2xx_total",
+		"http_3xx_total", "http_4xx_total", "http_5xx_total"}
+	for i := 1; i < len(names); i++ {
+		m.byClass[i] = reg.Counter(names[i])
+	}
+	return m
+}
+
+// Observe records one finished request.
+func (m *HTTPMetrics) Observe(status int, d time.Duration) {
+	m.requests.Add(1)
+	m.finished.Add(1)
+	if c := status / 100; c >= 1 && c <= 5 {
+		m.byClass[c].Add(1)
+	}
+	m.latency.Observe(int64(d))
+}
+
+// statusRecorder captures the status code a handler writes, defaulting
+// to 200 when the handler never calls WriteHeader explicitly.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware wraps h so every request's status class and latency land
+// in the metrics.
+func (m *HTTPMetrics) Middleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, req)
+		m.Observe(rec.status, time.Since(start))
+	})
+}

@@ -1,0 +1,374 @@
+// Package serve is the inqueryd HTTP serving layer: a long-running
+// JSON front end over one core.Engine per configured index. The
+// handlers marshal core.Request / core.Response directly, so the wire
+// API is exactly the in-process request API, and the engine's own
+// admission gate, deadlines, retry budget, and circuit breakers apply
+// per request — the server adds only transport, defaults, and the
+// status taxonomy.
+//
+// Status taxonomy (asserted by the handler test suite):
+//
+//	200 — complete ranking (outcome "ok"), or a partial ranking with
+//	      outcome "degraded" (corrupt records skipped; the flag and the
+//	      damage tally are in the body)
+//	400 — query failed to parse (inference.ParseError), or the request
+//	      body itself is malformed
+//	404 — unknown index name
+//	429 — shed by admission control (outcome "shed"; Retry-After: 1)
+//	503 — a circuit breaker is open, or the server is draining
+//	504 — deadline exceeded (outcome "deadline"; the body carries the
+//	      partial ranking, labelled, never passed off as complete)
+//	500 — any other hard failure (storage corruption on a strict
+//	      engine, I/O errors)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// Defaults are server-side request defaults, applied to fields a
+// request body leaves unset before it reaches the engine.
+type Defaults struct {
+	// TopK is the ranking depth applied when a request gives none.
+	// A request can ask for the full ranking with top_k: -1. Zero
+	// selects DefaultTopK.
+	TopK int
+	// Deadline is the per-request evaluation budget applied when a
+	// request gives none (0 = none).
+	Deadline time.Duration
+	// MaxBatch caps the number of requests in one batch body. Zero
+	// selects DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes caps the request body. Zero selects DefaultMaxBody.
+	MaxBodyBytes int64
+}
+
+// DefaultTopK is the ranking depth served when neither the request nor
+// the server configuration names one.
+const DefaultTopK = 10
+
+// DefaultMaxBatch bounds a batch request body.
+const DefaultMaxBatch = 256
+
+// DefaultMaxBody bounds any request body.
+const DefaultMaxBody = 1 << 20
+
+// Index is what the handlers need from a served index — the slice of
+// core.Engine the HTTP layer actually touches. Tests substitute stubs
+// to drive outcome paths (shed, breaker-open) that need engine-internal
+// state to reach deterministically.
+type Index interface {
+	Run(ctx context.Context, req core.Request) (core.Response, error)
+	Explain(query string, doc uint32) (*inference.Explanation, error)
+	Metrics() *obs.Registry
+	Snapshot() core.Snapshot
+	NumDocs() int
+}
+
+// Server routes the inqueryd endpoints over a set of named indexes.
+// The engines are shared; per-request state lives in the per-call
+// Searcher that Engine.Run acquires, so any number of in-flight HTTP
+// requests evaluate concurrently.
+type Server struct {
+	engines  map[string]Index
+	names    []string
+	defaults Defaults
+
+	reg      *obs.Registry
+	httpm    *obs.HTTPMetrics
+	handler  http.Handler
+	draining atomic.Bool
+}
+
+// New builds a server over the named engines (index name → engine).
+func New(engines map[string]*core.Engine, d Defaults) *Server {
+	idx := make(map[string]Index, len(engines))
+	for n, e := range engines {
+		idx[n] = e
+	}
+	return NewIndexes(idx, d)
+}
+
+// NewIndexes is New over the Index interface.
+func NewIndexes(engines map[string]Index, d Defaults) *Server {
+	if d.TopK == 0 {
+		d.TopK = DefaultTopK
+	}
+	if d.MaxBatch <= 0 {
+		d.MaxBatch = DefaultMaxBatch
+	}
+	if d.MaxBodyBytes <= 0 {
+		d.MaxBodyBytes = DefaultMaxBody
+	}
+	names := make([]string, 0, len(engines))
+	for n := range engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := &Server{engines: engines, names: names, defaults: d, reg: obs.NewRegistry()}
+	s.httpm = obs.NewHTTPMetrics(s.reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handler = s.httpm.Middleware(mux)
+	return s
+}
+
+// Handler returns the fully instrumented route tree.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the server-level metrics registry (HTTP layer only;
+// engine metrics are per index under /metrics).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// SetDraining flips the drain flag: while draining, /healthz reports
+// 503 so load balancers stop routing here, but in-flight and new
+// requests still complete — http.Server.Shutdown does the actual
+// listener close and drain wait.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// engine resolves an index name, defaulting to the single configured
+// engine when the request names none.
+func (s *Server) engine(name string) (Index, string, error) {
+	if name == "" {
+		if len(s.names) == 1 {
+			return s.engines[s.names[0]], s.names[0], nil
+		}
+		return nil, "", fmt.Errorf("index must be named; serving %s", strings.Join(s.names, ", "))
+	}
+	e, ok := s.engines[name]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown index %q; serving %s", name, strings.Join(s.names, ", "))
+	}
+	return e, name, nil
+}
+
+// applyDefaults folds the server defaults into a request: top_k 0
+// means "server default" on the wire (use -1 for the full ranking),
+// and an absent deadline inherits the server budget.
+func (s *Server) applyDefaults(req core.Request) core.Request {
+	if req.TopK == 0 {
+		req.TopK = s.defaults.TopK
+	} else if req.TopK < 0 {
+		req.TopK = 0 // full ranking
+	}
+	if req.Deadline == 0 {
+		req.Deadline = s.defaults.Deadline
+	}
+	return req
+}
+
+// StatusFor maps a finished request onto the HTTP status taxonomy.
+func StatusFor(outcome core.Outcome, err error) int {
+	switch outcome {
+	case core.OutcomeOK, core.OutcomeDegraded:
+		return http.StatusOK
+	case core.OutcomeShed:
+		return http.StatusTooManyRequests
+	case core.OutcomeDeadline:
+		return http.StatusGatewayTimeout
+	}
+	var pe *inference.ParseError
+	switch {
+	case errors.As(err, &pe):
+		return http.StatusBadRequest
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// searchBody is the POST /v1/search request body: an optional index
+// name plus either one inline core.Request (single mode) or a
+// "requests" array (batch mode).
+type searchBody struct {
+	Index string `json:"index,omitempty"`
+	core.Request
+	Requests []core.Request `json:"requests,omitempty"`
+}
+
+// queryReply is one evaluated request on the wire: the core.Response
+// plus the error text for non-2xx outcomes and, in batch mode, the
+// per-request status code.
+type queryReply struct {
+	core.Response
+	Status int    `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// batchReply is the batch-mode response body. The HTTP status of a
+// batch is always 200 (the transport worked); per-request outcomes
+// carry their own status codes.
+type batchReply struct {
+	Index     string       `json:"index"`
+	Responses []queryReply `json:"responses"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// runOne evaluates one request under the HTTP request's context — a
+// disconnected client cancels the evaluation at the next boundary —
+// and shapes the wire reply.
+func runOne(ctx context.Context, eng Index, req core.Request) (queryReply, int) {
+	resp, err := eng.Run(ctx, req)
+	status := StatusFor(resp.Outcome, err)
+	qr := queryReply{Response: resp}
+	if err != nil {
+		qr.Error = err.Error()
+	}
+	return qr, status
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.defaults.MaxBodyBytes)
+	var body searchBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	eng, name, err := s.engine(body.Index)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+
+	if len(body.Requests) == 0 {
+		qr, status := runOne(r.Context(), eng, s.applyDefaults(body.Request))
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, qr)
+		return
+	}
+
+	if len(body.Requests) > s.defaults.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(body.Requests), s.defaults.MaxBatch))
+		return
+	}
+	// Batch requests evaluate in order on this connection's goroutine;
+	// parallelism comes from concurrent HTTP requests, and the engine
+	// admission gate still arbitrates each evaluation individually.
+	out := batchReply{Index: name, Responses: make([]queryReply, 0, len(body.Requests))}
+	for _, req := range body.Requests {
+		qr, status := runOne(r.Context(), eng, s.applyDefaults(req))
+		qr.Status = status
+		out.Responses = append(out.Responses, qr)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// explainReply is the GET /v1/explain response body.
+type explainReply struct {
+	Index  string  `json:"index"`
+	Doc    uint32  `json:"doc"`
+	Belief float64 `json:"belief"`
+	Tree   string  `json:"tree"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	eng, name, err := s.engine(q.Get("index"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	query := q.Get("query")
+	if query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing query parameter"))
+		return
+	}
+	doc, err := strconv.ParseUint(q.Get("doc"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad doc parameter: %w", err))
+		return
+	}
+	ex, err := eng.Explain(query, uint32(doc))
+	if err != nil {
+		writeError(w, StatusFor(core.OutcomeError, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainReply{
+		Index: name, Doc: uint32(doc), Belief: ex.Belief, Tree: ex.String(),
+	})
+}
+
+// metricsReply is the GET /metrics response body: the HTTP layer's own
+// registry plus every engine's registry, keyed by index.
+type metricsReply struct {
+	Server  obs.RegistrySnapshot            `json:"server"`
+	Indexes map[string]obs.RegistrySnapshot `json:"indexes"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := metricsReply{Server: s.reg.Snapshot(), Indexes: make(map[string]obs.RegistrySnapshot, len(s.names))}
+	for _, n := range s.names {
+		out.Indexes[n] = s.engines[n].Metrics().Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("index"); name != "" {
+		eng, _, err := s.engine(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, eng.Snapshot())
+		return
+	}
+	out := make(map[string]core.Snapshot, len(s.names))
+	for _, n := range s.names {
+		out[n] = s.engines[n].Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// healthzReply is the GET /healthz response body.
+type healthzReply struct {
+	Status  string         `json:"status"`
+	Indexes map[string]int `json:"indexes"` // index → document count
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	docs := make(map[string]int, len(s.names))
+	for _, n := range s.names {
+		docs[n] = s.engines[n].NumDocs()
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, healthzReply{Status: "draining", Indexes: docs})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzReply{Status: "ok", Indexes: docs})
+}

@@ -1,0 +1,595 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/inference"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+func plainAnalyzer() *textproc.Analyzer {
+	return textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+}
+
+// buildCorpus indexes a medium synthetic collection with repeated terms
+// (w0..w899) and returns a parseable query mix over it — the serve-layer
+// twin of the core package's concurrency corpus.
+func buildCorpus(t testing.TB, fs *vfs.FS, name string) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var docs []index.Doc
+	for d := 0; d < 400; d++ {
+		text := ""
+		for w := 0; w < 50; w++ {
+			text += fmt.Sprintf("w%d ", rng.Intn(900))
+		}
+		docs = append(docs, index.Doc{ID: uint32(d), Text: text})
+	}
+	if _, err := core.Build(fs, name, &core.SliceDocs{Docs: docs}, core.BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
+		t.Fatal(err)
+	}
+	var queries []string
+	for i := 0; i < 32; i++ {
+		a, b, c := rng.Intn(200), rng.Intn(200), rng.Intn(900)
+		switch i % 4 {
+		case 0:
+			queries = append(queries, fmt.Sprintf("w%d w%d w%d", a, b, c))
+		case 1:
+			queries = append(queries, fmt.Sprintf("#and(w%d w%d)", a, b))
+		case 2:
+			queries = append(queries, fmt.Sprintf("#or(w%d w%d w%d)", a, b, c))
+		case 3:
+			queries = append(queries, fmt.Sprintf("#wsum(3 w%d 1 w%d)", a, c))
+		}
+	}
+	return queries
+}
+
+// wireResp mirrors the single-query reply body.
+type wireResp struct {
+	Results  []core.Result `json:"results"`
+	Counters core.Counters `json:"counters"`
+	Outcome  core.Outcome  `json:"outcome"`
+	Status   int           `json:"status"`
+	Error    string        `json:"error"`
+}
+
+// post sends one JSON body to /v1/search and decodes the reply.
+func post(t *testing.T, url string, body any) (int, http.Header, wireResp) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/search", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wr wireResp
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		t.Fatalf("reply %q: %v", raw, err)
+	}
+	return resp.StatusCode, resp.Header, wr
+}
+
+// req builds a single-query request body.
+func req(index, query string, kv ...any) map[string]any {
+	m := map[string]any{"query": query}
+	if index != "" {
+		m["index"] = index
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i].(string)] = kv[i+1]
+	}
+	return m
+}
+
+// TestStatusTaxonomy drives every documented status through the real
+// handler stack: 200 ok, 200 degraded-partial, 400, 404, 429, 503, 504,
+// and 500 — each with the outcome label the body must carry.
+func TestStatusTaxonomy(t *testing.T) {
+	fs := vfs.New(vfs.Options{OSCacheBytes: 512 << 10})
+	queries := buildCorpus(t, fs, "tax")
+
+	main, err := core.Open(fs, "tax", core.BackendMneme, core.WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer main.Close()
+	brk, err := core.Open(fs, "tax", core.BackendMneme, core.WithAnalyzer(plainAnalyzer()),
+		core.WithBreaker(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	shed, err := core.Open(fs, "tax", core.BackendMneme, core.WithAnalyzer(plainAnalyzer()),
+		core.WithMaxInFlight(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shed.Close()
+
+	srv := New(map[string]*core.Engine{"main": main, "brk": brk, "shed": shed},
+		Defaults{TopK: 5})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	t.Run("ok", func(t *testing.T) {
+		status, _, wr := post(t, ts.URL, req("main", queries[0]))
+		if status != 200 || wr.Outcome != core.OutcomeOK {
+			t.Fatalf("status %d outcome %q, want 200 ok", status, wr.Outcome)
+		}
+		if len(wr.Results) == 0 || len(wr.Results) > 5 {
+			t.Fatalf("got %d results, want 1..5 (server default top_k)", len(wr.Results))
+		}
+		if wr.Counters.Queries != 1 {
+			t.Fatalf("per-request counter delta = %+v, want exactly one query", wr.Counters)
+		}
+	})
+
+	t.Run("full-ranking", func(t *testing.T) {
+		_, _, capped := post(t, ts.URL, req("main", queries[0]))
+		_, _, full := post(t, ts.URL, req("main", queries[0], "top_k", -1))
+		if len(full.Results) <= len(capped.Results) {
+			t.Fatalf("top_k=-1 returned %d results, capped run %d — expected a longer full ranking",
+				len(full.Results), len(capped.Results))
+		}
+	})
+
+	t.Run("parse-error-400", func(t *testing.T) {
+		status, _, wr := post(t, ts.URL, req("main", "#and("))
+		if status != 400 || wr.Error == "" {
+			t.Fatalf("status %d error %q, want 400 with error text", status, wr.Error)
+		}
+	})
+
+	t.Run("bad-body-400", func(t *testing.T) {
+		for _, body := range []string{"{", `{"quary":"w1"}`, `{"query":"w1","requests":"x"}`} {
+			resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 400 {
+				t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("unknown-index-404", func(t *testing.T) {
+		status, _, wr := post(t, ts.URL, req("nope", "w1"))
+		if status != 404 || !strings.Contains(wr.Error, "nope") {
+			t.Fatalf("status %d error %q, want 404 naming the index", status, wr.Error)
+		}
+		// Multiple engines are configured, so a request must name one.
+		status, _, _ = post(t, ts.URL, req("", "w1"))
+		if status != 404 {
+			t.Fatalf("unnamed index with several served: status %d, want 404", status)
+		}
+	})
+
+	t.Run("deadline-504-partial", func(t *testing.T) {
+		status, _, wr := post(t, ts.URL, req("main", queries[0], "deadline_ns", 1))
+		if status != 504 || wr.Outcome != core.OutcomeDeadline {
+			t.Fatalf("status %d outcome %q, want 504 deadline", status, wr.Outcome)
+		}
+		if wr.Counters.DeadlineHits != 1 {
+			t.Fatalf("deadline delta = %+v, want DeadlineHits=1", wr.Counters)
+		}
+	})
+
+	t.Run("degraded-200-partial", func(t *testing.T) {
+		// Per-request opt-in: the engine itself is strict, the request
+		// asks to skip the injected fault and rank the surviving terms.
+		fs.SetFaultPlan(vfs.NewFaultPlan(1).FailRead(1))
+		status, _, wr := post(t, ts.URL, req("main", "#or(w1 w2)", "degraded", true))
+		fs.SetFaultPlan(nil)
+		if status != 200 || wr.Outcome != core.OutcomeDegraded {
+			t.Fatalf("status %d outcome %q, want 200 degraded", status, wr.Outcome)
+		}
+		if wr.Counters.CorruptRecords == 0 {
+			t.Fatal("degraded reply does not tally the damage")
+		}
+		if len(wr.Results) == 0 {
+			t.Fatal("degraded reply ranked nothing although one term survived")
+		}
+	})
+
+	t.Run("strict-fault-500", func(t *testing.T) {
+		fs.SetFaultPlan(vfs.NewFaultPlan(1).FailRead(1))
+		status, _, wr := post(t, ts.URL, req("main", "w1"))
+		fs.SetFaultPlan(nil)
+		if status != 500 || wr.Outcome != core.OutcomeError {
+			t.Fatalf("status %d outcome %q, want 500 error", status, wr.Outcome)
+		}
+	})
+
+	t.Run("breaker-503", func(t *testing.T) {
+		// Two failing fetches trip the strict engine's breaker; with the
+		// outage cleared but the breaker still open, the next query is
+		// rejected without touching the device.
+		fs.SetFaultPlan(vfs.NewFaultPlan(1).FailReadEvery(1))
+		for i := 0; i < 2; i++ {
+			if status, _, _ := post(t, ts.URL, req("brk", "w1")); status != 500 {
+				t.Fatalf("outage query %d: status %d, want 500", i, status)
+			}
+		}
+		fs.SetFaultPlan(nil)
+		status, _, wr := post(t, ts.URL, req("brk", "w1"))
+		if status != 503 {
+			t.Fatalf("open breaker: status %d (outcome %q, error %q), want 503",
+				status, wr.Outcome, wr.Error)
+		}
+	})
+
+	t.Run("batch-per-request-status", func(t *testing.T) {
+		body := map[string]any{
+			"index": "main",
+			"requests": []map[string]any{
+				{"query": queries[0]},
+				{"query": "#and("},
+				{"query": queries[1], "deadline_ns": 1},
+			},
+		}
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("batch transport status %d, want 200", resp.StatusCode)
+		}
+		var br struct {
+			Index     string     `json:"index"`
+			Responses []wireResp `json:"responses"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		if br.Index != "main" || len(br.Responses) != 3 {
+			t.Fatalf("batch reply %+v", br)
+		}
+		want := []int{200, 400, 504}
+		for i, w := range want {
+			if br.Responses[i].Status != w {
+				t.Fatalf("batch response %d status = %d, want %d", i, br.Responses[i].Status, w)
+			}
+		}
+	})
+
+	t.Run("batch-limit-400", func(t *testing.T) {
+		reqs := make([]map[string]any, DefaultMaxBatch+1)
+		for i := range reqs {
+			reqs[i] = map[string]any{"query": "w1"}
+		}
+		data, _ := json.Marshal(map[string]any{"index": "main", "requests": reqs})
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("oversized batch: status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("healthz-and-draining", func(t *testing.T) {
+		get := func(want int) string {
+			resp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != want {
+				t.Fatalf("healthz status %d, want %d (%s)", resp.StatusCode, want, b)
+			}
+			return string(b)
+		}
+		if body := get(200); !strings.Contains(body, `"main"`) {
+			t.Fatalf("healthz body lacks index listing: %s", body)
+		}
+		srv.SetDraining(true)
+		if body := get(503); !strings.Contains(body, "draining") {
+			t.Fatalf("draining healthz body: %s", body)
+		}
+		srv.SetDraining(false)
+		get(200)
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		for _, want := range []string{"http_requests_total", "http_2xx_total", `"main"`, `"brk"`, `"shed"`} {
+			if !strings.Contains(string(b), want) {
+				t.Fatalf("metrics body lacks %s: %s", want, b)
+			}
+		}
+	})
+
+	t.Run("snapshot", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/snapshot?index=main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 || !strings.Contains(string(b), "corrupt_records") {
+			t.Fatalf("snapshot status %d body %s", resp.StatusCode, b)
+		}
+		resp, err = http.Get(ts.URL + "/snapshot?index=nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("snapshot of unknown index: status %d, want 404", resp.StatusCode)
+		}
+	})
+
+	t.Run("explain", func(t *testing.T) {
+		_, _, wr := post(t, ts.URL, req("main", queries[0]))
+		if len(wr.Results) == 0 {
+			t.Fatal("no results to explain")
+		}
+		u := fmt.Sprintf("%s/v1/explain?index=main&query=%s&doc=%d",
+			ts.URL, "w1", wr.Results[0].Doc)
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 || !strings.Contains(string(b), "belief") {
+			t.Fatalf("explain status %d body %s", resp.StatusCode, b)
+		}
+		for _, bad := range []string{"/v1/explain?index=main&query=w1", "/v1/explain?index=main&doc=0"} {
+			resp, err := http.Get(ts.URL + bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 400 {
+				t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+			}
+		}
+	})
+}
+
+// stubIndex drives the handler with a fixed engine outcome, reaching
+// response states (a full admission gate, an open breaker) that need
+// engine-internal timing to produce with a real engine.
+type stubIndex struct {
+	resp core.Response
+	err  error
+	reg  *obs.Registry
+}
+
+func (s *stubIndex) Run(context.Context, core.Request) (core.Response, error) { return s.resp, s.err }
+func (s *stubIndex) Explain(string, uint32) (*inference.Explanation, error) {
+	return nil, errors.New("stub")
+}
+func (s *stubIndex) Metrics() *obs.Registry  { return s.reg }
+func (s *stubIndex) Snapshot() core.Snapshot { return core.Snapshot{} }
+func (s *stubIndex) NumDocs() int            { return 0 }
+
+// TestOutcomeStatusMapping asserts the documented outcome → HTTP status
+// taxonomy through the real handler stack, one stub engine per outcome.
+// The engine-side production of these outcomes (gate sheds with ErrShed,
+// breakers open after threshold failures) is covered by the core tests;
+// here the contract under test is the wire mapping itself.
+func TestOutcomeStatusMapping(t *testing.T) {
+	cases := []struct {
+		name       string
+		resp       core.Response
+		err        error
+		wantStatus int
+		retryAfter string
+	}{
+		{"ok", core.Response{Outcome: core.OutcomeOK}, nil, 200, ""},
+		{"degraded", core.Response{Outcome: core.OutcomeDegraded}, nil, 200, ""},
+		{"shed",
+			core.Response{Outcome: core.OutcomeShed},
+			fmt.Errorf("core: query not admitted: %w", resilience.ErrShed), 429, "1"},
+		{"deadline",
+			core.Response{Outcome: core.OutcomeDeadline},
+			fmt.Errorf("core: query cut short: %w", resilience.ErrDeadline), 504, ""},
+		{"breaker-open",
+			core.Response{Outcome: core.OutcomeError},
+			fmt.Errorf("core: fetch: %w", resilience.ErrBreakerOpen), 503, ""},
+		{"hard-error",
+			core.Response{Outcome: core.OutcomeError}, errors.New("disk on fire"), 500, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := NewIndexes(map[string]Index{
+				"x": &stubIndex{resp: tc.resp, err: tc.err, reg: obs.NewRegistry()},
+			}, Defaults{})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			status, hdr, wr := post(t, ts.URL, req("x", "w1"))
+			if status != tc.wantStatus {
+				t.Fatalf("status %d, want %d (outcome %q error %q)",
+					status, tc.wantStatus, wr.Outcome, wr.Error)
+			}
+			if got := hdr.Get("Retry-After"); got != tc.retryAfter {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.retryAfter)
+			}
+			if wr.Outcome != tc.resp.Outcome {
+				t.Fatalf("body outcome %q, want %q", wr.Outcome, tc.resp.Outcome)
+			}
+			if tc.err != nil && wr.Error == "" {
+				t.Fatal("error text missing from non-ok reply")
+			}
+		})
+	}
+}
+
+// TestSingleEngineDefaultIndex: with one configured index, requests may
+// omit the index name entirely.
+func TestSingleEngineDefaultIndex(t *testing.T) {
+	fs := vfs.New(vfs.Options{OSCacheBytes: 512 << 10})
+	queries := buildCorpus(t, fs, "solo")
+	eng, err := core.Open(fs, "solo", core.BackendMneme, core.WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := New(map[string]*core.Engine{"solo": eng}, Defaults{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, _, wr := post(t, ts.URL, req("", queries[0]))
+	if status != 200 || wr.Outcome != core.OutcomeOK {
+		t.Fatalf("status %d outcome %q, want 200 ok", status, wr.Outcome)
+	}
+	if len(wr.Results) == 0 || len(wr.Results) > DefaultTopK {
+		t.Fatalf("got %d results, want 1..%d", len(wr.Results), DefaultTopK)
+	}
+}
+
+// TestHTTPDifferentialMatchesInProcess proves the wire rankings are
+// byte-identical to in-process Searcher.Run over the whole query matrix
+// in every evaluation mode: the serialized "results" array of the HTTP
+// reply must equal json.Marshal of the in-process results exactly.
+func TestHTTPDifferentialMatchesInProcess(t *testing.T) {
+	fs := vfs.New(vfs.Options{OSCacheBytes: 512 << 10})
+	queries := buildCorpus(t, fs, "diff")
+	eng, err := core.Open(fs, "diff", core.BackendMneme, core.WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := New(map[string]*core.Engine{"diff": eng}, Defaults{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	modes := []struct {
+		name string
+		mode core.Mode
+		prt  bool
+	}{
+		{"taat", core.ModeTAAT, false},
+		{"daat", core.ModeDAAT, false},
+		{"daat-prune", core.ModeDAAT, true},
+	}
+	for _, m := range modes {
+		for qi, q := range queries {
+			wire := struct {
+				Index string `json:"index"`
+				core.Request
+			}{Index: "diff", Request: core.Request{Query: q, TopK: 10, Mode: m.mode, Prune: m.prt}}
+			data, err := json.Marshal(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var raw struct {
+				Results json.RawMessage `json:"results"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&raw)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s query %d: status %d", m.name, qi, resp.StatusCode)
+			}
+
+			local, err := eng.Run(nil, core.Request{Query: q, TopK: 10, Mode: m.mode, Prune: m.prt})
+			if err != nil {
+				t.Fatalf("%s query %d in-process: %v", m.name, qi, err)
+			}
+			want, err := json.Marshal(local.Results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bytes.TrimSpace(raw.Results), want) {
+				t.Fatalf("%s query %d %q rankings diverge:\nhttp:  %s\nlocal: %s",
+					m.name, qi, q, raw.Results, want)
+			}
+		}
+	}
+}
+
+// TestNoGoroutineLeakAfterServe: a burst of mixed traffic (ok, shed,
+// deadline) then server close must return the goroutine count to its
+// baseline — nothing stranded in handlers, gates, or timers.
+func TestNoGoroutineLeakAfterServe(t *testing.T) {
+	fs := vfs.New(vfs.Options{OSCacheBytes: 512 << 10})
+	queries := buildCorpus(t, fs, "leak")
+	eng, err := core.Open(fs, "leak", core.BackendMneme, core.WithAnalyzer(plainAnalyzer()),
+		core.WithMaxInFlight(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	before := runtime.NumGoroutine()
+	srv := New(map[string]*core.Engine{"leak": eng}, Defaults{})
+	ts := httptest.NewServer(srv.Handler())
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := req("leak", queries[i%len(queries)])
+			if i%3 == 0 {
+				body["deadline_ns"] = 1
+			}
+			data, _ := json.Marshal(body)
+			resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(data))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}
