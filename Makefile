@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet faults fuzz soak check bench gobench serve-smoke serve-bench
+.PHONY: all build test race fmt vet lint faults fuzz soak check bench gobench serve-smoke serve-bench
 
 all: check
 
@@ -21,6 +21,16 @@ race:
 # Static analysis gate.
 vet:
 	$(GO) vet ./...
+
+# Deeper static analysis: staticcheck when the host has it, with a
+# visible skip otherwise (the CI image is stdlib-only, so the gate
+# must not require fetching a binary).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; go vet only (install honnef.co/go/tools/cmd/staticcheck for the full gate)"; \
+	fi
 
 # Robustness tier: the fault-injection, crash-recovery, checksum, and
 # degraded-mode suites across the storage stack, run with fresh counts.
@@ -47,18 +57,25 @@ fuzz:
 # matches the clean-run ranking exactly or carries a typed shed /
 # deadline / degraded label — never a silent wrong result. SOAK_ROUNDS
 # scales the schedule (default 4 in-test; ~5s at 1000).
+# The shard-kill storm rides along: a seeded schedule crash-freezes a
+# random shard's store each round and asserts every scatter-gather
+# answer is either the exact full ranking or a typed partial whose
+# Coverage block accounts for every shard — never a silent wrong result.
 soak:
 	SOAK_ROUNDS=1000 $(GO) test -count=1 -run TestChaosSoak ./internal/core/
+	SOAK_ROUNDS=40 $(GO) test -count=1 -run 'TestShardKillStorm|TestShardCrashFreeze' ./internal/shard/
 
 # Serving smoke: build the real inqueryd + loadgen binaries, boot the
 # server on loopback over a self-built synthetic index, run a short
 # closed-loop burst, assert /metrics and /snapshot respond, then SIGTERM
 # and require a clean drain (exit 0) — a leaked worker or stuck
 # shutdown hangs and fails here.
+# Covers both the single-engine boot and the sharded scatter-gather
+# boot (-shards 2 -quorum 'quorum(1)').
 serve-smoke:
-	$(GO) test -count=1 -run TestServeSmoke ./cmd/inqueryd/
+	$(GO) test -count=1 -run 'TestServeSmoke|TestServeSmokeSharded' ./cmd/inqueryd/
 
-check: fmt vet test faults race fuzz soak serve-smoke
+check: fmt lint test faults race fuzz soak serve-smoke
 
 # Query-latency regression gate: runs the standard query mixes over both
 # backends (cmd/repro -bench) and diffs the per-stage p95 quantiles
@@ -71,9 +88,12 @@ bench:
 	$(GO) run ./cmd/repro -scale 0.25 -bench -benchout BENCH_query.json \
 		-baseline testdata/bench_baseline.json
 
-# Serving-throughput gate: boot inqueryd over the synthetic CACM index,
-# drive a closed-loop burst with loadgen, and diff the achieved QPS,
-# shed rate, and latency quantiles against the committed baseline.
+# Serving-throughput gate: boot inqueryd over the synthetic CACM index
+# three times — unsharded (serve-x1) and document-partitioned into 2 and
+# 4 shards behind the scatter-gather coordinator — drive a closed-loop
+# burst with loadgen after each boot, accumulate the three rows into one
+# report (-append), and diff achieved QPS, shed rate, and latency
+# quantiles against the committed baseline on the final run.
 # These are wall-clock numbers (unlike the simulated query bench), so
 # the tolerance is deliberately loose — it catches collapses, not
 # percent-level drift — and the target is NOT part of `make check`.
@@ -84,12 +104,19 @@ SERVE_BENCH_BASE ?= testdata/serve_baseline.json
 serve-bench:
 	$(GO) build -o /tmp/repro-inqueryd ./cmd/inqueryd
 	$(GO) build -o /tmp/repro-loadgen ./cmd/loadgen
-	/tmp/repro-inqueryd -synthetic CACM -scale 0.05 -addr 127.0.0.1:7933 & \
-	SRV=$$!; \
-	/tmp/repro-loadgen -target http://127.0.0.1:7933 -collection CACM -scale 0.05 \
-		-duration 5s -c 8 -out $(SERVE_BENCH_OUT) \
-		$(if $(SERVE_BENCH_BASE),-baseline $(SERVE_BENCH_BASE) -tol 1.0); \
-	RC=$$?; kill -TERM $$SRV; wait $$SRV; exit $$RC
+	@rm -f $(SERVE_BENCH_OUT)
+	for N in 1 2 4; do \
+		/tmp/repro-inqueryd -synthetic CACM -scale 0.05 -shards $$N \
+			-addr 127.0.0.1:7933 & \
+		SRV=$$!; \
+		GATE=""; \
+		if [ "$$N" = 4 ] && [ -n "$(SERVE_BENCH_BASE)" ]; then \
+			GATE="-baseline $(SERVE_BENCH_BASE) -tol 1.0"; fi; \
+		/tmp/repro-loadgen -target http://127.0.0.1:7933 -collection CACM -scale 0.05 \
+			-duration 5s -c 8 -label serve-x$$N -append -out $(SERVE_BENCH_OUT) $$GATE; \
+		RC=$$?; kill -TERM $$SRV; wait $$SRV || true; \
+		[ $$RC -eq 0 ] || exit $$RC; \
+	done
 
 # Quick pass over the paper-reproduction go benchmarks.
 gobench:

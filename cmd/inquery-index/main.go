@@ -7,9 +7,14 @@
 //
 //	inquery-index -out index.img -name mycol -docs corpus.txt [-stem=false]
 //	inquery-index -out index.img -name Legal -synthetic Legal -scale 0.5
+//	inquery-index -out index.img -name cacm -synthetic CACM -shards 4
 //
 // A document file holds one document per line; line N becomes document
-// id N (0-based).
+// id N (0-based). With -shards N the document stream is split
+// round-robin into N document-partitioned shard collections inside the
+// same image, plus a sidecar marking the shard count — inqueryd
+// detects the sidecar and serves the image through the scatter-gather
+// coordinator.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/shard"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 )
@@ -48,6 +54,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "synthetic collection scale")
 	stem := flag.Bool("stem", true, "apply Porter stemming (document files only)")
 	chunk := flag.Int("chunk", 0, "store large inverted lists as linked chunks of this many bytes (0 = whole objects)")
+	shards := flag.Int("shards", 0, "split the collection round-robin into this many document-partitioned shards (0/1 = unsharded)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -82,9 +89,32 @@ func main() {
 		fail(fmt.Errorf("need -docs or -synthetic"))
 	}
 
-	stats, err := core.Build(fs, *name, src, core.BuildOptions{Analyzer: an, ChunkLargeLists: *chunk})
-	if err != nil {
-		fail(err)
+	opt := core.BuildOptions{Analyzer: an, ChunkLargeLists: *chunk}
+	var stats *core.BuildStats
+	if *shards > 1 {
+		// Sharded: N parallel builds into the same image, one shard
+		// collection each, plus the shard-count sidecar. The printed
+		// totals sum the per-shard builds.
+		perShard, err := shard.Build([]*vfs.FS{fs}, *name, *shards, src, opt)
+		if err != nil {
+			fail(err)
+		}
+		stats = &core.BuildStats{}
+		for _, st := range perShard {
+			stats.Docs += st.Docs
+			stats.TotalToks += st.TotalToks
+			stats.Terms += st.Terms
+			stats.Records += st.Records
+			stats.ListBytes += st.ListBytes
+			stats.BTreeBytes += st.BTreeBytes
+			stats.MnemeBytes += st.MnemeBytes
+		}
+	} else {
+		var err error
+		stats, err = core.Build(fs, *name, src, opt)
+		if err != nil {
+			fail(err)
+		}
 	}
 	of, err := os.Create(*out)
 	if err != nil {
@@ -99,5 +129,8 @@ func main() {
 	fmt.Printf("  inverted lists: %d KB encoded\n", stats.ListBytes/1024)
 	fmt.Printf("  B-tree file:    %d KB\n", stats.BTreeBytes/1024)
 	fmt.Printf("  Mneme file:     %d KB\n", stats.MnemeBytes/1024)
+	if *shards > 1 {
+		fmt.Printf("  shards:         %d\n", *shards)
+	}
 	fmt.Printf("  image:          %s\n", *out)
 }

@@ -1,23 +1,30 @@
 // Command inqueryd is the long-running search server: one core.Engine
-// per configured index behind the HTTP/JSON API in internal/serve.
+// (or sharded scatter-gather coordinator) per configured index behind
+// the HTTP/JSON API in internal/serve.
 //
 // Usage:
 //
 //	inqueryd -index cacm=index.img -addr 127.0.0.1:7933
 //	inqueryd -index index.img -name mycol -backend btree
 //	inqueryd -synthetic CACM -scale 0.05            # self-built test index
+//	inqueryd -synthetic CACM -shards 4 -quorum 'quorum(3)'
 //
 // Indexes come from inquery-index images (-index, repeatable, as
 // "name=path" or a bare path served under -name) or are built in
 // memory from the paper's synthetic collections (-synthetic,
 // repeatable) — the latter needs no image file and is what the smoke
-// and serve-bench harnesses use.
+// and serve-bench harnesses use. Images built with inquery-index
+// -shards are self-describing (a .shards sidecar) and are served
+// through the shard coordinator automatically; -shards here sharding
+// only the synthetic builds. The -quorum policy decides whether a
+// response missing shards is served as 200 "partial" (with a coverage
+// block) or failed 503 with a quorum-lost error.
 //
 // Endpoints: POST /v1/search (single or batch), GET /v1/explain,
 // GET /metrics, GET /snapshot, GET /healthz. Statuses follow the
-// taxonomy documented in internal/serve: 200 ok/degraded, 400 parse,
-// 404 unknown index, 429 shed, 503 breaker open or draining, 504
-// deadline (partial ranking in the body).
+// taxonomy documented in internal/serve: 200 ok/degraded/partial, 400
+// parse, 404 unknown index, 429 shed, 503 breaker open, quorum lost,
+// or draining, 504 deadline (partial ranking in the body).
 //
 // On SIGINT/SIGTERM the server marks /healthz draining, stops
 // accepting connections, and waits up to -shutdown-timeout for
@@ -40,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lexicon"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 	"time"
@@ -71,6 +79,9 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit query may wait for admission before being shed")
 	retries := flag.Int("retries", 1, "read attempts per storage fault-in")
 	breaker := flag.Int("breaker", 0, "consecutive-failure threshold that opens a per-pool circuit breaker (0 = disabled)")
+	shards := flag.Int("shards", 0, "document-partitioned shard count for -synthetic collections, each shard on its own store (0/1 = unsharded; -index images carry their own shard count)")
+	quorum := flag.String("quorum", "all", "sharded quorum policy: all, best-effort, or quorum(k)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fixed sharded straggler delay before a hedged duplicate read (0 = derive from each shard's p95)")
 	shutdownTO := flag.Duration("shutdown-timeout", 10*time.Second, "drain budget for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -81,6 +92,11 @@ func main() {
 	if len(images) == 0 && len(synthetics) == 0 {
 		fail(errors.New("nothing to serve: give at least one -index or -synthetic"))
 	}
+	policy, err := shard.ParsePolicy(*quorum)
+	if err != nil {
+		fail(err)
+	}
+	shardCfg := shard.Config{Policy: policy, HedgeAfter: *hedgeAfter, RetryAttempts: 2}
 
 	engineOpts := func(an *textproc.Analyzer) []core.Option {
 		opts := []core.Option{core.WithAnalyzer(an)}
@@ -102,16 +118,22 @@ func main() {
 		return opts
 	}
 
-	engines := make(map[string]*core.Engine)
-	addEngine := func(n string, e *core.Engine) error {
-		if _, dup := engines[n]; dup {
+	indexes := make(map[string]serve.Index)
+	var shardEngines []*core.Engine
+	addIndex := func(n string, ix serve.Index) error {
+		if _, dup := indexes[n]; dup {
 			return fmt.Errorf("duplicate index name %q", n)
 		}
-		engines[n] = e
+		indexes[n] = ix
 		return nil
 	}
 	defer func() {
-		for _, e := range engines {
+		for _, ix := range indexes {
+			if e, ok := ix.(*core.Engine); ok {
+				e.Close()
+			}
+		}
+		for _, e := range shardEngines {
 			e.Close()
 		}
 	}()
@@ -121,11 +143,12 @@ func main() {
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			n, path = spec[:i], spec[i+1:]
 		}
-		eng, err := openImage(path, n, *backend, *cache, *stem, *chunk, engineOpts)
+		ix, engs, err := openImage(path, n, *backend, *cache, *stem, *chunk, shardCfg, engineOpts)
 		if err != nil {
 			fail(fmt.Errorf("index %s: %w", spec, err))
 		}
-		if err := addEngine(n, eng); err != nil {
+		shardEngines = append(shardEngines, engs...)
+		if err := addIndex(n, ix); err != nil {
 			fail(err)
 		}
 	}
@@ -133,16 +156,17 @@ func main() {
 	// engines analyze without stemming or stopping — same analyzer the
 	// experiments use.
 	for _, n := range synthetics {
-		eng, err := buildSynthetic(n, *scale, engineOpts)
+		ix, engs, err := buildSynthetic(n, *scale, *shards, shardCfg, engineOpts)
 		if err != nil {
 			fail(fmt.Errorf("synthetic %s: %w", n, err))
 		}
-		if err := addEngine(n, eng); err != nil {
+		shardEngines = append(shardEngines, engs...)
+		if err := addIndex(n, ix); err != nil {
 			fail(err)
 		}
 	}
 
-	srv := serve.New(engines, serve.Defaults{
+	srv := serve.NewIndexes(indexes, serve.Defaults{
 		TopK:     *topK,
 		Deadline: *deadline,
 		MaxBatch: *maxBatch,
@@ -154,9 +178,14 @@ func main() {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 
-	names := make([]string, 0, len(engines))
-	for n, e := range engines {
-		names = append(names, fmt.Sprintf("%s (%d docs)", n, e.NumDocs()))
+	names := make([]string, 0, len(indexes))
+	for n, ix := range indexes {
+		if sx, ok := ix.(*shard.Index); ok {
+			names = append(names, fmt.Sprintf("%s (%d docs, %d shards, %s)",
+				n, sx.NumDocs(), sx.Shards(), shardCfg.Policy))
+			continue
+		}
+		names = append(names, fmt.Sprintf("%s (%d docs)", n, ix.NumDocs()))
 	}
 	// The bound-address line is machine-read by the smoke harness; keep
 	// the prefix stable.
@@ -186,49 +215,89 @@ func main() {
 
 // openImage loads an inquery-index image and opens an engine over it,
 // mirroring inquery-search's configuration (including the Table 2
-// buffer plan derived from the stored dictionary when caching).
-func openImage(path, name, backend string, cache, stem bool, chunk int,
-	baseOpts func(*textproc.Analyzer) []core.Option) (*core.Engine, error) {
+// buffer plan derived from the stored dictionary when caching). Images
+// carrying a .shards sidecar open as a sharded coordinator; the
+// returned engine slice holds the shard engines for shutdown.
+func openImage(path, name, backend string, cache, stem bool, chunk int, shardCfg shard.Config,
+	baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fs, err := vfs.LoadImage(f, vfs.Options{OSCacheBytes: 8 << 20})
 	f.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	kind, err := core.ParseBackendKind(backend)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	an := textproc.NewAnalyzer(textproc.WithStemming(stem))
 	if !stem {
 		an = textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
 	}
+	nShards, sharded, err := shard.Detect(fs, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	planName := name
+	if sharded {
+		planName = shard.ShardName(name, 0)
+	}
 	opts := append(baseOpts(an), core.WithChunking(chunk))
 	if kind == core.BackendMneme && cache {
-		opts = append(opts, core.WithPlan(planFromDictionary(fs, name)))
+		opts = append(opts, core.WithPlan(planFromDictionary(fs, planName)))
 	}
-	return core.Open(fs, name, kind, opts...)
+	if !sharded {
+		eng, err := core.Open(fs, name, kind, opts...)
+		return eng, nil, err
+	}
+	engines, err := shard.OpenEngines([]*vfs.FS{fs}, name, nShards, kind, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := shard.NewIndex(name, engines, shardCfg)
+	return ix, engines, err
 }
 
 // buildSynthetic generates the named paper collection at the given
-// scale, indexes it into an in-memory file system, and opens a Mneme
-// engine with the collection's Table 2 buffer plan.
-func buildSynthetic(name string, scale float64,
-	baseOpts func(*textproc.Analyzer) []core.Option) (*core.Engine, error) {
+// scale, indexes it into an in-memory file system (or, with nShards >
+// 1, round-robin into per-shard file systems behind a scatter-gather
+// coordinator), and opens Mneme engines with the collection's Table 2
+// buffer plan.
+func buildSynthetic(name string, scale float64, nShards int, shardCfg shard.Config,
+	baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, error) {
 	col, ok := collection.ByName(name, scale)
 	if !ok {
-		return nil, fmt.Errorf("unknown collection (want CACM, Legal, TIPSTER1, TIPSTER)")
+		return nil, nil, fmt.Errorf("unknown collection (want CACM, Legal, TIPSTER1, TIPSTER)")
 	}
 	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
-	fs := vfs.New(vfs.Options{OSCacheBytes: 8 << 20})
-	if _, err := core.Build(fs, col.Name, col.Stream(), core.BuildOptions{Analyzer: an}); err != nil {
-		return nil, err
+	if nShards <= 1 {
+		fs := vfs.New(vfs.Options{OSCacheBytes: 8 << 20})
+		if _, err := core.Build(fs, col.Name, col.Stream(), core.BuildOptions{Analyzer: an}); err != nil {
+			return nil, nil, err
+		}
+		opts := append(baseOpts(an), core.WithPlan(planFromDictionary(fs, col.Name)))
+		eng, err := core.Open(fs, col.Name, core.BackendMneme, opts...)
+		return eng, nil, err
 	}
-	opts := append(baseOpts(an), core.WithPlan(planFromDictionary(fs, col.Name)))
-	return core.Open(fs, col.Name, core.BackendMneme, opts...)
+	// Per-shard file systems: each shard is its own blast radius.
+	fss := make([]*vfs.FS, nShards)
+	for i := range fss {
+		fss[i] = vfs.New(vfs.Options{OSCacheBytes: 8 << 20})
+	}
+	if _, err := shard.Build(fss, col.Name, nShards, col.Stream(), core.BuildOptions{Analyzer: an}); err != nil {
+		return nil, nil, err
+	}
+	opts := append(baseOpts(an),
+		core.WithPlan(planFromDictionary(fss[0], shard.ShardName(col.Name, 0))))
+	engines, err := shard.OpenEngines(fss, col.Name, nShards, core.BackendMneme, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := shard.NewIndex(col.Name, engines, shardCfg)
+	return ix, engines, err
 }
 
 // planFromDictionary applies the paper's Table 2 heuristics to the

@@ -8,35 +8,61 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
 
-// TestServeSmoke is the end-to-end serving smoke: build the real
-// inqueryd and loadgen binaries, boot the server on a loopback
-// ephemeral port over a self-built synthetic index, drive a short
-// closed-loop burst through loadgen, check /metrics and /snapshot
-// answer, then SIGTERM and require a clean drain (exit 0 with the
-// draining/stopped lifecycle lines) — a hung shutdown or leaked worker
-// turns into a test timeout here.
-func TestServeSmoke(t *testing.T) {
-	dir := t.TempDir()
-	bins := map[string]string{
-		"inqueryd": filepath.Join(dir, "inqueryd"),
-		"loadgen":  filepath.Join(dir, "loadgen"),
-	}
-	for pkg, out := range bins {
-		cmd := exec.Command("go", "build", "-o", out, "repro/cmd/"+pkg)
-		cmd.Env = os.Environ()
-		if b, err := cmd.CombinedOutput(); err != nil {
-			t.Fatalf("build %s: %v\n%s", pkg, err, b)
-		}
-	}
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildOut  string
+	buildErr  error
+)
 
-	srv := exec.Command(bins["inqueryd"],
+// smokeBinaries builds the real inqueryd and loadgen binaries once per
+// test process and returns their paths.
+func smokeBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "inqueryd-smoke-*")
+		if buildErr != nil {
+			return
+		}
+		for _, pkg := range []string{"inqueryd", "loadgen"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, pkg), "repro/cmd/"+pkg)
+			cmd.Env = os.Environ()
+			if b, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				buildOut = string(b)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build smoke binaries: %v\n%s", buildErr, buildOut)
+	}
+	return map[string]string{
+		"inqueryd": filepath.Join(buildDir, "inqueryd"),
+		"loadgen":  filepath.Join(buildDir, "loadgen"),
+	}
+}
+
+// serveSmoke boots inqueryd with the given extra flags over a
+// self-built synthetic index, asserts the serving banner contains
+// servingWant, drives a short closed-loop loadgen burst, checks
+// /healthz, /metrics and /snapshot, then SIGTERMs and requires a clean
+// drain (exit 0 with the draining/stopped lifecycle lines) — a hung
+// shutdown or leaked worker turns into a test timeout here.
+func serveSmoke(t *testing.T, extraSrvArgs []string, servingWant string) {
+	bins := smokeBinaries(t)
+
+	args := append([]string{
 		"-synthetic", "CACM", "-scale", "0.02",
-		"-addr", "127.0.0.1:0", "-max-inflight", "8")
+		"-addr", "127.0.0.1:0", "-max-inflight", "8",
+	}, extraSrvArgs...)
+	srv := exec.Command(bins["inqueryd"], args...)
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +73,8 @@ func TestServeSmoke(t *testing.T) {
 	}
 	defer srv.Process.Kill()
 
-	// The first stdout line carries the bound address.
+	// The first stdout line carries the bound address; the second names
+	// what is served.
 	lines := make(chan string, 64)
 	go func() {
 		sc := bufio.NewScanner(stdout)
@@ -74,6 +101,10 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("unexpected first line %q", first)
 	}
 	target := strings.TrimPrefix(first, prefix)
+	serving := readLine("the serving banner")
+	if !strings.Contains(serving, servingWant) {
+		t.Fatalf("serving banner %q lacks %q", serving, servingWant)
+	}
 
 	get := func(path string, wantSub string) {
 		t.Helper()
@@ -131,4 +162,20 @@ func TestServeSmoke(t *testing.T) {
 			t.Fatalf("shutdown lifecycle line %q missing from output:\n%s", want, tail)
 		}
 	}
+}
+
+// TestServeSmoke is the end-to-end serving smoke over a single-engine
+// index.
+func TestServeSmoke(t *testing.T) {
+	serveSmoke(t, nil, "CACM (")
+}
+
+// TestServeSmokeSharded is the same lifecycle over a document-
+// partitioned boot: two shards behind the scatter-gather coordinator
+// under a quorum(1) policy, each shard on its own store. The serving
+// banner must advertise the shard count and policy, and the burst,
+// metrics, snapshot, and drain must all behave exactly as unsharded.
+func TestServeSmokeSharded(t *testing.T) {
+	serveSmoke(t, []string{"-shards", "2", "-quorum", "quorum(1)"},
+		"2 shards, quorum(1)")
 }

@@ -62,6 +62,8 @@ func main() {
 	prune := flag.Bool("prune", false, "request MaxScore pruning (with -daat)")
 	deadline := flag.Duration("deadline", 0, "per-request deadline field (0 = server default)")
 	wait := flag.Duration("wait", 10*time.Second, "how long to poll /healthz for readiness before starting")
+	label := flag.String("label", "serve", "bench-row backend label (distinguishes configurations, e.g. sharded boots, within one report)")
+	appendOut := flag.Bool("append", false, "merge the row into an existing -out report instead of overwriting it")
 	out := flag.String("out", "", "write the run as a bench report (BENCH_serve.json)")
 	baseline := flag.String("baseline", "", "gate the run against this baseline bench report")
 	tol := flag.Float64("tol", 1.0, "gate tolerance (fraction; wall-clock serving numbers are noisy, keep it loose)")
@@ -114,9 +116,28 @@ func main() {
 	report := &experiments.BenchReport{
 		Schema: experiments.ServeBenchSchema,
 		Scale:  *scale,
-		Rows:   []experiments.BenchRow{rep.BenchRow("serve", *colName, querySet)},
+		Rows:   []experiments.BenchRow{rep.BenchRow(*label, *colName, querySet)},
 	}
 	if *out != "" {
+		if *appendOut {
+			if prevData, err := os.ReadFile(*out); err == nil {
+				var prev experiments.BenchReport
+				if err := json.Unmarshal(prevData, &prev); err != nil {
+					fail(fmt.Errorf("cannot append to %s: %w", *out, err))
+				}
+				// Rows with the same identity (backend/collection/set)
+				// are replaced by the fresh run; everything else rides
+				// along, so one report accumulates a multi-boot matrix.
+				merged := prev.Rows[:0]
+				for _, r := range prev.Rows {
+					if r.Backend == *label && r.Collection == *colName && r.QuerySet == querySet {
+						continue
+					}
+					merged = append(merged, r)
+				}
+				report.Rows = append(merged, report.Rows...)
+			}
+		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fail(err)
@@ -203,6 +224,9 @@ func printReport(r *loadgen.Report) {
 	fmt.Printf("status: %s  shed rate %.3f", strings.Join(parts, " "), r.ShedRate)
 	if r.ClientShed > 0 {
 		fmt.Printf("  client-shed %d", r.ClientShed)
+	}
+	if r.RetriedAfterShed > 0 {
+		fmt.Printf("  retried-after-shed %d", r.RetriedAfterShed)
 	}
 	if r.Errors > 0 {
 		fmt.Printf("  transport errors %d", r.Errors)

@@ -129,6 +129,11 @@ func runBench(lab *experiments.Lab, outPath, basePath string, fail func(error)) 
 		fail(err)
 	}
 	fmt.Printf("bench: %d rows written to %s\n", len(report.Rows), outPath)
+	if err := experiments.CheckShardedScaling(report); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: sharded x%d beats single-shard score p95 on every matrix row\n",
+		experiments.ShardedBenchNs[len(experiments.ShardedBenchNs)-1])
 	if basePath == "" {
 		return
 	}

@@ -312,6 +312,11 @@ func (e *Engine) Backend() Backend { return e.backend }
 // Kind reports which backend the engine runs on.
 func (e *Engine) Kind() BackendKind { return e.kind }
 
+// FS exposes the file system the engine's index files live on (the
+// shard coordinator deduplicates I/O stats across co-resident shards
+// through it).
+func (e *Engine) FS() *vfs.FS { return e.fs }
+
 // Dictionary exposes the term dictionary.
 func (e *Engine) Dictionary() *lexicon.Dictionary { return e.dict }
 
@@ -452,8 +457,20 @@ func (e *Engine) SearchDAATCtx(ctx context.Context, query string, topK int) ([]R
 	return e.Acquire().SearchDAATCtx(ctx, query, topK)
 }
 
-// NumDocs implements inference.Source.
-func (e *Engine) NumDocs() int { return len(e.docLens) }
+// NumDocs implements inference.Source. On a shard engine
+// (WithGlobalStats) it reports the whole collection's document count:
+// belief scores depend on n, and a shard using its local count would
+// rank differently from an unsharded build.
+func (e *Engine) NumDocs() int {
+	if g := e.opts.Global; g != nil {
+		return g.NumDocs
+	}
+	return len(e.docLens)
+}
+
+// LocalDocs is the number of documents physically resident in this
+// engine — equal to NumDocs except on a shard engine.
+func (e *Engine) LocalDocs() int { return len(e.docLens) }
 
 // DocLen implements inference.Source.
 func (e *Engine) DocLen(doc uint32) int {
@@ -463,8 +480,15 @@ func (e *Engine) DocLen(doc uint32) int {
 	return int(e.docLens[doc])
 }
 
-// AvgDocLen implements inference.Source.
+// AvgDocLen implements inference.Source, using the collection-global
+// mean on a shard engine (see NumDocs).
 func (e *Engine) AvgDocLen() float64 {
+	if g := e.opts.Global; g != nil {
+		if g.NumDocs == 0 {
+			return 0
+		}
+		return float64(g.TotalLen) / float64(g.NumDocs)
+	}
 	if len(e.docLens) == 0 {
 		return 0
 	}

@@ -64,6 +64,26 @@ type engineOptions struct {
 	// absorbs before admitting a half-open probe. Zero selects the
 	// resilience package default.
 	BreakerCooldown int
+	// Global, when non-nil, marks this engine as one shard of a
+	// document-partitioned collection and supplies the whole
+	// collection's statistics for belief computation.
+	Global *GlobalStats
+}
+
+// GlobalStats carries whole-collection statistics for an engine that
+// holds only one document-partitioned shard. Belief scores depend on
+// the collection's document count, average document length, and
+// per-term document frequency; a shard that used its local values
+// would rank differently from an unsharded build, so the shard
+// coordinator distributes the global numbers to every shard engine at
+// open time.
+type GlobalStats struct {
+	// NumDocs is the document count summed across all shards.
+	NumDocs int
+	// TotalLen is the token count summed across all shards.
+	TotalLen int64
+	// DF maps each indexed term to its global document frequency.
+	DF map[string]uint64
 }
 
 // Option configures an engine at Open time.
@@ -141,6 +161,16 @@ func WithMaxInFlight(n int, queueWait time.Duration) Option {
 // Counters.RetriedReads; checksum corruption is never retried.
 func WithRetry(attempts int) Option {
 	return func(o *engineOptions) { o.RetryAttempts = attempts }
+}
+
+// WithGlobalStats declares the engine one shard of a larger collection
+// and overrides the collection statistics (document count, average
+// length, per-term df) used by belief scoring with the supplied global
+// values, so sharded rankings merge byte-identical to an unsharded
+// build. The stats struct is retained and must not be mutated after
+// Open.
+func WithGlobalStats(g *GlobalStats) Option {
+	return func(o *engineOptions) { o.Global = g }
 }
 
 // WithBreaker arms a per-pool circuit breaker: threshold consecutive

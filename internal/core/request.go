@@ -76,6 +76,14 @@ type Request struct {
 	// even on an engine opened without WithPruning. The top-k is
 	// identical to exhaustive evaluation.
 	Prune bool `json:"prune,omitempty"`
+	// MinScore, when positive, is a score floor for pruned evaluation:
+	// documents provably scoring below it are discarded even before
+	// the top-k heap fills, so the ranking may come back shorter than
+	// TopK. The shard coordinator seeds late shards with the running
+	// merged k-th score; only documents that could never reach the
+	// final global top-k are dropped, keeping the merge exact. Ignored
+	// outside pruned ModeDAAT evaluation.
+	MinScore float64 `json:"min_score,omitempty"`
 }
 
 // Outcome classifies how a request ended — the label transport layers
@@ -97,22 +105,59 @@ const (
 	// OutcomeShed means admission control rejected the request before
 	// any evaluation. The paired error chains to resilience.ErrShed.
 	OutcomeShed Outcome = "shed"
+	// OutcomePartial is a sharded ranking missing one or more shards:
+	// quorum was met, the returned ranking is exact over the shards
+	// that answered, and Response.Coverage itemizes what was lost.
+	// Single-engine requests never produce it.
+	OutcomePartial Outcome = "partial"
 	// OutcomeError is a hard failure: bad query syntax, storage
-	// corruption on a strict engine, or an open circuit breaker.
+	// corruption on a strict engine, an open circuit breaker, or a
+	// sharded request that lost its quorum.
 	OutcomeError Outcome = "error"
 )
 
 // Partial reports whether the outcome carries results that may not
 // reflect the complete collection.
-func (o Outcome) Partial() bool { return o == OutcomeDegraded || o == OutcomeDeadline }
+func (o Outcome) Partial() bool {
+	return o == OutcomeDegraded || o == OutcomeDeadline || o == OutcomePartial
+}
+
+// Coverage itemizes, for a response assembled from a sharded index,
+// which shards contributed. Answered + Failed + Shed + BreakerOpen ==
+// Shards; Degraded and the hedging tallies overlap Answered.
+type Coverage struct {
+	// Shards is the shard count of the index that served the request.
+	Shards int `json:"shards"`
+	// Answered is how many shards returned a usable ranking.
+	Answered int `json:"answered"`
+	// Degraded counts answered shards whose ranking was itself partial
+	// (deadline slice expired or corrupt records skipped).
+	Degraded int `json:"degraded,omitempty"`
+	// Failed counts shards lost to hard errors after retries.
+	Failed int `json:"failed,omitempty"`
+	// Shed counts shards whose admission gate rejected the sub-query.
+	Shed int `json:"shed,omitempty"`
+	// BreakerOpen counts shards skipped outright because their
+	// circuit breaker was open.
+	BreakerOpen int `json:"breaker_open,omitempty"`
+	// Hedged counts shards where a backup (hedged) sub-query was fired
+	// after the straggler delay; HedgeWins counts those where the
+	// backup came back first.
+	Hedged    int `json:"hedged,omitempty"`
+	HedgeWins int `json:"hedge_wins,omitempty"`
+	// MissingShards lists the shard indexes absent from the ranking.
+	MissingShards []int `json:"missing_shards,omitempty"`
+}
 
 // Response is a Request's full result: the ranking, the work this
 // request performed (a per-request counter delta, not the engine
-// aggregate), and the outcome label.
+// aggregate), and the outcome label. Coverage is set only by the shard
+// coordinator.
 type Response struct {
-	Results  []Result `json:"results"`
-	Counters Counters `json:"counters"`
-	Outcome  Outcome  `json:"outcome"`
+	Results  []Result  `json:"results"`
+	Counters Counters  `json:"counters"`
+	Outcome  Outcome   `json:"outcome"`
+	Coverage *Coverage `json:"coverage,omitempty"`
 }
 
 // outcomeOf derives the outcome label from a finished request's error
@@ -207,7 +252,7 @@ func (s *Searcher) evaluate(ctx context.Context, req Request) ([]Result, error) 
 	var res []Result
 	switch {
 	case req.Mode == ModeDAAT && (s.e.opts.Prune || s.reqPrune):
-		res, err = inference.EvaluateMaxScore(n, s, req.TopK)
+		res, err = inference.EvaluateMaxScoreFloor(n, s, req.TopK, req.MinScore)
 	case req.Mode == ModeDAAT:
 		res, err = inference.EvaluateDAAT(n, s, req.TopK)
 	default:

@@ -80,6 +80,41 @@ type ResilienceStats struct {
 	Breakers     map[string]resilience.BreakerSnap `json:"breakers,omitempty"`
 }
 
+// Health is an index's serving-fitness summary, reported by /healthz.
+// Serving=false means the index cannot currently answer any query —
+// for a single engine, every storage-pool breaker is open; for a
+// sharded index, the open breakers make quorum unreachable.
+type Health struct {
+	// Docs is the index's document count.
+	Docs int `json:"docs"`
+	// Serving reports whether the index can answer queries right now.
+	Serving bool `json:"serving"`
+	// Breakers maps each storage pool (or shard) to its breaker state.
+	// Empty when no breaker is armed.
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// Health reports the engine's serving fitness: it stops serving only
+// when breakers are armed and every one of them is open (every pool
+// fails fast, so no query can touch storage).
+func (e *Engine) Health() Health {
+	h := Health{Docs: e.NumDocs(), Serving: true}
+	snaps := e.breakerSnaps()
+	if len(snaps) == 0 {
+		return h
+	}
+	h.Breakers = make(map[string]string, len(snaps))
+	allOpen := true
+	for name, s := range snaps {
+		h.Breakers[name] = s.State
+		if s.State != resilience.Open.String() {
+			allOpen = false
+		}
+	}
+	h.Serving = !allOpen
+	return h
+}
+
 // ResilienceStats returns the current resilience summary, or nil when
 // no resilience option (WithMaxInFlight, WithRetry, WithBreaker) was
 // given — which keeps Snapshot JSON byte-identical for plain engines.

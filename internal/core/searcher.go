@@ -428,6 +428,21 @@ func (s *Searcher) DocLen(doc uint32) int { return s.e.DocLen(doc) }
 // AvgDocLen implements inference.Source.
 func (s *Searcher) AvgDocLen() float64 { return s.e.AvgDocLen() }
 
+// TermDF implements inference.DFSource on shard engines: it reports the
+// collection-global document frequency for a term so shard-local belief
+// scores match the unsharded build's. The DF table is keyed by
+// normalized (lexicon) terms, which is what the evaluators pass here.
+// ok=false (always, on unsharded engines) tells the evaluator to use
+// the local list length.
+func (s *Searcher) TermDF(term string) (uint64, bool) {
+	g := s.e.opts.Global
+	if g == nil {
+		return 0, false
+	}
+	df, ok := g.DF[term]
+	return df, ok
+}
+
 // recordIterator is the shape shared by the in-memory and streaming
 // posting decoders.
 type recordIterator interface {

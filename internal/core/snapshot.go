@@ -29,6 +29,45 @@ type Snapshot struct {
 	// gate occupancy, and breaker states. Nil — and absent from the
 	// JSON — unless a resilience option was given at Open.
 	Resilience *ResilienceStats `json:"resilience,omitempty"`
+	// Sharding summarizes a sharded index's scatter-gather state:
+	// per-shard breaker/latency/outcome tallies plus hedging and
+	// partial-result counts. Set only by the shard coordinator.
+	Sharding *ShardingStats `json:"sharding,omitempty"`
+}
+
+// ShardingStats is the coordinator-level block of a sharded index's
+// snapshot.
+type ShardingStats struct {
+	// Shards is the shard count; Quorum is how many must answer.
+	Shards int `json:"shards"`
+	Quorum int `json:"quorum"`
+	// Policy echoes the configured quorum policy string.
+	Policy string `json:"policy"`
+	// Partial counts requests answered with OutcomePartial; NoQuorum
+	// counts requests failed for losing quorum; Hedged / HedgeWins
+	// count backup sub-queries fired and backup wins.
+	Partial   int64 `json:"partial"`
+	NoQuorum  int64 `json:"no_quorum"`
+	Hedged    int64 `json:"hedged"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// PerShard holds one entry per shard, in shard order.
+	PerShard []ShardStat `json:"per_shard"`
+}
+
+// ShardStat is one shard's view from the coordinator.
+type ShardStat struct {
+	// Docs is the shard's resident document count.
+	Docs int `json:"docs"`
+	// Breaker is the shard breaker's state ("closed"/"open"/"half-open").
+	Breaker string `json:"breaker"`
+	// Answered / Degraded / Failed / Shed tally sub-query outcomes.
+	Answered int64 `json:"answered"`
+	Degraded int64 `json:"degraded,omitempty"`
+	Failed   int64 `json:"failed,omitempty"`
+	Shed     int64 `json:"shed,omitempty"`
+	// P95Micros is the shard's current p95 sub-query latency estimate
+	// (the hedging trigger), in microseconds.
+	P95Micros int64 `json:"p95_micros,omitempty"`
 }
 
 // Snapshot captures the engine's current aggregate state. It is safe to

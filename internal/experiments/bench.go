@@ -8,6 +8,8 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/vfs"
 )
 
 // BenchSchema versions the BENCH_query.json format. Bump it whenever a
@@ -26,6 +28,11 @@ const ServeBenchSchema = "repro/bench_serve/v1"
 // BenchSystems are the configurations the bench mode measures: the two
 // storage backends, with Mneme under its paper buffer plan.
 var BenchSystems = []System{SysBTree, SysMnemeCache}
+
+// ShardedBenchNs are the shard counts of the bench mode's document-
+// partitioned scatter-gather rows. The x1 row is the single-shard
+// reference the CheckShardedScaling gate compares against.
+var ShardedBenchNs = []int{1, 2, 4}
 
 // BenchStage holds one per-stage latency distribution over a query mix.
 // Times are simulated microseconds from the lab's cost model applied to
@@ -212,6 +219,86 @@ func (l *Lab) benchRow(b *Built, colName, qsName string, queries []collection.Qu
 	return row, nil
 }
 
+// shardedLabel names a scatter-gather bench row.
+func shardedLabel(n int) string {
+	return fmt.Sprintf("%s (sharded x%d)", SysMnemeCache, n)
+}
+
+// benchShardedRow measures one scatter-gather cell: the query set traced
+// against every shard engine of an n-way document-partitioned build.
+// Per query, each stage's simulated time is the MAXIMUM over shards —
+// the critical path of a parallel fan-out — while the I/O totals sum
+// every shard's reads. This is what makes the sharded rows comparable
+// to the single-engine rows: latency shrinks with n (each shard scores
+// ~1/n of the postings) while total work does not.
+func (l *Lab) benchShardedRow(sb *ShardedBuilt, qsName string, queries []collection.Query) (BenchRow, error) {
+	costs := l.Model.Costs()
+	plan := planFromMaxList(sb.MaxList)
+	engines, err := shard.OpenEngines([]*vfs.FS{sb.FS}, sb.Col.Name, sb.N, core.BackendMneme,
+		core.WithAnalyzer(analyzer()), core.WithPlan(plan))
+	if err != nil {
+		return BenchRow{}, err
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	sb.FS.Chill()
+	for _, e := range engines {
+		e.ResetCounters()
+		e.Backend().ResetBufferStats()
+	}
+	before := sb.FS.Stats()
+
+	stageUS := make(map[obs.Stage][]float64, len(obs.Stages()))
+	for _, q := range queries {
+		worst := make(map[obs.Stage]int64, len(obs.Stages()))
+		for _, eng := range engines {
+			_, tr, err := eng.TraceRun(core.Request{Query: q.Text})
+			if err != nil {
+				return BenchRow{}, fmt.Errorf("experiments: bench %s/%s/%s: query %s: %w",
+					shardedLabel(sb.N), sb.Col.Name, qsName, q.ID, err)
+			}
+			totals := tr.StageTotals()
+			for _, st := range obs.Stages() {
+				tot := totals[st]
+				ns := costs.SimNS(&tot.Counts)
+				if st == obs.StageQuery {
+					ns += costs.QueryNS
+				}
+				if ns > worst[st] {
+					worst[st] = ns
+				}
+			}
+		}
+		for _, st := range obs.Stages() {
+			stageUS[st] = append(stageUS[st], float64(worst[st])/1e3)
+		}
+	}
+
+	delta := sb.FS.Stats().Sub(before)
+	row := BenchRow{
+		Backend:    shardedLabel(sb.N),
+		Collection: sb.Col.Name,
+		QuerySet:   qsName,
+		Queries:    len(queries),
+		DiskReads:  delta.DiskReads,
+		BytesRead:  delta.BytesRead,
+	}
+	for _, st := range obs.Stages() {
+		us := stageUS[st]
+		sort.Float64s(us)
+		row.Stages = append(row.Stages, BenchStage{
+			Stage: st.String(),
+			P50us: quantile(us, 0.50),
+			P95us: quantile(us, 0.95),
+			P99us: quantile(us, 0.99),
+		})
+	}
+	return row, nil
+}
+
 // RunBench traces the standard query mix of every matrix row under each
 // bench system and distils per-stage simulated-latency quantiles, buffer
 // hit rates, I/O totals, and skip counters. Beyond the term-at-a-time
@@ -219,7 +306,10 @@ func (l *Lab) benchRow(b *Built, colName, qsName string, queries []collection.Qu
 // two document-at-a-time rows against the chunked-collection variant —
 // exhaustive ("Mneme, Cache (daat)") and MaxScore-pruned ("Mneme, Cache
 // (pruned)") — whose stage latencies and skip counters quantify what
-// block-format skipping saves.
+// block-format skipping saves. Each matrix row additionally gets
+// document-partitioned scatter-gather rows ("Mneme, Cache (sharded
+// xN)", N from ShardedBenchNs) whose critical-path latency model the
+// CheckShardedScaling gate holds to its claim.
 func (l *Lab) RunBench(systems []System) (*BenchReport, error) {
 	if len(systems) == 0 {
 		systems = BenchSystems
@@ -281,8 +371,75 @@ func (l *Lab) RunBench(systems []System) (*BenchReport, error) {
 				report.Rows = append(report.Rows, row)
 			}
 		}
+		for _, n := range ShardedBenchNs {
+			sb, err := l.ShardedCollection(p.col, n)
+			if err != nil {
+				return nil, err
+			}
+			row, err := l.benchShardedRow(sb, qs.Name, queries)
+			if err != nil {
+				return nil, err
+			}
+			report.Rows = append(report.Rows, row)
+		}
 	}
 	return report, nil
+}
+
+// CheckShardedScaling enforces the sharded bench's headline claim: on
+// every (collection, query set) that carries sharded rows, the
+// score-stage p95 at the largest shard count must beat the single-shard
+// (x1) row — the scatter-gather critical path genuinely shrinks as the
+// postings are partitioned. Returns nil when the report has no sharded
+// rows; errors list every cell that failed to scale.
+func CheckShardedScaling(r *BenchReport) error {
+	maxN := 0
+	for _, n := range ShardedBenchNs {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	scoreP95 := func(row BenchRow) (float64, bool) {
+		for _, s := range row.Stages {
+			if s.Stage == obs.StageScore.String() {
+				return s.P95us, true
+			}
+		}
+		return 0, false
+	}
+	type cell struct{ col, qs string }
+	single := make(map[cell]float64)
+	widest := make(map[cell]float64)
+	for _, row := range r.Rows {
+		p95, ok := scoreP95(row)
+		if !ok {
+			continue
+		}
+		c := cell{row.Collection, row.QuerySet}
+		switch row.Backend {
+		case shardedLabel(1):
+			single[c] = p95
+		case shardedLabel(maxN):
+			widest[c] = p95
+		}
+	}
+	var bad []string
+	for c, base := range single {
+		cur, ok := widest[c]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s/%s: x%d row missing", c.col, c.qs, maxN))
+			continue
+		}
+		if cur >= base {
+			bad = append(bad, fmt.Sprintf("%s/%s: score p95 x%d %.1fµs !< x1 %.1fµs",
+				c.col, c.qs, maxN, cur, base))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("sharded scaling gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // rowKey identifies a bench row across reports.

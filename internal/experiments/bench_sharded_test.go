@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// shardedCACMRows builds the CACM query-set-0 sharded bench rows once
+// per test process (via the shared lab's memoized builds).
+func shardedCACMRows(t *testing.T) *BenchReport {
+	t.Helper()
+	l := sharedLab()
+	b, err := l.Collection("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := b.Col.QuerySets[0]
+	queries := b.Col.GenQueries(qs)
+	report := &BenchReport{Schema: BenchSchema, Scale: l.Scale}
+	for _, n := range ShardedBenchNs {
+		sb, err := l.ShardedCollection("CACM", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := l.benchShardedRow(sb, qs.Name, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report
+}
+
+// TestShardedBenchScaling: the scatter-gather critical-path model must
+// show the score stage shrinking monotonically in the shard count — at
+// p95 the x4 row beats x2 beats x1 — and the CheckShardedScaling gate
+// must accept the report as produced and reject it once tampered with.
+func TestShardedBenchScaling(t *testing.T) {
+	report := shardedCACMRows(t)
+	score := func(row BenchRow) float64 {
+		for _, s := range row.Stages {
+			if s.Stage == "score" {
+				return s.P95us
+			}
+		}
+		t.Fatalf("row %s has no score stage: %+v", row.Backend, row.Stages)
+		return 0
+	}
+	if len(report.Rows) != len(ShardedBenchNs) {
+		t.Fatalf("got %d rows, want %d", len(report.Rows), len(ShardedBenchNs))
+	}
+	for i, row := range report.Rows {
+		if want := shardedLabel(ShardedBenchNs[i]); row.Backend != want {
+			t.Fatalf("row %d label = %q, want %q", i, row.Backend, want)
+		}
+		if row.Queries == 0 || score(row) <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+	}
+	p1, p2, p4 := score(report.Rows[0]), score(report.Rows[1]), score(report.Rows[2])
+	if !(p4 < p2 && p2 < p1) {
+		t.Fatalf("score p95 not monotone in shard count: x1 %.1f, x2 %.1f, x4 %.1f", p1, p2, p4)
+	}
+
+	if err := CheckShardedScaling(report); err != nil {
+		t.Fatalf("gate rejected a scaling report: %v", err)
+	}
+	// The gate must catch a regression: inflate the x4 score stage past x1.
+	bad := *report
+	bad.Rows = append([]BenchRow(nil), report.Rows...)
+	tampered := bad.Rows[2]
+	tampered.Stages = append([]BenchStage(nil), tampered.Stages...)
+	for i := range tampered.Stages {
+		if tampered.Stages[i].Stage == "score" {
+			tampered.Stages[i].P95us = p1 * 2
+		}
+	}
+	bad.Rows[2] = tampered
+	err := CheckShardedScaling(&bad)
+	if err == nil || !strings.Contains(err.Error(), "score p95") {
+		t.Fatalf("gate accepted a tampered report (err=%v)", err)
+	}
+	// And a missing widest row.
+	missing := *report
+	missing.Rows = report.Rows[:2]
+	if err := CheckShardedScaling(&missing); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gate accepted a report missing the x4 row (err=%v)", err)
+	}
+	// A report with no sharded rows passes vacuously.
+	if err := CheckShardedScaling(&BenchReport{Schema: BenchSchema}); err != nil {
+		t.Fatalf("gate rejected an unsharded report: %v", err)
+	}
+}
+
+// TestShardedBenchIOConservation: partitioning redistributes the work
+// but does not eliminate it — the sharded rows must read at least as
+// many postings bytes as they would in one shard (per-shard records add
+// headers and per-shard dictionaries), and every query must still be
+// answered.
+func TestShardedBenchIOConservation(t *testing.T) {
+	report := shardedCACMRows(t)
+	base := report.Rows[0]
+	for _, row := range report.Rows[1:] {
+		if row.Queries != base.Queries {
+			t.Fatalf("%s answered %d queries, x1 answered %d", row.Backend, row.Queries, base.Queries)
+		}
+		if row.BytesRead <= 0 || row.DiskReads <= 0 {
+			t.Fatalf("%s reports no I/O: %+v", row.Backend, row)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lexicon"
 	"repro/internal/mneme"
+	"repro/internal/shard"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 )
@@ -67,6 +68,7 @@ type Lab struct {
 	mu      sync.Mutex
 	cols    map[string]*Built
 	chunked map[string]*Built
+	sharded map[string]*ShardedBuilt
 	runs    map[string]*RunResult
 }
 
@@ -100,6 +102,7 @@ func NewLab(scale float64) *Lab {
 		BenchTopK:    DefaultBenchTopK,
 		cols:         make(map[string]*Built),
 		chunked:      make(map[string]*Built),
+		sharded:      make(map[string]*ShardedBuilt),
 		runs:         make(map[string]*RunResult),
 	}
 }
@@ -165,6 +168,45 @@ func (l *Lab) ChunkedCollection(name string) (*Built, error) {
 	return b, nil
 }
 
+// ShardedBuilt is a collection split round-robin into n document-
+// partitioned shard collections inside one image (plus the sidecar),
+// the substrate of the bench mode's scatter-gather rows.
+type ShardedBuilt struct {
+	Col collection.PaperCollection
+	FS  *vfs.FS
+	N   int
+	// MaxList is the largest inverted-list record across shard 0's
+	// dictionary — the buffer-plan input, as in the unsharded case.
+	MaxList int64
+}
+
+// ShardedCollection builds (once) the named collection as n document-
+// partitioned shards on its own file system. Only the Mneme backend is
+// built: the sharded bench rows measure the Mneme+cache configuration.
+func (l *Lab) ShardedCollection(name string, n int) (*ShardedBuilt, error) {
+	key := fmt.Sprintf("%s/x%d", name, n)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b, ok := l.sharded[key]; ok {
+		return b, nil
+	}
+	col, ok := collection.ByName(name, l.Scale)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown collection %q", name)
+	}
+	fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize, OSCacheBytes: l.OSCacheBytes})
+	if _, err := shard.Build([]*vfs.FS{fs}, col.Name, n, col.Stream(), core.BuildOptions{
+		Analyzer: analyzer(),
+		Backends: []core.BackendKind{core.BackendMneme},
+	}); err != nil {
+		return nil, fmt.Errorf("experiments: build sharded %s x%d: %w", name, n, err)
+	}
+	b := &ShardedBuilt{Col: col, FS: fs, N: n}
+	b.MaxList = maxDictListBytes(fs, shard.ShardName(col.Name, 0), core.BackendMneme)
+	l.sharded[key] = b
+	return b, nil
+}
+
 // maxListBytes scans the collection dictionary for the largest record.
 func maxListBytes(fs *vfs.FS, name string) int64 {
 	return maxDictListBytes(fs, name, core.BackendBTree)
@@ -193,7 +235,13 @@ func maxDictListBytes(fs *vfs.FS, name string, kind core.BackendKind) int64 {
 // of large, but at least 3 medium segments (the CACM rule); small = 3
 // small segments.
 func PlanFor(b *Built) core.BufferPlan {
-	large := 3 * b.MaxList
+	return planFromMaxList(b.MaxList)
+}
+
+// planFromMaxList is the Table 2 heuristic as a function of the largest
+// inverted-list record, shared by the unsharded and sharded plans.
+func planFromMaxList(maxList int64) core.BufferPlan {
+	large := 3 * maxList
 	medium := large * 9 / 100
 	if min := int64(3 * 8192); medium < min {
 		medium = min

@@ -188,7 +188,7 @@ func collectLeaves(n *Node, src StreamSource, leaves map[*Node]*leafState) error
 			pi := &peekIter{it: it}
 			pi.advance()
 			ls.iters = []*peekIter{pi}
-			ls.df = it.DF()
+			ls.df = termDF(src, n.Term, it.DF())
 		}
 		leaves[n] = ls
 		return nil
@@ -208,16 +208,21 @@ func collectLeaves(n *Node, src StreamSource, leaves map[*Node]*leafState) error
 					leaves[n] = ls
 					return nil
 				}
+				// A synonym child absent from this shard's slice may
+				// still exist elsewhere: its global df must count
+				// toward the class bound or sharded scores drift.
+				ls.df += termDF(src, c.Term, 0)
 				continue
 			}
 			pi := &peekIter{it: it}
 			pi.advance()
 			ls.iters = append(ls.iters, pi)
+			cdf := termDF(src, c.Term, it.DF())
 			switch {
 			case n.Op == OpSyn:
-				ls.df += it.DF() // upper bound for a synonym class
-			case ls.df == 0 || it.DF() < ls.df:
-				ls.df = it.DF() // lower child df bounds proximity df
+				ls.df += cdf // upper bound for a synonym class
+			case ls.df == 0 || cdf < ls.df:
+				ls.df = cdf // lower child df bounds proximity df
 			}
 		}
 		if n.Op == OpSyn && uint64(src.NumDocs()) < ls.df {

@@ -28,6 +28,28 @@ type Source interface {
 	AvgDocLen() float64
 }
 
+// DFSource is an optional Source/StreamSource extension supplying
+// collection-global document frequencies. A document-partitioned shard
+// holds only its slice of every inverted list, so the local list length
+// underestimates df; a sharded engine implements DFSource to report the
+// whole collection's df for a term, keeping beliefs — and therefore
+// rankings after the scatter-gather merge — byte-identical to an
+// unsharded build. ok=false falls back to the local statistic.
+type DFSource interface {
+	TermDF(term string) (df uint64, ok bool)
+}
+
+// termDF resolves a term's document frequency: the global statistic when
+// the source carries one, else the local list length.
+func termDF(src any, term string, local uint64) uint64 {
+	if g, ok := src.(DFSource); ok {
+		if df, ok := g.TermDF(term); ok {
+			return df
+		}
+	}
+	return local
+}
+
 // Result is one ranked document. The JSON tags are the wire encoding
 // of the serving layer's response body.
 type Result struct {
@@ -148,7 +170,7 @@ func evalTerm(term string, src Source) (evidence, error) {
 	if rec != nil {
 		rec.Event(obs.EvPostings, term, int64(len(ps)))
 	}
-	df := uint64(len(ps))
+	df := termDF(src, term, uint64(len(ps)))
 	n := src.NumDocs()
 	avg := src.AvgDocLen()
 	for _, p := range ps {
@@ -256,6 +278,12 @@ func evalProximity(n *Node, src Source) (evidence, error) {
 	return pseudoTermEvidence(tf, src), nil
 }
 
+// pseudoTermEvidence scores a synthesized tf assignment (synonym class
+// or proximity matches) as a single term. Its df is the exact match
+// count in the local collection; on a shard that is the shard-local
+// count, so TAAT compound-leaf scores can differ slightly between
+// sharded and unsharded runs — the same caveat EvaluateDAAT already
+// documents for its header-estimated compound df.
 func pseudoTermEvidence(tf map[uint32]int, src Source) evidence {
 	ev := evidence{scores: make(map[uint32]float64, len(tf)), def: DefaultBelief}
 	df := uint64(len(tf))

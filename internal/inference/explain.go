@@ -53,7 +53,7 @@ func Explain(n *Node, src Source, doc uint32) (*Explanation, error) {
 			ex.Detail = "term not in collection"
 			return ex, nil
 		}
-		df := uint64(len(ps))
+		df := termDF(src, n.Term, uint64(len(ps)))
 		for _, p := range ps {
 			if p.Doc == doc {
 				ex.Belief = Belief(p.TF(), src.DocLen(doc), src.AvgDocLen(), df, src.NumDocs())

@@ -145,6 +145,19 @@ func exactCombine(n *Node, beliefs []float64) float64 {
 // the identical arithmetic (see exactCombine). Queries outside the
 // eligible shape delegate to EvaluateDAAT wholesale.
 func EvaluateMaxScore(n *Node, src StreamSource, topK int) ([]Result, error) {
+	return EvaluateMaxScoreFloor(n, src, topK, 0)
+}
+
+// EvaluateMaxScoreFloor is EvaluateMaxScore with an externally supplied
+// score floor. A floor > 0 acts as an initial pruning threshold active
+// even before the heap fills: documents whose score bound sits below it
+// are discarded immediately. The scatter-gather coordinator seeds late
+// shards with the running merged k-th score — exact-safe because that
+// threshold only rises, so any document pruned here scores strictly
+// below the final global k-th and cannot appear in the merged top-k.
+// The heap may come back underfull; callers merging across shards
+// expect that.
+func EvaluateMaxScoreFloor(n *Node, src StreamSource, topK int, floor float64) ([]Result, error) {
 	if !maxScoreEligible(n, topK) {
 		return EvaluateDAAT(n, src, topK)
 	}
@@ -169,7 +182,7 @@ func EvaluateMaxScore(n *Node, src StreamSource, topK int) ([]Result, error) {
 		if ok {
 			t.pi = &peekIter{it: it}
 			t.pi.advance()
-			t.df = it.DF()
+			t.df = termDF(src, c.Term, it.DF())
 		}
 		t.wn = 1 / wTotal
 		if n.Op == OpWSum {
@@ -210,29 +223,46 @@ func EvaluateMaxScore(n *Node, src StreamSource, topK int) ([]Result, error) {
 		prefix[i+1] = prefix[i] + t.sigma
 	}
 
+	// threshold returns the active pruning threshold: the heap's k-th
+	// score once full, never below the caller's floor. -Inf disables
+	// pruning entirely (no floor, heap not yet full).
 	h := &resultHeap{}
 	heap.Init(h)
+	threshold := func() float64 {
+		theta := math.Inf(-1)
+		if floor > 0 {
+			theta = floor
+		}
+		if h.Len() >= topK && (*h)[0].Score > theta {
+			theta = (*h)[0].Score
+		}
+		return theta
+	}
 	nonEss := 0
 	updatePartition := func() {
-		if h.Len() < topK {
+		theta := threshold()
+		if math.IsInf(theta, -1) {
 			nonEss = 0
 			return
 		}
-		theta := (*h)[0].Score
 		p := 0
 		for p < len(order) && DefaultBelief+prefix[p+1]+slack < theta {
 			p++
 		}
 		if p == len(order) {
-			// Unreachable — the threshold is an achieved score, so it
-			// cannot exceed the sum of every term's bound — but a full
-			// non-essential set would end candidate generation, so
-			// guard it.
+			// With a heap-derived threshold this is unreachable (the
+			// threshold is an achieved score, so it cannot exceed the
+			// sum of every term's bound). A caller floor can exceed it
+			// — no shard document can make the global top-k — but a
+			// full non-essential set would end candidate generation,
+			// so keep one essential term; the bound check prunes every
+			// candidate it proposes.
 			p = len(order) - 1
 		}
 		nonEss = p
 	}
 
+	updatePartition() // a floor may demote terms before any result lands
 	beliefs := make([]float64, len(terms))
 	for {
 		// Candidates come from essential terms only: a document seen by
@@ -249,10 +279,7 @@ func EvaluateMaxScore(n *Node, src StreamSource, topK int) ([]Result, error) {
 		}
 		doc := uint32(candidate)
 
-		theta := math.Inf(-1)
-		if h.Len() >= topK {
-			theta = (*h)[0].Score
-		}
+		theta := threshold()
 		// Refine the score bound: actual increments from essential terms
 		// sitting on doc, optimistic sigma for unresolved non-essential
 		// terms, resolved one at a time (largest bound first) with early

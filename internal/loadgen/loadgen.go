@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -96,6 +97,11 @@ type Report struct {
 	// ClientShed counts open-loop arrivals dropped client-side because
 	// Concurrency requests were already outstanding.
 	ClientShed int `json:"client_shed,omitempty"`
+	// RetriedAfterShed counts closed-loop requests re-issued after a
+	// 429 whose Retry-After backoff the worker honored (with seeded
+	// jitter). Only the closed loop retries: an open loop must keep its
+	// arrival schedule or it would hide overload.
+	RetriedAfterShed int `json:"retried_after_shed,omitempty"`
 	// Errors counts transport failures (no HTTP status at all).
 	Errors int `json:"errors"`
 }
@@ -107,12 +113,13 @@ type wireReply struct {
 
 // collector accumulates per-request observations across workers.
 type collector struct {
-	mu         sync.Mutex
-	latencies  []float64 // milliseconds
-	status     map[int]int
-	outcomes   map[string]int
-	errors     int
-	clientShed int
+	mu               sync.Mutex
+	latencies        []float64 // milliseconds
+	status           map[int]int
+	outcomes         map[string]int
+	errors           int
+	clientShed       int
+	retriedAfterShed int
 }
 
 func (c *collector) observe(status int, outcome core.Outcome, d time.Duration, err error) {
@@ -212,12 +219,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	url := cfg.Target + "/v1/search"
 	col := &collector{status: make(map[int]int), outcomes: make(map[string]int)}
 
-	shoot := func(body []byte) {
+	// shoot posts one request and reports the status plus the parsed
+	// Retry-After budget (negative when the header is absent), so the
+	// closed loop can honor server-directed backoff.
+	shoot := func(body []byte) (status int, retryAfter time.Duration) {
 		start := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			col.observe(0, "", 0, err)
-			return
+			return 0, -1
 		}
 		var wr wireReply
 		data, err := io.ReadAll(resp.Body)
@@ -228,12 +238,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			_ = json.Unmarshal(data, &wr)
 		}
 		col.observe(resp.StatusCode, wr.Outcome, time.Since(start), nil)
+		retryAfter = -1
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return resp.StatusCode, retryAfter
 	}
 
 	start := time.Now()
 	switch cfg.Discipline {
 	case Closed:
-		runClosed(ctx, cfg, bodies, shoot)
+		runClosed(ctx, cfg, bodies, shoot, col)
 	case Open:
 		runOpen(ctx, cfg, bodies, shoot, col)
 	default:
@@ -244,8 +261,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // runClosed runs the fixed worker pool until the context expires or
-// the request budget is spent.
-func runClosed(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]byte)) {
+// the request budget is spent. A worker whose request was shed (429
+// with a Retry-After budget) honors the backoff — sleeping the
+// server's requested interval scaled by seeded jitter in [0.5, 1.0)
+// to avoid a synchronized retry stampede — and then re-issues the same
+// request once, counted in the report as retried_after_shed.
+func runClosed(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]byte) (int, time.Duration), col *collector) {
 	var (
 		wg     sync.WaitGroup
 		mu     sync.Mutex
@@ -270,7 +291,21 @@ func runClosed(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]by
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(bodies)-1))
 			for ctx.Err() == nil && budget() {
-				shoot(bodies[zipf.Uint64()])
+				body := bodies[zipf.Uint64()]
+				status, retryAfter := shoot(body)
+				if status != http.StatusTooManyRequests || retryAfter < 0 {
+					continue
+				}
+				backoff := time.Duration((0.5 + 0.5*rng.Float64()) * float64(retryAfter))
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(backoff):
+				}
+				col.mu.Lock()
+				col.retriedAfterShed++
+				col.mu.Unlock()
+				shoot(body)
 			}
 		}(w)
 	}
@@ -279,7 +314,7 @@ func runClosed(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]by
 
 // runOpen fires requests on a Poisson arrival schedule at cfg.QPS,
 // each on its own goroutine, capped at cfg.Concurrency outstanding.
-func runOpen(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]byte), col *collector) {
+func runOpen(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]byte) (int, time.Duration), col *collector) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(bodies)-1))
 	sem := make(chan struct{}, cfg.Concurrency)
@@ -319,16 +354,17 @@ func (c *collector) report(d Discipline, elapsed time.Duration) *Report {
 	defer c.mu.Unlock()
 	sort.Float64s(c.latencies)
 	r := &Report{
-		Discipline: d,
-		Requests:   len(c.latencies),
-		Seconds:    elapsed.Seconds(),
-		Status:     c.status,
-		Outcomes:   c.outcomes,
-		ClientShed: c.clientShed,
-		Errors:     c.errors,
-		P50ms:      pct(c.latencies, 0.50),
-		P95ms:      pct(c.latencies, 0.95),
-		P99ms:      pct(c.latencies, 0.99),
+		Discipline:       d,
+		Requests:         len(c.latencies),
+		Seconds:          elapsed.Seconds(),
+		Status:           c.status,
+		Outcomes:         c.outcomes,
+		ClientShed:       c.clientShed,
+		RetriedAfterShed: c.retriedAfterShed,
+		Errors:           c.errors,
+		P50ms:            pct(c.latencies, 0.50),
+		P95ms:            pct(c.latencies, 0.95),
+		P99ms:            pct(c.latencies, 0.99),
 	}
 	if n := len(c.latencies); n > 0 {
 		r.MaxMs = c.latencies[n-1]

@@ -115,6 +115,40 @@ func TestShedRateCounted(t *testing.T) {
 	}
 }
 
+// TestClosedLoopHonorsRetryAfter: a shed response carrying Retry-After
+// makes the closed-loop worker back off (seeded jitter) and re-issue
+// the request once, counted as retried_after_shed. The stub advertises
+// a zero-second budget so the test runs at full speed.
+func TestClosedLoopHonorsRetryAfter(t *testing.T) {
+	var total atomic.Int64
+	h := http.NewServeMux()
+	h.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		total.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(429)
+		json.NewEncoder(w).Encode(map[string]any{"outcome": "shed"})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		Target: ts.URL, Queries: []string{"a"}, Requests: 20, Seed: 3, Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RetriedAfterShed != 20 {
+		t.Fatalf("retried_after_shed = %d, want 20", rep.RetriedAfterShed)
+	}
+	// Each budgeted request plus its one honored retry reached the
+	// server; retries do not consume the request budget.
+	if got := total.Load(); got != 40 {
+		t.Fatalf("server saw %d requests, want 40", got)
+	}
+	if rep.Requests != 40 {
+		t.Fatalf("report requests = %d, want 40 observed", rep.Requests)
+	}
+}
+
 // TestOpenLoopClientShed: with a slow server, a 1-outstanding cap, and
 // arrivals much faster than service, the open loop must drop arrivals
 // client-side rather than stacking unbounded goroutines.

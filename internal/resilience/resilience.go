@@ -35,4 +35,9 @@ var (
 	// ErrBreakerOpen reports that a circuit breaker is open and the
 	// protected resource was not touched.
 	ErrBreakerOpen = errors.New("resilience: circuit open")
+
+	// ErrNoQuorum reports that a scatter-gather request lost too many
+	// shards to satisfy its quorum policy; any results assembled before
+	// the loss are discarded rather than served as a silent partial.
+	ErrNoQuorum = errors.New("resilience: quorum lost")
 )

@@ -8,14 +8,17 @@
 //
 // Status taxonomy (asserted by the handler test suite):
 //
-//	200 — complete ranking (outcome "ok"), or a partial ranking with
+//	200 — complete ranking (outcome "ok"), a partial ranking with
 //	      outcome "degraded" (corrupt records skipped; the flag and the
-//	      damage tally are in the body)
+//	      damage tally are in the body), or a sharded partial with
+//	      outcome "partial" (quorum met with shards missing; the
+//	      "coverage" block says exactly which and why)
 //	400 — query failed to parse (inference.ParseError), or the request
 //	      body itself is malformed
 //	404 — unknown index name
 //	429 — shed by admission control (outcome "shed"; Retry-After: 1)
-//	503 — a circuit breaker is open, or the server is draining
+//	503 — a circuit breaker is open, a sharded index lost quorum
+//	      (resilience.ErrNoQuorum), or the server is draining
 //	504 — deadline exceeded (outcome "deadline"; the body carries the
 //	      partial ranking, labelled, never passed off as complete)
 //	500 — any other hard failure (storage corruption on a strict
@@ -77,6 +80,7 @@ type Index interface {
 	Metrics() *obs.Registry
 	Snapshot() core.Snapshot
 	NumDocs() int
+	Health() core.Health
 }
 
 // Server routes the inqueryd endpoints over a set of named indexes.
@@ -179,7 +183,7 @@ func (s *Server) applyDefaults(req core.Request) core.Request {
 // StatusFor maps a finished request onto the HTTP status taxonomy.
 func StatusFor(outcome core.Outcome, err error) int {
 	switch outcome {
-	case core.OutcomeOK, core.OutcomeDegraded:
+	case core.OutcomeOK, core.OutcomeDegraded, core.OutcomePartial:
 		return http.StatusOK
 	case core.OutcomeShed:
 		return http.StatusTooManyRequests
@@ -191,6 +195,8 @@ func StatusFor(outcome core.Outcome, err error) int {
 	case errors.As(err, &pe):
 		return http.StatusBadRequest
 	case errors.Is(err, resilience.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, resilience.ErrNoQuorum):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -355,20 +361,42 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// healthzReply is the GET /healthz response body.
+// healthzReply is the GET /healthz response body: the overall status
+// ("ok", "draining", or "unhealthy") plus each index's serving fitness
+// — document count, whether it can answer queries right now, and its
+// per-pool (or per-shard) breaker states.
 type healthzReply struct {
-	Status  string         `json:"status"`
-	Indexes map[string]int `json:"indexes"` // index → document count
+	Status  string                 `json:"status"`
+	Indexes map[string]int         `json:"indexes"` // index → document count
+	Health  map[string]core.Health `json:"health"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	docs := make(map[string]int, len(s.names))
+	reply := healthzReply{
+		Indexes: make(map[string]int, len(s.names)),
+		Health:  make(map[string]core.Health, len(s.names)),
+	}
+	anyServing := false
 	for _, n := range s.names {
-		docs[n] = s.engines[n].NumDocs()
+		h := s.engines[n].Health()
+		reply.Indexes[n] = h.Docs
+		reply.Health[n] = h
+		if h.Serving {
+			anyServing = true
+		}
 	}
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, healthzReply{Status: "draining", Indexes: docs})
-		return
+	switch {
+	case s.draining.Load():
+		reply.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, reply)
+	case !anyServing:
+		// No index can answer anything — open breakers everywhere (or
+		// quorum unreachable on every sharded index). Load balancers
+		// should stop routing here until something heals.
+		reply.Status = "unhealthy"
+		writeJSON(w, http.StatusServiceUnavailable, reply)
+	default:
+		reply.Status = "ok"
+		writeJSON(w, http.StatusOK, reply)
 	}
-	writeJSON(w, http.StatusOK, healthzReply{Status: "ok", Indexes: docs})
 }

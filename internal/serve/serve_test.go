@@ -392,9 +392,10 @@ func TestStatusTaxonomy(t *testing.T) {
 // response states (a full admission gate, an open breaker) that need
 // engine-internal timing to produce with a real engine.
 type stubIndex struct {
-	resp core.Response
-	err  error
-	reg  *obs.Registry
+	resp   core.Response
+	err    error
+	reg    *obs.Registry
+	health core.Health
 }
 
 func (s *stubIndex) Run(context.Context, core.Request) (core.Response, error) { return s.resp, s.err }
@@ -404,6 +405,7 @@ func (s *stubIndex) Explain(string, uint32) (*inference.Explanation, error) {
 func (s *stubIndex) Metrics() *obs.Registry  { return s.reg }
 func (s *stubIndex) Snapshot() core.Snapshot { return core.Snapshot{} }
 func (s *stubIndex) NumDocs() int            { return 0 }
+func (s *stubIndex) Health() core.Health     { return s.health }
 
 // TestOutcomeStatusMapping asserts the documented outcome → HTTP status
 // taxonomy through the real handler stack, one stub engine per outcome.
@@ -429,6 +431,14 @@ func TestOutcomeStatusMapping(t *testing.T) {
 		{"breaker-open",
 			core.Response{Outcome: core.OutcomeError},
 			fmt.Errorf("core: fetch: %w", resilience.ErrBreakerOpen), 503, ""},
+		{"sharded-partial",
+			core.Response{Outcome: core.OutcomePartial,
+				Coverage: &core.Coverage{Shards: 4, Answered: 3, Failed: 1, MissingShards: []int{2}}},
+			nil, 200, ""},
+		{"no-quorum",
+			core.Response{Outcome: core.OutcomeError,
+				Coverage: &core.Coverage{Shards: 4, Answered: 1, Failed: 3}},
+			fmt.Errorf("shard: 1/4 shards answered, quorum 3: %w", resilience.ErrNoQuorum), 503, ""},
 		{"hard-error",
 			core.Response{Outcome: core.OutcomeError}, errors.New("disk on fire"), 500, ""},
 	}
@@ -454,6 +464,46 @@ func TestOutcomeStatusMapping(t *testing.T) {
 				t.Fatal("error text missing from non-ok reply")
 			}
 		})
+	}
+}
+
+// TestHealthzBreakerStates: /healthz reports each index's serving
+// fitness with breaker states, and flips to 503 "unhealthy" only when
+// no index can serve at all.
+func TestHealthzBreakerStates(t *testing.T) {
+	healthy := &stubIndex{reg: obs.NewRegistry(),
+		health: core.Health{Docs: 7, Serving: true, Breakers: map[string]string{"small": "closed"}}}
+	dead := &stubIndex{reg: obs.NewRegistry(),
+		health: core.Health{Docs: 9, Serving: false, Breakers: map[string]string{"shard0": "open", "shard1": "open"}}}
+
+	getHealthz := func(t *testing.T, srv *Server) (int, string) {
+		t.Helper()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// One dead index among healthy ones: still 200, but the dead
+	// index's breaker states are visible.
+	srv := NewIndexes(map[string]Index{"a": healthy, "b": dead}, Defaults{})
+	status, body := getHealthz(t, srv)
+	if status != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("mixed health: status %d body %s", status, body)
+	}
+	if !strings.Contains(body, `"shard0":"open"`) || !strings.Contains(body, `"serving":false`) {
+		t.Fatalf("healthz body lacks breaker detail: %s", body)
+	}
+
+	// Every index dead: 503 unhealthy.
+	srv = NewIndexes(map[string]Index{"b": dead}, Defaults{})
+	if status, body = getHealthz(t, srv); status != 503 || !strings.Contains(body, "unhealthy") {
+		t.Fatalf("all dead: status %d body %s", status, body)
 	}
 }
 

@@ -1,0 +1,632 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/mneme"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/vfs"
+)
+
+// Policy is a quorum policy: how many shards must answer before a
+// sharded response counts as servable.
+type Policy struct {
+	kind policyKind
+	k    int
+}
+
+type policyKind uint8
+
+const (
+	policyAll policyKind = iota
+	policyQuorum
+	policyBestEffort
+)
+
+// PolicyAll requires every shard (the zero value): losing any shard
+// fails the request with resilience.ErrNoQuorum.
+func PolicyAll() Policy { return Policy{kind: policyAll} }
+
+// PolicyQuorum requires k shards to answer.
+func PolicyQuorum(k int) Policy { return Policy{kind: policyQuorum, k: k} }
+
+// PolicyBestEffort serves whatever answered, requiring only one shard
+// — an empty index answers nothing useful, so total loss still fails.
+func PolicyBestEffort() Policy { return Policy{kind: policyBestEffort} }
+
+// ParsePolicy parses the CLI spelling: "all", "best-effort", or
+// "quorum(k)" with integer k >= 1.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "all":
+		return PolicyAll(), nil
+	case "best-effort":
+		return PolicyBestEffort(), nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(s, "quorum(%d)", &k); err == nil && k >= 1 &&
+		s == fmt.Sprintf("quorum(%d)", k) {
+		return PolicyQuorum(k), nil
+	}
+	return Policy{}, fmt.Errorf("shard: bad quorum policy %q (want all, best-effort, or quorum(k))", s)
+}
+
+// String returns the CLI spelling.
+func (p Policy) String() string {
+	switch p.kind {
+	case policyBestEffort:
+		return "best-effort"
+	case policyQuorum:
+		return fmt.Sprintf("quorum(%d)", p.k)
+	default:
+		return "all"
+	}
+}
+
+// Required is the number of answering shards the policy demands of an
+// n-shard index, clamped to [1, n].
+func (p Policy) Required(n int) int {
+	switch p.kind {
+	case policyBestEffort:
+		return 1
+	case policyQuorum:
+		if p.k < 1 {
+			return 1
+		}
+		if p.k > n {
+			return n
+		}
+		return p.k
+	default:
+		return n
+	}
+}
+
+// Config tunes the coordinator. The zero value is serviceable: policy
+// "all", default breaker, no retry, hedging derived from the per-shard
+// p95.
+type Config struct {
+	// Policy is the quorum policy (see ParsePolicy).
+	Policy Policy
+	// RetryAttempts is the per-shard sub-query budget on hard errors:
+	// total attempts, so values below 2 disable retry. Parse errors
+	// are never retried.
+	RetryAttempts int
+	// Breaker is the per-shard circuit breaker policy. A zero
+	// FailureThreshold selects resilience.DefaultBreakerPolicy. Every
+	// shard always gets a breaker: fault isolation is not optional
+	// here.
+	Breaker resilience.BreakerPolicy
+	// DeadlineFraction is the fraction of the request deadline granted
+	// to each shard sub-query, reserving the rest for the merge.
+	// Zero selects 0.9.
+	DeadlineFraction float64
+	// HedgeAfter, when positive, is a fixed straggler delay after
+	// which a backup sub-query is fired at the same shard. Zero
+	// derives the delay from the shard's observed p95 latency
+	// (HedgeFactor × p95, clamped to [HedgeMin, HedgeMax]), once
+	// enough samples exist.
+	HedgeAfter time.Duration
+	// HedgeFactor defaults to 3; HedgeMin to 2ms; HedgeMax to 250ms.
+	HedgeFactor float64
+	HedgeMin    time.Duration
+	HedgeMax    time.Duration
+	// DisableHedge turns hedged reads off entirely.
+	DisableHedge bool
+}
+
+// latWindow is a fixed-size ring of recent sub-query latencies, the
+// input to the p95-derived hedge delay.
+type latWindow struct {
+	mu      sync.Mutex
+	samples [64]time.Duration
+	n       int // total observed
+}
+
+// hedgeMinSamples is how many latency samples a shard needs before a
+// p95-derived hedge delay is trusted.
+const hedgeMinSamples = 8
+
+func (w *latWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.n%len(w.samples)] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// p95 returns the window's 95th-percentile latency, or 0 when fewer
+// than hedgeMinSamples samples exist.
+func (w *latWindow) p95() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < hedgeMinSamples {
+		return 0
+	}
+	m := w.n
+	if m > len(w.samples) {
+		m = len(w.samples)
+	}
+	buf := make([]time.Duration, m)
+	copy(buf, w.samples[:m])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(m*95+99)/100-1]
+}
+
+// shardTally is one shard's cumulative outcome counters.
+type shardTally struct {
+	answered atomic.Int64
+	degraded atomic.Int64
+	failed   atomic.Int64
+	shed     atomic.Int64
+}
+
+// Index is the scatter-gather coordinator over a sharded collection's
+// engines. It implements the serving layer's Index interface, so
+// inqueryd serves a sharded index exactly as it serves a single
+// engine. Fault isolation per shard: a circuit breaker (open breaker
+// = shard skipped without touching it), a retry budget for hard
+// errors, a deadline slice, and hedged duplicate reads for
+// stragglers. The quorum policy decides whether a response missing
+// shards is served as a typed partial (OutcomePartial + Coverage) or
+// failed with resilience.ErrNoQuorum.
+type Index struct {
+	name     string
+	engines  []*core.Engine
+	cfg      Config
+	required int
+	breakers []*resilience.Breaker
+	lat      []*latWindow
+	tally    []shardTally
+
+	// testAttemptHook, when set (in-package tests only), runs at the
+	// start of every attempt goroutine; it lets a test stall a primary
+	// attempt so the hedged backup deterministically wins the race.
+	testAttemptHook func(ctx context.Context, shard int, hedge bool)
+
+	reg       *obs.Registry
+	searches  *obs.Counter
+	partials  *obs.Counter
+	noQuorums *obs.Counter
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	shardFail *obs.Counter
+}
+
+// NewIndex builds the coordinator over an opened shard-engine set
+// (see OpenEngines).
+func NewIndex(name string, engines []*core.Engine, cfg Config) (*Index, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("shard: no shard engines")
+	}
+	if cfg.Breaker.FailureThreshold < 1 {
+		cfg.Breaker = resilience.DefaultBreakerPolicy()
+	}
+	if cfg.DeadlineFraction <= 0 || cfg.DeadlineFraction > 1 {
+		cfg.DeadlineFraction = 0.9
+	}
+	if cfg.HedgeFactor <= 0 {
+		cfg.HedgeFactor = 3
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = 2 * time.Millisecond
+	}
+	if cfg.HedgeMax <= 0 {
+		cfg.HedgeMax = 250 * time.Millisecond
+	}
+	x := &Index{
+		name:     name,
+		engines:  engines,
+		cfg:      cfg,
+		required: cfg.Policy.Required(len(engines)),
+		breakers: make([]*resilience.Breaker, len(engines)),
+		lat:      make([]*latWindow, len(engines)),
+		tally:    make([]shardTally, len(engines)),
+		reg:      obs.NewRegistry(),
+	}
+	for i := range x.breakers {
+		x.breakers[i] = resilience.NewBreaker(cfg.Breaker)
+		x.lat[i] = &latWindow{}
+	}
+	x.searches = x.reg.Counter("shard_searches_total")
+	x.partials = x.reg.Counter("shard_partial_total")
+	x.noQuorums = x.reg.Counter("shard_no_quorum_total")
+	x.hedges = x.reg.Counter("shard_hedged_total")
+	x.hedgeWins = x.reg.Counter("shard_hedge_wins_total")
+	x.shardFail = x.reg.Counter("shard_failures_total")
+	return x, nil
+}
+
+// Shards returns the shard count.
+func (x *Index) Shards() int { return len(x.engines) }
+
+// Engines exposes the underlying shard engines (tests, fault
+// injection).
+func (x *Index) Engines() []*core.Engine { return x.engines }
+
+// Breaker exposes shard i's circuit breaker (tests, observability).
+func (x *Index) Breaker(i int) *resilience.Breaker { return x.breakers[i] }
+
+// NumDocs is the whole collection's document count (every shard
+// engine reports the shared global statistic).
+func (x *Index) NumDocs() int { return x.engines[0].NumDocs() }
+
+// Metrics returns the coordinator's registry.
+func (x *Index) Metrics() *obs.Registry { return x.reg }
+
+// shardResult is one shard's resolved contribution to a request.
+type shardResult struct {
+	shard       int
+	resp        core.Response
+	err         error
+	breakerOpen bool
+	hedged      bool // a backup sub-query was fired
+	hedgeWin    bool // ... and it answered first
+}
+
+// hedgeDelay computes shard i's current straggler delay; 0 disables
+// hedging for this request.
+func (x *Index) hedgeDelay(i int) time.Duration {
+	if x.cfg.DisableHedge {
+		return 0
+	}
+	if x.cfg.HedgeAfter > 0 {
+		return x.cfg.HedgeAfter
+	}
+	p95 := x.lat[i].p95()
+	if p95 <= 0 {
+		return 0
+	}
+	d := time.Duration(float64(p95) * x.cfg.HedgeFactor)
+	if d < x.cfg.HedgeMin {
+		d = x.cfg.HedgeMin
+	}
+	if d > x.cfg.HedgeMax {
+		d = x.cfg.HedgeMax
+	}
+	return d
+}
+
+// attempt runs one (possibly retried) sub-query against shard i. The
+// score floor is re-read per attempt so retries and hedges dispatched
+// after other shards answered prune against the running merged
+// threshold.
+func (x *Index) attempt(ctx context.Context, i int, req core.Request, slice time.Duration, floor func() float64) (core.Response, error) {
+	attempts := x.cfg.RetryAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sub := req
+	sub.Deadline = slice
+	var resp core.Response
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 && ctx.Err() != nil {
+			break
+		}
+		sub.MinScore = req.MinScore
+		if f := floor(); f > sub.MinScore {
+			sub.MinScore = f
+		}
+		resp, err = x.engines[i].Run(ctx, sub)
+		if err == nil || resp.Outcome != core.OutcomeError {
+			return resp, err
+		}
+		var pe *inference.ParseError
+		if errors.As(err, &pe) {
+			return resp, err // not transient; same on every retry
+		}
+	}
+	return resp, err
+}
+
+// runShard resolves shard i: breaker admission, the primary attempt,
+// and — if the straggler delay fires first — a hedged backup racing
+// it. The loser is cancelled and awaited, so no evaluation outlives
+// this call.
+func (x *Index) runShard(ctx context.Context, i int, req core.Request, slice time.Duration, floor func() float64) shardResult {
+	br := x.breakers[i]
+	if err := br.Allow(); err != nil {
+		return shardResult{shard: i, err: fmt.Errorf("shard %d: %w", i, err), breakerOpen: true}
+	}
+
+	type attemptOut struct {
+		resp  core.Response
+		err   error
+		hedge bool
+		start time.Time
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make(chan attemptOut, 2)
+	var awg sync.WaitGroup
+	launch := func(hedge bool) {
+		awg.Add(1)
+		go func() {
+			defer awg.Done()
+			start := time.Now()
+			if h := x.testAttemptHook; h != nil {
+				h(actx, i, hedge)
+			}
+			resp, err := x.attempt(actx, i, req, slice, floor)
+			out <- attemptOut{resp: resp, err: err, hedge: hedge, start: start}
+		}()
+	}
+	launch(false)
+
+	var timerC <-chan time.Time
+	if d := x.hedgeDelay(i); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timerC = t.C
+	}
+	hedged := false
+	for {
+		select {
+		case r := <-out:
+			cancel()
+			awg.Wait() // the losing attempt must not outlive the request
+			x.lat[i].observe(time.Since(r.start))
+			// The breaker watches for hard storage failures. Shed and
+			// deadline outcomes are not the shard's storage acting up —
+			// and an admitted half-open probe must always be observed
+			// or the breaker wedges — so they count as successes.
+			br.Observe(r.err == nil || r.resp.Outcome != core.OutcomeError)
+			return shardResult{
+				shard: i, resp: r.resp, err: r.err,
+				hedged: hedged, hedgeWin: hedged && r.hedge,
+			}
+		case <-timerC:
+			timerC = nil
+			hedged = true
+			launch(true)
+		}
+	}
+}
+
+// Run fans the request out to every shard, merges the per-shard top-k
+// rankings (remapping local→global document ids), propagates the
+// merged k-th score to late sub-queries as a MaxScore floor, and
+// resolves the outcome against the quorum policy. Every shard
+// goroutine is awaited before Run returns — a cancelled request leaks
+// nothing. See core.Coverage for the partial-result accounting.
+func (x *Index) Run(ctx context.Context, req core.Request) (core.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	x.searches.Add(1)
+	n := len(x.engines)
+
+	// The whole-request deadline lives here; each shard sub-query gets
+	// a slice of it, reserving the remainder for the merge.
+	reqCtx, cancel := context.WithCancel(ctx)
+	if req.Deadline > 0 {
+		reqCtx, cancel = context.WithTimeout(ctx, req.Deadline)
+	}
+	defer cancel()
+	var slice time.Duration
+	if req.Deadline > 0 {
+		slice = time.Duration(float64(req.Deadline) * x.cfg.DeadlineFraction)
+	}
+
+	// floorBits carries the running merged k-th score to sub-queries
+	// dispatched after earlier shards answered (retries, hedges).
+	var floorBits atomic.Uint64
+	floor := func() float64 { return math.Float64frombits(floorBits.Load()) }
+
+	results := make(chan shardResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- x.runShard(reqCtx, i, req, slice, floor)
+		}(i)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	var (
+		merged     []core.Result
+		counters   core.Counters
+		cov        core.Coverage
+		degraded   bool
+		quorumLost bool
+		firstErr   error
+	)
+	cov.Shards = n
+	answeredSet := make([]bool, n)
+	for r := range results {
+		if r.hedged {
+			cov.Hedged++
+			x.hedges.Add(1)
+		}
+		if r.hedgeWin {
+			cov.HedgeWins++
+			x.hedgeWins.Add(1)
+		}
+		switch {
+		case r.breakerOpen:
+			cov.BreakerOpen++
+		case quorumLost && r.err != nil:
+			// Casualties of the fail-fast cancellation below: their
+			// deadline-ish errors are our own doing, not an answer.
+			cov.Failed++
+		case r.err == nil || errors.Is(r.err, resilience.ErrDeadline):
+			// Answered — possibly with a partial shard ranking (the
+			// deadline slice fired); partial shard answers still merge
+			// and count toward quorum, flagged as degraded coverage.
+			answeredSet[r.shard] = true
+			cov.Answered++
+			x.tally[r.shard].answered.Add(1)
+			if r.resp.Outcome != core.OutcomeOK {
+				cov.Degraded++
+				degraded = true
+				x.tally[r.shard].degraded.Add(1)
+			}
+			counters = counters.Add(r.resp.Counters)
+			for _, res := range r.resp.Results {
+				merged = append(merged, core.Result{Doc: GlobalDoc(res.Doc, r.shard, n), Score: res.Score})
+			}
+			sortResults(merged)
+			if req.TopK > 0 && len(merged) > req.TopK {
+				merged = merged[:req.TopK]
+			}
+			if req.TopK > 0 && len(merged) == req.TopK {
+				floorBits.Store(math.Float64bits(merged[len(merged)-1].Score))
+			}
+		case errors.Is(r.err, resilience.ErrShed):
+			cov.Shed++
+			x.tally[r.shard].shed.Add(1)
+		default:
+			cov.Failed++
+			x.tally[r.shard].failed.Add(1)
+			x.shardFail.Add(1)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+		if !quorumLost && n-(cov.Failed+cov.Shed+cov.BreakerOpen) < x.required {
+			// Too many shards already lost for the policy: stop the
+			// survivors early. The drain above keeps running until the
+			// channel closes, so everything is still awaited.
+			quorumLost = true
+			cancel()
+		}
+	}
+
+	for i, ok := range answeredSet {
+		if !ok {
+			cov.MissingShards = append(cov.MissingShards, i)
+		}
+	}
+	resp := core.Response{Results: merged, Counters: counters, Coverage: &cov}
+	switch {
+	case cov.Answered < x.required:
+		x.noQuorums.Add(1)
+		resp.Outcome = core.OutcomeError
+		err := fmt.Errorf("shard: %d/%d shards answered, quorum %d: %w",
+			cov.Answered, n, x.required, resilience.ErrNoQuorum)
+		if firstErr != nil {
+			err = fmt.Errorf("%w (first shard failure: %w)", err, firstErr)
+		}
+		return resp, err
+	case reqCtx.Err() != nil && !quorumLost:
+		// The whole-request deadline (or the caller's context) fired.
+		// Quorum was still met, so the merged partial ranking is
+		// served, labelled.
+		resp.Outcome = core.OutcomeDeadline
+		return resp, fmt.Errorf("shard: request cut short: %w", resilience.ErrDeadline)
+	case cov.Answered < n:
+		x.partials.Add(1)
+		resp.Outcome = core.OutcomePartial
+		return resp, nil
+	case degraded:
+		resp.Outcome = core.OutcomeDegraded
+		return resp, nil
+	default:
+		resp.Outcome = core.OutcomeOK
+		return resp, nil
+	}
+}
+
+// sortResults orders a merged ranking the way every evaluator does:
+// score descending, then document ascending. The local→global mapping
+// is strictly monotone per shard, so this reproduces the unsharded
+// tie order.
+func sortResults(rs []core.Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Doc < rs[j].Doc
+	})
+}
+
+// Explain routes a global document id to its shard and explains the
+// query there. Shard engines score with global statistics, so the
+// explanation matches the unsharded one.
+func (x *Index) Explain(query string, doc uint32) (*inference.Explanation, error) {
+	n := len(x.engines)
+	sh := ShardOf(doc, n)
+	local := LocalDoc(doc, n)
+	if int(local) >= x.engines[sh].LocalDocs() {
+		return nil, fmt.Errorf("shard: document %d out of range", doc)
+	}
+	return x.engines[sh].Explain(query, local)
+}
+
+// Health reports serving fitness: the index can serve while the
+// non-open breakers still leave quorum reachable.
+func (x *Index) Health() core.Health {
+	h := core.Health{Docs: x.NumDocs(), Breakers: make(map[string]string, len(x.breakers))}
+	available := 0
+	for i, b := range x.breakers {
+		st := b.State()
+		h.Breakers[fmt.Sprintf("shard%d", i)] = st.String()
+		if st != resilience.Open {
+			available++
+		}
+	}
+	h.Serving = available >= x.required
+	return h
+}
+
+// Snapshot aggregates the shard engines' snapshots — counters, I/O
+// (deduplicated when shards share one file system), and buffer pools
+// (prefixed "s<i>/") — plus the coordinator's own sharding block.
+func (x *Index) Snapshot() core.Snapshot {
+	s := core.Snapshot{
+		Backend: x.engines[0].Kind().String() + " (sharded)",
+		Metrics: x.reg.Snapshot(),
+	}
+	seenFS := map[*vfs.FS]bool{}
+	for i, e := range x.engines {
+		es := e.Snapshot()
+		s.Counters = s.Counters.Add(es.Counters)
+		if fs := e.FS(); !seenFS[fs] {
+			seenFS[fs] = true
+			s.IO = s.IO.Add(es.IO)
+		}
+		for pool, bs := range es.Buffers {
+			if s.Buffers == nil {
+				s.Buffers = make(map[string]mneme.BufferStats)
+			}
+			s.Buffers[fmt.Sprintf("s%d/%s", i, pool)] = bs
+		}
+	}
+	s.CorruptRecords = s.Counters.CorruptRecords
+	sh := &core.ShardingStats{
+		Shards:    len(x.engines),
+		Quorum:    x.required,
+		Policy:    x.cfg.Policy.String(),
+		Partial:   x.partials.Value(),
+		NoQuorum:  x.noQuorums.Value(),
+		Hedged:    x.hedges.Value(),
+		HedgeWins: x.hedgeWins.Value(),
+	}
+	for i := range x.engines {
+		st := core.ShardStat{
+			Docs:     x.engines[i].LocalDocs(),
+			Breaker:  x.breakers[i].State().String(),
+			Answered: x.tally[i].answered.Load(),
+			Degraded: x.tally[i].degraded.Load(),
+			Failed:   x.tally[i].failed.Load(),
+			Shed:     x.tally[i].shed.Load(),
+		}
+		if p := x.lat[i].p95(); p > 0 {
+			st.P95Micros = p.Microseconds()
+		}
+		sh.PerShard = append(sh.PerShard, st)
+	}
+	s.Sharding = sh
+	return s
+}

@@ -1,0 +1,253 @@
+// Package shard implements document-partitioned sharding for a
+// collection: the document stream is split round-robin into N shards,
+// each a complete Engine over its own store, and a scatter-gather
+// coordinator (see coordinator.go) fans requests out and merges the
+// per-shard top-k heaps.
+//
+// The partition function is global-document mod N, so the local↔global
+// mapping is a pure strictly monotone bijection per shard: merging
+// per-shard rankings (score desc, then global doc asc) reproduces the
+// unsharded tie order exactly. Belief scores additionally depend on
+// collection statistics — document count, average length, per-term df
+// — which on a shard would be locally wrong; OpenEngines therefore
+// distributes the whole collection's statistics to every shard engine
+// (core.WithGlobalStats), making sharded rankings byte-identical to an
+// unsharded build for term queries in every evaluation mode.
+//
+// Fault isolation is the point of the exercise: each shard lives on
+// its own store (optionally its own FS), gets its own circuit breaker,
+// retry budget, and deadline slice, and the coordinator degrades to
+// typed partial results instead of failing the whole query when a
+// shard is lost.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/vfs"
+)
+
+// Suffix names the sidecar file that marks a file system as holding a
+// sharded collection and records the shard count.
+const Suffix = ".shards"
+
+// sidecarMagic heads the sidecar file.
+var sidecarMagic = []byte{'S', 'H', 'R', 'D', 1}
+
+// ShardName is the collection name of shard i: "<name>.s<i>". Each
+// shard carries the usual full set of index files under that name.
+func ShardName(name string, i int) string { return fmt.Sprintf("%s.s%d", name, i) }
+
+// ShardOf maps a global document id to its shard (round-robin mod n).
+func ShardOf(global uint32, n int) int { return int(global % uint32(n)) }
+
+// LocalDoc maps a global document id to its id inside its shard.
+func LocalDoc(global uint32, n int) uint32 { return global / uint32(n) }
+
+// GlobalDoc inverts the partition: the global id of shard sh's local
+// document.
+func GlobalDoc(local uint32, sh, n int) uint32 { return local*uint32(n) + uint32(sh) }
+
+// fsFor returns the file system shard i lives on. A one-element fss
+// co-locates every shard (the single-image deployment); an n-element
+// fss gives each shard its own FS, which is what per-shard fault
+// injection and true blast-radius isolation need (vfs fault plans
+// attach to a whole FS).
+func fsFor(fss []*vfs.FS, i int) *vfs.FS {
+	if len(fss) == 1 {
+		return fss[0]
+	}
+	return fss[i]
+}
+
+// validateFSS checks the fss-length contract shared by Build and
+// OpenEngines.
+func validateFSS(fss []*vfs.FS, n int) error {
+	if n < 1 {
+		return fmt.Errorf("shard: shard count %d < 1", n)
+	}
+	if len(fss) != 1 && len(fss) != n {
+		return fmt.Errorf("shard: got %d file systems for %d shards (want 1 or %d)", len(fss), n, n)
+	}
+	return nil
+}
+
+// chanDocs adapts a channel of documents to core.DocSource.
+type chanDocs struct{ ch <-chan index.Doc }
+
+func (c *chanDocs) Next() (index.Doc, bool, error) {
+	d, ok := <-c.ch
+	return d, ok, nil
+}
+
+// Build splits src round-robin into n document-partitioned shards and
+// builds each shard collection in parallel with the standard builder.
+// Source documents must arrive with dense ascending ids (the same
+// contract the builder itself enforces), which makes each shard's
+// local ids dense and ascending too. fss holds either one shared FS or
+// one FS per shard (see fsFor). A sidecar file "<name>.shards"
+// recording the shard count is written to every FS so images are
+// self-describing (see Detect).
+func Build(fss []*vfs.FS, name string, n int, src core.DocSource, opt core.BuildOptions) ([]*core.BuildStats, error) {
+	if err := validateFSS(fss, n); err != nil {
+		return nil, err
+	}
+	chans := make([]chan index.Doc, n)
+	for i := range chans {
+		chans[i] = make(chan index.Doc, 256)
+	}
+	// done stops the feeder early when any shard build fails, so it
+	// cannot block forever on a channel nobody drains.
+	done := make(chan struct{})
+	var closeDone sync.Once
+	stop := func() { closeDone.Do(func() { close(done) }) }
+
+	stats := make([]*core.BuildStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := core.Build(fsFor(fss, i), ShardName(name, i), &chanDocs{ch: chans[i]}, opt)
+			stats[i], errs[i] = st, err
+			if err != nil {
+				stop()
+			}
+		}(i)
+	}
+
+	var feedErr error
+	var next uint32
+feed:
+	for {
+		doc, ok, err := src.Next()
+		if err != nil {
+			feedErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		if doc.ID != next {
+			feedErr = fmt.Errorf("shard: document ids must be dense and ascending: got %d, want %d", doc.ID, next)
+			break
+		}
+		next++
+		routed := index.Doc{ID: LocalDoc(doc.ID, n), Text: doc.Text}
+		select {
+		case chans[ShardOf(doc.ID, n)] <- routed:
+		case <-done:
+			break feed
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	seen := map[*vfs.FS]bool{}
+	for i := 0; i < n; i++ {
+		fs := fsFor(fss, i)
+		if seen[fs] {
+			continue
+		}
+		seen[fs] = true
+		if err := writeSidecar(fs, name, n); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// writeSidecar persists the shard-count marker.
+func writeSidecar(fs *vfs.FS, name string, n int) error {
+	buf := append([]byte(nil), sidecarMagic...)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	fname := name + Suffix
+	if fs.Exists(fname) {
+		if err := fs.Remove(fname); err != nil {
+			return err
+		}
+	}
+	f, err := fs.Create(fname)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(buf, 0)
+	return err
+}
+
+// Detect reports the shard count a collection was built with, from its
+// sidecar file. ok=false means the collection is unsharded (no
+// sidecar). A present-but-corrupt sidecar is an error, not a silent
+// fallback to unsharded serving.
+func Detect(fs *vfs.FS, name string) (n int, ok bool, err error) {
+	fname := name + Suffix
+	if !fs.Exists(fname) {
+		return 0, false, nil
+	}
+	f, err := fs.Open(fname)
+	if err != nil {
+		return 0, false, err
+	}
+	buf := make([]byte, f.Size())
+	if err := vfs.ReadFull(f, buf, 0); err != nil {
+		return 0, false, err
+	}
+	if len(buf) < len(sidecarMagic) || string(buf[:len(sidecarMagic)]) != string(sidecarMagic) {
+		return 0, false, fmt.Errorf("shard: corrupt sidecar %s", fname)
+	}
+	v, read := binary.Uvarint(buf[len(sidecarMagic):])
+	if read <= 0 || v < 1 {
+		return 0, false, fmt.Errorf("shard: corrupt sidecar %s", fname)
+	}
+	return int(v), true, nil
+}
+
+// OpenEngines opens the n shard engines of a sharded collection, all
+// sharing one collection-global statistics block (document count,
+// total token count, per-term df) assembled from the shard lexicons
+// and document tables before any of them serves a query. Options are
+// applied to every shard engine.
+func OpenEngines(fss []*vfs.FS, name string, n int, kind core.BackendKind, opts ...core.Option) ([]*core.Engine, error) {
+	if err := validateFSS(fss, n); err != nil {
+		return nil, err
+	}
+	// The engines hold a pointer to g; it is filled in below, before
+	// this function returns, and never mutated afterwards.
+	g := &core.GlobalStats{DF: make(map[string]uint64)}
+	engines := make([]*core.Engine, n)
+	for i := range engines {
+		shopts := append(append([]core.Option(nil), opts...), core.WithGlobalStats(g))
+		e, err := core.Open(fsFor(fss, i), ShardName(name, i), kind, shopts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard: open shard %d: %w", i, err)
+		}
+		engines[i] = e
+	}
+	for _, e := range engines {
+		local := e.LocalDocs()
+		g.NumDocs += local
+		for d := 0; d < local; d++ {
+			g.TotalLen += int64(e.DocLen(uint32(d)))
+		}
+		e.Dictionary().Range(func(ent *lexicon.Entry) bool {
+			g.DF[ent.Term] += ent.DF
+			return true
+		})
+	}
+	return engines, nil
+}
