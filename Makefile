@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint faults fuzz soak check bench gobench serve-smoke serve-bench
+.PHONY: all build test race fmt vet lint faults fuzz soak nrt check bench gobench serve-smoke serve-bench
 
 all: check
 
@@ -49,6 +49,8 @@ fmt:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPostingsRoundTrip -fuzztime 5s ./internal/postings/
 	$(GO) test -run '^$$' -fuzz FuzzBTreeInsertLookup -fuzztime 5s ./internal/btree/
+	$(GO) test -run '^$$' -fuzz FuzzWALRoundTrip -fuzztime 5s ./internal/mneme/
+	$(GO) test -run '^$$' -fuzz FuzzMemtableIterator -fuzztime 5s ./internal/core/
 
 # Chaos soak: randomized-but-seeded fault schedules (probabilistic,
 # periodic, and transient injection) over the full query matrix on both
@@ -64,18 +66,35 @@ fuzz:
 soak:
 	SOAK_ROUNDS=1000 $(GO) test -count=1 -run TestChaosSoak ./internal/core/
 	SOAK_ROUNDS=40 $(GO) test -count=1 -run 'TestShardKillStorm|TestShardCrashFreeze' ./internal/shard/
+	SOAK_ROUNDS=8 $(GO) test -count=1 -race -run TestNRTStormIngestQueryFaults ./internal/core/
+
+# Near-real-time tier: the write-path proof suite. Differential oracle
+# (quiesced rankings byte-identical to the batch builder, mid-ingest
+# scores within 1e-9, both backends, all three evaluation modes),
+# crash-point sweep over every WAL/flush/compact write+sync ordinal
+# (old-or-new state, zero acked loss), memtable/WAL unit + fuzz
+# regression corpora, close-mid-flush goroutine-leak check, the
+# /v1/ingest endpoint, and both CLI lifecycles (inqueryd -nrt,
+# inquery-index -nrt build + WAL replay).
+nrt:
+	$(GO) test -count=1 -run 'TestNRT|TestMemtable|FuzzMemtableIterator' ./internal/core/
+	$(GO) test -count=1 -run 'TestWAL|FuzzWALRoundTrip' ./internal/mneme/
+	$(GO) test -count=1 -run TestIngestEndpoint ./internal/serve/
+	$(GO) test -count=1 -run TestServeSmokeNRT ./cmd/inqueryd/
+	$(GO) test -count=1 -run TestNRTBuildAndReplay ./cmd/inquery-index/
 
 # Serving smoke: build the real inqueryd + loadgen binaries, boot the
 # server on loopback over a self-built synthetic index, run a short
 # closed-loop burst, assert /metrics and /snapshot respond, then SIGTERM
 # and require a clean drain (exit 0) — a leaked worker or stuck
 # shutdown hangs and fails here.
-# Covers both the single-engine boot and the sharded scatter-gather
-# boot (-shards 2 -quorum 'quorum(1)').
+# Covers the single-engine boot, the sharded scatter-gather boot
+# (-shards 2 -quorum 'quorum(1)'), and the near-real-time boot (-nrt
+# with a live POST /v1/ingest made searchable on the next request).
 serve-smoke:
-	$(GO) test -count=1 -run 'TestServeSmoke|TestServeSmokeSharded' ./cmd/inqueryd/
+	$(GO) test -count=1 -run 'TestServeSmoke|TestServeSmokeSharded|TestServeSmokeNRT' ./cmd/inqueryd/
 
-check: fmt lint test faults race fuzz soak serve-smoke
+check: fmt lint test faults race fuzz soak nrt serve-smoke
 
 # Query-latency regression gate: runs the standard query mixes over both
 # backends (cmd/repro -bench) and diffs the per-stage p95 quantiles

@@ -8,6 +8,8 @@
 //	inquery-index -out index.img -name mycol -docs corpus.txt [-stem=false]
 //	inquery-index -out index.img -name Legal -synthetic Legal -scale 0.5
 //	inquery-index -out index.img -name cacm -synthetic CACM -shards 4
+//	inquery-index -out live.img -name mycol -docs corpus.txt -nrt
+//	inquery-index -out quiesced.img -in live.img -name mycol -nrt
 //
 // A document file holds one document per line; line N becomes document
 // id N (0-based). With -shards N the document stream is split
@@ -15,6 +17,14 @@
 // same image, plus a sidecar marking the shard count — inqueryd
 // detects the sidecar and serves the image through the scatter-gather
 // coordinator.
+//
+// With -nrt the batch build becomes the base segment of a near-real-
+// time collection: a manifest and an empty write-ahead log are
+// initialized inside the image so inqueryd -nrt can ingest live
+// documents on top of it. Combining -nrt with -in skips building and
+// instead replays an existing NRT image's WAL into the searchable
+// memtable, flushes and compacts it to immutable segments, and writes
+// the quiesced image to -out. NRT collections are unsharded.
 package main
 
 import (
@@ -55,11 +65,26 @@ func main() {
 	stem := flag.Bool("stem", true, "apply Porter stemming (document files only)")
 	chunk := flag.Int("chunk", 0, "store large inverted lists as linked chunks of this many bytes (0 = whole objects)")
 	shards := flag.Int("shards", 0, "split the collection round-robin into this many document-partitioned shards (0/1 = unsharded)")
+	nrt := flag.Bool("nrt", false, "initialize the image as a near-real-time collection (manifest + WAL over the batch build); with -in, replay and quiesce an existing NRT image instead")
+	in := flag.String("in", "", "existing NRT image to replay and quiesce (requires -nrt; skips building)")
+	backend := flag.String("backend", "mneme", "storage backend for NRT segment flushes: mneme or btree")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "inquery-index:", err)
 		os.Exit(1)
+	}
+	if *nrt && *shards > 1 {
+		fail(fmt.Errorf("NRT collections are unsharded; drop -shards"))
+	}
+	if *in != "" {
+		if !*nrt {
+			fail(fmt.Errorf("-in is only meaningful with -nrt (WAL replay mode)"))
+		}
+		if err := replayImage(*in, *out, *name, *backend, *stem); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize})
@@ -116,6 +141,19 @@ func main() {
 			fail(err)
 		}
 	}
+	if *nrt {
+		kind, err := core.ParseBackendKind(*backend)
+		if err != nil {
+			fail(err)
+		}
+		ne, err := core.OpenNRT(fs, *name, kind, core.NRTConfig{}, core.WithAnalyzer(an))
+		if err != nil {
+			fail(fmt.Errorf("nrt init: %w", err))
+		}
+		if err := ne.Close(); err != nil {
+			fail(err)
+		}
+	}
 	of, err := os.Create(*out)
 	if err != nil {
 		fail(err)
@@ -132,5 +170,64 @@ func main() {
 	if *shards > 1 {
 		fmt.Printf("  shards:         %d\n", *shards)
 	}
+	if *nrt {
+		fmt.Printf("  nrt:            manifest + WAL initialized (serve with inqueryd -nrt)\n")
+	}
 	fmt.Printf("  image:          %s\n", *out)
+}
+
+// replayImage opens the NRT collection inside an existing image —
+// replaying its write-ahead log into the searchable memtable — then
+// flushes and compacts so every acknowledged document sits in an
+// immutable segment, and writes the quiesced image to out.
+func replayImage(in, out, name, backend string, stem bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	fs, err := vfs.LoadImage(f, vfs.Options{})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	kind, err := core.ParseBackendKind(backend)
+	if err != nil {
+		return err
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(stem))
+	if !stem {
+		an = textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+	}
+	ne, err := core.OpenNRT(fs, name, kind, core.NRTConfig{}, core.WithAnalyzer(an))
+	if err != nil {
+		return err
+	}
+	pre := ne.Snapshot().NRT
+	if err := ne.Flush(); err != nil {
+		ne.Close()
+		return fmt.Errorf("flush: %w", err)
+	}
+	if err := ne.Compact(); err != nil {
+		ne.Close()
+		return fmt.Errorf("compact: %w", err)
+	}
+	post := ne.Snapshot().NRT
+	docs := ne.NumDocs()
+	if err := ne.Close(); err != nil {
+		return err
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := fs.DumpImage(of); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %q: %d WAL entries (%d memtable docs)\n",
+		name, pre.WalEntries, pre.MemDocs)
+	fmt.Printf("  quiesced:       %d docs, %d segment(s), generation %d\n",
+		docs, len(post.Segments), post.Gen)
+	fmt.Printf("  image:          %s\n", out)
+	return nil
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// TestNRTBuildAndReplay drives the real binary through the NRT image
+// lifecycle: build a corpus image with -nrt (base segment + manifest +
+// empty WAL), ingest live documents into it through the core API so
+// the image carries a WAL tail, replay-and-quiesce that image with
+// -nrt -in, and verify the quiesced image holds every document in
+// immutable segments with an empty WAL.
+func TestNRTBuildAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "inquery-index")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/inquery-index").CombinedOutput(); err != nil {
+		t.Fatalf("build binary: %v\n%s", err, out)
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("inquery-index %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	corpus := filepath.Join(dir, "docs.txt")
+	if err := os.WriteFile(corpus, []byte("alpha beta gamma\nbeta delta\ngamma epsilon alpha\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
+
+	liveImg := filepath.Join(dir, "live.img")
+	out := run("-out", liveImg, "-name", "col", "-docs", corpus, "-stem=false", "-nrt")
+	if !strings.Contains(out, "nrt:") || !strings.Contains(out, "3 docs") {
+		t.Fatalf("build output lacks nrt init line or doc count:\n%s", out)
+	}
+
+	// Ingest through the core API, leaving an unflushed WAL tail in the
+	// image — exactly the state a crashed or hard-stopped server leaves.
+	f, err := os.Open(liveImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := vfs.LoadImage(f, vfs.Options{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := core.OpenNRT(fs, "col", core.BackendMneme, core.NRTConfig{}, core.WithAnalyzer(an))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ne.Ingest("zeta tail document", "eta tail too"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ne.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tailImg := filepath.Join(dir, "tail.img")
+	tf, err := os.Create(tailImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.DumpImage(tf); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	quiesced := filepath.Join(dir, "quiesced.img")
+	out = run("-out", quiesced, "-in", tailImg, "-name", "col", "-stem=false", "-nrt")
+	if !strings.Contains(out, "replayed") || !strings.Contains(out, "2 WAL entries") ||
+		!strings.Contains(out, "5 docs") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+
+	// The quiesced image must reopen with nothing left in the memtable
+	// or WAL, and the tail documents must be searchable from segments.
+	qf, err := os.Open(quiesced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qfs, err := vfs.LoadImage(qf, vfs.Options{})
+	qf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := core.OpenNRT(qfs, "col", core.BackendMneme, core.NRTConfig{}, core.WithAnalyzer(an))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qe.Close()
+	if n := qe.NumDocs(); n != 5 {
+		t.Fatalf("quiesced NumDocs = %d, want 5", n)
+	}
+	snap := qe.Snapshot()
+	if snap.NRT == nil || snap.NRT.WalEntries != 0 || snap.NRT.MemDocs != 0 {
+		t.Fatalf("quiesced NRT state = %+v, want empty WAL and memtable", snap.NRT)
+	}
+	resp, err := qe.Run(nil, core.Request{Query: "tail", TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("quiesced search for ingested term: %d results, want 2", len(resp.Results))
+	}
+}

@@ -8,6 +8,7 @@
 //	inqueryd -index index.img -name mycol -backend btree
 //	inqueryd -synthetic CACM -scale 0.05            # self-built test index
 //	inqueryd -synthetic CACM -shards 4 -quorum 'quorum(3)'
+//	inqueryd -synthetic CACM -nrt                   # live ingest via POST /v1/ingest
 //
 // Indexes come from inquery-index images (-index, repeatable, as
 // "name=path" or a bare path served under -name) or are built in
@@ -20,7 +21,16 @@
 // response missing shards is served as 200 "partial" (with a coverage
 // block) or failed 503 with a quorum-lost error.
 //
-// Endpoints: POST /v1/search (single or batch), GET /v1/explain,
+// With -nrt every index opens through the near-real-time write path
+// instead of the read-only engine: any WAL left in the image is
+// replayed into the searchable memtable, POST /v1/ingest appends
+// documents that are searchable immediately, and the -nrt-flush-docs /
+// -nrt-flush-every / -nrt-compact triggers govern background flushes
+// and segment merges (visible in /snapshot under "nrt"). NRT serving
+// is single-store: it cannot be combined with sharding.
+//
+// Endpoints: POST /v1/search (single or batch), POST /v1/ingest (-nrt
+// indexes only; batch indexes answer 501), GET /v1/explain,
 // GET /metrics, GET /snapshot, GET /healthz. Statuses follow the
 // taxonomy documented in internal/serve: 200 ok/degraded/partial, 400
 // parse, 404 unknown index, 429 shed, 503 breaker open, quorum lost,
@@ -79,6 +89,10 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit query may wait for admission before being shed")
 	retries := flag.Int("retries", 1, "read attempts per storage fault-in")
 	breaker := flag.Int("breaker", 0, "consecutive-failure threshold that opens a per-pool circuit breaker (0 = disabled)")
+	nrt := flag.Bool("nrt", false, "open indexes through the near-real-time write path (WAL replay + searchable memtable) and accept POST /v1/ingest; incompatible with sharding")
+	nrtFlushDocs := flag.Int("nrt-flush-docs", 1024, "flush the NRT memtable to an immutable segment after this many ingested documents (0 = explicit/interval flushes only)")
+	nrtFlushEvery := flag.Duration("nrt-flush-every", 0, "background NRT flush-and-compact interval (0 = none)")
+	nrtCompact := flag.Int("nrt-compact", 4, "merge NRT segments once this many have accumulated (0 = never)")
 	shards := flag.Int("shards", 0, "document-partitioned shard count for -synthetic collections, each shard on its own store (0/1 = unsharded; -index images carry their own shard count)")
 	quorum := flag.String("quorum", "all", "sharded quorum policy: all, best-effort, or quorum(k)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "fixed sharded straggler delay before a hedged duplicate read (0 = derive from each shard's p95)")
@@ -97,6 +111,17 @@ func main() {
 		fail(err)
 	}
 	shardCfg := shard.Config{Policy: policy, HedgeAfter: *hedgeAfter, RetryAttempts: 2}
+	var nrtCfg *core.NRTConfig
+	if *nrt {
+		if *shards > 1 {
+			fail(errors.New("-nrt serves single-store indexes; drop -shards"))
+		}
+		nrtCfg = &core.NRTConfig{
+			FlushDocs:       *nrtFlushDocs,
+			FlushEvery:      *nrtFlushEvery,
+			CompactSegments: *nrtCompact,
+		}
+	}
 
 	engineOpts := func(an *textproc.Analyzer) []core.Option {
 		opts := []core.Option{core.WithAnalyzer(an)}
@@ -129,7 +154,10 @@ func main() {
 	}
 	defer func() {
 		for _, ix := range indexes {
-			if e, ok := ix.(*core.Engine); ok {
+			switch e := ix.(type) {
+			case *core.Engine:
+				e.Close()
+			case *core.NRTEngine:
 				e.Close()
 			}
 		}
@@ -143,7 +171,7 @@ func main() {
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			n, path = spec[:i], spec[i+1:]
 		}
-		ix, engs, err := openImage(path, n, *backend, *cache, *stem, *chunk, shardCfg, engineOpts)
+		ix, engs, err := openImage(path, n, *backend, *cache, *stem, *chunk, shardCfg, nrtCfg, engineOpts)
 		if err != nil {
 			fail(fmt.Errorf("index %s: %w", spec, err))
 		}
@@ -156,7 +184,7 @@ func main() {
 	// engines analyze without stemming or stopping — same analyzer the
 	// experiments use.
 	for _, n := range synthetics {
-		ix, engs, err := buildSynthetic(n, *scale, *shards, shardCfg, engineOpts)
+		ix, engs, err := buildSynthetic(n, *scale, *shards, shardCfg, nrtCfg, engineOpts)
 		if err != nil {
 			fail(fmt.Errorf("synthetic %s: %w", n, err))
 		}
@@ -183,6 +211,10 @@ func main() {
 		if sx, ok := ix.(*shard.Index); ok {
 			names = append(names, fmt.Sprintf("%s (%d docs, %d shards, %s)",
 				n, sx.NumDocs(), sx.Shards(), shardCfg.Policy))
+			continue
+		}
+		if ne, ok := ix.(*core.NRTEngine); ok {
+			names = append(names, fmt.Sprintf("%s (%d docs, nrt)", n, ne.NumDocs()))
 			continue
 		}
 		names = append(names, fmt.Sprintf("%s (%d docs)", n, ix.NumDocs()))
@@ -217,9 +249,12 @@ func main() {
 // mirroring inquery-search's configuration (including the Table 2
 // buffer plan derived from the stored dictionary when caching). Images
 // carrying a .shards sidecar open as a sharded coordinator; the
-// returned engine slice holds the shard engines for shutdown.
+// returned engine slice holds the shard engines for shutdown. A
+// non-nil nrtCfg opens the collection through the NRT write path
+// instead — replaying any WAL the image carries — so the served index
+// accepts /v1/ingest.
 func openImage(path, name, backend string, cache, stem bool, chunk int, shardCfg shard.Config,
-	baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, error) {
+	nrtCfg *core.NRTConfig, baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -250,8 +285,15 @@ func openImage(path, name, backend string, cache, stem bool, chunk int, shardCfg
 		opts = append(opts, core.WithPlan(planFromDictionary(fs, planName)))
 	}
 	if !sharded {
+		if nrtCfg != nil {
+			eng, err := core.OpenNRT(fs, name, kind, *nrtCfg, opts...)
+			return eng, nil, err
+		}
 		eng, err := core.Open(fs, name, kind, opts...)
 		return eng, nil, err
+	}
+	if nrtCfg != nil {
+		return nil, nil, fmt.Errorf("image is sharded (%d shards); -nrt serves single-store indexes", nShards)
 	}
 	engines, err := shard.OpenEngines([]*vfs.FS{fs}, name, nShards, kind, opts...)
 	if err != nil {
@@ -265,9 +307,10 @@ func openImage(path, name, backend string, cache, stem bool, chunk int, shardCfg
 // scale, indexes it into an in-memory file system (or, with nShards >
 // 1, round-robin into per-shard file systems behind a scatter-gather
 // coordinator), and opens Mneme engines with the collection's Table 2
-// buffer plan.
+// buffer plan. A non-nil nrtCfg wraps the built collection as the NRT
+// base segment so live documents can be ingested on top of it.
 func buildSynthetic(name string, scale float64, nShards int, shardCfg shard.Config,
-	baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, error) {
+	nrtCfg *core.NRTConfig, baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, error) {
 	col, ok := collection.ByName(name, scale)
 	if !ok {
 		return nil, nil, fmt.Errorf("unknown collection (want CACM, Legal, TIPSTER1, TIPSTER)")
@@ -279,6 +322,10 @@ func buildSynthetic(name string, scale float64, nShards int, shardCfg shard.Conf
 			return nil, nil, err
 		}
 		opts := append(baseOpts(an), core.WithPlan(planFromDictionary(fs, col.Name)))
+		if nrtCfg != nil {
+			eng, err := core.OpenNRT(fs, col.Name, core.BackendMneme, *nrtCfg, opts...)
+			return eng, nil, err
+		}
 		eng, err := core.Open(fs, col.Name, core.BackendMneme, opts...)
 		return eng, nil, err
 	}

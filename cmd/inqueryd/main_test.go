@@ -52,10 +52,12 @@ func smokeBinaries(t *testing.T) map[string]string {
 // serveSmoke boots inqueryd with the given extra flags over a
 // self-built synthetic index, asserts the serving banner contains
 // servingWant, drives a short closed-loop loadgen burst, checks
-// /healthz, /metrics and /snapshot, then SIGTERMs and requires a clean
-// drain (exit 0 with the draining/stopped lifecycle lines) — a hung
-// shutdown or leaked worker turns into a test timeout here.
-func serveSmoke(t *testing.T, extraSrvArgs []string, servingWant string) {
+// /healthz, /metrics and /snapshot, runs any extra checks against the
+// live server, then SIGTERMs and requires a clean drain (exit 0 with
+// the draining/stopped lifecycle lines) — a hung shutdown or leaked
+// worker turns into a test timeout here.
+func serveSmoke(t *testing.T, extraSrvArgs []string, servingWant string,
+	checks ...func(t *testing.T, target string)) {
 	bins := smokeBinaries(t)
 
 	args := append([]string{
@@ -138,6 +140,10 @@ func serveSmoke(t *testing.T, extraSrvArgs []string, servingWant string) {
 	get("/metrics", "http_requests_total")
 	get("/snapshot", "CACM")
 
+	for _, check := range checks {
+		check(t, target)
+	}
+
 	// Graceful shutdown: SIGTERM drains and exits 0.
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -178,4 +184,37 @@ func TestServeSmoke(t *testing.T) {
 func TestServeSmokeSharded(t *testing.T) {
 	serveSmoke(t, []string{"-shards", "2", "-quorum", "quorum(1)"},
 		"2 shards, quorum(1)")
+}
+
+// TestServeSmokeNRT boots the same lifecycle with -nrt: the synthetic
+// build becomes the NRT base segment, the banner advertises the write
+// path, and after the read burst a live ingest through POST /v1/ingest
+// must be searchable on the very next request.
+func TestServeSmokeNRT(t *testing.T) {
+	serveSmoke(t, []string{"-nrt", "-nrt-flush-docs", "16"}, "docs, nrt)",
+		func(t *testing.T, target string) {
+			post := func(path string, body string) (int, string) {
+				t.Helper()
+				resp, err := http.Post(target+path, "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					t.Fatalf("POST %s: %v", path, err)
+				}
+				defer resp.Body.Close()
+				b, _ := io.ReadAll(resp.Body)
+				return resp.StatusCode, string(b)
+			}
+			st, raw := post("/v1/ingest",
+				`{"index":"CACM","docs":["zweihander zephyrine smoke document","zephyrine alone"]}`)
+			if st != 200 || !strings.Contains(raw, `"first_id"`) {
+				t.Fatalf("ingest: status %d body %s", st, raw)
+			}
+			st, raw = post("/v1/search", `{"index":"CACM","query":"zephyrine"}`)
+			if st != 200 || !strings.Contains(raw, `"results"`) {
+				t.Fatalf("search after ingest: status %d body %s", st, raw)
+			}
+			if n := strings.Count(raw, `"doc"`); n != 2 {
+				t.Fatalf("search after ingest: want the 2 ingested docs, got %d in %s", n, raw)
+			}
+		})
 }

@@ -134,6 +134,11 @@ func runBench(lab *experiments.Lab, outPath, basePath string, fail func(error)) 
 	}
 	fmt.Printf("bench: sharded x%d beats single-shard score p95 on every matrix row\n",
 		experiments.ShardedBenchNs[len(experiments.ShardedBenchNs)-1])
+	if err := experiments.CheckNRTIngest(report); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: query p95 under ingest within %.1fx of idle on every NRT cell\n",
+		experiments.NRTIngestTolerance)
 	if basePath == "" {
 		return
 	}

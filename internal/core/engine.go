@@ -390,15 +390,21 @@ func (e *Engine) refOf(entry *lexicon.Entry) (uint64, bool) {
 // normalizeQuery parses and normalizes a query string against the
 // engine's analyzer. A nil node means the query was entirely stop words.
 func (e *Engine) normalizeQuery(query string) (*inference.Node, error) {
+	return normalizeQueryWith(e.an, query)
+}
+
+// normalizeQueryWith is normalizeQuery for callers without an Engine
+// (the NRT engine shares one analyzer across all its segments).
+func normalizeQueryWith(an *textproc.Analyzer, query string) (*inference.Node, error) {
 	n, err := inference.Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	return n.NormalizeTerms(func(t string) string {
-		if e.an.IsStopWord(t) {
+		if an.IsStopWord(t) {
 			return ""
 		}
-		return e.an.Normalize(t)
+		return an.Normalize(t)
 	}), nil
 }
 

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/postings"
+	"repro/internal/textproc"
+)
+
+// memtable holds freshly ingested postings in a cheap in-memory
+// representation — per-term slices of decoded postings in ascending
+// global doc-ID order — searchable the moment the ingest batch is
+// acknowledged. v2 block encoding cost is paid only at flush, when the
+// memtable's documents are replayed through the batch builder into an
+// immutable segment.
+//
+// Consistency model: readers capture a watermark (the first global doc
+// ID NOT visible to them) and truncate every list they look up at that
+// watermark. Appends only ever extend list tails with larger doc IDs,
+// and the slice header is captured under the lock, so a reader's
+// truncated prefix is immutable for the life of the query — queries
+// never see a half-ingested batch, and two lookups of the same term
+// within one query see identical lists.
+type memtable struct {
+	mu    sync.RWMutex
+	terms map[string]*memList
+	docs  int
+	toks  int64
+	bytes int64 // rough heap footprint, drives the flush size trigger
+}
+
+type memList struct {
+	ps    []postings.Posting
+	ctf   uint64
+	maxTF uint32
+}
+
+func newMemtable() *memtable {
+	return &memtable{terms: make(map[string]*memList)}
+}
+
+// add indexes one analyzed document under a global doc ID. Callers
+// serialize adds (the ingest lock) and must present strictly ascending
+// IDs; tokens carry ascending positions, as the analyzer emits them.
+func (m *memtable) add(doc uint32, toks []textproc.Token) {
+	type run struct {
+		term string
+		pos  []uint32
+	}
+	// Group positions per term preserving analyzer order; docs are
+	// small compared to lists, so a transient map per add is fine.
+	byTerm := make(map[string]int, len(toks))
+	runs := make([]run, 0, len(toks))
+	for _, tk := range toks {
+		i, seen := byTerm[tk.Term]
+		if !seen {
+			i = len(runs)
+			byTerm[tk.Term] = i
+			runs = append(runs, run{term: tk.Term})
+		}
+		runs[i].pos = append(runs[i].pos, tk.Pos)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range runs {
+		ml := m.terms[r.term]
+		if ml == nil {
+			ml = &memList{}
+			m.terms[r.term] = ml
+			m.bytes += int64(len(r.term)) + 48 // key + list header
+		}
+		ml.ps = append(ml.ps, postings.Posting{Doc: doc, Positions: r.pos})
+		ml.ctf += uint64(len(r.pos))
+		if tf := uint32(len(r.pos)); tf > ml.maxTF {
+			ml.maxTF = tf
+		}
+		m.bytes += 16 + 4*int64(len(r.pos))
+	}
+	m.docs++
+	m.toks += int64(len(toks))
+}
+
+// lookup returns the term's postings truncated at the watermark, plus
+// a max-TF bound valid for that prefix. The returned slice aliases the
+// memtable but is immutable: appends extend beyond the captured length
+// and never touch earlier elements.
+func (m *memtable) lookup(term string, watermark uint32) ([]postings.Posting, uint32) {
+	m.mu.RLock()
+	ml := m.terms[term]
+	var ps []postings.Posting
+	var maxTF uint32
+	if ml != nil {
+		ps, maxTF = ml.ps, ml.maxTF
+	}
+	m.mu.RUnlock()
+	if len(ps) == 0 {
+		return nil, 0
+	}
+	n := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= watermark })
+	if n == 0 {
+		return nil, 0
+	}
+	// maxTF covers the full list; it is still a sound (if loose) upper
+	// bound for any prefix, which is all MaxScore pruning needs.
+	return ps[:n], maxTF
+}
+
+// iterator opens an advancing, bounded iterator over the term's
+// watermark-truncated list; nil when the term has no visible postings.
+func (m *memtable) iterator(term string, watermark uint32) *memIter {
+	ps, maxTF := m.lookup(term, watermark)
+	if len(ps) == 0 {
+		return nil
+	}
+	return &memIter{ps: ps, maxTF: maxTF}
+}
+
+// stats returns (docs, tokens, approximate bytes) under the lock.
+func (m *memtable) stats() (int, int64, int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.docs, m.toks, m.bytes
+}
+
+// memIter streams one memtable list. It implements
+// inference.AdvancingIterator and inference.BoundedIterator, so
+// memtable tails participate in DAAT and MaxScore evaluation exactly
+// like on-disk block readers.
+type memIter struct {
+	ps    []postings.Posting
+	i     int
+	maxTF uint32
+}
+
+func (it *memIter) Next() (postings.Posting, bool) {
+	if it.i >= len(it.ps) {
+		return postings.Posting{}, false
+	}
+	p := it.ps[it.i]
+	it.i++
+	return p, true
+}
+
+// Advance binary-searches forward from the current position.
+func (it *memIter) Advance(target uint32) (postings.Posting, bool) {
+	rest := it.ps[it.i:]
+	n := sort.Search(len(rest), func(j int) bool { return rest[j].Doc >= target })
+	it.i += n
+	return it.Next()
+}
+
+func (it *memIter) DF() uint64            { return uint64(len(it.ps)) }
+func (it *memIter) MaxTF() (uint32, bool) { return it.maxTF, true }
+func (it *memIter) Err() error            { return nil }

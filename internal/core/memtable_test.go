@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/postings"
+	"repro/internal/textproc"
+)
+
+func memToks(terms ...string) []textproc.Token {
+	toks := make([]textproc.Token, len(terms))
+	for i, s := range terms {
+		toks[i] = textproc.Token{Term: s, Pos: uint32(i)}
+	}
+	return toks
+}
+
+func TestMemtableWatermarkSnapshot(t *testing.T) {
+	m := newMemtable()
+	m.add(100, memToks("apple", "banana", "apple"))
+	m.add(101, memToks("apple"))
+
+	// A reader at watermark 101 sees only doc 100, even if it looks
+	// up the term after more documents have landed.
+	ps, maxTF := m.lookup("apple", 101)
+	if len(ps) != 1 || ps[0].Doc != 100 || ps[0].TF() != 2 {
+		t.Fatalf("lookup@101 = %v", ps)
+	}
+	if maxTF < 2 {
+		t.Fatalf("maxTF bound %d below actual 2", maxTF)
+	}
+	m.add(102, memToks("apple", "apple", "apple"))
+	ps2, _ := m.lookup("apple", 101)
+	if !reflect.DeepEqual(ps, ps2) {
+		t.Fatal("watermarked view changed under concurrent append")
+	}
+	if ps3, _ := m.lookup("apple", 103); len(ps3) != 3 {
+		t.Fatalf("lookup@103 sees %d docs, want 3", len(ps3))
+	}
+	// Terms born after the reader's watermark are invisible to it.
+	m.add(103, memToks("cherry"))
+	if ps, _ := m.lookup("cherry", 103); ps != nil {
+		t.Fatalf("cherry visible below its watermark: %v", ps)
+	}
+	docs, toks, bytes := m.stats()
+	if docs != 4 || toks != 8 || bytes <= 0 {
+		t.Fatalf("stats = (%d,%d,%d)", docs, toks, bytes)
+	}
+}
+
+func TestMemtableIteratorMatchesLookup(t *testing.T) {
+	m := newMemtable()
+	for d := uint32(0); d < 50; d++ {
+		n := int(d%3) + 1
+		terms := make([]string, n)
+		for i := range terms {
+			terms[i] = fmt.Sprintf("t%d", (int(d)+i)%4)
+		}
+		m.add(d, memToks(terms...))
+	}
+	for _, w := range []uint32{0, 1, 25, 50, 99} {
+		for i := 0; i < 4; i++ {
+			term := fmt.Sprintf("t%d", i)
+			want, _ := m.lookup(term, w)
+			it := m.iterator(term, w)
+			var got []postings.Posting
+			if it != nil {
+				if it.DF() != uint64(len(want)) {
+					t.Fatalf("%s@%d: DF %d != len %d", term, w, it.DF(), len(want))
+				}
+				for {
+					p, ok := it.Next()
+					if !ok {
+						break
+					}
+					got = append(got, p)
+				}
+			}
+			if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+				t.Fatalf("%s@%d: iterator %v != lookup %v", term, w, got, want)
+			}
+		}
+	}
+}
+
+// FuzzMemtableIterator builds a memtable from fuzz-chosen ingest
+// batches and checks its iterators against a plain map oracle: Next
+// streams exactly the watermark-truncated list, Advance agrees with a
+// linear scan, and the TF bound is sound.
+func FuzzMemtableIterator(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0xFF, 1, 1, 0xFF, 4}, uint16(2))
+	f.Add([]byte{0xFF, 0xFF, 7, 7, 7, 7}, uint16(0))
+	f.Add([]byte{9, 0xFF, 9, 0xFF, 9, 0xFF, 9}, uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, wseed uint16) {
+		const base = 50 // global IDs start past an imaginary segment
+		m := newMemtable()
+		oracle := make(map[string][]postings.Posting)
+		doc := uint32(base)
+		var toks []textproc.Token
+		flush := func() {
+			if len(toks) == 0 {
+				return
+			}
+			m.add(doc, toks)
+			perTerm := make(map[string][]uint32)
+			for _, tk := range toks {
+				perTerm[tk.Term] = append(perTerm[tk.Term], tk.Pos)
+			}
+			for term, pos := range perTerm {
+				oracle[term] = append(oracle[term], postings.Posting{Doc: doc, Positions: pos})
+			}
+			doc++
+			toks = nil
+		}
+		for _, b := range data {
+			if b == 0xFF {
+				flush()
+				continue
+			}
+			if len(toks) >= 8 {
+				flush()
+			}
+			toks = append(toks, textproc.Token{
+				Term: fmt.Sprintf("t%d", b%16),
+				Pos:  uint32(len(toks)),
+			})
+		}
+		flush()
+
+		w := base + uint32(wseed)%(doc-base+1)
+		for term, full := range oracle {
+			var want []postings.Posting
+			for _, p := range full {
+				if p.Doc < w {
+					want = append(want, p)
+				}
+			}
+			it := m.iterator(term, w)
+			if it == nil {
+				if len(want) != 0 {
+					t.Fatalf("%s@%d: iterator nil, oracle has %d", term, w, len(want))
+				}
+				continue
+			}
+			if it.DF() != uint64(len(want)) {
+				t.Fatalf("%s@%d: DF %d != %d", term, w, it.DF(), len(want))
+			}
+			bound, ok := it.MaxTF()
+			var got []postings.Posting
+			for {
+				p, more := it.Next()
+				if !more {
+					break
+				}
+				if !ok || p.TF() > int(bound) {
+					t.Fatalf("%s@%d: tf %d above bound (%d,%v)", term, w, p.TF(), bound, ok)
+				}
+				got = append(got, p)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s@%d: Next stream %v != oracle %v", term, w, got, want)
+			}
+			// Advance-vs-Next: re-open and hop by fuzz-derived strides.
+			it = m.iterator(term, w)
+			i := 0
+			stride := uint32(wseed%7) + 1
+			for i < len(want) {
+				target := want[i].Doc + stride
+				for i < len(want) && want[i].Doc < target {
+					i++
+				}
+				p, more := it.Advance(target)
+				if i >= len(want) {
+					if more {
+						t.Fatalf("%s@%d: Advance(%d) past end → doc %d", term, w, target, p.Doc)
+					}
+					break
+				}
+				if !more || p.Doc != want[i].Doc {
+					t.Fatalf("%s@%d: Advance(%d) = (%v,%v), want doc %d",
+						term, w, target, p.Doc, more, want[i].Doc)
+				}
+				i++
+			}
+		}
+	})
+}

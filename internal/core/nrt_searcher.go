@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/inference"
+	"repro/internal/postings"
+	"repro/internal/resilience"
+)
+
+// Run evaluates one Request against the live collection: every flushed
+// segment plus the searchable memtable tail. The contract matches
+// Searcher.Run (shed, deadline, degraded, pruning, per-request counter
+// delta); rankings are identical to a batch build of the same document
+// prefix because the merged per-term list — segment lists concatenated
+// with the watermark-truncated memtable list — is exactly the batch
+// list, and document statistics come from the same append-only tables.
+// Safe for concurrent use, including concurrently with Ingest, Flush,
+// and Compact.
+func (e *NRTEngine) Run(ctx context.Context, req Request) (Response, error) {
+	if req.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
+	if g := e.gate; g != nil {
+		if err := g.Acquire(ctx); err != nil {
+			var delta Counters
+			if errors.Is(err, resilience.ErrShed) {
+				delta.Shed = 1
+			} else {
+				delta.DeadlineHits = 1
+			}
+			e.agg.add(delta)
+			e.met.observeQuery(delta)
+			err = fmt.Errorf("core: query not admitted: %w", err)
+			return Response{Counters: delta, Outcome: outcomeOf(err, delta)}, err
+		}
+		defer g.Release()
+	}
+
+	// Queries hold the view read-lock for their whole evaluation:
+	// flush/compact flips wait for them, so the captured segment
+	// engines cannot be closed underfoot.
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+
+	n, err := normalizeQueryWith(e.an, req.Query)
+	if err != nil {
+		var delta Counters
+		return Response{Counters: delta, Outcome: outcomeOf(err, delta)}, err
+	}
+	q := e.newQueryLocked(ctx, req)
+	q.own.Queries++
+	if n == nil {
+		return q.finish(nil, nil)
+	}
+	pins := make([]Pin, 0, len(q.subs))
+	for _, sub := range q.subs {
+		pins = append(pins, sub.e.reserve(n))
+	}
+	defer func() {
+		for _, p := range pins {
+			p.Release()
+		}
+	}()
+
+	var res []Result
+	switch {
+	case req.Mode == ModeDAAT && (e.opts.Prune || req.Prune):
+		res, err = inference.EvaluateMaxScoreFloor(n, q, req.TopK, req.MinScore)
+	case req.Mode == ModeDAAT:
+		res, err = inference.EvaluateDAAT(n, q, req.TopK)
+	default:
+		res, err = inference.EvaluateTAAT(n, q, req.TopK)
+	}
+	return q.finish(res, err)
+}
+
+// Explain returns the belief breakdown a query assigns to one document,
+// evaluated over the same merged view a Run would see.
+func (e *NRTEngine) Explain(query string, doc uint32) (*inference.Explanation, error) {
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	n, err := normalizeQueryWith(e.an, query)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return &inference.Explanation{Op: "(all terms stopped)", Belief: 0}, nil
+	}
+	q := e.newQueryLocked(nil, Request{})
+	ex, err := inference.Explain(n, q, doc)
+	q.finish(nil, nil)
+	return ex, err
+}
+
+// nrtQuery is one request's consistent cut of the live collection: a
+// sub-searcher per segment, the memtable, and the visibility watermark
+// with its document statistics, all captured at query start. It
+// implements inference.Source, StreamSource, and DFSource by
+// concatenating per-segment lists with the memtable tail — the doc-ID
+// ranges are disjoint and ascending by construction, so concatenation
+// is the merge.
+type nrtQuery struct {
+	e    *NRTEngine
+	subs []*Searcher // one per segment, in doc order
+	mem  *memtable
+	w    uint32   // visibility watermark: docs < w are in scope
+	lens []uint32 // per-doc token counts for docs < w
+	toks int64    // total token count across docs < w
+	own  Counters // work not attributable to a sub-searcher
+}
+
+// newQueryLocked captures the query view. Caller holds e.viewMu.RLock.
+func (e *NRTEngine) newQueryLocked(ctx context.Context, req Request) *nrtQuery {
+	q := &nrtQuery{e: e, mem: e.mem}
+	e.pubMu.Lock()
+	q.w = e.docCount
+	q.lens = e.lens[:q.w]
+	q.toks = e.totalToks
+	e.pubMu.Unlock()
+	for _, s := range e.segs {
+		sub := s.eng.Acquire()
+		if ctx != nil && ctx.Done() != nil {
+			sub.ctx = ctx
+		}
+		sub.reqDegraded = req.Degraded
+		sub.reqPrune = req.Prune
+		q.subs = append(q.subs, sub)
+	}
+	return q
+}
+
+// finish settles every sub-searcher (skip statistics, pooled buffers,
+// engine-aggregate merges on the segment engines), folds the combined
+// per-request delta into the NRT aggregates, and labels the outcome.
+func (q *nrtQuery) finish(res []Result, err error) (Response, error) {
+	delta := q.own
+	deadlined := false
+	for _, sub := range q.subs {
+		sub.finishIters()
+		sub.flush()
+		delta = delta.Add(sub.counters)
+		if sub.deadlined {
+			deadlined = true
+		}
+	}
+	// Each sub latches its own deadline hit; a query is cut short once.
+	if delta.DeadlineHits > 1 {
+		delta.DeadlineHits = 1
+	}
+	if err == nil && deadlined {
+		err = fmt.Errorf("core: query cut short: %w", resilience.ErrDeadline)
+	}
+	q.e.agg.add(delta)
+	q.e.met.observeQuery(delta)
+	return Response{Results: res, Counters: delta, Outcome: outcomeOf(err, delta)}, err
+}
+
+// Postings implements inference.Source: the materialized merged list
+// for term — segment lists in segment order, then the memtable's
+// watermark-truncated tail. The returned slice is freshly allocated
+// (sub-searcher buffers are pooled and reclaimed at finish).
+func (q *nrtQuery) Postings(term string) ([]postings.Posting, bool, error) {
+	var out []postings.Posting
+	found := false
+	for _, sub := range q.subs {
+		ps, ok, err := sub.Postings(term)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			out = append(out, ps...)
+			found = true
+		}
+	}
+	if mps, _ := q.mem.lookup(term, q.w); len(mps) > 0 {
+		q.own.Lookups++
+		q.own.Postings += int64(len(mps))
+		out = append(out, mps...)
+		found = true
+	}
+	if !found {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// Iterator implements inference.StreamSource: the per-segment streaming
+// iterators chained with the memtable iterator. The chain advances
+// block-skipping segment readers natively and reports an exact summed
+// DF, so DAAT and MaxScore evaluation over an NRT view match the
+// batch-built equivalent.
+func (q *nrtQuery) Iterator(term string) (inference.PostingIterator, bool, error) {
+	var parts []inference.PostingIterator
+	for _, sub := range q.subs {
+		it, ok, err := sub.Iterator(term)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			parts = append(parts, it)
+		}
+	}
+	if mi := q.mem.iterator(term, q.w); mi != nil {
+		q.own.Lookups++
+		parts = append(parts, &memCountingIter{mi: mi, c: &q.own})
+	}
+	if len(parts) == 0 {
+		return nil, false, nil
+	}
+	return inference.NewChain(parts...), true, nil
+}
+
+// NumDocs implements inference.Source: the watermark, so belief scores
+// use the collection size this query was admitted against.
+func (q *nrtQuery) NumDocs() int { return int(q.w) }
+
+// DocLen implements inference.Source.
+func (q *nrtQuery) DocLen(doc uint32) int {
+	if doc < q.w {
+		return int(q.lens[doc])
+	}
+	return 0
+}
+
+// AvgDocLen implements inference.Source.
+func (q *nrtQuery) AvgDocLen() float64 {
+	if q.w == 0 {
+		return 0
+	}
+	return float64(q.toks) / float64(q.w)
+}
+
+// TermDF implements inference.DFSource. The chained iterator's DF (and
+// the materialized list's length) already is the collection-global
+// document frequency — segments partition the doc space — so there is
+// no override table.
+func (q *nrtQuery) TermDF(string) (uint64, bool) { return 0, false }
+
+// memCountingIter counts memtable postings into the query's own
+// counters as they stream past, mirroring what countingIterator does
+// for segment reads.
+type memCountingIter struct {
+	mi *memIter
+	c  *Counters
+}
+
+func (m *memCountingIter) Next() (postings.Posting, bool) {
+	p, ok := m.mi.Next()
+	if ok {
+		m.c.Postings++
+	}
+	return p, ok
+}
+
+func (m *memCountingIter) Advance(target uint32) (postings.Posting, bool) {
+	p, ok := m.mi.Advance(target)
+	if ok {
+		m.c.Postings++
+	}
+	return p, ok
+}
+
+func (m *memCountingIter) DF() uint64            { return m.mi.DF() }
+func (m *memCountingIter) MaxTF() (uint32, bool) { return m.mi.MaxTF() }
+func (m *memCountingIter) Err() error            { return m.mi.Err() }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/vfs"
+)
+
+// TestNRTStormIngestQueryFaults is the NRT chaos tier: concurrent
+// ingest, flush, compaction, and queries under seeded fault schedules,
+// on alternating backends. Invariants:
+//
+//   - every query either succeeds or fails with a typed shed/deadline
+//     error (injected read faults are absorbed by degraded mode);
+//   - every Ingest either acknowledges its whole batch or none of it;
+//   - after the faults stop and the engine quiesces (flush + compact),
+//     rankings are byte-identical to a batch build of exactly the
+//     acknowledged documents.
+//
+// SOAK_ROUNDS scales the schedule for `make soak`; the default keeps
+// the unit suite fast. The test is race-clean and runs under -race in
+// the concurrency tier.
+func TestNRTStormIngestQueryFaults(t *testing.T) {
+	rounds := soakRounds()
+	docs := nrtCorpus(101, 80)
+	for round := 0; round < rounds; round++ {
+		round := round
+		kind := BackendMneme
+		if round%2 == 1 {
+			kind = BackendBTree
+		}
+		t.Run(fmt.Sprintf("round%d_%s", round, kind), func(t *testing.T) {
+			fs := newFS()
+			e, err := OpenNRT(fs, "storm", kind,
+				NRTConfig{FlushDocs: 10, CompactSegments: 3},
+				WithAnalyzer(plainAnalyzer()),
+				WithDegraded(),
+				WithRetry(3),
+				WithMaxInFlight(8, time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+
+			seed := int64(round + 1)
+			var plan *vfs.FaultPlan
+			switch round % 3 {
+			case 0: // background noise across all op kinds
+				plan = vfs.NewFaultPlan(seed).WithProbability(0.01 + 0.01*float64(round%4))
+			case 1: // periodic hard read faults
+				plan = vfs.NewFaultPlan(seed).FailReadEvery(int64(5 + round%11))
+			case 2: // clean round: pure concurrency
+			}
+			fs.SetFaultPlan(plan)
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						req := nrtModes[(g+i)%len(nrtModes)]
+						req.Query = nrtQueries[i%len(nrtQueries)]
+						if i%9 == 3 {
+							req.Deadline = time.Microsecond
+						}
+						if _, err := e.Run(nil, req); err != nil &&
+							!errors.Is(err, resilience.ErrShed) &&
+							!errors.Is(err, resilience.ErrDeadline) {
+							t.Errorf("worker %d query %d: untyped error %v", g, i, err)
+							return
+						}
+					}
+				}(g)
+			}
+
+			// Ingest the corpus in batches while the query storm runs.
+			// Under the probabilistic schedule a WAL write may be hit:
+			// then the whole batch is unacknowledged and skipped.
+			var acked []string
+			for i := 0; i < len(docs); i += 4 {
+				hi := min(i+4, len(docs))
+				first, err := e.Ingest(docs[i:hi]...)
+				if err != nil {
+					if !errors.Is(err, vfs.ErrInjected) {
+						t.Errorf("ingest batch %d: unexpected error %v", i/4, err)
+						break
+					}
+					continue
+				}
+				if int(first) != len(acked) {
+					t.Errorf("ingest batch %d: first id %d, %d docs acked before it", i/4, first, len(acked))
+					break
+				}
+				acked = append(acked, docs[i:hi]...)
+			}
+			close(stop)
+			wg.Wait()
+			fs.SetFaultPlan(nil)
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			if got := e.NumDocs(); got != len(acked) {
+				t.Fatalf("NumDocs = %d, want %d acked", got, len(acked))
+			}
+			if len(acked) == 0 {
+				return
+			}
+			// Quiesce and verify against the batch oracle.
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			oracle := batchOracle(t, acked, kind)
+			defer oracle.Close()
+			checkAgainstOracle(t, "quiesced", e, oracle, 0)
+		})
+	}
+}

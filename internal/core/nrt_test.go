@@ -1,0 +1,481 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/vfs"
+)
+
+// nrtCorpus generates a deterministic document stream over a small
+// shared vocabulary, so every prefix has meaningful term overlap for
+// multi-term queries.
+func nrtCorpus(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]string, n)
+	for i := range docs {
+		words := make([]string, 3+rng.Intn(10))
+		for j := range words {
+			words[j] = fmt.Sprintf("w%d", rng.Intn(12))
+		}
+		docs[i] = strings.Join(words, " ")
+	}
+	return docs
+}
+
+var nrtQueries = []string{
+	"w1 w3",
+	"#and(w2 w5)",
+	"#or(w0 w7 w4)",
+	"#wsum(2 w1 1 w6)",
+	"#phrase(w2 w3)",
+	"w9",
+}
+
+// nrtModes is the evaluation matrix the oracle tests sweep.
+var nrtModes = []Request{
+	{Mode: ModeTAAT, TopK: 10},
+	{Mode: ModeDAAT, TopK: 10},
+	{Mode: ModeDAAT, TopK: 10, Prune: true},
+}
+
+// batchOracle builds docs[0:n] as an ordinary batch collection on a
+// fresh file system and returns an opened engine over it — the ground
+// truth an NRT view of the same prefix must reproduce.
+func batchOracle(t *testing.T, docs []string, kind BackendKind) *Engine {
+	t.Helper()
+	fs := newFS()
+	ds := make([]index.Doc, len(docs))
+	for i, text := range docs {
+		ds[i] = index.Doc{ID: uint32(i), Text: text}
+	}
+	if _, err := Build(fs, "oracle", &SliceDocs{Docs: ds}, BuildOptions{
+		Analyzer: plainAnalyzer(),
+		Backends: []BackendKind{kind},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(fs, "oracle", kind, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// checkAgainstOracle runs the full query×mode matrix on both engines
+// and compares rankings: document order must match exactly, scores
+// within tol (0 demands bit-equality).
+func checkAgainstOracle(t *testing.T, label string, nrt *NRTEngine, oracle *Engine, tol float64) {
+	t.Helper()
+	for _, q := range nrtQueries {
+		for _, mode := range nrtModes {
+			req := mode
+			req.Query = q
+			want, err := oracle.Run(nil, req)
+			if err != nil {
+				t.Fatalf("%s: oracle %q/%s: %v", label, q, mode.Mode, err)
+			}
+			got, err := nrt.Run(nil, req)
+			if err != nil {
+				t.Fatalf("%s: nrt %q/%s: %v", label, q, mode.Mode, err)
+			}
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("%s: %q/%s prune=%v: nrt %d results, oracle %d",
+					label, q, mode.Mode, mode.Prune, len(got.Results), len(want.Results))
+			}
+			for i := range want.Results {
+				g, w := got.Results[i], want.Results[i]
+				if g.Doc != w.Doc || math.Abs(g.Score-w.Score) > tol {
+					t.Fatalf("%s: %q/%s prune=%v rank %d: nrt (%d, %.17g) oracle (%d, %.17g)",
+						label, q, mode.Mode, mode.Prune, i, g.Doc, g.Score, w.Doc, w.Score)
+				}
+			}
+			if tol == 0 {
+				// Byte-identical under the wire encoding, not just ==.
+				gb, _ := json.Marshal(got.Results)
+				wb, _ := json.Marshal(want.Results)
+				if !bytes.Equal(gb, wb) {
+					t.Fatalf("%s: %q/%s: serialized rankings differ:\nnrt    %s\noracle %s",
+						label, q, mode.Mode, gb, wb)
+				}
+			}
+		}
+	}
+}
+
+func TestNRTIngestSearchFlushCompactRoundTrip(t *testing.T) {
+	docs := nrtCorpus(7, 24)
+	for _, kind := range []BackendKind{BackendBTree, BackendMneme} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := newFS()
+			e, err := OpenNRT(fs, "col", kind, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+
+			// Memtable-only: searchable immediately after Ingest acks.
+			if _, err := e.Ingest(docs[:8]...); err != nil {
+				t.Fatal(err)
+			}
+			if e.NumDocs() != 8 {
+				t.Fatalf("NumDocs = %d, want 8", e.NumDocs())
+			}
+			oracle := batchOracle(t, docs[:8], kind)
+			checkAgainstOracle(t, "memtable", e, oracle, 0)
+			oracle.Close()
+
+			// Flush, ingest more: segment + memtable merge.
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Ingest(docs[8:16]...); err != nil {
+				t.Fatal(err)
+			}
+			oracle = batchOracle(t, docs[:16], kind)
+			checkAgainstOracle(t, "segment+memtable", e, oracle, 0)
+			oracle.Close()
+
+			// Second flush, then compaction merges the two segments.
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			snap := e.Snapshot()
+			if snap.NRT == nil || len(snap.NRT.Segments) != 1 || snap.NRT.Compactions != 1 {
+				t.Fatalf("after compact: %+v", snap.NRT)
+			}
+			oracle = batchOracle(t, docs[:16], kind)
+			checkAgainstOracle(t, "compacted", e, oracle, 0)
+
+			// Reopen: manifest + WAL replay reconstruct the same state,
+			// including unflushed memtable docs.
+			if _, err := e.Ingest(docs[16:]...); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := OpenNRT(fs, "col", kind, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if re.NumDocs() != len(docs) {
+				t.Fatalf("reopened NumDocs = %d, want %d", re.NumDocs(), len(docs))
+			}
+			oracle.Close()
+			oracle = batchOracle(t, docs, kind)
+			checkAgainstOracle(t, "reopened", re, oracle, 0)
+			oracle.Close()
+		})
+	}
+}
+
+func TestNRTWrapsBaseCollection(t *testing.T) {
+	docs := nrtCorpus(11, 20)
+	fs := newFS()
+	ds := make([]index.Doc, 12)
+	for i := range ds {
+		ds[i] = index.Doc{ID: uint32(i), Text: docs[i]}
+	}
+	if _, err := Build(fs, "col", &SliceDocs{Docs: ds}, BuildOptions{
+		Analyzer: plainAnalyzer(),
+		Backends: []BackendKind{BackendMneme},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := OpenNRT(fs, "col", BackendMneme, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.NumDocs() != 12 {
+		t.Fatalf("base-wrapped NumDocs = %d, want 12", e.NumDocs())
+	}
+	if _, err := e.Ingest(docs[12:]...); err != nil {
+		t.Fatal(err)
+	}
+	oracle := batchOracle(t, docs, BackendMneme)
+	defer oracle.Close()
+	checkAgainstOracle(t, "base+memtable", e, oracle, 0)
+
+	// Flush + compact must leave the base collection untouched.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if len(snap.NRT.Segments) == 0 || !snap.NRT.Segments[0].BaseCollection {
+		t.Fatalf("base collection missing from roster: %+v", snap.NRT.Segments)
+	}
+	checkAgainstOracle(t, "base+segment", e, oracle, 0)
+}
+
+// TestNRTDifferentialOracle is the batch-oracle tier: seeded random
+// interleavings of ingest → query → flush → compact, on both backends.
+// After every step the NRT view must score identically (1e-9) to a
+// batch build of the same document prefix; after the final quiesce the
+// serialized rankings must be byte-identical.
+func TestNRTDifferentialOracle(t *testing.T) {
+	for _, kind := range []BackendKind{BackendBTree, BackendMneme} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				docs := nrtCorpus(seed*100, 40)
+				fs := newFS()
+				e, err := OpenNRT(fs, "col", kind, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+
+				next := 0
+				for step := 0; next < len(docs); step++ {
+					n := 1 + rng.Intn(5)
+					if next+n > len(docs) {
+						n = len(docs) - next
+					}
+					if _, err := e.Ingest(docs[next : next+n]...); err != nil {
+						t.Fatalf("step %d ingest: %v", step, err)
+					}
+					next += n
+					switch rng.Intn(4) {
+					case 0:
+						if err := e.Flush(); err != nil {
+							t.Fatalf("step %d flush: %v", step, err)
+						}
+					case 1:
+						if err := e.Flush(); err != nil {
+							t.Fatalf("step %d flush: %v", step, err)
+						}
+						if err := e.Compact(); err != nil {
+							t.Fatalf("step %d compact: %v", step, err)
+						}
+					}
+					oracle := batchOracle(t, docs[:next], kind)
+					checkAgainstOracle(t, fmt.Sprintf("step %d (%d docs)", step, next), e, oracle, 1e-9)
+					oracle.Close()
+				}
+
+				// Quiesce: flush everything, compact to one segment, and
+				// demand byte-identical serialized rankings.
+				if err := e.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Compact(); err != nil {
+					t.Fatal(err)
+				}
+				oracle := batchOracle(t, docs, kind)
+				defer oracle.Close()
+				checkAgainstOracle(t, "quiesced", e, oracle, 0)
+			})
+		}
+	}
+}
+
+// nrtCrashScript drives a fixed ingest/flush/compact sequence and
+// returns how many documents had been acknowledged when the first
+// error (if any) struck. Steps after an error are skipped — the file
+// system is crash-frozen at that point.
+func nrtCrashScript(e *NRTEngine, docs []string) (acked int, err error) {
+	steps := []func() error{
+		func() error { _, err := e.Ingest(docs[0:4]...); return err },
+		func() error { return e.Flush() },
+		func() error { _, err := e.Ingest(docs[4:8]...); return err },
+		func() error { return e.Flush() },
+		func() error { _, err := e.Ingest(docs[8:12]...); return err },
+		func() error { return e.Compact() },
+	}
+	ackAfter := []int{4, 4, 8, 8, 12, 12}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			return acked, err
+		}
+		acked = ackAfter[i]
+	}
+	return acked, nil
+}
+
+// TestNRTCrashPointSweep simulates a crash at every write and every
+// sync ordinal of a full ingest → flush → ingest → flush → ingest →
+// compact sequence, reboots from the frozen disk image, and proves
+// recovery lands on a clean document prefix with zero acknowledged
+// loss: the reopened collection holds at least every acked document,
+// and its rankings match a batch build of exactly the documents it
+// recovered.
+func TestNRTCrashPointSweep(t *testing.T) {
+	docs := nrtCorpus(23, 12)
+	for _, kind := range []BackendKind{BackendBTree, BackendMneme} {
+		t.Run(kind.String(), func(t *testing.T) {
+			// Ground truth for every possible recovery point.
+			oracles := make([]*Engine, len(docs)+1)
+			for n := 1; n <= len(docs); n++ {
+				oracles[n] = batchOracle(t, docs[:n], kind)
+				defer oracles[n].Close()
+			}
+
+			// Probe run: count the operations the whole script performs.
+			fs := newFS()
+			e, err := OpenNRT(fs, "col", kind, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := vfs.NewFaultPlan(1)
+			fs.SetFaultPlan(probe)
+			if _, err := nrtCrashScript(e, docs); err != nil {
+				t.Fatalf("probe run: %v", err)
+			}
+			fs.SetFaultPlan(nil)
+			e.Close()
+			_, writes, syncs := probe.Counts()
+			if writes < 10 || syncs < 6 {
+				t.Fatalf("probe made %d writes, %d syncs; script too small to sweep", writes, syncs)
+			}
+
+			crashAt := func(t *testing.T, label string, plan *vfs.FaultPlan) {
+				t.Helper()
+				fs := newFS()
+				e, err := OpenNRT(fs, "col", kind, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs.SetFaultPlan(plan)
+				acked, serr := nrtCrashScript(e, docs)
+				if serr != nil && !errors.Is(serr, vfs.ErrInjected) {
+					t.Fatalf("%s: script under crash plan: want injected fault, got %v", label, serr)
+				}
+				if serr == nil && acked != len(docs) {
+					// The only way the script survives its crash point is
+					// when the fault lands in an op whose failure the
+					// engine tolerates by design (e.g. closing a retired
+					// segment after its replacement committed) — and then
+					// every step must have completed.
+					t.Fatalf("%s: script absorbed the fault but only acked %d/%d docs", label, acked, len(docs))
+				}
+				// Reboot from the frozen image.
+				img := fs.Clone(vfs.Options{})
+				e.Close()
+				re, err := OpenNRT(img, "col", kind, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+				if err != nil {
+					t.Fatalf("%s: reopen after crash (acked %d): %v", label, acked, err)
+				}
+				defer re.Close()
+				got := re.NumDocs()
+				if got < acked {
+					t.Fatalf("%s: acknowledged-document loss: recovered %d docs, %d were acked", label, got, acked)
+				}
+				if got > len(docs) {
+					t.Fatalf("%s: recovered %d docs from a %d-doc script", label, got, len(docs))
+				}
+				// Recovery must be a clean prefix state: rankings match a
+				// batch build of exactly the recovered documents.
+				if got > 0 {
+					checkAgainstOracle(t, fmt.Sprintf("%s recovered@%d", label, got), re, oracles[got], 1e-9)
+				}
+				// And the recovered engine must remain writable.
+				if _, err := re.Ingest("w1 w2 postrecovery"); err != nil {
+					t.Fatalf("%s: ingest after recovery: %v", label, err)
+				}
+			}
+
+			for k := int64(1); k <= writes; k++ {
+				crashAt(t, fmt.Sprintf("write%d", k), vfs.NewFaultPlan(1).FailWrite(k).WithTear().WithCrash())
+			}
+			for k := int64(1); k <= syncs; k++ {
+				crashAt(t, fmt.Sprintf("sync%d", k), vfs.NewFaultPlan(1).FailSync(k).WithCrash())
+			}
+		})
+	}
+}
+
+// TestNRTIngestFailureAcksNothing verifies batch atomicity at the ack
+// boundary: an ingest that fails mid-append publishes none of its
+// documents and the engine keeps serving the prior state.
+func TestNRTIngestFailureAcksNothing(t *testing.T) {
+	docs := nrtCorpus(31, 8)
+	fs := newFS()
+	e, err := OpenNRT(fs, "col", BackendMneme, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Ingest(docs[:4]...); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultPlan(vfs.NewFaultPlan(1).FailSync(1).Once())
+	if _, err := e.Ingest(docs[4:]...); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	fs.SetFaultPlan(nil)
+	if e.NumDocs() != 4 {
+		t.Fatalf("failed batch leaked: NumDocs = %d, want 4", e.NumDocs())
+	}
+	oracle := batchOracle(t, docs[:4], BackendMneme)
+	defer oracle.Close()
+	checkAgainstOracle(t, "after failed batch", e, oracle, 0)
+	// The rewound WAL accepts the retry.
+	if _, err := e.Ingest(docs[4:]...); err != nil {
+		t.Fatalf("retry after rewind: %v", err)
+	}
+	if e.NumDocs() != 8 {
+		t.Fatalf("NumDocs after retry = %d, want 8", e.NumDocs())
+	}
+}
+
+// TestNRTCloseMidFlushNoLeak closes the engine while a background
+// flush loop and a query load are running, and requires every
+// goroutine to drain.
+func TestNRTCloseMidFlushNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	docs := nrtCorpus(41, 60)
+	fs := newFS()
+	e, err := OpenNRT(fs, "col", BackendMneme,
+		NRTConfig{FlushEvery: time.Millisecond, CompactSegments: 2},
+		WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < len(docs); i++ {
+			if _, err := e.Ingest(docs[i]); err != nil {
+				return // engine closed underneath us — expected
+			}
+			if i%7 == 0 {
+				_, _ = e.Run(nil, Request{Query: "w1 w3", TopK: 5, Mode: ModeDAAT})
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond) // let flushes interleave with ingest
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

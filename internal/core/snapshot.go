@@ -33,6 +33,10 @@ type Snapshot struct {
 	// per-shard breaker/latency/outcome tallies plus hedging and
 	// partial-result counts. Set only by the shard coordinator.
 	Sharding *ShardingStats `json:"sharding,omitempty"`
+	// NRT summarizes a near-real-time engine's write path: segment
+	// roster, memtable occupancy, WAL depth, and flush/compaction
+	// tallies. Set only by NRTEngine.Snapshot.
+	NRT *NRTStats `json:"nrt,omitempty"`
 }
 
 // ShardingStats is the coordinator-level block of a sharded index's

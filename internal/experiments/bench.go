@@ -15,7 +15,9 @@ import (
 // BenchSchema versions the BENCH_query.json format. Bump it whenever a
 // field changes meaning, so CompareBench refuses to diff across formats.
 // v2 added the prune stage, skip counters, and the chunked DAAT rows.
-const BenchSchema = "repro/bench_query/v2"
+// v3 added the paired near-real-time rows ("nrt ingest"/"nrt idle")
+// and their write-path block (docs/sec, flush pause p95).
+const BenchSchema = "repro/bench_query/v3"
 
 // ServeBenchSchema versions the BENCH_serve.json format written by
 // cmd/loadgen: the same BenchReport envelope and row shape as the
@@ -102,6 +104,10 @@ type BenchRow struct {
 	// throughput/shed measurements CompareBench gates in addition to
 	// the row's latency stages.
 	Serve *ServeStats `json:"serve,omitempty"`
+	// NRT is present on the "nrt ingest" rows only: the write-path
+	// throughput and flush-pause distribution measured while the row's
+	// queries ran mid-ingest (see CheckNRTIngest).
+	NRT *NRTBench `json:"nrt,omitempty"`
 }
 
 // BenchReport is the full bench-mode output (BENCH_query.json).
@@ -309,7 +315,10 @@ func (l *Lab) benchShardedRow(sb *ShardedBuilt, qsName string, queries []collect
 // block-format skipping saves. Each matrix row additionally gets
 // document-partitioned scatter-gather rows ("Mneme, Cache (sharded
 // xN)", N from ShardedBenchNs) whose critical-path latency model the
-// CheckShardedScaling gate holds to its claim.
+// CheckShardedScaling gate holds to its claim. Each collection's first
+// query set further gets the paired near-real-time rows ("Mneme, Cache
+// (nrt ingest)" / "(nrt idle)") measuring the write path and the query
+// latency tax it imposes, held to budget by CheckNRTIngest.
 func (l *Lab) RunBench(systems []System) (*BenchReport, error) {
 	if len(systems) == 0 {
 		systems = BenchSystems
@@ -381,6 +390,16 @@ func (l *Lab) RunBench(systems []System) (*BenchReport, error) {
 				return nil, err
 			}
 			report.Rows = append(report.Rows, row)
+		}
+		// One NRT cell per collection: stream the corpus through the
+		// write path with the first query set interleaved mid-ingest,
+		// then quiesce and replay it for the idle baseline.
+		if p.qs == 0 {
+			nrtRows, err := l.benchNRTRows(b, qs.Name, queries)
+			if err != nil {
+				return nil, err
+			}
+			report.Rows = append(report.Rows, nrtRows...)
 		}
 	}
 	return report, nil
@@ -489,6 +508,24 @@ func CompareBench(base, cur *BenchReport, tol float64) error {
 				bad = append(bad, fmt.Sprintf("%s/%s: p95 %.1fµs -> %.1fµs (+%.0f%%, tolerance %.0f%%)",
 					rowKey(br), bs.Stage, bs.P95us, cs.P95us,
 					100*(cs.P95us/bs.P95us-1), 100*tol))
+			}
+		}
+		if br.NRT != nil {
+			switch {
+			case cr.NRT == nil:
+				bad = append(bad, fmt.Sprintf("%s: nrt block missing from current report", rowKey(br)))
+			default:
+				if br.NRT.DocsPerSec > 0 && cr.NRT.DocsPerSec < br.NRT.DocsPerSec*(1-tol) {
+					bad = append(bad, fmt.Sprintf("%s: ingest %.2f docs/s -> %.2f (-%.0f%%, tolerance %.0f%%)",
+						rowKey(br), br.NRT.DocsPerSec, cr.NRT.DocsPerSec,
+						100*(1-cr.NRT.DocsPerSec/br.NRT.DocsPerSec), 100*tol))
+				}
+				// A zero-pause baseline stays zero: the flip window does
+				// no I/O by construction, and the sim is deterministic.
+				if cr.NRT.FlushPauseP95us > br.NRT.FlushPauseP95us*(1+tol) {
+					bad = append(bad, fmt.Sprintf("%s: flush pause p95 %.1fµs -> %.1fµs (tolerance %.0f%%)",
+						rowKey(br), br.NRT.FlushPauseP95us, cr.NRT.FlushPauseP95us, 100*tol))
+				}
 			}
 		}
 		if br.Serve == nil {

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+// NRTBench is the write-path block of a near-real-time bench row: what
+// the ingest path cost while the row's queries ran against the moving
+// index. Like the rest of the query bench, every number is derived
+// from deterministic I/O and work counters through the 1993 cost
+// model, so the block is byte-identical across runs and machines.
+type NRTBench struct {
+	// Docs is the number of documents ingested through the WAL +
+	// memtable path during the row.
+	Docs int `json:"docs"`
+	// DocsPerSec is the ingest throughput in simulated documents per
+	// second: Docs over the simulated time of every Ingest call plus
+	// the final quiesce, including WAL appends/syncs and the automatic
+	// flushes and compactions they triggered.
+	DocsPerSec float64 `json:"docs_per_sec"`
+	// Flushes counts memtable flushes (automatic and final).
+	Flushes int64 `json:"flushes"`
+	// Compactions counts segment merges.
+	Compactions int64 `json:"compactions"`
+	// FlushPauseP95us is the p95 of the simulated stop-the-world
+	// window per flush — the roster flip during which queries wait —
+	// as opposed to the segment build, which overlaps serving.
+	FlushPauseP95us float64 `json:"flush_pause_p95_us"`
+}
+
+// nrtIngestLabel/nrtIdleLabel name the paired NRT bench rows: the same
+// engine topology measured mid-ingest and after quiescing.
+func nrtIngestLabel() string { return SysMnemeCache.String() + " (nrt ingest)" }
+func nrtIdleLabel() string   { return SysMnemeCache.String() + " (nrt idle)" }
+
+// NRTIngestTolerance is the CheckNRTIngest gate: query p95 measured
+// while the index ingests must stay within this factor of the same
+// engine's quiesced (idle) p95. 1.5x is the freshness tax the NRT
+// design budgets for — memtable chaining, a wider segment roster, and
+// flush pauses must not cost more than that.
+const NRTIngestTolerance = 1.5
+
+// ioSimNS converts an I/O counter delta into simulated nanoseconds,
+// mirroring obs.CostModel.SimNS for raw vfs stats (the ingest path is
+// not span-traced; its cost is exactly its I/O).
+func ioSimNS(costs obs.CostModel, d vfs.Stats) int64 {
+	ns := d.DiskReads*costs.DiskReadNS + d.DiskWrites*costs.DiskWriteNS
+	ns += (d.FileAccesses + d.FileWrites) * costs.SyscallNS
+	ns += int64(float64(d.BytesRead+d.BytesWritten) * costs.CopyPerByteNS)
+	return ns
+}
+
+// benchNRTRows measures the near-real-time ingest path on one
+// (collection, query set) cell and returns two rows. The whole
+// collection is streamed through Ingest in small batches with the
+// query mix interleaved mid-stream — those query latencies become the
+// "nrt ingest" row, and the Ingest I/O (WAL, automatic flushes,
+// triggered compactions) becomes its NRTBench block. The engine is
+// then quiesced (final flush + compact) and the same mix replayed for
+// the "nrt idle" row, the baseline the CheckNRTIngest gate compares
+// against.
+func (l *Lab) benchNRTRows(b *Built, qsName string, queries []collection.Query) ([]BenchRow, error) {
+	costs := l.Model.Costs()
+	total := b.Stats.Docs
+	flushDocs := total / 8
+	if flushDocs < 32 {
+		flushDocs = 32
+	}
+	fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize, OSCacheBytes: l.OSCacheBytes})
+	eng, err := core.OpenNRT(fs, b.Col.Name, core.BackendMneme,
+		core.NRTConfig{FlushDocs: flushDocs, CompactSegments: 4},
+		core.WithAnalyzer(analyzer()), core.WithPlan(PlanFor(b)))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bench nrt %s: %w", b.Col.Name, err)
+	}
+	defer eng.Close()
+
+	// One measured query per boundary, spread evenly across the stream
+	// so the mix samples every index shape: memtable-only, mixed
+	// memtable + segments, and just-flushed.
+	qGap := total / (len(queries) + 1)
+	if qGap < 1 {
+		qGap = 1
+	}
+	runQuery := func(q collection.Query) (float64, error) {
+		cBefore := eng.Counters()
+		sBefore := fs.Stats()
+		if _, err := eng.Run(nil, core.Request{Query: q.Text}); err != nil {
+			return 0, fmt.Errorf("experiments: bench nrt %s/%s: query %s: %w",
+				b.Col.Name, qsName, q.ID, err)
+		}
+		ns := ioSimNS(costs, fs.Stats().Sub(sBefore))
+		ns += (eng.Counters().Postings - cBefore.Postings) * costs.PostingNS
+		ns += costs.QueryNS
+		return float64(ns) / 1e3, nil
+	}
+
+	var duringUS []float64
+	var ingestNS int64
+	ingestStart := fs.Stats()
+	stream := b.Col.Stream()
+	next := 0
+	ingested := 0
+	var batch []string
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		before := fs.Stats()
+		if _, err := eng.Ingest(batch...); err != nil {
+			return fmt.Errorf("experiments: bench nrt %s: ingest at doc %d: %w",
+				b.Col.Name, ingested, err)
+		}
+		ingestNS += ioSimNS(costs, fs.Stats().Sub(before))
+		ingested += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		doc, ok, err := stream.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, doc.Text)
+		if len(batch) == 8 {
+			if err := flushBatch(); err != nil {
+				return nil, err
+			}
+		}
+		for next < len(queries) && ingested >= (next+1)*qGap {
+			us, err := runQuery(queries[next])
+			if err != nil {
+				return nil, err
+			}
+			duringUS = append(duringUS, us)
+			next++
+		}
+	}
+	if err := flushBatch(); err != nil {
+		return nil, err
+	}
+	for next < len(queries) {
+		us, err := runQuery(queries[next])
+		if err != nil {
+			return nil, err
+		}
+		duringUS = append(duringUS, us)
+		next++
+	}
+	ingestDelta := fs.Stats().Sub(ingestStart)
+
+	// Quiesce: the final flush and compaction belong to the write path.
+	before := fs.Stats()
+	if err := eng.Flush(); err != nil {
+		return nil, fmt.Errorf("experiments: bench nrt %s: final flush: %w", b.Col.Name, err)
+	}
+	if err := eng.Compact(); err != nil {
+		return nil, fmt.Errorf("experiments: bench nrt %s: compact: %w", b.Col.Name, err)
+	}
+	ingestNS += ioSimNS(costs, fs.Stats().Sub(before))
+
+	var pausesUS []float64
+	for _, f := range eng.FlushStats() {
+		pausesUS = append(pausesUS, float64(ioSimNS(costs, f.PauseIO))/1e3)
+	}
+	sort.Float64s(pausesUS)
+	snap := eng.Snapshot()
+	nrt := &NRTBench{
+		Docs:            ingested,
+		Flushes:         snap.NRT.Flushes,
+		Compactions:     snap.NRT.Compactions,
+		FlushPauseP95us: quantile(pausesUS, 0.95),
+	}
+	if ingestNS > 0 {
+		nrt.DocsPerSec = float64(ingested) / (float64(ingestNS) / 1e9)
+	}
+
+	mkRow := func(label string, us []float64, io vfs.Stats, nb *NRTBench) BenchRow {
+		sorted := append([]float64(nil), us...)
+		sort.Float64s(sorted)
+		return BenchRow{
+			Backend:    label,
+			Collection: b.Col.Name,
+			QuerySet:   qsName,
+			Queries:    len(us),
+			DiskReads:  io.DiskReads,
+			BytesRead:  io.BytesRead,
+			Stages: []BenchStage{{
+				Stage: obs.StageQuery.String(),
+				P50us: quantile(sorted, 0.50),
+				P95us: quantile(sorted, 0.95),
+				P99us: quantile(sorted, 0.99),
+			}},
+			NRT: nb,
+		}
+	}
+
+	idleStart := fs.Stats()
+	var idleUS []float64
+	for _, q := range queries {
+		us, err := runQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		idleUS = append(idleUS, us)
+	}
+	idleDelta := fs.Stats().Sub(idleStart)
+
+	return []BenchRow{
+		mkRow(nrtIngestLabel(), duringUS, ingestDelta, nrt),
+		mkRow(nrtIdleLabel(), idleUS, idleDelta, nil),
+	}, nil
+}
+
+// CheckNRTIngest enforces the freshness-tax claim on every cell that
+// carries the paired NRT rows: query p95 while ingesting must stay
+// within NRTIngestTolerance of the quiesced p95 on the same engine.
+// Returns nil when the report has no NRT rows; errors list every cell
+// over budget.
+func CheckNRTIngest(r *BenchReport) error {
+	queryP95 := func(row BenchRow) (float64, bool) {
+		for _, s := range row.Stages {
+			if s.Stage == obs.StageQuery.String() {
+				return s.P95us, true
+			}
+		}
+		return 0, false
+	}
+	type cell struct{ col, qs string }
+	ingest := make(map[cell]float64)
+	idle := make(map[cell]float64)
+	for _, row := range r.Rows {
+		p95, ok := queryP95(row)
+		if !ok {
+			continue
+		}
+		c := cell{row.Collection, row.QuerySet}
+		switch row.Backend {
+		case nrtIngestLabel():
+			ingest[c] = p95
+		case nrtIdleLabel():
+			idle[c] = p95
+		}
+	}
+	var bad []string
+	for c, during := range ingest {
+		base, ok := idle[c]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s/%s: idle row missing", c.col, c.qs))
+			continue
+		}
+		if base > 0 && during > base*NRTIngestTolerance {
+			bad = append(bad, fmt.Sprintf("%s/%s: query p95 under ingest %.1fµs > %.1fx idle %.1fµs",
+				c.col, c.qs, during, NRTIngestTolerance, base))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("nrt ingest gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}

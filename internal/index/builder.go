@@ -21,8 +21,8 @@ import (
 	"repro/internal/vfs"
 )
 
-// Doc is one input document. Identifiers must be dense, starting at 0,
-// and added in ascending order.
+// Doc is one input document. Identifiers must be dense, starting at
+// Options.BaseDoc (0 by default), and added in ascending order.
 type Doc struct {
 	ID   uint32
 	Text string
@@ -70,6 +70,14 @@ type Options struct {
 	// from it. For building legacy-layout collections and for the
 	// mixed-version compatibility tests.
 	V1Postings bool
+	// BaseDoc offsets every document identifier: the first document
+	// added must carry ID BaseDoc, and encoded records store the global
+	// (offset) identifiers. The near-real-time flush path builds each
+	// memtable segment as a mini-collection whose postings carry global
+	// doc IDs, so query-time iterators concatenate segment lists without
+	// any per-segment translation. Zero (the default) builds an ordinary
+	// collection with dense-from-0 identifiers.
+	BaseDoc uint32
 }
 
 // NewBuilder returns an empty Builder writing scratch runs into fs.
@@ -86,7 +94,7 @@ func NewBuilder(fs *vfs.FS, opt Options) *Builder {
 	if scratch == "" {
 		scratch = "indexrun"
 	}
-	return &Builder{fs: fs, an: an, dict: lexicon.New(), runLimit: rl, scratch: scratch, v1: opt.V1Postings}
+	return &Builder{fs: fs, an: an, dict: lexicon.New(), runLimit: rl, scratch: scratch, v1: opt.V1Postings, nextDoc: opt.BaseDoc}
 }
 
 // Dictionary exposes the term dictionary being built.

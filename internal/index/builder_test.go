@@ -82,6 +82,46 @@ func TestBuildSmallInMemory(t *testing.T) {
 	}
 }
 
+// TestBaseDocGlobalIDs: a builder seeded with BaseDoc numbers from
+// that base and encodes the global IDs straight into the records, so
+// NRT segment lists concatenate with no query-time translation.
+func TestBaseDocGlobalIDs(t *testing.T) {
+	fs := newFS()
+	b := NewBuilder(fs, Options{
+		Analyzer: textproc.NewAnalyzer(textproc.WithStemming(false)),
+		BaseDoc:  1000,
+	})
+	if err := b.Add(Doc{ID: 0, Text: "x"}); err == nil {
+		t.Fatal("id below BaseDoc accepted")
+	}
+	docs := []string{"apple banana", "apple"}
+	for i, text := range docs {
+		if err := b.Add(Doc{ID: 1000 + uint32(i), Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2 (local count)", b.NumDocs())
+	}
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := drain(t, m)
+	apple, _ := b.Dictionary().Lookup("apple")
+	ps := lists[apple.ID]
+	want := []postings.Posting{
+		{Doc: 1000, Positions: []uint32{0}},
+		{Doc: 1001, Positions: []uint32{0}},
+	}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("apple postings = %v, want %v", ps, want)
+	}
+	if got := len(b.DocLens()); got != 2 {
+		t.Fatalf("DocLens holds %d entries, want 2 (local, not global-indexed)", got)
+	}
+}
+
 func TestBuildRejectsBadIDs(t *testing.T) {
 	fs := newFS()
 	b := NewBuilder(fs, Options{})

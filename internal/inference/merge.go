@@ -1,0 +1,119 @@
+package inference
+
+import "repro/internal/postings"
+
+// Chain concatenates posting iterators over disjoint ascending document
+// ranges into one logical list. The near-real-time engine assigns every
+// segment a contiguous global doc-ID range in segment order and the
+// memtable the range past the last segment, so concatenation in that
+// order yields a globally ascending stream — exactly what a single-
+// segment iterator would produce had the same documents been batch
+// built. Constituents must individually be ascending and must not
+// overlap; Chain does no re-sorting.
+//
+// Chain implements AdvancingIterator (delegating to a constituent's
+// native skip when it has one) and BoundedIterator (the max of the
+// constituents' bounds, known only when every constituent knows its
+// own).
+type Chain struct {
+	its []PostingIterator
+	i   int
+	err error
+}
+
+// NewChain wraps iterators listed in ascending doc-range order. Nil
+// entries are skipped, so callers can pass per-segment lookups that
+// found nothing without compacting the slice.
+func NewChain(its ...PostingIterator) *Chain {
+	kept := make([]PostingIterator, 0, len(its))
+	for _, it := range its {
+		if it != nil {
+			kept = append(kept, it)
+		}
+	}
+	return &Chain{its: kept}
+}
+
+// Next streams the concatenation. A constituent that ends with an error
+// latches it and ends the chain: a partially decoded segment must not
+// silently splice into its successor's range.
+func (c *Chain) Next() (postings.Posting, bool) {
+	for c.err == nil && c.i < len(c.its) {
+		if p, ok := c.its[c.i].Next(); ok {
+			return p, true
+		}
+		if err := c.its[c.i].Err(); err != nil {
+			c.err = err
+			break
+		}
+		c.i++
+	}
+	return postings.Posting{}, false
+}
+
+// Advance returns the first posting with Doc >= target at or after the
+// current position, skipping exhausted constituents. Constituents with
+// a native Advance (v2 block readers) skip whole blocks; others are
+// scanned linearly.
+func (c *Chain) Advance(target uint32) (postings.Posting, bool) {
+	for c.err == nil && c.i < len(c.its) {
+		it := c.its[c.i]
+		if adv, ok := it.(AdvancingIterator); ok {
+			if p, ok2 := adv.Advance(target); ok2 {
+				return p, true
+			}
+		} else {
+			for {
+				p, ok2 := it.Next()
+				if !ok2 {
+					break
+				}
+				if p.Doc >= target {
+					return p, true
+				}
+			}
+		}
+		if err := it.Err(); err != nil {
+			c.err = err
+			break
+		}
+		c.i++
+	}
+	return postings.Posting{}, false
+}
+
+// DF is the document frequency of the logical list: the sum of the
+// constituents'. Ranges are disjoint, so the sum is exact — this is
+// what keeps belief scores identical to a batch build mid-ingest.
+func (c *Chain) DF() uint64 {
+	var df uint64
+	for _, it := range c.its {
+		df += it.DF()
+	}
+	return df
+}
+
+// MaxTF bounds the within-document term frequency across the chain:
+// the max of the constituents' bounds. Unknown if any constituent
+// cannot bound itself — an optimistic partial max would let MaxScore
+// prune documents it should have scored.
+func (c *Chain) MaxTF() (uint32, bool) {
+	var max uint32
+	for _, it := range c.its {
+		b, ok := it.(BoundedIterator)
+		if !ok {
+			return 0, false
+		}
+		tf, known := b.MaxTF()
+		if !known {
+			return 0, false
+		}
+		if tf > max {
+			max = tf
+		}
+	}
+	return max, true
+}
+
+// Err reports the first constituent error, if any.
+func (c *Chain) Err() error { return c.err }

@@ -1,0 +1,188 @@
+package inference
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/postings"
+)
+
+// boundedSlice is a slice iterator that knows its max TF, standing in
+// for the memtable iterator and v2 block readers.
+type boundedSlice struct {
+	sliceIterator
+	maxTF uint32
+}
+
+func (b *boundedSlice) MaxTF() (uint32, bool) { return b.maxTF, true }
+
+// brokenIter yields a few postings then fails.
+type brokenIter struct {
+	n   int
+	err error
+}
+
+func (b *brokenIter) Next() (postings.Posting, bool) {
+	if b.n > 0 {
+		b.n--
+		return postings.Posting{Doc: 1, Positions: []uint32{0}}, true
+	}
+	return postings.Posting{}, false
+}
+func (b *brokenIter) DF() uint64 { return uint64(b.n) }
+func (b *brokenIter) Err() error { return b.err }
+
+// chainParts splits a list into consecutive runs and wraps each in a
+// slice iterator — the shape of segment + memtable lookups.
+func chainParts(ps []postings.Posting, cuts ...int) []PostingIterator {
+	var its []PostingIterator
+	prev := 0
+	for _, c := range cuts {
+		its = append(its, NewSliceIterator(ps[prev:c]))
+		prev = c
+	}
+	return append(its, NewSliceIterator(ps[prev:]))
+}
+
+func genAscending(rng *rand.Rand, n int) []postings.Posting {
+	ps := make([]postings.Posting, n)
+	doc := uint32(0)
+	for i := range ps {
+		doc += 1 + uint32(rng.Intn(7))
+		tf := 1 + rng.Intn(4)
+		pos := make([]uint32, tf)
+		for j := range pos {
+			pos[j] = uint32(j * 3)
+		}
+		ps[i] = postings.Posting{Doc: doc, Positions: pos}
+	}
+	return ps
+}
+
+func TestChainConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	want := genAscending(rng, 300)
+	c := NewChain(chainParts(want, 100, 180)...)
+	if c.DF() != 300 {
+		t.Fatalf("DF = %d, want 300", c.DF())
+	}
+	var got []postings.Posting
+	for {
+		p, ok := c.Next()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chain order differs from concatenation")
+	}
+}
+
+// TestChainAdvanceOracle drives Advance against a linear-scan oracle
+// over randomized targets, with a real v2 block reader as the middle
+// constituent so the native skip path is exercised.
+func TestChainAdvanceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full := genAscending(rng, 600)
+	mid := full[150:450]
+	rec, err := postings.EncodeV2(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkChain := func() *Chain {
+		br, ok := postings.OpenBlockReader(rec)
+		if !ok {
+			t.Fatal("not a v2 record")
+		}
+		return NewChain(
+			NewSliceIterator(full[:150]),
+			br,
+			nil, // absent segment lookup
+			NewSliceIterator(full[450:]),
+		)
+	}
+	maxDoc := full[len(full)-1].Doc
+	for trial := 0; trial < 50; trial++ {
+		c := mkChain()
+		oracle := 0 // index of next unconsumed posting in full
+		for oracle < len(full) {
+			target := full[oracle].Doc + uint32(rng.Intn(40))
+			if rng.Intn(3) == 0 { // mix plain Next in
+				p, ok := c.Next()
+				if !ok {
+					t.Fatalf("trial %d: Next ended early at %d", trial, oracle)
+				}
+				if p.Doc != full[oracle].Doc {
+					t.Fatalf("trial %d: Next doc %d, want %d", trial, p.Doc, full[oracle].Doc)
+				}
+				oracle++
+				continue
+			}
+			for oracle < len(full) && full[oracle].Doc < target {
+				oracle++
+			}
+			p, ok := c.Advance(target)
+			if oracle >= len(full) {
+				if ok {
+					t.Fatalf("trial %d: Advance(%d) found %d past end", trial, target, p.Doc)
+				}
+				break
+			}
+			if !ok || p.Doc != full[oracle].Doc {
+				t.Fatalf("trial %d: Advance(%d) = (%v,%v), want doc %d",
+					trial, target, p.Doc, ok, full[oracle].Doc)
+			}
+			oracle++
+		}
+		if c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+		// Exhausted chains stay exhausted under both calls.
+		if _, ok := c.Advance(maxDoc + 1); ok {
+			t.Fatal("Advance past end returned a posting")
+		}
+		if _, ok := c.Next(); ok {
+			t.Fatal("Next past end returned a posting")
+		}
+	}
+}
+
+func TestChainMaxTF(t *testing.T) {
+	a := &boundedSlice{maxTF: 3}
+	b := &boundedSlice{maxTF: 9}
+	if tf, ok := NewChain(a, b).MaxTF(); !ok || tf != 9 {
+		t.Fatalf("MaxTF = (%d,%v), want (9,true)", tf, ok)
+	}
+	// One unboundable constituent makes the whole bound unknown.
+	if _, ok := NewChain(a, NewSliceIterator(nil), b).MaxTF(); ok {
+		t.Fatal("MaxTF claimed a bound with an unbounded constituent")
+	}
+}
+
+func TestChainErrorLatch(t *testing.T) {
+	boom := errors.New("boom")
+	tail := NewSliceIterator([]postings.Posting{{Doc: 99, Positions: []uint32{0}}})
+	c := NewChain(&brokenIter{n: 1, err: boom}, tail)
+	if _, ok := c.Next(); !ok {
+		t.Fatal("first posting lost")
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("chain spliced past a failed constituent")
+	}
+	if !errors.Is(c.Err(), boom) {
+		t.Fatalf("Err = %v, want boom", c.Err())
+	}
+	// The latched error also stops Advance, and the tail is untouched.
+	if _, ok := c.Advance(0); ok {
+		t.Fatal("Advance ignored latched error")
+	}
+	if p, ok := tail.Next(); !ok || p.Doc != 99 {
+		t.Fatal("tail constituent was consumed past the error")
+	}
+}

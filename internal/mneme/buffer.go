@@ -3,6 +3,7 @@ package mneme
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -283,9 +284,28 @@ func (b *Buffer) ReleaseReservations() {
 	}
 }
 
+// residentsByRef returns the resident segments in (pool, idx) order.
+// Bulk operations that save segments must walk this instead of the
+// resident map: map iteration order would randomize the store-file
+// write sequence, and with it the OS block-cache state every
+// deterministic-replay harness depends on.
+func (b *Buffer) residentsByRef() []*Segment {
+	segs := make([]*Segment, 0, len(b.resident))
+	for _, s := range b.resident {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].ref.pool != segs[j].ref.pool {
+			return segs[i].ref.pool < segs[j].ref.pool
+		}
+		return segs[i].ref.idx < segs[j].ref.idx
+	})
+	return segs
+}
+
 // FlushDirty saves every dirty resident segment via the pool call-back.
 func (b *Buffer) FlushDirty() error {
-	for _, s := range b.resident {
+	for _, s := range b.residentsByRef() {
 		if s.dirty {
 			if err := b.save(s); err != nil {
 				return err
@@ -308,7 +328,7 @@ func (b *Buffer) Drop(ref segRef) {
 
 // Clear evicts everything, saving dirty segments first.
 func (b *Buffer) Clear() error {
-	for _, s := range b.resident {
+	for _, s := range b.residentsByRef() {
 		if s.dirty {
 			if err := b.save(s); err != nil {
 				return fmt.Errorf("mneme: clear: %w", err)

@@ -1,0 +1,168 @@
+package mneme
+
+// Write-ahead log. The near-real-time ingest path pairs Mneme's
+// commit-point machinery with a CRC'd append-only log: a document is
+// acknowledged only after its log entry is durable (Append + Sync), so
+// a crash at any instant loses nothing that was acknowledged. The log
+// is payload-agnostic — the NRT engine frames documents into entries —
+// and recovery is prefix-exact: replay stops at the first torn or
+// corrupt frame and truncates the file there, mirroring how the store
+// header's checksummed commit point discards a torn Commit.
+//
+// Frame layout, repeated to end of file after a 4-byte magic:
+//
+//	u32 payload length | u32 CRC32(payload) | payload bytes
+//
+// All integers little-endian. A frame whose length field runs past the
+// end of the file, or whose checksum does not match, ends replay: it
+// and everything after it are the torn tail of an unacknowledged
+// append.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/vfs"
+)
+
+const (
+	walMagic     = "MWL1"
+	walFrameHead = 8 // u32 length + u32 crc
+)
+
+// WAL is an append-only checksummed log over one vfs file. It is not
+// safe for concurrent use; the NRT engine serializes appends behind its
+// ingest lock.
+type WAL struct {
+	f       *vfs.File
+	name    string
+	off     int64 // next append offset
+	entries int64
+	buf     []byte // scratch frame buffer
+}
+
+// WALMark is a position in the log (offset + entry count) taken before
+// a batch of appends, so a failed batch can be rewound: the log never
+// retains frames for documents whose ingest was reported as failed.
+type WALMark struct {
+	off     int64
+	entries int64
+}
+
+// CreateWAL creates an empty log. The magic header is written but not
+// synced; the first acknowledged batch syncs it along with its frames.
+func CreateWAL(fs *vfs.FS, name string) (*WAL, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+		return nil, fmt.Errorf("mneme: init wal %q: %w", name, err)
+	}
+	return &WAL{f: f, name: name, off: int64(len(walMagic))}, nil
+}
+
+// OpenWAL opens an existing log, replaying every intact entry through
+// fn in append order and truncating the torn tail (if any) so the log
+// is ready for further appends. fn may be nil to open without
+// consuming the entries. An error from fn aborts the open.
+func OpenWAL(fs *vfs.FS, name string, fn func(payload []byte) error) (*WAL, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	size := f.Size()
+	hdr := make([]byte, len(walMagic))
+	if size < int64(len(walMagic)) {
+		return nil, fmt.Errorf("mneme: wal %q: %w: short header", name, ErrCorrupt)
+	}
+	if err := vfs.ReadFull(f, hdr, 0); err != nil {
+		return nil, fmt.Errorf("mneme: wal %q: read header: %w", name, err)
+	}
+	if string(hdr) != walMagic {
+		return nil, fmt.Errorf("mneme: wal %q: %w: bad magic", name, ErrCorrupt)
+	}
+	w := &WAL{f: f, name: name, off: int64(len(walMagic))}
+	var frame [walFrameHead]byte
+	for {
+		if w.off+walFrameHead > size {
+			break // torn or absent frame header
+		}
+		if err := vfs.ReadFull(f, frame[:], w.off); err != nil {
+			return nil, fmt.Errorf("mneme: wal %q: read frame: %w", name, err)
+		}
+		n := int64(binary.LittleEndian.Uint32(frame[0:4]))
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if w.off+walFrameHead+n > size {
+			break // length runs past EOF: torn payload
+		}
+		payload := make([]byte, n)
+		if err := vfs.ReadFull(f, payload, w.off+walFrameHead); err != nil {
+			return nil, fmt.Errorf("mneme: wal %q: read payload: %w", name, err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt frame: everything from here is tail
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return nil, err
+			}
+		}
+		w.off += walFrameHead + n
+		w.entries++
+	}
+	if w.off < size {
+		if err := f.Truncate(w.off); err != nil {
+			return nil, fmt.Errorf("mneme: wal %q: truncate tail: %w", name, err)
+		}
+	}
+	return w, nil
+}
+
+// Append writes one entry. The entry is not durable — and must not be
+// acknowledged — until Sync returns.
+func (w *WAL) Append(payload []byte) error {
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, payload...)
+	if _, err := w.f.WriteAt(w.buf, w.off); err != nil {
+		return fmt.Errorf("mneme: wal %q: append: %w", w.name, err)
+	}
+	w.off += int64(len(w.buf))
+	w.entries++
+	return nil
+}
+
+// Sync makes every appended entry durable.
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Mark returns the current end of the log, for Rewind.
+func (w *WAL) Mark() WALMark { return WALMark{off: w.off, entries: w.entries} }
+
+// Rewind truncates the log back to a mark taken before a failed batch,
+// discarding its partial frames so they can never replay. If the
+// truncate itself fails (the device is injecting faults), the log is
+// left long — recovery still stops at the first torn frame — but the
+// error tells the caller the log could not be tidied in place.
+func (w *WAL) Rewind(m WALMark) error {
+	if m.off == w.off {
+		return nil
+	}
+	err := w.f.Truncate(m.off)
+	w.off, w.entries = m.off, m.entries
+	if err != nil {
+		return fmt.Errorf("mneme: wal %q: rewind: %w", w.name, err)
+	}
+	return nil
+}
+
+// Entries returns the number of intact entries written or replayed.
+func (w *WAL) Entries() int64 { return w.entries }
+
+// Size returns the log's byte size (header + intact frames).
+func (w *WAL) Size() int64 { return w.off }
+
+// Close invalidates the handle; the log remains on the file system.
+func (w *WAL) Close() error { return w.f.Close() }

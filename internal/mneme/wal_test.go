@@ -1,0 +1,267 @@
+package mneme
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func walPayloads(t *testing.T, fs *vfs.FS, name string) [][]byte {
+	t.Helper()
+	var got [][]byte
+	w, err := OpenWAL(fs, name, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	fs := vfs.New(vfs.Options{})
+	w, err := CreateWAL(fs, "t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("entry-%03d-%s", i, string(bytes.Repeat([]byte{byte(i)}, i%40))))
+		want = append(want, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Entries() != 100 {
+		t.Fatalf("entries = %d, want 100", w.Entries())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := walPayloads(t, fs, "t.wal")
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("entry %d mismatch: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALTornTailTruncated chops the log mid-frame at every byte
+// boundary of the last entry and proves replay recovers exactly the
+// preceding entries, then truncates so appends resume cleanly.
+func TestWALTornTailTruncated(t *testing.T) {
+	base := vfs.New(vfs.Options{})
+	w, err := CreateWAL(base, "t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := func(i int) []byte { return []byte(fmt.Sprintf("payload-%04d", i)) }
+	for i := 0; i < 5; i++ {
+		if err := w.Append(entry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := w.Size()
+	prevEnd := whole - walFrameHead - int64(len(entry(4)))
+
+	for cut := prevEnd; cut < whole; cut++ {
+		fs := base.Clone(vfs.Options{})
+		f, err := fs.Open("t.wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(cut); err != nil {
+			t.Fatal(err)
+		}
+		got := walPayloads(t, fs, "t.wal")
+		if len(got) != 4 {
+			t.Fatalf("cut at %d: replayed %d entries, want 4", cut, len(got))
+		}
+		// The torn tail is gone: a fresh append lands and replays.
+		w2, err := OpenWAL(fs, "t.wal", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Append([]byte("after-tear")); err != nil {
+			t.Fatal(err)
+		}
+		got = walPayloads(t, fs, "t.wal")
+		if len(got) != 5 || string(got[4]) != "after-tear" {
+			t.Fatalf("cut at %d: post-tear append not replayed: %d entries", cut, len(got))
+		}
+	}
+}
+
+// TestWALBitRotStopsReplay flips one byte inside an entry's payload and
+// proves replay stops at the damaged frame instead of surfacing it.
+func TestWALBitRotStopsReplay(t *testing.T) {
+	fs := vfs.New(vfs.Options{})
+	w, err := CreateWAL(fs, "t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for i := 0; i < 6; i++ {
+		offs = append(offs, w.Size())
+		if err := w.Append([]byte(fmt.Sprintf("payload-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot the third entry's payload.
+	if err := fs.FlipByte("t.wal", offs[2]+walFrameHead+3, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	got := walPayloads(t, fs, "t.wal")
+	if len(got) != 2 {
+		t.Fatalf("replayed %d entries past bit rot, want 2", len(got))
+	}
+}
+
+func TestWALRewindDiscardsFailedBatch(t *testing.T) {
+	fs := vfs.New(vfs.Options{})
+	w, err := CreateWAL(fs, "t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Mark()
+	if err := w.Append([]byte("doomed-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("doomed-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rewind(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("acked-2")); err != nil {
+		t.Fatal(err)
+	}
+	got := walPayloads(t, fs, "t.wal")
+	if len(got) != 2 || string(got[0]) != "acked" || string(got[1]) != "acked-2" {
+		t.Fatalf("rewind left wrong entries: %q", got)
+	}
+}
+
+func TestWALOpenRejectsBadMagic(t *testing.T) {
+	fs := vfs.New(vfs.Options{})
+	f, err := fs.Create("junk.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("NOPE-this-is-not-a-wal"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(fs, "junk.wal", nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open foreign file: want ErrCorrupt, got %v", err)
+	}
+}
+
+// FuzzWALRoundTrip drives the log with fuzz-chosen payloads and a
+// fuzz-chosen truncation point, asserting the prefix property: replay
+// after any mutilation yields an exact prefix of what was appended,
+// never a corrupted or reordered entry.
+func FuzzWALRoundTrip(f *testing.F) {
+	f.Add([]byte("hello\x00world\x01abc"), uint16(0), false)
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252}, uint16(5), true)
+	f.Add(bytes.Repeat([]byte{0xAB}, 300), uint16(100), false)
+	f.Add([]byte{}, uint16(0), true)
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16, flip bool) {
+		fs := vfs.New(vfs.Options{})
+		w, err := CreateWAL(fs, "f.wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Slice the fuzz input into payloads: a length byte then bytes.
+		var want [][]byte
+		for i := 0; i < len(data); {
+			n := int(data[i]) % 37
+			i++
+			if i+n > len(data) {
+				n = len(data) - i
+			}
+			p := data[i : i+n]
+			i += n
+			want = append(want, p)
+			if err := w.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		size := w.Size()
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Mutilate: truncate at a fuzz-chosen point and/or flip a byte.
+		fh, err := fs.Open("f.wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cutAt := size
+		if size > 0 {
+			cutAt = int64(cut) % (size + 1)
+		}
+		if err := fh.Truncate(cutAt); err != nil {
+			t.Fatal(err)
+		}
+		if flip && cutAt > int64(len(walMagic)) {
+			if err := fs.FlipByte("f.wal", cutAt/2, 0x40); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got [][]byte
+		w2, err := OpenWAL(fs, "f.wal", func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			// A mutilated header is allowed to fail the open — but only
+			// as a typed corruption error, never a panic or raw EOF.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open mutilated wal: %v", err)
+			}
+			return
+		}
+		if len(got) > len(want) {
+			t.Fatalf("replay invented entries: %d > %d", len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("entry %d not a prefix match", i)
+			}
+		}
+		// Post-recovery appends land after the intact prefix.
+		if err := w2.Append([]byte("tail")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		w3, err := OpenWAL(fs, "f.wal", func(p []byte) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("reopen after recovery append: %v", err)
+		}
+		_ = w3.Close()
+		if n != len(got)+1 {
+			t.Fatalf("after recovery append: %d entries, want %d", n, len(got)+1)
+		}
+	})
+}

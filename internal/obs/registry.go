@@ -17,6 +17,21 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an instantaneous level (memtable bytes, open segments):
+// unlike a Counter it is set, not accumulated, and may go down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram is a fixed-bucket histogram of int64 observations
 // (latencies in nanoseconds, sizes in bytes). Observations are two
 // atomic adds plus a binary search over the bounds — no locks — so the
@@ -98,6 +113,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 type Registry struct {
 	mu     sync.RWMutex
 	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
 	hists  map[string]*Histogram
 	bounds map[string][]int64
 }
@@ -106,6 +122,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 		bounds: make(map[string][]int64),
 	}
@@ -127,6 +144,24 @@ func (r *Registry) Counter(name string) *Counter {
 	c = &Counter{}
 	r.ctrs[name] = c
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -157,6 +192,9 @@ func (r *Registry) Reset() {
 	for _, c := range r.ctrs {
 		c.v.Store(0)
 	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
 	for _, h := range r.hists {
 		for i := range h.counts {
 			h.counts[i].Store(0)
@@ -168,6 +206,12 @@ func (r *Registry) Reset() {
 
 // CounterSnap is one counter in a registry snapshot.
 type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a registry snapshot.
+type GaugeSnap struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
@@ -197,6 +241,7 @@ type HistogramSnap struct {
 // downstream tooling.
 type RegistrySnapshot struct {
 	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
 	Histograms []HistogramSnap `json:"histograms,omitempty"`
 }
 
@@ -210,6 +255,10 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	for name, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
 	for name, h := range r.hists {
 		hs := HistogramSnap{
 			Name:  name,

@@ -83,6 +83,17 @@ type Index interface {
 	Health() core.Health
 }
 
+// Ingester is the optional write surface of a served index. An index
+// whose underlying engine supports near-real-time ingest (core.NRTEngine)
+// implements it; batch-built engines do not, and POST /v1/ingest
+// reports 501 for them.
+type Ingester interface {
+	// Ingest indexes a batch of documents atomically and durably,
+	// returning the first assigned document ID. The documents are
+	// searchable when Ingest returns.
+	Ingest(texts ...string) (uint32, error)
+}
+
 // Server routes the inqueryd endpoints over a set of named indexes.
 // The engines are shared; per-request state lives in the per-call
 // Searcher that Engine.Run acquires, so any number of in-flight HTTP
@@ -128,6 +139,7 @@ func NewIndexes(engines map[string]Index, d Defaults) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
@@ -292,6 +304,68 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		out.Responses = append(out.Responses, qr)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// ingestBody is the POST /v1/ingest request body.
+type ingestBody struct {
+	Index string `json:"index,omitempty"`
+	// Docs holds the document texts, indexed in order: the first
+	// receives the returned first_id, the rest consecutive IDs.
+	Docs []string `json:"docs"`
+}
+
+// ingestReply is the POST /v1/ingest response body. When it arrives
+// the batch is durable and searchable.
+type ingestReply struct {
+	Index   string `json:"index"`
+	FirstID uint32 `json:"first_id"`
+	Count   int    `json:"count"`
+	// Docs is the index's total searchable document count after the
+	// batch.
+	Docs int `json:"docs"`
+}
+
+// handleIngest routes a document batch to the named index's ingest
+// surface. Indexes without one (batch-built engines) answer 501. The
+// batch either fully acknowledges (200) or fully fails — a 5xx means
+// nothing was indexed and the batch is safe to retry.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.defaults.MaxBodyBytes)
+	var body ingestBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	eng, name, err := s.engine(body.Index)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	ing, ok := eng.(Ingester)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("index %q is batch-built and does not accept ingest", name))
+		return
+	}
+	if len(body.Docs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty docs batch"))
+		return
+	}
+	if len(body.Docs) > s.defaults.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(body.Docs), s.defaults.MaxBatch))
+		return
+	}
+	first, err := ing.Ingest(body.Docs...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestReply{
+		Index: name, FirstID: first, Count: len(body.Docs), Docs: eng.NumDocs(),
+	})
 }
 
 // explainReply is the GET /v1/explain response body.

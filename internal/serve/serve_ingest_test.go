@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/vfs"
+)
+
+// postIngest sends one JSON body to /v1/ingest and returns the status
+// and raw reply.
+func postIngest(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/ingest", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	fs := vfs.New(vfs.Options{BlockSize: 8192})
+	live, err := core.OpenNRT(fs, "live", core.BackendMneme, core.NRTConfig{FlushDocs: 8},
+		core.WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	bfs := vfs.New(vfs.Options{BlockSize: 8192})
+	if _, err := core.Build(bfs, "batch", &core.SliceDocs{Docs: []index.Doc{
+		{ID: 0, Text: "static batch document"},
+	}}, core.BuildOptions{Analyzer: plainAnalyzer(), Backends: []core.BackendKind{core.BackendBTree}}); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.Open(bfs, "batch", core.BackendBTree, core.WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Close()
+
+	s := NewIndexes(map[string]Index{"live": live, "batch": batch}, Defaults{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A batch acknowledges with IDs and is searchable immediately.
+	status, raw := postIngest(t, ts.URL, map[string]any{
+		"index": "live",
+		"docs":  []string{"persistent object store", "full text retrieval", "object retrieval store"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", status, raw)
+	}
+	var rep ingestReply
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Index != "live" || rep.FirstID != 0 || rep.Count != 3 || rep.Docs != 3 {
+		t.Fatalf("reply = %+v", rep)
+	}
+	st, _, wr := post(t, ts.URL, map[string]any{"index": "live", "query": "retrieval"})
+	if st != http.StatusOK || len(wr.Results) != 2 {
+		t.Fatalf("search after ingest: status %d results %v", st, wr.Results)
+	}
+
+	// Consecutive IDs across batches.
+	status, raw = postIngest(t, ts.URL, map[string]any{"index": "live", "docs": []string{"one more"}})
+	if status != http.StatusOK {
+		t.Fatalf("second ingest status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstID != 3 || rep.Docs != 4 {
+		t.Fatalf("second reply = %+v", rep)
+	}
+
+	// A batch-built index refuses with 501.
+	status, raw = postIngest(t, ts.URL, map[string]any{"index": "batch", "docs": []string{"x"}})
+	if status != http.StatusNotImplemented {
+		t.Fatalf("batch-index ingest status %d: %s", status, raw)
+	}
+
+	// Malformed and empty bodies are 400; unknown index is 404.
+	if status, _ = postIngest(t, ts.URL, map[string]any{"index": "live", "docs": []string{}}); status != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", status)
+	}
+	if status, _ = postIngest(t, ts.URL, map[string]any{"index": "nope", "docs": []string{"x"}}); status != http.StatusNotFound {
+		t.Fatalf("unknown index status %d", status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d", resp.StatusCode)
+	}
+
+	// /snapshot carries the NRT write-path block for the live index.
+	sresp, err := http.Get(ts.URL + "/snapshot?index=live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var snap core.Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NRT == nil || snap.NRT.Ingested != 4 {
+		t.Fatalf("snapshot NRT block = %+v", snap.NRT)
+	}
+
+	// /healthz sees both indexes with live doc counts.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hz healthzReply
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Indexes["live"] != 4 || hz.Indexes["batch"] != 1 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+}
