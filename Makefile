@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint faults fuzz soak nrt check bench gobench serve-smoke serve-bench
+.PHONY: all build test race fmt vet lint faults fuzz soak chaos nrt check bench gobench serve-smoke serve-bench
 
 all: check
 
@@ -30,6 +30,11 @@ lint: vet
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed; go vet only (install honnef.co/go/tools/cmd/staticcheck for the full gate)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping vulnerability scan (install golang.org/x/vuln/cmd/govulncheck for the full gate)"; \
 	fi
 
 # Robustness tier: the fault-injection, crash-recovery, checksum, and
@@ -66,7 +71,20 @@ fuzz:
 soak:
 	SOAK_ROUNDS=1000 $(GO) test -count=1 -run TestChaosSoak ./internal/core/
 	SOAK_ROUNDS=40 $(GO) test -count=1 -run 'TestShardKillStorm|TestShardCrashFreeze' ./internal/shard/
+	SOAK_ROUNDS=40 $(GO) test -count=1 -run TestReplicaKillStorm ./internal/shard/
 	SOAK_ROUNDS=8 $(GO) test -count=1 -race -run TestNRTStormIngestQueryFaults ./internal/core/
+
+# Replica chaos, quick tier: a seeded replica-kill + bit-rot storm over
+# a 4-shard x 2-replica set under the race detector, plus the online-
+# repair throughput proof (queries must keep flowing while a quarantined
+# replica is rebuilt from its peer). Every query during the storm must
+# return the full, exact ranking — zero failed or partial answers while
+# one replica of any shard survives. The longer unraced storm lives in
+# `make soak`; this tier is short enough for `make check`.
+chaos:
+	SOAK_ROUNDS=10 $(GO) test -count=1 -race \
+		-run 'TestReplicaKillStorm|TestReplicaRepairOnlineThroughput|TestReplicaFailoverGoroutineHygiene' \
+		./internal/shard/
 
 # Near-real-time tier: the write-path proof suite. Differential oracle
 # (quiesced rankings byte-identical to the batch builder, mid-ingest
@@ -89,12 +107,14 @@ nrt:
 # and require a clean drain (exit 0) — a leaked worker or stuck
 # shutdown hangs and fails here.
 # Covers the single-engine boot, the sharded scatter-gather boot
-# (-shards 2 -quorum 'quorum(1)'), and the near-real-time boot (-nrt
-# with a live POST /v1/ingest made searchable on the next request).
+# (-shards 2 -quorum 'quorum(1)'), the replicated boot (-shards 2
+# -replicas 2 with per-replica health in /snapshot), and the
+# near-real-time boot (-nrt with a live POST /v1/ingest made searchable
+# on the next request).
 serve-smoke:
-	$(GO) test -count=1 -run 'TestServeSmoke|TestServeSmokeSharded|TestServeSmokeNRT' ./cmd/inqueryd/
+	$(GO) test -count=1 -run 'TestServeSmoke|TestServeSmokeSharded|TestServeSmokeReplicated|TestServeSmokeNRT' ./cmd/inqueryd/
 
-check: fmt lint test faults race fuzz soak nrt serve-smoke
+check: fmt lint test faults race fuzz soak chaos nrt serve-smoke
 
 # Query-latency regression gate: runs the standard query mixes over both
 # backends (cmd/repro -bench) and diffs the per-stage p95 quantiles
@@ -110,9 +130,15 @@ bench:
 # Serving-throughput gate: boot inqueryd over the synthetic CACM index
 # three times — unsharded (serve-x1) and document-partitioned into 2 and
 # 4 shards behind the scatter-gather coordinator — drive a closed-loop
-# burst with loadgen after each boot, accumulate the three rows into one
+# burst with loadgen after each boot, accumulate the rows into one
 # report (-append), and diff achieved QPS, shed rate, and latency
-# quantiles against the committed baseline on the final run.
+# quantiles against the committed baseline on the x4 run.
+# Two replicated boots follow (-shards 4 -replicas 2): a healthy run
+# (serve-x4r2) and a run where the server crash-freezes one replica of
+# every shard 2s in (-chaos-kill-replica, label serve-x4r2-kill). The
+# killed run is gated by -kill-gate: zero transport errors, zero HTTP
+# 5xx, and QPS at least 90% of the healthy row — the failover router
+# must absorb the kill without surfacing it to clients.
 # These are wall-clock numbers (unlike the simulated query bench), so
 # the tolerance is deliberately loose — it catches collapses, not
 # percent-level drift — and the target is NOT part of `make check`.
@@ -133,6 +159,18 @@ serve-bench:
 			GATE="-baseline $(SERVE_BENCH_BASE) -tol 1.0"; fi; \
 		/tmp/repro-loadgen -target http://127.0.0.1:7933 -collection CACM -scale 0.05 \
 			-duration 5s -c 8 -label serve-x$$N -append -out $(SERVE_BENCH_OUT) $$GATE; \
+		RC=$$?; kill -TERM $$SRV; wait $$SRV || true; \
+		[ $$RC -eq 0 ] || exit $$RC; \
+	done
+	for KILL in "" "-chaos-kill-replica 2s"; do \
+		LABEL=serve-x4r2; GATE=""; \
+		if [ -n "$$KILL" ]; then \
+			LABEL=serve-x4r2-kill; GATE="-kill-gate serve-x4r2 -kill-ratio 0.9"; fi; \
+		/tmp/repro-inqueryd -synthetic CACM -scale 0.05 -shards 4 -replicas 2 $$KILL \
+			-addr 127.0.0.1:7933 & \
+		SRV=$$!; \
+		/tmp/repro-loadgen -target http://127.0.0.1:7933 -collection CACM -scale 0.05 \
+			-duration 5s -c 8 -label $$LABEL -append -out $(SERVE_BENCH_OUT) $$GATE; \
 		RC=$$?; kill -TERM $$SRV; wait $$SRV || true; \
 		[ $$RC -eq 0 ] || exit $$RC; \
 	done

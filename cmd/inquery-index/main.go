@@ -65,6 +65,7 @@ func main() {
 	stem := flag.Bool("stem", true, "apply Porter stemming (document files only)")
 	chunk := flag.Int("chunk", 0, "store large inverted lists as linked chunks of this many bytes (0 = whole objects)")
 	shards := flag.Int("shards", 0, "split the collection round-robin into this many document-partitioned shards (0/1 = unsharded)")
+	replicas := flag.Int("replicas", 0, "store this many byte-identical replicas of every shard, each with a checksum manifest (0/1 = unreplicated; implies -shards 1 if unset)")
 	nrt := flag.Bool("nrt", false, "initialize the image as a near-real-time collection (manifest + WAL over the batch build); with -in, replay and quiesce an existing NRT image instead")
 	in := flag.String("in", "", "existing NRT image to replay and quiesce (requires -nrt; skips building)")
 	backend := flag.String("backend", "mneme", "storage backend for NRT segment flushes: mneme or btree")
@@ -76,6 +77,12 @@ func main() {
 	}
 	if *nrt && *shards > 1 {
 		fail(fmt.Errorf("NRT collections are unsharded; drop -shards"))
+	}
+	if *nrt && *replicas > 1 {
+		fail(fmt.Errorf("NRT collections are unreplicated; drop -replicas"))
+	}
+	if *replicas > 1 && *shards < 1 {
+		*shards = 1 // replication without sharding: one replicated shard
 	}
 	if *in != "" {
 		if !*nrt {
@@ -116,11 +123,19 @@ func main() {
 
 	opt := core.BuildOptions{Analyzer: an, ChunkLargeLists: *chunk}
 	var stats *core.BuildStats
-	if *shards > 1 {
+	if *shards > 1 || *replicas > 1 {
 		// Sharded: N parallel builds into the same image, one shard
 		// collection each, plus the shard-count sidecar. The printed
-		// totals sum the per-shard builds.
-		perShard, err := shard.Build([]*vfs.FS{fs}, *name, *shards, src, opt)
+		// totals sum the per-shard builds. With -replicas R each shard
+		// is cloned R-1 times through the checksummed copy path so
+		// every replica is byte-identical and manifest-verified.
+		var perShard []*core.BuildStats
+		var err error
+		if *replicas > 1 {
+			perShard, err = shard.BuildReplicated([][]*vfs.FS{{fs}}, *name, *shards, *replicas, src, opt)
+		} else {
+			perShard, err = shard.Build([]*vfs.FS{fs}, *name, *shards, src, opt)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -169,6 +184,9 @@ func main() {
 	fmt.Printf("  Mneme file:     %d KB\n", stats.MnemeBytes/1024)
 	if *shards > 1 {
 		fmt.Printf("  shards:         %d\n", *shards)
+	}
+	if *replicas > 1 {
+		fmt.Printf("  replicas:       %d (checksum-manifested, byte-identical)\n", *replicas)
 	}
 	if *nrt {
 		fmt.Printf("  nrt:            manifest + WAL initialized (serve with inqueryd -nrt)\n")

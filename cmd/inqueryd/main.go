@@ -8,6 +8,7 @@
 //	inqueryd -index index.img -name mycol -backend btree
 //	inqueryd -synthetic CACM -scale 0.05            # self-built test index
 //	inqueryd -synthetic CACM -shards 4 -quorum 'quorum(3)'
+//	inqueryd -synthetic CACM -shards 4 -replicas 2         # replicated, failover routing
 //	inqueryd -synthetic CACM -nrt                   # live ingest via POST /v1/ingest
 //
 // Indexes come from inquery-index images (-index, repeatable, as
@@ -94,6 +95,9 @@ func main() {
 	nrtFlushEvery := flag.Duration("nrt-flush-every", 0, "background NRT flush-and-compact interval (0 = none)")
 	nrtCompact := flag.Int("nrt-compact", 4, "merge NRT segments once this many have accumulated (0 = never)")
 	shards := flag.Int("shards", 0, "document-partitioned shard count for -synthetic collections, each shard on its own store (0/1 = unsharded; -index images carry their own shard count)")
+	replicas := flag.Int("replicas", 0, "replica count per shard for -synthetic collections, each replica on its own store with failover routing (0/1 = unreplicated; -index images carry their own replica count)")
+	repairBPS := flag.Int64("repair-bps", 0, "rate limit, in bytes/sec, for online replica repair copies (0 = unpaced)")
+	chaosKill := flag.Duration("chaos-kill-replica", 0, "crash-freeze replica 1 of every replicated -synthetic shard after this delay — a replica-kill drill for the bench harness (0 = never)")
 	quorum := flag.String("quorum", "all", "sharded quorum policy: all, best-effort, or quorum(k)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "fixed sharded straggler delay before a hedged duplicate read (0 = derive from each shard's p95)")
 	shutdownTO := flag.Duration("shutdown-timeout", 10*time.Second, "drain budget for in-flight requests on SIGINT/SIGTERM")
@@ -110,11 +114,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	shardCfg := shard.Config{Policy: policy, HedgeAfter: *hedgeAfter, RetryAttempts: 2}
+	shardCfg := shard.Config{Policy: policy, HedgeAfter: *hedgeAfter, RetryAttempts: 2, RepairBytesPerSec: *repairBPS}
 	var nrtCfg *core.NRTConfig
 	if *nrt {
 		if *shards > 1 {
 			fail(errors.New("-nrt serves single-store indexes; drop -shards"))
+		}
+		if *replicas > 1 {
+			fail(errors.New("-nrt serves single-store indexes; drop -replicas"))
 		}
 		nrtCfg = &core.NRTConfig{
 			FlushDocs:       *nrtFlushDocs,
@@ -159,6 +166,10 @@ func main() {
 				e.Close()
 			case *core.NRTEngine:
 				e.Close()
+			case *shard.Index:
+				// Waits for in-flight repairs; closes the engines too
+				// when the index owns them (replicated open).
+				e.Close()
 			}
 		}
 		for _, e := range shardEngines {
@@ -183,15 +194,32 @@ func main() {
 	// Synthetic collections are generated pre-normalized, so their
 	// engines analyze without stemming or stopping — same analyzer the
 	// experiments use.
+	var chaosTargets []*vfs.FS
 	for _, n := range synthetics {
-		ix, engs, err := buildSynthetic(n, *scale, *shards, shardCfg, nrtCfg, engineOpts)
+		ix, engs, targets, err := buildSynthetic(n, *scale, *shards, *replicas, shardCfg, nrtCfg, engineOpts)
 		if err != nil {
 			fail(fmt.Errorf("synthetic %s: %w", n, err))
 		}
 		shardEngines = append(shardEngines, engs...)
+		chaosTargets = append(chaosTargets, targets...)
 		if err := addIndex(n, ix); err != nil {
 			fail(err)
 		}
+	}
+	if *chaosKill > 0 {
+		if len(chaosTargets) == 0 {
+			fail(errors.New("-chaos-kill-replica needs a replicated -synthetic index (-replicas >= 2)"))
+		}
+		// The drill the replicated bench row uses: after the delay,
+		// replica 1 of every shard starts failing every read and its
+		// store freezes — the coordinator must absorb the loss with
+		// zero failed queries while replica 0 survives.
+		time.AfterFunc(*chaosKill, func() {
+			for i, fs := range chaosTargets {
+				fs.SetFaultPlan(vfs.NewFaultPlan(int64(9000 + i)).FailRead(1).WithCrash())
+			}
+			fmt.Printf("inqueryd: chaos drill: crash-froze %d replica store(s)\n", len(chaosTargets))
+		})
 	}
 
 	srv := serve.NewIndexes(indexes, serve.Defaults{
@@ -209,8 +237,13 @@ func main() {
 	names := make([]string, 0, len(indexes))
 	for n, ix := range indexes {
 		if sx, ok := ix.(*shard.Index); ok {
-			names = append(names, fmt.Sprintf("%s (%d docs, %d shards, %s)",
-				n, sx.NumDocs(), sx.Shards(), shardCfg.Policy))
+			if sx.Replicas() > 1 {
+				names = append(names, fmt.Sprintf("%s (%d docs, %d shards x%d replicas, %s)",
+					n, sx.NumDocs(), sx.Shards(), sx.Replicas(), shardCfg.Policy))
+			} else {
+				names = append(names, fmt.Sprintf("%s (%d docs, %d shards, %s)",
+					n, sx.NumDocs(), sx.Shards(), shardCfg.Policy))
+			}
 			continue
 		}
 		if ne, ok := ix.(*core.NRTEngine); ok {
@@ -272,7 +305,7 @@ func openImage(path, name, backend string, cache, stem bool, chunk int, shardCfg
 	if !stem {
 		an = textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
 	}
-	nShards, sharded, err := shard.Detect(fs, name)
+	nShards, nReplicas, sharded, err := shard.DetectFull(fs, name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -295,6 +328,12 @@ func openImage(path, name, backend string, cache, stem bool, chunk int, shardCfg
 	if nrtCfg != nil {
 		return nil, nil, fmt.Errorf("image is sharded (%d shards); -nrt serves single-store indexes", nShards)
 	}
+	if nReplicas > 1 {
+		// Replicated image: manifest-verified open with failover
+		// routing; the returned index owns (and closes) its engines.
+		ix, err := shard.OpenReplicated([][]*vfs.FS{{fs}}, name, nShards, nReplicas, kind, shardCfg, opts...)
+		return ix, nil, err
+	}
 	engines, err := shard.OpenEngines([]*vfs.FS{fs}, name, nShards, kind, opts...)
 	if err != nil {
 		return nil, nil, err
@@ -308,26 +347,58 @@ func openImage(path, name, backend string, cache, stem bool, chunk int, shardCfg
 // 1, round-robin into per-shard file systems behind a scatter-gather
 // coordinator), and opens Mneme engines with the collection's Table 2
 // buffer plan. A non-nil nrtCfg wraps the built collection as the NRT
-// base segment so live documents can be ingested on top of it.
-func buildSynthetic(name string, scale float64, nShards int, shardCfg shard.Config,
-	nrtCfg *core.NRTConfig, baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, error) {
+// base segment so live documents can be ingested on top of it. With
+// nReplicas > 1 every shard is cloned onto nReplicas per-replica file
+// systems and served through the failover router; the third return
+// value holds the replica-1 stores, the -chaos-kill-replica targets.
+func buildSynthetic(name string, scale float64, nShards, nReplicas int, shardCfg shard.Config,
+	nrtCfg *core.NRTConfig, baseOpts func(*textproc.Analyzer) []core.Option) (serve.Index, []*core.Engine, []*vfs.FS, error) {
 	col, ok := collection.ByName(name, scale)
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown collection (want CACM, Legal, TIPSTER1, TIPSTER)")
+		return nil, nil, nil, fmt.Errorf("unknown collection (want CACM, Legal, TIPSTER1, TIPSTER)")
 	}
 	an := textproc.NewAnalyzer(textproc.WithStemming(false), textproc.WithStopWords(nil))
-	if nShards <= 1 {
+	if nShards <= 1 && nReplicas <= 1 {
 		fs := vfs.New(vfs.Options{OSCacheBytes: 8 << 20})
 		if _, err := core.Build(fs, col.Name, col.Stream(), core.BuildOptions{Analyzer: an}); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		opts := append(baseOpts(an), core.WithPlan(planFromDictionary(fs, col.Name)))
 		if nrtCfg != nil {
 			eng, err := core.OpenNRT(fs, col.Name, core.BackendMneme, *nrtCfg, opts...)
-			return eng, nil, err
+			return eng, nil, nil, err
 		}
 		eng, err := core.Open(fs, col.Name, core.BackendMneme, opts...)
-		return eng, nil, err
+		return eng, nil, nil, err
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nReplicas > 1 {
+		// Per-replica file systems: every replica of every shard is its
+		// own blast radius, so a fault plan (or the chaos drill) takes
+		// out exactly one copy of one shard.
+		fss := make([][]*vfs.FS, nShards)
+		for i := range fss {
+			fss[i] = make([]*vfs.FS, nReplicas)
+			for r := range fss[i] {
+				fss[i][r] = vfs.New(vfs.Options{OSCacheBytes: 8 << 20})
+			}
+		}
+		if _, err := shard.BuildReplicated(fss, col.Name, nShards, nReplicas, col.Stream(), core.BuildOptions{Analyzer: an}); err != nil {
+			return nil, nil, nil, err
+		}
+		opts := append(baseOpts(an),
+			core.WithPlan(planFromDictionary(fss[0][0], shard.ShardName(col.Name, 0))))
+		ix, err := shard.OpenReplicated(fss, col.Name, nShards, nReplicas, core.BackendMneme, shardCfg, opts...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		targets := make([]*vfs.FS, nShards)
+		for i := range targets {
+			targets[i] = fss[i][1]
+		}
+		return ix, nil, targets, nil
 	}
 	// Per-shard file systems: each shard is its own blast radius.
 	fss := make([]*vfs.FS, nShards)
@@ -335,22 +406,26 @@ func buildSynthetic(name string, scale float64, nShards int, shardCfg shard.Conf
 		fss[i] = vfs.New(vfs.Options{OSCacheBytes: 8 << 20})
 	}
 	if _, err := shard.Build(fss, col.Name, nShards, col.Stream(), core.BuildOptions{Analyzer: an}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	opts := append(baseOpts(an),
 		core.WithPlan(planFromDictionary(fss[0], shard.ShardName(col.Name, 0))))
 	engines, err := shard.OpenEngines(fss, col.Name, nShards, core.BackendMneme, opts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ix, err := shard.NewIndex(col.Name, engines, shardCfg)
-	return ix, engines, err
+	return ix, engines, nil, err
 }
 
 // planFromDictionary applies the paper's Table 2 heuristics to the
 // stored dictionary: large = 3x the largest list, medium = 9% of large
 // (at least 3 segments), small = 3 segments.
 func planFromDictionary(fs *vfs.FS, name string) core.BufferPlan {
+	// Probe a clone: closing the probe engine appends a checkpoint to
+	// the store, which would invalidate a replica's checksum manifest
+	// before the real open verifies it.
+	fs = fs.Clone(vfs.Options{})
 	eng, err := core.Open(fs, name, core.BackendMneme)
 	if err != nil {
 		return core.BufferPlan{SmallBytes: 3 * 4096, MediumBytes: 3 * 8192, LargeBytes: 1 << 20}

@@ -186,6 +186,33 @@ func TestServeSmokeSharded(t *testing.T) {
 		"2 shards, quorum(1)")
 }
 
+// TestServeSmokeReplicated boots the lifecycle over a replicated set —
+// two shards, two byte-identical replicas each, every replica on its
+// own store — and, after the burst, asserts /snapshot carries the
+// per-replica health array (state + replica collection names) that the
+// failover router maintains.
+func TestServeSmokeReplicated(t *testing.T) {
+	serveSmoke(t, []string{"-shards", "2", "-replicas", "2"},
+		"2 shards x2 replicas",
+		func(t *testing.T, target string) {
+			resp, err := http.Get(target + "/snapshot")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			body := string(b)
+			for _, want := range []string{
+				`"replicas":2`, `"state":"healthy"`,
+				`"collection":"CACM.s0"`, `"collection":"CACM.r1.s0"`,
+			} {
+				if !strings.Contains(body, want) {
+					t.Fatalf("/snapshot lacks %q:\n%s", want, body)
+				}
+			}
+		})
+}
+
 // TestServeSmokeNRT boots the same lifecycle with -nrt: the synthetic
 // build becomes the NRT base segment, the banner advertises the write
 // path, and after the read burst a live ingest through POST /v1/ingest

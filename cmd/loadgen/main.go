@@ -22,8 +22,12 @@
 // -baseline, the report is gated by experiments.CompareBench: p95 may
 // not regress past -tol, QPS may not drop below baseline*(1-tol), shed
 // rate may not rise past baseline+tol, and transport errors fail
-// outright. Exit codes: 0 ok, 1 setup/transport failure, 2 gate
-// failure.
+// outright. With -kill-gate LABEL, the run is additionally gated by
+// experiments.CheckReplicaKill against the named healthy row in the
+// merged -out report: zero transport errors and QPS >= -kill-ratio
+// times the healthy row's — the availability claim for a boot measured
+// with a replica dead. Exit codes: 0 ok, 1 setup/transport failure, 2
+// gate failure.
 package main
 
 import (
@@ -67,6 +71,8 @@ func main() {
 	out := flag.String("out", "", "write the run as a bench report (BENCH_serve.json)")
 	baseline := flag.String("baseline", "", "gate the run against this baseline bench report")
 	tol := flag.Float64("tol", 1.0, "gate tolerance (fraction; wall-clock serving numbers are noisy, keep it loose)")
+	killGate := flag.String("kill-gate", "", "replica-kill gate: label of the healthy row (in the merged -out report) this run must hold against — zero errors, QPS >= -kill-ratio x healthy")
+	killRatio := flag.Float64("kill-ratio", 0.9, "minimum fraction of the healthy row's QPS a replica-killed run must keep")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -110,7 +116,7 @@ func main() {
 	}
 	printReport(rep)
 
-	if *out == "" && *baseline == "" {
+	if *out == "" && *baseline == "" && *killGate == "" {
 		return
 	}
 	report := &experiments.BenchReport{
@@ -162,6 +168,15 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("gate ok against %s (tol %.0f%%)\n", *baseline, *tol*100)
+	}
+	if *killGate != "" {
+		if err := experiments.CheckReplicaKill(report, *killGate, *label, *killRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: GATE FAILED")
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("replica-kill gate ok: %s held >= %.0f%% of %s with zero errors\n",
+			*label, *killRatio*100, *killGate)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"sort"
 	"strings"
 	"sync"
@@ -113,15 +114,21 @@ type FlushStat struct {
 
 // NRTStats is the write-path block of an NRT engine's Snapshot.
 type NRTStats struct {
-	Gen         uint64       `json:"gen"`
-	WalGen      uint64       `json:"wal_gen"`
-	WalEntries  int64        `json:"wal_entries"`
-	MemDocs     int          `json:"memtable_docs"`
-	MemBytes    int64        `json:"memtable_bytes"`
-	Ingested    int64        `json:"ingested_docs"`
-	Flushes     int64        `json:"flushes"`
-	Compactions int64        `json:"compactions"`
-	Segments    []NRTSegStat `json:"segments"`
+	Gen         uint64 `json:"gen"`
+	WalGen      uint64 `json:"wal_gen"`
+	WalEntries  int64  `json:"wal_entries"`
+	MemDocs     int    `json:"memtable_docs"`
+	MemBytes    int64  `json:"memtable_bytes"`
+	Ingested    int64  `json:"ingested_docs"`
+	Flushes     int64  `json:"flushes"`
+	Compactions int64  `json:"compactions"`
+	// WalTruncFrames / WalTruncBytes count what the torn-tail
+	// truncation at open discarded from the replayed WAL — zero after
+	// a clean shutdown, non-zero exactly when a crash cut an
+	// unacknowledged append (or worse) out of the log.
+	WalTruncFrames int64        `json:"wal_trunc_frames,omitempty"`
+	WalTruncBytes  int64        `json:"wal_trunc_bytes,omitempty"`
+	Segments       []NRTSegStat `json:"segments"`
 }
 
 // NRTSegStat describes one live segment.
@@ -158,17 +165,19 @@ type NRTEngine struct {
 
 	// ingestMu serializes every state mutation: ingest, flush, compact,
 	// close. Queries never take it.
-	ingestMu  sync.Mutex
-	closed    bool
-	walBroken bool
-	wal       *mneme.WAL
-	gen       uint64
-	walGen    uint64
-	nextSeg   uint64
-	ingested  int64
-	flushes   int64
-	compacts  int64
-	flushLog  []FlushStat
+	ingestMu       sync.Mutex
+	closed         bool
+	walBroken      bool
+	wal            *mneme.WAL
+	gen            uint64
+	walGen         uint64
+	nextSeg        uint64
+	ingested       int64
+	flushes        int64
+	compacts       int64
+	walTruncFrames int64
+	walTruncBytes  int64
+	flushLog       []FlushStat
 
 	// viewMu guards the query view (segs, mem, memBase): queries hold
 	// the read lock for their whole evaluation, so flush/compact flips
@@ -303,6 +312,13 @@ func OpenNRT(fs *vfs.FS, name string, kind BackendKind, cfg NRTConfig, opts ...O
 		return nil, err
 	}
 	e.wal = wal
+	if tb := wal.TruncatedBytes(); tb > 0 {
+		e.walTruncFrames, e.walTruncBytes = wal.TruncatedFrames(), tb
+		reg.Counter("wal_truncated_frames_total").Add(wal.TruncatedFrames())
+		reg.Counter("wal_truncated_bytes_total").Add(tb)
+		log.Printf("core: nrt open %q: wal=%s replayed_entries=%d truncated_frames=%d truncated_bytes=%d (torn tail discarded; unacknowledged appends only unless frames>1)",
+			name, nrtWalName(name, e.walGen), wal.Entries(), wal.TruncatedFrames(), tb)
+	}
 	e.refreshGauges()
 
 	if cfg.FlushEvery > 0 {
@@ -1108,6 +1124,7 @@ func (e *NRTEngine) Snapshot() Snapshot {
 	}
 	st.Ingested = e.ingested
 	st.Flushes, st.Compactions = e.flushes, e.compacts
+	st.WalTruncFrames, st.WalTruncBytes = e.walTruncFrames, e.walTruncBytes
 	e.ingestMu.Unlock()
 	memDocs, _, memBytes := e.mem.stats()
 	st.MemDocs, st.MemBytes = memDocs, memBytes

@@ -479,3 +479,71 @@ func TestNRTCloseMidFlushNoLeak(t *testing.T) {
 		t.Fatalf("second Close: %v", err)
 	}
 }
+
+// TestNRTWalTruncationSurfaced: a torn WAL tail discovered at open is
+// not silent — the truncated frame/byte counts land in the snapshot's
+// NRT block and in the metrics registry.
+func TestNRTWalTruncationSurfaced(t *testing.T) {
+	docs := nrtCorpus(5, 12)
+	fs := newFS()
+	e, err := OpenNRT(fs, "col", BackendMneme, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(docs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last appended frame: chop 2 bytes off the WAL.
+	var walName string
+	for _, name := range fs.Names() {
+		if strings.HasPrefix(name, "col.wal.") {
+			walName = name
+		}
+	}
+	if walName == "" {
+		t.Fatal("no WAL file found")
+	}
+	f, err := fs.Open(walName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(f.Size() - 2); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenNRT(fs, "col", BackendMneme, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumDocs() != len(docs)-1 {
+		t.Fatalf("reopened NumDocs = %d, want %d (torn last ack discarded)", re.NumDocs(), len(docs)-1)
+	}
+	snap := re.Snapshot()
+	if snap.NRT == nil || snap.NRT.WalTruncFrames != 1 || snap.NRT.WalTruncBytes < 1 {
+		t.Fatalf("snapshot does not surface the truncation: %+v", snap.NRT)
+	}
+	if got := re.Metrics().Counter("wal_truncated_frames_total").Value(); got != 1 {
+		t.Fatalf("wal_truncated_frames_total = %d, want 1", got)
+	}
+	if got := re.Metrics().Counter("wal_truncated_bytes_total").Value(); got != int64(snap.NRT.WalTruncBytes) {
+		t.Fatalf("wal_truncated_bytes_total = %d, want %d", got, snap.NRT.WalTruncBytes)
+	}
+
+	// A clean reopen reports zero again.
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenNRT(fs, "col", BackendMneme, NRTConfig{}, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if snap := re2.Snapshot(); snap.NRT.WalTruncFrames != 0 || snap.NRT.WalTruncBytes != 0 {
+		t.Fatalf("clean reopen still reports truncation: %+v", snap.NRT)
+	}
+}

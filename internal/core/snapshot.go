@@ -54,6 +54,15 @@ type ShardingStats struct {
 	NoQuorum  int64 `json:"no_quorum"`
 	Hedged    int64 `json:"hedged"`
 	HedgeWins int64 `json:"hedge_wins"`
+	// Replicas is the per-shard replica count (0 when unreplicated).
+	Replicas int `json:"replicas,omitempty"`
+	// Failovers counts sub-query attempts that moved to a different
+	// replica after a hard error; Repairs counts replicas rebuilt and
+	// re-admitted; Quarantines counts replicas pulled from routing on
+	// detected corruption or failed checksum verification.
+	Failovers   int64 `json:"failovers,omitempty"`
+	Repairs     int64 `json:"repairs,omitempty"`
+	Quarantines int64 `json:"quarantines,omitempty"`
 	// PerShard holds one entry per shard, in shard order.
 	PerShard []ShardStat `json:"per_shard"`
 }
@@ -72,6 +81,29 @@ type ShardStat struct {
 	// P95Micros is the shard's current p95 sub-query latency estimate
 	// (the hedging trigger), in microseconds.
 	P95Micros int64 `json:"p95_micros,omitempty"`
+	// Replicas holds per-replica health for replicated shards.
+	Replicas []ReplicaStat `json:"replicas,omitempty"`
+}
+
+// ReplicaStat is one replica's health and routing view from the
+// coordinator of a replicated sharded index.
+type ReplicaStat struct {
+	// Collection is the replica's on-store collection name.
+	Collection string `json:"collection"`
+	// State is the routing state ("healthy"/"suspect"/"dead"/
+	// "quarantined"); Breaker is the replica breaker's state.
+	State   string `json:"state"`
+	Breaker string `json:"breaker"`
+	// EwmaMicros is the replica's EWMA sub-query latency (the routing
+	// preference input), in microseconds.
+	EwmaMicros int64 `json:"ewma_micros,omitempty"`
+	// ConsecErrs is the current consecutive-hard-error count.
+	ConsecErrs int64 `json:"consec_errs,omitempty"`
+	// Answered / Failed tally attempts served by this replica;
+	// Repairs counts times it was rebuilt from a peer.
+	Answered int64 `json:"answered,omitempty"`
+	Failed   int64 `json:"failed,omitempty"`
+	Repairs  int64 `json:"repairs,omitempty"`
 }
 
 // Snapshot captures the engine's current aggregate state. It is safe to

@@ -84,6 +84,11 @@ type ServeStats struct {
 	// Errors counts transport-level failures (connection refused,
 	// malformed replies); any non-zero value fails the gate.
 	Errors int `json:"errors"`
+	// Failed counts requests answered with HTTP 5xx — server-side
+	// query failures (breaker exhaustion, lost quorum, internal
+	// errors), as opposed to 429 sheds. The replica-kill gate
+	// (CheckReplicaKill) requires zero.
+	Failed int `json:"failed,omitempty"`
 }
 
 // BenchRow is one (system, collection, query set) measurement.
@@ -551,6 +556,48 @@ func CompareBench(base, cur *BenchReport, tol float64) error {
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("bench regression vs baseline:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// CheckReplicaKill enforces the replicated serve bench's availability
+// claim: a run measured while one replica of every shard is dead must
+// finish with zero transport errors and keep at least minRatio of the
+// healthy run's QPS — failover absorbs the kill instead of surfacing
+// it. Both rows are matched by backend label within the same report and
+// must carry serve blocks.
+func CheckReplicaKill(r *BenchReport, healthyLabel, killedLabel string, minRatio float64) error {
+	find := func(label string) (BenchRow, error) {
+		for _, row := range r.Rows {
+			if row.Backend == label && row.Serve != nil {
+				return row, nil
+			}
+		}
+		return BenchRow{}, fmt.Errorf("replica-kill gate: no serve row labelled %q in report", label)
+	}
+	healthy, err := find(healthyLabel)
+	if err != nil {
+		return err
+	}
+	killed, err := find(killedLabel)
+	if err != nil {
+		return err
+	}
+	var bad []string
+	if killed.Serve.Errors > 0 {
+		bad = append(bad, fmt.Sprintf("%s: %d transport errors with a replica down (want 0)",
+			rowKey(killed), killed.Serve.Errors))
+	}
+	if killed.Serve.Failed > 0 {
+		bad = append(bad, fmt.Sprintf("%s: %d HTTP 5xx with a replica down (want 0 — failover must absorb the kill)",
+			rowKey(killed), killed.Serve.Failed))
+	}
+	if healthy.Serve.QPS > 0 && killed.Serve.QPS < healthy.Serve.QPS*minRatio {
+		bad = append(bad, fmt.Sprintf("%s: QPS %.1f < %.2f x healthy %.1f (%s)",
+			rowKey(killed), killed.Serve.QPS, minRatio, healthy.Serve.QPS, rowKey(healthy)))
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("replica-kill gate failed:\n  %s", strings.Join(bad, "\n  "))
 	}
 	return nil
 }

@@ -97,6 +97,10 @@ type Report struct {
 	// ClientShed counts open-loop arrivals dropped client-side because
 	// Concurrency requests were already outstanding.
 	ClientShed int `json:"client_shed,omitempty"`
+	// RetriedAfterUnavail counts closed-loop requests re-issued after
+	// a 503 (breaker open / no quorum) honoring its jittered
+	// Retry-After hint.
+	RetriedAfterUnavail int `json:"retried_after_unavail,omitempty"`
 	// RetriedAfterShed counts closed-loop requests re-issued after a
 	// 429 whose Retry-After backoff the worker honored (with seeded
 	// jitter). Only the closed loop retries: an open loop must keep its
@@ -113,13 +117,14 @@ type wireReply struct {
 
 // collector accumulates per-request observations across workers.
 type collector struct {
-	mu               sync.Mutex
-	latencies        []float64 // milliseconds
-	status           map[int]int
-	outcomes         map[string]int
-	errors           int
-	clientShed       int
-	retriedAfterShed int
+	mu                  sync.Mutex
+	latencies           []float64 // milliseconds
+	status              map[int]int
+	outcomes            map[string]int
+	errors              int
+	clientShed          int
+	retriedAfterShed    int
+	retriedAfterUnavail int
 }
 
 func (c *collector) observe(status int, outcome core.Outcome, d time.Duration, err error) {
@@ -293,7 +298,9 @@ func runClosed(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]by
 			for ctx.Err() == nil && budget() {
 				body := bodies[zipf.Uint64()]
 				status, retryAfter := shoot(body)
-				if status != http.StatusTooManyRequests || retryAfter < 0 {
+				backpressure := status == http.StatusTooManyRequests ||
+					status == http.StatusServiceUnavailable
+				if !backpressure || retryAfter < 0 {
 					continue
 				}
 				backoff := time.Duration((0.5 + 0.5*rng.Float64()) * float64(retryAfter))
@@ -303,7 +310,11 @@ func runClosed(ctx context.Context, cfg Config, bodies [][]byte, shoot func([]by
 				case <-time.After(backoff):
 				}
 				col.mu.Lock()
-				col.retriedAfterShed++
+				if status == http.StatusTooManyRequests {
+					col.retriedAfterShed++
+				} else {
+					col.retriedAfterUnavail++
+				}
 				col.mu.Unlock()
 				shoot(body)
 			}
@@ -354,17 +365,18 @@ func (c *collector) report(d Discipline, elapsed time.Duration) *Report {
 	defer c.mu.Unlock()
 	sort.Float64s(c.latencies)
 	r := &Report{
-		Discipline:       d,
-		Requests:         len(c.latencies),
-		Seconds:          elapsed.Seconds(),
-		Status:           c.status,
-		Outcomes:         c.outcomes,
-		ClientShed:       c.clientShed,
-		RetriedAfterShed: c.retriedAfterShed,
-		Errors:           c.errors,
-		P50ms:            pct(c.latencies, 0.50),
-		P95ms:            pct(c.latencies, 0.95),
-		P99ms:            pct(c.latencies, 0.99),
+		Discipline:          d,
+		Requests:            len(c.latencies),
+		Seconds:             elapsed.Seconds(),
+		Status:              c.status,
+		Outcomes:            c.outcomes,
+		ClientShed:          c.clientShed,
+		RetriedAfterShed:    c.retriedAfterShed,
+		RetriedAfterUnavail: c.retriedAfterUnavail,
+		Errors:              c.errors,
+		P50ms:               pct(c.latencies, 0.50),
+		P95ms:               pct(c.latencies, 0.95),
+		P99ms:               pct(c.latencies, 0.99),
 	}
 	if n := len(c.latencies); n > 0 {
 		r.MaxMs = c.latencies[n-1]
@@ -396,6 +408,19 @@ func pct(sorted []float64, q float64) float64 {
 // experiments.CompareBench: the latency percentiles as one "http"
 // stage (µs, like the query bench's stages) and the serving statistics
 // in the Serve block.
+// failed5xx counts responses whose status signalled a server-side
+// query failure — breaker exhaustion, lost quorum, or an internal
+// error — as opposed to a 429 shed.
+func (r *Report) failed5xx() int {
+	n := 0
+	for code, c := range r.Status {
+		if code >= 500 {
+			n += c
+		}
+	}
+	return n
+}
+
 func (r *Report) BenchRow(backend, collection, querySet string) experiments.BenchRow {
 	return experiments.BenchRow{
 		Backend:    backend,
@@ -415,6 +440,7 @@ func (r *Report) BenchRow(backend, collection, querySet string) experiments.Benc
 			QPS:      r.QPS,
 			ShedRate: r.ShedRate,
 			Errors:   r.Errors,
+			Failed:   r.failed5xx(),
 		},
 	}
 }

@@ -40,7 +40,22 @@ type WAL struct {
 	off     int64 // next append offset
 	entries int64
 	buf     []byte // scratch frame buffer
+
+	// Torn-tail accounting from OpenWAL: how many bytes the open
+	// discarded, and how many frames that tail looked like (the first
+	// undecodable frame plus however many intact-looking frames
+	// followed it). Zero after CreateWAL or a clean open.
+	truncBytes  int64
+	truncFrames int64
 }
+
+// TruncatedBytes reports how many torn-tail bytes OpenWAL discarded.
+func (w *WAL) TruncatedBytes() int64 { return w.truncBytes }
+
+// TruncatedFrames reports how many frames the discarded tail spanned
+// (best effort: framing after the first bad frame is reconstructed by
+// scanning, so overlapping garbage may undercount).
+func (w *WAL) TruncatedFrames() int64 { return w.truncFrames }
 
 // WALMark is a position in the log (offset + entry count) taken before
 // a batch of appends, so a failed batch can be rewound: the log never
@@ -113,6 +128,30 @@ func OpenWAL(fs *vfs.FS, name string, fn func(payload []byte) error) (*WAL, erro
 		w.entries++
 	}
 	if w.off < size {
+		// Account for what the truncation is about to discard — repair
+		// vs. data-loss triage after a crash needs to know whether the
+		// tail was one torn append or a pile of lost frames. Frame
+		// count is best effort: the first frame is undecodable by
+		// definition, but a plausible length field still bounds it, and
+		// the scan walks whatever intact-looking frames follow.
+		w.truncBytes = size - w.off
+		for off := w.off; off < size; {
+			if off+walFrameHead > size {
+				w.truncFrames++
+				break
+			}
+			if err := vfs.ReadFull(f, frame[:], off); err != nil {
+				w.truncFrames++
+				break
+			}
+			n := int64(binary.LittleEndian.Uint32(frame[0:4]))
+			if n < 0 || off+walFrameHead+n > size {
+				w.truncFrames++
+				break
+			}
+			w.truncFrames++
+			off += walFrameHead + n
+		}
 		if err := f.Truncate(w.off); err != nil {
 			return nil, fmt.Errorf("mneme: wal %q: truncate tail: %w", name, err)
 		}

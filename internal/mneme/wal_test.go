@@ -265,3 +265,91 @@ func FuzzWALRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// TestWALTruncationAccounting: OpenWAL reports how many bytes — and,
+// best effort, how many frames — the torn-tail truncation discarded,
+// so the serving layer can distinguish a single unacknowledged append
+// from real data loss. A clean open reports zero.
+func TestWALTruncationAccounting(t *testing.T) {
+	fs := vfs.New(vfs.Options{})
+	w, err := CreateWAL(fs, "t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for i := 0; i < 6; i++ {
+		offs = append(offs, w.Size())
+		if err := w.Append([]byte(fmt.Sprintf("payload-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	size := w.Size()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean open: nothing truncated.
+	w2, err := OpenWAL(fs, "t.wal", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.TruncatedBytes() != 0 || w2.TruncatedFrames() != 0 {
+		t.Fatalf("clean open: truncated %d bytes / %d frames, want 0/0",
+			w2.TruncatedBytes(), w2.TruncatedFrames())
+	}
+	_ = w2.Close()
+
+	// Bit-rot in entry 3: replay stops there, and the discarded tail
+	// spans the bad frame plus the two intact-looking ones after it.
+	rot := fs.Clone(vfs.Options{})
+	f, err := rot.Open("t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, offs[3]+walFrameHead+2); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(rot, "t.wal", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Entries() != 3 {
+		t.Fatalf("bit-rot replay: %d entries, want 3", w3.Entries())
+	}
+	if got, want := w3.TruncatedBytes(), size-offs[3]; got != want {
+		t.Fatalf("bit-rot: truncated %d bytes, want %d", got, want)
+	}
+	if w3.TruncatedFrames() != 3 {
+		t.Fatalf("bit-rot: truncated %d frames, want 3", w3.TruncatedFrames())
+	}
+	_ = w3.Close()
+
+	// Torn tail mid-payload of the last entry: one discarded frame,
+	// exactly the torn bytes.
+	torn := fs.Clone(vfs.Options{})
+	f, err = torn.Open("t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := offs[5] + walFrameHead + 3
+	if err := f.Truncate(cut); err != nil {
+		t.Fatal(err)
+	}
+	w4, err := OpenWAL(torn, "t.wal", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w4.Entries() != 5 {
+		t.Fatalf("torn replay: %d entries, want 5", w4.Entries())
+	}
+	if got, want := w4.TruncatedBytes(), cut-offs[5]; got != want {
+		t.Fatalf("torn: truncated %d bytes, want %d", got, want)
+	}
+	if w4.TruncatedFrames() != 1 {
+		t.Fatalf("torn: truncated %d frames, want 1", w4.TruncatedFrames())
+	}
+	_ = w4.Close()
+}

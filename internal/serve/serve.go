@@ -30,10 +30,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +60,9 @@ type Defaults struct {
 	MaxBatch int
 	// MaxBodyBytes caps the request body. Zero selects DefaultMaxBody.
 	MaxBodyBytes int64
+	// RetryJitterSeed seeds the Retry-After jitter on 503 responses
+	// (deterministic for tests; any fixed seed is fine in production).
+	RetryJitterSeed int64
 }
 
 // DefaultTopK is the ranking depth served when neither the request nor
@@ -107,6 +112,12 @@ type Server struct {
 	httpm    *obs.HTTPMetrics
 	handler  http.Handler
 	draining atomic.Bool
+
+	// jmu/jrand seed the small Retry-After jitter attached to 503
+	// unavailable responses, so a synchronized client herd spreads out
+	// instead of re-converging on the breaker's next probe window.
+	jmu   sync.Mutex
+	jrand *rand.Rand
 }
 
 // New builds a server over the named engines (index name → engine).
@@ -135,6 +146,7 @@ func NewIndexes(engines map[string]Index, d Defaults) *Server {
 	}
 	sort.Strings(names)
 	s := &Server{engines: engines, names: names, defaults: d, reg: obs.NewRegistry()}
+	s.jrand = rand.New(rand.NewSource(d.RetryJitterSeed))
 	s.httpm = obs.NewHTTPMetrics(s.reg)
 
 	mux := http.NewServeMux()
@@ -248,6 +260,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// setRetryAfter attaches retry guidance to backpressure statuses: a
+// fixed 1s on 429 (shed — capacity frees as soon as in-flight work
+// drains) and a seeded-jitter 1-3s on 503 (breaker open / no quorum —
+// recovery takes a probe cycle, and jitter keeps a herd of honoring
+// clients from re-converging on the same instant).
+func (s *Server) setRetryAfter(w http.ResponseWriter, status int) {
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		s.jmu.Lock()
+		sec := 1 + s.jrand.Intn(3)
+		s.jmu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+	}
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -282,9 +311,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	if len(body.Requests) == 0 {
 		qr, status := runOne(r.Context(), eng, s.applyDefaults(body.Request))
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
+		s.setRetryAfter(w, status)
 		writeJSON(w, status, qr)
 		return
 	}

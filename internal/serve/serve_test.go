@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -430,7 +431,7 @@ func TestOutcomeStatusMapping(t *testing.T) {
 			fmt.Errorf("core: query cut short: %w", resilience.ErrDeadline), 504, ""},
 		{"breaker-open",
 			core.Response{Outcome: core.OutcomeError},
-			fmt.Errorf("core: fetch: %w", resilience.ErrBreakerOpen), 503, ""},
+			fmt.Errorf("core: fetch: %w", resilience.ErrBreakerOpen), 503, "jitter"},
 		{"sharded-partial",
 			core.Response{Outcome: core.OutcomePartial,
 				Coverage: &core.Coverage{Shards: 4, Answered: 3, Failed: 1, MissingShards: []int{2}}},
@@ -438,7 +439,7 @@ func TestOutcomeStatusMapping(t *testing.T) {
 		{"no-quorum",
 			core.Response{Outcome: core.OutcomeError,
 				Coverage: &core.Coverage{Shards: 4, Answered: 1, Failed: 3}},
-			fmt.Errorf("shard: 1/4 shards answered, quorum 3: %w", resilience.ErrNoQuorum), 503, ""},
+			fmt.Errorf("shard: 1/4 shards answered, quorum 3: %w", resilience.ErrNoQuorum), 503, "jitter"},
 		{"hard-error",
 			core.Response{Outcome: core.OutcomeError}, errors.New("disk on fire"), 500, ""},
 	}
@@ -454,7 +455,14 @@ func TestOutcomeStatusMapping(t *testing.T) {
 				t.Fatalf("status %d, want %d (outcome %q error %q)",
 					status, tc.wantStatus, wr.Outcome, wr.Error)
 			}
-			if got := hdr.Get("Retry-After"); got != tc.retryAfter {
+			if tc.retryAfter == "jitter" {
+				// 503s carry a seeded-jitter Retry-After in [1,3]s so a
+				// herd of honoring clients spreads out.
+				sec, err := strconv.Atoi(hdr.Get("Retry-After"))
+				if err != nil || sec < 1 || sec > 3 {
+					t.Fatalf("Retry-After = %q, want integer in [1,3]", hdr.Get("Retry-After"))
+				}
+			} else if got := hdr.Get("Retry-After"); got != tc.retryAfter {
 				t.Fatalf("Retry-After = %q, want %q", got, tc.retryAfter)
 			}
 			if wr.Outcome != tc.resp.Outcome {

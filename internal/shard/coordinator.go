@@ -123,6 +123,9 @@ type Config struct {
 	HedgeMax    time.Duration
 	// DisableHedge turns hedged reads off entirely.
 	DisableHedge bool
+	// RepairBytesPerSec rate-limits online replica repair copies so a
+	// rebuild cannot starve live queries of I/O. Zero means unpaced.
+	RepairBytesPerSec int64
 }
 
 // latWindow is a fixed-size ring of recent sub-query latencies, the
@@ -181,33 +184,38 @@ type shardTally struct {
 // failed with resilience.ErrNoQuorum.
 type Index struct {
 	name     string
-	engines  []*core.Engine
+	sets     [][]*replica // sets[shard][replica]
 	cfg      Config
 	required int
-	breakers []*resilience.Breaker
-	lat      []*latWindow
+	lat      []*latWindow // per shard: hedge-delay input, whichever replica served
 	tally    []shardTally
+
+	// owned indexes (OpenReplicated) close their engines on Close and
+	// can rebuild them: reopen re-opens a replica's store after repair.
+	owned      bool
+	reopen     func(fs *vfs.FS, coll string) (*core.Engine, error)
+	repairPace func(int)
+	repairWG   sync.WaitGroup
 
 	// testAttemptHook, when set (in-package tests only), runs at the
 	// start of every attempt goroutine; it lets a test stall a primary
 	// attempt so the hedged backup deterministically wins the race.
 	testAttemptHook func(ctx context.Context, shard int, hedge bool)
 
-	reg       *obs.Registry
-	searches  *obs.Counter
-	partials  *obs.Counter
-	noQuorums *obs.Counter
-	hedges    *obs.Counter
-	hedgeWins *obs.Counter
-	shardFail *obs.Counter
+	reg         *obs.Registry
+	searches    *obs.Counter
+	partials    *obs.Counter
+	noQuorums   *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	shardFail   *obs.Counter
+	failovers   *obs.Counter
+	repairs     *obs.Counter
+	quarantines *obs.Counter
 }
 
-// NewIndex builds the coordinator over an opened shard-engine set
-// (see OpenEngines).
-func NewIndex(name string, engines []*core.Engine, cfg Config) (*Index, error) {
-	if len(engines) == 0 {
-		return nil, errors.New("shard: no shard engines")
-	}
+// applyConfigDefaults fills the zero-value Config knobs.
+func applyConfigDefaults(cfg Config) Config {
 	if cfg.Breaker.FailureThreshold < 1 {
 		cfg.Breaker = resilience.DefaultBreakerPolicy()
 	}
@@ -223,19 +231,54 @@ func NewIndex(name string, engines []*core.Engine, cfg Config) (*Index, error) {
 	if cfg.HedgeMax <= 0 {
 		cfg.HedgeMax = 250 * time.Millisecond
 	}
+	return cfg
+}
+
+// newIndexFromEngines builds the coordinator over an n×r engine
+// matrix. A nil engine marks a replica that failed verification at
+// open: it starts quarantined and joins the routing table only after
+// Repair. fss may be nil when every engine is non-nil (the FS then
+// comes from the engine itself).
+func newIndexFromEngines(name string, fss [][]*vfs.FS, engines [][]*core.Engine, cfg Config) (*Index, error) {
+	n := len(engines)
+	if n == 0 {
+		return nil, errors.New("shard: no shard engines")
+	}
+	cfg = applyConfigDefaults(cfg)
 	x := &Index{
 		name:     name,
-		engines:  engines,
+		sets:     make([][]*replica, n),
 		cfg:      cfg,
-		required: cfg.Policy.Required(len(engines)),
-		breakers: make([]*resilience.Breaker, len(engines)),
-		lat:      make([]*latWindow, len(engines)),
-		tally:    make([]shardTally, len(engines)),
+		required: cfg.Policy.Required(n),
+		lat:      make([]*latWindow, n),
+		tally:    make([]shardTally, n),
 		reg:      obs.NewRegistry(),
 	}
-	for i := range x.breakers {
-		x.breakers[i] = resilience.NewBreaker(cfg.Breaker)
+	if cfg.RepairBytesPerSec > 0 {
+		x.repairPace = vfs.PaceBytesPerSec(cfg.RepairBytesPerSec)
+	}
+	for i := range engines {
 		x.lat[i] = &latWindow{}
+		x.sets[i] = make([]*replica, len(engines[i]))
+		for r, e := range engines[i] {
+			rep := &replica{
+				shard: i,
+				idx:   r,
+				coll:  ReplicaName(name, i, r),
+				eng:   e,
+				br:    resilience.NewBreaker(cfg.Breaker),
+			}
+			if e != nil {
+				rep.fs = e.FS()
+			}
+			if fss != nil {
+				rep.fs = replicaFSFor(fss, i, r)
+			}
+			if e == nil {
+				rep.quarantined.Store(true)
+			}
+			x.sets[i][r] = rep
+		}
 	}
 	x.searches = x.reg.Counter("shard_searches_total")
 	x.partials = x.reg.Counter("shard_partial_total")
@@ -243,22 +286,98 @@ func NewIndex(name string, engines []*core.Engine, cfg Config) (*Index, error) {
 	x.hedges = x.reg.Counter("shard_hedged_total")
 	x.hedgeWins = x.reg.Counter("shard_hedge_wins_total")
 	x.shardFail = x.reg.Counter("shard_failures_total")
+	x.failovers = x.reg.Counter("shard_failovers_total")
+	x.repairs = x.reg.Counter("shard_replica_repairs_total")
+	x.quarantines = x.reg.Counter("shard_replica_quarantines_total")
 	return x, nil
 }
 
+// NewIndex builds the coordinator over an opened shard-engine set
+// (see OpenEngines): one replica per shard, engines owned by the
+// caller.
+func NewIndex(name string, engines []*core.Engine, cfg Config) (*Index, error) {
+	m := make([][]*core.Engine, len(engines))
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("shard: nil engine for shard %d", i)
+		}
+		m[i] = []*core.Engine{e}
+	}
+	return newIndexFromEngines(name, nil, m, cfg)
+}
+
 // Shards returns the shard count.
-func (x *Index) Shards() int { return len(x.engines) }
+func (x *Index) Shards() int { return len(x.sets) }
 
-// Engines exposes the underlying shard engines (tests, fault
-// injection).
-func (x *Index) Engines() []*core.Engine { return x.engines }
+// Replicas returns the per-shard replica count.
+func (x *Index) Replicas() int { return len(x.sets[0]) }
 
-// Breaker exposes shard i's circuit breaker (tests, observability).
-func (x *Index) Breaker(i int) *resilience.Breaker { return x.breakers[i] }
+// Engines exposes the replica-0 shard engines (tests, fault
+// injection, back-compat). An entry is nil while that replica is
+// quarantined.
+func (x *Index) Engines() []*core.Engine {
+	out := make([]*core.Engine, len(x.sets))
+	for i, set := range x.sets {
+		out[i] = set[0].engine()
+	}
+	return out
+}
+
+// Breaker exposes shard i's replica-0 circuit breaker (tests,
+// observability).
+func (x *Index) Breaker(i int) *resilience.Breaker { return x.sets[i][0].breaker() }
+
+// ReplicaBreaker exposes the breaker of replica r of shard i.
+func (x *Index) ReplicaBreaker(i, r int) *resilience.Breaker { return x.sets[i][r].breaker() }
+
+// ReplicaState reports the routing state of replica r of shard i.
+func (x *Index) ReplicaState(i, r int) ReplicaState { return x.sets[i][r].state() }
+
+// anyEngine returns some live engine (every engine reports the shared
+// collection-global statistics, so any will do).
+func (x *Index) anyEngine() *core.Engine {
+	for _, set := range x.sets {
+		for _, rep := range set {
+			if e := rep.engine(); e != nil {
+				return e
+			}
+		}
+	}
+	return nil
+}
 
 // NumDocs is the whole collection's document count (every shard
 // engine reports the shared global statistic).
-func (x *Index) NumDocs() int { return x.engines[0].NumDocs() }
+func (x *Index) NumDocs() int {
+	if e := x.anyEngine(); e != nil {
+		return e.NumDocs()
+	}
+	return 0
+}
+
+// Close waits for in-flight repairs, then — when the index owns its
+// engines (OpenReplicated) — closes every replica engine. Indexes
+// over caller-opened engines (NewIndex) leave them to the caller.
+func (x *Index) Close() error {
+	x.repairWG.Wait()
+	if !x.owned {
+		return nil
+	}
+	var first error
+	for _, set := range x.sets {
+		for _, rep := range set {
+			rep.mu.Lock()
+			if rep.eng != nil {
+				if err := rep.eng.Close(); err != nil && first == nil {
+					first = err
+				}
+				rep.eng = nil
+			}
+			rep.mu.Unlock()
+		}
+	}
+	return first
+}
 
 // Metrics returns the coordinator's registry.
 func (x *Index) Metrics() *obs.Registry { return x.reg }
@@ -296,60 +415,134 @@ func (x *Index) hedgeDelay(i int) time.Duration {
 	return d
 }
 
-// attempt runs one (possibly retried) sub-query against shard i. The
-// score floor is re-read per attempt so retries and hedges dispatched
-// after other shards answered prune against the running merged
-// threshold.
-func (x *Index) attempt(ctx context.Context, i int, req core.Request, slice time.Duration, floor func() float64) (core.Response, error) {
-	attempts := x.cfg.RetryAttempts
-	if attempts < 1 {
-		attempts = 1
+// seqOut is the resolution of one attempt sequence (a primary or a
+// hedge) over shard i's candidate replicas.
+type seqOut struct {
+	resp        core.Response
+	err         error
+	breakerOpen bool // every attempt was breaker-denied; no store touched
+	failovers   int  // failed attempts that moved on to a different replica
+}
+
+// attemptSeq walks shard i's candidate replicas: the best healthy
+// replica first, failing over to the next candidate on hard errors
+// (mid-query failover — a dead store never costs more than one
+// attempt). The total budget is max(RetryAttempts, len(cands)), so a
+// single-replica shard keeps the old retry semantics and a replicated
+// one is guaranteed a shot at every copy. The score floor is re-read
+// per attempt so attempts dispatched after other shards answered
+// prune against the running merged threshold. Per admitted attempt,
+// the serving replica's breaker, EWMA latency, and consecutive-error
+// count are observed; corruption errors additionally quarantine the
+// replica and trigger an asynchronous repair.
+func (x *Index) attemptSeq(ctx context.Context, i int, cands []*replica, req core.Request, slice time.Duration, floor func() float64) seqOut {
+	// With one candidate the retry budget is spent on it (the legacy
+	// single-store semantics: one breaker admission covering the whole
+	// retry loop). With replicas, retrying the same store is pointless
+	// when a different copy is available, so each visit makes a single
+	// attempt and the budget buys extra failover laps instead.
+	visits, inner := 1, x.cfg.RetryAttempts
+	if inner < 1 {
+		inner = 1
+	}
+	if len(cands) > 1 {
+		visits, inner = x.cfg.RetryAttempts, 1
+		if visits < len(cands) {
+			visits = len(cands)
+		}
 	}
 	sub := req
 	sub.Deadline = slice
-	var resp core.Response
-	var err error
-	for a := 0; a < attempts; a++ {
-		if a > 0 && ctx.Err() != nil {
+	var out seqOut
+	admitted := 0
+	var prev *replica
+	for v := 0; v < visits; v++ {
+		if v > 0 && ctx.Err() != nil {
 			break
 		}
-		sub.MinScore = req.MinScore
-		if f := floor(); f > sub.MinScore {
-			sub.MinScore = f
+		rep := cands[v%len(cands)]
+		if prev != nil && rep != prev {
+			out.failovers++
 		}
-		resp, err = x.engines[i].Run(ctx, sub)
-		if err == nil || resp.Outcome != core.OutcomeError {
-			return resp, err
+		prev = rep
+		br := rep.breaker()
+		if err := br.Allow(); err != nil {
+			out.resp, out.err = core.Response{Outcome: core.OutcomeError}, fmt.Errorf("shard %d: %w", i, err)
+			continue
+		}
+		admitted++
+		var resp core.Response
+		var err error
+		for a := 0; a < inner; a++ {
+			if a > 0 && ctx.Err() != nil {
+				break
+			}
+			sub.MinScore = req.MinScore
+			if f := floor(); f > sub.MinScore {
+				sub.MinScore = f
+			}
+			start := time.Now()
+			resp, err = rep.run(ctx, sub)
+			rep.observeLatency(time.Since(start))
+			if err == nil || resp.Outcome != core.OutcomeError {
+				break
+			}
+			var pe *inference.ParseError
+			if errors.As(err, &pe) {
+				break // not transient; same on every retry
+			}
+		}
+		// The breaker watches for hard storage failures. Shed and
+		// deadline outcomes are not the replica's storage acting up —
+		// and an admitted half-open probe must always be observed or
+		// the breaker wedges — so they count as successes.
+		ok := err == nil || resp.Outcome != core.OutcomeError
+		br.Observe(ok)
+		rep.observeOutcome(ok)
+		out.resp, out.err = resp, err
+		if ok {
+			rep.answered.Add(1)
+			return out
+		}
+		rep.failed.Add(1)
+		if isCorruptErr(err) {
+			x.quarantineForRepair(rep, err)
 		}
 		var pe *inference.ParseError
 		if errors.As(err, &pe) {
-			return resp, err // not transient; same on every retry
+			return out // a parse error is the same on every replica
 		}
 	}
-	return resp, err
+	out.breakerOpen = admitted == 0
+	return out
 }
 
-// runShard resolves shard i: breaker admission, the primary attempt,
-// and — if the straggler delay fires first — a hedged backup racing
-// it. The loser is cancelled and awaited, so no evaluation outlives
-// this call.
+// runShard resolves shard i: candidate selection over its replica
+// set, the primary attempt sequence, and — if the straggler delay
+// fires first — a hedged backup racing it, dispatched with the
+// candidate order rotated so it leads with a *different* replica than
+// the primary. The loser is cancelled and awaited, so no evaluation
+// outlives this call.
 func (x *Index) runShard(ctx context.Context, i int, req core.Request, slice time.Duration, floor func() float64) shardResult {
-	br := x.breakers[i]
-	if err := br.Allow(); err != nil {
-		return shardResult{shard: i, err: fmt.Errorf("shard %d: %w", i, err), breakerOpen: true}
+	cands := x.candidates(i)
+	if len(cands) == 0 {
+		return shardResult{
+			shard:       i,
+			err:         fmt.Errorf("shard %d: every replica quarantined: %w", i, resilience.ErrBreakerOpen),
+			breakerOpen: true,
+		}
 	}
 
 	type attemptOut struct {
-		resp  core.Response
-		err   error
+		out   seqOut
 		hedge bool
 		start time.Time
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	out := make(chan attemptOut, 2)
+	outc := make(chan attemptOut, 2)
 	var awg sync.WaitGroup
-	launch := func(hedge bool) {
+	launch := func(hedge bool, cands []*replica) {
 		awg.Add(1)
 		go func() {
 			defer awg.Done()
@@ -357,11 +550,11 @@ func (x *Index) runShard(ctx context.Context, i int, req core.Request, slice tim
 			if h := x.testAttemptHook; h != nil {
 				h(actx, i, hedge)
 			}
-			resp, err := x.attempt(actx, i, req, slice, floor)
-			out <- attemptOut{resp: resp, err: err, hedge: hedge, start: start}
+			o := x.attemptSeq(actx, i, cands, req, slice, floor)
+			outc <- attemptOut{out: o, hedge: hedge, start: start}
 		}()
 	}
-	launch(false)
+	launch(false, cands)
 
 	var timerC <-chan time.Time
 	if d := x.hedgeDelay(i); d > 0 {
@@ -372,23 +565,29 @@ func (x *Index) runShard(ctx context.Context, i int, req core.Request, slice tim
 	hedged := false
 	for {
 		select {
-		case r := <-out:
+		case r := <-outc:
 			cancel()
 			awg.Wait() // the losing attempt must not outlive the request
 			x.lat[i].observe(time.Since(r.start))
-			// The breaker watches for hard storage failures. Shed and
-			// deadline outcomes are not the shard's storage acting up —
-			// and an admitted half-open probe must always be observed
-			// or the breaker wedges — so they count as successes.
-			br.Observe(r.err == nil || r.resp.Outcome != core.OutcomeError)
+			if r.out.failovers > 0 {
+				x.failovers.Add(int64(r.out.failovers))
+			}
 			return shardResult{
-				shard: i, resp: r.resp, err: r.err,
+				shard: i, resp: r.out.resp, err: r.out.err, breakerOpen: r.out.breakerOpen,
 				hedged: hedged, hedgeWin: hedged && r.hedge,
 			}
 		case <-timerC:
 			timerC = nil
 			hedged = true
-			launch(true)
+			// Hedge across replicas: rotate the candidate order so the
+			// backup hits a different copy of the shard first instead of
+			// re-hitting the straggling store (with one replica this
+			// degenerates to the classic same-store hedge).
+			hcands := cands
+			if len(cands) > 1 {
+				hcands = append(append([]*replica(nil), cands[1:]...), cands[0])
+			}
+			launch(true, hcands)
 		}
 	}
 }
@@ -404,7 +603,7 @@ func (x *Index) Run(ctx context.Context, req core.Request) (core.Response, error
 		ctx = context.Background()
 	}
 	x.searches.Add(1)
-	n := len(x.engines)
+	n := len(x.sets)
 
 	// The whole-request deadline lives here; each shard sub-query gets
 	// a slice of it, reserving the remainder for the merge.
@@ -552,27 +751,53 @@ func sortResults(rs []core.Result) {
 }
 
 // Explain routes a global document id to its shard and explains the
-// query there. Shard engines score with global statistics, so the
-// explanation matches the unsharded one.
+// query there, on the first routable replica. Replicas are
+// byte-identical and score with global statistics, so the explanation
+// matches the unsharded one whichever copy serves it.
 func (x *Index) Explain(query string, doc uint32) (*inference.Explanation, error) {
-	n := len(x.engines)
+	n := len(x.sets)
 	sh := ShardOf(doc, n)
 	local := LocalDoc(doc, n)
-	if int(local) >= x.engines[sh].LocalDocs() {
+	cands := x.candidates(sh)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("shard: shard %d has no servable replica", sh)
+	}
+	eng := cands[0].engine()
+	if eng == nil {
+		return nil, fmt.Errorf("shard: shard %d has no servable replica", sh)
+	}
+	if int(local) >= eng.LocalDocs() {
 		return nil, fmt.Errorf("shard: document %d out of range", doc)
 	}
-	return x.engines[sh].Explain(query, local)
+	return eng.Explain(query, local)
 }
 
-// Health reports serving fitness: the index can serve while the
-// non-open breakers still leave quorum reachable.
+// Health reports serving fitness: the index can serve while enough
+// shards keep at least one routable (non-quarantined, breaker not
+// open) replica to reach quorum. Single-replica indexes keep the
+// legacy "shard<i>" breaker keys; replicated ones report
+// "shard<i>/r<j>" per replica.
 func (x *Index) Health() core.Health {
-	h := core.Health{Docs: x.NumDocs(), Breakers: make(map[string]string, len(x.breakers))}
+	h := core.Health{Docs: x.NumDocs(), Breakers: make(map[string]string)}
 	available := 0
-	for i, b := range x.breakers {
-		st := b.State()
-		h.Breakers[fmt.Sprintf("shard%d", i)] = st.String()
-		if st != resilience.Open {
+	for i, set := range x.sets {
+		routable := false
+		for r, rep := range set {
+			key := fmt.Sprintf("shard%d", i)
+			if len(set) > 1 {
+				key = fmt.Sprintf("shard%d/r%d", i, r)
+			}
+			st := rep.state()
+			if st == ReplicaQuarantined {
+				h.Breakers[key] = st.String()
+				continue
+			}
+			h.Breakers[key] = rep.breaker().State().String()
+			if rep.breaker().State() != resilience.Open {
+				routable = true
+			}
+		}
+		if routable {
 			available++
 		}
 	}
@@ -580,50 +805,91 @@ func (x *Index) Health() core.Health {
 	return h
 }
 
-// Snapshot aggregates the shard engines' snapshots — counters, I/O
-// (deduplicated when shards share one file system), and buffer pools
-// (prefixed "s<i>/") — plus the coordinator's own sharding block.
+// Snapshot aggregates the replica engines' snapshots — counters, I/O
+// (deduplicated when replicas share one file system), and buffer
+// pools (prefixed "s<i>/" for replica 0, "s<i>r<j>/" beyond) — plus
+// the coordinator's own sharding block with per-replica health,
+// failover, and repair accounting.
 func (x *Index) Snapshot() core.Snapshot {
-	s := core.Snapshot{
-		Backend: x.engines[0].Kind().String() + " (sharded)",
-		Metrics: x.reg.Snapshot(),
+	s := core.Snapshot{Metrics: x.reg.Snapshot()}
+	if e := x.anyEngine(); e != nil {
+		s.Backend = e.Kind().String() + " (sharded)"
 	}
+	replicated := len(x.sets[0]) > 1
 	seenFS := map[*vfs.FS]bool{}
-	for i, e := range x.engines {
-		es := e.Snapshot()
-		s.Counters = s.Counters.Add(es.Counters)
-		if fs := e.FS(); !seenFS[fs] {
-			seenFS[fs] = true
-			s.IO = s.IO.Add(es.IO)
-		}
-		for pool, bs := range es.Buffers {
-			if s.Buffers == nil {
-				s.Buffers = make(map[string]mneme.BufferStats)
+	for i, set := range x.sets {
+		for r, rep := range set {
+			e := rep.engine()
+			if e == nil {
+				continue
 			}
-			s.Buffers[fmt.Sprintf("s%d/%s", i, pool)] = bs
+			es := e.Snapshot()
+			s.Counters = s.Counters.Add(es.Counters)
+			if fs := e.FS(); !seenFS[fs] {
+				seenFS[fs] = true
+				s.IO = s.IO.Add(es.IO)
+			}
+			prefix := fmt.Sprintf("s%d/", i)
+			if r > 0 {
+				prefix = fmt.Sprintf("s%dr%d/", i, r)
+			}
+			for pool, bs := range es.Buffers {
+				if s.Buffers == nil {
+					s.Buffers = make(map[string]mneme.BufferStats)
+				}
+				s.Buffers[prefix+pool] = bs
+			}
 		}
 	}
 	s.CorruptRecords = s.Counters.CorruptRecords
 	sh := &core.ShardingStats{
-		Shards:    len(x.engines),
-		Quorum:    x.required,
-		Policy:    x.cfg.Policy.String(),
-		Partial:   x.partials.Value(),
-		NoQuorum:  x.noQuorums.Value(),
-		Hedged:    x.hedges.Value(),
-		HedgeWins: x.hedgeWins.Value(),
+		Shards:      len(x.sets),
+		Quorum:      x.required,
+		Policy:      x.cfg.Policy.String(),
+		Partial:     x.partials.Value(),
+		NoQuorum:    x.noQuorums.Value(),
+		Hedged:      x.hedges.Value(),
+		HedgeWins:   x.hedgeWins.Value(),
+		Failovers:   x.failovers.Value(),
+		Repairs:     x.repairs.Value(),
+		Quarantines: x.quarantines.Value(),
 	}
-	for i := range x.engines {
+	if replicated {
+		sh.Replicas = len(x.sets[0])
+	}
+	for i, set := range x.sets {
 		st := core.ShardStat{
-			Docs:     x.engines[i].LocalDocs(),
-			Breaker:  x.breakers[i].State().String(),
+			Breaker:  set[0].breaker().State().String(),
 			Answered: x.tally[i].answered.Load(),
 			Degraded: x.tally[i].degraded.Load(),
 			Failed:   x.tally[i].failed.Load(),
 			Shed:     x.tally[i].shed.Load(),
 		}
+		for _, rep := range set {
+			if e := rep.engine(); e != nil {
+				st.Docs = e.LocalDocs()
+				break
+			}
+		}
 		if p := x.lat[i].p95(); p > 0 {
 			st.P95Micros = p.Microseconds()
+		}
+		if replicated {
+			for _, rep := range set {
+				rs := core.ReplicaStat{
+					Collection: rep.coll,
+					State:      rep.state().String(),
+					Breaker:    rep.breaker().State().String(),
+					Answered:   rep.answered.Load(),
+					Failed:     rep.failed.Load(),
+					ConsecErrs: rep.consecErrs.Load(),
+					Repairs:    rep.repairs.Load(),
+				}
+				if e := rep.ewma(); e > 0 {
+					rs.EwmaMicros = int64(e / 1e3)
+				}
+				st.Replicas = append(st.Replicas, rs)
+			}
 		}
 		sh.PerShard = append(sh.PerShard, st)
 	}

@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// ManifestSuffix names the per-replica checksum manifest: the byte
+// sizes and CRC32s of every file a replica's collection is made of.
+// Replicas of a shard are byte-identical by construction (one
+// deterministic build, copied through the vfs layer), so one manifest
+// describes all of them; each replica carries its own copy, keyed by
+// file suffix, and is verified against it at open and after repair.
+const ManifestSuffix = ".rman"
+
+// manifestMagic heads the manifest file.
+var manifestMagic = []byte{'R', 'M', 'A', 'N', 1}
+
+// manifestEntry records one collection file: its name suffix (the
+// part after the replica's collection name, leading dot included),
+// size, and content CRC32 (IEEE).
+type manifestEntry struct {
+	Suffix string `json:"suffix"`
+	Size   int64  `json:"size"`
+	CRC    uint32 `json:"crc"`
+}
+
+// collectionSuffixes lists the file-name suffixes of collection coll
+// on fs, excluding the manifest itself. fs.Names() is sorted, so the
+// result is deterministic.
+func collectionSuffixes(fs *vfs.FS, coll string) []string {
+	var out []string
+	prefix := coll + "."
+	for _, name := range fs.Names() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		sfx := name[len(coll):]
+		if sfx == ManifestSuffix {
+			continue
+		}
+		out = append(out, sfx)
+	}
+	return out
+}
+
+// fileCRC computes the CRC32 of a whole file in chunks.
+func fileCRC(fs *vfs.FS, name string) (int64, uint32, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	size := f.Size()
+	h := crc32.NewIEEE()
+	buf := make([]byte, 256<<10)
+	for off := int64(0); off < size; {
+		n := size - off
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if err := vfs.ReadFull(f, buf[:n], off); err != nil {
+			return 0, 0, err
+		}
+		h.Write(buf[:n])
+		off += n
+	}
+	return size, h.Sum32(), nil
+}
+
+// buildManifest computes the manifest of collection coll on fs.
+func buildManifest(fs *vfs.FS, coll string) ([]manifestEntry, error) {
+	var entries []manifestEntry
+	for _, sfx := range collectionSuffixes(fs, coll) {
+		size, crc, err := fileCRC(fs, coll+sfx)
+		if err != nil {
+			return nil, fmt.Errorf("shard: manifest %s%s: %w", coll, sfx, err)
+		}
+		entries = append(entries, manifestEntry{Suffix: sfx, Size: size, CRC: crc})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("shard: manifest: collection %s has no files", coll)
+	}
+	return entries, nil
+}
+
+// writeManifest persists entries as coll's manifest on fs:
+// magic | u32 body length | u32 body CRC | JSON body.
+func writeManifest(fs *vfs.FS, coll string, entries []manifestEntry) error {
+	body, err := json.Marshal(entries)
+	if err != nil {
+		return err
+	}
+	buf := append([]byte(nil), manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = append(buf, body...)
+	name := coll + ManifestSuffix
+	if fs.Exists(name) {
+		if err := fs.Remove(name); err != nil {
+			return err
+		}
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// readManifest loads and validates coll's manifest on fs. ok=false
+// means no manifest exists (a legacy unreplicated image).
+func readManifest(fs *vfs.FS, coll string) (entries []manifestEntry, ok bool, err error) {
+	name := coll + ManifestSuffix
+	if !fs.Exists(name) {
+		return nil, false, nil
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, f.Size())
+	if err := vfs.ReadFull(f, buf, 0); err != nil {
+		return nil, false, err
+	}
+	corrupt := fmt.Errorf("shard: corrupt manifest %s", name)
+	head := len(manifestMagic) + 8
+	if len(buf) < head || string(buf[:len(manifestMagic)]) != string(manifestMagic) {
+		return nil, false, corrupt
+	}
+	blen := binary.LittleEndian.Uint32(buf[len(manifestMagic):])
+	bcrc := binary.LittleEndian.Uint32(buf[len(manifestMagic)+4:])
+	if int(blen) != len(buf)-head {
+		return nil, false, corrupt
+	}
+	body := buf[head:]
+	if crc32.ChecksumIEEE(body) != bcrc {
+		return nil, false, corrupt
+	}
+	if err := json.Unmarshal(body, &entries); err != nil {
+		return nil, false, corrupt
+	}
+	return entries, true, nil
+}
+
+// verifyReplica checks every manifest-listed file of collection coll
+// on fs against its recorded size and CRC. ok=false (with nil err)
+// means no manifest exists, so there is nothing to verify.
+func verifyReplica(fs *vfs.FS, coll string) (ok bool, err error) {
+	entries, ok, err := readManifest(fs, coll)
+	if err != nil || !ok {
+		return ok, err
+	}
+	for _, ent := range entries {
+		name := coll + ent.Suffix
+		if !fs.Exists(name) {
+			return true, fmt.Errorf("shard: replica %s: missing %s", coll, name)
+		}
+		size, crc, err := fileCRC(fs, name)
+		if err != nil {
+			return true, fmt.Errorf("shard: replica %s: %w", coll, err)
+		}
+		if size != ent.Size || crc != ent.CRC {
+			return true, fmt.Errorf("shard: replica %s: %s size/crc mismatch (got %d/%#x, manifest %d/%#x)",
+				coll, name, size, crc, ent.Size, ent.CRC)
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,430 @@
+// Replica sets: each shard of a replicated index holds R byte-identical
+// copies of its store (same deterministic build, cloned through the vfs
+// copy path, checksum-manifest-verified at open). A per-replica health
+// tracker folds EWMA latency, consecutive hard errors, and the circuit
+// breaker into a Healthy/Suspect/Dead state machine; the router orders
+// each sub-query's candidate replicas by that state (then by EWMA), so
+// queries flow to the best copy, hedge across copies, and fail over
+// mid-query when a copy dies — and online repair rebuilds a quarantined
+// copy from a healthy peer while queries keep flowing.
+
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/mneme"
+	"repro/internal/resilience"
+	"repro/internal/vfs"
+)
+
+// ReplicaState is a replica's routing fitness, derived (never stored)
+// from its breaker, consecutive-error count, and quarantine flag.
+type ReplicaState uint8
+
+const (
+	// ReplicaHealthy: routable, preferred (ordered by EWMA latency).
+	ReplicaHealthy ReplicaState = iota
+	// ReplicaSuspect: at least one recent consecutive hard error;
+	// routable but only after every healthy peer.
+	ReplicaSuspect
+	// ReplicaDead: breaker open or too many consecutive errors; tried
+	// last, and only so breaker half-open probes can heal it.
+	ReplicaDead
+	// ReplicaQuarantined: failed checksum verification or detected
+	// corruption; excluded from routing entirely until repaired.
+	ReplicaQuarantined
+)
+
+func (s ReplicaState) String() string {
+	switch s {
+	case ReplicaHealthy:
+		return "healthy"
+	case ReplicaSuspect:
+		return "suspect"
+	case ReplicaDead:
+		return "dead"
+	default:
+		return "quarantined"
+	}
+}
+
+const (
+	// ewmaAlpha weights the newest latency sample in the per-replica
+	// exponentially-weighted moving average.
+	ewmaAlpha = 0.2
+	// suspectAfterErrs / deadAfterErrs are the consecutive-hard-error
+	// thresholds of the state machine.
+	suspectAfterErrs = 1
+	deadAfterErrs    = 3
+)
+
+// replica is one copy of one shard's store plus its health state.
+type replica struct {
+	shard int    // shard index
+	idx   int    // replica index within the shard
+	coll  string // collection name of this replica's files
+	fs    *vfs.FS
+
+	// mu guards eng and br against the repair swap. Sub-queries hold
+	// the read lock for the duration of an engine call, so repair's
+	// write lock drains exactly the in-flight work on this replica —
+	// never queries on its peers.
+	mu  sync.RWMutex
+	eng *core.Engine
+	br  *resilience.Breaker
+
+	ewmaBits    atomic.Uint64 // EWMA latency in ns (float64 bits)
+	consecErrs  atomic.Int64
+	quarantined atomic.Bool
+	repairing   atomic.Bool
+
+	answered atomic.Int64
+	failed   atomic.Int64
+	repairs  atomic.Int64
+}
+
+func (rep *replica) engine() *core.Engine {
+	rep.mu.RLock()
+	defer rep.mu.RUnlock()
+	return rep.eng
+}
+
+func (rep *replica) breaker() *resilience.Breaker {
+	rep.mu.RLock()
+	defer rep.mu.RUnlock()
+	return rep.br
+}
+
+// run executes one sub-query attempt against this replica, holding the
+// read lock so a concurrent repair cannot close the engine under it.
+func (rep *replica) run(ctx context.Context, req core.Request) (core.Response, error) {
+	rep.mu.RLock()
+	defer rep.mu.RUnlock()
+	if rep.eng == nil {
+		return core.Response{Outcome: core.OutcomeError},
+			fmt.Errorf("shard %d: replica %d offline: %w", rep.shard, rep.idx, resilience.ErrBreakerOpen)
+	}
+	return rep.eng.Run(ctx, req)
+}
+
+func (rep *replica) ewma() float64 {
+	return math.Float64frombits(rep.ewmaBits.Load())
+}
+
+func (rep *replica) observeLatency(d time.Duration) {
+	for {
+		old := rep.ewmaBits.Load()
+		prev := math.Float64frombits(old)
+		next := float64(d)
+		if prev > 0 {
+			next = ewmaAlpha*float64(d) + (1-ewmaAlpha)*prev
+		}
+		if rep.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// observeOutcome feeds the consecutive-error counter: any success
+// resets it, a hard error bumps it.
+func (rep *replica) observeOutcome(ok bool) {
+	if ok {
+		rep.consecErrs.Store(0)
+	} else {
+		rep.consecErrs.Add(1)
+	}
+}
+
+// state derives the routing state.
+func (rep *replica) state() ReplicaState {
+	if rep.quarantined.Load() {
+		return ReplicaQuarantined
+	}
+	rep.mu.RLock()
+	eng, br := rep.eng, rep.br
+	rep.mu.RUnlock()
+	if eng == nil {
+		return ReplicaQuarantined
+	}
+	if br.State() == resilience.Open {
+		return ReplicaDead
+	}
+	switch c := rep.consecErrs.Load(); {
+	case c >= deadAfterErrs:
+		return ReplicaDead
+	case c >= suspectAfterErrs:
+		return ReplicaSuspect
+	default:
+		return ReplicaHealthy
+	}
+}
+
+// candidates orders shard i's routable replicas: healthy first (by
+// EWMA latency ascending, replica index as the deterministic
+// tiebreak), then suspects, then dead ones (so half-open breaker
+// probes still reach them). Quarantined replicas are excluded — the
+// router never touches a copy known to be corrupt.
+func (x *Index) candidates(i int) []*replica {
+	set := x.sets[i]
+	byState := func(want ReplicaState) []*replica {
+		var out []*replica
+		for _, rep := range set {
+			if rep.state() == want {
+				out = append(out, rep)
+			}
+		}
+		return out
+	}
+	healthy := byState(ReplicaHealthy)
+	sort.SliceStable(healthy, func(a, b int) bool {
+		ea, eb := healthy[a].ewma(), healthy[b].ewma()
+		if ea != eb {
+			return ea < eb
+		}
+		return healthy[a].idx < healthy[b].idx
+	})
+	out := append(healthy, byState(ReplicaSuspect)...)
+	return append(out, byState(ReplicaDead)...)
+}
+
+// quarantineForRepair pulls a corrupt replica out of the routing table
+// and, when the index owns its engines and a peer exists to copy
+// from, kicks off an asynchronous rebuild.
+func (x *Index) quarantineForRepair(rep *replica, cause error) {
+	if len(x.sets[rep.shard]) < 2 {
+		// Nowhere to rebuild from; the breaker isolates it instead.
+		return
+	}
+	if rep.quarantined.CompareAndSwap(false, true) {
+		x.quarantines.Add(1)
+		log.Printf("shard: index %s shard %d replica %d quarantined: %v", x.name, rep.shard, rep.idx, cause)
+	}
+	if x.reopen == nil {
+		return
+	}
+	if !rep.repairing.CompareAndSwap(false, true) {
+		return
+	}
+	x.repairWG.Add(1)
+	go func() {
+		defer x.repairWG.Done()
+		defer rep.repairing.Store(false)
+		if err := x.repairReplica(rep); err != nil {
+			log.Printf("shard: index %s shard %d replica %d repair failed: %v", x.name, rep.shard, rep.idx, err)
+		}
+	}()
+}
+
+// Repair synchronously quarantines and rebuilds replica r of shard i
+// from a healthy peer: copy the peer's image through the vfs layer
+// (rate-limited), re-verify every checksum against the manifest,
+// reopen, and re-admit with fresh health state. Queries keep flowing
+// throughout — the rebuild only write-locks this one replica.
+func (x *Index) Repair(i, r int) error {
+	if i < 0 || i >= len(x.sets) || r < 0 || r >= len(x.sets[i]) {
+		return fmt.Errorf("shard: repair: no replica %d/%d", i, r)
+	}
+	if x.reopen == nil {
+		return errors.New("shard: repair: index does not own its engines (opened via NewIndex)")
+	}
+	rep := x.sets[i][r]
+	if rep.quarantined.CompareAndSwap(false, true) {
+		x.quarantines.Add(1)
+	}
+	if !rep.repairing.CompareAndSwap(false, true) {
+		return fmt.Errorf("shard: repair of shard %d replica %d already running", i, r)
+	}
+	defer rep.repairing.Store(false)
+	return x.repairReplica(rep)
+}
+
+// repairReplica does the rebuild. The caller holds the repairing flag
+// and has already quarantined the replica.
+func (x *Index) repairReplica(rep *replica) error {
+	// Prefer a healthy or suspect peer as the copy source, but fall
+	// back to a breaker-dead one — the post-copy checksum verification
+	// catches bad data, and a dead-looking peer is often just starved
+	// of traffic (healthy-first routing never probes it).
+	var src, fallback *replica
+	for _, peer := range x.candidates(rep.shard) {
+		if peer == rep {
+			continue
+		}
+		if peer.state() != ReplicaDead {
+			src = peer
+			break
+		}
+		if fallback == nil {
+			fallback = peer
+		}
+	}
+	if src == nil {
+		src = fallback
+	}
+	if src == nil {
+		return fmt.Errorf("shard: repair %s: no healthy source replica", rep.coll)
+	}
+	entries, ok, err := readManifest(src.fs, src.coll)
+	if err != nil {
+		return fmt.Errorf("shard: repair %s: source manifest: %w", rep.coll, err)
+	}
+	if !ok {
+		return fmt.Errorf("shard: repair %s: source %s has no manifest", rep.coll, src.coll)
+	}
+
+	// Take the replica offline. The write lock drains in-flight
+	// sub-queries on this replica only; it is already quarantined, so
+	// no new ones arrive.
+	rep.mu.Lock()
+	if rep.eng != nil {
+		rep.eng.Close()
+		rep.eng = nil
+	}
+	rep.mu.Unlock()
+
+	// Sweep whatever is left of the old image, then copy the peer's,
+	// verifying each file's size and CRC against the manifest.
+	for _, name := range rep.fs.Names() {
+		if strings.HasPrefix(name, rep.coll+".") {
+			if err := rep.fs.Remove(name); err != nil {
+				return fmt.Errorf("shard: repair %s: sweep %s: %w", rep.coll, name, err)
+			}
+		}
+	}
+	for _, ent := range entries {
+		size, crc, err := vfs.CopyFile(src.fs, src.coll+ent.Suffix, rep.fs, rep.coll+ent.Suffix,
+			vfs.CopyOptions{Pace: x.repairPace})
+		if err != nil {
+			return fmt.Errorf("shard: repair %s: %w", rep.coll, err)
+		}
+		if size != ent.Size || crc != ent.CRC {
+			return fmt.Errorf("shard: repair %s: %s copied size/crc %d/%#x, manifest %d/%#x",
+				rep.coll, rep.coll+ent.Suffix, size, crc, ent.Size, ent.CRC)
+		}
+	}
+	if err := writeManifest(rep.fs, rep.coll, entries); err != nil {
+		return fmt.Errorf("shard: repair %s: manifest: %w", rep.coll, err)
+	}
+	if _, err := verifyReplica(rep.fs, rep.coll); err != nil {
+		return fmt.Errorf("shard: repair %s: re-verify: %w", rep.coll, err)
+	}
+	eng, err := x.reopen(rep.fs, rep.coll)
+	if err != nil {
+		return fmt.Errorf("shard: repair %s: reopen: %w", rep.coll, err)
+	}
+
+	// Re-admit with fresh health state: new breaker (the old one
+	// remembers the corrupt store's failures), zeroed error count and
+	// latency estimate.
+	rep.mu.Lock()
+	rep.eng = eng
+	rep.br = resilience.NewBreaker(x.cfg.Breaker)
+	rep.mu.Unlock()
+	rep.consecErrs.Store(0)
+	rep.ewmaBits.Store(0)
+	rep.quarantined.Store(false)
+	rep.repairs.Add(1)
+	x.repairs.Add(1)
+	log.Printf("shard: index %s shard %d replica %d repaired from replica %d and re-admitted",
+		x.name, rep.shard, rep.idx, src.idx)
+	return nil
+}
+
+// isCorruptErr reports whether a sub-query error indicates store
+// corruption (the trigger for quarantine + repair rather than plain
+// breaker isolation).
+func isCorruptErr(err error) bool {
+	if errors.Is(err, mneme.ErrCorrupt) {
+		return true
+	}
+	var cse *mneme.CorruptSegmentError
+	return errors.As(err, &cse)
+}
+
+// OpenReplicated opens an n-shard × r-replica collection: every
+// replica is checksum-verified against its manifest before serving; a
+// replica that fails verification (or fails to open) starts
+// quarantined and is rebuilt from a peer on the first Repair — the
+// shard only errors when no replica of it can serve. All engines share
+// one collection-global statistics block, accumulated from one donor
+// replica per shard (replicas are byte-identical, so any donor
+// yields the same statistics). The returned Index owns its engines:
+// Close closes them, and Repair can rebuild and reopen them.
+func OpenReplicated(fss [][]*vfs.FS, name string, n, r int, kind core.BackendKind, cfg Config, opts ...core.Option) (*Index, error) {
+	if err := validateReplicaFSS(fss, n, r); err != nil {
+		return nil, err
+	}
+	g := &core.GlobalStats{DF: make(map[string]uint64)}
+	reopen := func(fs *vfs.FS, coll string) (*core.Engine, error) {
+		o := append(append([]core.Option(nil), opts...), core.WithGlobalStats(g))
+		return core.Open(fs, coll, kind, o...)
+	}
+	engines := make([][]*core.Engine, n)
+	for i := 0; i < n; i++ {
+		engines[i] = make([]*core.Engine, r)
+		var firstErr error
+		opened := 0
+		for rep := 0; rep < r; rep++ {
+			fs := replicaFSFor(fss, i, rep)
+			coll := ReplicaName(name, i, rep)
+			if _, err := verifyReplica(fs, coll); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				log.Printf("shard: open %s: %v (replica starts quarantined)", name, err)
+				continue
+			}
+			e, err := reopen(fs, coll)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard: open %s: %w", coll, err)
+				}
+				log.Printf("shard: open %s: replica %s: %v (replica starts quarantined)", name, coll, err)
+				continue
+			}
+			engines[i][rep] = e
+			opened++
+		}
+		if opened == 0 {
+			return nil, fmt.Errorf("shard: open %s: shard %d has no servable replica: %w", name, i, firstErr)
+		}
+	}
+	// Collection-global statistics from one donor replica per shard.
+	for i := 0; i < n; i++ {
+		var donor *core.Engine
+		for _, e := range engines[i] {
+			if e != nil {
+				donor = e
+				break
+			}
+		}
+		local := donor.LocalDocs()
+		g.NumDocs += local
+		for d := 0; d < local; d++ {
+			g.TotalLen += int64(donor.DocLen(uint32(d)))
+		}
+		donor.Dictionary().Range(func(ent *lexicon.Entry) bool {
+			g.DF[ent.Term] += ent.DF
+			return true
+		})
+	}
+	x, err := newIndexFromEngines(name, fss, engines, cfg)
+	if err != nil {
+		return nil, err
+	}
+	x.owned = true
+	x.reopen = reopen
+	return x, nil
+}

@@ -1,0 +1,563 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/vfs"
+)
+
+// buildReplicated builds the corpus into an n-shard × r-replica set,
+// every replica on its own FS (per-replica blast radius), and opens
+// the failover coordinator without buffer caching so every query
+// actually touches the (faultable, corruptible) file systems.
+func buildReplicated(t *testing.T, docs []index.Doc, n, r int, cfg Config) (*Index, [][]*vfs.FS) {
+	t.Helper()
+	fss := buildReplicaStores(t, docs, n, r)
+	idx := openReplicated(t, fss, n, r, cfg)
+	return idx, fss
+}
+
+func buildReplicaStores(t *testing.T, docs []index.Doc, n, r int) [][]*vfs.FS {
+	t.Helper()
+	fss := make([][]*vfs.FS, n)
+	for i := range fss {
+		fss[i] = make([]*vfs.FS, r)
+		for j := range fss[i] {
+			fss[i][j] = newFS()
+		}
+	}
+	opt := core.BuildOptions{Analyzer: plainAnalyzer(), Backends: []core.BackendKind{core.BackendMneme}}
+	if _, err := BuildReplicated(fss, "c", n, r, &core.SliceDocs{Docs: docs}, opt); err != nil {
+		t.Fatalf("replicated build %dx%d: %v", n, r, err)
+	}
+	return fss
+}
+
+func openReplicated(t *testing.T, fss [][]*vfs.FS, n, r int, cfg Config) *Index {
+	t.Helper()
+	idx, err := OpenReplicated(fss, "c", n, r, core.BackendMneme, cfg,
+		core.WithAnalyzer(plainAnalyzer()), core.WithPlan(core.NoCache))
+	if err != nil {
+		t.Fatalf("open replicated %dx%d: %v", n, r, err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	return idx
+}
+
+// openBase opens an unsharded, unreplicated oracle over the same
+// corpus.
+func openBase(t *testing.T, docs []index.Doc) *core.Engine {
+	t.Helper()
+	fs := newFS()
+	if _, err := core.Build(fs, "base", &core.SliceDocs{Docs: docs}, core.BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
+		t.Fatalf("base build: %v", err)
+	}
+	base, err := core.Open(fs, "base", core.BackendMneme, core.WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatalf("open base: %v", err)
+	}
+	t.Cleanup(func() { base.Close() })
+	return base
+}
+
+// corruptReplica flips bytes in the middle of the largest
+// manifest-listed file (the store) of replica r of shard i — the
+// bit-rot a checksum manifest and CorruptSegmentError detection exist
+// to catch.
+func corruptReplica(t *testing.T, fs *vfs.FS, coll string) {
+	t.Helper()
+	entries, ok, err := readManifest(fs, coll)
+	if err != nil || !ok {
+		t.Fatalf("manifest of %s: ok=%v err=%v", coll, ok, err)
+	}
+	var victim manifestEntry
+	for _, ent := range entries {
+		if ent.Size > victim.Size {
+			victim = ent
+		}
+	}
+	f, err := fs.Open(coll + victim.Suffix)
+	if err != nil {
+		t.Fatalf("open %s: %v", coll+victim.Suffix, err)
+	}
+	// Garbage over the middle half of the file: any query whose lists
+	// live there reads a failed CRC, and the manifest check always
+	// catches it.
+	n := victim.Size / 2
+	garbage := make([]byte, n)
+	for i := range garbage {
+		garbage[i] = byte(i*131 + 7)
+	}
+	if _, err := f.WriteAt(garbage, victim.Size/4); err != nil {
+		t.Fatalf("corrupt %s: %v", coll+victim.Suffix, err)
+	}
+}
+
+// TestReplicatedRankingsIdentical: replicas change where a sub-query
+// runs, never what it returns — for every shard/replica geometry and
+// evaluation mode the merged ranking must stay byte-identical to the
+// unsharded, unreplicated oracle. Also covers the single-image (1×1
+// fss) layout inqueryd uses for replicated image files.
+func TestReplicatedRankingsIdentical(t *testing.T) {
+	docs := shardCorpus()
+	base := openBase(t, docs)
+	ctx := context.Background()
+
+	run := func(label string, idx *Index, n int) {
+		for _, m := range evalModes {
+			queries := allModeQueries
+			if m.mode == core.ModeDAAT {
+				queries = append(append([]string(nil), allModeQueries...), daatOnlyQueries...)
+			}
+			for _, q := range queries {
+				req := core.Request{Query: q, TopK: 10, Mode: m.mode, Prune: m.prune}
+				want, err := base.Run(ctx, req)
+				if err != nil {
+					t.Fatalf("base run %q: %v", q, err)
+				}
+				got, err := idx.Run(ctx, req)
+				if err != nil {
+					t.Fatalf("%s %s %q: %v", label, m.name, q, err)
+				}
+				if got.Outcome != core.OutcomeOK {
+					t.Fatalf("%s %s %q: outcome %s", label, m.name, q, got.Outcome)
+				}
+				sameRanking(t, label+" "+m.name+" "+q, got.Results, want.Results)
+				if c := got.Coverage; c == nil || c.Shards != n || c.Answered != n {
+					t.Fatalf("%s %s %q: bad coverage %+v", label, m.name, q, got.Coverage)
+				}
+			}
+		}
+	}
+
+	for _, geo := range []struct{ n, r int }{{1, 2}, {2, 2}, {4, 2}, {2, 3}} {
+		idx, _ := buildReplicated(t, docs, geo.n, geo.r, Config{DisableHedge: true})
+		if idx.NumDocs() != len(docs) {
+			t.Fatalf("%dx%d: NumDocs=%d want %d", geo.n, geo.r, idx.NumDocs(), len(docs))
+		}
+		if idx.Replicas() != geo.r {
+			t.Fatalf("%dx%d: Replicas()=%d", geo.n, geo.r, idx.Replicas())
+		}
+		run(fmt.Sprintf("x%dr%d", geo.n, geo.r), idx, geo.n)
+	}
+
+	// Single-image layout: all shards and replicas in one FS, the way
+	// inquery-index -replicas lays out an image file.
+	fs := newFS()
+	opt := core.BuildOptions{Analyzer: plainAnalyzer(), Backends: []core.BackendKind{core.BackendMneme}}
+	if _, err := BuildReplicated([][]*vfs.FS{{fs}}, "c", 2, 2, &core.SliceDocs{Docs: shardCorpus()}, opt); err != nil {
+		t.Fatalf("single-image build: %v", err)
+	}
+	idx := openReplicated(t, [][]*vfs.FS{{fs}}, 2, 2, Config{DisableHedge: true})
+	run("single-image 2x2", idx, 2)
+}
+
+// TestReplicatedBuildVerifies: every replica of a replicated build
+// carries a manifest and passes checksum verification, and the v2
+// sidecar round-trips both counts; v1 sidecars keep reading as one
+// replica.
+func TestReplicatedBuildVerifies(t *testing.T) {
+	docs := []index.Doc{{ID: 0, Text: "a b c"}, {ID: 1, Text: "b c d"}, {ID: 2, Text: "c d e"}, {ID: 3, Text: "d e f"}}
+	fss := buildReplicaStores(t, docs, 2, 2)
+	for i := 0; i < 2; i++ {
+		for r := 0; r < 2; r++ {
+			coll := ReplicaName("c", i, r)
+			ok, err := verifyReplica(fss[i][r], coll)
+			if !ok || err != nil {
+				t.Fatalf("replica %d/%d: verify ok=%v err=%v", i, r, ok, err)
+			}
+		}
+	}
+	n, r, ok, err := DetectFull(fss[0][0], "c")
+	if n != 2 || r != 2 || !ok || err != nil {
+		t.Fatalf("DetectFull: got (%d,%d,%v,%v), want (2,2,true,nil)", n, r, ok, err)
+	}
+	// Detect (the v1-era API) still reports the shard count.
+	if n, ok, err := Detect(fss[1][1], "c"); n != 2 || !ok || err != nil {
+		t.Fatalf("Detect on replicated image: (%d,%v,%v)", n, ok, err)
+	}
+	// An unreplicated build stays on the v1 sidecar and reads as r=1.
+	fs := newFS()
+	if _, err := Build([]*vfs.FS{fs}, "c", 3, &core.SliceDocs{Docs: docs},
+		core.BuildOptions{Analyzer: plainAnalyzer(), Backends: []core.BackendKind{core.BackendMneme}}); err != nil {
+		t.Fatalf("v1 build: %v", err)
+	}
+	if n, r, ok, err := DetectFull(fs, "c"); n != 3 || r != 1 || !ok || err != nil {
+		t.Fatalf("DetectFull on v1 sidecar: (%d,%d,%v,%v), want (3,1,true,nil)", n, r, ok, err)
+	}
+}
+
+// TestOpenReplicatedQuarantinesCorruptReplica: a replica that fails
+// its checksum manifest at open starts quarantined — excluded from
+// routing, queries exact through its peers — and a synchronous Repair
+// rebuilds it from a peer and re-admits it. A shard with no intact
+// replica at all refuses to open.
+func TestOpenReplicatedQuarantinesCorruptReplica(t *testing.T) {
+	docs := shardCorpus()
+	base := openBase(t, docs)
+	fss := buildReplicaStores(t, docs, 2, 2)
+	corruptReplica(t, fss[1][1], ReplicaName("c", 1, 1))
+
+	idx := openReplicated(t, fss, 2, 2, Config{DisableHedge: true, RetryAttempts: 2})
+	if st := idx.ReplicaState(1, 1); st != ReplicaQuarantined {
+		t.Fatalf("corrupt replica state %s, want quarantined", st)
+	}
+	req := core.Request{Query: "w1 w2 w3", TopK: 10}
+	want, err := base.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	resp, err := idx.Run(context.Background(), req)
+	if err != nil || resp.Outcome != core.OutcomeOK {
+		t.Fatalf("run with quarantined replica: outcome %v err %v", resp.Outcome, err)
+	}
+	sameRanking(t, "quarantined-at-open", resp.Results, want.Results)
+
+	h := idx.Health()
+	if !h.Serving {
+		t.Fatalf("health not serving: %+v", h)
+	}
+	if got := h.Breakers["shard1/r1"]; got != "quarantined" {
+		t.Fatalf("health shard1/r1 = %q, want quarantined (%+v)", got, h.Breakers)
+	}
+
+	if err := idx.Repair(1, 1); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if st := idx.ReplicaState(1, 1); st != ReplicaHealthy {
+		t.Fatalf("repaired replica state %s, want healthy", st)
+	}
+	if ok, err := verifyReplica(fss[1][1], ReplicaName("c", 1, 1)); !ok || err != nil {
+		t.Fatalf("repaired replica fails verification: ok=%v err=%v", ok, err)
+	}
+	resp, err = idx.Run(context.Background(), req)
+	if err != nil || resp.Outcome != core.OutcomeOK {
+		t.Fatalf("run after repair: outcome %v err %v", resp.Outcome, err)
+	}
+	sameRanking(t, "after-repair", resp.Results, want.Results)
+
+	// Every replica of a shard corrupt: nothing can serve it — open
+	// must fail rather than hand out an index missing a shard.
+	fss2 := buildReplicaStores(t, docs, 2, 2)
+	corruptReplica(t, fss2[0][0], ReplicaName("c", 0, 0))
+	corruptReplica(t, fss2[0][1], ReplicaName("c", 0, 1))
+	if _, err := OpenReplicated(fss2, "c", 2, 2, core.BackendMneme, Config{},
+		core.WithAnalyzer(plainAnalyzer())); err == nil {
+		t.Fatal("open with every replica of shard 0 corrupt: want error")
+	}
+}
+
+// TestReplicaAutoRepairOnCorruption: a query that reads bit-rot gets
+// its answer from a peer replica (mid-query failover), and the corrupt
+// copy is quarantined and rebuilt in the background without any caller
+// intervention.
+func TestReplicaAutoRepairOnCorruption(t *testing.T) {
+	docs := shardCorpus()
+	base := openBase(t, docs)
+	idx, fss := buildReplicated(t, docs, 2, 2, Config{DisableHedge: true, RetryAttempts: 2})
+
+	// Rot replica 0 of shard 0 and steer routing at it: its EWMA is
+	// zero (never served) while the peer's is pushed high, so the
+	// healthy-first order tries the corrupt copy first.
+	corruptReplica(t, fss[0][0], ReplicaName("c", 0, 0))
+	idx.sets[0][1].observeLatency(time.Second)
+
+	req := core.Request{Query: "#or(w0 w1 w2 w3 w5 w7 w10 w599)", TopK: 10}
+	want, err := base.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	resp, err := idx.Run(context.Background(), req)
+	if err != nil || resp.Outcome != core.OutcomeOK {
+		t.Fatalf("run over bit-rot: outcome %v err %v (coverage %+v)", resp.Outcome, err, resp.Coverage)
+	}
+	sameRanking(t, "bit-rot failover", resp.Results, want.Results)
+
+	// The read either hit the rot (quarantine + async repair already
+	// running) or the queried lists missed it; repair synchronously in
+	// that case so the end state is deterministic.
+	rep := idx.sets[0][0]
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.repairing.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if rep.state() != ReplicaHealthy {
+		if err := idx.Repair(0, 0); err != nil {
+			t.Fatalf("repair: %v", err)
+		}
+	}
+	if st := rep.state(); st != ReplicaHealthy {
+		t.Fatalf("replica state %s after repair, want healthy", st)
+	}
+	if ok, err := verifyReplica(fss[0][0], ReplicaName("c", 0, 0)); !ok || err != nil {
+		t.Fatalf("repaired replica fails verification: ok=%v err=%v", ok, err)
+	}
+	snap := idx.Snapshot()
+	if snap.Sharding == nil || snap.Sharding.Repairs < 1 {
+		t.Fatalf("snapshot records no repair: %+v", snap.Sharding)
+	}
+}
+
+// TestReplicaRepairOnlineThroughput is the online-repair acceptance:
+// while a rate-limited rebuild of a corrupt replica is running,
+// queries must keep completing — every one exact and OutcomeOK — and
+// the quarantined copy must come back verified and healthy.
+func TestReplicaRepairOnlineThroughput(t *testing.T) {
+	docs := shardCorpus()
+	base := openBase(t, docs)
+	fss := buildReplicaStores(t, docs, 2, 2)
+
+	// Pace the repair so it demonstrably overlaps live queries:
+	// total image bytes / bps ≈ 300ms of copying.
+	entries, ok, err := readManifest(fss[0][1], ReplicaName("c", 0, 1))
+	if err != nil || !ok {
+		t.Fatalf("manifest: ok=%v err=%v", ok, err)
+	}
+	var total int64
+	for _, ent := range entries {
+		total += ent.Size
+	}
+	idx := openReplicated(t, fss, 2, 2, Config{
+		DisableHedge:      true,
+		RetryAttempts:     2,
+		RepairBytesPerSec: total*10/3 + 1,
+	})
+
+	corruptReplica(t, fss[0][1], ReplicaName("c", 0, 1))
+
+	req := core.Request{Query: "w1 w2 w3", TopK: 10}
+	want, err := base.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var okCount, badCount atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := idx.Run(context.Background(), req)
+			if err != nil || resp.Outcome != core.OutcomeOK || len(resp.Results) != len(want.Results) {
+				badCount.Add(1)
+				continue
+			}
+			okCount.Add(1)
+		}
+	}()
+
+	before := okCount.Load()
+	if err := idx.Repair(0, 1); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	during := okCount.Load() - before
+	close(stop)
+	wg.Wait()
+
+	if during == 0 {
+		t.Fatal("no queries completed while the repair was running")
+	}
+	if bad := badCount.Load(); bad != 0 {
+		t.Fatalf("%d queries failed or degraded during online repair", bad)
+	}
+	if st := idx.ReplicaState(0, 1); st != ReplicaHealthy {
+		t.Fatalf("repaired replica state %s, want healthy", st)
+	}
+	if ok, err := verifyReplica(fss[0][1], ReplicaName("c", 0, 1)); !ok || err != nil {
+		t.Fatalf("repaired replica fails verification: ok=%v err=%v", ok, err)
+	}
+	resp, err := idx.Run(context.Background(), req)
+	if err != nil || resp.Outcome != core.OutcomeOK {
+		t.Fatalf("post-repair run: outcome %v err %v", resp.Outcome, err)
+	}
+	sameRanking(t, "post-repair", resp.Results, want.Results)
+	t.Logf("online repair: %d queries completed during the paced rebuild", during)
+}
+
+// TestReplicaKillStorm is the replicated chaos acceptance: every round
+// kills one replica (crash-frozen disk) or bit-rots one replica's
+// store, fires a batch of mixed-mode queries, and requires EVERY query
+// to come back OutcomeOK with full coverage and a ranking
+// byte-identical to the unreplicated oracle — zero failed, zero
+// partial, while R≥2 replicas existed and at most one per shard was
+// down. SOAK_ROUNDS scales it (see `make soak` / `make chaos`).
+func TestReplicaKillStorm(t *testing.T) {
+	docs := shardCorpus()
+	base := openBase(t, docs)
+	const n, r = 4, 2
+	idx, fss := buildReplicated(t, docs, n, r, Config{
+		DisableHedge:  true,
+		RetryAttempts: 4, // enough visits to ride a breaker cooldown on one replica and still reach its peer
+	})
+	reqs := []core.Request{
+		{Query: "w1 w2 w3", TopK: 10},
+		{Query: "#and(w5 w15 w25)", TopK: 10},
+		{Query: "#or(w7 w17)", TopK: 10},
+		{Query: "#wsum(3 w2 1 w40)", TopK: 10},
+		{Query: "w0 w10", TopK: 10, Mode: core.ModeDAAT},
+		{Query: "#syn(w5 w6)", TopK: 10, Mode: core.ModeDAAT},
+		{Query: "#or(w3 w13 w23)", TopK: 10, Mode: core.ModeDAAT, Prune: true},
+	}
+	oracle := make([][]core.Result, len(reqs))
+	for qi, req := range reqs {
+		resp, err := base.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("oracle q%d: %v", qi, err)
+		}
+		oracle[qi] = resp.Results
+	}
+
+	// ensureRepaired drives replica (i,rp) back to a verified, healthy
+	// state after a bit-rot round, whether or not a query tripped the
+	// automatic quarantine path.
+	ensureRepaired := func(round, i, rp int) {
+		rep := idx.sets[i][rp]
+		deadline := time.Now().Add(15 * time.Second)
+		for rep.repairing.Load() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if rep.state() != ReplicaHealthy || func() bool { _, err := verifyReplica(rep.fs, rep.coll); return err != nil }() {
+			if err := idx.Repair(i, rp); err != nil {
+				t.Fatalf("round %d: repair %d/%d: %v", round, i, rp, err)
+			}
+		}
+		if _, err := verifyReplica(rep.fs, rep.coll); err != nil {
+			t.Fatalf("round %d: replica %d/%d still corrupt after repair: %v", round, i, rp, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(61))
+	rounds := soakRounds() * 3
+	for round := 0; round < rounds; round++ {
+		vs, vr := rng.Intn(n), rng.Intn(r)
+		bitrot := round%3 == 2
+		if bitrot {
+			corruptReplica(t, fss[vs][vr], ReplicaName("c", vs, vr))
+		} else {
+			fss[vs][vr].SetFaultPlan(vfs.NewFaultPlan(int64(round)*13 + 5).FailReadEvery(1).WithCrash())
+		}
+		for j := 0; j < 6; j++ {
+			qi := rng.Intn(len(reqs))
+			resp, err := idx.Run(context.Background(), reqs[qi])
+			if err != nil {
+				t.Fatalf("round %d q%d: %v", round, qi, err)
+			}
+			if resp.Outcome != core.OutcomeOK {
+				t.Fatalf("round %d q%d: outcome %s coverage %+v — a replicated index must absorb a single replica loss",
+					round, qi, resp.Outcome, resp.Coverage)
+			}
+			if c := resp.Coverage; c == nil || c.Answered != n {
+				t.Fatalf("round %d q%d: coverage not full: %+v", round, qi, c)
+			}
+			sameRanking(t, "storm", resp.Results, oracle[qi])
+		}
+		if bitrot {
+			ensureRepaired(round, vs, vr)
+		} else {
+			fss[vs][vr].SetFaultPlan(nil)
+		}
+	}
+
+	snap := idx.Snapshot()
+	if snap.Sharding == nil || snap.Sharding.Failovers < 1 {
+		t.Fatalf("storm recorded no failovers: %+v", snap.Sharding)
+	}
+	if snap.Sharding.Replicas != r {
+		t.Fatalf("snapshot replicas = %d, want %d", snap.Sharding.Replicas, r)
+	}
+	if h := idx.Health(); !h.Serving {
+		t.Fatalf("index unhealthy after storm: %+v", h)
+	}
+	t.Logf("storm: %d rounds, %d failovers, %d quarantines, %d repairs",
+		rounds, snap.Sharding.Failovers, snap.Sharding.Quarantines, snap.Sharding.Repairs)
+}
+
+// TestReplicaFailoverGoroutineHygiene (the leak test): cross-replica
+// hedges whose losers are cancelled, mid-query failover off a
+// crash-frozen replica, and a caller cancelling mid-request must all
+// leave no goroutine behind.
+func TestReplicaFailoverGoroutineHygiene(t *testing.T) {
+	docs := shardCorpus()
+	idx, _ := buildReplicated(t, docs, 2, 2, Config{
+		HedgeAfter:    time.Millisecond,
+		RetryAttempts: 2,
+	})
+	req := core.Request{Query: "w1 w2 w3", TopK: 10}
+	// Warm once so both replicas have engines exercised before the
+	// baseline count.
+	if _, err := idx.Run(context.Background(), req); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Cross-replica hedge: every primary stalls until cancelled, so
+	// the hedge — which leads with a different replica — always wins
+	// and always cancels a loser that is mid-flight on another copy.
+	idx.testAttemptHook = func(ctx context.Context, shard int, hedge bool) {
+		if !hedge {
+			<-ctx.Done()
+		}
+	}
+	for i := 0; i < 25; i++ {
+		resp, err := idx.Run(context.Background(), req)
+		if err != nil || resp.Outcome != core.OutcomeOK {
+			t.Fatalf("hedged run %d: outcome %v err %v", i, resp.Outcome, err)
+		}
+	}
+	snap := idx.Snapshot()
+	if snap.Sharding.HedgeWins < 25 {
+		t.Fatalf("hedge wins %d, want >= 25", snap.Sharding.HedgeWins)
+	}
+	idx.testAttemptHook = nil
+
+	// Mid-query failover: crash-freeze whichever replica of shard 0
+	// the router would try first; the query must fail over and the
+	// dead attempt must not linger.
+	first := idx.candidates(0)[0]
+	first.fs.SetFaultPlan(vfs.NewFaultPlan(3).FailReadEvery(1).WithCrash())
+	for i := 0; i < 10; i++ {
+		resp, err := idx.Run(context.Background(), req)
+		if err != nil || resp.Outcome != core.OutcomeOK {
+			t.Fatalf("failover run %d: outcome %v err %v", i, resp.Outcome, err)
+		}
+	}
+	first.fs.SetFaultPlan(nil)
+	if got := idx.Snapshot().Sharding.Failovers; got < 1 {
+		t.Fatalf("failovers = %d, want >= 1", got)
+	}
+
+	// Caller cancellation: every attempt stalls until the caller's
+	// context dies; Run must return and reap all of them.
+	idx.testAttemptHook = func(ctx context.Context, shard int, hedge bool) { <-ctx.Done() }
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(2*time.Millisecond, cancel)
+		idx.Run(ctx, req) // outcome is a typed deadline/cancel; hygiene is what's under test
+		cancel()
+	}
+	idx.testAttemptHook = nil
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

@@ -36,12 +36,29 @@ import (
 // sharded collection and records the shard count.
 const Suffix = ".shards"
 
-// sidecarMagic heads the sidecar file.
-var sidecarMagic = []byte{'S', 'H', 'R', 'D', 1}
+// sidecarMagic heads the sidecar file. The version byte is 1 for
+// unreplicated images (shard count only) and 2 for replicated ones
+// (shard count + replica count), so old images stay readable.
+var (
+	sidecarMagic   = []byte{'S', 'H', 'R', 'D', 1}
+	sidecarMagicV2 = []byte{'S', 'H', 'R', 'D', 2}
+)
 
 // ShardName is the collection name of shard i: "<name>.s<i>". Each
 // shard carries the usual full set of index files under that name.
 func ShardName(name string, i int) string { return fmt.Sprintf("%s.s%d", name, i) }
+
+// ReplicaName is the collection name of replica r of shard i. Replica
+// 0 is the plain shard name, so an unreplicated image is exactly a
+// one-replica image; replica r > 0 inserts a ".r<r>" segment before
+// the shard segment ("<name>.r<r>.s<i>"), which keeps every replica's
+// file prefix disjoint from every other collection's.
+func ReplicaName(name string, i, r int) string {
+	if r == 0 {
+		return ShardName(name, i)
+	}
+	return fmt.Sprintf("%s.r%d.s%d", name, r, i)
+}
 
 // ShardOf maps a global document id to its shard (round-robin mod n).
 func ShardOf(global uint32, n int) int { return int(global % uint32(n)) }
@@ -165,17 +182,122 @@ feed:
 			continue
 		}
 		seen[fs] = true
-		if err := writeSidecar(fs, name, n); err != nil {
+		if err := writeSidecar(fs, name, n, 1); err != nil {
 			return nil, err
 		}
 	}
 	return stats, nil
 }
 
-// writeSidecar persists the shard-count marker.
-func writeSidecar(fs *vfs.FS, name string, n int) error {
-	buf := append([]byte(nil), sidecarMagic...)
-	buf = binary.AppendUvarint(buf, uint64(n))
+// replicaFSFor returns the file system replica r of shard i lives on.
+// A 1×1 fss co-locates everything on one image; an n×r matrix gives
+// every replica its own FS (true blast-radius isolation — fault plans
+// attach to a whole FS).
+func replicaFSFor(fss [][]*vfs.FS, i, r int) *vfs.FS {
+	if len(fss) == 1 && len(fss[0]) == 1 {
+		return fss[0][0]
+	}
+	return fss[i][r]
+}
+
+// validateReplicaFSS checks the fss-matrix contract shared by
+// BuildReplicated and OpenReplicated.
+func validateReplicaFSS(fss [][]*vfs.FS, n, r int) error {
+	if n < 1 {
+		return fmt.Errorf("shard: shard count %d < 1", n)
+	}
+	if r < 1 {
+		return fmt.Errorf("shard: replica count %d < 1", r)
+	}
+	if len(fss) == 1 && len(fss[0]) == 1 {
+		return nil
+	}
+	if len(fss) != n {
+		return fmt.Errorf("shard: got %d file-system rows for %d shards (want 1×1 or %d×%d)", len(fss), n, n, r)
+	}
+	for i := range fss {
+		if len(fss[i]) != r {
+			return fmt.Errorf("shard: shard %d has %d file systems for %d replicas (want 1×1 or %d×%d)", i, len(fss[i]), r, n, r)
+		}
+	}
+	return nil
+}
+
+// BuildReplicated builds an n-shard collection once (replica 0, the
+// standard deterministic Build) and then clones each shard's image
+// r-1 times through the vfs copy path, so every replica is
+// byte-identical by construction. Each replica gets a checksum
+// manifest (see ManifestSuffix) that open and repair verify against,
+// and every FS gets a v2 sidecar recording both counts. fss is a 1×1
+// matrix (everything on one image) or n×r (per-replica stores).
+func BuildReplicated(fss [][]*vfs.FS, name string, n, r int, src core.DocSource, opt core.BuildOptions) ([]*core.BuildStats, error) {
+	if err := validateReplicaFSS(fss, n, r); err != nil {
+		return nil, err
+	}
+	fss0 := make([]*vfs.FS, n)
+	for i := range fss0 {
+		fss0[i] = replicaFSFor(fss, i, 0)
+	}
+	stats, err := Build(fss0, name, n, src, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		fs0 := replicaFSFor(fss, i, 0)
+		coll0 := ShardName(name, i)
+		entries, err := buildManifest(fs0, coll0)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeManifest(fs0, coll0, entries); err != nil {
+			return nil, err
+		}
+		for rep := 1; rep < r; rep++ {
+			dst := replicaFSFor(fss, i, rep)
+			coll := ReplicaName(name, i, rep)
+			for _, ent := range entries {
+				size, crc, err := vfs.CopyFile(fs0, coll0+ent.Suffix, dst, coll+ent.Suffix, vfs.CopyOptions{})
+				if err != nil {
+					return nil, fmt.Errorf("shard: replicate %s: %w", coll+ent.Suffix, err)
+				}
+				if size != ent.Size || crc != ent.CRC {
+					return nil, fmt.Errorf("shard: replicate %s: copy size/crc %d/%#x, manifest %d/%#x",
+						coll+ent.Suffix, size, crc, ent.Size, ent.CRC)
+				}
+			}
+			if err := writeManifest(dst, coll, entries); err != nil {
+				return nil, err
+			}
+		}
+	}
+	seen := map[*vfs.FS]bool{}
+	for i := 0; i < n; i++ {
+		for rep := 0; rep < r; rep++ {
+			fs := replicaFSFor(fss, i, rep)
+			if seen[fs] {
+				continue
+			}
+			seen[fs] = true
+			if err := writeSidecar(fs, name, n, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// writeSidecar persists the shard/replica-count marker. r == 1 writes
+// the v1 layout byte-identical to pre-replication images.
+func writeSidecar(fs *vfs.FS, name string, n, r int) error {
+	var buf []byte
+	if r <= 1 {
+		buf = append(buf, sidecarMagic...)
+		buf = binary.AppendUvarint(buf, uint64(n))
+	} else {
+		buf = append(buf, sidecarMagicV2...)
+		buf = binary.AppendUvarint(buf, uint64(n))
+		buf = binary.AppendUvarint(buf, uint64(r))
+	}
 	fname := name + Suffix
 	if fs.Exists(fname) {
 		if err := fs.Remove(fname); err != nil {
@@ -195,26 +317,47 @@ func writeSidecar(fs *vfs.FS, name string, n int) error {
 // sidecar). A present-but-corrupt sidecar is an error, not a silent
 // fallback to unsharded serving.
 func Detect(fs *vfs.FS, name string) (n int, ok bool, err error) {
+	n, _, ok, err = DetectFull(fs, name)
+	return n, ok, err
+}
+
+// DetectFull is Detect plus the replica count (1 for v1 sidecars and
+// unreplicated v2 images).
+func DetectFull(fs *vfs.FS, name string) (n, r int, ok bool, err error) {
 	fname := name + Suffix
 	if !fs.Exists(fname) {
-		return 0, false, nil
+		return 0, 0, false, nil
 	}
 	f, err := fs.Open(fname)
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	buf := make([]byte, f.Size())
 	if err := vfs.ReadFull(f, buf, 0); err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
-	if len(buf) < len(sidecarMagic) || string(buf[:len(sidecarMagic)]) != string(sidecarMagic) {
-		return 0, false, fmt.Errorf("shard: corrupt sidecar %s", fname)
+	corrupt := fmt.Errorf("shard: corrupt sidecar %s", fname)
+	if len(buf) < len(sidecarMagic) || string(buf[:len(sidecarMagic)-1]) != string(sidecarMagic[:len(sidecarMagic)-1]) {
+		return 0, 0, false, corrupt
 	}
-	v, read := binary.Uvarint(buf[len(sidecarMagic):])
+	version := buf[len(sidecarMagic)-1]
+	rest := buf[len(sidecarMagic):]
+	v, read := binary.Uvarint(rest)
 	if read <= 0 || v < 1 {
-		return 0, false, fmt.Errorf("shard: corrupt sidecar %s", fname)
+		return 0, 0, false, corrupt
 	}
-	return int(v), true, nil
+	switch version {
+	case 1:
+		return int(v), 1, true, nil
+	case 2:
+		rv, rread := binary.Uvarint(rest[read:])
+		if rread <= 0 || rv < 1 {
+			return 0, 0, false, corrupt
+		}
+		return int(v), int(rv), true, nil
+	default:
+		return 0, 0, false, corrupt
+	}
 }
 
 // OpenEngines opens the n shard engines of a sharded collection, all

@@ -1,0 +1,81 @@
+package vfs
+
+import (
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// CopyOptions tunes CopyFile. The zero value copies in 256 KiB chunks
+// with no pacing.
+type CopyOptions struct {
+	// ChunkBytes is the copy unit; zero selects 256 KiB.
+	ChunkBytes int
+	// Pace, when non-nil, is called after every chunk with the chunk
+	// length. Repair paths install a rate limiter here so a rebuild
+	// cannot starve live queries of I/O; tests install counters or
+	// yield points to interleave deterministically.
+	Pace func(n int)
+}
+
+// PaceBytesPerSec returns a Pace callback that sleeps long enough
+// after each chunk to hold the copy at roughly bps bytes per second.
+func PaceBytesPerSec(bps int64) func(int) {
+	if bps <= 0 {
+		return nil
+	}
+	return func(n int) {
+		time.Sleep(time.Duration(float64(n) / float64(bps) * float64(time.Second)))
+	}
+}
+
+// CopyFile copies srcName on src to dstName on dst chunk by chunk,
+// replacing any existing destination, and returns the byte count and
+// the CRC32 (IEEE) of the copied content. The copy goes through the
+// normal ReadAt/WriteAt paths, so fault plans on either FS apply — a
+// replica rebuild exercises exactly the machinery live queries use.
+func CopyFile(src *FS, srcName string, dst *FS, dstName string, opt CopyOptions) (int64, uint32, error) {
+	chunk := opt.ChunkBytes
+	if chunk <= 0 {
+		chunk = 256 << 10
+	}
+	sf, err := src.Open(srcName)
+	if err != nil {
+		return 0, 0, fmt.Errorf("vfs: copy source: %w", err)
+	}
+	if dst.Exists(dstName) {
+		if err := dst.Remove(dstName); err != nil {
+			return 0, 0, fmt.Errorf("vfs: copy dest: %w", err)
+		}
+	}
+	df, err := dst.Create(dstName)
+	if err != nil {
+		return 0, 0, fmt.Errorf("vfs: copy dest: %w", err)
+	}
+	size := sf.Size()
+	crc := crc32.NewIEEE()
+	buf := make([]byte, chunk)
+	var off int64
+	for off < size {
+		n := size - off
+		if n > int64(chunk) {
+			n = int64(chunk)
+		}
+		p := buf[:n]
+		if err := ReadFull(sf, p, off); err != nil {
+			return off, 0, fmt.Errorf("vfs: copy read %s@%d: %w", srcName, off, err)
+		}
+		if _, err := df.WriteAt(p, off); err != nil {
+			return off, 0, fmt.Errorf("vfs: copy write %s@%d: %w", dstName, off, err)
+		}
+		crc.Write(p)
+		off += n
+		if opt.Pace != nil {
+			opt.Pace(int(n))
+		}
+	}
+	if err := df.Sync(); err != nil {
+		return off, 0, fmt.Errorf("vfs: copy sync %s: %w", dstName, err)
+	}
+	return off, crc.Sum32(), nil
+}
