@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint faults fuzz soak chaos nrt check bench gobench serve-smoke serve-bench
+.PHONY: all build test race fmt vet lint faults fuzz soak chaos nrt check bench ablate gobench serve-smoke serve-bench
 
 all: check
 
@@ -53,6 +53,7 @@ fmt:
 # -fuzztime 5m in the package directory.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPostingsRoundTrip -fuzztime 5s ./internal/postings/
+	$(GO) test -run '^$$' -fuzz FuzzBitmapRoundTrip -fuzztime 5s ./internal/postings/
 	$(GO) test -run '^$$' -fuzz FuzzBTreeInsertLookup -fuzztime 5s ./internal/btree/
 	$(GO) test -run '^$$' -fuzz FuzzWALRoundTrip -fuzztime 5s ./internal/mneme/
 	$(GO) test -run '^$$' -fuzz FuzzMemtableIterator -fuzztime 5s ./internal/core/
@@ -126,6 +127,15 @@ check: fmt lint test faults race fuzz soak chaos nrt serve-smoke
 bench:
 	$(GO) run ./cmd/repro -scale 0.25 -bench -benchout BENCH_query.json \
 		-baseline testdata/bench_baseline.json
+
+# Codec x cache ablation matrix: the same collection built under each
+# posting-codec policy (v1 streams, v2 blocks, adaptive with the v3
+# bitmap upgrade), each queried with the hot-path caches off and on.
+# Writes the ABLATION_codec.json artifact EXPERIMENTS.md references and
+# prints the table; deterministic (simulated cost model), so the JSON
+# is byte-stable across runs at a fixed scale.
+ablate:
+	$(GO) run ./cmd/repro -scale 0.25 -ablate-codec -ablateout ABLATION_codec.json
 
 # Serving-throughput gate: boot inqueryd over the synthetic CACM index
 # three times — unsharded (serve-x1) and document-partitioned into 2 and

@@ -36,6 +36,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/postings"
 	"repro/internal/shard"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
@@ -69,11 +70,16 @@ func main() {
 	nrt := flag.Bool("nrt", false, "initialize the image as a near-real-time collection (manifest + WAL over the batch build); with -in, replay and quiesce an existing NRT image instead")
 	in := flag.String("in", "", "existing NRT image to replay and quiesce (requires -nrt; skips building)")
 	backend := flag.String("backend", "mneme", "storage backend for NRT segment flushes: mneme or btree")
+	codecName := flag.String("codec", "auto", "posting record encoding policy: auto (adaptive, bitmap for dense lists), v1 (sequential streams), or v2 (blocks, no bitmap)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "inquery-index:", err)
 		os.Exit(1)
+	}
+	codec, err := postings.ParseCodec(*codecName)
+	if err != nil {
+		fail(err)
 	}
 	if *nrt && *shards > 1 {
 		fail(fmt.Errorf("NRT collections are unsharded; drop -shards"))
@@ -121,7 +127,7 @@ func main() {
 		fail(fmt.Errorf("need -docs or -synthetic"))
 	}
 
-	opt := core.BuildOptions{Analyzer: an, ChunkLargeLists: *chunk}
+	opt := core.BuildOptions{Analyzer: an, ChunkLargeLists: *chunk, Codec: codec}
 	var stats *core.BuildStats
 	if *shards > 1 || *replicas > 1 {
 		// Sharded: N parallel builds into the same image, one shard

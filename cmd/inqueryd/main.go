@@ -84,6 +84,8 @@ func main() {
 	topK := flag.Int("k", serve.DefaultTopK, "default results per query when a request names no top_k")
 	deadline := flag.Duration("deadline", 0, "default per-query deadline applied when a request names none (0 = none)")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "maximum requests in one batch body")
+	resultCache := flag.Int("result-cache", 0, "query-result cache entries per engine; repeats of a normalized query are served without re-evaluation (0 = disabled)")
+	blockCacheMB := flag.Int("block-cache-mb", 0, "decoded postings-block cache budget per engine, in MiB (0 = disabled)")
 	degraded := flag.Bool("degraded", false, "serve partial rankings past corrupt records for every request (requests can also opt in per query)")
 	prune := flag.Bool("prune", false, "MaxScore pruning for every DAAT request (requests can also opt in per query)")
 	maxInflight := flag.Int("max-inflight", 0, "bound on concurrently admitted queries per index; excess queries wait -queue-wait then are shed with 429 (0 = unbounded)")
@@ -132,6 +134,12 @@ func main() {
 
 	engineOpts := func(an *textproc.Analyzer) []core.Option {
 		opts := []core.Option{core.WithAnalyzer(an)}
+		if *resultCache > 0 {
+			opts = append(opts, core.WithResultCache(*resultCache))
+		}
+		if *blockCacheMB > 0 {
+			opts = append(opts, core.WithBlockCache(*blockCacheMB))
+		}
 		if *degraded {
 			opts = append(opts, core.WithDegraded())
 		}

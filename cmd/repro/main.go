@@ -35,6 +35,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII plots")
 	bench := flag.Bool("bench", false, "run the standard query mixes over both backends and write per-stage latency quantiles")
 	benchOut := flag.String("benchout", "BENCH_query.json", "bench report output path (-bench)")
+	ablateCodec := flag.Bool("ablate-codec", false, "run only the posting-codec x cache ablation matrix and write its JSON")
+	ablateOut := flag.String("ablateout", "ABLATION_codec.json", "codec ablation output path (-ablate-codec)")
+	ablateCol := flag.String("ablatecol", "CACM", "collection of the codec ablation matrix (-ablate-codec)")
 	baseline := flag.String("baseline", "", "baseline BENCH_query.json to diff against; exits non-zero on >20% p95 regression (-bench)")
 	topK := flag.Int("topk", experiments.DefaultBenchTopK, "ranking depth of the bench mode's document-at-a-time rows (-bench)")
 	flag.Parse()
@@ -61,6 +64,8 @@ func main() {
 	switch {
 	case *bench:
 		runBench(lab, *benchOut, *baseline, fail)
+	case *ablateCodec:
+		runCodecAblation(lab, *ablateCol, *ablateOut, fail)
 	case *table != 0:
 		fns := []func() (*experiments.Table, error){
 			lab.Table1, lab.Table2, lab.Table3, lab.Table4, lab.Table5, lab.Table6,
@@ -129,6 +134,10 @@ func runBench(lab *experiments.Lab, outPath, basePath string, fail func(error)) 
 		fail(err)
 	}
 	fmt.Printf("bench: %d rows written to %s\n", len(report.Rows), outPath)
+	if err := experiments.CheckCachedRepeat(report); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: cached repeat query p50 beats uncached on every matrix row\n")
 	if err := experiments.CheckShardedScaling(report); err != nil {
 		fail(err)
 	}
@@ -154,6 +163,25 @@ func runBench(lab *experiments.Lab, outPath, basePath string, fail func(error)) 
 		fail(err)
 	}
 	fmt.Printf("bench: no p95 regression vs %s (tolerance 20%%)\n", basePath)
+}
+
+// runCodecAblation runs the posting-codec x cache matrix, prints the
+// table, and writes the JSON artifact EXPERIMENTS.md references.
+func runCodecAblation(lab *experiments.Lab, col, outPath string, fail func(error)) {
+	t, m, err := lab.AblationCodec(col, 0)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("ablate: %d cells written to %s\n", len(m.Cells), outPath)
 }
 
 // runSnapshots executes the full evaluation matrix and emits one JSON

@@ -7,6 +7,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/lexicon"
 	"repro/internal/mneme"
+	"repro/internal/postings"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
 )
@@ -60,10 +61,14 @@ type BuildOptions struct {
 	// chunk (paper §6). Engines must open with the same value.
 	ChunkLargeLists int
 	// V1Postings forces the sequential v1 record encoding for every
-	// list, producing a legacy-layout collection without block (v2)
-	// records. Engines read both formats, so this needs no matching
-	// open-time option.
+	// list, producing a legacy-layout collection without versioned
+	// records. Engines read every format, so this needs no matching
+	// open-time option. Equivalent to Codec: postings.CodecV1.
 	V1Postings bool
+	// Codec pins the record encoding policy (the codec-ablation axis):
+	// CodecAuto (default) selects per list, CodecV1 / CodecV2 force one
+	// format. V1Postings overrides it when set.
+	Codec postings.Codec
 }
 
 // BuildStats reports what was built — the raw material of the paper's
@@ -92,6 +97,7 @@ func Build(fs *vfs.FS, name string, src DocSource, opt BuildOptions) (*BuildStat
 		RunLimit:   opt.RunLimit,
 		Scratch:    name + ".run",
 		V1Postings: opt.V1Postings,
+		Codec:      opt.Codec,
 	})
 	for {
 		doc, ok, err := src.Next()

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// cacheModes is the evaluation matrix the cache differential tests run:
+// the cached engine must be ranking-indistinguishable from the plain one
+// under every evaluation strategy.
+var cacheModes = []struct {
+	name string
+	req  Request
+}{
+	{"taat", Request{Mode: ModeTAAT}},
+	{"daat", Request{Mode: ModeDAAT, TopK: 10}},
+	// Distinct TopK: CanonicalKey deliberately ignores Prune (pruning is
+	// exact), so TopK 10 would be served from the daat entry above.
+	{"daat-prune", Request{Mode: ModeDAAT, TopK: 7, Prune: true}},
+}
+
+var cacheQueries = []string{
+	"heavy", "heavy sparse", "#and(heavy sparse)",
+	"heavy unique17", "#or(heavy unique42 sparse)",
+}
+
+// TestCacheDifferential proves the hot-path caches are invisible to
+// ranking: on both backends and under every evaluation mode, a cold
+// query, the cache-warming repeat, and a plain uncached engine agree
+// byte-for-byte — and the repeat demonstrably came from the caches
+// (zero lookups, a recorded result-cache hit).
+func TestCacheDifferential(t *testing.T) {
+	for _, kind := range []BackendKind{BackendBTree, BackendMneme} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := newFS()
+			if _, err := Build(fs, "col", mixedDocs(400), BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
+				t.Fatal(err)
+			}
+			plain, err := Open(fs, "col", kind, WithAnalyzer(plainAnalyzer()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			cached, err := Open(fs, "col", kind, WithAnalyzer(plainAnalyzer()),
+				WithResultCache(64), WithBlockCache(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cached.Close()
+
+			for _, m := range cacheModes {
+				for _, q := range cacheQueries {
+					req := m.req
+					req.Query = q
+					want, err := plain.Run(nil, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cold, err := cached.Run(nil, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameResults(t, m.name+" cold "+q, cold.Results, want.Results)
+					if cold.Counters.ResultCacheHits != 0 {
+						t.Fatalf("%s %q: cold run claims a result-cache hit", m.name, q)
+					}
+					warm, err := cached.Run(nil, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameResults(t, m.name+" warm "+q, warm.Results, want.Results)
+					if warm.Counters.ResultCacheHits != 1 {
+						t.Fatalf("%s %q: warm repeat not served by the result cache: %+v", m.name, q, warm.Counters)
+					}
+					if warm.Counters.Lookups != 0 || warm.Counters.Postings != 0 || warm.Counters.BytesFetched != 0 {
+						t.Fatalf("%s %q: result-cache hit still did work: %+v", m.name, q, warm.Counters)
+					}
+					if warm.Outcome != OutcomeOK {
+						t.Fatalf("%s %q: cached outcome %q", m.name, q, warm.Outcome)
+					}
+				}
+			}
+			c := cached.Counters()
+			if c.BlockCacheHits == 0 {
+				t.Fatal("no block-cache hits across the whole matrix")
+			}
+			snap := cached.Snapshot()
+			if snap.Cache == nil || snap.Cache.BlockHits == 0 || snap.Cache.ResultHits == 0 {
+				t.Fatalf("snapshot cache block missing or empty: %+v", snap.Cache)
+			}
+			if plain.Snapshot().Cache != nil {
+				t.Fatal("uncached engine grew a snapshot cache block")
+			}
+		})
+	}
+}
+
+// TestBlockCacheAloneDifferential isolates the block cache (no result
+// cache): repeats re-evaluate, but served from decoded blocks, and the
+// ranking must not move. This is the path where a stale cached block
+// would actually change scores, so it runs the full matrix too.
+func TestBlockCacheAloneDifferential(t *testing.T) {
+	fs := newFS()
+	if _, err := Build(fs, "col", mixedDocs(400), BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(fs, "col", BackendMneme, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	cached, err := Open(fs, "col", BackendMneme, WithAnalyzer(plainAnalyzer()), WithBlockCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	for _, m := range cacheModes {
+		for _, q := range cacheQueries {
+			req := m.req
+			req.Query = q
+			want, err := plain.Run(nil, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass := 0; pass < 2; pass++ {
+				got, err := cached.Run(nil, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, fmt.Sprintf("%s %q pass %d", m.name, q, pass), got.Results, want.Results)
+			}
+		}
+	}
+	if c := cached.Counters(); c.BlockCacheHits == 0 {
+		t.Fatal("block cache never hit")
+	}
+}
+
+// TestCacheInvalidation proves a mutation can never leak a stale
+// ranking: after AddDocument / DeleteDocument / SaveMeta, cached
+// queries must match a freshly opened uncached engine, and queries
+// whose answer the mutation changed must show the change.
+func TestCacheInvalidation(t *testing.T) {
+	fs := newFS()
+	if _, err := Build(fs, "col", mixedDocs(50), BuildOptions{
+		Analyzer: plainAnalyzer(), Backends: []BackendKind{BackendMneme},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(fs, "col", BackendMneme, WithAnalyzer(plainAnalyzer()),
+		WithResultCache(64), WithBlockCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	warm := func(q string) Response {
+		t.Helper()
+		// Twice: the second call is the one at risk of staleness.
+		if _, err := e.Run(nil, Request{Query: q}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := e.Run(nil, Request{Query: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	before := warm("heavy")
+	if n := len(warm("fresh").Results); n != 0 {
+		t.Fatalf("unexpected %d results for unseen term", n)
+	}
+
+	if _, err := e.AddDocument("heavy fresh"); err != nil {
+		t.Fatal(err)
+	}
+	after := warm("heavy")
+	if len(after.Results) != len(before.Results)+1 {
+		t.Fatalf("post-add ranking has %d docs, want %d — stale cache?", len(after.Results), len(before.Results)+1)
+	}
+	if n := len(warm("fresh").Results); n != 1 {
+		t.Fatalf("new document invisible after add: %d results", n)
+	}
+
+	// Cross-check the whole post-mutation state against a cacheless
+	// engine opened over the same store.
+	if err := e.SaveMeta(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Open(fs, "col", BackendMneme, WithAnalyzer(plainAnalyzer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, q := range []string{"heavy", "fresh", "#and(heavy sparse)"} {
+		want, err := ref.Run(nil, Request{Query: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "post-mutation "+q, warm(q).Results, want.Results)
+	}
+
+	doomed := uint32(0)
+	if err := e.DeleteDocument(doomed, "heavy unique0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range warm("heavy").Results {
+		if r.Doc == doomed {
+			t.Fatal("deleted document still ranked — stale cache")
+		}
+	}
+}
+
+// TestNRTCacheInvalidation proves the watermark-keyed NRT result cache:
+// repeats hit, ingest invalidates (the new document must rank), and a
+// flush flip — which rewrites storage but preserves rankings — keeps
+// serving correct results.
+func TestNRTCacheInvalidation(t *testing.T) {
+	fs := newFS()
+	e, err := OpenNRT(fs, "col", BackendMneme, NRTConfig{},
+		WithAnalyzer(plainAnalyzer()), WithResultCache(64), WithBlockCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Ingest("heavy sparse", "heavy unique1", "heavy sparse unique2"); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(q string) Response {
+		t.Helper()
+		resp, err := e.Run(nil, Request{Query: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r1 := run("heavy")
+	r2 := run("heavy")
+	sameResults(t, "nrt repeat", r2.Results, r1.Results)
+	if r2.Counters.ResultCacheHits != 1 {
+		t.Fatalf("nrt repeat missed the result cache: %+v", r2.Counters)
+	}
+
+	if _, err := e.Ingest("heavy heavy heavy"); err != nil {
+		t.Fatal(err)
+	}
+	r3 := run("heavy")
+	if r3.Counters.ResultCacheHits != 0 {
+		t.Fatal("post-ingest query served from the pre-ingest cache")
+	}
+	if len(r3.Results) != len(r1.Results)+1 {
+		t.Fatalf("ingested document invisible: %d results, want %d", len(r3.Results), len(r1.Results)+1)
+	}
+
+	// Flush flips the manifest and re-homes the memtable into a segment;
+	// the ranking is invariant, and the cache (keyed by watermark, which
+	// flush does not move) may keep serving it — but never a wrong one.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r4 := run("heavy")
+	sameResults(t, "post-flush", r4.Results, r3.Results)
+
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	r5 := run("heavy")
+	sameResults(t, "post-compact", r5.Results, r3.Results)
+}

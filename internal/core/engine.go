@@ -51,6 +51,17 @@ type Counters struct {
 	// that were never faulted in — skipped blocks translated into
 	// avoided I/O.
 	ChunksSkipped int64 `json:"chunks_skipped"`
+	// ResultCacheHits counts queries answered entirely from the
+	// query-result cache (WithResultCache): the query is counted in
+	// Queries but performed no lookups, fetches, or posting work.
+	ResultCacheHits int64 `json:"result_cache_hits,omitempty"`
+	// BlockCacheHits / BlockCacheMisses count decoded-postings block
+	// cache probes (WithBlockCache). A hit serves a pre-decoded block
+	// (or, on the TAAT path, a whole record) without touching the
+	// backend: hit-served records are not counted in Lookups or
+	// BytesFetched, which is exactly the avoided work.
+	BlockCacheHits   int64 `json:"block_cache_hits,omitempty"`
+	BlockCacheMisses int64 `json:"block_cache_misses,omitempty"`
 }
 
 // Add returns the field-wise sum of c and d.
@@ -67,6 +78,10 @@ func (c Counters) Add(d Counters) Counters {
 		PostingsSkipped: c.PostingsSkipped + d.PostingsSkipped,
 		BlocksSkipped:   c.BlocksSkipped + d.BlocksSkipped,
 		ChunksSkipped:   c.ChunksSkipped + d.ChunksSkipped,
+
+		ResultCacheHits:  c.ResultCacheHits + d.ResultCacheHits,
+		BlockCacheHits:   c.BlockCacheHits + d.BlockCacheHits,
+		BlockCacheMisses: c.BlockCacheMisses + d.BlockCacheMisses,
 	}
 }
 
@@ -84,6 +99,10 @@ func (c Counters) Sub(d Counters) Counters {
 		PostingsSkipped: c.PostingsSkipped - d.PostingsSkipped,
 		BlocksSkipped:   c.BlocksSkipped - d.BlocksSkipped,
 		ChunksSkipped:   c.ChunksSkipped - d.ChunksSkipped,
+
+		ResultCacheHits:  c.ResultCacheHits - d.ResultCacheHits,
+		BlockCacheHits:   c.BlockCacheHits - d.BlockCacheHits,
+		BlockCacheMisses: c.BlockCacheMisses - d.BlockCacheMisses,
 	}
 }
 
@@ -101,6 +120,9 @@ type atomicCounters struct {
 	postingsSkipped atomic.Int64
 	blocksSkipped   atomic.Int64
 	chunksSkipped   atomic.Int64
+	resultCacheHits atomic.Int64
+	blockCacheHits  atomic.Int64
+	blockCacheMiss  atomic.Int64
 }
 
 func (a *atomicCounters) add(d Counters) {
@@ -114,6 +136,9 @@ func (a *atomicCounters) add(d Counters) {
 	a.postingsSkipped.Add(d.PostingsSkipped)
 	a.blocksSkipped.Add(d.BlocksSkipped)
 	a.chunksSkipped.Add(d.ChunksSkipped)
+	a.resultCacheHits.Add(d.ResultCacheHits)
+	a.blockCacheHits.Add(d.BlockCacheHits)
+	a.blockCacheMiss.Add(d.BlockCacheMisses)
 }
 
 func (a *atomicCounters) snapshot() Counters {
@@ -128,6 +153,10 @@ func (a *atomicCounters) snapshot() Counters {
 		PostingsSkipped: a.postingsSkipped.Load(),
 		BlocksSkipped:   a.blocksSkipped.Load(),
 		ChunksSkipped:   a.chunksSkipped.Load(),
+
+		ResultCacheHits:  a.resultCacheHits.Load(),
+		BlockCacheHits:   a.blockCacheHits.Load(),
+		BlockCacheMisses: a.blockCacheMiss.Load(),
 	}
 }
 
@@ -142,6 +171,9 @@ func (a *atomicCounters) reset() {
 	a.postingsSkipped.Store(0)
 	a.blocksSkipped.Store(0)
 	a.chunksSkipped.Store(0)
+	a.resultCacheHits.Store(0)
+	a.blockCacheHits.Store(0)
+	a.blockCacheMiss.Store(0)
 }
 
 // engineMetrics holds the engine's metrics registry plus cached handles
@@ -161,6 +193,9 @@ type engineMetrics struct {
 	postSkipped  *obs.Counter
 	blockSkipped *obs.Counter
 	chunkSkipped *obs.Counter
+	resCacheHit  *obs.Counter
+	blkCacheHit  *obs.Counter
+	blkCacheMiss *obs.Counter
 
 	fetchBytes    *obs.Histogram // bytes per inverted-list record fetch
 	queryLookups  *obs.Histogram // record lookups per query
@@ -183,6 +218,9 @@ func newEngineMetrics() *engineMetrics {
 		postSkipped:  reg.Counter("postings_skipped_total"),
 		blockSkipped: reg.Counter("blocks_skipped_total"),
 		chunkSkipped: reg.Counter("chunks_skipped_total"),
+		resCacheHit:  reg.Counter("result_cache_hits_total"),
+		blkCacheHit:  reg.Counter("block_cache_hits_total"),
+		blkCacheMiss: reg.Counter("block_cache_misses_total"),
 
 		fetchBytes:    reg.Histogram("fetch_bytes", obs.ExpBuckets(16, 4, 10)),
 		queryLookups:  reg.Histogram("query_lookups", obs.ExpBuckets(1, 2, 10)),
@@ -207,6 +245,9 @@ func (m *engineMetrics) observeQuery(d Counters) {
 	m.postSkipped.Add(d.PostingsSkipped)
 	m.blockSkipped.Add(d.BlocksSkipped)
 	m.chunkSkipped.Add(d.ChunksSkipped)
+	m.resCacheHit.Add(d.ResultCacheHits)
+	m.blkCacheHit.Add(d.BlockCacheHits)
+	m.blkCacheMiss.Add(d.BlockCacheMisses)
 	if d.Queries > 0 {
 		m.queryLookups.Observe(d.Lookups)
 		m.queryPostings.Observe(d.Postings)
@@ -239,6 +280,14 @@ type Engine struct {
 
 	agg atomicCounters
 	met *engineMetrics
+
+	// Hot-path caches, nil unless configured (WithBlockCache /
+	// WithResultCache — or, for blocks, an NRT-shared instance). gen is
+	// the engine's current cache generation: block-cache keys embed it,
+	// so InvalidateCaches orphans every cached block with one store.
+	blocks  *blockCache
+	results *resultCache
+	gen     atomic.Uint64
 
 	// Resilience state, all nil/zero unless the corresponding options
 	// were given — the default query path costs only nil checks.
@@ -298,6 +347,16 @@ func Open(fs *vfs.FS, name string, kind BackendKind, opts ...Option) (*Engine, e
 	if opt.TrackTermUse {
 		e.termUse = make(map[string]int64)
 	}
+	switch {
+	case opt.sharedBlocks != nil:
+		e.blocks = opt.sharedBlocks
+	case opt.BlockCacheMB > 0:
+		e.blocks = newBlockCache(int64(opt.BlockCacheMB) << 20)
+	}
+	if opt.ResultCacheEntries > 0 {
+		e.results = newResultCache(opt.ResultCacheEntries)
+	}
+	e.gen.Store(nextCacheGen())
 	e.initResilience()
 	return e, nil
 }
@@ -512,8 +571,10 @@ func (e *Engine) ListSize(term string) (int, bool) {
 }
 
 // SaveMeta persists the dictionary and document table (after updates)
-// and flushes the backend.
+// and flushes the backend — a commit point, so both caches are
+// invalidated on the way out.
 func (e *Engine) SaveMeta() error {
+	defer e.InvalidateCaches()
 	if err := saveLexicon(e.fs, e.name, e.dict); err != nil {
 		return err
 	}

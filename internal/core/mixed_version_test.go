@@ -9,8 +9,9 @@ import (
 )
 
 // mixedDocs builds a corpus whose "heavy" list is long enough
-// (df > postings.BlockLen) that EncodeAuto chooses the v2 block format,
-// while V1Postings forces the legacy stream format for the same data.
+// (df > postings.BlockLen) that EncodeAuto chooses a versioned format
+// (the v3 bitmap — the list is dense inside its span), while V1Postings
+// forces the legacy stream format for the same data.
 func mixedDocs(n int) *SliceDocs {
 	s := &SliceDocs{}
 	for d := 0; d < n; d++ {
@@ -40,12 +41,13 @@ func fetchTerm(t *testing.T, e *Engine, term string) []byte {
 }
 
 // TestMixedVersionStore proves legacy v1 stream records stay readable
-// next to v2 block records. A store built with V1Postings must rank
-// identically to an EncodeAuto build of the same corpus; incremental
-// adds then upgrade only the touched lists (Merge re-encodes through
-// EncodeAuto), leaving a mixed-version store that must still match.
+// next to versioned (v2 block / v3 bitmap) records. A store built with
+// V1Postings must rank identically to an EncodeAuto build of the same
+// corpus; incremental adds then upgrade only the touched lists (Merge
+// re-encodes through EncodeAuto), leaving a mixed-version store that
+// must still match.
 func TestMixedVersionStore(t *testing.T) {
-	const nDocs = 400 // "heavy" df 400 > BlockLen, so EncodeAuto picks v2
+	const nDocs = 400 // "heavy" df 400 > BlockLen and dense: EncodeAuto picks v3
 	queries := []string{
 		"heavy", "heavy sparse", "#and(heavy sparse)",
 		"heavy unique17", "#or(heavy unique42 sparse)",
@@ -74,11 +76,11 @@ func TestMixedVersionStore(t *testing.T) {
 	}
 	defer auto.Close()
 
-	if postings.IsV2(fetchTerm(t, v1, "heavy")) {
-		t.Fatal("V1Postings build emitted a v2 record")
+	if postings.IsVersioned(fetchTerm(t, v1, "heavy")) {
+		t.Fatal("V1Postings build emitted a versioned record")
 	}
-	if !postings.IsV2(fetchTerm(t, auto, "heavy")) {
-		t.Fatal("EncodeAuto build kept a df>BlockLen list in v1 format")
+	if !postings.IsV3(fetchTerm(t, auto, "heavy")) {
+		t.Fatal("EncodeAuto build kept a dense df>BlockLen list out of bitmap format")
 	}
 
 	for _, q := range queries {
@@ -113,16 +115,17 @@ func TestMixedVersionStore(t *testing.T) {
 	v1P.Close()
 
 	// Incremental adds re-encode the touched lists through EncodeAuto,
-	// upgrading them to v2 while untouched lists keep their v1 records.
+	// upgrading them to a versioned format while untouched lists keep
+	// their v1 records.
 	for _, e := range []*Engine{v1, auto} {
 		if _, err := e.AddDocument("heavy sparse fresh"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if !postings.IsV2(fetchTerm(t, v1, "heavy")) {
-		t.Fatal("touched large list was not upgraded to v2 on merge")
+	if !postings.IsVersioned(fetchTerm(t, v1, "heavy")) {
+		t.Fatal("touched large list was not upgraded on merge")
 	}
-	if postings.IsV2(fetchTerm(t, v1, "unique17")) {
+	if postings.IsVersioned(fetchTerm(t, v1, "unique17")) {
 		t.Fatal("untouched list changed format")
 	}
 	for _, q := range append(queries, "fresh") {

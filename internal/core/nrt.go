@@ -154,6 +154,15 @@ type NRTEngine struct {
 	agg  atomicCounters
 	met  *engineMetrics
 
+	// blocks is one decoded-block cache shared by every segment engine
+	// (segments are immutable; each engine's own generation keeps keys
+	// distinct, and retired segments' entries age out). results memoizes
+	// rankings at the NRT level, keyed by the visibility watermark — a
+	// flush or compaction flip preserves rankings by construction, so
+	// only ingest (which moves the watermark) changes the key space.
+	blocks  *blockCache
+	results *resultCache
+
 	ingDocs  *obs.Counter
 	ingToks  *obs.Counter
 	flushC   *obs.Counter
@@ -248,6 +257,12 @@ func OpenNRT(fs *vfs.FS, name string, kind BackendKind, cfg NRTConfig, opts ...O
 	e.segsG = reg.Gauge("segments")
 	if opt.MaxInFlight > 0 {
 		e.gate = resilience.NewGate(opt.MaxInFlight, opt.QueueWait)
+	}
+	if opt.BlockCacheMB > 0 {
+		e.blocks = newBlockCache(int64(opt.BlockCacheMB) << 20)
+	}
+	if opt.ResultCacheEntries > 0 {
+		e.results = newResultCache(opt.ResultCacheEntries)
 	}
 
 	man := e.loadManifest()
@@ -373,6 +388,11 @@ func (e *NRTEngine) openSegEngine(name string) (*Engine, error) {
 	res.QueueWait = 0
 	res.Global = nil
 	res.Analyzer = e.an
+	// Caching is NRT-level: results are memoized against the watermark
+	// (not per segment), and all segments share one block-cache budget.
+	res.ResultCacheEntries = 0
+	res.BlockCacheMB = 0
+	res.sharedBlocks = e.blocks
 	return Open(e.fs, name, e.kind, func(o *engineOptions) { *o = res })
 }
 
@@ -1131,6 +1151,18 @@ func (e *NRTEngine) Snapshot() Snapshot {
 	if len(buffers) == 0 {
 		buffers = nil
 	}
+	var cache *CacheStats
+	if e.blocks != nil || e.results != nil {
+		cache = &CacheStats{}
+		if e.blocks != nil {
+			e.blocks.stats(cache)
+		}
+		if e.results != nil {
+			cache.ResultHits = e.results.hits.Load()
+			cache.ResultMisses = e.results.misses.Load()
+			cache.ResultEntries = e.results.entries()
+		}
+	}
 	return Snapshot{
 		Backend:        e.kind.String(),
 		Counters:       c,
@@ -1139,5 +1171,6 @@ func (e *NRTEngine) Snapshot() Snapshot {
 		CorruptRecords: c.CorruptRecords,
 		Metrics:        e.met.reg.Snapshot(),
 		NRT:            st,
+		Cache:          cache,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/inference"
 	"repro/internal/postings"
@@ -44,6 +45,25 @@ func (e *NRTEngine) Run(ctx context.Context, req Request) (Response, error) {
 		defer g.Release()
 	}
 
+	// Result-cache probe: keys embed the visibility watermark, so a
+	// memoized ranking can only be served to a query that would see the
+	// exact same document prefix — ingest moves the watermark and
+	// thereby invalidates, while flush and compaction flips (which
+	// preserve rankings by construction) don't need to.
+	rc := e.results
+	cacheable := rc != nil && req.MinScore == 0
+	if cacheable {
+		e.pubMu.Lock()
+		w := e.docCount
+		e.pubMu.Unlock()
+		if res, ok := rc.get(nrtResultKey(w, req)); ok {
+			delta := Counters{Queries: 1, ResultCacheHits: 1}
+			e.agg.add(delta)
+			e.met.observeQuery(delta)
+			return Response{Results: res, Counters: delta, Outcome: OutcomeOK}, nil
+		}
+	}
+
 	// Queries hold the view read-lock for their whole evaluation:
 	// flush/compact flips wait for them, so the captured segment
 	// engines cannot be closed underfoot.
@@ -79,7 +99,19 @@ func (e *NRTEngine) Run(ctx context.Context, req Request) (Response, error) {
 	default:
 		res, err = inference.EvaluateTAAT(n, q, req.TopK)
 	}
-	return q.finish(res, err)
+	resp, err := q.finish(res, err)
+	if cacheable && err == nil && resp.Outcome == OutcomeOK {
+		// Stored under the watermark this query actually evaluated at
+		// (it may have advanced past the one probed above).
+		rc.put(nrtResultKey(q.w, req), resp.Results)
+	}
+	return resp, err
+}
+
+// nrtResultKey scopes a request's canonical key to a visibility
+// watermark: the NRT result cache's unit of invalidation.
+func nrtResultKey(w uint32, req Request) string {
+	return strconv.FormatUint(uint64(w), 10) + "\x00" + req.CanonicalKey()
 }
 
 // Explain returns the belief breakdown a query assigns to one document,

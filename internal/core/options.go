@@ -68,6 +68,16 @@ type engineOptions struct {
 	// document-partitioned collection and supplies the whole
 	// collection's statistics for belief computation.
 	Global *GlobalStats
+	// BlockCacheMB > 0 gives the engine a decoded-postings block cache
+	// of that many mebibytes (see WithBlockCache).
+	BlockCacheMB int
+	// ResultCacheEntries > 0 gives the engine a query-result cache
+	// bounding that many memoized rankings (see WithResultCache).
+	ResultCacheEntries int
+	// sharedBlocks, when non-nil, overrides BlockCacheMB with an
+	// existing cache instance — the NRT engine opens every segment
+	// engine over one shared block cache so its budget is global.
+	sharedBlocks *blockCache
 }
 
 // GlobalStats carries whole-collection statistics for an engine that
@@ -171,6 +181,29 @@ func WithRetry(attempts int) Option {
 // Open.
 func WithGlobalStats(g *GlobalStats) Option {
 	return func(o *engineOptions) { o.Global = g }
+}
+
+// WithBlockCache arms the decoded-postings block cache with a budget of
+// mb mebibytes (shared across all the engine's searchers): repeated
+// term reads skip the backend fault-in and the record decode, serving
+// immutable pre-decoded []Posting bodies instead. The cache serves the
+// TAAT materializing path (whole records) and the DAAT/MaxScore
+// iterator path (individual blocks). Hits and misses are counted in
+// Counters.BlockCacheHits / BlockCacheMisses, and every index mutation
+// invalidates the whole cache by generation bump. mb <= 0 is a no-op.
+func WithBlockCache(mb int) Option {
+	return func(o *engineOptions) { o.BlockCacheMB = mb }
+}
+
+// WithResultCache memoizes up to entries complete rankings keyed by
+// Request.CanonicalKey: an exactly repeated query (same canonical text,
+// mode, and depth) is answered from memory with OutcomeOK and a counter
+// delta of one query + one Counters.ResultCacheHits. Only complete,
+// undamaged rankings are stored — degraded, deadline-cut, shed, and
+// score-floored (MinScore > 0) responses always re-evaluate — and any
+// index mutation purges the cache. entries <= 0 is a no-op.
+func WithResultCache(entries int) Option {
+	return func(o *engineOptions) { o.ResultCacheEntries = entries }
 }
 
 // WithBreaker arms a per-pool circuit breaker: threshold consecutive

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/inference"
@@ -84,6 +86,30 @@ type Request struct {
 	// final global top-k are dropped, keeping the merge exact. Ignored
 	// outside pruned ModeDAAT evaluation.
 	MinScore float64 `json:"min_score,omitempty"`
+}
+
+// CanonicalKey is the request's evaluation identity: two requests with
+// equal keys are guaranteed byte-identical complete (OutcomeOK)
+// rankings on an unchanged index. It folds the whitespace-normalized
+// query text, the evaluation mode, the ranking depth (every non-positive
+// TopK means "rank all"), and — when set — the MinScore floor. Deadline,
+// Degraded, and Prune are deliberately excluded: they change how hard a
+// request tries and how failures are labelled, never what a complete
+// undamaged ranking contains (MaxScore pruning is exact by contract).
+// This single definition is what the result cache keys by and what the
+// serving layer deduplicates batch entries with, so the two can never
+// disagree about which requests are "the same query".
+func (r Request) CanonicalKey() string {
+	q := strings.Join(strings.Fields(r.Query), " ")
+	k := r.TopK
+	if k < 0 {
+		k = 0
+	}
+	key := q + "\x00" + r.Mode.String() + "\x00" + strconv.Itoa(k)
+	if r.MinScore > 0 {
+		key += "\x00" + strconv.FormatFloat(r.MinScore, 'g', -1, 64)
+	}
+	return key
 }
 
 // Outcome classifies how a request ended — the label transport layers
@@ -198,6 +224,12 @@ func outcomeOf(err error, delta Counters) Outcome {
 //   - Response.Counters is this request's own work delta, so callers
 //     (the HTTP layer, the bench) report per-request work without
 //     diffing engine aggregates.
+//   - On an engine opened WithResultCache, a request whose CanonicalKey
+//     was answered completely (OutcomeOK) since the last index mutation
+//     is served from memory: the delta records one query and one
+//     ResultCacheHits and nothing else — no lookups, no fetched bytes,
+//     no postings. Score-floored requests (MinScore > 0, the shard
+//     coordinator's seeded sub-queries) bypass the cache entirely.
 func (s *Searcher) Run(ctx context.Context, req Request) (Response, error) {
 	if req.Deadline > 0 {
 		if ctx == nil {
@@ -207,10 +239,28 @@ func (s *Searcher) Run(ctx context.Context, req Request) (Response, error) {
 		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
 		defer cancel()
 	}
+	rc := s.e.results
+	cacheable := rc != nil && req.MinScore == 0
+	var key string
+	if cacheable {
+		key = req.CanonicalKey()
+		if res, ok := rc.get(key); ok {
+			before := s.counters
+			s.counters.Queries++
+			s.counters.ResultCacheHits++
+			delta := s.counters.Sub(before)
+			s.flush()
+			return Response{Results: res, Counters: delta, Outcome: OutcomeOK}, nil
+		}
+	}
 	before := s.counters
 	res, err := s.evaluate(ctx, req)
 	delta := s.counters.Sub(before)
-	return Response{Results: res, Counters: delta, Outcome: outcomeOf(err, delta)}, err
+	resp := Response{Results: res, Counters: delta, Outcome: outcomeOf(err, delta)}
+	if cacheable && err == nil && resp.Outcome == OutcomeOK {
+		rc.put(key, res)
+	}
+	return resp, err
 }
 
 // evaluate runs the request through admission, normalization,

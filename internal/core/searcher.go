@@ -278,6 +278,12 @@ func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	return s.fetchRef(term, ref)
+}
+
+// fetchRef is fetchRecord after ref resolution: the traced backend
+// fetch, degraded-mode error handling, and lookup accounting.
+func (s *Searcher) fetchRef(term string, ref uint64) ([]byte, bool, error) {
 	if s.rec != nil {
 		s.rec.BeginSpan(obs.StageFetch, term)
 	}
@@ -299,8 +305,13 @@ func (s *Searcher) fetchRecord(term string) ([]byte, bool, error) {
 // array is borrowed from postingBufPool and reclaimed when the query
 // flushes; callers (the TAAT evaluator, Explain) must not retain it
 // past evaluation. Positions slices are fresh allocations and safe to
-// keep.
+// keep. On an engine with a block cache the slice may instead be a
+// shared cached decode, which callers must treat as read-only — the
+// same contract, since retaining was already forbidden.
 func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
+	if bc := s.e.blocks; bc != nil {
+		return s.cachedPostings(bc, term)
+	}
 	rec, ok, err := s.fetchRecord(term)
 	if err != nil || !ok {
 		return nil, false, err
@@ -316,6 +327,42 @@ func (s *Searcher) Postings(term string) ([]postings.Posting, bool, error) {
 		return nil, false, err
 	}
 	s.counters.Postings += int64(len(ps))
+	return ps, true, nil
+}
+
+// cachedPostings is the TAAT materializing path over the block cache:
+// the whole decoded record is cached under a pseudo block index, so a
+// repeated term skips the backend fetch and the decode. Cache fills
+// decode into fresh (unpooled) allocations — cached slices are shared
+// across queries and must never be recycled.
+func (s *Searcher) cachedPostings(bc *blockCache, term string) ([]postings.Posting, bool, error) {
+	if s.expired() {
+		return nil, false, nil
+	}
+	ref, _, ok := s.lookupRef(term)
+	if !ok {
+		return nil, false, nil
+	}
+	key := blockKey{gen: s.e.gen.Load(), ref: ref, blk: wholeRecordBlk}
+	if ps, ok := bc.get(key); ok {
+		s.counters.BlockCacheHits++
+		s.counters.Postings += int64(len(ps))
+		return ps, true, nil
+	}
+	s.counters.BlockCacheMisses++
+	rec, ok, err := s.fetchRef(term, ref)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ps, err := postings.DecodeAll(rec)
+	if err != nil {
+		if s.degrade(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	s.counters.Postings += int64(len(ps))
+	bc.put(key, ps)
 	return ps, true, nil
 }
 
@@ -345,7 +392,7 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 		}
 		if ok {
 			s.countLookup(term, entry.ListBytes)
-			return s.track(s.rangeIterator(cr)), true, nil
+			return s.track(s.attachBlockCache(s.rangeIterator(cr), ref)), true, nil
 		}
 	}
 	if rs, streams := e.backend.(RecordStreamer); streams {
@@ -368,7 +415,8 @@ func (s *Searcher) Iterator(term string) (inference.PostingIterator, bool, error
 		return nil, false, err
 	}
 	s.countLookup(term, uint32(len(rec)))
-	return s.track(&countingIterator{it: postings.Iter(rec), s: s, rec: s.rec}), true, nil
+	ci := &countingIterator{it: postings.Iter(rec), s: s, rec: s.rec}
+	return s.track(s.attachBlockCache(ci, ref)), true, nil
 }
 
 // track registers an iterator for end-of-query skip accounting.
@@ -377,16 +425,40 @@ func (s *Searcher) track(ci *countingIterator) *countingIterator {
 	return ci
 }
 
+// attachBlockCache points a skip-capable reader at the engine's decoded
+// block cache (when one is configured): v2 readers cache per block body,
+// v3 bitmap readers cache the whole decoded record. Stream (v1) readers
+// have no block structure and are left alone.
+func (s *Searcher) attachBlockCache(ci *countingIterator, ref uint64) *countingIterator {
+	bc := s.e.blocks
+	if bc == nil {
+		return ci
+	}
+	view := &blockCacheView{c: bc, s: s, gen: s.e.gen.Load(), ref: ref}
+	switch it := ci.it.(type) {
+	case *postings.BlockReader:
+		it.SetBlockCache(view)
+	case *postings.BitmapReader:
+		it.SetBlockCache(view)
+	}
+	return ci
+}
+
 // rangeIterator builds the iterator over an indexed chunked record: a
-// skip-capable BlockReader when the record is block-format, otherwise a
-// sequential stream decoder fed chunk by chunk. The version is decided
-// by peeking the record's first bytes — one chunk fault, which the
-// sequential path would pay anyway and the block path re-reads as part
-// of its header.
+// skip-capable BlockReader or BitmapReader when the record is versioned,
+// otherwise a sequential stream decoder fed chunk by chunk. The version
+// is decided by peeking the record's first bytes — one chunk fault,
+// which the sequential path would pay anyway and the versioned paths
+// re-read as part of their headers.
 func (s *Searcher) rangeIterator(cr *mneme.ChunkRange) *countingIterator {
 	if cr.Size() > 2 {
-		if magic, err := cr.ReadRange(0, 3); err == nil && postings.IsV2(magic) {
-			return &countingIterator{it: postings.NewBlockRangeReader(chunkRangeSource{cr}), s: s, rec: s.rec, cr: cr}
+		if magic, err := cr.ReadRange(0, 3); err == nil {
+			if postings.IsV2(magic) {
+				return &countingIterator{it: postings.NewBlockRangeReader(chunkRangeSource{cr}), s: s, rec: s.rec, cr: cr}
+			}
+			if postings.IsV3(magic) {
+				return &countingIterator{it: postings.NewBitmapRangeReader(chunkRangeSource{cr}), s: s, rec: s.rec, cr: cr}
+			}
 		}
 	}
 	return &countingIterator{it: postings.NewStreamReader(&chunkRangeReader{cr: cr}), s: s, rec: s.rec, cr: cr}
@@ -521,10 +593,14 @@ func (ci *countingIterator) Advance(target uint32) (postings.Posting, bool) {
 }
 
 // MaxTF implements inference.BoundedIterator when the underlying record
-// format carries a maximum term frequency (v2 block descriptors).
+// format carries a maximum term frequency (v2 block descriptors, v3
+// bitmap header).
 func (ci *countingIterator) MaxTF() (uint32, bool) {
-	if br, ok := ci.it.(*postings.BlockReader); ok {
-		return br.MaxTF(), true
+	switch it := ci.it.(type) {
+	case *postings.BlockReader:
+		return it.MaxTF(), true
+	case *postings.BitmapReader:
+		return it.MaxTF(), true
 	}
 	return 0, false
 }
@@ -537,8 +613,13 @@ func (ci *countingIterator) finish() {
 		return
 	}
 	ci.done = true
-	if br, ok := ci.it.(*postings.BlockReader); ok {
-		st := br.FinishStats()
+	switch it := ci.it.(type) {
+	case *postings.BlockReader:
+		st := it.FinishStats()
+		ci.s.counters.PostingsSkipped += int64(st.Postings)
+		ci.s.counters.BlocksSkipped += int64(st.Blocks)
+	case *postings.BitmapReader:
+		st := it.FinishStats()
 		ci.s.counters.PostingsSkipped += int64(st.Postings)
 		ci.s.counters.BlocksSkipped += int64(st.Blocks)
 	}

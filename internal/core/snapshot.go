@@ -37,6 +37,11 @@ type Snapshot struct {
 	// roster, memtable occupancy, WAL depth, and flush/compaction
 	// tallies. Set only by NRTEngine.Snapshot.
 	NRT *NRTStats `json:"nrt,omitempty"`
+	// Cache summarizes the hot-path caches (query-result and decoded
+	// postings-block): traffic and occupancy. Nil — and absent from the
+	// JSON — unless the engine was opened with WithResultCache or
+	// WithBlockCache.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // ShardingStats is the coordinator-level block of a sharded index's
@@ -120,6 +125,7 @@ func (e *Engine) Snapshot() Snapshot {
 		CorruptRecords: c.CorruptRecords,
 		Metrics:        e.met.reg.Snapshot(),
 		Resilience:     e.ResilienceStats(),
+		Cache:          e.cacheStats(),
 	}
 }
 

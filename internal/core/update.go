@@ -25,6 +25,9 @@ func (e *Engine) AddDocument(text string) (uint32, error) {
 	if e.kind != BackendMneme {
 		return 0, ErrNoUpdate
 	}
+	// Invalidate even on a failed add: the lists touched before the
+	// error are already rewritten.
+	defer e.InvalidateCaches()
 	docID := uint32(len(e.docLens))
 	toks := e.an.Tokens(text)
 
@@ -91,6 +94,7 @@ func (e *Engine) DeleteDocument(docID uint32, text string) error {
 	if int(docID) >= len(e.docLens) {
 		return fmt.Errorf("core: delete document %d: no such document", docID)
 	}
+	defer e.InvalidateCaches()
 	toks := e.an.Tokens(text)
 	perTerm := make(map[string]int)
 	for _, t := range toks {

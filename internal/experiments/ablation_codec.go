@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/obs"
+	"repro/internal/postings"
+	"repro/internal/vfs"
+)
+
+// CodecAblationSchema versions the ABLATION_codec.json format written
+// by `repro -ablate-codec` (the `make ablate` target).
+const CodecAblationSchema = "repro/ablation_codec/v1"
+
+// CodecCell is one (posting codec, cache on/off) measurement of the
+// codec ablation matrix. Latencies are simulated microseconds over the
+// repeat pass of the query set — the same deterministic cost model as
+// the bench rows — so the matrix is byte-stable across runs.
+type CodecCell struct {
+	Codec string `json:"codec"`
+	Cache bool   `json:"cache"`
+	// Per-format record counts of the build: how many inverted lists
+	// the codec policy stored as v1 streams, v2 blocks, and v3 bitmaps.
+	V1Lists int `json:"v1_lists"`
+	V2Lists int `json:"v2_lists"`
+	V3Lists int `json:"v3_lists"`
+	// ListKB is the total encoded inverted-list size; the adaptive
+	// codec's bitmap upgrade shows up here as dense lists shrink.
+	ListKB  int64 `json:"list_kb"`
+	StoreKB int64 `json:"store_kb"`
+	// Repeat-pass I/O and simulated query-stage latency quantiles.
+	DiskReads  int64   `json:"disk_reads"`
+	BytesRead  int64   `json:"bytes_read"`
+	QueryP50us float64 `json:"query_p50_us"`
+	QueryP95us float64 `json:"query_p95_us"`
+	// Stats is present on the cache-on cells.
+	Stats *core.CacheStats `json:"cache_stats,omitempty"`
+}
+
+// CodecAblation is the full matrix (ABLATION_codec.json).
+type CodecAblation struct {
+	Schema     string      `json:"schema"`
+	Collection string      `json:"collection"`
+	QuerySet   string      `json:"query_set"`
+	Scale      float64     `json:"scale"`
+	Cells      []CodecCell `json:"cells"`
+}
+
+// codecNames orders the matrix's codec axis.
+var codecAblationCodecs = []struct {
+	name  string
+	codec postings.Codec
+}{
+	{"v1", postings.CodecV1},
+	{"v2", postings.CodecV2},
+	{"auto", postings.CodecAuto},
+}
+
+// buildCodecVariant builds a Mneme-only copy of the collection under
+// one posting codec policy, on its own file system.
+func (l *Lab) buildCodecVariant(colName string, codec postings.Codec) (*Built, error) {
+	col, ok := collection.ByName(colName, l.Scale)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown collection %q", colName)
+	}
+	fs := vfs.New(vfs.Options{BlockSize: vfs.DefaultBlockSize, OSCacheBytes: l.OSCacheBytes})
+	stream := col.Stream()
+	cfg := core.MnemeConfig(core.BufferPlan{})
+	for i := range cfg.Pools {
+		cfg.Pools[i].BufferBytes = 1 << 20
+	}
+	stats, err := core.Build(fs, col.Name, stream, core.BuildOptions{
+		Analyzer:    analyzer(),
+		Backends:    []core.BackendKind{core.BackendMneme},
+		MnemeConfig: &cfg,
+		Codec:       codec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &Built{Col: col, FS: fs, Stats: stats, TextBytes: stream.TextBytes()}
+	b.MaxList = maxListBytesMneme(fs, col.Name)
+	return b, nil
+}
+
+// countFormats classifies every stored record of the build by posting
+// format — the direct proof of which lists the codec policy upgraded.
+func countFormats(eng *core.Engine) (v1, v2, v3 int, err error) {
+	var inner error
+	eng.Dictionary().Range(func(entry *lexicon.Entry) bool {
+		rec, ferr := eng.Backend().Fetch(entry.Ref)
+		if ferr != nil {
+			inner = ferr
+			return false
+		}
+		switch {
+		case postings.IsV3(rec):
+			v3++
+		case postings.IsV2(rec):
+			v2++
+		default:
+			v1++
+		}
+		return true
+	})
+	return v1, v2, v3, inner
+}
+
+// codecCell measures one matrix cell: warm pass over the query set,
+// then a traced repeat pass whose query-stage simulated latency and
+// I/O the cell reports.
+func (l *Lab) codecCell(b *Built, qsIdx int, codecName string, cache bool) (CodecCell, error) {
+	costs := l.Model.Costs()
+	qs := b.Col.QuerySets[qsIdx]
+	queries := b.Col.GenQueries(qs)
+	opts := []core.Option{core.WithAnalyzer(analyzer()), core.WithPlan(PlanFor(b))}
+	if cache {
+		opts = append(opts,
+			core.WithResultCache(BenchResultCacheEntries),
+			core.WithBlockCache(BenchBlockCacheMB))
+	}
+	eng, err := core.Open(b.FS, b.Col.Name, core.BackendMneme, opts...)
+	if err != nil {
+		return CodecCell{}, err
+	}
+	defer eng.Close()
+
+	cell := CodecCell{
+		Codec:   codecName,
+		Cache:   cache,
+		ListKB:  b.Stats.ListBytes / 1024,
+		StoreKB: b.Stats.MnemeBytes / 1024,
+	}
+	if cell.V1Lists, cell.V2Lists, cell.V3Lists, err = countFormats(eng); err != nil {
+		return CodecCell{}, err
+	}
+
+	b.FS.Chill()
+	for _, q := range queries {
+		if _, err := eng.Run(nil, core.Request{Query: q.Text}); err != nil {
+			return CodecCell{}, fmt.Errorf("experiments: codec cell %s warm: query %s: %w", codecName, q.ID, err)
+		}
+	}
+	eng.ResetCounters()
+	eng.Backend().ResetBufferStats()
+	before := b.FS.Stats()
+	var us []float64
+	for _, q := range queries {
+		_, tr, err := eng.TraceRun(core.Request{Query: q.Text})
+		if err != nil {
+			return CodecCell{}, fmt.Errorf("experiments: codec cell %s: query %s: %w", codecName, q.ID, err)
+		}
+		totals := tr.StageTotals()
+		ns := costs.QueryNS
+		for _, st := range obs.Stages() {
+			tot := totals[st]
+			ns += costs.SimNS(&tot.Counts)
+		}
+		us = append(us, float64(ns)/1e3)
+	}
+	delta := b.FS.Stats().Sub(before)
+	cell.DiskReads = delta.DiskReads
+	cell.BytesRead = delta.BytesRead
+	sort.Float64s(us)
+	cell.QueryP50us = quantile(us, 0.50)
+	cell.QueryP95us = quantile(us, 0.95)
+	if cache {
+		cell.Stats = eng.Snapshot().Cache
+	}
+	return cell, nil
+}
+
+// AblationCodecMatrix runs the full codec × cache matrix: the same
+// collection built under each encoding policy, each queried with the
+// hot-path caches off and on, measuring the repeat pass. The matrix is
+// the PR's ablation artifact (ABLATION_codec.json): the v2-vs-auto
+// columns isolate what the bitmap upgrade buys on dense lists, the
+// off-vs-on rows what the caches buy on repeats.
+func (l *Lab) AblationCodecMatrix(colName string, qsIdx int) (*CodecAblation, error) {
+	out := &CodecAblation{Schema: CodecAblationSchema, Collection: colName, Scale: l.Scale}
+	for _, c := range codecAblationCodecs {
+		b, err := l.buildCodecVariant(colName, c.codec)
+		if err != nil {
+			return nil, err
+		}
+		out.QuerySet = b.Col.QuerySets[qsIdx].Name
+		for _, cache := range []bool{false, true} {
+			cell, err := l.codecCell(b, qsIdx, c.name, cache)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// AblationCodec renders the matrix as a table for the ablation report.
+func (l *Lab) AblationCodec(colName string, qsIdx int) (*Table, *CodecAblation, error) {
+	m, err := l.AblationCodecMatrix(colName, qsIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: posting codec x hot-path caches (%s, query set %s)", colName, m.QuerySet),
+		Header: []string{"Codec", "Cache", "v1/v2/v3", "ListKB", "I", "B(KB)", "Qp50(µs)", "Qp95(µs)"},
+		Note:   "auto upgrades dense lists (df·4 ≥ span) to v3 bitmaps; cache rows measure the repeat-query pass.",
+	}
+	for _, c := range m.Cells {
+		onOff := "off"
+		if c.Cache {
+			onOff = "on"
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Codec,
+			onOff,
+			fmt.Sprintf("%d/%d/%d", c.V1Lists, c.V2Lists, c.V3Lists),
+			fmt.Sprintf("%d", c.ListKB),
+			fmt.Sprintf("%d", c.DiskReads),
+			kb(c.BytesRead),
+			fmt.Sprintf("%.1f", c.QueryP50us),
+			fmt.Sprintf("%.1f", c.QueryP95us),
+		})
+	}
+	return t, m, nil
+}

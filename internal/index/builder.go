@@ -45,8 +45,8 @@ type Builder struct {
 	an       *textproc.Analyzer
 	dict     *lexicon.Dictionary
 	runLimit int
-	scratch  string // scratch file name prefix
-	v1       bool   // force sequential v1 record encoding
+	scratch  string         // scratch file name prefix
+	codec    postings.Codec // record encoding policy (CodecAuto default)
 
 	buf     []tuple
 	runs    []string
@@ -66,10 +66,16 @@ type Options struct {
 	// Scratch prefixes the names of temporary run files.
 	Scratch string
 	// V1Postings forces every record into the sequential v1 encoding,
-	// disabling the block (v2) format for lists long enough to benefit
-	// from it. For building legacy-layout collections and for the
-	// mixed-version compatibility tests.
+	// disabling the versioned (v2 block / v3 bitmap) formats for lists
+	// long enough to benefit from them. For building legacy-layout
+	// collections and for the mixed-version compatibility tests.
+	// Equivalent to Codec: postings.CodecV1, which it overrides.
 	V1Postings bool
+	// Codec pins the record encoding policy for every list — the
+	// codec-ablation axis. The zero value (postings.CodecAuto) is the
+	// production policy: v1 for short lists, v2 blocks for long sparse
+	// lists, the v3 bitmap for long dense ones.
+	Codec postings.Codec
 	// BaseDoc offsets every document identifier: the first document
 	// added must carry ID BaseDoc, and encoded records store the global
 	// (offset) identifiers. The near-real-time flush path builds each
@@ -94,7 +100,11 @@ func NewBuilder(fs *vfs.FS, opt Options) *Builder {
 	if scratch == "" {
 		scratch = "indexrun"
 	}
-	return &Builder{fs: fs, an: an, dict: lexicon.New(), runLimit: rl, scratch: scratch, v1: opt.V1Postings, nextDoc: opt.BaseDoc}
+	codec := opt.Codec
+	if opt.V1Postings {
+		codec = postings.CodecV1
+	}
+	return &Builder{fs: fs, an: an, dict: lexicon.New(), runLimit: rl, scratch: scratch, codec: codec, nextDoc: opt.BaseDoc}
 }
 
 // Dictionary exposes the term dictionary being built.
@@ -314,11 +324,7 @@ func (m *Merged) Next() (termID uint32, rec []byte, ok bool, err error) {
 			return 0, nil, false, err
 		}
 	}
-	if m.b.v1 {
-		rec, err = postings.Encode(ps)
-	} else {
-		rec, err = postings.EncodeAuto(ps)
-	}
+	rec, err = postings.EncodeWith(m.b.codec, ps)
 	if err != nil {
 		m.err = err
 		return 0, nil, false, err

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/postings"
@@ -93,8 +94,18 @@ func EvaluateDAAT(n *Node, src StreamSource, topK int) ([]Result, error) {
 	}
 	// Gather iterators in tree order, not map order: the advance order
 	// fixes the storage access sequence, and a deterministic sequence
-	// keeps buffer hit counts and fault-in traces reproducible.
-	var all []*peekIter
+	// keeps buffer hit counts and fault-in traces reproducible. The
+	// gather slice is pooled across queries; elements are cleared on
+	// return so pooled arrays pin no iterators.
+	allp := gatherPool.Get().(*[]*peekIter)
+	all := (*allp)[:0]
+	defer func() {
+		for i := range all {
+			all[i] = nil
+		}
+		*allp = all[:0]
+		gatherPool.Put(allp)
+	}()
 	var gather func(*Node)
 	gather = func(n *Node) {
 		if ls, ok := leaves[n]; ok {
@@ -239,43 +250,65 @@ func collectLeaves(n *Node, src StreamSource, leaves map[*Node]*leafState) error
 	return nil
 }
 
+// gatherPool recycles the per-query iterator gather slice, and valsPool
+// the per-document child-belief scratch of every internal node visit —
+// the two allocations the DAAT hot loop would otherwise make per query
+// and per (document × operator) respectively. Each recursion frame
+// borrows its own buffer, so nesting is safe.
+var (
+	gatherPool = sync.Pool{
+		New: func() any {
+			b := make([]*peekIter, 0, 16)
+			return &b
+		},
+	}
+	valsPool = sync.Pool{
+		New: func() any {
+			b := make([]float64, 0, 8)
+			return &b
+		},
+	}
+)
+
 // evalDocNode computes the belief of one document under the tree.
 func evalDocNode(n *Node, doc uint32, leaves map[*Node]*leafState, src StreamSource) float64 {
 	if ls, ok := leaves[n]; ok {
 		return leafBelief(ls, doc, src)
 	}
-	vals := make([]float64, len(n.Children))
-	for i, c := range n.Children {
-		vals[i] = evalDocNode(c, doc, leaves, src)
+	bp := valsPool.Get().(*[]float64)
+	vals := (*bp)[:0]
+	for _, c := range n.Children {
+		vals = append(vals, evalDocNode(c, doc, leaves, src))
 	}
+	belief := DefaultBelief
 	switch n.Op {
 	case OpSum:
 		s := 0.0
 		for _, v := range vals {
 			s += v
 		}
-		return s / float64(len(vals))
+		belief = s / float64(len(vals))
 	case OpWSum:
 		var s, w float64
 		for i, v := range vals {
 			s += n.Weights[i] * v
 			w += n.Weights[i]
 		}
-		return s / w
+		belief = s / w
 	case OpAnd:
 		s := 1.0
 		for _, v := range vals {
 			s *= v
 		}
-		return s
+		belief = s
 	case OpOr:
 		s := 1.0
 		for _, v := range vals {
 			s *= 1 - v
 		}
-		return 1 - s
+		belief = 1 - s
 	case OpNot:
-		return 1 - vals[0]
+		belief = 1 - vals[0]
 	case OpMax:
 		s := vals[0]
 		for _, v := range vals[1:] {
@@ -283,9 +316,11 @@ func evalDocNode(n *Node, doc uint32, leaves map[*Node]*leafState, src StreamSou
 				s = v
 			}
 		}
-		return s
+		belief = s
 	}
-	return DefaultBelief
+	*bp = vals[:0]
+	valsPool.Put(bp)
+	return belief
 }
 
 func leafBelief(ls *leafState, doc uint32, src StreamSource) float64 {

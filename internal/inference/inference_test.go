@@ -719,6 +719,7 @@ func benchSource(nTerms, docsPerTerm int) *fakeSource {
 func BenchmarkEvaluateTAAT(b *testing.B) {
 	src := benchSource(4, 5000)
 	n, _ := Parse("#sum(a b #and(c d))")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := EvaluateTAAT(n, src, 10); err != nil {
@@ -727,9 +728,13 @@ func BenchmarkEvaluateTAAT(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateDAAT tracks the DAAT hot loop's allocation rate:
+// the per-document operator scratch and the per-query iterator gather
+// are pooled (valsPool / gatherPool), which bytes/op makes visible.
 func BenchmarkEvaluateDAAT(b *testing.B) {
 	src := benchSource(4, 5000)
 	n, _ := Parse("#sum(a b #and(c d))")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := EvaluateDAAT(n, src, 10); err != nil {

@@ -1,0 +1,495 @@
+// Bitmap (v3) record format: a dense-set posting representation in the
+// spirit of compression-based index structures that switch dense terms
+// from gap-coded document lists to bitmaps. A term that appears in a
+// large fraction of the documents inside its docID range wastes a
+// varint gap (~1 byte) per document in v1/v2; one bit per candidate
+// document is smaller whenever more than one document in eight inside
+// the span is present, and membership tests become word operations.
+//
+// Layout (all integers unsigned LEB128 varints unless noted):
+//
+//	0x00 0x00 0x03           magic: two zero bytes + version
+//	ctf                      collection term frequency
+//	df                       document frequency
+//	maxTF                    largest within-document tf (MaxScore bound)
+//	minDoc                   smallest docID in the list
+//	span                     lastDoc − minDoc + 1 (bit i ⇔ doc minDoc+i)
+//	nwords × uint64 LE       bitmap, nwords = ceil(span/64), raw 8-byte words
+//	nwords × byteLen         payload byte length per word
+//	payload                  per set bit, in doc order: [tf, tf × posGap]
+//
+// Documents need no gaps — the bitmap is the document list — so the
+// payload holds only term frequencies and position gaps. The per-word
+// length table is the skip structure: Advance jumps straight to the
+// target's word, skipping every earlier word's payload without decoding
+// it, the same role the per-block descriptors play in v2.
+//
+// Canonical form (enforced by the reader, so corrupt records surface as
+// ErrCorrupt rather than silent wrong results): bit 0 of word 0 and bit
+// span−1 are set, bits at or above span are clear, the popcount equals
+// df, a word's payload length is zero exactly when the word is empty,
+// and the payloads exactly fill the record.
+//
+// The magic is unambiguous against v1 for the same reason as v2: a v1
+// record starting with two zero bytes is exactly two bytes long.
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// IsV3 reports whether rec carries the bitmap-format magic.
+func IsV3(rec []byte) bool {
+	return len(rec) > 2 && rec[0] == 0 && rec[1] == 0 && rec[2] == 3
+}
+
+// IsVersioned reports whether rec carries any versioned-record magic
+// (two leading zero bytes on a record longer than two bytes — see the
+// package comment for why this cannot be v1). Readers that dispatch on
+// the version must treat a versioned record with an unknown version
+// byte as corrupt, never as v1.
+func IsVersioned(rec []byte) bool {
+	return len(rec) > 2 && rec[0] == 0 && rec[1] == 0
+}
+
+// EncodeV3 serializes postings in the bitmap format. The input contract
+// matches Encode: ascending unique docs, ascending positions. The list
+// must be non-empty (an empty list has no span; EncodeAuto never routes
+// one here).
+func EncodeV3(ps []Posting) ([]byte, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("%w: bitmap encoding needs a non-empty list", ErrCorrupt)
+	}
+	var ctf, maxTF uint64
+	prevDoc := int64(-1)
+	for _, p := range ps {
+		if int64(p.Doc) <= prevDoc {
+			return nil, fmt.Errorf("%w: document %d after %d", ErrUnsorted, p.Doc, prevDoc)
+		}
+		prevDoc = int64(p.Doc)
+		ctf += uint64(len(p.Positions))
+		if uint64(len(p.Positions)) > maxTF {
+			maxTF = uint64(len(p.Positions))
+		}
+	}
+	minDoc := ps[0].Doc
+	span := uint64(ps[len(ps)-1].Doc) - uint64(minDoc) + 1
+	nwords := int((span + 63) / 64)
+	words := make([]uint64, nwords)
+	wlen := make([]int, nwords)
+	var tmp [binary.MaxVarintLen64]byte
+	payload := make([]byte, 0, 2*len(ps))
+	for _, p := range ps {
+		bit := uint64(p.Doc - minDoc)
+		w := int(bit / 64)
+		words[w] |= 1 << (bit % 64)
+		start := len(payload)
+		n := binary.PutUvarint(tmp[:], uint64(len(p.Positions)))
+		payload = append(payload, tmp[:n]...)
+		prevPos := int64(-1)
+		for _, pos := range p.Positions {
+			if int64(pos) <= prevPos {
+				return nil, fmt.Errorf("%w: position %d after %d in document %d", ErrUnsorted, pos, prevPos, p.Doc)
+			}
+			n = binary.PutUvarint(tmp[:], uint64(int64(pos)-prevPos))
+			payload = append(payload, tmp[:n]...)
+			prevPos = int64(pos)
+		}
+		wlen[w] += len(payload) - start
+	}
+	out := make([]byte, 0, 3+5*binary.MaxVarintLen64+nwords*9+len(payload))
+	out = append(out, 0x00, 0x00, 0x03)
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	put(ctf)
+	put(uint64(len(ps)))
+	put(maxTF)
+	put(uint64(minDoc))
+	put(span)
+	for _, w := range words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	for _, l := range wlen {
+		put(uint64(l))
+	}
+	out = append(out, payload...)
+	return out, nil
+}
+
+// BitmapReader iterates a v3 record with optional skipping, mirroring
+// BlockReader: Next is the linear scan, Advance(doc) jumps to the first
+// posting with Doc >= doc, fetching only the word payloads it lands in.
+type BitmapReader struct {
+	src    RangeSource
+	ctf    uint64
+	df     uint64
+	maxTF  uint32
+	minDoc uint32
+	span   uint32
+	words  []uint64
+	wOff   []int // absolute payload offset per word; len(words)+1 entries
+	used   int   // words with at least one set bit
+
+	cur     int    // current word index; -1 before start, len(words) when done
+	rem     uint64 // unconsumed set bits of words[cur]
+	payload []byte
+	pOff    int
+
+	returned uint64
+	loadedW  int
+	err      error
+
+	finished bool
+	stats    SkipStats
+
+	cache  BlockCacheSink
+	dec    []Posting
+	decIdx int
+	sink   *fillScratch // eager-decode gather target; nil in normal reads
+}
+
+// NewBitmapRangeReader opens a v3 record over a random-access source.
+// The header, bitmap words, and length table are read eagerly (they are
+// a contiguous prefix, the analog of v2's descriptor table); payloads
+// are fetched per word on first use.
+func NewBitmapRangeReader(src RangeSource) *BitmapReader {
+	br := &BitmapReader{src: src, cur: -1}
+	size := src.Size()
+	if size < 3 {
+		br.err = ErrCorrupt
+		return br
+	}
+	magic, err := src.ReadRange(0, 3)
+	if err != nil {
+		br.err = err
+		return br
+	}
+	if magic[0] != 0 || magic[1] != 0 || magic[2] != 3 {
+		br.err = ErrCorrupt
+		return br
+	}
+	c := &rangeCursor{src: src, off: 3}
+	br.ctf = c.uvarint()
+	br.df = c.uvarint()
+	mt := c.uvarint()
+	minDoc := c.uvarint()
+	span := c.uvarint()
+	if c.err != nil {
+		br.err = c.err
+		return br
+	}
+	if span == 0 || br.df == 0 || br.df > span || mt > 0xFFFFFFFF ||
+		minDoc > 0xFFFFFFFF || minDoc+span-1 > 0xFFFFFFFF {
+		br.err = ErrCorrupt
+		return br
+	}
+	br.maxTF, br.minDoc, br.span = uint32(mt), uint32(minDoc), uint32(span)
+	nwords := int((span + 63) / 64)
+	wordsOff := c.pos()
+	// Bound the allocation by the record size before trusting span.
+	if wordsOff+nwords*8 > size {
+		br.err = ErrCorrupt
+		return br
+	}
+	raw, err := src.ReadRange(wordsOff, nwords*8)
+	if err != nil {
+		br.err = err
+		return br
+	}
+	words := make([]uint64, nwords)
+	var pop uint64
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(raw[i*8:])
+		pop += uint64(bits.OnesCount64(words[i]))
+		if words[i] != 0 {
+			br.used++
+		}
+	}
+	// Canonical-form checks: the bit range is tight, the count matches
+	// the header, and no bits lie beyond the span.
+	last := words[nwords-1]
+	if pop != br.df || words[0]&1 == 0 ||
+		last>>((span-1)%64)&1 == 0 || (span%64 != 0 && last>>(span%64) != 0) {
+		br.err = ErrCorrupt
+		return br
+	}
+	c = &rangeCursor{src: src, off: wordsOff + nwords*8}
+	wOff := make([]int, nwords+1)
+	off := 0 // relative; rebased once the table's own length is known
+	for i := 0; i < nwords; i++ {
+		bl := c.uvarint()
+		if c.err != nil {
+			br.err = c.err
+			return br
+		}
+		pc := bits.OnesCount64(words[i])
+		// A word's payload holds at least one tf byte per set bit, and
+		// exactly nothing for an empty word.
+		if bl > uint64(size) || (pc == 0) != (bl == 0) || bl < uint64(pc) {
+			br.err = ErrCorrupt
+			return br
+		}
+		wOff[i] = off
+		off += int(bl)
+	}
+	wOff[nwords] = off
+	base := c.pos()
+	for i := range wOff {
+		wOff[i] += base
+	}
+	if wOff[nwords] != size {
+		br.err = ErrCorrupt // payloads must exactly fill the record
+		return br
+	}
+	br.words, br.wOff = words, wOff
+	return br
+}
+
+// OpenBitmapReader opens an in-memory record if it is v3-encoded; the
+// bool is false otherwise.
+func OpenBitmapReader(rec []byte) (*BitmapReader, bool) {
+	if !IsV3(rec) {
+		return nil, false
+	}
+	return NewBitmapRangeReader(bytesRange(rec)), true
+}
+
+// CTF returns the collection term frequency from the header.
+func (br *BitmapReader) CTF() uint64 { return br.ctf }
+
+// DF returns the document frequency from the header.
+func (br *BitmapReader) DF() uint64 { return br.df }
+
+// MaxTF returns the largest within-document term frequency, from the
+// header — the per-term score upper bound for MaxScore pruning.
+func (br *BitmapReader) MaxTF() uint32 { return br.maxTF }
+
+// Words returns the number of 64-document bitmap words in the record.
+func (br *BitmapReader) Words() int { return len(br.words) }
+
+// Err returns the first decoding error encountered, if any.
+func (br *BitmapReader) Err() error { return br.err }
+
+// SetBlockCache attaches a decoded-postings cache. A v3 record caches
+// as a single unit under block index 0: its whole decoded posting list.
+// Dense records decode in one pass anyway, so finer granularity would
+// only fragment the cache. See BlockCacheSink for the sharing contract.
+func (br *BitmapReader) SetBlockCache(c BlockCacheSink) { br.cache = c }
+
+// wordLast returns the largest docID word i can hold.
+func (br *BitmapReader) wordLast(i int) uint32 {
+	d := uint64(br.minDoc) + uint64(i)*64 + 63
+	if top := uint64(br.minDoc) + uint64(br.span) - 1; d > top {
+		d = top
+	}
+	return uint32(d)
+}
+
+func (br *BitmapReader) loadWord(i int) bool {
+	n := br.wOff[i+1] - br.wOff[i]
+	body, err := br.src.ReadRange(br.wOff[i], n)
+	if err != nil {
+		br.err = err
+		return false
+	}
+	br.payload, br.pOff = body, 0
+	br.cur, br.rem = i, br.words[i]
+	br.loadedW++
+	return true
+}
+
+func (br *BitmapReader) uv() (uint64, bool) {
+	v, n := binary.Uvarint(br.payload[br.pOff:])
+	if n <= 0 {
+		br.err = ErrCorrupt
+		return 0, false
+	}
+	br.pOff += n
+	return v, true
+}
+
+// Next decodes the next posting in document order. The Positions slice
+// is freshly allocated.
+func (br *BitmapReader) Next() (Posting, bool) {
+	return br.scan(0, false)
+}
+
+// Advance returns the first posting with Doc >= target at or after the
+// current position. Words wholly below target are skipped without their
+// payloads being fetched; within the landing word, passed-over postings
+// are decoded but their positions are not materialized. Advance and
+// Next may be interleaved freely.
+func (br *BitmapReader) Advance(target uint32) (Posting, bool) {
+	return br.scan(target, true)
+}
+
+func (br *BitmapReader) scan(target uint32, filtered bool) (Posting, bool) {
+	if br.dec != nil || br.cache != nil {
+		if p, ok := br.scanCached(target, filtered); ok || br.dec != nil || br.err != nil {
+			return p, ok
+		}
+	}
+	for {
+		if br.err != nil {
+			return Posting{}, false
+		}
+		if br.cur >= 0 && br.cur < len(br.words) && br.rem != 0 &&
+			filtered && br.wordLast(br.cur) < target {
+			// Mid-word and every remaining doc here is below target:
+			// abandon the rest of the word (payload offsets are absolute,
+			// so the next word needs nothing from this one).
+			br.rem = 0
+		}
+		if br.cur < 0 || br.cur >= len(br.words) || br.rem == 0 {
+			ni := br.cur + 1
+			for ni < len(br.words) && (br.words[ni] == 0 || (filtered && br.wordLast(ni) < target)) {
+				ni++
+			}
+			if ni >= len(br.words) {
+				br.cur = len(br.words)
+				return Posting{}, false
+			}
+			if !br.loadWord(ni) {
+				return Posting{}, false
+			}
+			continue
+		}
+		bit := bits.TrailingZeros64(br.rem)
+		br.rem &= br.rem - 1
+		doc := uint32(uint64(br.minDoc) + uint64(br.cur)*64 + uint64(bit))
+		tf, ok := br.uv()
+		if !ok {
+			return Posting{}, false
+		}
+		if tf > uint64(br.maxTF) {
+			br.err = ErrCorrupt // tf above the header bound breaks MaxScore
+			return Posting{}, false
+		}
+		materialize := !filtered || doc >= target
+		var positions []uint32
+		if materialize && br.sink != nil {
+			br.sink.start(doc)
+		} else if materialize {
+			capHint := tf
+			if rem := uint64(len(br.payload) - br.pOff); capHint > rem {
+				capHint = rem
+			}
+			positions = make([]uint32, 0, capHint)
+		}
+		prevPos := int64(-1)
+		for i := uint64(0); i < tf; i++ {
+			pg, ok := br.uv()
+			if !ok {
+				return Posting{}, false
+			}
+			if pg == 0 {
+				br.err = ErrCorrupt
+				return Posting{}, false
+			}
+			pos := prevPos + int64(pg)
+			if pos > 0xFFFFFFFF {
+				br.err = ErrCorrupt
+				return Posting{}, false
+			}
+			if materialize {
+				if br.sink != nil {
+					br.sink.addPos(uint32(pos))
+				} else {
+					positions = append(positions, uint32(pos))
+				}
+			}
+			prevPos = pos
+		}
+		if br.rem == 0 && br.pOff != len(br.payload) {
+			br.err = ErrCorrupt // word payload must be exactly consumed
+			return Posting{}, false
+		}
+		if materialize {
+			br.returned++
+			return Posting{Doc: doc, Positions: positions}, true
+		}
+	}
+}
+
+// scanCached serves from the record-level decoded cache: a hit installs
+// the whole decoded list, a miss decodes it eagerly once and offers it
+// to the cache. Returns ok=false with br.dec == nil when the caller
+// should fall back to the streaming path (only possible before any
+// cached iteration started).
+func (br *BitmapReader) scanCached(target uint32, filtered bool) (Posting, bool) {
+	if br.dec == nil {
+		if br.cur >= 0 {
+			// Iteration already started on the streaming path (cache was
+			// attached mid-flight); keep it there.
+			return Posting{}, false
+		}
+		if ps, ok := br.cache.GetBlock(0); ok {
+			br.dec = ps
+		} else {
+			ps, err := br.decodeAllEager()
+			if err != nil {
+				br.err = err
+				return Posting{}, false
+			}
+			br.cache.PutBlock(0, ps)
+			br.dec = ps
+		}
+		br.cur = len(br.words) // streaming path permanently exhausted
+		br.loadedW = br.used
+	}
+	if filtered {
+		for br.decIdx < len(br.dec) && br.dec[br.decIdx].Doc < target {
+			br.decIdx++
+		}
+	}
+	if br.decIdx >= len(br.dec) {
+		return Posting{}, false
+	}
+	p := br.dec[br.decIdx]
+	br.decIdx++
+	br.returned++
+	return p, true
+}
+
+// decodeAllEager decodes the entire record into a fresh, exactly-sized
+// posting slice for the cache, gathering through pooled scratch (the
+// cached copy must not alias pool memory).
+func (br *BitmapReader) decodeAllEager() ([]Posting, error) {
+	tmp := NewBitmapRangeReader(br.src)
+	if tmp.err != nil {
+		return nil, tmp.err
+	}
+	fs := getFillScratch()
+	defer fs.release()
+	tmp.sink = fs
+	for {
+		if _, ok := tmp.scan(0, false); !ok {
+			break
+		}
+	}
+	if tmp.Err() != nil {
+		return nil, tmp.Err()
+	}
+	if uint64(fs.n()) != br.df {
+		return nil, fmt.Errorf("%w: header df=%d but %d postings", ErrCorrupt, br.df, fs.n())
+	}
+	return fs.finalize(), nil
+}
+
+// FinishStats closes out the iteration and returns what was skipped:
+// postings never surfaced and word payloads never fetched (reported in
+// Blocks, the skip-unit slot). Idempotent; safe to call mid-iteration.
+func (br *BitmapReader) FinishStats() SkipStats {
+	if !br.finished {
+		br.finished = true
+		br.stats = SkipStats{
+			Postings: br.df - br.returned,
+			Blocks:   uint64(br.used - br.loadedW),
+		}
+	}
+	return br.stats
+}

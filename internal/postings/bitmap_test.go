@@ -1,0 +1,396 @@
+package postings
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// densePostings builds a deterministic list covering the bitmap format's
+// interesting shapes: word boundaries, holes, empty words in the middle,
+// varying tf including zero.
+func densePostings(n int, seed int64) []Posting {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Posting, 0, n)
+	doc := uint32(rng.Intn(50))
+	for i := 0; i < n; i++ {
+		tf := rng.Intn(4)
+		var pos []uint32
+		p := uint32(0)
+		for j := 0; j < tf; j++ {
+			p += uint32(1 + rng.Intn(20))
+			pos = append(pos, p)
+		}
+		ps = append(ps, Posting{Doc: doc, Positions: pos})
+		gap := uint32(1 + rng.Intn(3))
+		if rng.Intn(20) == 0 {
+			gap += 200 // occasionally skip past several whole words
+		}
+		doc += gap
+	}
+	return ps
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 200, 1000} {
+		ps := densePostings(n, int64(n))
+		rec, err := EncodeV3(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsV3(rec) || IsV2(rec) {
+			t.Fatalf("n=%d: v3 magic not detected", n)
+		}
+		ctf, df, err := Stats(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if df != uint64(n) {
+			t.Fatalf("n=%d: Stats df=%d", n, df)
+		}
+		var wantCTF uint64
+		for _, p := range ps {
+			wantCTF += uint64(len(p.Positions))
+		}
+		if ctf != wantCTF {
+			t.Fatalf("n=%d: Stats ctf=%d want %d", n, ctf, wantCTF)
+		}
+		got, err := DecodeAll(rec)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i := range ps {
+			if got[i].Doc != ps[i].Doc || !samePositions(got[i].Positions, ps[i].Positions) {
+				t.Fatalf("n=%d posting %d: got %v want %v", n, i, got[i], ps[i])
+			}
+		}
+	}
+}
+
+func samePositions(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBitmapAdvanceParity drives Advance/Next interleavings over a v3
+// record and checks every answer against the v2 encoding of the same
+// list — the differential oracle the fuzzer also uses.
+func TestBitmapAdvanceParity(t *testing.T) {
+	ps := densePostings(700, 7)
+	v3, err := EncodeV3(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := EncodeV2(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		b3, _ := OpenBitmapReader(v3)
+		b2, _ := OpenBlockReader(v2)
+		var cur uint32
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 {
+				p3, ok3 := b3.Next()
+				p2, ok2 := b2.Next()
+				if ok3 != ok2 || (ok3 && (p3.Doc != p2.Doc || !samePositions(p3.Positions, p2.Positions))) {
+					t.Fatalf("Next diverged: v3 (%v,%v) v2 (%v,%v)", p3, ok3, p2, ok2)
+				}
+				if !ok3 {
+					break
+				}
+				cur = p3.Doc
+			} else {
+				target := cur + uint32(rng.Intn(100))
+				p3, ok3 := b3.Advance(target)
+				p2, ok2 := b2.Advance(target)
+				if ok3 != ok2 || (ok3 && (p3.Doc != p2.Doc || !samePositions(p3.Positions, p2.Positions))) {
+					t.Fatalf("Advance(%d) diverged: v3 (%v,%v) v2 (%v,%v)", target, p3, ok3, p2, ok2)
+				}
+				if !ok3 {
+					break
+				}
+				cur = p3.Doc
+			}
+		}
+		if b3.Err() != nil || b2.Err() != nil {
+			t.Fatalf("errs: v3 %v v2 %v", b3.Err(), b2.Err())
+		}
+	}
+}
+
+// TestBitmapSkipStats proves Advance skips whole word payloads and the
+// skip statistics account for them.
+func TestBitmapSkipStats(t *testing.T) {
+	ps := make([]Posting, 1024)
+	for i := range ps {
+		ps[i] = Posting{Doc: uint32(i), Positions: []uint32{uint32(i % 7)}}
+	}
+	rec, err := EncodeV3(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, _ := OpenBitmapReader(rec)
+	if br.Words() != 16 {
+		t.Fatalf("words = %d, want 16", br.Words())
+	}
+	p, ok := br.Advance(1000)
+	if !ok || p.Doc != 1000 {
+		t.Fatalf("Advance(1000) = %v, %v", p, ok)
+	}
+	st := br.FinishStats()
+	if st.Blocks == 0 {
+		t.Fatalf("no word payloads skipped: %+v", st)
+	}
+	if st.Postings != 1024-1 {
+		t.Fatalf("postings skipped = %d, want %d", st.Postings, 1024-1)
+	}
+}
+
+// TestBitmapDenseSmaller is the codec claim behind EncodeAuto's density
+// threshold: at or above one document in four, the bitmap encoding is
+// smaller than the v2 block encoding of the same list.
+func TestBitmapDenseSmaller(t *testing.T) {
+	for _, stride := range []int{1, 2, 4} {
+		ps := make([]Posting, 2000)
+		for i := range ps {
+			ps[i] = Posting{Doc: uint32(i * stride), Positions: []uint32{5}}
+		}
+		v3, err := EncodeV3(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := EncodeV2(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v3) >= len(v2) {
+			t.Fatalf("stride %d: v3 %d bytes >= v2 %d bytes", stride, len(v3), len(v2))
+		}
+	}
+}
+
+// TestBitmapCorruptRejected mutates a valid record every way the
+// canonical-form rules guard and requires a clean typed error.
+func TestBitmapCorruptRejected(t *testing.T) {
+	ps := densePostings(300, 3)
+	rec, err := EncodeV3(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, mut []byte) {
+		t.Helper()
+		if _, err := DecodeAll(mut); err == nil {
+			// Some single-byte flips still parse (e.g. inside a position
+			// gap); what must never happen is a panic or a silent wrong
+			// posting count, which DecodeAll's df cross-check catches.
+			ps2, _ := DecodeAll(mut)
+			if len(ps2) != len(ps) {
+				t.Fatalf("%s: silently decoded %d postings", name, len(ps2))
+			}
+		}
+	}
+	// Truncations at every boundary region. (Cutting to exactly two zero
+	// bytes is excluded: that IS the valid empty v1 record, by design.)
+	for _, cut := range []int{3, 5, 10, len(rec) / 2, len(rec) - 1} {
+		if cut < len(rec) {
+			check("truncate", rec[:cut])
+		}
+	}
+	// Flip a bitmap bit: popcount no longer matches df. (Offset 16 is
+	// safely inside the words region — the header is ~11 bytes here and
+	// the words run for hundreds.)
+	mut := append([]byte(nil), rec...)
+	mut[16] ^= 0x10
+	if _, err := DecodeAll(mut); err == nil {
+		t.Fatal("bit flip in bitmap words accepted")
+	}
+	// Unknown version byte must not fall through to v1.
+	mut = append([]byte(nil), rec...)
+	mut[2] = 9
+	if _, err := DecodeAll(mut); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Empty list cannot be bitmap-encoded.
+	if _, err := EncodeV3(nil); err == nil {
+		t.Fatal("EncodeV3(nil) accepted")
+	}
+	// Unsorted input must be rejected at encode time.
+	if _, err := EncodeV3([]Posting{{Doc: 5}, {Doc: 5}}); err == nil {
+		t.Fatal("duplicate docs accepted")
+	}
+	if _, err := EncodeV3([]Posting{{Doc: 5, Positions: []uint32{3, 3}}}); err == nil {
+		t.Fatal("unsorted positions accepted")
+	}
+}
+
+// mapSink is a test BlockCacheSink over a plain map.
+type mapSink struct {
+	m      map[int][]Posting
+	hits   int
+	misses int
+	puts   int
+}
+
+func newMapSink() *mapSink { return &mapSink{m: map[int][]Posting{}} }
+
+func (s *mapSink) GetBlock(i int) ([]Posting, bool) {
+	ps, ok := s.m[i]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return ps, ok
+}
+
+func (s *mapSink) PutBlock(i int, ps []Posting) { s.m[i] = ps; s.puts++ }
+
+// TestBlockCacheSinkParity iterates v2 and v3 records with a cache
+// attached — cold, then warm — and requires byte-identical postings to
+// the uncached walk, for both Next-only and Advance-heavy traversals.
+func TestBlockCacheSinkParity(t *testing.T) {
+	ps := densePostings(900, 9)
+	for _, enc := range []struct {
+		name string
+		rec  []byte
+	}{
+		{"v2", mustEncodeV2(t, ps)},
+		{"v3", mustEncodeV3(t, ps)},
+	} {
+		sink := newMapSink()
+		openCached := func() interface {
+			Next() (Posting, bool)
+			Advance(uint32) (Posting, bool)
+			Err() error
+		} {
+			if IsV2(enc.rec) {
+				br, _ := OpenBlockReader(enc.rec)
+				br.SetBlockCache(sink)
+				return br
+			}
+			br, _ := OpenBitmapReader(enc.rec)
+			br.SetBlockCache(sink)
+			return br
+		}
+		// Cold pass (fills), warm pass (hits): both must match the oracle.
+		for pass := 0; pass < 2; pass++ {
+			it := openCached()
+			i := 0
+			for {
+				p, ok := it.Next()
+				if !ok {
+					break
+				}
+				if p.Doc != ps[i].Doc || !samePositions(p.Positions, ps[i].Positions) {
+					t.Fatalf("%s pass %d posting %d: got %v want %v", enc.name, pass, i, p, ps[i])
+				}
+				i++
+			}
+			if it.Err() != nil || i != len(ps) {
+				t.Fatalf("%s pass %d: %d postings, err %v", enc.name, pass, i, it.Err())
+			}
+		}
+		if sink.hits == 0 || sink.puts == 0 {
+			t.Fatalf("%s: cache never engaged (hits %d puts %d)", enc.name, sink.hits, sink.puts)
+		}
+		// Advance walk over the warm cache against the slice oracle.
+		it := openCached()
+		idx := 0
+		for idx < len(ps) {
+			target := ps[idx].Doc + 1
+			want := idx
+			for want < len(ps) && ps[want].Doc < target {
+				want++
+			}
+			p, ok := it.Advance(target)
+			if want == len(ps) {
+				if ok {
+					t.Fatalf("%s: Advance(%d) = %v, want exhausted", enc.name, target, p)
+				}
+				break
+			}
+			if !ok || p.Doc != ps[want].Doc || !samePositions(p.Positions, ps[want].Positions) {
+				t.Fatalf("%s: Advance(%d) = %v,%v want %v", enc.name, target, p, ok, ps[want])
+			}
+			idx = want + 1
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+	}
+}
+
+func mustEncodeV2(t *testing.T, ps []Posting) []byte {
+	t.Helper()
+	rec, err := EncodeV2(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func mustEncodeV3(t *testing.T, ps []Posting) []byte {
+	t.Helper()
+	rec, err := EncodeV3(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestEncodeWith pins the codec policies the ablation builds with.
+func TestEncodeWith(t *testing.T) {
+	dense := make([]Posting, BlockLen+10)
+	for i := range dense {
+		dense[i] = Posting{Doc: uint32(i)}
+	}
+	for _, tc := range []struct {
+		codec Codec
+		check func([]byte) bool
+	}{
+		{CodecV1, func(r []byte) bool { return !IsVersioned(r) }},
+		{CodecV2, IsV2},
+		{CodecAuto, IsV3},
+	} {
+		rec, err := EncodeWith(tc.codec, dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tc.check(rec) {
+			t.Fatalf("codec %v produced wrong format", tc.codec)
+		}
+		got, err := DecodeAll(rec)
+		if err != nil || len(got) != len(dense) {
+			t.Fatalf("codec %v: decode %d err %v", tc.codec, len(got), err)
+		}
+	}
+	if c, err := ParseCodec("v2"); err != nil || c != CodecV2 {
+		t.Fatalf("ParseCodec v2 = %v, %v", c, err)
+	}
+	if _, err := ParseCodec("zstd"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+// TestIterUnknownVersion pins the dispatch rule: a versioned record with
+// an unknown version byte reads as corrupt, never as an empty v1 list.
+func TestIterUnknownVersion(t *testing.T) {
+	it := Iter([]byte{0x00, 0x00, 0x07, 0x01})
+	if _, ok := it.Next(); ok {
+		t.Fatal("unknown version yielded a posting")
+	}
+	if it.Err() == nil {
+		t.Fatal("unknown version not reported as corrupt")
+	}
+}

@@ -42,9 +42,10 @@ const BlockLen = 128
 
 // IsV2 reports whether rec carries the block-format magic. See the
 // package comment for why two leading zero bytes on a record longer
-// than two bytes cannot be a v1 record.
+// than two bytes cannot be a v1 record; the version byte distinguishes
+// the block format from the v3 bitmap format (IsV3).
 func IsV2(rec []byte) bool {
-	return len(rec) > 2 && rec[0] == 0 && rec[1] == 0
+	return len(rec) > 2 && rec[0] == 0 && rec[1] == 0 && rec[2] == 2
 }
 
 // EncodeV2 serializes postings in the block format. The input contract
@@ -106,13 +107,39 @@ func EncodeV2(ps []Posting) ([]byte, error) {
 	return out, nil
 }
 
-// EncodeAuto picks the record version by list size: lists longer than
-// one block gain skip structure, shorter lists stay in the leaner v1
+// BitmapMinDensityInv is the density threshold at which EncodeAuto
+// prefers the v3 bitmap format: a list qualifies when at least one
+// document in BitmapMinDensityInv inside its docID span is present
+// (df·4 ≥ span). At that density a gap-coded list spends ≥ 1 byte per
+// present document against the bitmap's 1 bit per candidate document
+// plus the per-word length table, so the bitmap is strictly smaller and
+// its Advance is a word skip instead of a block decode.
+const BitmapMinDensityInv = 4
+
+// bitmapWins reports whether a sorted list is dense enough for the
+// bitmap format. On unsorted input the subtraction wraps and the test
+// fails closed; the encoder then reports ErrUnsorted.
+func bitmapWins(ps []Posting) bool {
+	if len(ps) == 0 {
+		return false
+	}
+	span := uint64(ps[len(ps)-1].Doc) - uint64(ps[0].Doc) + 1
+	return uint64(len(ps))*BitmapMinDensityInv >= span
+}
+
+// EncodeAuto picks the record version by list shape: lists longer than
+// one block gain skip structure — the v3 bitmap when the list is dense
+// inside its docID span (df·4 ≥ span, a self-contained proxy for the
+// df/NumDocs density the adaptive-codec literature keys on), the v2
+// block format otherwise — while shorter lists stay in the leaner v1
 // encoding (a descriptor table on a sub-block list is pure overhead).
 // Stores therefore naturally hold a mix of versions; every reader in
 // this package dispatches on the magic.
 func EncodeAuto(ps []Posting) ([]byte, error) {
 	if len(ps) > BlockLen {
+		if bitmapWins(ps) {
+			return EncodeV3(ps)
+		}
 		return EncodeV2(ps)
 	}
 	return Encode(ps)
@@ -219,6 +246,10 @@ type BlockReader struct {
 
 	finished bool
 	stats    SkipStats
+
+	cache  BlockCacheSink
+	dec    []Posting // decoded body of the current block, when cached
+	decIdx int
 }
 
 // NewBlockRangeReader opens a v2 record over a random-access source.
@@ -375,6 +406,26 @@ func (br *BlockReader) scan(target uint32, filtered bool) (Posting, bool) {
 		if br.err != nil {
 			return Posting{}, false
 		}
+		if br.dec != nil {
+			// Current block is served from the decoded cache: step over
+			// passed postings in the slice instead of decoding the body.
+			if filtered {
+				for br.decIdx < len(br.dec) && br.dec[br.decIdx].Doc < target {
+					br.decIdx++
+				}
+			}
+			if br.decIdx >= len(br.dec) {
+				br.dec = nil
+				br.inBlock = br.count(br.cur) // exhausted; step blocks below
+				continue
+			}
+			p := br.dec[br.decIdx]
+			br.decIdx++
+			br.inBlock = br.decIdx // consumed = skipped + this one
+			br.prev = int64(p.Doc)
+			br.returned++
+			return p, true
+		}
 		if br.cur < 0 || br.cur >= len(br.descs) || br.inBlock >= br.count(br.cur) {
 			// No current block or current one exhausted: step to the next
 			// candidate, skipping blocks the descriptor rules out.
@@ -387,6 +438,25 @@ func (br *BlockReader) scan(target uint32, filtered bool) (Posting, bool) {
 			if ni >= len(br.descs) {
 				br.cur = len(br.descs)
 				return Posting{}, false
+			}
+			if br.cache != nil {
+				// A hit serves the decoded body with no byte fetch; a miss
+				// decodes the whole block once and offers it to the cache.
+				// Either way the block counts as touched, not skipped, so
+				// the skip statistics match the uncached traversal.
+				ps, ok := br.cache.GetBlock(ni)
+				if !ok {
+					var err error
+					if ps, err = br.fillBlock(ni); err != nil {
+						br.err = err
+						return Posting{}, false
+					}
+					br.cache.PutBlock(ni, ps)
+				}
+				br.cur, br.inBlock = ni, 0
+				br.dec, br.decIdx = ps, 0
+				br.loadedN++
+				continue
 			}
 			if !br.loadBlock(ni) {
 				return Posting{}, false
@@ -465,6 +535,73 @@ func (br *BlockReader) scan(target uint32, filtered bool) (Posting, bool) {
 	}
 }
 
+// SetBlockCache attaches a decoded-postings cache consulted per block.
+// See BlockCacheSink for the sharing contract. Attach before iterating;
+// blocks already consumed on the streaming path are unaffected.
+func (br *BlockReader) SetBlockCache(c BlockCacheSink) { br.cache = c }
+
+// fillBlock decodes block i in one standalone pass for the cache,
+// gathering through pooled scratch and returning an exactly-sized,
+// immutable copy. It leaves the reader's streaming state untouched
+// apart from loadedN-neutral byte fetching (the caller accounts the
+// block as touched).
+func (br *BlockReader) fillBlock(i int) ([]Posting, error) {
+	d := br.descs[i]
+	body, err := br.src.ReadRange(d.off, d.length)
+	if err != nil {
+		return nil, err
+	}
+	prev := int64(-1)
+	if i > 0 {
+		prev = int64(br.descs[i-1].lastDoc)
+	}
+	fs := getFillScratch()
+	defer fs.release()
+	off := 0
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	n := br.count(i)
+	for k := 0; k < n; k++ {
+		gap, ok := uv()
+		if !ok || gap == 0 {
+			return nil, ErrCorrupt
+		}
+		doc := prev + int64(gap)
+		if doc > int64(d.lastDoc) {
+			return nil, ErrCorrupt
+		}
+		prev = doc
+		tf, ok := uv()
+		if !ok || tf > uint64(d.maxTF) {
+			return nil, ErrCorrupt
+		}
+		fs.start(uint32(doc))
+		prevPos := int64(-1)
+		for j := uint64(0); j < tf; j++ {
+			pg, ok := uv()
+			if !ok || pg == 0 {
+				return nil, ErrCorrupt
+			}
+			pos := prevPos + int64(pg)
+			if pos > 0xFFFFFFFF {
+				return nil, ErrCorrupt
+			}
+			fs.addPos(uint32(pos))
+			prevPos = pos
+		}
+	}
+	if uint32(prev) != d.lastDoc || off != len(body) {
+		return nil, ErrCorrupt
+	}
+	return fs.finalize(), nil
+}
+
 // FinishStats closes out the iteration and returns what was skipped:
 // postings never surfaced (whether their block was skipped or they
 // were passed over inside one) and block bodies never fetched.
@@ -489,11 +626,18 @@ type RecordIterator interface {
 	Err() error
 }
 
-// Iter opens the right linear iterator for an encoded record of either
-// version.
+// Iter opens the right linear iterator for an encoded record of any
+// version. A versioned record whose version byte is unknown surfaces as
+// corrupt — it must never fall through to the v1 reader, which would
+// silently decode it as an empty list.
 func Iter(rec []byte) RecordIterator {
-	if br, ok := OpenBlockReader(rec); ok {
-		return br
+	switch {
+	case IsV2(rec):
+		return NewBlockRangeReader(bytesRange(rec))
+	case IsV3(rec):
+		return NewBitmapRangeReader(bytesRange(rec))
+	case IsVersioned(rec):
+		return &Reader{err: ErrCorrupt}
 	}
 	return NewReader(rec)
 }

@@ -265,8 +265,8 @@ func TestEncodeAutoThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !IsV2(rec) {
-		t.Fatal("> BlockLen postings should be v2")
+	if !IsV3(rec) {
+		t.Fatal("> BlockLen dense postings should be v3 bitmap")
 	}
 	got, err := DecodeAll(rec)
 	if err != nil {
@@ -274,6 +274,20 @@ func TestEncodeAutoThreshold(t *testing.T) {
 	}
 	if len(got) != len(large) {
 		t.Fatalf("decoded %d postings, want %d", len(got), len(large))
+	}
+
+	// The same list spread far apart falls below the bitmap density
+	// threshold and keeps the v2 block format.
+	sparse := make([]Posting, BlockLen+1)
+	for i := range sparse {
+		sparse[i] = Posting{Doc: uint32(i) * (BitmapMinDensityInv + 1)}
+	}
+	rec, err = EncodeAuto(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsV2(rec) {
+		t.Fatal("> BlockLen sparse postings should be v2 blocks")
 	}
 }
 

@@ -1,0 +1,60 @@
+package postings
+
+import "fmt"
+
+// Codec selects the encoding policy a build writes records with. Every
+// reader dispatches on the record magic, so stores built with different
+// codecs are mutually readable; the codec only matters at write time
+// (builds, merges, NRT compaction) and in the codec ablation.
+type Codec int
+
+const (
+	// CodecAuto is the adaptive default: v1 below BlockLen, then the v3
+	// bitmap for dense lists and v2 blocks otherwise (see EncodeAuto).
+	CodecAuto Codec = iota
+	// CodecV1 forces the sequential v1 encoding for every list — the
+	// legacy layout, kept for compatibility tests and the ablation.
+	CodecV1
+	// CodecV2 disables the bitmap: v1 below BlockLen, v2 blocks above —
+	// the pre-bitmap EncodeAuto policy, kept for the ablation.
+	CodecV2
+)
+
+// String renders the codec as its flag spelling.
+func (c Codec) String() string {
+	switch c {
+	case CodecV1:
+		return "v1"
+	case CodecV2:
+		return "v2"
+	default:
+		return "auto"
+	}
+}
+
+// ParseCodec parses a -codec flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "auto":
+		return CodecAuto, nil
+	case "v1":
+		return CodecV1, nil
+	case "v2":
+		return CodecV2, nil
+	}
+	return CodecAuto, fmt.Errorf("postings: unknown codec %q (want auto, v1, or v2)", s)
+}
+
+// EncodeWith serializes postings under the given codec policy.
+func EncodeWith(c Codec, ps []Posting) ([]byte, error) {
+	switch c {
+	case CodecV1:
+		return Encode(ps)
+	case CodecV2:
+		if len(ps) > BlockLen {
+			return EncodeV2(ps)
+		}
+		return Encode(ps)
+	}
+	return EncodeAuto(ps)
+}

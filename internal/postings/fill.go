@@ -1,0 +1,72 @@
+// Decoded-block cache plumbing: the sink interface a reader consults
+// during iteration, and the pooled scratch its eager decode fills go
+// through. The cache itself (shards, budget, eviction) lives above the
+// codec in internal/core; this file only defines the contract and the
+// allocation idiom (decode into pooled scratch, copy exactly-sized into
+// the cache — the ugorji pool pattern from the engine's scratch-buffer
+// work, so fills do not thrash the heap with worst-case capacities).
+package postings
+
+import "sync"
+
+// BlockCacheSink is a decoded-postings cache attached to a reader with
+// SetBlockCache. GetBlock returns the decoded body of block i if
+// cached; PutBlock offers a freshly decoded body (the sink may decline
+// to admit it). For v2 records i is the block index; a v3 record caches
+// whole under i = 0.
+//
+// Sharing contract: cached slices are handed to many readers
+// concurrently and must be treated as immutable — neither the sink nor
+// any reader may modify a Posting or its Positions after PutBlock, and
+// the slices must not alias pooled or otherwise reused memory.
+type BlockCacheSink interface {
+	GetBlock(i int) ([]Posting, bool)
+	PutBlock(i int, ps []Posting)
+}
+
+// fillScratch gathers one eager decode: docs and flattened positions,
+// with per-posting start offsets into the arena. finalize copies the
+// gather into exactly-sized allocations (one posting slice, one shared
+// position arena) safe to hand to a BlockCacheSink; the scratch then
+// returns to the pool, its grown capacity reused by the next fill.
+type fillScratch struct {
+	docs   []uint32
+	starts []int
+	pos    []uint32
+}
+
+var fillPool = sync.Pool{New: func() any { return new(fillScratch) }}
+
+func getFillScratch() *fillScratch { return fillPool.Get().(*fillScratch) }
+
+func (fs *fillScratch) start(doc uint32) {
+	fs.docs = append(fs.docs, doc)
+	fs.starts = append(fs.starts, len(fs.pos))
+}
+
+func (fs *fillScratch) addPos(p uint32) { fs.pos = append(fs.pos, p) }
+
+func (fs *fillScratch) n() int { return len(fs.docs) }
+
+// finalize builds the immutable cache copy: every posting's Positions
+// is a capped sub-slice of one arena, so a cached block costs two
+// allocations regardless of posting count.
+func (fs *fillScratch) finalize() []Posting {
+	arena := make([]uint32, len(fs.pos))
+	copy(arena, fs.pos)
+	out := make([]Posting, len(fs.docs))
+	for i, d := range fs.docs {
+		lo := fs.starts[i]
+		hi := len(fs.pos)
+		if i+1 < len(fs.starts) {
+			hi = fs.starts[i+1]
+		}
+		out[i] = Posting{Doc: d, Positions: arena[lo:hi:hi]}
+	}
+	return out
+}
+
+func (fs *fillScratch) release() {
+	fs.docs, fs.starts, fs.pos = fs.docs[:0], fs.starts[:0], fs.pos[:0]
+	fillPool.Put(fs)
+}

@@ -142,5 +142,123 @@ func FuzzPostingsRoundTrip(f *testing.F) {
 				t.Fatalf("advance walk failed: %v", br.Err())
 			}
 		}
+		// EncodeAuto must accept anything the others do, and its output —
+		// whichever version the density heuristic picks, including the v3
+		// bitmap for dense lists — must decode back to the same structure.
+		encAuto, err := EncodeAuto(ps)
+		if err != nil {
+			t.Fatalf("decoded postings do not re-encode with EncodeAuto: %v", err)
+		}
+		ps4, err := DecodeAll(encAuto)
+		if err != nil {
+			t.Fatalf("EncodeAuto output does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(ps, ps4) {
+			t.Fatalf("EncodeAuto round trip changed postings:\n  first  %v\n  second %v", ps, ps4)
+		}
+		if len(ps) > BlockLen && bitmapWins(ps) && !IsV3(encAuto) {
+			t.Fatal("EncodeAuto did not pick v3 for a dense long list")
+		}
+	})
+}
+
+// FuzzBitmapRoundTrip throws arbitrary bytes at the v3 bitmap decoder.
+// The contract: any input either fails with a typed error or decodes to
+// postings that survive a v3 re-encode byte-identically (the encoder is
+// canonical), agree with the v2 block encoding of the same list (the
+// differential oracle), and answer Advance exactly as a linear Next walk
+// over the decoded slice predicts (the map-oracle form).
+func FuzzBitmapRoundTrip(f *testing.F) {
+	for _, n := range []int{1, 2, 64, 65, 300} {
+		ps := make([]Posting, n)
+		for i := range ps {
+			ps[i] = Posting{Doc: uint32(i * 2), Positions: []uint32{uint32(i % 3)}}
+		}
+		rec, err := EncodeV3(ps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rec)
+	}
+	f.Add([]byte{0x00, 0x00, 0x03})                               // bare magic
+	f.Add([]byte{0x00, 0x00, 0x03, 0x01, 0x01, 0x00})             // span 0
+	f.Add([]byte{0x00, 0x00, 0x03, 0x01, 0x01, 0x01, 0x00, 0xff}) // truncated words
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !IsV3(data) {
+			// Re-frame arbitrary bytes as a v3 body so the fuzzer spends
+			// its budget inside the bitmap decoder.
+			data = append([]byte{0x00, 0x00, 0x03}, data...)
+		}
+		br, ok := OpenBitmapReader(data)
+		if !ok {
+			return
+		}
+		var ps []Posting
+		for {
+			p, pok := br.Next()
+			if !pok {
+				break
+			}
+			ps = append(ps, p)
+		}
+		if br.Err() != nil {
+			return // rejected: the only acceptable failure mode
+		}
+		if uint64(len(ps)) != br.DF() {
+			t.Fatalf("clean iteration yielded %d postings, header df=%d", len(ps), br.DF())
+		}
+		if len(ps) == 0 {
+			t.Fatal("v3 record decoded clean with zero postings")
+		}
+		// Structural round trip: re-encode, re-decode, exact agreement.
+		// (Byte equality is not required — the reader tolerates
+		// non-minimal header varints, which the encoder normalizes.)
+		enc, err := EncodeV3(ps)
+		if err != nil {
+			t.Fatalf("decoded postings do not re-encode: %v", err)
+		}
+		ps3, err := DecodeAll(enc)
+		if err != nil || !reflect.DeepEqual(ps, ps3) {
+			t.Fatalf("v3 round trip changed postings (err %v):\n  first  %v\n  second %v", err, ps, ps3)
+		}
+		// Differential oracle: the v2 encoding must decode identically.
+		encV2, err := EncodeV2(ps)
+		if err != nil {
+			t.Fatalf("v2 re-encode failed: %v", err)
+		}
+		ps2, err := DecodeAll(encV2)
+		if err != nil || !reflect.DeepEqual(ps, ps2) {
+			t.Fatalf("v2 oracle disagrees (err %v):\n  v3 %v\n  v2 %v", err, ps, ps2)
+		}
+		// Advance-vs-Next map oracle at every posting doc and doc+1.
+		for _, delta := range []uint32{0, 1} {
+			br, _ = OpenBitmapReader(data)
+			idx := 0
+			for idx < len(ps) {
+				target := ps[idx].Doc + delta
+				want := idx
+				for want < len(ps) && ps[want].Doc < target {
+					want++
+				}
+				p, ok := br.Advance(target)
+				if want == len(ps) {
+					if ok {
+						t.Fatalf("Advance(%d) = %v, want exhausted", target, p)
+					}
+					break
+				}
+				if !ok {
+					t.Fatalf("Advance(%d) exhausted early, want doc %d (err %v)", target, ps[want].Doc, br.Err())
+				}
+				if p.Doc != ps[want].Doc || !reflect.DeepEqual(p.Positions, ps[want].Positions) {
+					t.Fatalf("Advance(%d) = %v, want %v", target, p, ps[want])
+				}
+				idx = want + 1
+			}
+			if br.Err() != nil {
+				t.Fatalf("advance walk failed: %v", br.Err())
+			}
+		}
 	})
 }

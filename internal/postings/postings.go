@@ -79,12 +79,13 @@ func Encode(ps []Posting) ([]byte, error) {
 	return buf, nil
 }
 
-// Stats decodes only the record header, of either version.
+// Stats decodes only the record header, of any version.
 func Stats(rec []byte) (ctf, df uint64, err error) {
-	if IsV2(rec) {
-		if rec[2] != 0x02 {
+	if IsVersioned(rec) {
+		if rec[2] != 0x02 && rec[2] != 0x03 {
 			return 0, 0, ErrCorrupt
 		}
+		// Both versioned layouts put ctf then df right after the magic.
 		ctf, n := binary.Uvarint(rec[3:])
 		if n <= 0 {
 			return 0, 0, ErrCorrupt
@@ -213,7 +214,7 @@ func (r *Reader) Next() (Posting, bool) {
 // DecodeAll decodes every posting in rec, dispatching on the record
 // version.
 func DecodeAll(rec []byte) ([]Posting, error) {
-	if IsV2(rec) {
+	if IsVersioned(rec) {
 		_, df, err := Stats(rec)
 		if err != nil {
 			return nil, err

@@ -39,10 +39,10 @@ func NewStreamReader(r io.Reader) *StreamReader {
 	sr := &StreamReader{r: r, prev: -1}
 	sr.ctf = sr.uvarint()
 	sr.df = sr.uvarint()
-	// A v2 (block-format) record starts with two zero bytes followed by
-	// more data; decoded as v1 that would read as an empty list and
-	// silently drop every posting. Reject it — block records are random
-	// access and never stream through this reader.
+	// A versioned record (v2 blocks, v3 bitmap) starts with two zero
+	// bytes followed by more data; decoded as v1 that would read as an
+	// empty list and silently drop every posting. Reject it — versioned
+	// records are random access and never stream through this reader.
 	if sr.err == nil && sr.ctf == 0 && sr.df == 0 {
 		if sr.pos < sr.lim || !sr.eof {
 			if _, err := sr.ReadByte(); err == nil {

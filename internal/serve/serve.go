@@ -324,10 +324,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Batch requests evaluate in order on this connection's goroutine;
 	// parallelism comes from concurrent HTTP requests, and the engine
 	// admission gate still arbitrates each evaluation individually.
+	// Duplicate entries — same core.Request.CanonicalKey after defaults,
+	// the same identity the engine result cache uses — evaluate once,
+	// and every later copy is answered with the first complete ranking.
+	// Only clean (OutcomeOK) evaluations are replicated: a shed,
+	// deadline, or degraded outcome is that one request's fate, not an
+	// answer.
 	out := batchReply{Index: name, Responses: make([]queryReply, 0, len(body.Requests))}
+	seen := make(map[string]queryReply, len(body.Requests))
 	for _, req := range body.Requests {
-		qr, status := runOne(r.Context(), eng, s.applyDefaults(req))
+		req = s.applyDefaults(req)
+		key := req.CanonicalKey()
+		if d, ok := seen[key]; ok {
+			out.Responses = append(out.Responses, d)
+			continue
+		}
+		qr, status := runOne(r.Context(), eng, req)
 		qr.Status = status
+		if qr.Error == "" && qr.Outcome == core.OutcomeOK {
+			seen[key] = qr
+		}
 		out.Responses = append(out.Responses, qr)
 	}
 	writeJSON(w, http.StatusOK, out)

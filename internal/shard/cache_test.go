@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/vfs"
+)
+
+// buildCachedSharded mirrors buildSharded but opens every shard engine
+// with the hot-path caches enabled.
+func buildCachedSharded(t *testing.T, docs []index.Doc, n int, kind core.BackendKind) *Index {
+	t.Helper()
+	fs := newFS()
+	opt := core.BuildOptions{Analyzer: plainAnalyzer(), Backends: []core.BackendKind{kind}}
+	if _, err := Build([]*vfs.FS{fs}, "c", n, &core.SliceDocs{Docs: docs}, opt); err != nil {
+		t.Fatalf("shard build n=%d: %v", n, err)
+	}
+	engines, err := OpenEngines([]*vfs.FS{fs}, "c", n, kind,
+		core.WithAnalyzer(plainAnalyzer()), core.WithResultCache(64), core.WithBlockCache(8))
+	if err != nil {
+		t.Fatalf("open cached shards n=%d: %v", n, err)
+	}
+	idx, err := NewIndex("c", engines, Config{DisableHedge: true})
+	if err != nil {
+		t.Fatalf("new index: %v", err)
+	}
+	return idx
+}
+
+// TestShardedCachedRankingsIdentical is the sharded leg of the cache
+// differential: per-shard result and block caches must be invisible to
+// the merged ranking. Every query runs three times against the cached
+// sharded index — cold, result-cache-warm, and again — and each pass
+// must match the unsharded, uncached baseline byte-for-byte. MaxScore
+// floor-seeded sub-queries (MinScore > 0) bypass the result cache, so
+// the prune mode exercises that bypass path specifically.
+func TestShardedCachedRankingsIdentical(t *testing.T) {
+	docs := shardCorpus()
+	baseFS := newFS()
+	if _, err := core.Build(baseFS, "base", &core.SliceDocs{Docs: docs}, core.BuildOptions{Analyzer: plainAnalyzer()}); err != nil {
+		t.Fatalf("base build: %v", err)
+	}
+	ctx := context.Background()
+	for _, kind := range []core.BackendKind{core.BackendBTree, core.BackendMneme} {
+		base, err := core.Open(baseFS, "base", kind, core.WithAnalyzer(plainAnalyzer()))
+		if err != nil {
+			t.Fatalf("open base %v: %v", kind, err)
+		}
+		for _, n := range []int{1, 4} {
+			idx := buildCachedSharded(t, docs, n, kind)
+			for _, m := range evalModes {
+				queries := allModeQueries
+				if m.mode == core.ModeDAAT {
+					queries = append(append([]string(nil), allModeQueries...), daatOnlyQueries...)
+				}
+				for _, q := range queries {
+					req := core.Request{Query: q, TopK: 10, Mode: m.mode, Prune: m.prune}
+					want, err := base.Run(ctx, req)
+					if err != nil {
+						t.Fatalf("base run %q: %v", q, err)
+					}
+					for pass := 0; pass < 3; pass++ {
+						got, err := idx.Run(ctx, req)
+						if err != nil {
+							t.Fatalf("%v n=%d %s %q pass %d: %v", kind, n, m.name, q, pass, err)
+						}
+						if got.Outcome != core.OutcomeOK {
+							t.Fatalf("%v n=%d %s %q pass %d: outcome %s", kind, n, m.name, q, pass, got.Outcome)
+						}
+						if len(got.Results) != len(want.Results) {
+							t.Fatalf("%v n=%d %s %q pass %d: %d results, want %d",
+								kind, n, m.name, q, pass, len(got.Results), len(want.Results))
+						}
+						for r := range want.Results {
+							if got.Results[r] != want.Results[r] {
+								t.Fatalf("%v n=%d %s %q pass %d rank %d: got doc %d score %.17g, want doc %d score %.17g",
+									kind, n, m.name, q, pass, r,
+									got.Results[r].Doc, got.Results[r].Score,
+									want.Results[r].Doc, want.Results[r].Score)
+							}
+						}
+					}
+				}
+			}
+			snap := idx.Snapshot()
+			if snap.Cache == nil || snap.Cache.BlockHits == 0 {
+				t.Fatalf("%v n=%d: aggregated snapshot lost the block-cache stats: %+v", kind, n, snap.Cache)
+			}
+			if snap.Cache.ResultHits == 0 {
+				t.Fatalf("%v n=%d: repeats never hit a shard result cache", kind, n)
+			}
+			if err := idx.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The uncached sharded index must not grow a cache block.
+	idx, _ := buildSharded(t, docs, 2, core.BackendMneme, Config{DisableHedge: true})
+	if snap := idx.Snapshot(); snap.Cache != nil {
+		t.Fatalf("uncached sharded snapshot has cache stats: %+v", snap.Cache)
+	}
+}

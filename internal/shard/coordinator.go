@@ -825,6 +825,12 @@ func (x *Index) Snapshot() core.Snapshot {
 			}
 			es := e.Snapshot()
 			s.Counters = s.Counters.Add(es.Counters)
+			if cs := es.Cache; cs != nil {
+				if s.Cache == nil {
+					s.Cache = &core.CacheStats{}
+				}
+				*s.Cache = s.Cache.Add(*cs)
+			}
 			if fs := e.FS(); !seenFS[fs] {
 				seenFS[fs] = true
 				s.IO = s.IO.Add(es.IO)
